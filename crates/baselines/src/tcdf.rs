@@ -1,0 +1,211 @@
+//! TCDF — Temporal Causal Discovery Framework (Nauta et al. [10]).
+//!
+//! TCDF trains attention-based convolutional networks: per target, a
+//! learnable attention score gates each input series, whose history is
+//! aggregated by a *causal* temporal convolution; causes are the inputs
+//! whose attention survives TCDF's largest-gap selection, and the causal
+//! delay is read off the convolution kernel (the paper's Table 2 shows TCDF
+//! winning delay discovery this way).
+//!
+//! Re-implementation notes: the original stacks dilated depthwise
+//! convolutions; we use a single full-window causal convolution per
+//! series pair (kernel length = window), which spans the same receptive
+//! field on our short-lag benchmarks, and softmax attention rows in place
+//! of TCDF's hard-tanh scores. Selection (largest gap) and delay read-out
+//! (kernel argmax) follow the original. TCDF's permutation-based causal
+//! validation step is omitted — it prunes borderline causes and does not
+//! change the scoring mechanism.
+
+use crate::common::{largest_gap_threshold, standardize};
+use crate::Discoverer;
+use cf_metrics::CausalGraph;
+use cf_nn::{Adam, Optimizer, ParamStore};
+use cf_tensor::{he_normal, Tape, Tensor};
+use rand::RngCore;
+
+/// Hyper-parameters of the TCDF baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct TcdfConfig {
+    /// Window (and convolution receptive-field) length.
+    pub window: usize,
+    /// Stride between training windows.
+    pub stride: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// L1 coefficient on the convolution kernels.
+    pub lambda: f64,
+}
+
+impl Default for TcdfConfig {
+    fn default() -> Self {
+        Self {
+            window: 12,
+            stride: 4,
+            epochs: 80,
+            lr: 2e-2,
+            lambda: 1e-3,
+        }
+    }
+}
+
+/// The TCDF discoverer. See the [module docs](self).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tcdf {
+    /// Hyper-parameters.
+    pub config: TcdfConfig,
+}
+
+impl Tcdf {
+    /// A TCDF with the given configuration.
+    pub fn new(config: TcdfConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Discoverer for Tcdf {
+    fn name(&self) -> &'static str {
+        "TCDF"
+    }
+
+    fn outputs_delays(&self) -> bool {
+        true
+    }
+
+    fn discover(&self, rng: &mut dyn RngCore, series: &Tensor) -> CausalGraph {
+        let cfg = self.config;
+        let n = series.shape()[0];
+        let l = series.shape()[1];
+        assert!(l >= cfg.window, "series shorter than the TCDF window");
+        let std_series = standardize(series);
+
+        // Slice windows.
+        let mut windows = Vec::new();
+        let mut start = 0;
+        while start + cfg.window <= l {
+            let mut data = Vec::with_capacity(n * cfg.window);
+            for i in 0..n {
+                data.extend_from_slice(&std_series.row(i)[start..start + cfg.window]);
+            }
+            windows.push(Tensor::from_vec(vec![n, cfg.window], data).expect("consistent"));
+            start += cfg.stride;
+        }
+
+        // Attention logits (N×N; row i = candidate causes of i) and causal
+        // convolution kernels (N×N×T).
+        let mut store = ParamStore::new();
+        let attn_logits = store.register("attn", Tensor::zeros(&[n, n]));
+        // Near-zero kernel init: taps only grow where the data demands it,
+        // so the argmax-tap delay read-out reflects *learned* structure
+        // rather than the random initialisation.
+        let kernel = store.register(
+            "kernel",
+            he_normal(rng, &[n, n, cfg.window], cfg.window).scale(0.05),
+        );
+        let mut adam = Adam::new(cfg.lr);
+
+        // Loss mask: skip the first slot (self-shift has nothing to feed it).
+        let mut mask = Tensor::ones(&[n, cfg.window]);
+        for i in 0..n {
+            mask.set2(i, 0, 0.0);
+        }
+
+        for _ in 0..cfg.epochs {
+            let mut tape = Tape::new();
+            let bound = store.bind(&mut tape);
+            let attn = tape.softmax_rows(bound.var(attn_logits));
+            let mut loss_acc = None;
+            for w in &windows {
+                let x = tape.constant(w.clone());
+                let conv = tape.causal_conv(x, bound.var(kernel));
+                let shifted = tape.self_shift(conv);
+                let pred = tape.attn_apply(attn, shifted);
+                let tgt = tape.constant(w.clone());
+                let diff = tape.sub(pred, tgt);
+                let sq = tape.square(diff);
+                let masked = tape.mul_const(sq, mask.clone());
+                let term = tape.sum_all(masked);
+                loss_acc = Some(match loss_acc {
+                    None => term,
+                    Some(acc) => tape.add(acc, term),
+                });
+            }
+            let sum = loss_acc.expect("at least one window");
+            let mse = tape.scale(sum, 1.0 / (windows.len() * n * (cfg.window - 1)) as f64);
+            let l1k = tape.l1(bound.var(kernel));
+            let penalty = tape.scale(l1k, cfg.lambda);
+            let loss = tape.add(mse, penalty);
+            let grads = tape.backward(loss);
+            adam.step(&mut store, &bound, &grads);
+        }
+
+        // Read out: attention per target row, largest-gap selection, kernel
+        // argmax delay.
+        let attn_final = store.value(attn_logits).softmax_rows();
+        let kernel_final = store.value(kernel);
+        let mut graph = CausalGraph::new(n);
+        for target in 0..n {
+            let scores: Vec<f64> = (0..n).map(|j| attn_final.get2(target, j)).collect();
+            let mask = largest_gap_threshold(&scores);
+            for (j, &selected) in mask.iter().enumerate() {
+                if !selected {
+                    continue;
+                }
+                let mut best_u = 0;
+                let mut best = f64::NEG_INFINITY;
+                for u in 0..cfg.window {
+                    let v = kernel_final.get3(j, target, u).abs();
+                    if v > best {
+                        best = v;
+                        best_u = u;
+                    }
+                }
+                let mut delay = cfg.window - 1 - best_u;
+                if j == target {
+                    delay += 1; // diagonal rows are self-shifted
+                }
+                graph.add_edge(j, target, Some(delay));
+            }
+        }
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_data::synthetic::{generate, Structure};
+    use cf_metrics::score;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_fork_better_than_chance() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = generate(&mut rng, Structure::Fork, 400);
+        let tcdf = Tcdf::new(TcdfConfig {
+            epochs: 30,
+            ..Default::default()
+        });
+        let g = tcdf.discover(&mut rng, &data.series);
+        let f1 = score::f1(&data.truth, &g);
+        assert!(f1 >= 0.4, "F1 {f1}, graph {g}, truth {}", data.truth);
+    }
+
+    #[test]
+    fn outputs_delays_in_window_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = generate(&mut rng, Structure::Mediator, 300);
+        let tcdf = Tcdf::new(TcdfConfig {
+            epochs: 10,
+            ..Default::default()
+        });
+        assert!(tcdf.outputs_delays());
+        let g = tcdf.discover(&mut rng, &data.series);
+        for e in g.edges() {
+            let d = e.delay.expect("TCDF must annotate delays");
+            assert!(d <= 12, "delay {d} outside receptive field");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Benchmarks for the extension systems: the statistics substrate, the
+//! statistic-based discoverers, k-means score clustering, and model
+//! checkpoint (de)serialisation.
+
+use causalformer::{persist, trainer, ModelConfig, TrainConfig};
+use cf_baselines::{Discoverer, Dynotears, DynotearsConfig, Pcmci, PcmciConfig, VarGranger, VarGrangerConfig};
+use cf_data::{random_var, synthetic, window};
+use cf_metrics::kmeans;
+use cf_stats::{f_cdf, fisher_z_test, ols, partial_correlation, reg_inc_beta};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_stats_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/stats");
+    group.bench_function("reg_inc_beta", |b| {
+        b.iter(|| black_box(reg_inc_beta(black_box(3.5), black_box(7.25), black_box(0.42))))
+    });
+    group.bench_function("f_cdf", |b| {
+        b.iter(|| black_box(f_cdf(black_box(2.7), black_box(4.0), black_box(40.0))))
+    });
+    let x: Vec<f64> = (0..500).map(|i| (i as f64 * 0.13).sin()).collect();
+    let y: Vec<f64> = (0..500).map(|i| (i as f64 * 0.13 + 0.4).sin()).collect();
+    let z: Vec<Vec<f64>> = (0..3)
+        .map(|k| (0..500).map(|i| (i as f64 * (0.07 + k as f64 * 0.02)).cos()).collect())
+        .collect();
+    group.bench_function("partial_correlation_500x3", |b| {
+        b.iter(|| black_box(partial_correlation(&x, &y, &z)))
+    });
+    group.bench_function("fisher_z", |b| {
+        b.iter(|| black_box(fisher_z_test(black_box(0.35), 500, 3)))
+    });
+    let cols: Vec<Vec<f64>> = (0..20)
+        .map(|k| (0..400).map(|i| ((i + k) as f64 * 0.11).sin()).collect())
+        .collect();
+    group.bench_function("ols_400x20", |b| b.iter(|| black_box(ols(&cols, &x[..400], 1e-8))));
+    group.finish();
+}
+
+fn bench_statistic_discoverers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = random_var::generate(
+        &mut rng,
+        random_var::RandomVarConfig {
+            n: 8,
+            length: 300,
+            ..Default::default()
+        },
+    );
+    let mut group = c.benchmark_group("extensions/statistic_discovery_var8x300");
+    group.sample_size(10);
+    group.bench_function("VAR-Granger", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(1);
+            black_box(VarGranger::new(VarGrangerConfig::default()).discover(&mut r, &data.series))
+        })
+    });
+    group.bench_function("PCMCI", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(1);
+            black_box(Pcmci::new(PcmciConfig::default()).discover(&mut r, &data.series))
+        })
+    });
+    group.bench_function("DYNOTEARS", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(1);
+            black_box(
+                Dynotears::new(DynotearsConfig {
+                    epochs: 50,
+                    ..Default::default()
+                })
+                .discover(&mut r, &data.series),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_kmeans_selection(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let scores: Vec<f64> = (0..260).map(|i| ((i * 37) % 100) as f64 / 100.0).collect();
+    c.bench_function("extensions/kmeans_top_class_260", |b| {
+        b.iter(|| black_box(kmeans::top_class_mask(&mut rng, &scores, 4, 1)))
+    });
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let data = synthetic::generate(&mut rng, synthetic::Structure::Diamond, 200);
+    let std_series = window::standardize(&data.series);
+    let windows = window::windows(&std_series, 8, 4);
+    let mc = ModelConfig {
+        d_model: 16,
+        d_qk: 16,
+        d_ffn: 16,
+        ..ModelConfig::compact(4, 8)
+    };
+    let tc = TrainConfig {
+        max_epochs: 2,
+        ..TrainConfig::default()
+    };
+    let (trained, _) = trainer::train(&mut rng, mc, tc, &windows);
+    let json = persist::to_json(&trained).unwrap();
+    let mut group = c.benchmark_group("extensions/persist");
+    group.bench_function("to_json", |b| b.iter(|| black_box(persist::to_json(&trained).unwrap())));
+    group.bench_function("from_json", |b| {
+        b.iter(|| black_box(persist::from_json(&json).unwrap().model.config().n_series))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stats_substrate,
+    bench_statistic_discoverers,
+    bench_kmeans_selection,
+    bench_persistence
+);
+criterion_main!(benches);

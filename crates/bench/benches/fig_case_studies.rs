@@ -1,0 +1,81 @@
+//! Benchmarks the kernels behind the figure reproductions: the dataset
+//! generators of **Fig. 7** (synthetic structures), **Fig. 8** (simulated
+//! fMRI with HRF convolution), and **Figs. 9–10** (SST advection lattice),
+//! plus the graph classification/DOT export the case studies render.
+
+use cf_data::{fmri_sim, lorenz96, sst_sim, synthetic};
+use cf_metrics::{CausalGraph, EdgeClass};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/generators");
+    group.bench_function("fig7_synthetic_diamond_1000", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            black_box(synthetic::generate(
+                &mut rng,
+                synthetic::Structure::Diamond,
+                1000,
+            ))
+        })
+    });
+    group.bench_function("table1_lorenz96_1000", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(lorenz96::generate_random_forcing(&mut rng, 10, 1000))
+        })
+    });
+    group.bench_function("fig8_fmri15_hrf_400", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(fmri_sim::generate(
+                &mut rng,
+                fmri_sim::FmriConfig::netsim_like(15, 400),
+            ))
+        })
+    });
+    group.bench_function("fig10_sst_8x8_97", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(sst_sim::generate(&mut rng, sst_sim::SstConfig::default()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_graph_rendering(c: &mut Criterion) {
+    // Fig. 8's TP/FP/FN classification + DOT export on a 15-node graph.
+    let mut truth = CausalGraph::new(15);
+    let mut pred = CausalGraph::new(15);
+    for i in 0..15 {
+        truth.add_edge(i, (i + 1) % 15, Some(1));
+        pred.add_edge(i, (i + 2) % 15, Some(1));
+        pred.add_edge(i, (i + 1) % 15, Some(2));
+    }
+    c.bench_function("figures/fig8_classify_and_dot", |b| {
+        b.iter(|| {
+            let t = truth.clone();
+            let p = pred.clone();
+            let mut union = p.clone();
+            for e in t.edges() {
+                if !union.has_edge(e.from, e.to) {
+                    union.add_edge(e.from, e.to, e.delay);
+                }
+            }
+            black_box(union.to_dot("bench", |e| {
+                match (t.has_edge(e.from, e.to), p.has_edge(e.from, e.to)) {
+                    (true, true) => EdgeClass::TruePositive,
+                    (false, true) => EdgeClass::FalsePositive,
+                    (true, false) => EdgeClass::FalseNegative,
+                    (false, false) => EdgeClass::Plain,
+                }
+            }))
+        })
+    });
+}
+
+criterion_group!(benches, bench_generators, bench_graph_rendering);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Micro-benchmarks of the numeric substrate: the custom tensor ops the
+//! causality-aware transformer is built from, a full forward+backward pass,
+//! and an optimizer step. These are the per-step kernels behind every
+//! experiment in the paper.
+
+use causalformer::{CausalityAwareTransformer, ModelConfig};
+use cf_nn::{Adam, Optimizer, ParamStore};
+use cf_tensor::{ops, uniform, Tape, Tensor};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn rand_t(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    uniform(&mut rng, shape, -1.0, 1.0)
+}
+
+fn bench_causal_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/causal_conv");
+    for (n, t) in [(5usize, 16usize), (15, 16), (15, 32)] {
+        let x = rand_t(&[n, t], 1);
+        let k = rand_t(&[n, n, t], 2);
+        group.bench_function(format!("forward_n{n}_t{t}"), |b| {
+            b.iter(|| ops::causal_conv(black_box(&x), black_box(&k)))
+        });
+        let g = Tensor::ones(&[n, n, t]);
+        group.bench_function(format!("backward_kernel_n{n}_t{t}"), |b| {
+            b.iter(|| ops::causal_conv_backward_kernel(black_box(&x), black_box(&g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/attention");
+    for n in [5usize, 15, 50] {
+        let t = 16;
+        let attn = rand_t(&[n, n], 3).softmax_rows();
+        let v = rand_t(&[n, n, t], 4);
+        group.bench_function(format!("attn_apply_n{n}"), |b| {
+            b.iter(|| ops::attn_apply(black_box(&attn), black_box(&v)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/linear_algebra");
+    let a = rand_t(&[64, 64], 5);
+    let b_m = rand_t(&[64, 64], 6);
+    group.bench_function("matmul_64", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&b_m)))
+    });
+    group.bench_function("softmax_rows_64", |b| {
+        b.iter(|| black_box(&a).softmax_rows())
+    });
+    group.finish();
+}
+
+fn bench_model_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/model_step");
+    group.sample_size(20);
+    for (n, t) in [(4usize, 16usize), (15, 16)] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = ModelConfig::compact(n, t);
+        let mut store = ParamStore::new();
+        let model = CausalityAwareTransformer::new(&mut store, &mut rng, cfg);
+        let x = rand_t(&[n, t], 8);
+        group.bench_function(format!("forward_backward_n{n}_t{t}"), |b| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let bound = store.bind(&mut tape);
+                let trace = model.forward(&mut tape, &bound, &x);
+                let loss = model.prediction_loss(&mut tape, &trace, &x);
+                let grads = tape.backward(loss);
+                black_box(grads.get(bound.var(model.kernel())).is_some())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_adam(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/adam");
+    let mut rng = StdRng::seed_from_u64(9);
+    group.bench_function("step_10k_params", |b| {
+        b.iter_batched(
+            || {
+                let mut store = ParamStore::new();
+                let p = store.register("w", uniform(&mut rng, &[100, 100], -1.0, 1.0));
+                (store, p, Adam::new(1e-3))
+            },
+            |(mut store, p, mut adam)| {
+                let g = Tensor::ones(&[100, 100]);
+                adam.step_pairs(&mut store, &[(p, g)]);
+                black_box(store.value(p).sum())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_causal_conv,
+    bench_attention,
+    bench_matmul_softmax,
+    bench_model_step,
+    bench_adam
+);
+criterion_main!(benches);

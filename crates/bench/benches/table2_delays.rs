@@ -1,0 +1,64 @@
+//! Benchmarks the delay-discovery kernels behind **Table 2**: the
+//! causal-delay read-outs of the three delay-capable methods and the PoD
+//! metric itself.
+
+use cf_metrics::{score, CausalGraph};
+use cf_tensor::{uniform, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Kernel-tap argmax delay extraction (the CausalFormer/TCDF read-out,
+/// Eq. 20) over a full N×N score bank.
+fn bench_delay_readout(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("table2/delay_readout");
+    for (n, t) in [(10usize, 16usize), (15, 32)] {
+        let scores: Vec<Tensor> = (0..n).map(|_| uniform(&mut rng, &[n, t], 0.0, 1.0)).collect();
+        group.bench_function(format!("argmax_n{n}_t{t}"), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for target_scores in &scores {
+                    for j in 0..n {
+                        let mut best = 0usize;
+                        let mut best_v = f64::NEG_INFINITY;
+                        for u in 0..t {
+                            let v = target_scores.get2(j, u);
+                            if v > best_v {
+                                best_v = v;
+                                best = u;
+                            }
+                        }
+                        total += t - 1 - best;
+                    }
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// PoD scoring of a dense predicted graph against a delay-annotated truth.
+fn bench_pod_metric(c: &mut Criterion) {
+    let n = 20;
+    let mut truth = CausalGraph::new(n);
+    let mut pred = CausalGraph::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if (i + j) % 3 == 0 {
+                truth.add_edge(i, j, Some((i + j) % 5));
+            }
+            if (i * j) % 4 == 0 {
+                pred.add_edge(i, j, Some((i + 2 * j) % 5));
+            }
+        }
+    }
+    c.bench_function("table2/pod_n20_dense", |b| {
+        b.iter(|| black_box(score::pod(&truth, &pred)))
+    });
+}
+
+criterion_group!(benches, bench_delay_readout, bench_pod_metric);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Benchmarks the detector kernels behind **Table 3**: one RRP +
+//! gradient-modulation scoring pass per detector mode on a trained
+//! causality-aware transformer (the ablations differ only in which parts
+//! of this pass run).
+
+use causalformer::{detector, trainer, DetectorMode, ModelConfig, TrainConfig};
+use cf_data::{fmri_sim, window};
+use cf_nn::ParamStore;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn trained_fmri_model() -> (
+    causalformer::CausalityAwareTransformer,
+    ParamStore,
+    Vec<cf_tensor::Tensor>,
+) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = fmri_sim::generate(&mut rng, fmri_sim::FmriConfig::netsim_like(10, 150));
+    let model_cfg = ModelConfig {
+        d_model: 16,
+        d_qk: 16,
+        d_ffn: 16,
+        ..ModelConfig::compact(10, 12)
+    };
+    let train_cfg = TrainConfig {
+        max_epochs: 5,
+        ..TrainConfig::default()
+    };
+    let std_series = window::standardize(&data.series);
+    let windows = window::windows(&std_series, 12, 4);
+    let (trained, _) = trainer::train(&mut rng, model_cfg, train_cfg, &windows);
+    (trained.model, trained.store, windows)
+}
+
+fn bench_detector_modes(c: &mut Criterion) {
+    let (model, store, windows) = trained_fmri_model();
+    let mut group = c.benchmark_group("table3/window_scores_fmri10");
+    group.sample_size(10);
+    for mode in [
+        DetectorMode::Full,
+        DetectorMode::NoInterpretation,
+        DetectorMode::NoRelevance,
+        DetectorMode::NoGradient,
+        DetectorMode::NoBias,
+    ] {
+        group.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| black_box(detector::window_scores(&model, &store, &windows[0], mode)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let (model, store, windows) = trained_fmri_model();
+    let scores = detector::window_scores(&model, &store, &windows[0], DetectorMode::Full);
+    c.bench_function("table3/build_graph_fmri10", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(detector::build_graph(
+                &mut rng,
+                &scores,
+                model.config().window,
+                &causalformer::DetectorConfig::default(),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_detector_modes, bench_graph_construction);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! Regenerates **Figs. 9–10**: the sea-surface-temperature case study.
+//!
+//! The paper runs CausalFormer on North Atlantic SST cells and checks that
+//! the discovered causal relations align with the ocean currents: S→N
+//! relations along the warm western/central currents, N→S along the cold
+//! eastern boundary. Our SST lattice (cf-data::sst_sim) *prescribes* the
+//! gyre, so the alignment becomes measurable: for every discovered non-self
+//! relation we check whether it matches the prescribed flow direction at
+//! its cells, and we report the S→N / N→S split per basin half.
+//!
+//! Also prints a Fig. 9-style text map of the mean temperature field.
+//!
+//! ```text
+//! cargo run -p cf-bench --release --bin fig10 -- --quick
+//! ```
+
+use causalformer::presets;
+use cf_bench::parse_options;
+use cf_data::sst_sim::{self, Meridional, SstConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(serde::Serialize)]
+struct SstSummary {
+    grid: (usize, usize),
+    edges_total: usize,
+    edges_non_self: usize,
+    s2n_west: usize,
+    n2s_west: usize,
+    s2n_east: usize,
+    n2s_east: usize,
+    flow_aligned: usize,
+    flow_contrary: usize,
+    truth_f1: f64,
+}
+
+fn main() {
+    let options = parse_options(std::env::args().skip(1));
+    println!("Fig. 9/10 — SST advection-lattice case study\n");
+
+    let mut rng = StdRng::seed_from_u64(2022);
+    let grid = if options.quick { (6, 6) } else { (8, 8) };
+    let sst = sst_sim::generate(
+        &mut rng,
+        SstConfig {
+            height: grid.0,
+            width: grid.1,
+            ..SstConfig::default()
+        },
+    );
+    let n = sst.height * sst.width;
+
+    // Fig. 9 analogue: the mean temperature field.
+    println!("mean SST field (°C, row 0 = north):");
+    let len = sst.dataset.series.shape()[1];
+    for r in 0..sst.height {
+        let mut line = String::new();
+        for c in 0..sst.width {
+            let cell = sst.cell(r, c);
+            let mean: f64 = sst.dataset.series.row(cell).iter().sum::<f64>() / len as f64;
+            line.push_str(&format!("{mean:6.1}"));
+        }
+        println!("  {line}");
+    }
+    println!();
+
+    // Run CausalFormer.
+    let mut cf = presets::sst(n);
+    if options.quick {
+        cf.train.max_epochs = 20;
+        cf.model.d_model = 16;
+        cf.model.d_qk = 16;
+        cf.model.d_ffn = 16;
+        cf.detector.sample_windows = 4;
+    }
+    // Work on the anomaly field: subtract the basin mean per time slot.
+    // This removes the common seasonal driver (standard practice for SST
+    // analysis — the paper's OI-SST input is likewise preprocessed) so the
+    // advection signal is what remains.
+    let series = basin_anomalies(&sst.dataset.series);
+
+    eprintln!("training CausalFormer on {n} series …");
+    let result = cf.discover(&mut rng, &series);
+    eprintln!(
+        "train loss {:.4} → {:.4} over {} epochs (val {:.4} → {:.4}, best epoch {})",
+        result.train_report.train_losses.first().unwrap(),
+        result.train_report.train_losses.last().unwrap(),
+        result.train_report.train_losses.len(),
+        result.train_report.val_losses.first().unwrap(),
+        result.train_report.val_losses.last().unwrap(),
+        result.train_report.best_epoch
+    );
+
+    // Classify discovered relations as the paper does.
+    let mut s2n_west = 0;
+    let mut n2s_west = 0;
+    let mut s2n_east = 0;
+    let mut n2s_east = 0;
+    let mut aligned = 0;
+    let mut contrary = 0;
+    for e in result.graph.non_self_edges() {
+        let (rf, cf_col) = sst.coords(e.from);
+        let (rt, ct) = sst.coords(e.to);
+        let west = (cf_col + ct) / 2 < sst.width / 2;
+        match sst.meridional(e.from, e.to) {
+            Meridional::SouthToNorth => {
+                if west {
+                    s2n_west += 1;
+                } else {
+                    s2n_east += 1;
+                }
+            }
+            Meridional::NorthToSouth => {
+                if west {
+                    n2s_west += 1;
+                } else {
+                    n2s_east += 1;
+                }
+            }
+            Meridional::Zonal => {}
+        }
+        // Flow alignment: does the edge point (roughly) along the
+        // prescribed current at its source cell?
+        let flow = sst.flow[e.from];
+        let dr = rt as isize - rf as isize;
+        let dc = ct as isize - cf_col as isize;
+        if dr.signum() == flow.0.signum() && dc.signum() == flow.1.signum() {
+            aligned += 1;
+        } else if dr.signum() == -flow.0.signum() && dc.signum() == -flow.1.signum() && flow != (0, 0)
+        {
+            contrary += 1;
+        }
+    }
+
+    let f1 = cf_metrics::score::f1(&sst.dataset.truth, &result.graph);
+    println!("discovered {} edges ({} non-self)", result.graph.num_edges(),
+        result.graph.non_self_edges().count());
+    println!("  western basin (Gulf-Stream analogue, flow N): S→N {s2n_west:>3}  N→S {n2s_west:>3}");
+    println!("  eastern basin (Canary analogue,   flow S): S→N {s2n_east:>3}  N→S {n2s_east:>3}");
+    println!("  flow-aligned {aligned} vs flow-contrary {contrary}");
+    println!("  F1 vs prescribed advection graph: {f1:.2}");
+    println!(
+        "\npaper's qualitative finding (Fig. 10): discovered relations follow \
+         the currents — S→N dominates along the warm western boundary (Gulf \
+         Stream / North Atlantic Drift analogue) while N→S dominates along \
+         the cold eastern boundary (Canary analogue). The reproduction passes \
+         when the west-half S→N count exceeds its N→S count and vice versa in \
+         the east half."
+    );
+
+    let summary = SstSummary {
+        grid,
+        edges_total: result.graph.num_edges(),
+        edges_non_self: result.graph.non_self_edges().count(),
+        s2n_west,
+        n2s_west,
+        s2n_east,
+        n2s_east,
+        flow_aligned: aligned,
+        flow_contrary: contrary,
+        truth_f1: f1,
+    };
+    cf_bench::maybe_dump_json(&options, &summary);
+}
+
+/// Subtracts the cross-cell (basin) mean at every time slot, leaving the
+/// anomaly field.
+fn basin_anomalies(series: &cf_tensor::Tensor) -> cf_tensor::Tensor {
+    let (n, l) = (series.shape()[0], series.shape()[1]);
+    let mut out = series.clone();
+    for t in 0..l {
+        let mean: f64 = (0..n).map(|c| series.get2(c, t)).sum::<f64>() / n as f64;
+        for c in 0..n {
+            out.set2(c, t, series.get2(c, t) - mean);
+        }
+    }
+    out
+}

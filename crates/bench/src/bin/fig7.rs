@@ -1,0 +1,30 @@
+//! Regenerates **Fig. 7**: the ground-truth causal graphs of the four
+//! synthetic datasets (diamond, mediator, v-structure, fork), printed as
+//! edge lists and Graphviz DOT. The generators themselves are unit-tested
+//! against this specification in `cf-data`.
+//!
+//! ```text
+//! cargo run -p cf-bench --release --bin fig7
+//! ```
+
+use cf_data::synthetic::Structure;
+use cf_metrics::graph_dot_plain;
+
+fn main() {
+    println!("Fig. 7 — ground-truth causal graphs of the synthetic datasets\n");
+    for structure in Structure::ALL {
+        let truth = structure.truth();
+        println!("## {} ({} series)", structure.name(), structure.num_series());
+        println!("{truth}");
+        println!("non-self edges:");
+        for e in truth.non_self_edges() {
+            println!(
+                "  S{} → S{}  (lag {})",
+                e.from + 1,
+                e.to + 1,
+                e.delay.expect("synthetic truth has delays")
+            );
+        }
+        println!("\n{}", graph_dot_plain(&truth, structure.name()));
+    }
+}

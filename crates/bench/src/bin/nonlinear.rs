@@ -1,0 +1,110 @@
+//! **Extension experiment**: nonlinear identifiability. The paper's core
+//! motivation for deep causal discovery is that statistic-based methods
+//! assume (near-)linear dependence (§2.1). Our `table1x` extension showed
+//! linear VAR-Granger *winning* on the near-linear synthetic structures —
+//! so this binary completes the picture on coupled Hénon maps, whose
+//! quadratic coupling has zero linear signal: here the ordering must
+//! reverse.
+//!
+//! ```text
+//! cargo run -p cf-bench --release --bin nonlinear -- --quick
+//! ```
+
+use cf_baselines::{Cmlp, CmlpConfig, Discoverer, Pcmci, VarGranger};
+use cf_bench::methods::CausalFormerMethod;
+use cf_bench::{parse_options, print_table, SerMeanStd};
+use cf_data::henon::{generate, HenonConfig};
+use cf_metrics::{score, MeanStd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(serde::Serialize)]
+struct Row {
+    method: String,
+    coupling: f64,
+    f1: SerMeanStd,
+}
+
+fn main() {
+    let options = parse_options(std::env::args().skip(1));
+    println!(
+        "Extension — nonlinear identifiability on coupled Hénon maps ({} seeds{})",
+        options.seeds,
+        if options.quick { ", quick mode" } else { "" }
+    );
+
+    let couplings = [0.3f64, 0.5];
+    let mut rows = Vec::new();
+    let mut measured = Vec::new();
+    let mut labels = Vec::new();
+
+    for &coupling in &couplings {
+        let mut row = Vec::new();
+        for method_name in ["VAR-Granger", "PCMCI", "cMLP", "CausalFormer"] {
+            eprintln!("c = {coupling}: {method_name} …");
+            let mut f1s = Vec::new();
+            for seed in 0..options.seeds as u64 {
+                let mut drng = StdRng::seed_from_u64(seed.wrapping_mul(7919) + 31);
+                let data = generate(
+                    &mut drng,
+                    HenonConfig {
+                        n: 4,
+                        length: if options.quick { 400 } else { 800 },
+                        coupling,
+                        ..HenonConfig::default()
+                    },
+                );
+                let method: Box<dyn Discoverer> = match method_name {
+                    "VAR-Granger" => Box::new(VarGranger::default()),
+                    "PCMCI" => Box::new(Pcmci::default()),
+                    "cMLP" => Box::new(Cmlp::new(CmlpConfig {
+                        epochs: if options.quick { 60 } else { 120 },
+                        ..Default::default()
+                    })),
+                    _ => {
+                        let mut cf = causalformer::presets::synthetic_dense(4);
+                        cf.model.window = 8;
+                        cf.model.d_model = 16;
+                        cf.model.d_qk = 16;
+                        cf.model.d_ffn = 16;
+                        cf.train.max_epochs = if options.quick { 30 } else { 60 };
+                        cf.train.stride = 2;
+                        Box::new(CausalFormerMethod { pipeline: cf })
+                    }
+                };
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+                let graph = method.discover(&mut rng, &data.series);
+                f1s.push(score::f1(&data.truth, &graph));
+            }
+            let f1: SerMeanStd = MeanStd::from_samples(&f1s).into();
+            row.push(f1.to_string());
+            rows.push(Row {
+                method: method_name.to_string(),
+                coupling,
+                f1,
+            });
+        }
+        measured.push(row);
+        labels.push(format!("c = {coupling}"));
+    }
+
+    print_table(
+        "Hénon chains: F1 by coupling strength",
+        &labels,
+        &[
+            "VAR-Granger".into(),
+            "PCMCI".into(),
+            "cMLP".into(),
+            "CausalFormer".into(),
+        ],
+        &measured,
+        &[],
+    );
+    println!(
+        "expectation: the quadratic Hénon coupling carries little linear \
+         signal, so the linear testers (VAR-Granger, PCMCI/ParCorr) lose the \
+         chain edges they dominated the near-linear benchmarks with, while \
+         the neural methods (cMLP, CausalFormer) retain them."
+    );
+    cf_bench::maybe_dump_json(&options, &rows);
+}

@@ -1,0 +1,90 @@
+//! **Extension experiment**: scalability of CausalFormer vs the fastest
+//! baselines on random sparse VAR processes of growing size. The paper
+//! evaluates at N ≤ 50 (fMRI) and N = 260 (SST, qualitative); this binary
+//! measures both discovery quality (F1) and wall-clock as N grows, which
+//! is the first question a practitioner asks.
+//!
+//! ```text
+//! cargo run -p cf-bench --release --bin scaling -- --quick
+//! ```
+
+use cf_baselines::{Discoverer, VarGranger};
+use cf_bench::methods::CausalFormerMethod;
+use cf_bench::{parse_options, print_table};
+use cf_data::random_var::{generate, RandomVarConfig};
+use cf_metrics::score;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+#[derive(serde::Serialize)]
+struct Row {
+    n: usize,
+    method: String,
+    f1: f64,
+    seconds: f64,
+}
+
+fn main() {
+    let options = parse_options(std::env::args().skip(1));
+    let sizes: &[usize] = if options.quick {
+        &[5, 10, 20]
+    } else {
+        &[5, 10, 20, 40]
+    };
+    println!("Extension — scaling on random sparse VAR processes");
+
+    let mut rows = Vec::new();
+    let mut measured = Vec::new();
+    let mut labels = Vec::new();
+    for &n in sizes {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let data = generate(
+            &mut rng,
+            RandomVarConfig {
+                n,
+                length: if options.quick { 300 } else { 600 },
+                ..RandomVarConfig::default()
+            },
+        );
+
+        let mut cf = causalformer::presets::synthetic_dense(n);
+        cf.model.window = 8;
+        cf.model.d_model = 16;
+        cf.model.d_qk = 16;
+        cf.model.d_ffn = 16;
+        cf.train.max_epochs = if options.quick { 15 } else { 30 };
+        let methods: Vec<Box<dyn Discoverer>> = vec![
+            Box::new(VarGranger::default()),
+            Box::new(CausalFormerMethod { pipeline: cf }),
+        ];
+
+        let mut row = Vec::new();
+        for method in &methods {
+            eprintln!("N = {n}: {} …", method.name());
+            let mut mrng = StdRng::seed_from_u64(7);
+            let start = Instant::now();
+            let graph = method.discover(&mut mrng, &data.series);
+            let seconds = start.elapsed().as_secs_f64();
+            let f1 = score::f1(&data.truth, &graph);
+            row.push(format!("{f1:.2} / {seconds:.1}s"));
+            rows.push(Row {
+                n,
+                method: method.name().to_string(),
+                f1,
+                seconds,
+            });
+        }
+        measured.push(row);
+        labels.push(format!("N = {n}"));
+    }
+
+    print_table(
+        "Scaling: F1 / wall-clock per discovery run",
+        &labels,
+        &["VAR-Granger".into(), "CausalFormer".into()],
+        &measured,
+        &[],
+    );
+    cf_bench::maybe_dump_json(&options, &rows);
+}

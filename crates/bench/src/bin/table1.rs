@@ -1,0 +1,52 @@
+//! Regenerates **Table 1**: overall F1 (mean ± std) of cMLP, cLSTM, TCDF,
+//! DVGNN, CUTS, and CausalFormer on the six benchmark datasets.
+//!
+//! ```text
+//! cargo run -p cf-bench --release --bin table1 -- --quick
+//! ```
+
+use cf_bench::{methods, parse_options, print_table, run_cell, Cell};
+
+fn main() {
+    let options = parse_options(std::env::args().skip(1));
+    println!(
+        "Table 1 — overall F1 ({} seeds{})",
+        options.seeds,
+        if options.quick { ", quick mode" } else { "" }
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut measured = Vec::new();
+    let mut reference = Vec::new();
+    let row_labels: Vec<String> = methods::MethodKind::ALL
+        .iter()
+        .map(|m| m.name().to_string())
+        .collect();
+    let col_labels: Vec<String> = methods::DatasetKind::ALL
+        .iter()
+        .map(|d| cf_bench::dataset_display_name(*d).to_string())
+        .collect();
+
+    for method in methods::MethodKind::ALL {
+        let mut row = Vec::new();
+        let mut ref_row = Vec::new();
+        for dataset in methods::DatasetKind::ALL {
+            eprintln!("running {} on {:?} …", method.name(), dataset);
+            let cell = run_cell(method, dataset, &options);
+            row.push(cell.f1.map(|m| m.to_string()).unwrap_or_else(|| "—".into()));
+            ref_row.push(methods::paper_f1(method, dataset).to_string());
+            cells.push(cell);
+        }
+        measured.push(row);
+        reference.push(ref_row);
+    }
+
+    print_table(
+        "Table 1: overall F1-score (measured vs paper)",
+        &row_labels,
+        &col_labels,
+        &measured,
+        &reference,
+    );
+    cf_bench::maybe_dump_json(&options, &cells);
+}

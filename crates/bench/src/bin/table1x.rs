@@ -1,0 +1,96 @@
+//! **Extension experiment**: Table 1 widened with the *statistic-based*
+//! methods the paper's related work discusses but does not benchmark
+//! (§2.1) — linear VAR Granger causality, PCMCI (constraint-based), and
+//! DYNOTEARS (score-based) — next to CausalFormer. Complements the paper's
+//! deep-learning-only comparison and sanity-checks the benchmarks: on the
+//! near-linear synthetic structures the statistical methods are strong;
+//! the gap CausalFormer must close is on the non-linear/confounded data.
+//!
+//! ```text
+//! cargo run -p cf-bench --release --bin table1x -- --quick
+//! ```
+
+use cf_baselines::{Discoverer, Dynotears, Pcmci, VarGranger};
+use cf_bench::methods::{generate_datasets, CausalFormerMethod, DatasetKind};
+use cf_bench::{parse_options, print_table, SerMeanStd};
+use cf_metrics::{score, MeanStd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(serde::Serialize)]
+struct Row {
+    method: String,
+    dataset: String,
+    f1: SerMeanStd,
+    pod: Option<SerMeanStd>,
+}
+
+fn build(method: &str, dataset: DatasetKind, n: usize, quick: bool) -> Box<dyn Discoverer> {
+    match method {
+        "VAR-Granger" => Box::new(VarGranger::default()),
+        "PCMCI" => Box::new(Pcmci::default()),
+        "DYNOTEARS" => Box::new(Dynotears::default()),
+        "CausalFormer" => Box::new(CausalFormerMethod {
+            pipeline: cf_bench::methods::causalformer_for(dataset, n, quick),
+        }),
+        other => unreachable!("unknown method {other}"),
+    }
+}
+
+fn main() {
+    let options = parse_options(std::env::args().skip(1));
+    println!(
+        "Extension — statistic-based methods vs CausalFormer ({} seeds{})",
+        options.seeds,
+        if options.quick { ", quick mode" } else { "" }
+    );
+
+    let methods = ["VAR-Granger", "PCMCI", "DYNOTEARS", "CausalFormer"];
+    let mut rows = Vec::new();
+    let mut measured = Vec::new();
+    let col_labels: Vec<String> = DatasetKind::ALL
+        .iter()
+        .map(|d| cf_bench::dataset_display_name(*d).to_string())
+        .collect();
+
+    for method_name in methods {
+        let mut row = Vec::new();
+        for dataset in DatasetKind::ALL {
+            eprintln!("running {method_name} on {dataset:?} …");
+            let mut f1s = Vec::new();
+            let mut pods = Vec::new();
+            for seed in 0..options.seeds as u64 {
+                let datasets = generate_datasets(dataset, seed, options.quick);
+                for data in &datasets {
+                    let method = build(method_name, dataset, data.num_series(), options.quick);
+                    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+                    let graph = method.discover(&mut rng, &data.series);
+                    f1s.push(score::f1(&data.truth, &graph));
+                    pods.push(if method.outputs_delays() {
+                        score::pod(&data.truth, &graph)
+                    } else {
+                        None
+                    });
+                }
+            }
+            let f1: SerMeanStd = MeanStd::from_samples(&f1s).into();
+            row.push(f1.to_string());
+            rows.push(Row {
+                method: method_name.to_string(),
+                dataset: cf_bench::dataset_display_name(dataset).to_string(),
+                f1,
+                pod: MeanStd::from_options(&pods).map(Into::into),
+            });
+        }
+        measured.push(row);
+    }
+
+    print_table(
+        "Extension table: F1 of statistic-based methods vs CausalFormer",
+        &methods.iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+        &col_labels,
+        &measured,
+        &[],
+    );
+    cf_bench::maybe_dump_json(&options, &rows);
+}

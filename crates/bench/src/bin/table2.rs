@@ -1,0 +1,58 @@
+//! Regenerates **Table 2**: precision of delay (PoD) of the three methods
+//! that output causal delays — cMLP, TCDF, CausalFormer — on the datasets
+//! with delay ground truth (four synthetic structures and Lorenz-96; fMRI
+//! has no delay ground truth and is omitted, as in the paper).
+//!
+//! ```text
+//! cargo run -p cf-bench --release --bin table2 -- --quick
+//! ```
+
+use cf_bench::{methods, parse_options, print_table, run_cell, Cell};
+
+fn main() {
+    let options = parse_options(std::env::args().skip(1));
+    println!(
+        "Table 2 — precision of delay ({} seeds{})",
+        options.seeds,
+        if options.quick { ", quick mode" } else { "" }
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut measured = Vec::new();
+    let mut reference = Vec::new();
+    let row_labels: Vec<String> = methods::DatasetKind::WITH_DELAYS
+        .iter()
+        .map(|d| cf_bench::dataset_display_name(*d).to_string())
+        .collect();
+    let col_labels: Vec<String> = methods::MethodKind::WITH_DELAYS
+        .iter()
+        .map(|m| m.name().to_string())
+        .collect();
+
+    for dataset in methods::DatasetKind::WITH_DELAYS {
+        let mut row = Vec::new();
+        let mut ref_row = Vec::new();
+        for method in methods::MethodKind::WITH_DELAYS {
+            eprintln!("running {} on {:?} …", method.name(), dataset);
+            let cell = run_cell(method, dataset, &options);
+            row.push(
+                cell.pod
+                    .map(|m| m.to_string())
+                    .unwrap_or_else(|| "n/a".into()),
+            );
+            ref_row.push(methods::paper_pod(method, dataset).to_string());
+            cells.push(cell);
+        }
+        measured.push(row);
+        reference.push(ref_row);
+    }
+
+    print_table(
+        "Table 2: precision of delay (measured vs paper)",
+        &row_labels,
+        &col_labels,
+        &measured,
+        &reference,
+    );
+    cf_bench::maybe_dump_json(&options, &cells);
+}

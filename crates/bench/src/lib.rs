@@ -1,0 +1,176 @@
+//! # cf-bench
+//!
+//! Experiment harness for the CausalFormer reproduction. Each binary
+//! regenerates one table or figure of the paper (see DESIGN.md §3 for the
+//! index):
+//!
+//! | binary   | paper result |
+//! |----------|--------------|
+//! | `table1` | overall F1 of 6 methods × 6 datasets |
+//! | `table2` | precision of delay (PoD) of cMLP / TCDF / CausalFormer |
+//! | `table3` | detector ablations on fMRI |
+//! | `fig7`   | the four synthetic causal graphs |
+//! | `fig8`   | fMRI-15 case study with TP/FP/FN edge classification |
+//! | `fig10`  | SST case study: current-aligned causal relations |
+//!
+//! All binaries accept `--quick` (fewer seeds, shorter series, smaller
+//! epoch budgets), `--seeds K`, and `--json PATH` to dump machine-readable
+//! results. The Criterion benches under `benches/` measure the
+//! computational kernels behind each experiment.
+
+pub mod harness;
+pub mod methods;
+
+pub use harness::{parse_options, Options};
+pub use methods::{build_method, dataset_display_name, DatasetKind, MethodKind};
+
+use cf_baselines::Discoverer;
+use cf_data::Dataset;
+use cf_metrics::{score, MeanStd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One (method × dataset) cell of a result table.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Cell {
+    /// Method name.
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Aggregated F1.
+    pub f1: Option<SerMeanStd>,
+    /// Aggregated precision.
+    pub precision: Option<SerMeanStd>,
+    /// Aggregated recall.
+    pub recall: Option<SerMeanStd>,
+    /// Aggregated precision-of-delay (only for delay-capable methods on
+    /// delay-annotated ground truth).
+    pub pod: Option<SerMeanStd>,
+}
+
+/// Serializable mirror of [`MeanStd`].
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct SerMeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl From<MeanStd> for SerMeanStd {
+    fn from(m: MeanStd) -> Self {
+        Self {
+            mean: m.mean,
+            std: m.std,
+            n: m.n,
+        }
+    }
+}
+
+impl std::fmt::Display for SerMeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}±{:.2}", self.mean, self.std)
+    }
+}
+
+/// Runs `method` over every `(seed, dataset)` pair and aggregates
+/// edge-discovery metrics. `datasets(seed)` regenerates the benchmark for a
+/// seed so every method sees identical data at identical seeds.
+pub fn run_cell(
+    method_kind: MethodKind,
+    dataset_kind: DatasetKind,
+    options: &Options,
+) -> Cell {
+    let mut f1s = Vec::new();
+    let mut precisions = Vec::new();
+    let mut recalls = Vec::new();
+    let mut pods: Vec<Option<f64>> = Vec::new();
+
+    for seed in 0..options.seeds as u64 {
+        let datasets = methods::generate_datasets(dataset_kind, seed, options.quick);
+        for data in &datasets {
+            let method = build_method(method_kind, dataset_kind, data.num_series(), options.quick);
+            // Separate RNG stream per (method, seed, dataset) so methods
+            // don't perturb each other's draws.
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (method_kind as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let graph = method.discover(&mut rng, &data.series);
+            let c = score::confusion(&data.truth, &graph);
+            f1s.push(c.f1());
+            precisions.push(c.precision());
+            recalls.push(c.recall());
+            pods.push(if method.outputs_delays() {
+                score::pod(&data.truth, &graph)
+            } else {
+                None
+            });
+        }
+    }
+
+    Cell {
+        method: method_kind.name().to_string(),
+        dataset: dataset_display_name(dataset_kind).to_string(),
+        f1: Some(MeanStd::from_samples(&f1s).into()),
+        precision: Some(MeanStd::from_samples(&precisions).into()),
+        recall: Some(MeanStd::from_samples(&recalls).into()),
+        pod: MeanStd::from_options(&pods).map(Into::into),
+    }
+}
+
+/// Runs one method over one concrete dataset, returning the graph and
+/// confusion (used by the fig8 case study).
+pub fn run_once(
+    method: &dyn Discoverer,
+    data: &Dataset,
+    seed: u64,
+) -> (cf_metrics::CausalGraph, score::Confusion) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = method.discover(&mut rng, &data.series);
+    let confusion = score::confusion(&data.truth, &graph);
+    (graph, confusion)
+}
+
+/// Renders a result matrix as an aligned text table with the paper's
+/// reference numbers underneath each measured value.
+pub fn print_table(
+    title: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    measured: &[Vec<String>],
+    reference: &[Vec<String>],
+) {
+    println!("\n=== {title} ===\n");
+    let w = 16usize;
+    print!("{:<14}", "");
+    for c in col_labels {
+        print!("{c:^w$}");
+    }
+    println!();
+    for (r, label) in row_labels.iter().enumerate() {
+        print!("{label:<14}");
+        for v in &measured[r] {
+            print!("{v:^w$}");
+        }
+        println!();
+        if !reference.is_empty() {
+            print!("{:<14}", "  (paper)");
+            for v in &reference[r] {
+                print!("{v:^w$}");
+            }
+            println!();
+        }
+    }
+    println!();
+}
+
+/// Writes any serialisable results to a JSON file if `--json` was given.
+pub fn maybe_dump_json<T: serde::Serialize>(options: &Options, value: &T) {
+    if let Some(path) = &options.json_out {
+        let json = serde_json::to_string_pretty(value).expect("results serialize");
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("results written to {path}");
+    }
+}

@@ -1,0 +1,27 @@
+//! `causalformer` — temporal causal discovery on CSV time series.
+//! Thin shell over [`cf_cli`]; see `causalformer --help`.
+
+use cf_cli::{parse, run_discover, run_generate, Command, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match parse(&args) {
+        Ok(Command::Help) => {
+            println!("{USAGE}");
+            return;
+        }
+        Ok(Command::Discover(a)) => run_discover(&a),
+        Ok(Command::Generate(a)) => run_generate(&a),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match outcome {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

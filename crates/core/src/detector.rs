@@ -1,0 +1,538 @@
+//! The decomposition-based causality detector (paper §4.2).
+//!
+//! For each target series `i` the detector:
+//!
+//! 1. runs [RRP](crate::rrp) to get the relevance of every attention matrix
+//!    `𝒜` and of the causal convolution kernel bank `𝒦` (Fig. 6a),
+//! 2. obtains the gradients `∂(Σ_t X̃[i,t])/∂𝒜` and `∂/∂𝒦` from the
+//!    autodiff tape and *modulates* the relevance: `S = E_h(|∇f| ⊙ R)⁺`
+//!    (Eq. 19, Fig. 6b),
+//! 3. averages causal scores over a batch of sample windows,
+//! 4. k-means-clusters each target's attention scores and keeps the top
+//!    `m/n` classes as causal edges; the causal delay of an edge comes from
+//!    the argmax kernel tap (Eq. 20, Fig. 6c).
+//!
+//! Every ablation of the paper's Table 3 is a [`DetectorMode`] switch (plus
+//! `ModelConfig::single_kernel` for the conv ablation).
+
+use crate::config::{DetectorConfig, DetectorMode};
+use crate::model::CausalityAwareTransformer;
+use crate::rrp::{self, RrpLayers};
+use cf_metrics::kmeans::top_class_mask;
+use cf_metrics::CausalGraph;
+use cf_nn::ParamStore;
+use cf_tensor::{Tape, Tensor};
+use rand::Rng;
+
+/// Accumulated causal scores: per target series `i`, an `N`-vector of
+/// attention scores over candidate causes and an `N×T` matrix of kernel
+/// scores (cause × tap).
+#[derive(Debug, Clone)]
+pub struct CausalScores {
+    /// `attn[i][j]` — causal score of the relation `j → i`.
+    pub attn: Vec<Vec<f64>>,
+    /// `kernel[i]` — `N×T`; row `j` holds the per-tap scores of `j → i`.
+    pub kernel: Vec<Tensor>,
+}
+
+impl CausalScores {
+    fn zeros(n: usize, t: usize) -> Self {
+        Self {
+            attn: vec![vec![0.0; n]; n],
+            kernel: vec![Tensor::zeros(&[n, t]); n],
+        }
+    }
+
+    fn add_scaled(&mut self, other: &CausalScores, w: f64) {
+        for i in 0..self.attn.len() {
+            for j in 0..self.attn[i].len() {
+                self.attn[i][j] += w * other.attn[i][j];
+            }
+            self.kernel[i].axpy(w, &other.kernel[i]);
+        }
+    }
+
+    fn scale(&mut self, w: f64) {
+        for row in &mut self.attn {
+            for v in row {
+                *v *= w;
+            }
+        }
+        for k in &mut self.kernel {
+            *k = k.scale(w);
+        }
+    }
+}
+
+/// Computes the causal scores contributed by a single window.
+pub fn window_scores(
+    model: &CausalityAwareTransformer,
+    store: &ParamStore,
+    x_window: &Tensor,
+    mode: DetectorMode,
+) -> CausalScores {
+    let cfg = model.config();
+    let (n, t) = (cfg.n_series, cfg.window);
+    let mut tape = Tape::new();
+    let bound = store.bind(&mut tape);
+    let trace = model.forward(&mut tape, &bound, x_window);
+
+    let mut scores = CausalScores::zeros(n, t);
+    let heads = trace.attn.len();
+
+    if mode == DetectorMode::NoInterpretation {
+        // Read model weights directly: attention matrices and |kernel|.
+        let bank = tape.value(trace.bank);
+        for i in 0..n {
+            for j in 0..n {
+                let mean_attn: f64 = trace
+                    .attn
+                    .iter()
+                    .map(|&a| tape.value(a).get2(i, j))
+                    .sum::<f64>()
+                    / heads as f64;
+                scores.attn[i][j] = mean_attn;
+                for u in 0..t {
+                    scores.kernel[i].set2(j, u, bank.get3(j, i, u).abs());
+                }
+            }
+        }
+        return scores;
+    }
+
+    // Pull the forward values needed by RRP off the tape once.
+    let weights = model.rrp_weights();
+    let biases = model.rrp_biases();
+    let head_out: Vec<Tensor> = trace.head_out.iter().map(|&v| tape.value(v).clone()).collect();
+    let attn_vals: Vec<Tensor> = trace.attn.iter().map(|&v| tape.value(v).clone()).collect();
+    let layers = RrpLayers {
+        x: tape.value(trace.x),
+        pred: tape.value(trace.pred),
+        ffn_out: tape.value(trace.ffn_out),
+        ffn_act: tape.value(trace.ffn_act),
+        ffn_pre: tape.value(trace.ffn_pre),
+        att: tape.value(trace.att),
+        head_out: &head_out,
+        attn: &attn_vals,
+        shifted: tape.value(trace.shifted),
+        conv: tape.value(trace.conv),
+        bank: tape.value(trace.bank),
+        w_out: store.value(weights.output_w),
+        b_out: store.value(biases.output_b),
+        w2: store.value(weights.ffn2_w),
+        b2: store.value(biases.ffn2_b),
+        w1: store.value(weights.ffn1_w),
+        b1: store.value(biases.ffn1_b),
+        w_o: store.value(weights.w_o),
+        with_bias: mode != DetectorMode::NoBias,
+    };
+    layers.validate_shapes();
+
+    let need_relevance = mode != DetectorMode::NoRelevance;
+    let need_gradient = mode != DetectorMode::NoGradient;
+
+    for i in 0..n {
+        // Gradient pass: seed the prediction with the target's row.
+        let (grad_attn, grad_bank) = if need_gradient {
+            let mut seed = Tensor::zeros(&[n, t]);
+            for tt in 0..t {
+                seed.set2(i, tt, 1.0);
+            }
+            let grads = tape.backward_with_seed(trace.pred, seed);
+            let ga: Vec<Tensor> = trace
+                .attn
+                .iter()
+                .map(|&a| {
+                    grads
+                        .get(a)
+                        .cloned()
+                        .unwrap_or_else(|| Tensor::zeros(&[n, n]))
+                })
+                .collect();
+            let gb = grads
+                .get(trace.bank)
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(&[n, n, t]));
+            (ga, gb)
+        } else {
+            (Vec::new(), Tensor::zeros(&[n, n, t]))
+        };
+
+        // Relevance pass.
+        let rel = if need_relevance {
+            Some(rrp::propagate(&layers, i))
+        } else {
+            None
+        };
+
+        // Combine per Eq. 19 (or the ablated variants).
+        for j in 0..n {
+            let mut acc = 0.0;
+            for h in 0..heads {
+                let val = match mode {
+                    DetectorMode::NoRelevance => grad_attn[h].get2(i, j).abs(),
+                    DetectorMode::NoGradient => {
+                        rel.as_ref().expect("relevance computed").attn[h].get2(i, j)
+                    }
+                    _ => {
+                        grad_attn[h].get2(i, j).abs()
+                            * rel.as_ref().expect("relevance computed").attn[h].get2(i, j)
+                    }
+                };
+                acc += val.max(0.0); // the (·)⁺ rectifier
+            }
+            scores.attn[i][j] = acc / heads as f64;
+
+            for u in 0..t {
+                let val = match mode {
+                    DetectorMode::NoRelevance => grad_bank.get3(j, i, u).abs(),
+                    DetectorMode::NoGradient => {
+                        rel.as_ref().expect("relevance computed").kernel.get3(j, i, u)
+                    }
+                    _ => {
+                        grad_bank.get3(j, i, u).abs()
+                            * rel.as_ref().expect("relevance computed").kernel.get3(j, i, u)
+                    }
+                };
+                let prev = scores.kernel[i].get2(j, u);
+                scores.kernel[i].set2(j, u, prev + val.max(0.0));
+            }
+        }
+    }
+    scores
+}
+
+/// Averages [`window_scores`] over up to `cfg.sample_windows` windows
+/// (evenly spaced through `windows`).
+pub fn aggregate_scores(
+    model: &CausalityAwareTransformer,
+    store: &ParamStore,
+    windows: &[Tensor],
+    cfg: &DetectorConfig,
+) -> CausalScores {
+    assert!(!windows.is_empty(), "need at least one window for detection");
+    cfg.validate();
+    let mcfg = model.config();
+    let mut total = CausalScores::zeros(mcfg.n_series, mcfg.window);
+    let k = cfg.sample_windows.min(windows.len());
+    let step = windows.len() as f64 / k as f64;
+    let mut used = 0usize;
+    for s in 0..k {
+        let idx = (s as f64 * step) as usize;
+        let ws = window_scores(model, store, &windows[idx.min(windows.len() - 1)], cfg.mode);
+        total.add_scaled(&ws, 1.0);
+        used += 1;
+    }
+    total.scale(1.0 / used as f64);
+    total
+}
+
+/// Builds the causal graph from aggregated scores (paper §4.2.3): per
+/// target, k-means the attention scores into `n` classes, keep the top `m`
+/// classes as causes, and annotate each edge with the argmax kernel delay
+/// (Eq. 20).
+pub fn build_graph<R: Rng + ?Sized>(
+    rng: &mut R,
+    scores: &CausalScores,
+    window: usize,
+    cfg: &DetectorConfig,
+) -> CausalGraph {
+    let n = scores.attn.len();
+    let mut graph = CausalGraph::new(n);
+    for i in 0..n {
+        // Causal scores span orders of magnitude (relevance × gradient
+        // products compound small factors), so cluster in log space; the
+        // floor keeps exact zeros finite and in the bottom class.
+        let row_max = scores.attn[i].iter().cloned().fold(0.0f64, f64::max);
+        let floor = row_max.max(f64::MIN_POSITIVE) * 1e-6;
+        let row: Vec<f64> = scores.attn[i].iter().map(|&v| (v + floor).ln()).collect();
+        let mask = top_class_mask(rng, &row, cfg.n_clusters, cfg.m_top);
+        for (j, &selected) in mask.iter().enumerate() {
+            if !selected {
+                continue;
+            }
+            // Eq. 20 (0-indexed): tap u touches lag T−1−u; the diagonal
+            // right-shift adds one slot of delay for self-causation.
+            let mut best_u = 0usize;
+            let mut best_v = f64::NEG_INFINITY;
+            for u in 0..window {
+                let v = scores.kernel[i].get2(j, u);
+                if v > best_v {
+                    best_v = v;
+                    best_u = u;
+                }
+            }
+            let mut delay = window - 1 - best_u;
+            if i == j {
+                delay += 1;
+            }
+            graph.add_edge(j, i, Some(delay));
+        }
+    }
+    graph
+}
+
+/// Permutation-importance causal scores — the perturbation-based
+/// attribution family the paper reviews in §2.2 ([41, 42]), provided as an
+/// alternative read-out of the same trained model for comparison with the
+/// decomposition-based detector.
+///
+/// The score of `j → i` is the increase in series `i`'s prediction error
+/// when series `j`'s *input* row is replaced by a permuted copy (breaking
+/// its temporal alignment while preserving its marginal distribution),
+/// averaged over `windows`. Kernel-tap scores are not defined under
+/// permutation, so the returned `CausalScores::kernel` holds the per-window
+/// error increase replicated across taps — delays fall back to the
+/// most-recent tap.
+pub fn permutation_scores<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &CausalityAwareTransformer,
+    store: &ParamStore,
+    windows: &[Tensor],
+) -> CausalScores {
+    use rand::seq::SliceRandom;
+    assert!(!windows.is_empty(), "need at least one window");
+    let cfg = model.config();
+    let (n, t) = (cfg.n_series, cfg.window);
+    let mut scores = CausalScores::zeros(n, t);
+
+    // Per-series squared error of a forward pass, ignoring slot 0 (as the
+    // training loss does).
+    let per_series_err = |x: &Tensor, target_like: &Tensor| -> Vec<f64> {
+        let mut tape = Tape::new();
+        let bound = store.bind(&mut tape);
+        let trace = model.forward(&mut tape, &bound, x);
+        let pred = tape.value(trace.pred);
+        (0..n)
+            .map(|i| {
+                (1..t)
+                    .map(|tt| {
+                        let d = pred.get2(i, tt) - target_like.get2(i, tt);
+                        d * d
+                    })
+                    .sum::<f64>()
+                    / (t - 1) as f64
+            })
+            .collect()
+    };
+
+    for w in windows {
+        let base = per_series_err(w, w);
+        for j in 0..n {
+            // Permute series j's row within the window.
+            let mut perm: Vec<f64> = w.row(j).to_vec();
+            perm.shuffle(rng);
+            let mut xp = w.clone();
+            for (tt, &v) in perm.iter().enumerate() {
+                xp.set2(j, tt, v);
+            }
+            let perturbed = per_series_err(&xp, w);
+            for i in 0..n {
+                let delta = (perturbed[i] - base[i]).max(0.0);
+                scores.attn[i][j] += delta / windows.len() as f64;
+                // No tap resolution under permutation: mark the newest tap
+                // so the delay read-out degrades gracefully to "lag 0/1".
+                let prev = scores.kernel[i].get2(j, t - 1);
+                scores.kernel[i].set2(j, t - 1, prev + delta / windows.len() as f64);
+            }
+        }
+    }
+    scores
+}
+
+/// Convenience wrapper: aggregate scores over `windows` and build the graph.
+pub fn detect<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &CausalityAwareTransformer,
+    store: &ParamStore,
+    windows: &[Tensor],
+    cfg: &DetectorConfig,
+) -> (CausalGraph, CausalScores) {
+    let scores = aggregate_scores(model, store, windows, cfg);
+    let graph = build_graph(rng, &scores, model.config().window, cfg);
+    (graph, scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use cf_tensor::uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ParamStore, CausalityAwareTransformer, Vec<Tensor>) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let cfg = ModelConfig {
+            d_model: 8,
+            d_qk: 8,
+            d_ffn: 8,
+            ..ModelConfig::compact(3, 6)
+        };
+        let model = CausalityAwareTransformer::new(&mut store, &mut rng, cfg);
+        let windows: Vec<Tensor> = (0..4)
+            .map(|_| uniform(&mut rng, &[3, 6], -1.0, 1.0))
+            .collect();
+        (store, model, windows)
+    }
+
+    #[test]
+    fn scores_are_finite_and_non_negative_in_all_modes() {
+        let (store, model, windows) = setup();
+        for mode in [
+            DetectorMode::Full,
+            DetectorMode::NoInterpretation,
+            DetectorMode::NoRelevance,
+            DetectorMode::NoGradient,
+            DetectorMode::NoBias,
+        ] {
+            let s = window_scores(&model, &store, &windows[0], mode);
+            for i in 0..3 {
+                for j in 0..3 {
+                    let v = s.attn[i][j];
+                    assert!(v.is_finite(), "{mode:?} attn[{i}][{j}] = {v}");
+                    if mode != DetectorMode::NoInterpretation {
+                        assert!(v >= 0.0, "{mode:?} attn[{i}][{j}] = {v} negative");
+                    }
+                }
+                assert!(s.kernel[i].all_finite(), "{mode:?} kernel[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_averages_not_sums() {
+        let (store, model, windows) = setup();
+        let one = aggregate_scores(
+            &model,
+            &store,
+            &windows[..1],
+            &DetectorConfig {
+                sample_windows: 1,
+                ..Default::default()
+            },
+        );
+        let four = aggregate_scores(
+            &model,
+            &store,
+            &windows,
+            &DetectorConfig {
+                sample_windows: 4,
+                ..Default::default()
+            },
+        );
+        // Averaged scores stay on the same order of magnitude.
+        let m1: f64 = one.attn.iter().flatten().sum();
+        let m4: f64 = four.attn.iter().flatten().sum();
+        assert!(m4 < 4.0 * m1 + 1e-9, "aggregation summed instead of averaged");
+    }
+
+    #[test]
+    fn build_graph_respects_m_over_n_density() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 4;
+        let t = 6;
+        // Construct synthetic scores with one clear cause per target.
+        let mut scores = CausalScores {
+            attn: vec![vec![0.01; n]; n],
+            kernel: vec![Tensor::zeros(&[n, t]); n],
+        };
+        for i in 0..n {
+            scores.attn[i][(i + 1) % n] = 5.0;
+            scores.kernel[i].set2((i + 1) % n, t - 2, 3.0); // lag 1
+        }
+        let cfg = DetectorConfig {
+            n_clusters: 2,
+            m_top: 1,
+            ..Default::default()
+        };
+        let g = build_graph(&mut rng, &scores, t, &cfg);
+        assert_eq!(g.num_edges(), n, "{g}");
+        for i in 0..n {
+            assert!(g.has_edge((i + 1) % n, i));
+            assert_eq!(g.delay((i + 1) % n, i), Some(Some(1)));
+        }
+    }
+
+    #[test]
+    fn self_edge_delay_accounts_for_shift() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (n, t) = (2, 6);
+        let mut scores = CausalScores {
+            attn: vec![vec![0.01; n]; n],
+            kernel: vec![Tensor::zeros(&[n, t]); n],
+        };
+        // Target 0 caused by itself: kernel argmax at the last tap (u=T−1 ⇒
+        // raw lag 0) must be reported as delay 1 because of the self shift.
+        scores.attn[0][0] = 5.0;
+        scores.kernel[0].set2(0, t - 1, 9.0);
+        let cfg = DetectorConfig {
+            n_clusters: 2,
+            m_top: 1,
+            ..Default::default()
+        };
+        let g = build_graph(&mut rng, &scores, t, &cfg);
+        assert_eq!(g.delay(0, 0), Some(Some(1)));
+    }
+
+    #[test]
+    fn permutation_scores_are_finite_nonnegative_and_sized() {
+        let (store, model, windows) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = permutation_scores(&mut rng, &model, &store, &windows);
+        assert_eq!(s.attn.len(), 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let v = s.attn[i][j];
+                assert!(v.is_finite() && v >= 0.0, "perm score ({i},{j}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn permuting_an_informative_series_raises_its_score() {
+        // Train a tiny model where series 0 drives series 1 strongly, then
+        // check the permutation score of 0→1 exceeds that of 2→1.
+        use crate::config::TrainConfig;
+        use crate::trainer::train;
+        use cf_data::synthetic::{generate, Structure};
+        use cf_data::window;
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = generate(&mut rng, Structure::Fork, 300);
+        let std_series = window::standardize(&data.series);
+        let windows = window::windows(&std_series, 8, 2);
+        let mc = ModelConfig {
+            d_model: 12,
+            d_qk: 12,
+            d_ffn: 12,
+            ..ModelConfig::compact(3, 8)
+        };
+        let tc = TrainConfig {
+            max_epochs: 20,
+            ..TrainConfig::default()
+        };
+        let (trained, _) = train(&mut rng, mc, tc, &windows);
+        let s = permutation_scores(&mut rng, &trained.model, &trained.store, &windows[..6]);
+        // Fork: S1 (index 0) causes S2 (index 1); S3 (index 2) does not.
+        assert!(
+            s.attn[1][0] > s.attn[1][2],
+            "cause score {} should beat non-cause {}",
+            s.attn[1][0],
+            s.attn[1][2]
+        );
+    }
+
+    #[test]
+    fn detect_end_to_end_returns_graph_over_all_series() {
+        let (store, model, windows) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (graph, scores) = detect(&mut rng, &model, &store, &windows, &DetectorConfig::default());
+        assert_eq!(graph.num_series(), 3);
+        assert_eq!(scores.attn.len(), 3);
+        // With m/n = 1/2 at least one edge per target is selected.
+        for i in 0..3 {
+            assert!(!graph.parents(i).is_empty(), "target {i} has no causes");
+        }
+    }
+}

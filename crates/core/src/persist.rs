@@ -1,0 +1,275 @@
+//! Saving and loading trained models.
+//!
+//! A trained CausalFormer is its [`ModelConfig`] plus the parameter values;
+//! both serialise to a single JSON document. Loading reconstructs the
+//! architecture (parameter registration order is deterministic) and
+//! overwrites the freshly-initialised values with the saved ones, verifying
+//! names and shapes.
+
+use crate::config::ModelConfig;
+use crate::model::CausalityAwareTransformer;
+use crate::trainer::TrainedModel;
+use cf_nn::ParamStore;
+use cf_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// Serialised form of a trained model.
+#[derive(Serialize, Deserialize)]
+struct SavedModel {
+    format_version: u32,
+    config: SavedConfig,
+    params: Vec<SavedParam>,
+}
+
+/// `ModelConfig` mirror with explicit field names (stable on-disk format,
+/// decoupled from the in-memory struct).
+#[derive(Serialize, Deserialize)]
+struct SavedConfig {
+    n_series: usize,
+    window: usize,
+    d_model: usize,
+    d_qk: usize,
+    d_ffn: usize,
+    heads: usize,
+    temperature: f64,
+    lambda_kernel: f64,
+    lambda_mask: f64,
+    lambda_lag: f64,
+    leaky_slope: f64,
+    single_kernel: bool,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SavedParam {
+    name: String,
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+/// Errors from model persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialisation failure.
+    Json(serde_json::Error),
+    /// The file's parameters do not match the reconstructed architecture.
+    Mismatch(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::Json(e) => write!(f, "JSON error: {e}"),
+            PersistError::Mismatch(m) => write!(f, "model file mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+/// Serialises a trained model to JSON.
+pub fn to_json(trained: &TrainedModel) -> Result<String, PersistError> {
+    let c = *trained.model.config();
+    let saved = SavedModel {
+        format_version: 1,
+        config: SavedConfig {
+            n_series: c.n_series,
+            window: c.window,
+            d_model: c.d_model,
+            d_qk: c.d_qk,
+            d_ffn: c.d_ffn,
+            heads: c.heads,
+            temperature: c.temperature,
+            lambda_kernel: c.lambda_kernel,
+            lambda_mask: c.lambda_mask,
+            lambda_lag: c.lambda_lag,
+            leaky_slope: c.leaky_slope,
+            single_kernel: c.single_kernel,
+        },
+        params: trained
+            .store
+            .ids()
+            .map(|id| SavedParam {
+                name: trained.store.name(id).to_string(),
+                shape: trained.store.value(id).shape().to_vec(),
+                data: trained.store.value(id).data().to_vec(),
+            })
+            .collect(),
+    };
+    Ok(serde_json::to_string(&saved)?)
+}
+
+/// Reconstructs a trained model from JSON produced by [`to_json`].
+pub fn from_json(json: &str) -> Result<TrainedModel, PersistError> {
+    let saved: SavedModel = serde_json::from_str(json)?;
+    if saved.format_version != 1 {
+        return Err(PersistError::Mismatch(format!(
+            "unsupported format version {}",
+            saved.format_version
+        )));
+    }
+    let sc = saved.config;
+    let config = ModelConfig {
+        n_series: sc.n_series,
+        window: sc.window,
+        d_model: sc.d_model,
+        d_qk: sc.d_qk,
+        d_ffn: sc.d_ffn,
+        heads: sc.heads,
+        temperature: sc.temperature,
+        lambda_kernel: sc.lambda_kernel,
+        lambda_mask: sc.lambda_mask,
+        lambda_lag: sc.lambda_lag,
+        leaky_slope: sc.leaky_slope,
+        single_kernel: sc.single_kernel,
+    };
+    config.validate();
+
+    // Rebuild the architecture (registration order is deterministic); the
+    // RNG only seeds throwaway initial values.
+    let mut store = ParamStore::new();
+    let model = CausalityAwareTransformer::new(&mut store, &mut StdRng::seed_from_u64(0), config);
+
+    if saved.params.len() != store.len() {
+        return Err(PersistError::Mismatch(format!(
+            "file has {} parameters, architecture expects {}",
+            saved.params.len(),
+            store.len()
+        )));
+    }
+    let mut values = Vec::with_capacity(saved.params.len());
+    for (id, sp) in store.ids().zip(&saved.params) {
+        if store.name(id) != sp.name {
+            return Err(PersistError::Mismatch(format!(
+                "parameter order mismatch: expected {:?}, found {:?}",
+                store.name(id),
+                sp.name
+            )));
+        }
+        if store.value(id).shape() != sp.shape.as_slice() {
+            return Err(PersistError::Mismatch(format!(
+                "shape mismatch for {:?}: expected {:?}, found {:?}",
+                sp.name,
+                store.value(id).shape(),
+                sp.shape
+            )));
+        }
+        let tensor = Tensor::from_vec(sp.shape.clone(), sp.data.clone())
+            .map_err(|e| PersistError::Mismatch(format!("parameter {:?}: {e}", sp.name)))?;
+        values.push(tensor);
+    }
+    store.restore(&values);
+    Ok(TrainedModel { model, store })
+}
+
+/// Saves a trained model to a JSON file.
+pub fn save(trained: &TrainedModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    std::fs::write(path, to_json(trained)?)?;
+    Ok(())
+}
+
+/// Loads a trained model from a JSON file.
+pub fn load(path: impl AsRef<Path>) -> Result<TrainedModel, PersistError> {
+    from_json(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectorConfig;
+    use crate::detector::detect;
+    use crate::trainer::train;
+    use crate::TrainConfig;
+    use cf_tensor::uniform;
+
+    fn tiny_trained() -> (TrainedModel, Vec<Tensor>) {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = ModelConfig {
+            d_model: 8,
+            d_qk: 8,
+            d_ffn: 8,
+            ..ModelConfig::compact(3, 6)
+        };
+        let windows: Vec<Tensor> = (0..6).map(|_| uniform(&mut rng, &[3, 6], -1.0, 1.0)).collect();
+        let tc = TrainConfig {
+            max_epochs: 3,
+            ..TrainConfig::default()
+        };
+        let (trained, _) = train(&mut rng, config, tc, &windows);
+        (trained, windows)
+    }
+
+    #[test]
+    fn roundtrip_preserves_parameters_and_behaviour() {
+        let (trained, windows) = tiny_trained();
+        let json = to_json(&trained).unwrap();
+        let loaded = from_json(&json).unwrap();
+        // Identical parameter values…
+        for (a, b) in trained.store.ids().zip(loaded.store.ids()) {
+            assert_eq!(trained.store.value(a), loaded.store.value(b));
+        }
+        // …and identical detector output.
+        let cfg = DetectorConfig::default();
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let (g1, _) = detect(&mut r1, &trained.model, &trained.store, &windows, &cfg);
+        let (g2, _) = detect(&mut r2, &loaded.model, &loaded.store, &windows, &cfg);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (trained, _) = tiny_trained();
+        let path = std::env::temp_dir().join("causalformer_persist_test.json");
+        save(&trained, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.model.config().n_series, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corrupted_payloads() {
+        let (trained, _) = tiny_trained();
+        let json = to_json(&trained).unwrap();
+        // Flip the version.
+        let bad = json.replace("\"format_version\":1", "\"format_version\":99");
+        assert!(matches!(
+            from_json(&bad).err().expect("must fail"),
+            PersistError::Mismatch(_)
+        ));
+        // Not JSON at all.
+        assert!(matches!(
+            from_json("definitely not json").err().expect("must fail"),
+            PersistError::Json(_)
+        ));
+        // Truncated parameter list.
+        let truncated = {
+            let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+            let params = v["params"].as_array_mut().unwrap();
+            params.pop();
+            v.to_string()
+        };
+        assert!(matches!(
+            from_json(&truncated).err().expect("must fail"),
+            PersistError::Mismatch(_)
+        ));
+    }
+}

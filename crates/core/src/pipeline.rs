@@ -1,0 +1,406 @@
+//! End-to-end discovery pipeline and per-dataset presets.
+//!
+//! [`CausalFormer`] bundles the three configs and exposes
+//! [`CausalFormer::discover`]: standardise the series, slice windows, train
+//! the causality-aware transformer, run the decomposition-based detector,
+//! and return the temporal causal graph (the full workflow of Fig. 2).
+//!
+//! The [`presets`] mirror the paper's per-dataset hyper-parameters (§5.3)
+//! with CPU-scaled model widths — the paper trains d=256–512 on a 4090; the
+//! experiment *shapes* are preserved at the smaller widths (see DESIGN.md).
+
+use crate::config::{DetectorConfig, ModelConfig, TrainConfig};
+use crate::detector::{detect, CausalScores};
+use crate::trainer::{train, TrainReport};
+use cf_metrics::CausalGraph;
+use cf_tensor::Tensor;
+use rand::Rng;
+
+/// The complete CausalFormer method: model + training + detector configs.
+#[derive(Debug, Clone, Copy)]
+pub struct CausalFormer {
+    /// Architecture of the causality-aware transformer.
+    pub model: ModelConfig,
+    /// Training schedule.
+    pub train: TrainConfig,
+    /// Detector / graph-construction parameters.
+    pub detector: DetectorConfig,
+}
+
+/// Everything [`CausalFormer::discover`] produces.
+pub struct DiscoveryResult {
+    /// The discovered temporal causal graph (edges annotated with delays).
+    pub graph: CausalGraph,
+    /// Training telemetry.
+    pub train_report: TrainReport,
+    /// The aggregated causal scores behind the graph (useful for
+    /// threshold-free analyses and the case studies).
+    pub scores: CausalScores,
+}
+
+impl CausalFormer {
+    /// Builds a pipeline from explicit configs (validated).
+    pub fn new(model: ModelConfig, train: TrainConfig, detector: DetectorConfig) -> Self {
+        model.validate();
+        train.validate();
+        detector.validate();
+        Self {
+            model,
+            train,
+            detector,
+        }
+    }
+
+    /// Runs the full workflow on an `N×L` series matrix.
+    ///
+    /// # Panics
+    /// Panics if the series shape disagrees with the model config or is too
+    /// short to produce a single window.
+    pub fn discover<R: Rng + ?Sized>(&self, rng: &mut R, series: &Tensor) -> DiscoveryResult {
+        assert_eq!(
+            series.shape()[0],
+            self.model.n_series,
+            "series count disagrees with model config"
+        );
+        let std = standardize(series);
+        let windows = slice_windows(&std, self.model.window, self.train.stride);
+        assert!(
+            !windows.is_empty(),
+            "series of length {} yields no windows of size {}",
+            series.shape()[1],
+            self.model.window
+        );
+        let (trained, train_report) = train(rng, self.model, self.train, &windows);
+        let (graph, scores) = detect(rng, &trained.model, &trained.store, &windows, &self.detector);
+        DiscoveryResult {
+            graph,
+            train_report,
+            scores,
+        }
+    }
+}
+
+/// One segment of a rolling discovery: the slot range analysed and the
+/// causal graph found within it.
+pub struct RollingResult {
+    /// First slot of the segment (inclusive).
+    pub start: usize,
+    /// One past the last slot of the segment.
+    pub end: usize,
+    /// The graph discovered on this segment.
+    pub graph: CausalGraph,
+}
+
+impl CausalFormer {
+    /// Rolling-window discovery for *non-stationary* data: runs the full
+    /// pipeline independently on consecutive segments of `segment_len`
+    /// slots advanced by `hop`, returning one causal graph per segment.
+    /// Useful when the causal structure itself drifts (the paper's SST case
+    /// study looks at a decade of data where currents shift seasonally).
+    ///
+    /// # Panics
+    /// Panics if `segment_len` cannot hold a single training window or the
+    /// series is shorter than one segment.
+    pub fn discover_rolling<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        series: &Tensor,
+        segment_len: usize,
+        hop: usize,
+    ) -> Vec<RollingResult> {
+        assert!(hop >= 1, "hop must be positive");
+        assert!(
+            segment_len > self.model.window,
+            "segment must exceed the model window"
+        );
+        let l = series.shape()[1];
+        assert!(l >= segment_len, "series shorter than one segment");
+        let n = series.shape()[0];
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start + segment_len <= l {
+            let mut data = Vec::with_capacity(n * segment_len);
+            for i in 0..n {
+                data.extend_from_slice(&series.row(i)[start..start + segment_len]);
+            }
+            let segment =
+                Tensor::from_vec(vec![n, segment_len], data).expect("consistent by construction");
+            let result = self.discover(rng, &segment);
+            out.push(RollingResult {
+                start,
+                end: start + segment_len,
+                graph: result.graph,
+            });
+            start += hop;
+        }
+        out
+    }
+}
+
+/// Z-scores each series (duplicated from `cf-data` to keep the core crate
+/// dependency-light; both are covered by tests).
+fn standardize(series: &Tensor) -> Tensor {
+    let (n, l) = (series.shape()[0], series.shape()[1]);
+    let mut out = series.clone();
+    for i in 0..n {
+        let row = series.row(i);
+        let mean = row.iter().sum::<f64>() / l as f64;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / l as f64;
+        let std = var.sqrt().max(1e-12);
+        for t in 0..l {
+            out.set2(i, t, (row[t] - mean) / std);
+        }
+    }
+    out
+}
+
+fn slice_windows(series: &Tensor, t_window: usize, stride: usize) -> Vec<Tensor> {
+    let (n, l) = (series.shape()[0], series.shape()[1]);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start + t_window <= l {
+        let mut data = Vec::with_capacity(n * t_window);
+        for i in 0..n {
+            data.extend_from_slice(&series.row(i)[start..start + t_window]);
+        }
+        out.push(Tensor::from_vec(vec![n, t_window], data).expect("consistent"));
+        start += stride;
+    }
+    out
+}
+
+/// Per-dataset presets mirroring the paper's §5.3 hyper-parameter table.
+pub mod presets {
+    use super::*;
+
+    /// Shared CPU-scaled model width.
+    fn base_model(n: usize, window: usize) -> ModelConfig {
+        ModelConfig {
+            n_series: n,
+            window,
+            d_model: 32,
+            d_qk: 32,
+            d_ffn: 32,
+            heads: 2,
+            temperature: 1.0,
+            lambda_kernel: 1e-4,
+            lambda_mask: 1e-4,
+            lambda_lag: 0.0,
+            leaky_slope: 0.01,
+            single_kernel: false,
+        }
+    }
+
+    /// Diamond/mediator (paper: τ=1, λ=1e-4, m/n=1/2, T=16).
+    pub fn synthetic_dense(n: usize) -> CausalFormer {
+        CausalFormer {
+            model: base_model(n, 16),
+            train: TrainConfig::default(),
+            detector: DetectorConfig {
+                n_clusters: 2,
+                m_top: 1,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// V-structure/fork (paper: τ=100, λ=1e-10 — sparser non-self causality
+    /// calls for a flatter softmax and effectively no sparsity penalty).
+    pub fn synthetic_sparse(n: usize) -> CausalFormer {
+        let mut cf = synthetic_dense(n);
+        cf.model.temperature = 100.0;
+        cf.model.lambda_kernel = 1e-10;
+        cf.model.lambda_mask = 1e-10;
+        cf
+    }
+
+    /// Lorenz-96 (paper: τ=10, λ=5e-4, m/n=2/3, T=32; width scaled down,
+    /// window halved for CPU budgets — both are config fields). As with
+    /// [`fmri`], the temperature is rescaled to the smaller `d_QK`: the
+    /// paper's τ=10 at d_QK=512 corresponds to τ≈1 here.
+    pub fn lorenz96(n: usize) -> CausalFormer {
+        let mut model = base_model(n, 16);
+        model.temperature = 1.0;
+        model.lambda_kernel = 5e-4;
+        model.lambda_mask = 5e-4;
+        CausalFormer {
+            model,
+            train: TrainConfig::default(),
+            detector: DetectorConfig {
+                // The paper's m/n = 2/3.
+                n_clusters: 3,
+                m_top: 2,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// fMRI (paper: τ=100, λ=0 to encourage more relations, m/n=1/2, T=32).
+    /// The temperature is rescaled to the smaller `d_QK` used here — the
+    /// paper's τ=100 at d_QK=256 flattens softmax logits by ≈1600×; at our
+    /// width the same flattening effect needs a far smaller τ, and τ=10
+    /// reproduces the intended "encourage more relations" behaviour without
+    /// erasing the attention signal entirely.
+    pub fn fmri(n: usize) -> CausalFormer {
+        let mut model = base_model(n, 16);
+        model.temperature = 10.0;
+        model.lambda_kernel = 0.0;
+        model.lambda_mask = 0.0;
+        CausalFormer {
+            model,
+            train: TrainConfig::default(),
+            detector: DetectorConfig {
+                // Four log-score classes, keep the top one: the causal
+                // class sits far above the noise floor in log space.
+                n_clusters: 4,
+                m_top: 1,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// SST case study: long-range lattice, sparse graph — each cell has at
+    /// most one upstream cause plus itself, so sharpen the attention
+    /// (low temperature, sparse masks) and keep only the top quarter of
+    /// the k-means classes.
+    pub fn sst(n: usize) -> CausalFormer {
+        let mut cf = fmri(n);
+        cf.model.temperature = 1.0;
+        cf.model.lambda_mask = 1e-3;
+        cf.model.lambda_kernel = 1e-4;
+        cf.model.window = 12;
+        cf.train.max_epochs = 30;
+        // Only 97 slots are available (the paper's 38-day slots over 10
+        // years) — use every window.
+        cf.train.stride = 1;
+        // Self-persistence scores dominate the top k-means class; the
+        // upstream advection causes sit in the second class, so keep two of
+        // four classes.
+        cf.detector.n_clusters = 4;
+        cf.detector.m_top = 2;
+        cf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_data::synthetic::{self, Structure};
+    use cf_metrics::score;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// End-to-end: CausalFormer on a fork dataset should clearly beat a
+    /// random/empty baseline and find the fork's causal skeleton.
+    #[test]
+    fn discovers_fork_structure_better_than_chance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = synthetic::generate(&mut rng, Structure::Fork, 400);
+        let mut cf = presets::synthetic_sparse(3);
+        // Keep the test quick but meaningful.
+        cf.model.d_model = 16;
+        cf.model.d_qk = 16;
+        cf.model.d_ffn = 16;
+        cf.model.window = 8;
+        cf.train.max_epochs = 25;
+        cf.train.stride = 2;
+        let result = cf.discover(&mut rng, &data.series);
+        let f1 = score::f1(&data.truth, &result.graph);
+        // The paper reports 0.79±0.11 at full scale; at test scale we only
+        // require clearly-better-than-random (empty graph scores 0, random
+        // m/n=1/2 graph ≈ 0.5 on this dense-ish truth).
+        assert!(
+            f1 >= 0.5,
+            "F1 {f1} too low; graph = {} truth = {}",
+            result.graph,
+            data.truth
+        );
+        // Training actually happened.
+        assert!(result.train_report.train_losses.len() >= 2);
+        let first = result.train_report.train_losses[0];
+        let last = *result.train_report.train_losses.last().unwrap();
+        assert!(last < first, "loss did not improve: {first} → {last}");
+    }
+
+    #[test]
+    fn presets_validate_and_differ() {
+        let dense = presets::synthetic_dense(4);
+        let sparse = presets::synthetic_sparse(3);
+        let lorenz = presets::lorenz96(10);
+        let fmri = presets::fmri(15);
+        let sst = presets::sst(64);
+        for cf in [&dense, &sparse, &lorenz, &fmri, &sst] {
+            cf.model.validate();
+            cf.train.validate();
+            cf.detector.validate();
+        }
+        assert!(sparse.model.temperature > dense.model.temperature);
+        assert_eq!(lorenz.detector.n_clusters, 3);
+        assert_eq!(fmri.model.lambda_kernel, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "series count disagrees")]
+    fn discover_rejects_mismatched_series() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cf = presets::synthetic_dense(4);
+        let series = Tensor::zeros(&[3, 100]);
+        let _ = cf.discover(&mut rng, &series);
+    }
+
+    #[test]
+    fn rolling_discovery_detects_regime_change() {
+        // Three series; first half: S1→S2, second half: S2→S1, S3 is an
+        // independent bystander (with only two series the top-1-of-2
+        // k-means class always holds the self edge alone).
+        let mut rng = StdRng::seed_from_u64(3);
+        let len = 240usize;
+        let mut data = vec![0.0f64; 3 * len];
+        use rand::Rng as _;
+        for t in 2..len {
+            let (n0, n1, n2): (f64, f64, f64) = (
+                rng.gen::<f64>() - 0.5,
+                rng.gen::<f64>() - 0.5,
+                rng.gen::<f64>() - 0.5,
+            );
+            if t < len / 2 {
+                data[t] = 0.3 * data[t - 1] + n0; // S1 autonomous
+                data[len + t] = 0.8 * data[t - 2] + 0.7 * n1; // S2 ← S1 (lag 2)
+            } else {
+                data[len + t] = 0.3 * data[len + t - 1] + n1; // S2 autonomous
+                data[t] = 0.8 * data[len + t - 2] + 0.7 * n0; // S1 ← S2 (lag 2)
+            }
+            data[2 * len + t] = 0.3 * data[2 * len + t - 1] + n2; // S3 noise
+        }
+        let series = Tensor::from_vec(vec![3, len], data).unwrap();
+        let mut cf = presets::synthetic_dense(3);
+        cf.model.window = 8;
+        cf.model.d_model = 8;
+        cf.model.d_qk = 8;
+        cf.model.d_ffn = 8;
+        cf.train.max_epochs = 20;
+        cf.train.stride = 2;
+        let segments = cf.discover_rolling(&mut rng, &series, len / 2, len / 2);
+        assert_eq!(segments.len(), 2);
+        assert_eq!(segments[0].start, 0);
+        assert_eq!(segments[1].end, len);
+        // First regime: 0→1 present; second regime: 1→0 present.
+        assert!(
+            segments[0].graph.has_edge(0, 1),
+            "regime 1 missed S1→S2: {}",
+            segments[0].graph
+        );
+        assert!(
+            segments[1].graph.has_edge(1, 0),
+            "regime 2 missed S2→S1: {}",
+            segments[1].graph
+        );
+    }
+
+    #[test]
+    fn standardize_handles_constant_rows() {
+        let series = Tensor::full(&[2, 50], 3.0);
+        let s = standardize(&series);
+        assert!(s.all_finite());
+    }
+}

@@ -1,0 +1,264 @@
+//! Training loop for the causality-aware transformer.
+//!
+//! The paper trains the model on the self-prediction task (Eq. 1/9) with
+//! Adam and early stopping (§5.3). A training *sample* is one `N×T` window;
+//! each gradient step averages the masked-MSE loss over a mini-batch of
+//! windows and adds the L1 sparsity penalties once per step.
+
+use crate::config::{ModelConfig, TrainConfig};
+use crate::model::CausalityAwareTransformer;
+use cf_nn::{clip_global_norm, Adam, EarlyStopper, Optimizer, ParamStore, StopDecision};
+use cf_tensor::{Tape, Tensor};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A trained causality-aware transformer: the model definition plus the
+/// parameter store holding the best weights found.
+pub struct TrainedModel {
+    /// The architecture (parameter ids, config).
+    pub model: CausalityAwareTransformer,
+    /// Parameter values (best validation epoch).
+    pub store: ParamStore,
+}
+
+/// Per-epoch training telemetry.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean training loss per epoch (prediction + penalty).
+    pub train_losses: Vec<f64>,
+    /// Validation prediction loss per epoch.
+    pub val_losses: Vec<f64>,
+    /// Epoch (1-based) whose weights were kept.
+    pub best_epoch: usize,
+    /// Whether early stopping fired before `max_epochs`.
+    pub early_stopped: bool,
+}
+
+/// Trains a fresh causality-aware transformer on the given windows.
+///
+/// `windows` are `N×T` tensors (see `cf_data::window::windows`); the last
+/// `val_frac` of them (temporal tail) are held out for early stopping. The
+/// model predicts each window from itself under the temporal-priority
+/// constraint, so input and target coincide.
+pub fn train<R: Rng + ?Sized>(
+    rng: &mut R,
+    model_config: ModelConfig,
+    train_config: TrainConfig,
+    windows: &[Tensor],
+) -> (TrainedModel, TrainReport) {
+    model_config.validate();
+    train_config.validate();
+    assert!(!windows.is_empty(), "no training windows");
+    for w in windows {
+        assert_eq!(
+            w.shape(),
+            &[model_config.n_series, model_config.window],
+            "window shape mismatch"
+        );
+    }
+
+    let mut store = ParamStore::new();
+    let model = CausalityAwareTransformer::new(&mut store, rng, model_config);
+    let mut adam = Adam::new(train_config.lr);
+    let mut stopper = EarlyStopper::new(train_config.patience, train_config.min_delta);
+
+    // Temporal split: validation = chronological tail.
+    let n_val = ((windows.len() as f64) * train_config.val_frac).round() as usize;
+    let n_val = n_val.min(windows.len().saturating_sub(1));
+    let (train_set, val_set) = windows.split_at(windows.len() - n_val);
+
+    let mut train_losses = Vec::new();
+    let mut val_losses = Vec::new();
+    let mut best_snapshot = store.snapshot();
+    let mut early_stopped = false;
+
+    let mut order: Vec<usize> = (0..train_set.len()).collect();
+    for _epoch in 0..train_config.max_epochs {
+        order.shuffle(rng);
+        let mut epoch_loss = 0.0;
+        let mut steps = 0usize;
+        for batch in order.chunks(train_config.batch_size) {
+            let mut tape = Tape::new();
+            let bound = store.bind(&mut tape);
+            let mut batch_loss = None;
+            for &wi in batch {
+                let trace = model.forward(&mut tape, &bound, &train_set[wi]);
+                let loss = model.prediction_loss(&mut tape, &trace, &train_set[wi]);
+                batch_loss = Some(match batch_loss {
+                    None => loss,
+                    Some(acc) => tape.add(acc, loss),
+                });
+            }
+            let sum = batch_loss.expect("non-empty batch");
+            let mean = tape.scale(sum, 1.0 / batch.len() as f64);
+            let penalty = model.sparsity_penalty(&mut tape, &bound);
+            let total = tape.add(mean, penalty);
+            let grads = tape.backward(total);
+            let mut pairs: Vec<_> = bound
+                .gradients(&grads)
+                .map(|(id, g)| (id, g.clone()))
+                .collect();
+            clip_global_norm(&mut pairs, train_config.clip_norm);
+            adam.step_pairs(&mut store, &pairs);
+            epoch_loss += tape.value(total).item();
+            steps += 1;
+        }
+        train_losses.push(epoch_loss / steps.max(1) as f64);
+        if train_config.lr_decay < 1.0 {
+            adam.set_lr(adam.lr() * train_config.lr_decay);
+        }
+
+        // Validation loss (prediction term only, no penalty).
+        let monitored = if val_set.is_empty() {
+            *train_losses.last().expect("pushed above")
+        } else {
+            evaluate(&model, &store, val_set)
+        };
+        val_losses.push(monitored);
+
+        match stopper.observe(monitored) {
+            StopDecision::Improved => best_snapshot = store.snapshot(),
+            StopDecision::NoImprovement => {}
+            StopDecision::Stop => {
+                early_stopped = true;
+                break;
+            }
+        }
+    }
+
+    store.restore(&best_snapshot);
+    (
+        TrainedModel { model, store },
+        TrainReport {
+            train_losses,
+            val_losses,
+            best_epoch: stopper.best_epoch(),
+            early_stopped,
+        },
+    )
+}
+
+/// Mean masked-MSE prediction loss of `model` over `windows` (no penalty).
+pub fn evaluate(
+    model: &CausalityAwareTransformer,
+    store: &ParamStore,
+    windows: &[Tensor],
+) -> f64 {
+    assert!(!windows.is_empty(), "no evaluation windows");
+    let mut total = 0.0;
+    for w in windows {
+        let mut tape = Tape::new();
+        let bound = store.bind(&mut tape);
+        let trace = model.forward(&mut tape, &bound, w);
+        let loss = model.prediction_loss(&mut tape, &trace, w);
+        total += tape.value(loss).item();
+    }
+    total / windows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_data::{synthetic, window};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fork_windows(seed: u64, len: usize, t: usize) -> Vec<Tensor> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = synthetic::generate(&mut rng, synthetic::Structure::Fork, len);
+        let std = window::standardize(&d.series);
+        window::windows(&std, t, 4)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let windows = fork_windows(0, 300, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mc = ModelConfig {
+            d_model: 16,
+            d_qk: 16,
+            d_ffn: 16,
+            ..ModelConfig::compact(3, 8)
+        };
+        let tc = TrainConfig {
+            max_epochs: 15,
+            patience: 15,
+            ..TrainConfig::default()
+        };
+        let (_trained, report) = train(&mut rng, mc, tc, &windows);
+        let first = report.train_losses[0];
+        let last = *report.train_losses.last().unwrap();
+        assert!(
+            last < 0.9 * first,
+            "training loss did not drop: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn early_stopping_restores_best_weights() {
+        let windows = fork_windows(2, 200, 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mc = ModelConfig {
+            d_model: 8,
+            d_qk: 8,
+            d_ffn: 8,
+            heads: 1,
+            ..ModelConfig::compact(3, 8)
+        };
+        let tc = TrainConfig {
+            max_epochs: 40,
+            patience: 3,
+            lr: 2e-2, // aggressive on purpose so validation loss oscillates
+            ..TrainConfig::default()
+        };
+        let (trained, report) = train(&mut rng, mc, tc, &windows);
+        // Weights restored to the best epoch: evaluating on the validation
+        // tail must reproduce (approximately) the best recorded val loss.
+        let n_val = ((windows.len() as f64) * tc.val_frac).round() as usize;
+        let val = &windows[windows.len() - n_val..];
+        let loss_now = evaluate(&trained.model, &trained.store, val);
+        let best = report
+            .val_losses
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (loss_now - best).abs() < 1e-9,
+            "restored loss {loss_now} vs best {best}"
+        );
+        assert!(report.best_epoch >= 1);
+    }
+
+    #[test]
+    fn report_lengths_are_consistent() {
+        let windows = fork_windows(4, 150, 8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mc = ModelConfig {
+            d_model: 8,
+            d_qk: 8,
+            d_ffn: 8,
+            heads: 1,
+            ..ModelConfig::compact(3, 8)
+        };
+        let tc = TrainConfig {
+            max_epochs: 5,
+            patience: 10,
+            ..TrainConfig::default()
+        };
+        let (_, report) = train(&mut rng, mc, tc, &windows);
+        assert_eq!(report.train_losses.len(), report.val_losses.len());
+        assert!(report.train_losses.len() <= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training windows")]
+    fn empty_windows_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = train(
+            &mut rng,
+            ModelConfig::compact(3, 8),
+            TrainConfig::default(),
+            &[],
+        );
+    }
+}

@@ -1,0 +1,345 @@
+//! Simulated sea-surface temperature (SST) on an advection lattice.
+//!
+//! The paper's case study (§5.6, Figs. 9–10) runs CausalFormer on NOAA
+//! OI-SST grid cells in the North Atlantic and checks that the discovered
+//! causal relations align with the known ocean currents: south→north
+//! relations along the Gulf Stream / North Atlantic Drift (western and
+//! central basin), north→south around Greenland and along the Canary
+//! Current (eastern basin). We cannot ship NOAA data, so this module builds
+//! a lattice whose "currents" are *prescribed*: a clockwise subtropical
+//! gyre. Temperature is advected one upstream cell per time slot, relaxed
+//! toward a latitude-dependent equilibrium, seasonally forced, and
+//! perturbed with noise. The ground-truth causal graph (upstream cell →
+//! cell, delay 1) is exact, which turns the paper's qualitative map
+//! comparison into a measurable check.
+
+use crate::Dataset;
+use cf_metrics::CausalGraph;
+use cf_tensor::Tensor;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Configuration of the SST lattice.
+#[derive(Debug, Clone, Copy)]
+pub struct SstConfig {
+    /// Grid rows (latitude bands; row 0 is the northernmost).
+    pub height: usize,
+    /// Grid columns (longitude bands; col 0 is the westernmost).
+    pub width: usize,
+    /// Number of recorded slots (paper: 97 slots of 38 days over 10 years).
+    pub length: usize,
+    /// Advection coefficient κ: fraction of a cell's next temperature
+    /// contributed by its upstream neighbour.
+    pub advection: f64,
+    /// Relaxation coefficient toward the latitude equilibrium.
+    pub relaxation: f64,
+    /// Seasonal forcing amplitude.
+    pub seasonal_amp: f64,
+    /// Slots per seasonal cycle (38-day slots ⇒ ≈ 9.6 per year).
+    pub season_period: f64,
+    /// Process noise standard deviation.
+    pub noise: f64,
+}
+
+impl Default for SstConfig {
+    fn default() -> Self {
+        Self {
+            height: 8,
+            width: 8,
+            length: 97,
+            advection: 0.5,
+            relaxation: 0.2,
+            seasonal_amp: 0.4,
+            season_period: 9.6,
+            noise: 0.25,
+        }
+    }
+}
+
+/// A generated SST dataset plus the lattice geometry needed for the
+/// Fig. 10 style current-alignment analysis.
+#[derive(Debug, Clone)]
+pub struct SstData {
+    /// The series (one per grid cell, row-major) and ground-truth graph.
+    pub dataset: Dataset,
+    /// Grid rows.
+    pub height: usize,
+    /// Grid columns.
+    pub width: usize,
+    /// Prescribed flow direction per cell as `(d_row, d_col)` — the
+    /// direction water *moves toward* (e.g. `(-1, 0)` flows north).
+    pub flow: Vec<(isize, isize)>,
+}
+
+/// Meridional orientation of a causal relation on the lattice (Fig. 10
+/// classifies edges into S→N and N→S).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Meridional {
+    /// Cause lies south of its effect (warm currents carrying heat north).
+    SouthToNorth,
+    /// Cause lies north of its effect (cold currents pushing south).
+    NorthToSouth,
+    /// Same latitude band (zonal relation) or self relation.
+    Zonal,
+}
+
+impl SstData {
+    /// Flat series index of grid cell `(row, col)`.
+    pub fn cell(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.height && col < self.width);
+        row * self.width + col
+    }
+
+    /// Grid coordinates of a flat series index.
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        assert!(idx < self.height * self.width);
+        (idx / self.width, idx % self.width)
+    }
+
+    /// Classifies a causal relation by meridional direction. Row 0 is the
+    /// northernmost band, so a cause with a *larger* row index than its
+    /// effect lies further south.
+    pub fn meridional(&self, from: usize, to: usize) -> Meridional {
+        let (rf, _) = self.coords(from);
+        let (rt, _) = self.coords(to);
+        match rf.cmp(&rt) {
+            std::cmp::Ordering::Greater => Meridional::SouthToNorth,
+            std::cmp::Ordering::Less => Meridional::NorthToSouth,
+            std::cmp::Ordering::Equal => Meridional::Zonal,
+        }
+    }
+}
+
+/// The prescribed clockwise-gyre flow direction at a cell, rounded to the
+/// 8-neighbourhood. Mirrors the North Atlantic subtropical circulation:
+/// northward western boundary current (Gulf-Stream analogue), eastward
+/// drift across the north, southward eastern boundary current (Canary
+/// analogue), westward return flow in the south.
+fn gyre_flow(height: usize, width: usize, row: usize, col: usize) -> (isize, isize) {
+    // Vector field tangent to circles around the basin centre, clockwise
+    // when row 0 is north: v = (d_row, d_col) = (-dx, -dy) rotated.
+    let cy = (height as f64 - 1.0) / 2.0;
+    let cx = (width as f64 - 1.0) / 2.0;
+    let dy = row as f64 - cy; // + = south of centre
+    let dx = col as f64 - cx; // + = east of centre
+    // Clockwise tangent. In map coordinates (x = east, y = north = −row),
+    // the clockwise tangent at offset (px, py) is (py, −px); converting the
+    // north component back to row units gives (d_row, d_col) = (dx, −dy).
+    let vr = dx;
+    let vc = -dy;
+    let norm = (vr * vr + vc * vc).sqrt();
+    if norm < 1e-9 {
+        return (0, 0); // basin centre: no advection
+    }
+    let quantise = |v: f64| -> isize {
+        if v > 0.382 {
+            1
+        } else if v < -0.382 {
+            -1
+        } else {
+            0
+        }
+    };
+    (quantise(vr / norm), quantise(vc / norm))
+}
+
+/// Generates the SST lattice dataset with its exact causal ground truth.
+pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: SstConfig) -> SstData {
+    assert!(config.height >= 3 && config.width >= 3, "grid too small");
+    assert!(config.length >= 20, "series too short");
+    assert!(
+        config.advection + config.relaxation < 1.0,
+        "advection + relaxation must leave positive self-persistence"
+    );
+    let (h, w) = (config.height, config.width);
+    let n = h * w;
+    let noise = Normal::new(0.0, config.noise).expect("valid normal");
+
+    // Flow field and upstream map.
+    let mut flow = Vec::with_capacity(n);
+    let mut upstream = Vec::with_capacity(n);
+    for row in 0..h {
+        for col in 0..w {
+            let dir = gyre_flow(h, w, row, col);
+            flow.push(dir);
+            // Water arrives from the cell opposite to the flow direction.
+            let ur = row as isize - dir.0;
+            let uc = col as isize - dir.1;
+            let up = if ur >= 0 && ur < h as isize && uc >= 0 && uc < w as isize {
+                (ur as usize) * w + uc as usize
+            } else {
+                row * w + col // boundary: no inflow, self only
+            };
+            upstream.push(up);
+        }
+    }
+
+    // Ground truth: self persistence everywhere + upstream advection.
+    let mut truth = CausalGraph::new(n);
+    for c in 0..n {
+        truth.add_edge(c, c, Some(1));
+        if upstream[c] != c {
+            truth.add_edge(upstream[c], c, Some(1));
+        }
+    }
+
+    // Latitude equilibrium: warm south (large row), cold north.
+    let equilibrium: Vec<f64> = (0..n)
+        .map(|c| {
+            let row = c / w;
+            // 0 °C at the north edge to ~24 °C at the south edge.
+            24.0 * row as f64 / (h - 1) as f64
+        })
+        .collect();
+
+    let burn = 40;
+    let total = burn + config.length;
+    let mut temp: Vec<f64> = equilibrium.clone();
+    let mut next = vec![0.0f64; n];
+    let mut data = vec![0.0f64; n * config.length];
+    let persistence = 1.0 - config.advection - config.relaxation;
+
+    for t in 0..total {
+        let season =
+            config.seasonal_amp * (2.0 * std::f64::consts::PI * t as f64 / config.season_period).sin();
+        for c in 0..n {
+            next[c] = persistence * temp[c]
+                + config.advection * temp[upstream[c]]
+                + config.relaxation * equilibrium[c]
+                + season
+                + noise.sample(rng);
+        }
+        std::mem::swap(&mut temp, &mut next);
+        if t >= burn {
+            let rec = t - burn;
+            for c in 0..n {
+                data[c * config.length + rec] = temp[c];
+            }
+        }
+    }
+
+    SstData {
+        dataset: Dataset {
+            name: format!("sst-{h}x{w}"),
+            series: Tensor::from_vec(vec![n, config.length], data)
+                .expect("consistent by construction"),
+            truth,
+        },
+        height: h,
+        width: w,
+        flow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn western_boundary_flows_north_eastern_flows_south() {
+        // Clockwise gyre: west side (col 0, mid rows) flows north (d_row<0),
+        // east side flows south — the Gulf Stream / Canary asymmetry.
+        let h = 8;
+        let w = 8;
+        let mid = h / 2;
+        let (dr_west, _) = gyre_flow(h, w, mid, 0);
+        let (dr_east, _) = gyre_flow(h, w, mid, w - 1);
+        assert!(dr_west < 0, "west boundary should flow north, got {dr_west}");
+        assert!(dr_east > 0, "east boundary should flow south, got {dr_east}");
+    }
+
+    #[test]
+    fn generated_shapes_and_truth() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sst = generate(&mut rng, SstConfig::default());
+        let n = 64;
+        assert_eq!(sst.dataset.series.shape(), &[n, 97]);
+        assert!(sst.dataset.series.all_finite());
+        // Every cell has a self edge; most cells also have an inflow edge.
+        for c in 0..n {
+            assert!(sst.dataset.truth.has_edge(c, c));
+        }
+        let non_self = sst.dataset.truth.non_self_edges().count();
+        assert!(non_self > n / 2, "expected many advection edges, got {non_self}");
+    }
+
+    #[test]
+    fn south_is_warmer_than_north_on_average() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sst = generate(&mut rng, SstConfig::default());
+        let series = &sst.dataset.series;
+        let row_mean = |cell: usize| -> f64 {
+            series.row(cell).iter().sum::<f64>() / series.shape()[1] as f64
+        };
+        let north = row_mean(sst.cell(0, 4));
+        let south = row_mean(sst.cell(7, 4));
+        assert!(
+            south > north + 5.0,
+            "south {south:.1} should be much warmer than north {north:.1}"
+        );
+    }
+
+    #[test]
+    fn meridional_classification() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sst = generate(&mut rng, SstConfig::default());
+        let a = sst.cell(6, 1); // south-west
+        let b = sst.cell(2, 1); // north-west
+        assert_eq!(sst.meridional(a, b), Meridional::SouthToNorth);
+        assert_eq!(sst.meridional(b, a), Meridional::NorthToSouth);
+        assert_eq!(sst.meridional(a, sst.cell(6, 5)), Meridional::Zonal);
+    }
+
+    #[test]
+    fn ground_truth_edges_follow_prescribed_currents() {
+        // Along the western boundary the truth edges must run S→N.
+        let mut rng = StdRng::seed_from_u64(3);
+        let sst = generate(&mut rng, SstConfig::default());
+        let mut s2n_west = 0;
+        let mut n2s_west = 0;
+        for e in sst.dataset.truth.non_self_edges() {
+            let (_, cf) = sst.coords(e.from);
+            if cf == 0 {
+                match sst.meridional(e.from, e.to) {
+                    Meridional::SouthToNorth => s2n_west += 1,
+                    Meridional::NorthToSouth => n2s_west += 1,
+                    Meridional::Zonal => {}
+                }
+            }
+        }
+        assert!(
+            s2n_west > n2s_west,
+            "western boundary: S→N {s2n_west} vs N→S {n2s_west}"
+        );
+    }
+
+    #[test]
+    fn seasonal_cycle_is_visible() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sst = generate(&mut rng, SstConfig::default());
+        // Autocorrelation at the season period should be clearly positive.
+        let row = sst.dataset.series.row(sst.cell(4, 4));
+        let period = 10usize; // ≈ season_period rounded
+        let len = row.len() - period;
+        let mean = row.iter().sum::<f64>() / row.len() as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for t in 0..len {
+            num += (row[t] - mean) * (row[t + period] - mean);
+        }
+        for &v in row {
+            den += (v - mean) * (v - mean);
+        }
+        let ac = num / den;
+        assert!(ac > 0.1, "seasonal autocorrelation too weak: {ac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&mut StdRng::seed_from_u64(5), SstConfig::default());
+        let b = generate(&mut StdRng::seed_from_u64(5), SstConfig::default());
+        assert_eq!(a.dataset.series, b.dataset.series);
+    }
+}

@@ -1,0 +1,136 @@
+//! Windowing and standardisation utilities.
+//!
+//! The causality-aware transformer consumes fixed `N×T` observation windows
+//! (paper §3: the observational window of `T` slots). This module slices a
+//! long `N×L` series matrix into overlapping windows and z-scores each
+//! series so heterogeneous scales (Lorenz-96 amplitudes vs BOLD signals)
+//! do not dominate training.
+
+use cf_tensor::Tensor;
+
+/// Z-scores each row (series) of an `N×L` matrix: zero mean, unit variance.
+/// Constant series are left centred at zero instead of dividing by zero.
+pub fn standardize(series: &Tensor) -> Tensor {
+    assert_eq!(series.rank(), 2, "standardize expects N×L");
+    let (n, l) = (series.shape()[0], series.shape()[1]);
+    let mut out = series.clone();
+    for i in 0..n {
+        let row = series.row(i);
+        let mean = row.iter().sum::<f64>() / l as f64;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / l as f64;
+        let std = var.sqrt();
+        for t in 0..l {
+            let v = (row[t] - mean) / if std > 1e-12 { std } else { 1.0 };
+            out.set2(i, t, v);
+        }
+    }
+    out
+}
+
+/// Slices an `N×L` matrix into `N×T` windows starting at multiples of
+/// `stride`. Windows that would run past the end are dropped.
+///
+/// # Panics
+/// Panics if `t_window` is zero, larger than the series, or `stride` is 0.
+pub fn windows(series: &Tensor, t_window: usize, stride: usize) -> Vec<Tensor> {
+    assert_eq!(series.rank(), 2, "windows expects N×L");
+    let (n, l) = (series.shape()[0], series.shape()[1]);
+    assert!(t_window > 0 && t_window <= l, "window {t_window} vs length {l}");
+    assert!(stride > 0, "stride must be positive");
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start + t_window <= l {
+        let mut data = Vec::with_capacity(n * t_window);
+        for i in 0..n {
+            data.extend_from_slice(&series.row(i)[start..start + t_window]);
+        }
+        out.push(Tensor::from_vec(vec![n, t_window], data).expect("consistent"));
+        start += stride;
+    }
+    out
+}
+
+/// Splits windows into `(train, validation)` keeping temporal order: the
+/// final `val_frac` of windows become validation (no shuffling — shuffled
+/// splits leak future data into training for overlapping windows).
+pub fn split(windows: Vec<Tensor>, val_frac: f64) -> (Vec<Tensor>, Vec<Tensor>) {
+    assert!((0.0..1.0).contains(&val_frac), "val_frac in [0,1)");
+    let n_val = ((windows.len() as f64) * val_frac).round() as usize;
+    let n_val = n_val.min(windows.len().saturating_sub(1));
+    let cut = windows.len() - n_val;
+    let mut w = windows;
+    let val = w.split_off(cut);
+    (w, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, l: usize) -> Tensor {
+        let data: Vec<f64> = (0..n * l).map(|k| k as f64).collect();
+        Tensor::from_vec(vec![n, l], data).unwrap()
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_variance() {
+        let t = ramp(2, 100);
+        let s = standardize(&t);
+        for i in 0..2 {
+            let row = s.row(i);
+            let mean = row.iter().sum::<f64>() / 100.0;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 100.0;
+            assert!(mean.abs() < 1e-10);
+            assert!((var - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn standardize_constant_series_stays_finite() {
+        let t = Tensor::full(&[1, 10], 5.0);
+        let s = standardize(&t);
+        assert!(s.all_finite());
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn windows_cover_and_align() {
+        let t = ramp(2, 10);
+        let w = windows(&t, 4, 2);
+        // starts at 0, 2, 4, 6 → 4 windows
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].shape(), &[2, 4]);
+        // window 1 of series 0 starts at value 2.
+        assert_eq!(w[1].get2(0, 0), 2.0);
+        // series 1 offset by l=10.
+        assert_eq!(w[1].get2(1, 0), 12.0);
+    }
+
+    #[test]
+    fn windows_stride_one_count() {
+        let t = ramp(1, 10);
+        assert_eq!(windows(&t, 4, 1).len(), 7);
+        assert_eq!(windows(&t, 10, 1).len(), 1);
+    }
+
+    #[test]
+    fn split_keeps_order_and_fraction() {
+        let t = ramp(1, 20);
+        let w = windows(&t, 4, 2); // 9 windows
+        let total = w.len();
+        let (train, val) = split(w, 0.25);
+        assert_eq!(train.len() + val.len(), total);
+        assert_eq!(val.len(), 2);
+        // Validation windows are the chronologically last ones.
+        assert!(train.last().unwrap().get2(0, 0) < val[0].get2(0, 0));
+    }
+
+    #[test]
+    fn split_never_empties_training() {
+        let t = ramp(1, 8);
+        let w = windows(&t, 4, 4); // 2 windows
+        let (train, val) = split(w, 0.9);
+        assert_eq!(train.len(), 1);
+        assert_eq!(val.len(), 1);
+    }
+}

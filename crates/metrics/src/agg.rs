@@ -1,0 +1,84 @@
+//! Mean ± standard-deviation aggregation for result tables.
+
+use std::fmt;
+
+/// Mean and (population) standard deviation of a set of samples, formatted
+/// like the paper's tables: `0.68±0.08`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation (the paper aggregates a fixed set of
+    /// runs/networks, not a sample from a larger population).
+    pub std: f64,
+    /// Number of samples aggregated.
+    pub n: usize,
+}
+
+impl MeanStd {
+    /// Aggregates a slice of samples.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot aggregate zero samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        Self {
+            mean,
+            std: var.sqrt(),
+            n,
+        }
+    }
+
+    /// Aggregates the non-`None` entries; returns `None` if all are absent.
+    pub fn from_options(samples: &[Option<f64>]) -> Option<Self> {
+        let present: Vec<f64> = samples.iter().flatten().copied().collect();
+        (!present.is_empty()).then(|| Self::from_samples(&present))
+    }
+}
+
+impl fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}±{:.2}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_samples() {
+        let m = MeanStd::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m.mean - 5.0).abs() < 1e-12);
+        assert!((m.std - 2.0).abs() < 1e-12);
+        assert_eq!(m.n, 8);
+    }
+
+    #[test]
+    fn single_sample_has_zero_std() {
+        let m = MeanStd::from_samples(&[0.66]);
+        assert_eq!(m.std, 0.0);
+        assert_eq!(format!("{m}"), "0.66±0.00");
+    }
+
+    #[test]
+    fn formats_like_the_paper() {
+        let m = MeanStd {
+            mean: 0.684,
+            std: 0.082,
+            n: 5,
+        };
+        assert_eq!(format!("{m}"), "0.68±0.08");
+    }
+
+    #[test]
+    fn from_options_skips_missing() {
+        let m = MeanStd::from_options(&[Some(1.0), None, Some(3.0)]).unwrap();
+        assert_eq!(m.mean, 2.0);
+        assert_eq!(m.n, 2);
+        assert!(MeanStd::from_options(&[None, None]).is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! # cf-metrics
+//!
+//! Evaluation substrate for the CausalFormer reproduction:
+//!
+//! * [`CausalGraph`] — the directed, delay-annotated causal graph that every
+//!   discovery method in the workspace produces and every dataset generator
+//!   labels its data with (paper §3: `𝒢 = (V, E)` with delays `d(e)`).
+//! * [`score`] — precision / recall / F1 over directed edges and the
+//!   precision-of-delay (PoD) used in the paper's Table 2.
+//! * [`kmeans`] — 1-D k-means with k-means++ seeding, used by the
+//!   decomposition-based causality detector to split causal scores into
+//!   "causal" and "non-causal" classes (paper §4.2.3).
+//! * [`MeanStd`] — mean ± standard-deviation aggregation for the result
+//!   tables.
+
+// Numeric kernels in this workspace use explicit index loops on purpose:
+// the indices mirror the paper's subscripts (i, j, t, τ, u) and several
+// co-indexed buffers are updated per iteration, which iterator chains
+// would obscure.
+#![allow(clippy::needless_range_loop)]
+
+
+mod agg;
+mod graph;
+pub mod kmeans;
+pub mod ranking;
+pub mod score;
+
+pub use agg::MeanStd;
+pub use graph::{CausalGraph, Edge, EdgeClass};
+
+/// Plain (unclassified) DOT rendering of a graph — convenience for the
+/// figure binaries.
+pub fn graph_dot_plain(graph: &CausalGraph, name: &str) -> String {
+    graph.to_dot(name, |_| EdgeClass::Plain)
+}

@@ -1,0 +1,181 @@
+//! Threshold-free evaluation of causal *scores*: AUROC, AUPRC, and the
+//! structural Hamming distance.
+//!
+//! The k-means cut (paper §4.2.3) turns scores into a graph, but method
+//! comparisons are often cleaner on the raw score ranking — DVGNN/CUTS-style
+//! methods emit scores natively, and CausalFormer's detector exposes its
+//! aggregated scores. These utilities evaluate the ranking directly.
+
+use crate::CausalGraph;
+
+/// A scored candidate edge: `(from, to, score)`.
+pub type ScoredEdge = (usize, usize, f64);
+
+/// Area under the ROC curve of edge scores against a ground-truth graph.
+///
+/// Computed as the Mann-Whitney U statistic: the probability that a random
+/// true edge outscores a random non-edge (ties count half). Returns `None`
+/// if either class is empty.
+pub fn auroc(truth: &CausalGraph, scored: &[ScoredEdge]) -> Option<f64> {
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for &(from, to, s) in scored {
+        assert!(s.is_finite(), "scores must be finite");
+        if truth.has_edge(from, to) {
+            pos.push(s);
+        } else {
+            neg.push(s);
+        }
+    }
+    if pos.is_empty() || neg.is_empty() {
+        return None;
+    }
+    let mut wins = 0.0;
+    for &p in &pos {
+        for &n in &neg {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    Some(wins / (pos.len() * neg.len()) as f64)
+}
+
+/// Area under the precision-recall curve (average precision formulation:
+/// `Σ_k (R_k − R_{k−1}) · P_k` over the descending-score sweep). Returns
+/// `None` if there are no true edges among the candidates.
+pub fn auprc(truth: &CausalGraph, scored: &[ScoredEdge]) -> Option<f64> {
+    let total_pos = scored
+        .iter()
+        .filter(|&&(f, t, _)| truth.has_edge(f, t))
+        .count();
+    if total_pos == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..scored.len()).collect();
+    order.sort_by(|&a, &b| {
+        scored[b]
+            .2
+            .partial_cmp(&scored[a].2)
+            .expect("finite scores")
+    });
+    let mut tp = 0usize;
+    let mut ap = 0.0;
+    for (k, &idx) in order.iter().enumerate() {
+        let (f, t, _) = scored[idx];
+        if truth.has_edge(f, t) {
+            tp += 1;
+            let precision = tp as f64 / (k + 1) as f64;
+            ap += precision / total_pos as f64;
+        }
+    }
+    Some(ap)
+}
+
+/// Structural Hamming distance between two graphs over the same series:
+/// the number of edge insertions/deletions needed to turn one into the
+/// other (direction-sensitive; delays ignored).
+pub fn shd(a: &CausalGraph, b: &CausalGraph) -> usize {
+    assert_eq!(a.num_series(), b.num_series(), "graphs must match in size");
+    let mut d = 0;
+    for e in a.edges() {
+        if !b.has_edge(e.from, e.to) {
+            d += 1;
+        }
+    }
+    for e in b.edges() {
+        if !a.has_edge(e.from, e.to) {
+            d += 1;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> CausalGraph {
+        let mut g = CausalGraph::new(3);
+        g.add_edge(0, 1, None);
+        g.add_edge(1, 2, None);
+        g
+    }
+
+    fn all_pairs(scores: &dyn Fn(usize, usize) -> f64) -> Vec<ScoredEdge> {
+        let mut out = Vec::new();
+        for f in 0..3 {
+            for t in 0..3 {
+                out.push((f, t, scores(f, t)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn perfect_ranking_gives_auroc_one() {
+        let t = truth();
+        let scored = all_pairs(&|f, u| if t.has_edge(f, u) { 1.0 } else { 0.0 });
+        assert_eq!(auroc(&t, &scored), Some(1.0));
+        assert_eq!(auprc(&t, &scored), Some(1.0));
+    }
+
+    #[test]
+    fn inverted_ranking_gives_auroc_zero() {
+        let t = truth();
+        let scored = all_pairs(&|f, u| if t.has_edge(f, u) { 0.0 } else { 1.0 });
+        assert_eq!(auroc(&t, &scored), Some(0.0));
+    }
+
+    #[test]
+    fn constant_scores_give_auroc_half() {
+        let t = truth();
+        let scored = all_pairs(&|_, _| 0.5);
+        let v = auroc(&t, &scored).unwrap();
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auroc_none_when_one_class_missing() {
+        let empty = CausalGraph::new(3);
+        let scored = all_pairs(&|_, _| 0.1);
+        assert_eq!(auroc(&empty, &scored), None);
+        assert_eq!(auprc(&empty, &scored), None);
+    }
+
+    #[test]
+    fn auprc_penalises_early_false_positives() {
+        let t = truth();
+        // One FP outranks both TPs.
+        let good = all_pairs(&|f, u| {
+            if t.has_edge(f, u) {
+                0.9
+            } else {
+                0.1
+            }
+        });
+        let bad = all_pairs(&|f, u| {
+            if f == 2 && u == 0 {
+                1.0
+            } else if t.has_edge(f, u) {
+                0.9
+            } else {
+                0.1
+            }
+        });
+        assert!(auprc(&t, &bad).unwrap() < auprc(&t, &good).unwrap());
+    }
+
+    #[test]
+    fn shd_counts_both_directions_of_disagreement() {
+        let a = truth(); // 0→1, 1→2
+        let mut b = CausalGraph::new(3);
+        b.add_edge(0, 1, None); // shared
+        b.add_edge(2, 1, None); // extra in b
+        assert_eq!(shd(&a, &b), 2); // 1→2 missing + 2→1 extra
+        assert_eq!(shd(&a, &a), 0);
+        assert_eq!(shd(&b, &a), 2); // symmetric
+    }
+}

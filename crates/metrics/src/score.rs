@@ -1,0 +1,196 @@
+//! Precision / recall / F1 over directed causal edges, and the
+//! precision-of-delay (PoD) metric of the paper's Table 2.
+
+use crate::CausalGraph;
+
+/// Edge-level confusion counts between a predicted and a ground-truth graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// Predicted edges present in the ground truth.
+    pub tp: usize,
+    /// Predicted edges absent from the ground truth.
+    pub fp: usize,
+    /// Ground-truth edges the prediction missed.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Precision `tp / (tp + fp)`; 0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when the ground truth is empty.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Compares `predicted` against `truth` on edge presence (delays ignored).
+///
+/// # Panics
+/// Panics if the graphs disagree on the number of series.
+pub fn confusion(truth: &CausalGraph, predicted: &CausalGraph) -> Confusion {
+    assert_eq!(
+        truth.num_series(),
+        predicted.num_series(),
+        "graphs must cover the same series"
+    );
+    let mut c = Confusion::default();
+    for e in predicted.edges() {
+        if truth.has_edge(e.from, e.to) {
+            c.tp += 1;
+        } else {
+            c.fp += 1;
+        }
+    }
+    for e in truth.edges() {
+        if !predicted.has_edge(e.from, e.to) {
+            c.fn_ += 1;
+        }
+    }
+    c
+}
+
+/// F1-score of `predicted` against `truth` (the paper's Table 1 metric).
+pub fn f1(truth: &CausalGraph, predicted: &CausalGraph) -> f64 {
+    confusion(truth, predicted).f1()
+}
+
+/// Precision of delay (PoD, paper Table 2): among true-positive edges whose
+/// ground-truth delay is annotated, the fraction whose predicted delay
+/// matches exactly. Returns `None` when no such edge exists (e.g. the
+/// method found nothing, or the ground truth carries no delays) — the paper
+/// likewise omits PoD where it is undefined.
+pub fn pod(truth: &CausalGraph, predicted: &CausalGraph) -> Option<f64> {
+    assert_eq!(
+        truth.num_series(),
+        predicted.num_series(),
+        "graphs must cover the same series"
+    );
+    let mut considered = 0usize;
+    let mut correct = 0usize;
+    for e in predicted.edges() {
+        let Some(truth_delay) = truth.delay(e.from, e.to) else {
+            continue; // not a true positive
+        };
+        let Some(td) = truth_delay else {
+            continue; // ground truth has no delay annotation for this edge
+        };
+        let Some(pd) = e.delay else {
+            continue; // method predicted the edge but no delay
+        };
+        considered += 1;
+        if pd == td {
+            correct += 1;
+        }
+    }
+    (considered > 0).then(|| correct as f64 / considered as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: usize, edges: &[(usize, usize, Option<usize>)]) -> CausalGraph {
+        let mut g = CausalGraph::new(n);
+        for &(f, t, d) in edges {
+            g.add_edge(f, t, d);
+        }
+        g
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let truth = g(3, &[(0, 1, Some(1)), (1, 2, Some(2))]);
+        let c = confusion(&truth, &truth);
+        assert_eq!((c.tp, c.fp, c.fn_), (2, 0, 0));
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(pod(&truth, &truth), Some(1.0));
+    }
+
+    #[test]
+    fn empty_prediction_scores_zero() {
+        let truth = g(3, &[(0, 1, Some(1))]);
+        let pred = CausalGraph::new(3);
+        let c = confusion(&truth, &pred);
+        assert_eq!((c.tp, c.fp, c.fn_), (0, 0, 1));
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(pod(&truth, &pred), None);
+    }
+
+    #[test]
+    fn direction_matters() {
+        // Predicting the reversed edge is a FP + FN, not a TP — exactly the
+        // S3→S4 vs S4→S3 mistake the paper calls out in Fig. 8.
+        let truth = g(2, &[(1, 0, Some(1))]);
+        let pred = g(2, &[(0, 1, Some(1))]);
+        let c = confusion(&truth, &pred);
+        assert_eq!((c.tp, c.fp, c.fn_), (0, 1, 1));
+    }
+
+    #[test]
+    fn mixed_prediction_f1() {
+        let truth = g(4, &[(0, 1, None), (0, 2, None), (2, 3, None)]);
+        let pred = g(4, &[(0, 1, None), (1, 3, None)]);
+        let c = confusion(&truth, &pred);
+        assert_eq!((c.tp, c.fp, c.fn_), (1, 1, 2));
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pod_counts_only_tp_with_known_delays() {
+        let truth = g(
+            3,
+            &[(0, 1, Some(2)), (1, 2, Some(1)), (0, 2, None)],
+        );
+        // One delay right, one wrong, one TP without GT delay, one FP.
+        let pred = g(
+            3,
+            &[
+                (0, 1, Some(2)),
+                (1, 2, Some(3)),
+                (0, 2, Some(1)),
+                (2, 0, Some(1)),
+            ],
+        );
+        assert_eq!(pod(&truth, &pred), Some(0.5));
+    }
+
+    #[test]
+    fn pod_ignores_predictions_without_delay() {
+        let truth = g(2, &[(0, 1, Some(1))]);
+        let pred = g(2, &[(0, 1, None)]);
+        assert_eq!(pod(&truth, &pred), None);
+    }
+
+    #[test]
+    fn self_loops_participate_in_scoring() {
+        let truth = g(2, &[(0, 0, Some(1)), (1, 1, Some(1))]);
+        let pred = g(2, &[(0, 0, Some(1))]);
+        let c = confusion(&truth, &pred);
+        assert_eq!((c.tp, c.fp, c.fn_), (1, 0, 1));
+    }
+}

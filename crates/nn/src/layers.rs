@@ -1,0 +1,337 @@
+//! Reusable layers: linear projection and an LSTM cell.
+//!
+//! Layers own [`ParamId`]s, not values: construction registers parameters in
+//! a [`ParamStore`], and `forward` replays the layer onto whatever tape the
+//! current step is using.
+
+use crate::{BoundParams, ParamId, ParamStore};
+use cf_tensor::{he_normal, xavier_uniform, Tape, Tensor, VarId};
+use rand::Rng;
+
+/// A fully-connected layer `y = x·W + b` applied row-wise.
+///
+/// `x` has shape `rows×in_dim`; the output is `rows×out_dim`.
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a He-initialised linear layer (paper's initialisation).
+    pub fn he<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let w = store.register(
+            format!("{name}.w"),
+            he_normal(rng, &[in_dim, out_dim], in_dim),
+        );
+        let b = bias.then(|| store.register(format!("{name}.b"), Tensor::zeros(&[out_dim])));
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Registers a Xavier-initialised linear layer (used by baselines).
+    pub fn xavier<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let w = store.register(
+            format!("{name}.w"),
+            xavier_uniform(rng, &[in_dim, out_dim], in_dim, out_dim),
+        );
+        let b = bias.then(|| store.register(format!("{name}.b"), Tensor::zeros(&[out_dim])));
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Applies the layer on the given tape.
+    pub fn forward(&self, tape: &mut Tape, bound: &BoundParams, x: VarId) -> VarId {
+        let y = tape.matmul(x, bound.var(self.w));
+        match self.b {
+            Some(b) => tape.add_row_vector(y, bound.var(b)),
+            None => y,
+        }
+    }
+
+    /// The weight parameter (`in_dim×out_dim`).
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+
+    /// The bias parameter, if the layer has one.
+    pub fn bias(&self) -> Option<ParamId> {
+        self.b
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// The recurrent state `(h, c)` of an [`LstmCell`], as tape variables.
+#[derive(Clone, Copy)]
+pub struct LstmState {
+    /// Hidden state, `rows×hidden`.
+    pub h: VarId,
+    /// Cell state, `rows×hidden`.
+    pub c: VarId,
+}
+
+/// A standard LSTM cell, used by the cLSTM baseline (neural Granger
+/// causality with recurrent models, paper §5.2).
+///
+/// Gates are four independent pairs of input/recurrent projections
+/// (`i`, `f`, `g`, `o`), which keeps the tape ops simple (no tensor
+/// splitting needed):
+///
+/// ```text
+/// i = σ(x·W_xi + h·W_hi + b_i)     f = σ(x·W_xf + h·W_hf + b_f)
+/// g = tanh(x·W_xg + h·W_hg + b_g)  o = σ(x·W_xo + h·W_ho + b_o)
+/// c' = f⊙c + i⊙g                   h' = o⊙tanh(c')
+/// ```
+pub struct LstmCell {
+    wx: [ParamId; 4],
+    wh: [ParamId; 4],
+    b: [ParamId; 4],
+    input_dim: usize,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Registers an LSTM cell. The forget-gate bias is initialised to 1, the
+    /// usual trick for gradient flow early in training.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        input_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        let gate_names = ["i", "f", "g", "o"];
+        let mut wx = Vec::with_capacity(4);
+        let mut wh = Vec::with_capacity(4);
+        let mut b = Vec::with_capacity(4);
+        for gn in gate_names {
+            wx.push(store.register(
+                format!("{name}.wx_{gn}"),
+                xavier_uniform(rng, &[input_dim, hidden], input_dim, hidden),
+            ));
+            wh.push(store.register(
+                format!("{name}.wh_{gn}"),
+                xavier_uniform(rng, &[hidden, hidden], hidden, hidden),
+            ));
+            let init = if gn == "f" {
+                Tensor::ones(&[hidden])
+            } else {
+                Tensor::zeros(&[hidden])
+            };
+            b.push(store.register(format!("{name}.b_{gn}"), init));
+        }
+        Self {
+            wx: [wx[0], wx[1], wx[2], wx[3]],
+            wh: [wh[0], wh[1], wh[2], wh[3]],
+            b: [b[0], b[1], b[2], b[3]],
+            input_dim,
+            hidden,
+        }
+    }
+
+    /// A zero initial state for `rows` parallel sequences.
+    pub fn zero_state(&self, tape: &mut Tape, rows: usize) -> LstmState {
+        let h = tape.constant(Tensor::zeros(&[rows, self.hidden]));
+        let c = tape.constant(Tensor::zeros(&[rows, self.hidden]));
+        LstmState { h, c }
+    }
+
+    /// One recurrence step: consumes `x_t` (`rows×input_dim`) and the
+    /// previous state, returns the next state.
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        bound: &BoundParams,
+        x_t: VarId,
+        state: LstmState,
+    ) -> LstmState {
+        let gate = |tape: &mut Tape, k: usize| -> VarId {
+            let xp = tape.matmul(x_t, bound.var(self.wx[k]));
+            let hp = tape.matmul(state.h, bound.var(self.wh[k]));
+            let s = tape.add(xp, hp);
+            tape.add_row_vector(s, bound.var(self.b[k]))
+        };
+        let i_lin = gate(tape, 0);
+        let f_lin = gate(tape, 1);
+        let g_lin = gate(tape, 2);
+        let o_lin = gate(tape, 3);
+        let i = tape.sigmoid(i_lin);
+        let f = tape.sigmoid(f_lin);
+        let g = tape.tanh(g_lin);
+        let o = tape.sigmoid(o_lin);
+        let fc = tape.mul(f, state.c);
+        let ig = tape.mul(i, g);
+        let c = tape.add(fc, ig);
+        let tc = tape.tanh(c);
+        let h = tape.mul(o, tc);
+        LstmState { h, c }
+    }
+
+    /// Parameter ids of the four input-projection matrices `(i, f, g, o)` —
+    /// the weights the cLSTM baseline penalises and inspects for causality.
+    pub fn input_weights(&self) -> [ParamId; 4] {
+        self.wx
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::he(&mut store, &mut rng, "l", 3, 2, true);
+        assert_eq!(store.value(lin.weight()).shape(), &[3, 2]);
+        let mut tape = Tape::new();
+        let bound = store.bind(&mut tape);
+        let x = tape.constant(Tensor::ones(&[4, 3]));
+        let y = lin.forward(&mut tape, &bound, x);
+        assert_eq!(tape.value(y).shape(), &[4, 2]);
+    }
+
+    #[test]
+    fn linear_learns_identity_map() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let lin = Linear::he(&mut store, &mut rng, "l", 2, 2, true);
+        let mut adam = Adam::new(0.05);
+        let x_data = Tensor::from_vec(vec![4, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, -0.5])
+            .unwrap();
+        for _ in 0..400 {
+            let mut tape = Tape::new();
+            let bound = store.bind(&mut tape);
+            let x = tape.constant(x_data.clone());
+            let y = lin.forward(&mut tape, &bound, x);
+            let target = tape.constant(x_data.clone());
+            let d = tape.sub(y, target);
+            let sq = tape.square(d);
+            let loss = tape.mean_all(sq);
+            let grads = tape.backward(loss);
+            adam.step(&mut store, &bound, &grads);
+        }
+        // After training the weight should approximate the identity matrix.
+        let w = store.value(lin.weight());
+        assert!((w.get2(0, 0) - 1.0).abs() < 0.05, "w00={}", w.get2(0, 0));
+        assert!((w.get2(1, 1) - 1.0).abs() < 0.05, "w11={}", w.get2(1, 1));
+        assert!(w.get2(0, 1).abs() < 0.05 && w.get2(1, 0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lstm_state_shapes_and_bounded_activations() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, &mut rng, "lstm", 3, 5);
+        let mut tape = Tape::new();
+        let bound = store.bind(&mut tape);
+        let mut state = cell.zero_state(&mut tape, 2);
+        for step in 0..4 {
+            let x = tape.constant(Tensor::full(&[2, 3], step as f64));
+            state = cell.step(&mut tape, &bound, x, state);
+        }
+        let h = tape.value(state.h);
+        assert_eq!(h.shape(), &[2, 5]);
+        // h = o ⊙ tanh(c) ∈ (−1, 1)
+        assert!(h.max() < 1.0 && h.min() > -1.0);
+    }
+
+    #[test]
+    fn lstm_learns_to_remember_first_input() {
+        // Task: output after 3 steps should equal the first step's input
+        // sign. A memoryless map cannot solve this; the LSTM can.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, &mut rng, "lstm", 1, 8);
+        let head = Linear::he(&mut store, &mut rng, "head", 8, 1, true);
+        let mut adam = Adam::new(0.02);
+        let inputs: [f64; 2] = [1.0, -1.0];
+        for _ in 0..300 {
+            let mut pairs = Vec::new();
+            let mut tape = Tape::new();
+            let bound = store.bind(&mut tape);
+            let mut loss_terms = Vec::new();
+            for &first in &inputs {
+                let mut state = cell.zero_state(&mut tape, 1);
+                for s in 0..3 {
+                    let v = if s == 0 { first } else { 0.0 };
+                    let x = tape.constant(Tensor::from_vec(vec![1, 1], vec![v]).unwrap());
+                    state = cell.step(&mut tape, &bound, x, state);
+                }
+                let y = head.forward(&mut tape, &bound, state.h);
+                let t = tape.constant(Tensor::from_vec(vec![1, 1], vec![first]).unwrap());
+                let d = tape.sub(y, t);
+                let sq = tape.square(d);
+                loss_terms.push(tape.sum_all(sq));
+            }
+            let total = {
+                let s = tape.add(loss_terms[0], loss_terms[1]);
+                tape.scale(s, 0.5)
+            };
+            let grads = tape.backward(total);
+            pairs.extend(bound.gradients(&grads).map(|(id, g)| (id, g.clone())));
+            adam.step_pairs(&mut store, &pairs);
+        }
+        // Evaluate.
+        let mut tape = Tape::new();
+        let bound = store.bind(&mut tape);
+        let mut outs = Vec::new();
+        for &first in &inputs {
+            let mut state = cell.zero_state(&mut tape, 1);
+            for s in 0..3 {
+                let v = if s == 0 { first } else { 0.0 };
+                let x = tape.constant(Tensor::from_vec(vec![1, 1], vec![v]).unwrap());
+                state = cell.step(&mut tape, &bound, x, state);
+            }
+            let y = head.forward(&mut tape, &bound, state.h);
+            outs.push(tape.value(y).item());
+        }
+        assert!(outs[0] > 0.5, "expected ≈1, got {}", outs[0]);
+        assert!(outs[1] < -0.5, "expected ≈−1, got {}", outs[1]);
+    }
+}

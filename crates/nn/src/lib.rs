@@ -1,0 +1,51 @@
+//! # cf-nn
+//!
+//! Neural-network building blocks on top of [`cf_tensor`]: a named parameter
+//! store, layers (linear, LSTM cell), optimizers (Adam, SGD), loss
+//! composition helpers, and training-loop utilities (early stopping,
+//! gradient clipping).
+//!
+//! The division of labour with `cf-tensor` mirrors the PyTorch split the
+//! paper's implementation relies on: `cf-tensor` is the autograd engine,
+//! `cf-nn` owns parameters and optimisation state across steps. Because the
+//! tape is rebuilt every step, parameters live in a [`ParamStore`] and are
+//! *bound* onto a fresh [`Tape`](cf_tensor::Tape) at the start of each
+//! forward pass via [`ParamStore::bind`]:
+//!
+//! ```
+//! use cf_nn::{ParamStore, Adam, Optimizer};
+//! use cf_tensor::{Tape, Tensor};
+//!
+//! let mut store = ParamStore::new();
+//! let w = store.register("w", Tensor::from_slice(&[2.0]));
+//! let mut adam = Adam::new(0.1);
+//! for _ in 0..400 {
+//!     let mut tape = Tape::new();
+//!     let bound = store.bind(&mut tape);
+//!     // loss = (w - 5)²
+//!     let target = tape.constant(Tensor::from_slice(&[5.0]));
+//!     let diff = tape.sub(bound.var(w), target);
+//!     let sq = tape.square(diff);
+//!     let loss = tape.sum_all(sq);
+//!     let grads = tape.backward(loss);
+//!     adam.step(&mut store, &bound, &grads);
+//! }
+//! assert!((store.value(w).item() - 5.0).abs() < 1e-2);
+//! ```
+
+// Numeric kernels in this workspace use explicit index loops on purpose:
+// the indices mirror the paper's subscripts (i, j, t, τ, u) and several
+// co-indexed buffers are updated per iteration, which iterator chains
+// would obscure.
+#![allow(clippy::needless_range_loop)]
+
+
+mod layers;
+mod optim;
+mod param;
+mod train;
+
+pub use layers::{Linear, LstmCell, LstmState};
+pub use optim::{clip_global_norm, Adam, Optimizer, Sgd};
+pub use param::{BoundParams, ParamId, ParamStore};
+pub use train::{EarlyStopper, StopDecision};

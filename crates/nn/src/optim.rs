@@ -1,0 +1,265 @@
+//! Optimizers and gradient utilities.
+
+use crate::{BoundParams, ParamId, ParamStore};
+use cf_tensor::{Gradients, Tensor};
+
+/// A first-order optimizer updating a [`ParamStore`] from tape gradients.
+pub trait Optimizer {
+    /// Applies one update step given the gradients of the current tape.
+    fn step(&mut self, store: &mut ParamStore, bound: &BoundParams, grads: &Gradients);
+
+    /// Applies one update from pre-collected `(param, grad)` pairs. Useful
+    /// when gradients were accumulated across several tapes (mini-batches).
+    fn step_pairs(&mut self, store: &mut ParamStore, pairs: &[(ParamId, Tensor)]);
+}
+
+/// Adam (Kingma & Ba) with bias correction — the optimizer the paper uses.
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    // Lazily sized first/second moment estimates, indexed by ParamId.
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Adam with the given learning rate and the standard defaults
+    /// `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Adam with explicit hyper-parameters.
+    pub fn with_betas(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f64) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    fn ensure_len(&mut self, n: usize) {
+        if self.m.len() < n {
+            self.m.resize(n, None);
+            self.v.resize(n, None);
+        }
+    }
+
+    fn update_one(&mut self, store: &mut ParamStore, id: ParamId, grad: &Tensor) {
+        let idx = id.index();
+        self.ensure_len(idx + 1);
+        let value = store.value_mut(id);
+        let m = self.m[idx].get_or_insert_with(|| Tensor::zeros(grad.shape()));
+        let v = self.v[idx].get_or_insert_with(|| Tensor::zeros(grad.shape()));
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let lr = self.lr;
+        let eps = self.eps;
+        for i in 0..grad.len() {
+            let g = grad.data()[i];
+            let mi = b1 * m.data()[i] + (1.0 - b1) * g;
+            let vi = b2 * v.data()[i] + (1.0 - b2) * g * g;
+            m.data_mut()[i] = mi;
+            v.data_mut()[i] = vi;
+            let m_hat = mi / bc1;
+            let v_hat = vi / bc2;
+            value.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, bound: &BoundParams, grads: &Gradients) {
+        let pairs: Vec<(ParamId, Tensor)> = bound
+            .gradients(grads)
+            .map(|(id, g)| (id, g.clone()))
+            .collect();
+        self.step_pairs(store, &pairs);
+    }
+
+    fn step_pairs(&mut self, store: &mut ParamStore, pairs: &[(ParamId, Tensor)]) {
+        self.t += 1;
+        for (id, g) in pairs {
+            self.update_one(store, *id, g);
+        }
+    }
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// SGD without momentum.
+    pub fn new(lr: f64) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with classical momentum.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, bound: &BoundParams, grads: &Gradients) {
+        let pairs: Vec<(ParamId, Tensor)> = bound
+            .gradients(grads)
+            .map(|(id, g)| (id, g.clone()))
+            .collect();
+        self.step_pairs(store, &pairs);
+    }
+
+    fn step_pairs(&mut self, store: &mut ParamStore, pairs: &[(ParamId, Tensor)]) {
+        for (id, g) in pairs {
+            let idx = id.index();
+            if self.velocity.len() <= idx {
+                self.velocity.resize(idx + 1, None);
+            }
+            let value = store.value_mut(*id);
+            if self.momentum > 0.0 {
+                let vel = self.velocity[idx].get_or_insert_with(|| Tensor::zeros(g.shape()));
+                for i in 0..g.len() {
+                    let v = self.momentum * vel.data()[i] + g.data()[i];
+                    vel.data_mut()[i] = v;
+                    value.data_mut()[i] -= self.lr * v;
+                }
+            } else {
+                value.axpy(-self.lr, g);
+            }
+        }
+    }
+}
+
+/// Rescales a set of gradients in place so their *global* L2 norm is at most
+/// `max_norm`. Returns the pre-clip norm. Standard recipe for keeping early
+/// transformer steps stable.
+pub fn clip_global_norm(pairs: &mut [(ParamId, Tensor)], max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let total: f64 = pairs
+        .iter()
+        .map(|(_, g)| g.data().iter().map(|v| v * v).sum::<f64>())
+        .sum::<f64>()
+        .sqrt();
+    if total > max_norm {
+        let scale = max_norm / total;
+        for (_, g) in pairs.iter_mut() {
+            for v in g.data_mut() {
+                *v *= scale;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_tensor::Tape;
+
+    fn optimize(opt: &mut dyn Optimizer, steps: usize, target: f64) -> f64 {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_slice(&[0.0]));
+        for _ in 0..steps {
+            let mut tape = Tape::new();
+            let bound = store.bind(&mut tape);
+            let t = tape.constant(Tensor::from_slice(&[target]));
+            let d = tape.sub(bound.var(w), t);
+            let sq = tape.square(d);
+            let loss = tape.sum_all(sq);
+            let grads = tape.backward(loss);
+            opt.step(&mut store, &bound, &grads);
+        }
+        store.value(w).item()
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.2);
+        let w = optimize(&mut adam, 200, 3.0);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1);
+        let w = optimize(&mut sgd, 200, -2.0);
+        assert!((w + 2.0).abs() < 1e-4, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut sgd = Sgd::with_momentum(0.05, 0.9);
+        let w = optimize(&mut sgd, 300, 1.5);
+        assert!((w - 1.5).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, the very first Adam step has magnitude ≈ lr
+        // regardless of gradient scale.
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_slice(&[0.0]));
+        let mut adam = Adam::new(0.1);
+        let mut tape = Tape::new();
+        let bound = store.bind(&mut tape);
+        let t = tape.constant(Tensor::from_slice(&[1000.0]));
+        let d = tape.sub(bound.var(w), t);
+        let sq = tape.square(d);
+        let loss = tape.sum_all(sq);
+        let grads = tape.backward(loss);
+        adam.step(&mut store, &bound, &grads);
+        let step = store.value(w).item();
+        assert!((step.abs() - 0.1).abs() < 1e-6, "step = {step}");
+    }
+
+    #[test]
+    fn clip_global_norm_scales_down_only_when_needed() {
+        let mut pairs = vec![
+            (ParamId::from_raw(0), Tensor::from_slice(&[3.0])),
+            (ParamId::from_raw(1), Tensor::from_slice(&[4.0])),
+        ];
+        let pre = clip_global_norm(&mut pairs, 1.0);
+        assert_eq!(pre, 5.0);
+        let post: f64 = pairs
+            .iter()
+            .map(|(_, g)| g.data().iter().map(|v| v * v).sum::<f64>())
+            .sum::<f64>()
+            .sqrt();
+        assert!((post - 1.0).abs() < 1e-12);
+
+        let mut small = vec![(ParamId::from_raw(0), Tensor::from_slice(&[0.1]))];
+        clip_global_norm(&mut small, 1.0);
+        assert_eq!(small[0].1.data()[0], 0.1); // untouched
+    }
+}

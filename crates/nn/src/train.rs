@@ -1,0 +1,106 @@
+//! Training-loop utilities: early stopping.
+//!
+//! The paper trains "by Adam with the early stop strategy" (§5.3); this
+//! module provides the stopping rule as a small, testable state machine.
+
+/// Decision returned by [`EarlyStopper::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopDecision {
+    /// The observed loss improved (or is within tolerance); keep training.
+    Improved,
+    /// No improvement this epoch, but patience is not yet exhausted.
+    NoImprovement,
+    /// Patience exhausted — stop training and restore the best weights.
+    Stop,
+}
+
+/// Patience-based early stopping on a monitored loss.
+///
+/// `min_delta` guards against "improvements" that are numeric noise: a new
+/// loss must beat the best seen by more than `min_delta` to reset patience.
+#[derive(Debug, Clone)]
+pub struct EarlyStopper {
+    patience: usize,
+    min_delta: f64,
+    best: f64,
+    best_epoch: usize,
+    epochs_seen: usize,
+    stale: usize,
+}
+
+impl EarlyStopper {
+    /// A stopper that allows `patience` consecutive non-improving epochs.
+    pub fn new(patience: usize, min_delta: f64) -> Self {
+        assert!(min_delta >= 0.0, "min_delta must be non-negative");
+        Self {
+            patience,
+            min_delta,
+            best: f64::INFINITY,
+            best_epoch: 0,
+            epochs_seen: 0,
+            stale: 0,
+        }
+    }
+
+    /// Feeds one epoch's monitored loss; returns the decision.
+    pub fn observe(&mut self, loss: f64) -> StopDecision {
+        self.epochs_seen += 1;
+        if loss < self.best - self.min_delta {
+            self.best = loss;
+            self.best_epoch = self.epochs_seen;
+            self.stale = 0;
+            StopDecision::Improved
+        } else {
+            self.stale += 1;
+            if self.stale > self.patience {
+                StopDecision::Stop
+            } else {
+                StopDecision::NoImprovement
+            }
+        }
+    }
+
+    /// Best loss observed so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    /// 1-based epoch index at which the best loss was observed (0 if none).
+    pub fn best_epoch(&self) -> usize {
+        self.best_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_resets_patience() {
+        let mut es = EarlyStopper::new(2, 0.0);
+        assert_eq!(es.observe(1.0), StopDecision::Improved);
+        assert_eq!(es.observe(1.1), StopDecision::NoImprovement);
+        assert_eq!(es.observe(0.9), StopDecision::Improved);
+        assert_eq!(es.observe(0.95), StopDecision::NoImprovement);
+        assert_eq!(es.observe(0.96), StopDecision::NoImprovement);
+        assert_eq!(es.observe(0.97), StopDecision::Stop);
+        assert_eq!(es.best(), 0.9);
+        assert_eq!(es.best_epoch(), 3);
+    }
+
+    #[test]
+    fn min_delta_filters_noise() {
+        let mut es = EarlyStopper::new(1, 0.1);
+        assert_eq!(es.observe(1.0), StopDecision::Improved);
+        // 0.95 is better but not by ≥ 0.1 — counts as stale.
+        assert_eq!(es.observe(0.95), StopDecision::NoImprovement);
+        assert_eq!(es.observe(0.94), StopDecision::Stop);
+    }
+
+    #[test]
+    fn zero_patience_stops_on_first_stall() {
+        let mut es = EarlyStopper::new(0, 0.0);
+        assert_eq!(es.observe(1.0), StopDecision::Improved);
+        assert_eq!(es.observe(1.0), StopDecision::Stop);
+    }
+}

@@ -1,0 +1,155 @@
+//! Integration tests of training dynamics: optimizers on non-trivial
+//! objectives, gradient clipping interplay, and recurrent gradient flow.
+
+use cf_nn::{clip_global_norm, Adam, EarlyStopper, Linear, LstmCell, Optimizer, ParamStore, Sgd, StopDecision};
+use cf_tensor::{uniform, Tape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fits y = sin(x) with a 2-layer MLP; checks the loss drops by 10×.
+#[test]
+fn mlp_fits_sine() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let l1 = Linear::he(&mut store, &mut rng, "l1", 1, 16, true);
+    let l2 = Linear::he(&mut store, &mut rng, "l2", 16, 1, true);
+    let mut adam = Adam::new(1e-2);
+
+    let xs: Vec<f64> = (0..64).map(|i| i as f64 / 64.0 * std::f64::consts::TAU).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| x.sin()).collect();
+    let x_t = Tensor::from_vec(vec![64, 1], xs).unwrap();
+    let y_t = Tensor::from_vec(vec![64, 1], ys).unwrap();
+
+    let mut first = None;
+    let mut last = 0.0;
+    for _ in 0..400 {
+        let mut tape = Tape::new();
+        let bound = store.bind(&mut tape);
+        let x = tape.constant(x_t.clone());
+        let h_pre = l1.forward(&mut tape, &bound, x);
+        let h = tape.tanh(h_pre);
+        let pred = l2.forward(&mut tape, &bound, h);
+        let tgt = tape.constant(y_t.clone());
+        let d = tape.sub(pred, tgt);
+        let sq = tape.square(d);
+        let loss = tape.mean_all(sq);
+        last = tape.value(loss).item();
+        first.get_or_insert(last);
+        let grads = tape.backward(loss);
+        adam.step(&mut store, &bound, &grads);
+    }
+    let first = first.unwrap();
+    assert!(last < first / 10.0, "loss {first} → {last}");
+}
+
+/// Adam escapes a plateau faster than plain SGD on an ill-conditioned
+/// quadratic (the reason the paper trains with Adam).
+#[test]
+fn adam_beats_sgd_on_ill_conditioned_quadratic() {
+    let run = |use_adam: bool| -> f64 {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_slice(&[5.0, 5.0]));
+        let mut adam = Adam::new(0.1);
+        let mut sgd = Sgd::new(0.1);
+        for _ in 0..100 {
+            let mut tape = Tape::new();
+            let bound = store.bind(&mut tape);
+            // loss = 0.5·(100·w0² + 0.01·w1²)
+            let scale = tape.mul_const(bound.var(w), Tensor::from_slice(&[10.0, 0.1]));
+            let sq = tape.square(scale);
+            let loss = tape.mean_all(sq);
+            let grads = tape.backward(loss);
+            if use_adam {
+                adam.step(&mut store, &bound, &grads);
+            } else {
+                // SGD with lr stable for the stiff direction.
+                let mut pairs: Vec<_> =
+                    bound.gradients(&grads).map(|(i, g)| (i, g.clone())).collect();
+                clip_global_norm(&mut pairs, 1.0);
+                sgd.step_pairs(&mut store, &pairs);
+            }
+        }
+        // Distance of the *slow* coordinate from optimum.
+        store.value(w).data()[1].abs()
+    };
+    let adam_res = run(true);
+    let sgd_res = run(false);
+    assert!(
+        adam_res < sgd_res,
+        "adam {adam_res} should beat clipped sgd {sgd_res} on the flat direction"
+    );
+}
+
+/// Gradient clipping caps a pathological gradient burst without touching
+/// well-scaled steps.
+#[test]
+fn clipping_contains_gradient_bursts() {
+    let mut store = ParamStore::new();
+    let w = store.register("w", Tensor::from_slice(&[1.0]));
+    let huge = Tensor::from_slice(&[1e9]);
+    let mut pairs = vec![(store.ids().next().unwrap(), huge)];
+    let pre = clip_global_norm(&mut pairs, 1.0);
+    assert_eq!(pre, 1e9);
+    let mut adam = Adam::new(0.1);
+    adam.step_pairs(&mut store, &pairs);
+    let moved = (store.value(w).item() - 1.0).abs();
+    assert!(moved <= 0.11, "step {moved} exceeded lr despite clipping");
+}
+
+/// BPTT through 30 steps still delivers gradients to the input projection
+/// of the first step (no vanishing to exact zero, no explosion).
+#[test]
+fn lstm_gradients_survive_long_bptt() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut store = ParamStore::new();
+    let cell = LstmCell::new(&mut store, &mut rng, "lstm", 2, 8);
+    let head = Linear::he(&mut store, &mut rng, "head", 8, 1, true);
+
+    let mut tape = Tape::new();
+    let bound = store.bind(&mut tape);
+    let mut state = cell.zero_state(&mut tape, 1);
+    for step in 0..30 {
+        let x = tape.constant(uniform(
+            &mut StdRng::seed_from_u64(step as u64),
+            &[1, 2],
+            -1.0,
+            1.0,
+        ));
+        state = cell.step(&mut tape, &bound, x, state);
+    }
+    let out = head.forward(&mut tape, &bound, state.h);
+    let loss = tape.sum_all(out);
+    let grads = tape.backward(loss);
+    for wx in cell.input_weights() {
+        let g = grads.expect(bound.var(wx), "input weight");
+        assert!(g.all_finite());
+        assert!(g.l2_norm() > 0.0, "gradient vanished to exactly zero");
+        assert!(g.l2_norm() < 1e6, "gradient exploded: {}", g.l2_norm());
+    }
+}
+
+/// Early stopping + snapshot/restore integrate: training a noisy objective
+/// keeps the best weights, not the last.
+#[test]
+fn early_stopping_keeps_best_snapshot() {
+    let mut store = ParamStore::new();
+    let w = store.register("w", Tensor::from_slice(&[0.0]));
+    let mut stopper = EarlyStopper::new(2, 0.0);
+    let mut best_snapshot = store.snapshot();
+
+    // Scripted "validation losses": improves, then worsens.
+    let script = [1.0, 0.5, 0.2, 0.6, 0.9, 1.2];
+    for (epoch, &loss) in script.iter().enumerate() {
+        // Pretend training moved the weight each epoch.
+        store.value_mut(w).data_mut()[0] = epoch as f64;
+        match stopper.observe(loss) {
+            StopDecision::Improved => best_snapshot = store.snapshot(),
+            StopDecision::NoImprovement => {}
+            StopDecision::Stop => break,
+        }
+    }
+    store.restore(&best_snapshot);
+    // Best epoch was index 2 (loss 0.2) where w == 2.0.
+    assert_eq!(store.value(w).item(), 2.0);
+    assert_eq!(stopper.best(), 0.2);
+}

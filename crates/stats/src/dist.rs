@@ -1,0 +1,114 @@
+//! Cumulative distribution functions built on the special functions.
+
+use crate::special::{erf, reg_inc_beta, reg_inc_gamma};
+
+/// Standard normal CDF `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Student-t CDF with `df` degrees of freedom.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    let x = df / (df + t * t);
+    let p = 0.5 * reg_inc_beta(0.5 * df, 0.5, x);
+    if t >= 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// F-distribution CDF with `(d1, d2)` degrees of freedom.
+pub fn f_cdf(f: f64, d1: f64, d2: f64) -> f64 {
+    assert!(d1 > 0.0 && d2 > 0.0, "degrees of freedom must be positive");
+    if f <= 0.0 {
+        return 0.0;
+    }
+    let x = d1 * f / (d1 * f + d2);
+    reg_inc_beta(0.5 * d1, 0.5 * d2, x)
+}
+
+/// χ² CDF with `df` degrees of freedom.
+pub fn chi2_cdf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    reg_inc_gamma(0.5 * df, 0.5 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!(close(normal_cdf(0.0), 0.5, 1e-12));
+        assert!(close(normal_cdf(1.0), 0.8413447461, 1e-9));
+        assert!(close(normal_cdf(1.959964), 0.975, 1e-6));
+        assert!(close(normal_cdf(-2.326348), 0.01, 1e-6));
+    }
+
+    #[test]
+    fn student_t_reference_values() {
+        // t = 2.228, df = 10 → two-sided p = 0.05 → CDF = 0.975.
+        assert!(close(student_t_cdf(2.228139, 10.0), 0.975, 1e-5));
+        // Symmetry.
+        assert!(close(
+            student_t_cdf(-1.3, 7.0),
+            1.0 - student_t_cdf(1.3, 7.0),
+            1e-12
+        ));
+        // Large df → normal.
+        assert!(close(student_t_cdf(1.0, 1e6), normal_cdf(1.0), 1e-5));
+    }
+
+    #[test]
+    fn f_reference_values() {
+        // F(0.95; 5, 10) = 3.3258 (critical value tables).
+        assert!(close(f_cdf(3.3258, 5.0, 10.0), 0.95, 1e-4));
+        // F(0.99; 1, 20) = 8.0960.
+        assert!(close(f_cdf(8.0960, 1.0, 20.0), 0.99, 1e-4));
+        assert_eq!(f_cdf(0.0, 3.0, 3.0), 0.0);
+        // F with (1, df) equals squared t with df.
+        let t = 1.7f64;
+        assert!(close(
+            f_cdf(t * t, 1.0, 12.0),
+            2.0 * student_t_cdf(t, 12.0) - 1.0,
+            1e-10
+        ));
+    }
+
+    #[test]
+    fn chi2_reference_values() {
+        // χ²(0.95; 3) = 7.8147.
+        assert!(close(chi2_cdf(7.8147, 3.0), 0.95, 1e-4));
+        // χ²(0.99; 1) = 6.6349.
+        assert!(close(chi2_cdf(6.6349, 1.0), 0.99, 1e-4));
+        // χ² with df=2 is Exp(1/2): CDF = 1 − e^{−x/2}.
+        for x in [0.5, 1.0, 4.0] {
+            assert!(close(chi2_cdf(x, 2.0), 1.0 - (-x / 2.0f64).exp(), 1e-10));
+        }
+    }
+
+    #[test]
+    fn cdfs_are_monotone() {
+        let mut prev = (0.0, 0.0, 0.0, 0.0);
+        for i in 1..50 {
+            let x = i as f64 * 0.2;
+            let cur = (
+                normal_cdf(x - 5.0),
+                student_t_cdf(x - 5.0, 4.0),
+                f_cdf(x, 3.0, 7.0),
+                chi2_cdf(x, 5.0),
+            );
+            assert!(cur.0 >= prev.0 && cur.1 >= prev.1 && cur.2 >= prev.2 && cur.3 >= prev.3);
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Hypothesis tests used by the statistic-based causal discovery methods:
+//! the nested-regression F-test (classical Granger causality) and the
+//! Fisher-z (partial) correlation test (PCMCI-style conditional
+//! independence).
+
+use crate::dist::{f_cdf, normal_cdf};
+use crate::lin::solve_spd;
+
+/// Pearson correlation of two equal-length samples.
+///
+/// # Panics
+/// Panics on length mismatch or fewer than 2 observations.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "sample length mismatch");
+    assert!(x.len() >= 2, "need at least two observations");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        0.0
+    } else {
+        (sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0)
+    }
+}
+
+/// Partial correlation of `x` and `y` given conditioning variables `z`
+/// (each a column of observations), computed by residualising `x` and `y`
+/// on `z` with least squares and correlating the residuals.
+pub fn partial_correlation(x: &[f64], y: &[f64], z: &[Vec<f64>]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    for col in z {
+        assert_eq!(col.len(), x.len(), "conditioning column length mismatch");
+    }
+    if z.is_empty() {
+        return pearson(x, y);
+    }
+    let rx = residualize(x, z);
+    let ry = residualize(y, z);
+    pearson(&rx, &ry)
+}
+
+/// Residuals of `target` after least-squares regression on `z` columns
+/// (plus an intercept). Solved via ridge-stabilised normal equations.
+fn residualize(target: &[f64], z: &[Vec<f64>]) -> Vec<f64> {
+    let n = target.len();
+    let p = z.len() + 1; // + intercept
+    // Design matrix columns: [1, z...]
+    let col = |j: usize, i: usize| -> f64 {
+        if j == 0 {
+            1.0
+        } else {
+            z[j - 1][i]
+        }
+    };
+    // Normal equations A = XᵀX (+ ridge), b = Xᵀy.
+    let mut a = vec![vec![0.0f64; p]; p];
+    let mut b = vec![0.0f64; p];
+    for i in 0..n {
+        for r in 0..p {
+            b[r] += col(r, i) * target[i];
+            for c in 0..p {
+                a[r][c] += col(r, i) * col(c, i);
+            }
+        }
+    }
+    for (r, row) in a.iter_mut().enumerate() {
+        row[r] += 1e-9;
+    }
+    let beta = solve_spd(a, b);
+    (0..n)
+        .map(|i| target[i] - (0..p).map(|r| beta[r] * col(r, i)).sum::<f64>())
+        .collect()
+}
+
+/// Nested-regression F-test: given residual sums of squares of a
+/// restricted model (`rss0`, `df` params fewer) and the full model
+/// (`rss1`, `df1` residual degrees of freedom), returns `(F, p_value)` for
+/// H₀ "the extra parameters contribute nothing" — the classical Granger
+/// causality test.
+pub fn f_test_nested(rss0: f64, rss1: f64, extra_params: usize, resid_df: usize) -> (f64, f64) {
+    assert!(rss0 >= 0.0 && rss1 >= 0.0, "RSS must be non-negative");
+    assert!(extra_params >= 1 && resid_df >= 1);
+    if rss1 <= 0.0 {
+        // Perfect fit of the full model: infinitely significant.
+        return (f64::INFINITY, 0.0);
+    }
+    let f = ((rss0 - rss1).max(0.0) / extra_params as f64) / (rss1 / resid_df as f64);
+    let p = 1.0 - f_cdf(f, extra_params as f64, resid_df as f64);
+    (f, p)
+}
+
+/// Fisher-z test of a (partial) correlation `r` with `n` observations and
+/// `k` conditioning variables. Returns the two-sided p-value for H₀ r = 0.
+pub fn fisher_z_test(r: f64, n: usize, k: usize) -> f64 {
+    assert!((-1.0..=1.0).contains(&r), "correlation out of range");
+    assert!(n > k + 3, "too few observations for the Fisher-z test");
+    let r = r.clamp(-0.999_999, 0.999_999);
+    let z = 0.5 * ((1.0 + r) / (1.0 - r)).ln();
+    let se = 1.0 / ((n - k - 3) as f64).sqrt();
+    let stat = (z / se).abs();
+    2.0 * (1.0 - normal_cdf(stat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_and_anti_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let ny: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &ny) + 1.0).abs() < 1e-12);
+        let constant = [5.0; 4];
+        assert_eq!(pearson(&x, &constant), 0.0);
+    }
+
+    #[test]
+    fn partial_correlation_removes_common_cause() {
+        // x and y are both driven by z; conditioning on z should collapse
+        // their correlation.
+        let z: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+        let x: Vec<f64> = z.iter().enumerate().map(|(i, &v)| v + ((i * 7919) % 13) as f64 * 0.01).collect();
+        let y: Vec<f64> = z.iter().enumerate().map(|(i, &v)| v + ((i * 104729) % 17) as f64 * 0.01).collect();
+        let raw = pearson(&x, &y);
+        let partial = partial_correlation(&x, &y, &[z]);
+        assert!(raw > 0.99, "raw correlation {raw}");
+        assert!(partial.abs() < 0.5, "partial correlation {partial} not collapsed");
+    }
+
+    #[test]
+    fn f_test_detects_improvement() {
+        // Full model halves the RSS with 2 extra params, 40 residual df.
+        let (f, p) = f_test_nested(100.0, 50.0, 2, 40);
+        assert!((f - 20.0).abs() < 1e-12);
+        assert!(p < 1e-5, "p = {p}");
+        // No improvement → F = 0, p = 1.
+        let (f0, p0) = f_test_nested(50.0, 50.0, 2, 40);
+        assert_eq!(f0, 0.0);
+        assert!((p0 - 1.0).abs() < 1e-12);
+        // Perfect full fit.
+        let (fi, pi) = f_test_nested(10.0, 0.0, 1, 10);
+        assert!(fi.is_infinite() && pi == 0.0);
+    }
+
+    #[test]
+    fn fisher_z_behaviour() {
+        // Strong correlation with many samples → tiny p.
+        assert!(fisher_z_test(0.8, 100, 0) < 1e-10);
+        // Zero correlation → p = 1.
+        assert!((fisher_z_test(0.0, 100, 0) - 1.0).abs() < 1e-12);
+        // Same r, more conditioning variables → larger p (less evidence).
+        let p0 = fisher_z_test(0.3, 50, 0);
+        let p5 = fisher_z_test(0.3, 50, 5);
+        assert!(p5 > p0);
+        // Symmetric in the sign of r.
+        assert!((fisher_z_test(0.4, 60, 1) - fisher_z_test(-0.4, 60, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residualize_removes_linear_component() {
+        let z: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let target: Vec<f64> = z.iter().map(|v| 3.0 * v + 1.0).collect();
+        let r = residualize(&target, &[z]);
+        assert!(r.iter().all(|v| v.abs() < 1e-6), "residuals not zero: {r:?}");
+    }
+}

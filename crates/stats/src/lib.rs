@@ -1,0 +1,37 @@
+//! # cf-stats
+//!
+//! Statistical substrate for the CausalFormer reproduction. The paper's
+//! related-work section (§2.1) situates CausalFormer against
+//! *statistic-based* temporal causal discovery — Granger causality on
+//! vector autoregressions, constraint-based methods built on conditional
+//! independence tests (PC/PCMCI), and score-based structure learning
+//! (DYNOTEARS). Implementing those comparators (in `cf-baselines`) needs a
+//! real statistics layer, which this crate provides from scratch:
+//!
+//! * [`special`] — ln-gamma (Lanczos), error function, regularised
+//!   incomplete beta and gamma functions (continued fractions / series);
+//! * [`dist`] — CDFs of the normal, Student-t, F, and χ² distributions
+//!   built on the special functions;
+//! * [`hypothesis`] — the F-test for nested regressions (classic Granger
+//!   causality) and Fisher-z tests of (partial) correlation (PCMCI-style
+//!   momentary conditional independence).
+//!
+//! Everything is deterministic, dependency-free, and validated against
+//! reference values in the unit tests.
+
+// Numeric kernels in this workspace use explicit index loops on purpose:
+// the indices mirror the paper's subscripts (i, j, t, τ, u) and several
+// co-indexed buffers are updated per iteration, which iterator chains
+// would obscure.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod dist;
+pub mod hypothesis;
+pub mod lin;
+pub mod special;
+
+pub use dist::{chi2_cdf, f_cdf, normal_cdf, student_t_cdf};
+pub use lin::{ols, solve_spd};
+pub use special::{erf, ln_gamma, reg_inc_beta, reg_inc_gamma};
+pub use hypothesis::{f_test_nested, fisher_z_test, partial_correlation, pearson};

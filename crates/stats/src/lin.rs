@@ -1,0 +1,111 @@
+//! Small dense linear-algebra helpers for the statistical methods:
+//! Cholesky solve and ordinary least squares on column-major designs.
+
+/// Solves `A·x = b` for symmetric positive-definite `A` via Cholesky
+/// factorisation (in place). `A` is given as rows.
+///
+/// # Panics
+/// Panics if `a` is not square or dimensions disagree with `b`.
+pub fn solve_spd(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix/vector dimension mismatch");
+    for row in &a {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+    for j in 0..n {
+        for k in 0..j {
+            let ljk = a[j][k];
+            for i in j..n {
+                a[i][j] -= a[i][k] * ljk;
+            }
+        }
+        let d = a[j][j].max(1e-30).sqrt();
+        for i in j..n {
+            a[i][j] /= d;
+        }
+    }
+    for i in 0..n {
+        for k in 0..i {
+            b[i] -= a[i][k] * b[k];
+        }
+        b[i] /= a[i][i];
+    }
+    for i in (0..n).rev() {
+        for k in i + 1..n {
+            b[i] -= a[k][i] * b[k];
+        }
+        b[i] /= a[i][i];
+    }
+    b
+}
+
+/// Ordinary least squares of `y` on the given design columns plus an
+/// intercept, ridge-stabilised. Returns `(beta, rss)` where `beta[0]` is
+/// the intercept and `beta[1..]` follow the column order.
+pub fn ols(columns: &[Vec<f64>], y: &[f64], ridge: f64) -> (Vec<f64>, f64) {
+    let n = y.len();
+    for c in columns {
+        assert_eq!(c.len(), n, "design column length mismatch");
+    }
+    let p = columns.len() + 1;
+    let col = |j: usize, i: usize| -> f64 {
+        if j == 0 {
+            1.0
+        } else {
+            columns[j - 1][i]
+        }
+    };
+    let mut a = vec![vec![0.0f64; p]; p];
+    let mut b = vec![0.0f64; p];
+    for i in 0..n {
+        for r in 0..p {
+            b[r] += col(r, i) * y[i];
+            for c in 0..p {
+                a[r][c] += col(r, i) * col(c, i);
+            }
+        }
+    }
+    for (r, row) in a.iter_mut().enumerate() {
+        row[r] += ridge.max(1e-12);
+    }
+    let beta = solve_spd(a, b);
+    let mut rss = 0.0;
+    for i in 0..n {
+        let pred: f64 = (0..p).map(|r| beta[r] * col(r, i)).sum();
+        rss += (y[i] - pred) * (y[i] - pred);
+    }
+    (beta, rss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ols_recovers_linear_coefficients() {
+        // y = 2 + 3·x1 − x2 exactly.
+        let x1: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin()).collect();
+        let x2: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).cos()).collect();
+        let y: Vec<f64> = (0..50).map(|i| 2.0 + 3.0 * x1[i] - x2[i]).collect();
+        let (beta, rss) = ols(&[x1, x2], &y, 1e-10);
+        assert!((beta[0] - 2.0).abs() < 1e-5);
+        assert!((beta[1] - 3.0).abs() < 1e-5);
+        assert!((beta[2] + 1.0).abs() < 1e-5);
+        assert!(rss < 1e-8);
+    }
+
+    #[test]
+    fn ols_intercept_only() {
+        let y = [1.0, 2.0, 3.0];
+        let (beta, rss) = ols(&[], &y, 1e-10);
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((rss - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_spd_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_spd(a, vec![3.0, -4.0]);
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for fallible tensor construction and conversion.
+
+use std::fmt;
+
+/// Errors returned by fallible `cf-tensor` entry points.
+///
+/// Internal shape mismatches in already-constructed computations panic
+/// instead — they indicate bugs, not recoverable conditions — but anything
+/// that takes data from *outside* the library (user-supplied buffers, parsed
+/// files) reports problems through this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The flat data buffer length does not match the product of the shape.
+    ShapeDataMismatch {
+        /// Requested shape.
+        shape: Vec<usize>,
+        /// Number of elements implied by `shape`.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A shape with a zero-length axis (or no axes) was supplied where a
+    /// non-empty tensor is required.
+    EmptyShape,
+    /// A reshape was requested whose element count differs from the source.
+    BadReshape {
+        /// Source element count.
+        from: usize,
+        /// Target shape.
+        to: Vec<usize>,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch {
+                shape,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape {shape:?} implies {expected} elements but {actual} were provided"
+            ),
+            TensorError::EmptyShape => write!(f, "tensors must have at least one element"),
+            TensorError::BadReshape { from, to } => {
+                write!(f, "cannot reshape {from} elements into shape {to:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,55 @@
+//! # cf-tensor
+//!
+//! Dense `f64` tensors and reverse-mode automatic differentiation, built from
+//! scratch as the numeric substrate for the CausalFormer reproduction.
+//!
+//! The crate has two layers:
+//!
+//! * [`Tensor`] — a row-major, heap-allocated n-dimensional array of `f64`
+//!   with the elementwise, linear-algebra, and reduction operations the
+//!   models need. Shape errors panic with a descriptive message (they are
+//!   programming errors, not runtime conditions); fallible construction from
+//!   user data goes through [`Tensor::from_vec`] which returns a
+//!   [`TensorError`].
+//! * [`Tape`] — a define-by-run reverse-mode autodiff tape. Every operation
+//!   appends a node holding its output value and an explicit [`Op`]
+//!   descriptor; [`Tape::backward`] walks the nodes in reverse and
+//!   accumulates gradients. The op set includes the custom primitives the
+//!   paper requires: the multi-kernel *causal convolution* (Eq. 3), the
+//!   *self-shift* that hides a series' own current value from its prediction
+//!   (Eq. 4), the *multi-variate attention application* `A[i,t] = Σ_j
+//!   𝒜[i,j]·V[j,i,t]` (Eq. 6), and per-head scalar combination (Eq. 7).
+//!
+//! Keeping the op set explicit (an enum rather than boxed closures) makes
+//! every backward rule unit-testable against finite differences — see
+//! `tests/gradcheck.rs` style tests in `tape::tests`.
+//!
+//! ```
+//! use cf_tensor::{Tensor, Tape};
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap(), true);
+//! let y = tape.mul(x, x);        // elementwise square
+//! let s = tape.sum_all(y);       // scalar
+//! let grads = tape.backward(s);
+//! // d(Σ x²)/dx = 2x
+//! assert_eq!(grads.get(x).unwrap().data(), &[2.0, 4.0, 6.0, 8.0]);
+//! ```
+
+// Numeric kernels in this workspace use explicit index loops on purpose:
+// the indices mirror the paper's subscripts (i, j, t, τ, u) and several
+// co-indexed buffers are updated per iteration, which iterator chains
+// would obscure.
+#![allow(clippy::needless_range_loop)]
+
+
+mod error;
+mod init;
+pub mod ops;
+mod tape;
+mod tensor;
+
+pub use error::TensorError;
+pub use init::{he_normal, uniform, xavier_uniform};
+pub use tape::{Gradients, Op, Tape, VarId};
+pub use tensor::Tensor;

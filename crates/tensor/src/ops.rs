@@ -1,0 +1,382 @@
+//! CausalFormer-specific tensor primitives and their backward rules.
+//!
+//! These are the custom operations of the causality-aware transformer
+//! (paper §4.1) that a generic linear-algebra library does not supply:
+//!
+//! * [`causal_conv`] — the multi-kernel causal convolution of Eq. 3,
+//! * [`self_shift`] — the self-causation shift of Eq. 4,
+//! * [`attn_apply`] — the multi-variate attention application of Eq. 6.
+//!
+//! Each forward function has matching `*_backward_*` companions used by the
+//! autodiff [`Tape`](crate::Tape); keeping them here as pure functions makes
+//! them unit-testable in isolation (including finite-difference checks in
+//! `tape::tests`).
+
+use crate::Tensor;
+
+/// Multi-kernel causal convolution (paper Eq. 3).
+///
+/// `x` is the `N×T` input window, `kernel` the `N×N×T` bank 𝒦 whose axes are
+/// (series convolved `i`, series predicted `j`, tap `u`). The output
+/// `X̂ ∈ R^{N×N×T}` is, in the paper's 1-indexed notation,
+///
+/// ```text
+/// X̂[i,j,t] = (1/t) · Σ_{s=1..t} 𝒦[i,j, T−t+s] · X[i,s]
+/// ```
+///
+/// i.e. the length-`T` kernel slides over the zero-left-padded series so
+/// that tap `u = T` always touches the *current* slot (lag 0) and tap
+/// `u = T−δ` touches lag `δ`. The division by `t` (the number of non-zero
+/// window entries) rescales early slots where most of the window is padding.
+pub fn causal_conv(x: &Tensor, kernel: &Tensor) -> Tensor {
+    let (n, t_len) = dims_2(x, "causal_conv x");
+    let (kn, kn2, kt) = dims_3(kernel, "causal_conv kernel");
+    assert_eq!(kn, n, "kernel axis 0 must equal series count");
+    assert_eq!(kn2, n, "kernel axis 1 must equal series count");
+    assert_eq!(kt, t_len, "kernel taps must equal window length");
+
+    let mut out = Tensor::zeros(&[n, n, t_len]);
+    for i in 0..n {
+        let xi = x.row(i);
+        for j in 0..n {
+            for t in 0..t_len {
+                let mut acc = 0.0;
+                // s ranges over the observed prefix [0, t]; the matching
+                // kernel tap is u = T−1−t+s (0-indexed).
+                for s in 0..=t {
+                    acc += kernel.get3(i, j, t_len - 1 - t + s) * xi[s];
+                }
+                out.set3(i, j, t, acc / (t + 1) as f64);
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of [`causal_conv`] with respect to the kernel.
+pub fn causal_conv_backward_kernel(x: &Tensor, grad_out: &Tensor) -> Tensor {
+    let (n, t_len) = dims_2(x, "causal_conv_backward_kernel x");
+    let mut grad_k = Tensor::zeros(&[n, n, t_len]);
+    for i in 0..n {
+        let xi = x.row(i);
+        for j in 0..n {
+            for t in 0..t_len {
+                let g = grad_out.get3(i, j, t) / (t + 1) as f64;
+                if g == 0.0 {
+                    continue;
+                }
+                for s in 0..=t {
+                    let u = t_len - 1 - t + s;
+                    *grad_k.at_mut(&[i, j, u]) += g * xi[s];
+                }
+            }
+        }
+    }
+    grad_k
+}
+
+/// Gradient of [`causal_conv`] with respect to the input window.
+pub fn causal_conv_backward_x(kernel: &Tensor, grad_out: &Tensor) -> Tensor {
+    let (n, _, t_len) = dims_3(kernel, "causal_conv_backward_x kernel");
+    let mut grad_x = Tensor::zeros(&[n, t_len]);
+    for i in 0..n {
+        for j in 0..n {
+            for t in 0..t_len {
+                let g = grad_out.get3(i, j, t) / (t + 1) as f64;
+                if g == 0.0 {
+                    continue;
+                }
+                for s in 0..=t {
+                    let u = t_len - 1 - t + s;
+                    grad_x.set2(i, s, grad_x.get2(i, s) + g * kernel.get3(i, j, u));
+                }
+            }
+        }
+    }
+    grad_x
+}
+
+/// Self-causation shift (paper Eq. 4).
+///
+/// Right-shifts each *diagonal* row `X̂[i,i,·]` of the convolution result by
+/// one slot (dropping the last, zero-filling the first) so a series' current
+/// ground-truth value never contributes to its own prediction. Off-diagonal
+/// rows pass through unchanged — other series' *current* values are allowed
+/// (instantaneous causality).
+pub fn self_shift(v: &Tensor) -> Tensor {
+    let (n, n2, t_len) = dims_3(v, "self_shift");
+    assert_eq!(n, n2, "self_shift requires an N×N×T tensor");
+    let mut out = v.clone();
+    for i in 0..n {
+        for t in (1..t_len).rev() {
+            let prev = out.get3(i, i, t - 1);
+            out.set3(i, i, t, prev);
+        }
+        out.set3(i, i, 0, 0.0);
+    }
+    out
+}
+
+/// Gradient of [`self_shift`]: the inverse (left) shift on diagonal rows.
+pub fn self_shift_backward(grad_out: &Tensor) -> Tensor {
+    let (n, _, t_len) = dims_3(grad_out, "self_shift_backward");
+    let mut grad_in = grad_out.clone();
+    for i in 0..n {
+        for t in 0..t_len - 1 {
+            let nxt = grad_in.get3(i, i, t + 1);
+            grad_in.set3(i, i, t, nxt);
+        }
+        grad_in.set3(i, i, t_len - 1, 0.0);
+    }
+    grad_in
+}
+
+/// Multi-variate attention application (paper Eq. 6, Fig. 3).
+///
+/// `attn` is the `N×N` attention matrix 𝒜 (row `i` = candidate causes of
+/// series `i`), `v` the `N×N×T` value tensor (the shifted convolution
+/// result, where `v[j,i,·]` is series `j` convolved *for predicting* series
+/// `i`). Output `A ∈ R^{N×T}`:
+///
+/// ```text
+/// A[i,t] = Σ_j 𝒜[i,j] · V[j,i,t]
+/// ```
+pub fn attn_apply(attn: &Tensor, v: &Tensor) -> Tensor {
+    let (n, n2) = dims_2(attn, "attn_apply attn");
+    assert_eq!(n, n2, "attention matrix must be square");
+    let (vn, vn2, t_len) = dims_3(v, "attn_apply v");
+    assert_eq!(vn, n, "value axis 0 vs attention size");
+    assert_eq!(vn2, n, "value axis 1 vs attention size");
+    let mut out = Tensor::zeros(&[n, t_len]);
+    for i in 0..n {
+        for j in 0..n {
+            let a = attn.get2(i, j);
+            if a == 0.0 {
+                continue;
+            }
+            for t in 0..t_len {
+                out.set2(i, t, out.get2(i, t) + a * v.get3(j, i, t));
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of [`attn_apply`] with respect to the attention matrix.
+pub fn attn_apply_backward_attn(v: &Tensor, grad_out: &Tensor) -> Tensor {
+    let (n, _, t_len) = dims_3(v, "attn_apply_backward_attn v");
+    let mut grad_a = Tensor::zeros(&[n, n]);
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for t in 0..t_len {
+                acc += v.get3(j, i, t) * grad_out.get2(i, t);
+            }
+            grad_a.set2(i, j, acc);
+        }
+    }
+    grad_a
+}
+
+/// Gradient of [`attn_apply`] with respect to the value tensor.
+pub fn attn_apply_backward_v(attn: &Tensor, grad_out: &Tensor) -> Tensor {
+    let (n, _) = dims_2(attn, "attn_apply_backward_v attn");
+    let t_len = grad_out.shape()[1];
+    let mut grad_v = Tensor::zeros(&[n, n, t_len]);
+    for i in 0..n {
+        for j in 0..n {
+            let a = attn.get2(i, j);
+            for t in 0..t_len {
+                grad_v.set3(j, i, t, grad_v.get3(j, i, t) + a * grad_out.get2(i, t));
+            }
+        }
+    }
+    grad_v
+}
+
+fn dims_2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.rank(), 2, "{what} must be 2-d, got shape {:?}", t.shape());
+    (t.shape()[0], t.shape()[1])
+}
+
+fn dims_3(t: &Tensor, what: &str) -> (usize, usize, usize) {
+    assert_eq!(t.rank(), 3, "{what} must be 3-d, got shape {:?}", t.shape());
+    (t.shape()[0], t.shape()[1], t.shape()[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causal_conv_hand_case() {
+        // N=1, T=3, x = [1, 2, 3], kernel taps k = [k0, k1, k2] = [10, 20, 30].
+        let x = Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let k = Tensor::from_vec(vec![1, 1, 3], vec![10.0, 20.0, 30.0]).unwrap();
+        let out = causal_conv(&x, &k);
+        // t=0: only s=0, tap u = T-1-0+0 = 2 → 30*1 / 1 = 30
+        // t=1: s=0 tap1=20*1, s=1 tap2=30*2 → (20+60)/2 = 40
+        // t=2: s=0 tap0=10*1, s=1 tap1=20*2, s=2 tap2=30*3 → (10+40+90)/3 = 46.666…
+        assert!((out.get3(0, 0, 0) - 30.0).abs() < 1e-12);
+        assert!((out.get3(0, 0, 1) - 40.0).abs() < 1e-12);
+        assert!((out.get3(0, 0, 2) - 140.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn causal_conv_last_tap_is_instantaneous() {
+        // With a kernel that is zero except the last tap, the output at t is
+        // exactly x[t] (scaled by 1/t-count weighting of that single term).
+        let x = Tensor::from_vec(vec![1, 4], vec![5.0, -1.0, 2.0, 7.0]).unwrap();
+        let mut k = Tensor::zeros(&[1, 1, 4]);
+        k.set3(0, 0, 3, 1.0);
+        let out = causal_conv(&x, &k);
+        for t in 0..4 {
+            let expected = x.get2(0, t) / (t + 1) as f64;
+            assert!((out.get3(0, 0, t) - expected).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn causal_conv_respects_temporal_priority() {
+        // Future values must never influence earlier outputs: changing x at
+        // slot 3 must leave outputs at t<3 untouched.
+        let xa = Tensor::from_vec(vec![1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut xb = xa.clone();
+        xb.set2(0, 3, 100.0);
+        let k = Tensor::from_vec(vec![1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let (oa, ob) = (causal_conv(&xa, &k), causal_conv(&xb, &k));
+        for t in 0..3 {
+            assert_eq!(oa.get3(0, 0, t), ob.get3(0, 0, t), "t={t}");
+        }
+        assert_ne!(oa.get3(0, 0, 3), ob.get3(0, 0, 3));
+    }
+
+    #[test]
+    fn causal_conv_kernels_are_independent_per_pair() {
+        // The (i,j) output depends only on kernel slice (i,j): multi-kernel
+        // independence, the property the "w/o multi conv kernel" ablation
+        // removes.
+        let x = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut k = Tensor::zeros(&[2, 2, 2]);
+        k.set3(0, 1, 1, 1.0);
+        let out = causal_conv(&x, &k);
+        for i in 0..2 {
+            for j in 0..2 {
+                for t in 0..2 {
+                    if i == 0 && j == 1 {
+                        continue;
+                    }
+                    assert_eq!(out.get3(i, j, t), 0.0, "({i},{j},{t})");
+                }
+            }
+        }
+        assert!(out.get3(0, 1, 0) != 0.0);
+    }
+
+    #[test]
+    fn self_shift_moves_diagonal_only() {
+        let mut v = Tensor::zeros(&[2, 2, 3]);
+        for t in 0..3 {
+            v.set3(0, 0, t, (t + 1) as f64); // diagonal row
+            v.set3(0, 1, t, 10.0 * (t + 1) as f64); // off-diagonal row
+        }
+        let s = self_shift(&v);
+        assert_eq!(s.get3(0, 0, 0), 0.0);
+        assert_eq!(s.get3(0, 0, 1), 1.0);
+        assert_eq!(s.get3(0, 0, 2), 2.0);
+        // off-diagonal untouched
+        for t in 0..3 {
+            assert_eq!(s.get3(0, 1, t), 10.0 * (t + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn self_shift_backward_is_adjoint() {
+        // <shift(v), g> == <v, shift_backward(g)> for all v, g (adjoint test).
+        let v = Tensor::from_vec(vec![2, 2, 2], (1..=8).map(f64::from).collect()).unwrap();
+        let g = Tensor::from_vec(vec![2, 2, 2], (1..=8).rev().map(f64::from).collect()).unwrap();
+        let lhs: f64 = self_shift(&v).mul(&g).sum();
+        let rhs: f64 = v.mul(&self_shift_backward(&g)).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attn_apply_hand_case() {
+        // N=2, T=1. out[i,0] = Σ_j attn[i,j] * v[j,i,0].
+        let attn = Tensor::from_vec(vec![2, 2], vec![0.5, 0.5, 1.0, 0.0]).unwrap();
+        let mut v = Tensor::zeros(&[2, 2, 1]);
+        v.set3(0, 0, 0, 2.0);
+        v.set3(1, 0, 0, 4.0);
+        v.set3(0, 1, 0, 6.0);
+        v.set3(1, 1, 0, 8.0);
+        let out = attn_apply(&attn, &v);
+        assert_eq!(out.get2(0, 0), 0.5 * 2.0 + 0.5 * 4.0);
+        assert_eq!(out.get2(1, 0), 1.0 * 6.0 + 0.0 * 8.0);
+    }
+
+    #[test]
+    fn attn_apply_backward_attn_is_adjoint() {
+        let attn = Tensor::from_vec(vec![2, 2], vec![0.1, 0.9, 0.4, 0.6]).unwrap();
+        let v = Tensor::from_vec(vec![2, 2, 3], (1..=12).map(f64::from).collect()).unwrap();
+        let g = Tensor::ones(&[2, 3]);
+        // d<out,g>/dattn[i,j] must equal Σ_t v[j,i,t]*g[i,t]; verify by
+        // perturbation.
+        let ga = attn_apply_backward_attn(&v, &g);
+        let eps = 1e-6;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut ap = attn.clone();
+                ap.set2(i, j, ap.get2(i, j) + eps);
+                let num =
+                    (attn_apply(&ap, &v).mul(&g).sum() - attn_apply(&attn, &v).mul(&g).sum()) / eps;
+                assert!((num - ga.get2(i, j)).abs() < 1e-5, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn attn_apply_backward_v_matches_finite_difference() {
+        let attn = Tensor::from_vec(vec![2, 2], vec![0.3, 0.7, 0.2, 0.8]).unwrap();
+        let v = Tensor::from_vec(vec![2, 2, 2], (1..=8).map(f64::from).collect()).unwrap();
+        let g = Tensor::from_vec(vec![2, 2], vec![1.0, -1.0, 0.5, 2.0]).unwrap();
+        let gv = attn_apply_backward_v(&attn, &g);
+        let eps = 1e-6;
+        let base = attn_apply(&attn, &v).mul(&g).sum();
+        for j in 0..2 {
+            for i in 0..2 {
+                for t in 0..2 {
+                    let mut vp = v.clone();
+                    vp.set3(j, i, t, vp.get3(j, i, t) + eps);
+                    let num = (attn_apply(&attn, &vp).mul(&g).sum() - base) / eps;
+                    assert!((num - gv.get3(j, i, t)).abs() < 1e-5, "({j},{i},{t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn causal_conv_backward_matches_finite_difference() {
+        let x = Tensor::from_vec(vec![2, 3], vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]).unwrap();
+        let k = Tensor::from_vec(vec![2, 2, 3], (1..=12).map(|v| v as f64 / 6.0).collect())
+            .unwrap();
+        let g = Tensor::ones(&[2, 2, 3]);
+        let base = causal_conv(&x, &k).mul(&g).sum();
+        let eps = 1e-6;
+
+        let gk = causal_conv_backward_kernel(&x, &g);
+        for idx in 0..k.len() {
+            let mut kp = k.clone();
+            kp.data_mut()[idx] += eps;
+            let num = (causal_conv(&x, &kp).mul(&g).sum() - base) / eps;
+            assert!((num - gk.data()[idx]).abs() < 1e-5, "kernel idx {idx}");
+        }
+
+        let gx = causal_conv_backward_x(&k, &g);
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let num = (causal_conv(&xp, &k).mul(&g).sum() - base) / eps;
+            assert!((num - gx.data()[idx]).abs() < 1e-5, "x idx {idx}");
+        }
+    }
+}

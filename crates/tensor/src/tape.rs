@@ -1,0 +1,899 @@
+//! Reverse-mode automatic differentiation on an explicit op tape.
+//!
+//! A [`Tape`] is a define-by-run computation graph: each operation appends a
+//! node holding its output [`Tensor`] and an [`Op`] descriptor naming its
+//! parents. [`Tape::backward`] then walks the nodes in reverse topological
+//! order (which is simply reverse insertion order) accumulating gradients.
+//!
+//! Design notes:
+//!
+//! * **Explicit op enum, no closures.** Every backward rule is a `match` arm
+//!   that can be located, read, and finite-difference-tested. This is what
+//!   lets the CausalFormer detector trust the `∇f` terms it feeds into
+//!   gradient modulation (paper Eq. 19).
+//! * **Tapes are rebuilt per step.** Parameters live outside the tape (in
+//!   `cf-nn`'s parameter store); a training step copies them in as leaves,
+//!   runs forward, calls [`Tape::backward`], and reads gradients out. At
+//!   CausalFormer problem sizes this copying is noise.
+//! * **`requires_grad` pruning.** Constant leaves (input data, masks) are
+//!   marked as not requiring gradients; backward skips whole subtrees that
+//!   cannot reach a parameter.
+
+use crate::ops;
+use crate::Tensor;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(usize);
+
+impl VarId {
+    /// The node's position on the tape (insertion order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Operation descriptor for one tape node.
+///
+/// Variants reference parent nodes by [`VarId`]. The tensor-valued payloads
+/// (`MulConst`) hold *constants* that do not receive gradients.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// An input: parameter (requires grad) or constant (does not).
+    Leaf,
+    /// Elementwise `a + b` (same shapes).
+    Add(VarId, VarId),
+    /// Elementwise `a - b`.
+    Sub(VarId, VarId),
+    /// Elementwise `a ⊙ b`.
+    Mul(VarId, VarId),
+    /// `matrix + row-vector` broadcast over rows.
+    AddRowVector(VarId, VarId),
+    /// `matrix ⊙ row-vector` broadcast over rows (column-wise gating).
+    MulRowVector(VarId, VarId),
+    /// `alpha · a`.
+    Scale(VarId, f64),
+    /// Matrix product `a · b`.
+    MatMul(VarId, VarId),
+    /// Matrix product `a · bᵀ`.
+    MatMulNT(VarId, VarId),
+    /// Row-wise softmax.
+    SoftmaxRows(VarId),
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(VarId, f64),
+    /// Hyperbolic tangent.
+    Tanh(VarId),
+    /// Logistic sigmoid.
+    Sigmoid(VarId),
+    /// Elementwise square.
+    Square(VarId),
+    /// Elementwise product with a constant tensor (masking).
+    MulConst(VarId, Tensor),
+    /// Sum of all elements (scalar output).
+    SumAll(VarId),
+    /// Mean of all elements (scalar output).
+    MeanAll(VarId),
+    /// L1 norm `Σ|x|` (scalar output); backward uses the sign subgradient.
+    L1(VarId),
+    /// `w[idx] · x` where `w` is a 1-d parameter vector: per-head output
+    /// weighting (paper Eq. 7).
+    ScaleByElem {
+        /// Tensor being scaled.
+        x: VarId,
+        /// 1-d weight vector.
+        w: VarId,
+        /// Index into `w`.
+        idx: usize,
+    },
+    /// Multi-kernel causal convolution (paper Eq. 3): `x: N×T`, `kernel:
+    /// N×N×T` → `N×N×T`.
+    CausalConv {
+        /// Input window.
+        x: VarId,
+        /// Convolution kernel bank 𝒦.
+        kernel: VarId,
+    },
+    /// Self-causation shift (paper Eq. 4) on an `N×N×T` tensor.
+    SelfShift(VarId),
+    /// Attention application (paper Eq. 6): `attn: N×N`, `v: N×N×T` → `N×T`.
+    AttnApply {
+        /// Attention matrix 𝒜.
+        attn: VarId,
+        /// Value tensor.
+        v: VarId,
+    },
+    /// Tiles an `N×T` per-source kernel across all target series to an
+    /// `N×N×T` bank: `out[i,j,t] = x[i,t]`. Used by the "w/o multi conv
+    /// kernel" ablation (paper §5.5), which replaces the per-pair kernels
+    /// with a single kernel per source series.
+    TilePairs(VarId),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by [`VarId`].
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// The gradient accumulated at `id`, if that node required gradients and
+    /// was reached by backpropagation.
+    pub fn get(&self, id: VarId) -> Option<&Tensor> {
+        self.grads.get(id.0).and_then(|g| g.as_ref())
+    }
+
+    /// Like [`Gradients::get`] but panics with context when absent — for
+    /// parameters that must always receive a gradient.
+    pub fn expect(&self, id: VarId, what: &str) -> &Tensor {
+        self.get(id)
+            .unwrap_or_else(|| panic!("no gradient for {what} (VarId {})", id.0))
+    }
+}
+
+/// A reverse-mode autodiff tape. See the [module docs](self).
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff no nodes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value at `id`.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// Whether the node at `id` participates in gradient computation.
+    pub fn requires_grad(&self, id: VarId) -> bool {
+        self.nodes[id.0].requires_grad
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> VarId {
+        debug_assert!(value.all_finite(), "non-finite value from {op:?}");
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
+        VarId(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, id: VarId) -> bool {
+        self.nodes[id.0].requires_grad
+    }
+
+    // -----------------------------------------------------------------
+    // Node constructors
+    // -----------------------------------------------------------------
+
+    /// Records an input leaf. `requires_grad = true` for parameters,
+    /// `false` for data/constants.
+    pub fn leaf(&mut self, value: Tensor, requires_grad: bool) -> VarId {
+        self.push(value, Op::Leaf, requires_grad)
+    }
+
+    /// Convenience: a constant leaf.
+    pub fn constant(&mut self, value: Tensor) -> VarId {
+        self.leaf(value, false)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).add(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Add(a, b), rg)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).sub(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Sub(a, b), rg)
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).mul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Mul(a, b), rg)
+    }
+
+    /// Matrix-plus-row-vector broadcast (bias addition).
+    pub fn add_row_vector(&mut self, m: VarId, bias: VarId) -> VarId {
+        let v = self.value(m).add_row_vector(self.value(bias));
+        let rg = self.rg(m) || self.rg(bias);
+        self.push(v, Op::AddRowVector(m, bias), rg)
+    }
+
+    /// Matrix-times-row-vector broadcast (per-column gating): `out[r,c] =
+    /// m[r,c] · v[c]`.
+    pub fn mul_row_vector(&mut self, m: VarId, v: VarId) -> VarId {
+        let mv = self.value(m);
+        let vv = self.value(v);
+        assert_eq!(mv.rank(), 2, "mul_row_vector matrix must be 2-d");
+        assert_eq!(vv.rank(), 1, "mul_row_vector vector must be 1-d");
+        let (r, c) = (mv.shape()[0], mv.shape()[1]);
+        assert_eq!(vv.len(), c, "vector length vs columns");
+        let mut out = mv.clone();
+        for i in 0..r {
+            for j in 0..c {
+                let val = out.get2(i, j) * vv.data()[j];
+                out.set2(i, j, val);
+            }
+        }
+        let rg = self.rg(m) || self.rg(v);
+        self.push(out, Op::MulRowVector(m, v), rg)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: VarId, alpha: f64) -> VarId {
+        let v = self.value(a).scale(alpha);
+        let rg = self.rg(a);
+        self.push(v, Op::Scale(a, alpha), rg)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).matmul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::MatMul(a, b), rg)
+    }
+
+    /// Matrix product with transposed right operand.
+    pub fn matmul_nt(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).matmul_nt(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::MatMulNT(a, b), rg)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).softmax_rows();
+        let rg = self.rg(a);
+        self.push(v, Op::SoftmaxRows(a), rg)
+    }
+
+    /// Leaky ReLU.
+    pub fn leaky_relu(&mut self, a: VarId, slope: f64) -> VarId {
+        let v = self.value(a).map(|x| if x >= 0.0 { x } else { slope * x });
+        let rg = self.rg(a);
+        self.push(v, Op::LeakyRelu(a, slope), rg)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f64::tanh);
+        let rg = self.rg(a);
+        self.push(v, Op::Tanh(a), rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let rg = self.rg(a);
+        self.push(v, Op::Sigmoid(a), rg)
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| x * x);
+        let rg = self.rg(a);
+        self.push(v, Op::Square(a), rg)
+    }
+
+    /// Elementwise product with a constant tensor (e.g. a loss mask).
+    pub fn mul_const(&mut self, a: VarId, c: Tensor) -> VarId {
+        let v = self.value(a).mul(&c);
+        let rg = self.rg(a);
+        self.push(v, Op::MulConst(a, c), rg)
+    }
+
+    /// Sum of all elements, as a scalar node.
+    pub fn sum_all(&mut self, a: VarId) -> VarId {
+        let v = Tensor::scalar(self.value(a).sum());
+        let rg = self.rg(a);
+        self.push(v, Op::SumAll(a), rg)
+    }
+
+    /// Mean of all elements, as a scalar node.
+    pub fn mean_all(&mut self, a: VarId) -> VarId {
+        let v = Tensor::scalar(self.value(a).mean());
+        let rg = self.rg(a);
+        self.push(v, Op::MeanAll(a), rg)
+    }
+
+    /// L1 norm, as a scalar node.
+    pub fn l1(&mut self, a: VarId) -> VarId {
+        let v = Tensor::scalar(self.value(a).l1_norm());
+        let rg = self.rg(a);
+        self.push(v, Op::L1(a), rg)
+    }
+
+    /// `w[idx] · x` — scales a tensor by one element of a parameter vector.
+    pub fn scale_by_elem(&mut self, x: VarId, w: VarId, idx: usize) -> VarId {
+        let weight = self.value(w).data()[idx];
+        let v = self.value(x).scale(weight);
+        let rg = self.rg(x) || self.rg(w);
+        self.push(v, Op::ScaleByElem { x, w, idx }, rg)
+    }
+
+    /// Multi-kernel causal convolution (paper Eq. 3).
+    pub fn causal_conv(&mut self, x: VarId, kernel: VarId) -> VarId {
+        let v = ops::causal_conv(self.value(x), self.value(kernel));
+        let rg = self.rg(x) || self.rg(kernel);
+        self.push(v, Op::CausalConv { x, kernel }, rg)
+    }
+
+    /// Self-causation shift (paper Eq. 4).
+    pub fn self_shift(&mut self, a: VarId) -> VarId {
+        let v = ops::self_shift(self.value(a));
+        let rg = self.rg(a);
+        self.push(v, Op::SelfShift(a), rg)
+    }
+
+    /// Attention application (paper Eq. 6).
+    pub fn attn_apply(&mut self, attn: VarId, v: VarId) -> VarId {
+        let out = ops::attn_apply(self.value(attn), self.value(v));
+        let rg = self.rg(attn) || self.rg(v);
+        self.push(out, Op::AttnApply { attn, v }, rg)
+    }
+
+    /// Tiles an `N×T` kernel to an `N×N×T` bank (single-kernel ablation).
+    pub fn tile_pairs(&mut self, x: VarId) -> VarId {
+        let src = self.value(x);
+        assert_eq!(src.rank(), 2, "tile_pairs expects N×T");
+        let (n, t_len) = (src.shape()[0], src.shape()[1]);
+        let mut out = Tensor::zeros(&[n, n, t_len]);
+        for i in 0..n {
+            for j in 0..n {
+                for t in 0..t_len {
+                    out.set3(i, j, t, src.get2(i, t));
+                }
+            }
+        }
+        let rg = self.rg(x);
+        self.push(out, Op::TilePairs(x), rg)
+    }
+
+    // -----------------------------------------------------------------
+    // Backward
+    // -----------------------------------------------------------------
+
+    /// Backpropagates from a *scalar* root node, seeding with gradient 1.
+    ///
+    /// # Panics
+    /// Panics if `root`'s value is not a single element.
+    pub fn backward(&self, root: VarId) -> Gradients {
+        assert!(
+            self.value(root).is_scalar(),
+            "backward() requires a scalar root; use backward_with_seed for tensor roots"
+        );
+        self.backward_with_seed(root, Tensor::scalar(1.0))
+    }
+
+    /// Backpropagates from `root` with an explicit output gradient `seed`
+    /// (same shape as `root`'s value). This is how the causality detector
+    /// obtains `∂(Σ_t X̃[i,t])/∂𝒜` and `∂/∂𝒦`: seed the prediction with a
+    /// one-hot row mask.
+    pub fn backward_with_seed(&self, root: VarId, seed: Tensor) -> Gradients {
+        assert_eq!(
+            self.value(root).shape(),
+            seed.shape(),
+            "seed shape must match root value shape"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        if !self.rg(root) {
+            return Gradients { grads };
+        }
+        grads[root.0] = Some(seed);
+
+        for idx in (0..=root.0).rev() {
+            let Some(g) = grads[idx].take() else {
+                continue;
+            };
+            // Re-store: callers may want gradients of interior nodes too.
+            let node = &self.nodes[idx];
+            self.propagate(&node.op, &g, idx, &mut grads);
+            grads[idx] = Some(g);
+        }
+        Gradients { grads }
+    }
+
+    fn accumulate(&self, grads: &mut [Option<Tensor>], id: VarId, contribution: Tensor) {
+        if !self.rg(id) {
+            return;
+        }
+        match &mut grads[id.0] {
+            Some(existing) => existing.add_assign(&contribution),
+            slot @ None => *slot = Some(contribution),
+        }
+    }
+
+    fn propagate(&self, op: &Op, g: &Tensor, idx: usize, grads: &mut [Option<Tensor>]) {
+        match op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                self.accumulate(grads, *a, g.clone());
+                self.accumulate(grads, *b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(grads, *a, g.clone());
+                self.accumulate(grads, *b, g.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                self.accumulate(grads, *a, g.mul(self.value(*b)));
+                self.accumulate(grads, *b, g.mul(self.value(*a)));
+            }
+            Op::AddRowVector(m, bias) => {
+                self.accumulate(grads, *m, g.clone());
+                if self.rg(*bias) {
+                    // Column sums of g.
+                    let (r, c) = (g.shape()[0], g.shape()[1]);
+                    let mut gb = Tensor::zeros(&[c]);
+                    for i in 0..r {
+                        for j in 0..c {
+                            gb.data_mut()[j] += g.get2(i, j);
+                        }
+                    }
+                    self.accumulate(grads, *bias, gb);
+                }
+            }
+            Op::MulRowVector(m, v) => {
+                let (r, c) = (g.shape()[0], g.shape()[1]);
+                if self.rg(*m) {
+                    let vv = self.value(*v);
+                    let mut gm = g.clone();
+                    for i in 0..r {
+                        for j in 0..c {
+                            let val = gm.get2(i, j) * vv.data()[j];
+                            gm.set2(i, j, val);
+                        }
+                    }
+                    self.accumulate(grads, *m, gm);
+                }
+                if self.rg(*v) {
+                    let mv = self.value(*m);
+                    let mut gv = Tensor::zeros(&[c]);
+                    for i in 0..r {
+                        for j in 0..c {
+                            gv.data_mut()[j] += g.get2(i, j) * mv.get2(i, j);
+                        }
+                    }
+                    self.accumulate(grads, *v, gv);
+                }
+            }
+            Op::Scale(a, alpha) => self.accumulate(grads, *a, g.scale(*alpha)),
+            Op::MatMul(a, b) => {
+                // y = a·b : da = g·bᵀ, db = aᵀ·g
+                if self.rg(*a) {
+                    self.accumulate(grads, *a, g.matmul_nt(self.value(*b)));
+                }
+                if self.rg(*b) {
+                    self.accumulate(grads, *b, self.value(*a).matmul_tn(g));
+                }
+            }
+            Op::MatMulNT(a, b) => {
+                // y = a·bᵀ : da = g·b, db = gᵀ·a
+                if self.rg(*a) {
+                    self.accumulate(grads, *a, g.matmul(self.value(*b)));
+                }
+                if self.rg(*b) {
+                    self.accumulate(grads, *b, g.matmul_tn(self.value(*a)));
+                }
+            }
+            Op::SoftmaxRows(a) => {
+                // ds = (g − Σ_j g·s per row) ⊙ s
+                let s = &self.nodes[idx].value;
+                let (r, c) = (s.shape()[0], s.shape()[1]);
+                let mut out = Tensor::zeros(&[r, c]);
+                for i in 0..r {
+                    let srow = s.row(i);
+                    let grow = g.row(i);
+                    let dot: f64 = srow.iter().zip(grow).map(|(&sv, &gv)| sv * gv).sum();
+                    for j in 0..c {
+                        out.set2(i, j, (grow[j] - dot) * srow[j]);
+                    }
+                }
+                self.accumulate(grads, *a, out);
+            }
+            Op::LeakyRelu(a, slope) => {
+                let x = self.value(*a);
+                let gx = g.zip_map(x, |gv, xv| if xv >= 0.0 { gv } else { gv * slope });
+                self.accumulate(grads, *a, gx);
+            }
+            Op::Tanh(a) => {
+                let y = &self.nodes[idx].value;
+                self.accumulate(grads, *a, g.zip_map(y, |gv, yv| gv * (1.0 - yv * yv)));
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[idx].value;
+                self.accumulate(grads, *a, g.zip_map(y, |gv, yv| gv * yv * (1.0 - yv)));
+            }
+            Op::Square(a) => {
+                let x = self.value(*a);
+                self.accumulate(grads, *a, g.zip_map(x, |gv, xv| gv * 2.0 * xv));
+            }
+            Op::MulConst(a, c) => self.accumulate(grads, *a, g.mul(c)),
+            Op::SumAll(a) => {
+                let val = Tensor::full(self.value(*a).shape(), g.item());
+                self.accumulate(grads, *a, val);
+            }
+            Op::MeanAll(a) => {
+                let n = self.value(*a).len() as f64;
+                let val = Tensor::full(self.value(*a).shape(), g.item() / n);
+                self.accumulate(grads, *a, val);
+            }
+            Op::L1(a) => {
+                let x = self.value(*a);
+                let gi = g.item();
+                self.accumulate(grads, *a, x.map(|v| gi * v.signum()));
+            }
+            Op::ScaleByElem { x, w, idx: wi } => {
+                let weight = self.value(*w).data()[*wi];
+                if self.rg(*x) {
+                    self.accumulate(grads, *x, g.scale(weight));
+                }
+                if self.rg(*w) {
+                    let mut gw = Tensor::zeros(self.value(*w).shape());
+                    gw.data_mut()[*wi] = g.mul(self.value(*x)).sum();
+                    self.accumulate(grads, *w, gw);
+                }
+            }
+            Op::CausalConv { x, kernel } => {
+                if self.rg(*x) {
+                    self.accumulate(grads, *x, ops::causal_conv_backward_x(self.value(*kernel), g));
+                }
+                if self.rg(*kernel) {
+                    self.accumulate(
+                        grads,
+                        *kernel,
+                        ops::causal_conv_backward_kernel(self.value(*x), g),
+                    );
+                }
+            }
+            Op::SelfShift(a) => self.accumulate(grads, *a, ops::self_shift_backward(g)),
+            Op::TilePairs(a) => {
+                // Sum gradients over the tiled (target) axis.
+                let (n, _, t_len) = (g.shape()[0], g.shape()[1], g.shape()[2]);
+                let mut gx = Tensor::zeros(&[n, t_len]);
+                for i in 0..n {
+                    for j in 0..n {
+                        for t in 0..t_len {
+                            gx.set2(i, t, gx.get2(i, t) + g.get3(i, j, t));
+                        }
+                    }
+                }
+                self.accumulate(grads, *a, gx);
+            }
+            Op::AttnApply { attn, v } => {
+                if self.rg(*attn) {
+                    self.accumulate(grads, *attn, ops::attn_apply_backward_attn(self.value(*v), g));
+                }
+                if self.rg(*v) {
+                    self.accumulate(grads, *v, ops::attn_apply_backward_v(self.value(*attn), g));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference check: builds the graph twice per perturbed input
+    /// element and compares the numeric directional derivative against the
+    /// analytic gradient.
+    fn gradcheck<F>(inputs: &[Tensor], f: F)
+    where
+        F: Fn(&mut Tape, &[VarId]) -> VarId,
+    {
+        let eps = 1e-6;
+        let tol = 1e-4;
+
+        // Analytic gradients.
+        let mut tape = Tape::new();
+        let ids: Vec<VarId> = inputs.iter().map(|t| tape.leaf(t.clone(), true)).collect();
+        let root = f(&mut tape, &ids);
+        let grads = tape.backward(root);
+        let base = tape.value(root).item();
+
+        for (which, input) in inputs.iter().enumerate() {
+            let analytic = grads
+                .get(ids[which])
+                .unwrap_or_else(|| panic!("missing grad for input {which}"));
+            for e in 0..input.len() {
+                let mut perturbed: Vec<Tensor> = inputs.to_vec();
+                perturbed[which].data_mut()[e] += eps;
+                let mut tape2 = Tape::new();
+                let ids2: Vec<VarId> = perturbed
+                    .iter()
+                    .map(|t| tape2.leaf(t.clone(), true))
+                    .collect();
+                let root2 = f(&mut tape2, &ids2);
+                let numeric = (tape2.value(root2).item() - base) / eps;
+                let a = analytic.data()[e];
+                assert!(
+                    (numeric - a).abs() < tol * (1.0 + a.abs()),
+                    "input {which} elem {e}: numeric {numeric} vs analytic {a}"
+                );
+            }
+        }
+    }
+
+    fn rand_t(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        crate::init::uniform(&mut rng, shape, -1.0, 1.0)
+    }
+
+    #[test]
+    fn gradcheck_add_sub_mul() {
+        let a = rand_t(&[3, 4], 1);
+        let b = rand_t(&[3, 4], 2);
+        gradcheck(&[a.clone(), b.clone()], |t, ids| {
+            let s = t.add(ids[0], ids[1]);
+            let d = t.sub(s, ids[1]);
+            let m = t.mul(d, ids[1]);
+            t.sum_all(m)
+        });
+    }
+
+    #[test]
+    fn gradcheck_matmul() {
+        let a = rand_t(&[3, 4], 3);
+        let b = rand_t(&[4, 2], 4);
+        gradcheck(&[a, b], |t, ids| {
+            let y = t.matmul(ids[0], ids[1]);
+            t.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn gradcheck_matmul_nt() {
+        let a = rand_t(&[3, 4], 5);
+        let b = rand_t(&[2, 4], 6);
+        gradcheck(&[a, b], |t, ids| {
+            let y = t.matmul_nt(ids[0], ids[1]);
+            let sq = t.square(y);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_softmax() {
+        let a = rand_t(&[3, 5], 7);
+        let w = rand_t(&[3, 5], 8);
+        gradcheck(&[a, w], |t, ids| {
+            let s = t.softmax_rows(ids[0]);
+            let weighted = t.mul(s, ids[1]);
+            t.sum_all(weighted)
+        });
+    }
+
+    #[test]
+    fn gradcheck_activations() {
+        let a = rand_t(&[4, 4], 9);
+        gradcheck(std::slice::from_ref(&a), |t, ids| {
+            let l = t.leaky_relu(ids[0], 0.01);
+            let th = t.tanh(l);
+            let sg = t.sigmoid(th);
+            t.sum_all(sg)
+        });
+    }
+
+    #[test]
+    fn gradcheck_bias_broadcast() {
+        let m = rand_t(&[3, 4], 10);
+        let b = rand_t(&[4], 11);
+        gradcheck(&[m, b], |t, ids| {
+            let y = t.add_row_vector(ids[0], ids[1]);
+            let sq = t.square(y);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_mean_and_scale() {
+        let a = rand_t(&[2, 6], 12);
+        gradcheck(&[a], |t, ids| {
+            let s = t.scale(ids[0], 2.5);
+            t.mean_all(s)
+        });
+    }
+
+    #[test]
+    fn gradcheck_l1() {
+        // Keep elements away from zero where |·| is non-differentiable.
+        let a = rand_t(&[3, 3], 13).map(|v| if v.abs() < 0.1 { 0.5 } else { v });
+        gradcheck(&[a], |t, ids| t.l1(ids[0]));
+    }
+
+    #[test]
+    fn gradcheck_scale_by_elem() {
+        let x = rand_t(&[2, 3], 14);
+        let w = rand_t(&[4], 15);
+        gradcheck(&[x, w], |t, ids| {
+            let y0 = t.scale_by_elem(ids[0], ids[1], 0);
+            let y2 = t.scale_by_elem(ids[0], ids[1], 2);
+            let s = t.add(y0, y2);
+            t.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn gradcheck_causal_conv_and_shift() {
+        let x = rand_t(&[2, 4], 16);
+        let k = rand_t(&[2, 2, 4], 17);
+        gradcheck(&[x, k], |t, ids| {
+            let c = t.causal_conv(ids[0], ids[1]);
+            let sh = t.self_shift(c);
+            let sq = t.square(sh);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_mul_row_vector() {
+        let m = rand_t(&[3, 4], 28);
+        let v = rand_t(&[4], 29);
+        gradcheck(&[m, v], |t, ids| {
+            let y = t.mul_row_vector(ids[0], ids[1]);
+            let sq = t.square(y);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_tile_pairs() {
+        let x = rand_t(&[3, 4], 26);
+        let w = rand_t(&[3, 3, 4], 27);
+        gradcheck(&[x, w], |t, ids| {
+            let tiled = t.tile_pairs(ids[0]);
+            let prod = t.mul(tiled, ids[1]);
+            t.sum_all(prod)
+        });
+    }
+
+    #[test]
+    fn tile_pairs_replicates_rows() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap());
+        let y = tape.tile_pairs(x);
+        let v = tape.value(y);
+        assert_eq!(v.shape(), &[2, 2, 2]);
+        for j in 0..2 {
+            assert_eq!(v.get3(0, j, 0), 1.0);
+            assert_eq!(v.get3(0, j, 1), 2.0);
+            assert_eq!(v.get3(1, j, 0), 3.0);
+        }
+    }
+
+    #[test]
+    fn gradcheck_attn_apply() {
+        let attn_logits = rand_t(&[3, 3], 18);
+        let v = rand_t(&[3, 3, 4], 19);
+        gradcheck(&[attn_logits, v], |t, ids| {
+            let a = t.softmax_rows(ids[0]);
+            let out = t.attn_apply(a, ids[1]);
+            let sq = t.square(out);
+            t.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_full_mini_transformer_block() {
+        // A miniature end-to-end slice of the causality-aware transformer:
+        // embed → QK attention (masked, temperature) → conv values → output.
+        let x = rand_t(&[3, 4], 20);
+        let w_emb = rand_t(&[4, 5], 21);
+        let wq = rand_t(&[5, 5], 22);
+        let wk = rand_t(&[5, 5], 23);
+        let mask = rand_t(&[3, 3], 24);
+        let kernel = rand_t(&[3, 3, 4], 25);
+        gradcheck(&[x, w_emb, wq, wk, mask, kernel], |t, ids| {
+            let (x, w_emb, wq, wk, mask, kernel) =
+                (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+            let emb = t.matmul(x, w_emb);
+            let q = t.matmul(emb, wq);
+            let k = t.matmul(emb, wk);
+            let scores = t.matmul_nt(q, k);
+            let scaled = t.scale(scores, 1.0 / (5.0f64).sqrt());
+            let masked = t.mul(scaled, mask);
+            let attn = t.softmax_rows(masked);
+            let conv = t.causal_conv(x, kernel);
+            let shifted = t.self_shift(conv);
+            let out = t.attn_apply(attn, shifted);
+            let sq = t.square(out);
+            t.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn constants_receive_no_gradient() {
+        let mut tape = Tape::new();
+        let c = tape.constant(Tensor::ones(&[2, 2]));
+        let p = tape.leaf(Tensor::ones(&[2, 2]), true);
+        let y = tape.mul(c, p);
+        let s = tape.sum_all(y);
+        let grads = tape.backward(s);
+        assert!(grads.get(c).is_none());
+        assert!(grads.get(p).is_some());
+    }
+
+    #[test]
+    fn gradient_accumulates_over_shared_subexpression() {
+        // y = x + x  ⇒ dy/dx = 2
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::scalar(3.0), true);
+        let y = tape.add(x, x);
+        let grads = tape.backward(y);
+        assert_eq!(grads.expect(x, "x").item(), 2.0);
+    }
+
+    #[test]
+    fn backward_with_seed_selects_rows() {
+        // Seeding row 1 only: gradients must flow only from that row.
+        let mut tape = Tape::new();
+        let x = tape.leaf(
+            Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap(),
+            true,
+        );
+        let y = tape.square(x);
+        let mut seed = Tensor::zeros(&[2, 2]);
+        seed.set2(1, 0, 1.0);
+        seed.set2(1, 1, 1.0);
+        let grads = tape.backward_with_seed(y, seed);
+        let gx = grads.expect(x, "x");
+        assert_eq!(gx.data(), &[0.0, 0.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar root")]
+    fn backward_rejects_non_scalar_root() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[2, 2]), true);
+        let _ = tape.backward(x);
+    }
+
+    #[test]
+    fn mse_loss_composition_matches_closed_form() {
+        // loss = mean((pred − target)²) via tape ops; compare to direct
+        // computation and check the gradient 2(pred−target)/n.
+        let pred_t = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let target_t = Tensor::from_slice(&[0.0, 2.0, 5.0]);
+        let mut tape = Tape::new();
+        let pred = tape.leaf(pred_t.clone(), true);
+        let target = tape.constant(target_t.clone());
+        let diff = tape.sub(pred, target);
+        let sq = tape.square(diff);
+        let loss = tape.mean_all(sq);
+        assert!((tape.value(loss).item() - (1.0 + 0.0 + 4.0) / 3.0).abs() < 1e-12);
+        let grads = tape.backward(loss);
+        let g = grads.expect(pred, "pred");
+        for i in 0..3 {
+            let expected = 2.0 * (pred_t.data()[i] - target_t.data()[i]) / 3.0;
+            assert!((g.data()[i] - expected).abs() < 1e-12);
+        }
+    }
+}

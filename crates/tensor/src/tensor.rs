@@ -1,0 +1,669 @@
+//! The dense row-major `f64` tensor type.
+
+use crate::TensorError;
+
+/// A dense, row-major, heap-allocated n-dimensional array of `f64`.
+///
+/// `Tensor` is deliberately simple: no views, no strides beyond row-major,
+/// no generic element type. The CausalFormer workloads are small (tens of
+/// series, tens of time slots) and dominated by clarity-sensitive numeric
+/// code, so a copying design is the right trade-off; hot inner loops
+/// (matmul, convolution) operate on contiguous slices which the compiler
+/// vectorises well.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------------
+    // Construction
+    // ---------------------------------------------------------------------
+
+    /// Builds a tensor from a shape and a flat row-major buffer.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f64>) -> Result<Self, TensorError> {
+        if shape.is_empty() || shape.contains(&0) {
+            return Err(TensorError::EmptyShape);
+        }
+        let expected: usize = shape.iter().product();
+        if expected != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                shape,
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// A tensor filled with zeros.
+    ///
+    /// # Panics
+    /// Panics if `shape` is empty or contains a zero axis.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f64) -> Self {
+        assert!(
+            !shape.is_empty() && !shape.contains(&0),
+            "tensor shape must be non-empty and positive, got {shape:?}"
+        );
+        let n: usize = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; n],
+        }
+    }
+
+    /// A 1×1…×1-free scalar wrapped as a rank-1 tensor of length 1.
+    pub fn scalar(value: f64) -> Self {
+        Self {
+            shape: vec![1],
+            data: vec![value],
+        }
+    }
+
+    /// A rank-1 tensor from a slice.
+    pub fn from_slice(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "from_slice requires at least one value");
+        Self {
+            shape: vec![values.len()],
+            data: values.to_vec(),
+        }
+    }
+
+    /// A 2-d tensor from nested rows. All rows must have equal length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "rows must be non-empty");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has length {} != {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self {
+            shape: vec![rows.len(), cols],
+            data,
+        }
+    }
+
+    /// The N×N identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    // ---------------------------------------------------------------------
+    // Introspection
+    // ---------------------------------------------------------------------
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff the tensor holds a single element.
+    pub fn is_scalar(&self) -> bool {
+        self.data.len() == 1
+    }
+
+    /// Always `false`: tensors cannot be empty. Provided for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The underlying row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// The single value of a one-element tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f64 {
+        assert!(
+            self.is_scalar(),
+            "item() on tensor of shape {:?}",
+            self.shape
+        );
+        self.data[0]
+    }
+
+    // ---------------------------------------------------------------------
+    // Indexing
+    // ---------------------------------------------------------------------
+
+    #[inline]
+    fn flat_index(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
+        let mut flat = 0usize;
+        for (axis, (&i, &dim)) in idx.iter().zip(&self.shape).enumerate() {
+            debug_assert!(i < dim, "index {i} out of bounds for axis {axis} (dim {dim})");
+            flat = flat * dim + i;
+        }
+        flat
+    }
+
+    /// Element access by multi-index.
+    #[inline]
+    pub fn at(&self, idx: &[usize]) -> f64 {
+        self.data[self.flat_index(idx)]
+    }
+
+    /// Mutable element access by multi-index.
+    #[inline]
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f64 {
+        let flat = self.flat_index(idx);
+        &mut self.data[flat]
+    }
+
+    /// 2-d element access: row `i`, column `j`.
+    #[inline]
+    pub fn get2(&self, i: usize, j: usize) -> f64 {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// 2-d mutable element access.
+    #[inline]
+    pub fn set2(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert_eq!(self.rank(), 2);
+        let cols = self.shape[1];
+        self.data[i * cols + j] = v;
+    }
+
+    /// 3-d element access.
+    #[inline]
+    pub fn get3(&self, i: usize, j: usize, k: usize) -> f64 {
+        debug_assert_eq!(self.rank(), 3);
+        self.data[(i * self.shape[1] + j) * self.shape[2] + k]
+    }
+
+    /// 3-d mutable element access.
+    #[inline]
+    pub fn set3(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        debug_assert_eq!(self.rank(), 3);
+        let (d1, d2) = (self.shape[1], self.shape[2]);
+        self.data[(i * d1 + j) * d2 + k] = v;
+    }
+
+    /// Borrow row `i` of a 2-d tensor as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert_eq!(self.rank(), 2, "row() requires a 2-d tensor");
+        let cols = self.shape[1];
+        &self.data[i * cols..(i + 1) * cols]
+    }
+
+    /// Copy column `j` of a 2-d tensor into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert_eq!(self.rank(), 2, "col() requires a 2-d tensor");
+        let (rows, cols) = (self.shape[0], self.shape[1]);
+        (0..rows).map(|i| self.data[i * cols + j]).collect()
+    }
+
+    // ---------------------------------------------------------------------
+    // Shape manipulation
+    // ---------------------------------------------------------------------
+
+    /// Returns a tensor with the same data but a new shape.
+    pub fn reshape(&self, shape: Vec<usize>) -> Result<Self, TensorError> {
+        let n: usize = shape.iter().product();
+        if shape.is_empty() || n != self.data.len() {
+            return Err(TensorError::BadReshape {
+                from: self.data.len(),
+                to: shape,
+            });
+        }
+        Ok(Self {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Transpose of a 2-d tensor.
+    pub fn transpose2(&self) -> Self {
+        assert_eq!(self.rank(), 2, "transpose2 requires a 2-d tensor");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = Self::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    // ---------------------------------------------------------------------
+    // Elementwise operations (same-shape)
+    // ---------------------------------------------------------------------
+
+    fn assert_same_shape(&self, other: &Self, op: &str) {
+        assert_eq!(
+            self.shape, other.shape,
+            "{op}: shape mismatch {:?} vs {:?}",
+            self.shape, other.shape
+        );
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Self) -> Self {
+        self.assert_same_shape(other, "add");
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.assert_same_shape(other, "sub");
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.assert_same_shape(other, "mul");
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&self, other: &Self) -> Self {
+        self.assert_same_shape(other, "div");
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// In-place elementwise accumulation: `self += other`.
+    pub fn add_assign(&mut self, other: &Self) {
+        self.assert_same_shape(other, "add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaled accumulation: `self += alpha * other` (axpy).
+    pub fn axpy(&mut self, alpha: f64, other: &Self) {
+        self.assert_same_shape(other, "axpy");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, alpha: f64) -> Self {
+        self.map(|v| v * alpha)
+    }
+
+    /// Add a scalar to every element.
+    pub fn add_scalar(&self, alpha: f64) -> Self {
+        self.map(|v| v + alpha)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Self {
+        self.map(f64::abs)
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise binary map over two same-shape tensors.
+    pub fn zip_map(&self, other: &Self, f: impl Fn(f64, f64) -> f64) -> Self {
+        self.assert_same_shape(other, "zip_map");
+        Self {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Rectifies negatives to zero (the `(·)⁺` operator of Eq. 19).
+    pub fn relu(&self) -> Self {
+        self.map(|v| v.max(0.0))
+    }
+
+    // ---------------------------------------------------------------------
+    // Reductions
+    // ---------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        self.sum() / self.data.len() as f64
+    }
+
+    /// L1 norm: `Σ |x|`.
+    pub fn l1_norm(&self) -> f64 {
+        self.data.iter().map(|v| v.abs()).sum()
+    }
+
+    /// L2 norm: `sqrt(Σ x²)`.
+    pub fn l2_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum element (NaN-ignoring is *not* attempted; NaNs propagate).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Flat index of the maximum element (first occurrence).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// `true` iff every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    // ---------------------------------------------------------------------
+    // Linear algebra
+    // ---------------------------------------------------------------------
+
+    /// Matrix product of two 2-d tensors: `(m×k)·(k×n) → m×n`.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.rank(), 2, "matmul lhs must be 2-d");
+        assert_eq!(other.rank(), 2, "matmul rhs must be 2-d");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+        let mut out = Self::zeros(&[m, n]);
+        // ikj loop order: the inner loop runs over contiguous memory in both
+        // `other` and `out`, which LLVM vectorises.
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[p * n..(p + 1) * n];
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += a * brow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` for 2-d tensors: `(m×k)·(n×k)ᵀ → m×n`.
+    pub fn matmul_nt(&self, other: &Self) -> Self {
+        assert_eq!(self.rank(), 2, "matmul_nt lhs must be 2-d");
+        assert_eq!(other.rank(), 2, "matmul_nt rhs must be 2-d");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_nt inner dims: {k} vs {k2}");
+        let mut out = Self::zeros(&[m, n]);
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += arow[p] * brow[p];
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` for 2-d tensors: `(k×m)ᵀ·(k×n) → m×n`.
+    pub fn matmul_tn(&self, other: &Self) -> Self {
+        assert_eq!(self.rank(), 2, "matmul_tn lhs must be 2-d");
+        assert_eq!(other.rank(), 2, "matmul_tn rhs must be 2-d");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_tn inner dims: {k} vs {k2}");
+        let mut out = Self::zeros(&[m, n]);
+        for p in 0..k {
+            let arow = &self.data[p * m..(p + 1) * m];
+            let brow = &other.data[p * n..(p + 1) * n];
+            for i in 0..m {
+                let a = arow[i];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += a * brow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Adds a length-`c` row vector to every row of an `r×c` matrix.
+    pub fn add_row_vector(&self, bias: &Self) -> Self {
+        assert_eq!(self.rank(), 2, "add_row_vector target must be 2-d");
+        assert_eq!(bias.rank(), 1, "add_row_vector bias must be 1-d");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        assert_eq!(bias.shape[0], c, "bias length vs columns");
+        let mut out = self.clone();
+        for i in 0..r {
+            for j in 0..c {
+                out.data[i * c + j] += bias.data[j];
+            }
+        }
+        out
+    }
+
+    /// Row-wise softmax of a 2-d tensor (numerically stabilised).
+    pub fn softmax_rows(&self) -> Self {
+        assert_eq!(self.rank(), 2, "softmax_rows requires a 2-d tensor");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = self.clone();
+        for i in 0..r {
+            let row = &mut out.data[i * c..(i + 1) * c];
+            let m = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut z = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                z += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= z;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(rows: &[&[f64]]) -> Tensor {
+        Tensor::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(Tensor::from_vec(vec![2, 3], vec![0.0; 6]).is_ok());
+        let err = Tensor::from_vec(vec![2, 3], vec![0.0; 5]).unwrap_err();
+        assert!(matches!(err, TensorError::ShapeDataMismatch { .. }));
+        assert_eq!(
+            Tensor::from_vec(vec![], vec![]).unwrap_err(),
+            TensorError::EmptyShape
+        );
+        assert_eq!(
+            Tensor::from_vec(vec![0, 3], vec![]).unwrap_err(),
+            TensorError::EmptyShape
+        );
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        t.set3(1, 2, 3, 7.5);
+        assert_eq!(t.get3(1, 2, 3), 7.5);
+        assert_eq!(t.at(&[1, 2, 3]), 7.5);
+        *t.at_mut(&[0, 1, 2]) = -1.0;
+        assert_eq!(t.get3(0, 1, 2), -1.0);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = t2(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = t2(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose() {
+        let a = t2(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = t2(&[&[1.0, 0.5, -1.0], &[2.0, -2.0, 0.0]]);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose2()));
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_then_matmul() {
+        let a = t2(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = t2(&[&[1.0, -1.0], &[0.5, 2.0], &[0.0, 1.0]]);
+        assert_eq!(a.matmul_tn(&b), a.transpose2().matmul(&b));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let t = t2(&[&[1.0, 2.0, 3.0], &[1000.0, 1000.0, 1000.0]]);
+        let s = t.softmax_rows();
+        for i in 0..2 {
+            let row_sum: f64 = s.row(i).iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-12);
+        }
+        assert!(s.get2(0, 2) > s.get2(0, 1));
+        assert!(s.get2(0, 1) > s.get2(0, 0));
+        // Large equal logits must not overflow.
+        assert!((s.get2(1, 0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_slice(&[-1.0, 2.0, -3.0, 4.0]);
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.mean(), 0.5);
+        assert_eq!(t.l1_norm(), 10.0);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), -3.0);
+        assert_eq!(t.argmax(), 3);
+        assert!((t.l2_norm() - 30.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_row_vector_broadcasts() {
+        let m = t2(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_slice(&[10.0, 20.0]);
+        let r = m.add_row_vector(&b);
+        assert_eq!(r.data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let t = t2(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(t.transpose2().transpose2(), t);
+        assert_eq!(t.transpose2().shape(), &[3, 2]);
+        assert_eq!(t.transpose2().get2(2, 1), 6.0);
+    }
+
+    #[test]
+    fn reshape_checks_element_count() {
+        let t = Tensor::zeros(&[2, 6]);
+        assert_eq!(t.reshape(vec![3, 4]).unwrap().shape(), &[3, 4]);
+        assert!(t.reshape(vec![5, 2]).is_err());
+    }
+
+    #[test]
+    fn eye_and_identity_product() {
+        let a = t2(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matmul(&Tensor::eye(2)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_rejects_shape_mismatch() {
+        let _ = Tensor::zeros(&[2, 2]).add(&Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn relu_rectifies() {
+        let t = Tensor::from_slice(&[-2.0, 0.0, 3.0]);
+        assert_eq!(t.relu().data(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        a.axpy(2.0, &Tensor::from_slice(&[3.0, -1.0]));
+        assert_eq!(a.data(), &[7.0, -1.0]);
+    }
+
+    #[test]
+    fn row_and_col_views() {
+        let t = t2(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(t.col(2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        assert!(Tensor::from_slice(&[1.0, 2.0]).all_finite());
+        assert!(!Tensor::from_slice(&[1.0, f64::NAN]).all_finite());
+        assert!(!Tensor::from_slice(&[f64::INFINITY]).all_finite());
+    }
+}

@@ -1,0 +1,182 @@
+//! Stress and edge-case tests for the autodiff tape: deep graphs, shared
+//! subexpressions, numerically extreme inputs, and shape-mismatch panics.
+
+use cf_tensor::{Tape, Tensor};
+
+#[test]
+fn deep_chain_gradients_stay_exact() {
+    // y = ((((x·2)·2)…)·2) with 64 links ⇒ dy/dx = 2^64 exactly
+    // (powers of two are exact in f64).
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::scalar(1.0), true);
+    let mut cur = x;
+    for _ in 0..64 {
+        cur = tape.scale(cur, 2.0);
+    }
+    let grads = tape.backward(cur);
+    assert_eq!(grads.expect(x, "x").item(), 2f64.powi(64));
+}
+
+#[test]
+fn diamond_shaped_graph_accumulates_both_paths() {
+    // y = a·x + b·x where a, b derived from x as well:
+    // y = (x+x)·x = 2x² ⇒ dy/dx = 4x.
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::scalar(3.0), true);
+    let sum = tape.add(x, x);
+    let y = tape.mul(sum, x);
+    let grads = tape.backward(y);
+    assert_eq!(grads.expect(x, "x").item(), 12.0);
+}
+
+#[test]
+fn fan_out_to_many_consumers() {
+    // x feeds 20 independent squares, summed: y = 20·x² ⇒ dy/dx = 40x.
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::scalar(0.5), true);
+    let mut acc = None;
+    for _ in 0..20 {
+        let sq = tape.square(x);
+        acc = Some(match acc {
+            None => sq,
+            Some(a) => tape.add(a, sq),
+        });
+    }
+    let grads = tape.backward(acc.unwrap());
+    assert!((grads.expect(x, "x").item() - 20.0).abs() < 1e-12);
+}
+
+#[test]
+fn softmax_saturation_keeps_gradients_finite() {
+    // Extreme logits saturate softmax; gradients must be ≈ 0, not NaN.
+    let mut tape = Tape::new();
+    let x = tape.leaf(
+        Tensor::from_vec(vec![1, 3], vec![1000.0, -1000.0, 0.0]).unwrap(),
+        true,
+    );
+    let s = tape.softmax_rows(x);
+    let w = tape.mul_const(s, Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]).unwrap());
+    let loss = tape.sum_all(w);
+    let grads = tape.backward(loss);
+    let g = grads.expect(x, "x");
+    assert!(g.all_finite());
+    assert!(g.abs().max() < 1e-6, "saturated softmax should be flat");
+}
+
+#[test]
+fn sigmoid_and_tanh_extremes_are_finite() {
+    let mut tape = Tape::new();
+    let x = tape.leaf(
+        Tensor::from_vec(vec![1, 4], vec![-700.0, -30.0, 30.0, 700.0]).unwrap(),
+        true,
+    );
+    let sg = tape.sigmoid(x);
+    let th = tape.tanh(sg);
+    let loss = tape.sum_all(th);
+    let grads = tape.backward(loss);
+    assert!(tape.value(sg).all_finite());
+    assert!(grads.expect(x, "x").all_finite());
+}
+
+#[test]
+fn zero_input_conv_has_zero_output_and_kernel_grad() {
+    let mut tape = Tape::new();
+    let x = tape.constant(Tensor::zeros(&[2, 4]));
+    let k = tape.leaf(Tensor::ones(&[2, 2, 4]), true);
+    let conv = tape.causal_conv(x, k);
+    assert_eq!(tape.value(conv).sum(), 0.0);
+    let loss = tape.sum_all(conv);
+    let grads = tape.backward(loss);
+    // d(Σ conv)/dk = Σ_t x-terms = 0 since x ≡ 0.
+    assert_eq!(grads.expect(k, "k").l1_norm(), 0.0);
+}
+
+#[test]
+fn interior_node_gradients_are_recorded() {
+    // The detector relies on reading gradients at interior nodes (the
+    // softmaxed attention matrix), not just leaves.
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::ones(&[2, 2]), true);
+    let s = tape.softmax_rows(x);
+    let sq = tape.square(s);
+    let loss = tape.sum_all(sq);
+    let grads = tape.backward(loss);
+    assert!(grads.get(s).is_some(), "interior gradient missing");
+    // d(Σ s²)/ds = 2s = 1 at the uniform point.
+    let gs = grads.get(s).unwrap();
+    for &v in gs.data() {
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn backward_is_isolated_between_seeds() {
+    // Two backward passes over the same tape must not contaminate each
+    // other (the detector runs one pass per target series).
+    let mut tape = Tape::new();
+    let x = tape.leaf(
+        Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap(),
+        true,
+    );
+    let y = tape.square(x);
+
+    let mut seed0 = Tensor::zeros(&[2, 2]);
+    seed0.set2(0, 0, 1.0);
+    let g0 = tape.backward_with_seed(y, seed0);
+    let mut seed1 = Tensor::zeros(&[2, 2]);
+    seed1.set2(1, 1, 1.0);
+    let g1 = tape.backward_with_seed(y, seed1);
+
+    assert_eq!(g0.expect(x, "x").data(), &[2.0, 0.0, 0.0, 0.0]);
+    assert_eq!(g1.expect(x, "x").data(), &[0.0, 0.0, 0.0, 8.0]);
+}
+
+#[test]
+#[should_panic(expected = "inner dims")]
+fn matmul_shape_mismatch_panics() {
+    let mut tape = Tape::new();
+    let a = tape.constant(Tensor::ones(&[2, 3]));
+    let b = tape.constant(Tensor::ones(&[2, 3]));
+    let _ = tape.matmul(a, b);
+}
+
+#[test]
+#[should_panic(expected = "seed shape")]
+fn backward_with_wrong_seed_shape_panics() {
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::ones(&[2, 2]), true);
+    let _ = tape.backward_with_seed(x, Tensor::ones(&[3, 3]));
+}
+
+#[test]
+fn large_tape_reuse_pattern() {
+    // Simulate the training loop's build-use-drop pattern at moderate
+    // scale: 50 tapes of ~200 nodes each; gradients must stay consistent.
+    for step in 0..50 {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::full(&[4, 4], 1.0 + step as f64 * 0.01), true);
+        let mut cur = x;
+        for _ in 0..40 {
+            let t = tape.tanh(cur);
+            cur = tape.add(t, x);
+        }
+        let loss = tape.mean_all(cur);
+        let grads = tape.backward(loss);
+        assert!(grads.expect(x, "x").all_finite());
+    }
+}
+
+#[test]
+fn l1_subgradient_at_zero_is_zero() {
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::from_slice(&[0.0, -2.0, 3.0]), true);
+    let l1 = tape.l1(x);
+    assert_eq!(tape.value(l1).item(), 5.0);
+    let grads = tape.backward(l1);
+    // At exactly 0 any value in [−1, 1] is a valid subgradient of |·|;
+    // only require the implementation's choice to stay in that interval.
+    let g = grads.expect(x, "x");
+    assert!(g.data()[0].abs() <= 1.0);
+    assert_eq!(g.data()[1], -1.0);
+    assert_eq!(g.data()[2], 1.0);
+}

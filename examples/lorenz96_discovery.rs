@@ -1,0 +1,71 @@
+//! Discover the coupling stencil of the Lorenz-96 climate model — the
+//! paper's simulated-climate benchmark (§5.1, Eq. 21).
+//!
+//! ```text
+//! cargo run -p cf-bench --release --example lorenz96_discovery
+//! ```
+//!
+//! Each Lorenz-96 variable is driven by its neighbours `i−2, i−1, i+1` and
+//! itself; this example integrates the ODE with RK4, runs CausalFormer, and
+//! renders the recovered adjacency as a text matrix so the cyclic band
+//! structure is visible.
+
+use causalformer::presets;
+use cf_data::lorenz96::{generate, Lorenz96Config};
+use cf_metrics::score;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(96);
+
+    let config = Lorenz96Config {
+        n: 10,
+        length: 500,
+        forcing: 35.0,
+        ..Lorenz96Config::default()
+    };
+    let data = generate(&mut rng, config);
+    println!(
+        "Lorenz-96: {} variables, F = {}, {} samples",
+        config.n, config.forcing, config.length
+    );
+
+    let mut cf = presets::lorenz96(config.n);
+    cf.model.window = 8;
+    cf.train.max_epochs = 40;
+    let result = cf.discover(&mut rng, &data.series);
+
+    let c = score::confusion(&data.truth, &result.graph);
+    println!(
+        "precision {:.2}  recall {:.2}  F1 {:.2}   (paper: 0.69±0.06 at full scale)\n",
+        c.precision(),
+        c.recall(),
+        c.f1()
+    );
+
+    // Adjacency matrices: rows = cause, cols = effect.
+    println!("truth (█) vs discovered (▒ extra, · missing):");
+    let n = config.n;
+    print!("      ");
+    for j in 0..n {
+        print!("S{:<3}", j + 1);
+    }
+    println!();
+    for i in 0..n {
+        print!("  S{:<3}", i + 1);
+        for j in 0..n {
+            let truth = data.truth.has_edge(i, j);
+            let found = result.graph.has_edge(i, j);
+            let glyph = match (truth, found) {
+                (true, true) => "█   ",
+                (true, false) => "·   ",
+                (false, true) => "▒   ",
+                (false, false) => "    ",
+            };
+            print!("{glyph}");
+        }
+        println!();
+    }
+    println!("\n(█ = true positive, · = missed, ▒ = false positive)");
+}
