@@ -77,9 +77,7 @@ impl Discoverer for Clstm {
         let std_series = standardize(series);
 
         // Sequence start offsets (each sequence predicts seq_len steps).
-        let starts: Vec<usize> = (0..l - cfg.seq_len - 1)
-            .step_by(cfg.stride)
-            .collect();
+        let starts: Vec<usize> = (0..l - cfg.seq_len - 1).step_by(cfg.stride).collect();
 
         let mut graph = CausalGraph::new(n);
         for target in 0..n {

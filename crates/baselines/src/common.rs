@@ -5,6 +5,7 @@ use cf_tensor::Tensor;
 
 /// Z-scores each row of an `N×L` matrix (same recipe as the core pipeline).
 pub(crate) fn standardize(series: &Tensor) -> Tensor {
+    let _span = cf_obs::span::enter("baseline.standardize");
     let (n, l) = (series.shape()[0], series.shape()[1]);
     let mut out = series.clone();
     for i in 0..n {
@@ -26,6 +27,7 @@ pub(crate) fn standardize(series: &Tensor) -> Tensor {
 /// series-major (`i·lag + (ℓ−1)`) — and `targets` is `S×N` with the values
 /// at time `t`. `S = L − lag` samples.
 pub(crate) fn lagged_design(series: &Tensor, lag: usize) -> (Tensor, Tensor) {
+    let _span = cf_obs::span::enter("baseline.lagged_design");
     let (n, l) = (series.shape()[0], series.shape()[1]);
     assert!(lag >= 1 && lag < l, "lag {lag} out of range for length {l}");
     let s = l - lag;
@@ -78,6 +80,7 @@ pub(crate) fn lag_norm(w: &Tensor, series_idx: usize, lag: usize, which_lag: usi
 /// mask aligned with `scores`. With fewer than 2 distinct values, selects
 /// everything (no gap to find).
 pub fn largest_gap_threshold(scores: &[f64]) -> Vec<bool> {
+    let _span = cf_obs::span::enter("baseline.gap_threshold");
     if scores.len() < 2 {
         return vec![true; scores.len()];
     }

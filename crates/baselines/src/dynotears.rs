@@ -178,7 +178,11 @@ mod tests {
         })
         .discover(&mut rng, &data.series);
         let c = score::confusion(&data.truth, &sparse);
-        assert!(c.precision() >= 0.6, "precision {}: {sparse}", c.precision());
+        assert!(
+            c.precision() >= 0.6,
+            "precision {}: {sparse}",
+            c.precision()
+        );
     }
 
     #[test]

@@ -37,7 +37,6 @@
 // would obscure.
 #![allow(clippy::needless_range_loop)]
 
-
 mod clstm;
 mod cmlp;
 mod common;

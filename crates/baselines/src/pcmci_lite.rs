@@ -192,7 +192,11 @@ mod tests {
         let data = generate(&mut rng, Structure::Mediator, 1000);
         let g = Pcmci::default().discover(&mut rng, &data.series);
         let c = score::confusion(&data.truth, &g);
-        assert!(c.precision() >= 0.6, "precision {} too low: {g}", c.precision());
+        assert!(
+            c.precision() >= 0.6,
+            "precision {} too low: {g}",
+            c.precision()
+        );
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! checkpoint (de)serialisation.
 
 use causalformer::{persist, trainer, ModelConfig, TrainConfig};
-use cf_baselines::{Discoverer, Dynotears, DynotearsConfig, Pcmci, PcmciConfig, VarGranger, VarGrangerConfig};
+use cf_baselines::{
+    Discoverer, Dynotears, DynotearsConfig, Pcmci, PcmciConfig, VarGranger, VarGrangerConfig,
+};
 use cf_data::{random_var, synthetic, window};
 use cf_metrics::kmeans;
 use cf_stats::{f_cdf, fisher_z_test, ols, partial_correlation, reg_inc_beta};
@@ -15,7 +17,13 @@ use std::hint::black_box;
 fn bench_stats_substrate(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions/stats");
     group.bench_function("reg_inc_beta", |b| {
-        b.iter(|| black_box(reg_inc_beta(black_box(3.5), black_box(7.25), black_box(0.42))))
+        b.iter(|| {
+            black_box(reg_inc_beta(
+                black_box(3.5),
+                black_box(7.25),
+                black_box(0.42),
+            ))
+        })
     });
     group.bench_function("f_cdf", |b| {
         b.iter(|| black_box(f_cdf(black_box(2.7), black_box(4.0), black_box(40.0))))
@@ -23,7 +31,11 @@ fn bench_stats_substrate(c: &mut Criterion) {
     let x: Vec<f64> = (0..500).map(|i| (i as f64 * 0.13).sin()).collect();
     let y: Vec<f64> = (0..500).map(|i| (i as f64 * 0.13 + 0.4).sin()).collect();
     let z: Vec<Vec<f64>> = (0..3)
-        .map(|k| (0..500).map(|i| (i as f64 * (0.07 + k as f64 * 0.02)).cos()).collect())
+        .map(|k| {
+            (0..500)
+                .map(|i| (i as f64 * (0.07 + k as f64 * 0.02)).cos())
+                .collect()
+        })
         .collect();
     group.bench_function("partial_correlation_500x3", |b| {
         b.iter(|| black_box(partial_correlation(&x, &y, &z)))
@@ -34,7 +46,9 @@ fn bench_stats_substrate(c: &mut Criterion) {
     let cols: Vec<Vec<f64>> = (0..20)
         .map(|k| (0..400).map(|i| ((i + k) as f64 * 0.11).sin()).collect())
         .collect();
-    group.bench_function("ols_400x20", |b| b.iter(|| black_box(ols(&cols, &x[..400], 1e-8))));
+    group.bench_function("ols_400x20", |b| {
+        b.iter(|| black_box(ols(&cols, &x[..400], 1e-8)))
+    });
     group.finish();
 }
 
@@ -103,7 +117,9 @@ fn bench_persistence(c: &mut Criterion) {
     let (trained, _) = trainer::train(&mut rng, mc, tc, &windows);
     let json = persist::to_json(&trained).unwrap();
     let mut group = c.benchmark_group("extensions/persist");
-    group.bench_function("to_json", |b| b.iter(|| black_box(persist::to_json(&trained).unwrap())));
+    group.bench_function("to_json", |b| {
+        b.iter(|| black_box(persist::to_json(&trained).unwrap()))
+    });
     group.bench_function("from_json", |b| {
         b.iter(|| black_box(persist::from_json(&json).unwrap().model.config().n_series))
     });

@@ -15,7 +15,9 @@ fn bench_delay_readout(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let mut group = c.benchmark_group("table2/delay_readout");
     for (n, t) in [(10usize, 16usize), (15, 32)] {
-        let scores: Vec<Tensor> = (0..n).map(|_| uniform(&mut rng, &[n, t], 0.0, 1.0)).collect();
+        let scores: Vec<Tensor> = (0..n)
+            .map(|_| uniform(&mut rng, &[n, t], 0.0, 1.0))
+            .collect();
         group.bench_function(format!("argmax_n{n}_t{t}"), |b| {
             b.iter(|| {
                 let mut total = 0usize;

@@ -126,16 +126,23 @@ fn main() {
         let dc = ct as isize - cf_col as isize;
         if dr.signum() == flow.0.signum() && dc.signum() == flow.1.signum() {
             aligned += 1;
-        } else if dr.signum() == -flow.0.signum() && dc.signum() == -flow.1.signum() && flow != (0, 0)
+        } else if dr.signum() == -flow.0.signum()
+            && dc.signum() == -flow.1.signum()
+            && flow != (0, 0)
         {
             contrary += 1;
         }
     }
 
     let f1 = cf_metrics::score::f1(&sst.dataset.truth, &result.graph);
-    println!("discovered {} edges ({} non-self)", result.graph.num_edges(),
-        result.graph.non_self_edges().count());
-    println!("  western basin (Gulf-Stream analogue, flow N): S→N {s2n_west:>3}  N→S {n2s_west:>3}");
+    println!(
+        "discovered {} edges ({} non-self)",
+        result.graph.num_edges(),
+        result.graph.non_self_edges().count()
+    );
+    println!(
+        "  western basin (Gulf-Stream analogue, flow N): S→N {s2n_west:>3}  N→S {n2s_west:>3}"
+    );
     println!("  eastern basin (Canary analogue,   flow S): S→N {s2n_east:>3}  N→S {n2s_east:>3}");
     println!("  flow-aligned {aligned} vs flow-contrary {contrary}");
     println!("  F1 vs prescribed advection graph: {f1:.2}");

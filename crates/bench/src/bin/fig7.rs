@@ -14,7 +14,11 @@ fn main() {
     println!("Fig. 7 — ground-truth causal graphs of the synthetic datasets\n");
     for structure in Structure::ALL {
         let truth = structure.truth();
-        println!("## {} ({} series)", structure.name(), structure.num_series());
+        println!(
+            "## {} ({} series)",
+            structure.name(),
+            structure.num_series()
+        );
         println!("{truth}");
         println!("non-self edges:");
         for e in truth.non_self_edges() {

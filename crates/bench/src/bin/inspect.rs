@@ -63,8 +63,13 @@ fn main() {
         let mut det_cfg = cf.detector;
         det_cfg.mode = mode;
         let mut det_rng = StdRng::seed_from_u64(0xD37);
-        let (graph, scores) =
-            detector::detect(&mut det_rng, &trained.model, &trained.store, &windows, &det_cfg);
+        let (graph, scores) = detector::detect(
+            &mut det_rng,
+            &trained.model,
+            &trained.store,
+            &windows,
+            &det_cfg,
+        );
         let c = cf_metrics::score::confusion(&data.truth, &graph);
         println!(
             "--- mode {mode:?}  (P {:.2} R {:.2} F1 {:.2}, {} edges) ---",

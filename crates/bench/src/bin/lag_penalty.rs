@@ -13,9 +13,9 @@
 //! cargo run -p cf-bench --release --bin lag_penalty -- --quick
 //! ```
 
+use cf_baselines::Discoverer;
 use cf_bench::methods::{causalformer_for, generate_datasets, CausalFormerMethod, DatasetKind};
 use cf_bench::{parse_options, print_table, SerMeanStd};
-use cf_baselines::Discoverer;
 use cf_metrics::{score, MeanStd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -73,8 +73,12 @@ fn main() {
         let f1_off: SerMeanStd = MeanStd::from_samples(&f1s.0).into();
         let f1_on: SerMeanStd = MeanStd::from_samples(&f1s.1).into();
         measured.push(vec![
-            pod_off.map(|m| m.to_string()).unwrap_or_else(|| "n/a".into()),
-            pod_on.map(|m| m.to_string()).unwrap_or_else(|| "n/a".into()),
+            pod_off
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "n/a".into()),
+            pod_on
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "n/a".into()),
             f1_off.to_string(),
             f1_on.to_string(),
         ]);

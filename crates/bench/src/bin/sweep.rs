@@ -29,7 +29,13 @@ fn main() {
         }
     };
 
-    for (temp, lam) in [(10.0f64, 5e-4f64), (1.0, 5e-4), (1.0, 5e-3), (1.0, 2e-2), (10.0, 2e-2)] {
+    for (temp, lam) in [
+        (10.0f64, 5e-4f64),
+        (1.0, 5e-4),
+        (1.0, 5e-3),
+        (1.0, 2e-2),
+        (10.0, 2e-2),
+    ] {
         let (window_len, heads) = (8usize, 2usize);
         println!("-- tau={temp} lambda_M={lam}");
         // Average over 2 seeds to damp noise.
@@ -54,8 +60,13 @@ fn main() {
                         ..cf.detector
                     };
                     let mut det_rng = StdRng::seed_from_u64(7);
-                    let (graph, _) =
-                        detector::detect(&mut det_rng, &trained.model, &trained.store, &windows, &det);
+                    let (graph, _) = detector::detect(
+                        &mut det_rng,
+                        &trained.model,
+                        &trained.store,
+                        &windows,
+                        &det,
+                    );
                     let c = score::confusion(&data.truth, &graph);
                     let key = format!("T={window_len} h={heads} n={n_clusters} m={m_top}");
                     match rows.iter_mut().find(|(k, _)| *k == key) {

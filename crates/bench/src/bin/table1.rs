@@ -9,6 +9,7 @@ use cf_bench::{methods, parse_options, print_table, run_cell, Cell};
 
 fn main() {
     let options = parse_options(std::env::args().skip(1));
+    cf_bench::init_metrics(&options);
     println!(
         "Table 1 — overall F1 ({} seeds{})",
         options.seeds,
@@ -49,4 +50,5 @@ fn main() {
         &reference,
     );
     cf_bench::maybe_dump_json(&options, &cells);
+    cf_bench::maybe_dump_metrics(&options, &cells);
 }

@@ -11,6 +11,7 @@ use cf_bench::{methods, parse_options, print_table, run_cell, Cell};
 
 fn main() {
     let options = parse_options(std::env::args().skip(1));
+    cf_bench::init_metrics(&options);
     println!(
         "Table 2 — precision of delay ({} seeds{})",
         options.seeds,
@@ -55,4 +56,5 @@ fn main() {
         &reference,
     );
     cf_bench::maybe_dump_json(&options, &cells);
+    cf_bench::maybe_dump_metrics(&options, &cells);
 }

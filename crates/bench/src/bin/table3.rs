@@ -32,6 +32,7 @@ struct AblationRow {
 
 fn main() {
     let options = parse_options(std::env::args().skip(1));
+    cf_bench::init_metrics(&options);
     println!(
         "Table 3 — fMRI ablations ({} seeds{})",
         options.seeds,
@@ -80,8 +81,13 @@ fn main() {
                 let mut det_cfg = cf.detector;
                 det_cfg.mode = *mode;
                 let mut det_rng = StdRng::seed_from_u64(seed ^ 0xD37);
-                let (graph, _) =
-                    detector::detect(&mut det_rng, &trained.model, &trained.store, &windows, &det_cfg);
+                let (graph, _) = detector::detect(
+                    &mut det_rng,
+                    &trained.model,
+                    &trained.store,
+                    &windows,
+                    &det_cfg,
+                );
                 let c = score::confusion(&data.truth, &graph);
                 let row = if *name == "CausalFormer" { 5 } else { k };
                 samples[row].1.push(c.precision());
@@ -93,8 +99,7 @@ fn main() {
             let mut model_single = cf.model;
             model_single.single_kernel = true;
             let mut rng2 = StdRng::seed_from_u64(seed ^ 0xAB1E);
-            let (trained_single, _) =
-                trainer::train(&mut rng2, model_single, cf.train, &windows);
+            let (trained_single, _) = trainer::train(&mut rng2, model_single, cf.train, &windows);
             let mut det_rng = StdRng::seed_from_u64(seed ^ 0xD37);
             let (graph, _) = detector::detect(
                 &mut det_rng,
@@ -115,7 +120,12 @@ fn main() {
         ("w/o relevance", "0.64±0.32", "0.44±0.12", "0.50±0.17"),
         ("w/o gradient", "0.60±0.60", "0.54±0.54", "0.54±0.54"),
         ("w/o bias", "0.79±0.31", "0.44±0.12", "0.55±0.18"),
-        ("w/o multi conv kernel", "0.74±0.25", "0.56±0.12", "0.61±0.12"),
+        (
+            "w/o multi conv kernel",
+            "0.74±0.25",
+            "0.56±0.12",
+            "0.61±0.12",
+        ),
         ("CausalFormer", "0.80±0.17", "0.59±0.13", "0.66±0.09"),
     ];
 
@@ -150,6 +160,9 @@ fn main() {
         &reference,
     );
     cf_bench::maybe_dump_json(&options, &json_rows);
+    // Ablations share one training per network, so there are no per-cell
+    // timings; the artifact still carries the op profile and span summary.
+    cf_bench::maybe_dump_metrics(&options, &[]);
 }
 
 fn standardize(series: &cf_tensor::Tensor) -> cf_tensor::Tensor {

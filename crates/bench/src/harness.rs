@@ -10,6 +10,9 @@ pub struct Options {
     pub seeds: usize,
     /// Optional JSON output path.
     pub json_out: Option<String>,
+    /// Also write a per-run metrics artifact (wall times, tape op profile,
+    /// span summary) next to the `--json` output.
+    pub metrics: bool,
 }
 
 impl Default for Options {
@@ -18,6 +21,7 @@ impl Default for Options {
             quick: false,
             seeds: 5,
             json_out: None,
+            metrics: false,
         }
     }
 }
@@ -50,6 +54,7 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Options {
                         .unwrap_or_else(|| usage_abort("--json requires a path")),
                 );
             }
+            "--metrics" => options.metrics = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -64,10 +69,12 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Options {
 }
 
 const USAGE: &str = "\
-usage: <experiment> [--quick] [--seeds K] [--json PATH]
+usage: <experiment> [--quick] [--seeds K] [--json PATH] [--metrics]
   --quick      reduced budgets (2 seeds, shorter series, fewer epochs)
   --seeds K    seeds per cell (default 5; 2 with --quick)
-  --json PATH  dump machine-readable results";
+  --json PATH  dump machine-readable results
+  --metrics    also write wall times + op profile to <PATH>.metrics.json
+               (metrics.json without --json)";
 
 fn usage_abort(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -109,5 +116,11 @@ mod tests {
     fn json_path_captured() {
         let o = parse(&["--json", "/tmp/out.json"]);
         assert_eq!(o.json_out.as_deref(), Some("/tmp/out.json"));
+    }
+
+    #[test]
+    fn metrics_flag_captured() {
+        assert!(!parse(&[]).metrics);
+        assert!(parse(&["--metrics"]).metrics);
     }
 }

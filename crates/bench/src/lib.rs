@@ -46,6 +46,9 @@ pub struct Cell {
     /// Aggregated precision-of-delay (only for delay-capable methods on
     /// delay-annotated ground truth).
     pub pod: Option<SerMeanStd>,
+    /// Total wall-clock seconds spent in `discover` across all runs of
+    /// this cell.
+    pub wall_secs: f64,
 }
 
 /// Serializable mirror of [`MeanStd`].
@@ -78,15 +81,15 @@ impl std::fmt::Display for SerMeanStd {
 /// Runs `method` over every `(seed, dataset)` pair and aggregates
 /// edge-discovery metrics. `datasets(seed)` regenerates the benchmark for a
 /// seed so every method sees identical data at identical seeds.
-pub fn run_cell(
-    method_kind: MethodKind,
-    dataset_kind: DatasetKind,
-    options: &Options,
-) -> Cell {
+pub fn run_cell(method_kind: MethodKind, dataset_kind: DatasetKind, options: &Options) -> Cell {
+    // Nested spans give the registry a "<Dataset>.<method>" path whose
+    // total is this cell's discovery wall time.
+    let _dataset_span = cf_obs::span::enter(dataset_display_name(dataset_kind));
     let mut f1s = Vec::new();
     let mut precisions = Vec::new();
     let mut recalls = Vec::new();
     let mut pods: Vec<Option<f64>> = Vec::new();
+    let mut wall_secs = 0.0;
 
     for seed in 0..options.seeds as u64 {
         let datasets = methods::generate_datasets(dataset_kind, seed, options.quick);
@@ -97,7 +100,12 @@ pub fn run_cell(
             let mut rng = StdRng::seed_from_u64(
                 seed ^ (method_kind as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );
-            let graph = method.discover(&mut rng, &data.series);
+            let started = std::time::Instant::now();
+            let graph = {
+                let _method_span = cf_obs::span::enter(method_kind.name());
+                method.discover(&mut rng, &data.series)
+            };
+            wall_secs += started.elapsed().as_secs_f64();
             let c = score::confusion(&data.truth, &graph);
             f1s.push(c.f1());
             precisions.push(c.precision());
@@ -117,6 +125,7 @@ pub fn run_cell(
         precision: Some(MeanStd::from_samples(&precisions).into()),
         recall: Some(MeanStd::from_samples(&recalls).into()),
         pod: MeanStd::from_options(&pods).map(Into::into),
+        wall_secs,
     }
 }
 
@@ -172,5 +181,98 @@ pub fn maybe_dump_json<T: serde::Serialize>(options: &Options, value: &T) {
         let json = serde_json::to_string_pretty(value).expect("results serialize");
         std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("results written to {path}");
+    }
+}
+
+/// Turns on tape op profiling when `--metrics` was requested. Call once at
+/// the top of an experiment binary, before any cells run.
+pub fn init_metrics(options: &Options) {
+    if options.metrics {
+        cf_obs::profile::reset();
+        cf_obs::span::reset();
+        cf_obs::profile::set_enabled(true);
+    }
+}
+
+/// Path of the metrics artifact: `<json stem>.metrics.json` next to the
+/// `--json` output, or `metrics.json` when no `--json` was given.
+pub fn metrics_path(options: &Options) -> String {
+    match &options.json_out {
+        Some(p) => format!("{}.metrics.json", p.strip_suffix(".json").unwrap_or(p)),
+        None => "metrics.json".to_string(),
+    }
+}
+
+/// Writes the per-run metrics artifact (per-cell method/dataset wall times,
+/// tape op profile, span registry summary) if `--metrics` was given.
+pub fn maybe_dump_metrics(options: &Options, cells: &[Cell]) {
+    if !options.metrics {
+        return;
+    }
+    let mut runs = cf_obs::json::Arr::new();
+    for c in cells {
+        runs = runs.raw(
+            &cf_obs::json::Obj::new()
+                .str("method", &c.method)
+                .str("dataset", &c.dataset)
+                .f64("wall_secs", c.wall_secs)
+                .finish(),
+        );
+    }
+    let doc = cf_obs::json::Obj::new()
+        .f64("ts", cf_obs::unix_time())
+        .u64("seeds", options.seeds as u64)
+        .bool("quick", options.quick)
+        .raw("runs", &runs.finish())
+        .raw("op_profile", &cf_obs::profile::snapshot_json())
+        .raw("spans", &cf_obs::span::snapshot_json())
+        .finish();
+    let path = metrics_path(options);
+    std::fs::write(&path, doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("metrics written to {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_path_sits_next_to_json_output() {
+        let mut o = Options::default();
+        assert_eq!(metrics_path(&o), "metrics.json");
+        o.json_out = Some("/tmp/t1.json".into());
+        assert_eq!(metrics_path(&o), "/tmp/t1.metrics.json");
+        o.json_out = Some("/tmp/results".into());
+        assert_eq!(metrics_path(&o), "/tmp/results.metrics.json");
+    }
+
+    #[test]
+    fn metrics_artifact_is_valid_json_with_runs() {
+        let dir = std::env::temp_dir();
+        let json_path = dir.join("cf_bench_test_results.json");
+        let options = Options {
+            quick: true,
+            seeds: 1,
+            json_out: Some(json_path.to_string_lossy().into_owned()),
+            metrics: true,
+        };
+        let cell = Cell {
+            method: "cMLP".into(),
+            dataset: "Diamond".into(),
+            f1: None,
+            precision: None,
+            recall: None,
+            pod: None,
+            wall_secs: 1.25,
+        };
+        maybe_dump_metrics(&options, &[cell]);
+        let path = metrics_path(&options);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["runs"][0]["method"].as_str(), Some("cMLP"));
+        assert_eq!(v["runs"][0]["wall_secs"].as_f64(), Some(1.25));
+        assert!(v["op_profile"].as_array().is_some());
+        assert!(v["spans"].as_array().is_some());
+        std::fs::remove_file(&path).ok();
     }
 }

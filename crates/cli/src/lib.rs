@@ -51,16 +51,22 @@ causalformer — temporal causal discovery (CausalFormer, ICDE 2025)
 usage:
   causalformer discover --input FILE.csv [--preset NAME] [--window T]
                         [--epochs E] [--seed S] [--dot FILE] [--save FILE]
+                        [--metrics-out FILE.jsonl] [--log-level LEVEL] [--quiet]
   causalformer generate --dataset NAME [--length L] [--seed S] --output FILE.csv
 
 discover options:
-  --preset NAME   synthetic-dense | synthetic-sparse | lorenz | fmri | sst
-                  (default: fmri — the most general setting)
-  --window T      observation window override
-  --epochs E      training epoch override
-  --seed S        RNG seed (default 0)
-  --dot FILE      write the discovered graph as Graphviz DOT
-  --save FILE     write the trained model checkpoint (JSON)
+  --preset NAME        synthetic-dense | synthetic-sparse | lorenz | fmri | sst
+                       (default: fmri — the most general setting)
+  --window T           observation window override
+  --epochs E           training epoch override
+  --seed S             RNG seed (default 0)
+  --dot FILE           write the discovered graph as Graphviz DOT
+  --save FILE          write the trained model checkpoint (JSON)
+  --metrics-out FILE   write JSONL telemetry (stage timings, per-epoch
+                       records, tape op profile, discovery summary)
+  --log-level LEVEL    off | error | warn | info | debug | trace
+                       (default info; the CF_LOG env var also works)
+  --quiet              suppress per-epoch progress (same as --log-level warn)
 
 generate options:
   --dataset NAME  diamond | mediator | v-structure | fork | lorenz96
@@ -84,6 +90,12 @@ pub struct DiscoverArgs {
     pub dot: Option<String>,
     /// Checkpoint output path.
     pub save: Option<String>,
+    /// JSONL telemetry output path.
+    pub metrics_out: Option<String>,
+    /// Log level override (parsed in `run_discover`).
+    pub log_level: Option<String>,
+    /// Suppress per-epoch progress lines.
+    pub quiet: bool,
 }
 
 /// Parsed `generate` arguments.
@@ -129,10 +141,19 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 seed: 0,
                 dot: None,
                 save: None,
+                metrics_out: None,
+                log_level: None,
+                quiet: false,
             };
             let mut i = 0;
             while i < rest.len() {
                 let flag = rest[i].as_str();
+                // Boolean flags take no value.
+                if flag == "--quiet" {
+                    a.quiet = true;
+                    i += 1;
+                    continue;
+                }
                 let value = rest
                     .get(i + 1)
                     .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))?;
@@ -148,6 +169,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--seed" => a.seed = parse_num::<u64>(flag, value)?,
                     "--dot" => a.dot = Some(value.clone()),
                     "--save" => a.save = Some(value.clone()),
+                    "--metrics-out" => a.metrics_out = Some(value.clone()),
+                    "--log-level" => a.log_level = Some(value.clone()),
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
                 i += 2;
@@ -212,9 +235,40 @@ pub fn preset_by_name(name: &str, n: usize) -> Result<CausalFormer, CliError> {
     })
 }
 
+/// Configures logging, the JSONL sink, and op profiling from the parsed
+/// `discover` flags. Returns whether a sink was installed.
+fn setup_observability(a: &DiscoverArgs) -> Result<bool, CliError> {
+    if a.quiet {
+        cf_obs::log::set_level(cf_obs::log::Level::Warn);
+    } else if let Some(name) = &a.log_level {
+        let level = cf_obs::log::Level::parse(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown log level {name:?} (expected off, error, warn, info, debug, trace)"
+            ))
+        })?;
+        cf_obs::log::set_level(level);
+    } else if std::env::var_os("CF_LOG").is_none() {
+        // Interactive default: show per-epoch progress unless the user
+        // opted out via --quiet, --log-level, or CF_LOG.
+        cf_obs::log::set_level(cf_obs::log::Level::Info);
+    }
+    if let Some(path) = &a.metrics_out {
+        cf_obs::span::reset();
+        cf_obs::metrics::reset();
+        cf_obs::profile::reset();
+        cf_obs::profile::set_enabled(true);
+        cf_obs::sink::install_file(path)
+            .map_err(|e| CliError::Run(format!("opening {path}: {e}")))?;
+        return Ok(true);
+    }
+    Ok(false)
+}
+
 /// Executes `discover`, returning the human-readable report that `main`
 /// prints.
 pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
+    let sink_installed = setup_observability(a)?;
+    let started = std::time::Instant::now();
     let parsed = csv_io::read_series_csv_file(&a.input)
         .map_err(|e| CliError::Run(format!("reading {}: {e}", a.input)))?;
     let n = parsed.series.shape()[0];
@@ -244,14 +298,8 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
         result.graph.num_edges()
     ));
     for e in result.graph.edges() {
-        let delay = e
-            .delay
-            .map(|d| format!(" (delay {d})"))
-            .unwrap_or_default();
-        out.push_str(&format!(
-            "  {} -> {}{delay}\n",
-            names[e.from], names[e.to]
-        ));
+        let delay = e.delay.map(|d| format!(" (delay {d})")).unwrap_or_default();
+        out.push_str(&format!("  {} -> {}{delay}\n", names[e.from], names[e.to]));
     }
 
     if let Some(path) = &a.dot {
@@ -270,6 +318,30 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
             .map_err(|e| CliError::Run(format!("saving model to {path}: {e}")))?;
         out.push_str(&format!("model checkpoint written to {path}\n"));
     }
+
+    if sink_installed {
+        cf_obs::sink::emit(
+            &cf_obs::json::Obj::new()
+                .str("event", "discovery")
+                .f64("ts", cf_obs::unix_time())
+                .str("input", &a.input)
+                .str("preset", &a.preset)
+                .u64("seed", a.seed)
+                .u64("n_series", n as u64)
+                .u64("series_len", len as u64)
+                .u64("edges", result.graph.num_edges() as u64)
+                .u64(
+                    "epochs_trained",
+                    result.train_report.train_losses.len() as u64,
+                )
+                .f64("wall_secs", started.elapsed().as_secs_f64())
+                .finish(),
+        );
+        cf_obs::sink::emit_summaries();
+        cf_obs::sink::uninstall();
+        let path = a.metrics_out.as_deref().unwrap_or("?");
+        out.push_str(&format!("metrics written to {path}\n"));
+    }
     Ok(out)
 }
 
@@ -284,11 +356,13 @@ pub fn run_generate(a: &GenerateArgs) -> Result<String, CliError> {
         "lorenz96" => lorenz96::generate_random_forcing(&mut rng, 10, a.length),
         other => {
             return Err(CliError::Usage(format!(
-                "unknown dataset {other:?} (expected diamond, mediator, v-structure, fork, lorenz96)"
-            )))
+            "unknown dataset {other:?} (expected diamond, mediator, v-structure, fork, lorenz96)"
+        )))
         }
     };
-    let names: Vec<String> = (1..=dataset.num_series()).map(|i| format!("S{i}")).collect();
+    let names: Vec<String> = (1..=dataset.num_series())
+        .map(|i| format!("S{i}"))
+        .collect();
     let mut buf = Vec::new();
     csv_io::write_series_csv(&mut buf, &dataset.series, &names)
         .map_err(|e| CliError::Run(format!("serialising CSV: {e}")))?;
@@ -314,8 +388,26 @@ mod tests {
     #[test]
     fn parses_discover_with_all_flags() {
         let cmd = parse(&s(&[
-            "discover", "--input", "x.csv", "--preset", "lorenz", "--window", "8", "--epochs",
-            "5", "--seed", "7", "--dot", "g.dot", "--save", "m.json",
+            "discover",
+            "--input",
+            "x.csv",
+            "--preset",
+            "lorenz",
+            "--window",
+            "8",
+            "--epochs",
+            "5",
+            "--seed",
+            "7",
+            "--dot",
+            "g.dot",
+            "--save",
+            "m.json",
+            "--metrics-out",
+            "m.jsonl",
+            "--log-level",
+            "debug",
+            "--quiet",
         ]))
         .unwrap();
         match cmd {
@@ -327,6 +419,22 @@ mod tests {
                 assert_eq!(a.seed, 7);
                 assert_eq!(a.dot.as_deref(), Some("g.dot"));
                 assert_eq!(a.save.as_deref(), Some("m.json"));
+                assert_eq!(a.metrics_out.as_deref(), Some("m.jsonl"));
+                assert_eq!(a.log_level.as_deref(), Some("debug"));
+                assert!(a.quiet);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quiet_takes_no_value() {
+        // --quiet followed by another flag must not swallow it.
+        let cmd = parse(&s(&["discover", "--quiet", "--input", "x.csv"])).unwrap();
+        match cmd {
+            Command::Discover(a) => {
+                assert!(a.quiet);
+                assert_eq!(a.input, "x.csv");
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -334,10 +442,7 @@ mod tests {
 
     #[test]
     fn rejects_missing_input_and_unknown_flags() {
-        assert!(matches!(
-            parse(&s(&["discover"])),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(parse(&s(&["discover"])), Err(CliError::Usage(_))));
         assert!(matches!(
             parse(&s(&["discover", "--wat", "x"])),
             Err(CliError::Usage(_))
@@ -356,13 +461,16 @@ mod tests {
 
     #[test]
     fn preset_names_resolve() {
-        for name in ["synthetic-dense", "synthetic-sparse", "lorenz", "fmri", "sst"] {
+        for name in [
+            "synthetic-dense",
+            "synthetic-sparse",
+            "lorenz",
+            "fmri",
+            "sst",
+        ] {
             assert!(preset_by_name(name, 4).is_ok(), "{name}");
         }
-        assert!(matches!(
-            preset_by_name("nope", 4),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(preset_by_name("nope", 4), Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -379,6 +487,7 @@ mod tests {
         let report = run_generate(&gen).unwrap();
         assert!(report.contains("3 series"));
 
+        let metrics_path = dir.join("cf_cli_test_fork.jsonl");
         let disc = DiscoverArgs {
             input: csv_path.to_string_lossy().into_owned(),
             preset: "synthetic-sparse".into(),
@@ -387,13 +496,38 @@ mod tests {
             seed: 1,
             dot: Some(dot_path.to_string_lossy().into_owned()),
             save: None,
+            metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
+            log_level: None,
+            quiet: true,
         };
         let report = run_discover(&disc).unwrap();
-        assert!(report.contains("causal relations over 3 series"), "{report}");
+        assert!(
+            report.contains("causal relations over 3 series"),
+            "{report}"
+        );
         let dot = std::fs::read_to_string(&dot_path).unwrap();
         assert!(dot.starts_with("digraph"));
+
+        // The telemetry file holds stage spans, one record per epoch, the
+        // op profile, and the discovery summary — one JSON object per line.
+        let telemetry = std::fs::read_to_string(&metrics_path).unwrap();
+        let events: Vec<&str> = telemetry.lines().collect();
+        let count = |kind: &str| {
+            events
+                .iter()
+                .filter(|l| l.contains(&format!("\"event\":\"{kind}\"")))
+                .count()
+        };
+        assert_eq!(count("epoch"), 3, "{telemetry}");
+        assert_eq!(count("stage"), 3, "{telemetry}"); // windowing, train, detect
+        assert_eq!(count("discovery"), 1, "{telemetry}");
+        assert_eq!(count("op_profile"), 1, "{telemetry}");
+        assert_eq!(count("span_summary"), 1, "{telemetry}");
+        assert!(telemetry.contains("\"op\":\"matmul\""), "{telemetry}");
+
         std::fs::remove_file(&csv_path).ok();
         std::fs::remove_file(&dot_path).ok();
+        std::fs::remove_file(&metrics_path).ok();
     }
 
     #[test]
@@ -409,6 +543,9 @@ mod tests {
             seed: 0,
             dot: None,
             save: None,
+            metrics_out: None,
+            log_level: None,
+            quiet: true,
         };
         assert!(matches!(run_discover(&disc), Err(CliError::Run(_))));
         std::fs::remove_file(&csv_path).ok();

@@ -42,7 +42,6 @@
 // would obscure.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod config;
 pub mod detector;
 pub mod model;

@@ -340,12 +340,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let mut store = ParamStore::new();
         let model = CausalityAwareTransformer::new(&mut store, &mut rng, config);
-        let x = uniform(
-            &mut rng,
-            &[config.n_series, config.window],
-            -1.0,
-            1.0,
-        );
+        let x = uniform(&mut rng, &[config.n_series, config.window], -1.0, 1.0);
         (store, model, x)
     }
 

@@ -208,7 +208,9 @@ mod tests {
             d_ffn: 8,
             ..ModelConfig::compact(3, 6)
         };
-        let windows: Vec<Tensor> = (0..6).map(|_| uniform(&mut rng, &[3, 6], -1.0, 1.0)).collect();
+        let windows: Vec<Tensor> = (0..6)
+            .map(|_| uniform(&mut rng, &[3, 6], -1.0, 1.0))
+            .collect();
         let tc = TrainConfig {
             max_epochs: 3,
             ..TrainConfig::default()

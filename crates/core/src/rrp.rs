@@ -109,6 +109,7 @@ pub struct RrpLayers<'a> {
 /// Runs RRP for `target` (the series whose causes are being sought) and
 /// returns the relevance of every attention matrix and of the kernel bank.
 pub fn propagate(layers: &RrpLayers<'_>, target: usize) -> RrpResult {
+    let _span = cf_obs::span::enter("rrp.propagate");
     let n = layers.pred.shape()[0];
     let t = layers.pred.shape()[1];
     assert!(target < n, "target series out of range");
@@ -266,9 +267,7 @@ fn linear_rrp(
             if r == 0.0 {
                 continue;
             }
-            let mut denom: f64 = (0..p)
-                .map(|i| pos(x.get2(nrow, i) * w.get2(i, j)))
-                .sum();
+            let mut denom: f64 = (0..p).map(|i| pos(x.get2(nrow, i) * w.get2(i, j))).sum();
             if with_bias {
                 denom += pos(b.data()[j]);
             }
@@ -366,8 +365,11 @@ mod tests {
         let trace = model.forward(&mut tape, &bound, &x);
         let weights = model.rrp_weights();
         let biases = model.rrp_biases();
-        let head_out: Vec<Tensor> =
-            trace.head_out.iter().map(|&v| tape.value(v).clone()).collect();
+        let head_out: Vec<Tensor> = trace
+            .head_out
+            .iter()
+            .map(|&v| tape.value(v).clone())
+            .collect();
         let attn: Vec<Tensor> = trace.attn.iter().map(|&v| tape.value(v).clone()).collect();
         let layers = RrpLayers {
             x: tape.value(trace.x),

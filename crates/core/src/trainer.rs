@@ -28,6 +28,10 @@ pub struct TrainReport {
     pub train_losses: Vec<f64>,
     /// Validation prediction loss per epoch.
     pub val_losses: Vec<f64>,
+    /// Wall-clock seconds spent in each epoch (including validation).
+    pub epoch_wall_secs: Vec<f64>,
+    /// Mean pre-clip global gradient norm per epoch.
+    pub grad_norms: Vec<f64>,
     /// Epoch (1-based) whose weights were kept.
     pub best_epoch: usize,
     /// Whether early stopping fired before `max_epochs`.
@@ -69,13 +73,18 @@ pub fn train<R: Rng + ?Sized>(
 
     let mut train_losses = Vec::new();
     let mut val_losses = Vec::new();
+    let mut epoch_wall_secs = Vec::new();
+    let mut grad_norms = Vec::new();
     let mut best_snapshot = store.snapshot();
     let mut early_stopped = false;
 
     let mut order: Vec<usize> = (0..train_set.len()).collect();
-    for _epoch in 0..train_config.max_epochs {
+    for epoch in 0..train_config.max_epochs {
+        let _epoch_span = cf_obs::span::enter("epoch");
+        let epoch_start = std::time::Instant::now();
         order.shuffle(rng);
         let mut epoch_loss = 0.0;
+        let mut epoch_grad_norm = 0.0;
         let mut steps = 0usize;
         for batch in order.chunks(train_config.batch_size) {
             let mut tape = Tape::new();
@@ -98,11 +107,12 @@ pub fn train<R: Rng + ?Sized>(
                 .gradients(&grads)
                 .map(|(id, g)| (id, g.clone()))
                 .collect();
-            clip_global_norm(&mut pairs, train_config.clip_norm);
+            epoch_grad_norm += clip_global_norm(&mut pairs, train_config.clip_norm);
             adam.step_pairs(&mut store, &pairs);
             epoch_loss += tape.value(total).item();
             steps += 1;
         }
+        grad_norms.push(epoch_grad_norm / steps.max(1) as f64);
         train_losses.push(epoch_loss / steps.max(1) as f64);
         if train_config.lr_decay < 1.0 {
             adam.set_lr(adam.lr() * train_config.lr_decay);
@@ -115,6 +125,31 @@ pub fn train<R: Rng + ?Sized>(
             evaluate(&model, &store, val_set)
         };
         val_losses.push(monitored);
+        let epoch_secs = epoch_start.elapsed().as_secs_f64();
+        epoch_wall_secs.push(epoch_secs);
+
+        cf_obs::info!(
+            "epoch {:>3}/{} train_loss {:.6} val_loss {:.6} grad_norm {:.4} ({:.2}s)",
+            epoch + 1,
+            train_config.max_epochs,
+            train_losses.last().expect("pushed above"),
+            monitored,
+            grad_norms.last().expect("pushed above"),
+            epoch_secs,
+        );
+        if cf_obs::sink::is_installed() {
+            cf_obs::sink::emit(
+                &cf_obs::json::Obj::new()
+                    .str("event", "epoch")
+                    .f64("ts", cf_obs::unix_time())
+                    .u64("epoch", (epoch + 1) as u64)
+                    .f64("train_loss", *train_losses.last().expect("pushed above"))
+                    .f64("val_loss", monitored)
+                    .f64("grad_norm", *grad_norms.last().expect("pushed above"))
+                    .f64("wall_secs", epoch_secs)
+                    .finish(),
+            );
+        }
 
         match stopper.observe(monitored) {
             StopDecision::Improved => best_snapshot = store.snapshot(),
@@ -127,11 +162,19 @@ pub fn train<R: Rng + ?Sized>(
     }
 
     store.restore(&best_snapshot);
+    cf_obs::debug!(
+        "training done: {} epochs, best epoch {}, early_stopped {}",
+        train_losses.len(),
+        stopper.best_epoch(),
+        early_stopped,
+    );
     (
         TrainedModel { model, store },
         TrainReport {
             train_losses,
             val_losses,
+            epoch_wall_secs,
+            grad_norms,
             best_epoch: stopper.best_epoch(),
             early_stopped,
         },
@@ -139,11 +182,7 @@ pub fn train<R: Rng + ?Sized>(
 }
 
 /// Mean masked-MSE prediction loss of `model` over `windows` (no penalty).
-pub fn evaluate(
-    model: &CausalityAwareTransformer,
-    store: &ParamStore,
-    windows: &[Tensor],
-) -> f64 {
+pub fn evaluate(model: &CausalityAwareTransformer, store: &ParamStore, windows: &[Tensor]) -> f64 {
     assert!(!windows.is_empty(), "no evaluation windows");
     let mut total = 0.0;
     for w in windows {

@@ -211,8 +211,7 @@ pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: FmriConfig) -> Dataset {
 
     Dataset {
         name: format!("fmri-{n}"),
-        series: Tensor::from_vec(vec![n, config.length], data)
-            .expect("consistent by construction"),
+        series: Tensor::from_vec(vec![n, config.length], data).expect("consistent by construction"),
         truth,
     }
 }

@@ -44,7 +44,10 @@ impl fmt::Display for CsvError {
         match self {
             CsvError::Io(e) => write!(f, "I/O error: {e}"),
             CsvError::BadNumber { line, column, text } => {
-                write!(f, "line {line}, column {column}: cannot parse {text:?} as a number")
+                write!(
+                    f,
+                    "line {line}, column {column}: cannot parse {text:?} as a number"
+                )
             }
             CsvError::RaggedRow {
                 line,

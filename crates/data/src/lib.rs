@@ -28,7 +28,6 @@
 // would obscure.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod fmri_sim;
 pub mod henon;
 pub mod io;

@@ -96,7 +96,10 @@ pub fn truth(n: usize) -> CausalGraph {
 /// sampling. Initial state is the fixed point `x_i = F` perturbed with
 /// small seeded noise; a 500-substep burn-in is discarded.
 pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: Lorenz96Config) -> Dataset {
-    assert!(config.n >= 4, "Lorenz-96 stencil needs at least 4 variables");
+    assert!(
+        config.n >= 4,
+        "Lorenz-96 stencil needs at least 4 variables"
+    );
     assert!(config.length > 0 && config.substeps > 0 && config.dt > 0.0);
     let n = config.n;
     let mut x: Vec<f64> = (0..n)
@@ -119,8 +122,7 @@ pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: Lorenz96Config) -> Dataset
 
     Dataset {
         name: format!("lorenz96-F{:.0}", config.forcing),
-        series: Tensor::from_vec(vec![n, config.length], data)
-            .expect("consistent by construction"),
+        series: Tensor::from_vec(vec![n, config.length], data).expect("consistent by construction"),
         truth: truth(n),
     }
 }

@@ -122,9 +122,9 @@ fn gyre_flow(height: usize, width: usize, row: usize, col: usize) -> (isize, isi
     let cx = (width as f64 - 1.0) / 2.0;
     let dy = row as f64 - cy; // + = south of centre
     let dx = col as f64 - cx; // + = east of centre
-    // Clockwise tangent. In map coordinates (x = east, y = north = −row),
-    // the clockwise tangent at offset (px, py) is (py, −px); converting the
-    // north component back to row units gives (d_row, d_col) = (dx, −dy).
+                              // Clockwise tangent. In map coordinates (x = east, y = north = −row),
+                              // the clockwise tangent at offset (px, py) is (py, −px); converting the
+                              // north component back to row units gives (d_row, d_col) = (dx, −dy).
     let vr = dx;
     let vc = -dy;
     let norm = (vr * vr + vc * vc).sqrt();
@@ -200,8 +200,8 @@ pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: SstConfig) -> SstData {
     let persistence = 1.0 - config.advection - config.relaxation;
 
     for t in 0..total {
-        let season =
-            config.seasonal_amp * (2.0 * std::f64::consts::PI * t as f64 / config.season_period).sin();
+        let season = config.seasonal_amp
+            * (2.0 * std::f64::consts::PI * t as f64 / config.season_period).sin();
         for c in 0..n {
             next[c] = persistence * temp[c]
                 + config.advection * temp[upstream[c]]
@@ -246,8 +246,14 @@ mod tests {
         let mid = h / 2;
         let (dr_west, _) = gyre_flow(h, w, mid, 0);
         let (dr_east, _) = gyre_flow(h, w, mid, w - 1);
-        assert!(dr_west < 0, "west boundary should flow north, got {dr_west}");
-        assert!(dr_east > 0, "east boundary should flow south, got {dr_east}");
+        assert!(
+            dr_west < 0,
+            "west boundary should flow north, got {dr_west}"
+        );
+        assert!(
+            dr_east > 0,
+            "east boundary should flow south, got {dr_east}"
+        );
     }
 
     #[test]
@@ -262,7 +268,10 @@ mod tests {
             assert!(sst.dataset.truth.has_edge(c, c));
         }
         let non_self = sst.dataset.truth.non_self_edges().count();
-        assert!(non_self > n / 2, "expected many advection edges, got {non_self}");
+        assert!(
+            non_self > n / 2,
+            "expected many advection edges, got {non_self}"
+        );
     }
 
     #[test]

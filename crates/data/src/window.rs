@@ -35,7 +35,10 @@ pub fn standardize(series: &Tensor) -> Tensor {
 pub fn windows(series: &Tensor, t_window: usize, stride: usize) -> Vec<Tensor> {
     assert_eq!(series.rank(), 2, "windows expects N×L");
     let (n, l) = (series.shape()[0], series.shape()[1]);
-    assert!(t_window > 0 && t_window <= l, "window {t_window} vs length {l}");
+    assert!(
+        t_window > 0 && t_window <= l,
+        "window {t_window} vs length {l}"
+    );
     assert!(stride > 0, "stride must be positive");
     let mut out = Vec::new();
     let mut start = 0;

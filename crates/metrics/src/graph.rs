@@ -59,7 +59,10 @@ impl CausalGraph {
     /// # Panics
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, from: usize, to: usize, delay: Option<usize>) {
-        assert!(from < self.n && to < self.n, "edge ({from},{to}) out of range");
+        assert!(
+            from < self.n && to < self.n,
+            "edge ({from},{to}) out of range"
+        );
         self.edges.insert((from, to), delay);
     }
 
@@ -80,11 +83,9 @@ impl CausalGraph {
 
     /// Iterates edges in deterministic `(from, to)` order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.edges.iter().map(|(&(from, to), &delay)| Edge {
-            from,
-            to,
-            delay,
-        })
+        self.edges
+            .iter()
+            .map(|(&(from, to), &delay)| Edge { from, to, delay })
     }
 
     /// Edges excluding self-loops.

@@ -19,7 +19,6 @@
 // would obscure.
 #![allow(clippy::needless_range_loop)]
 
-
 mod agg;
 mod graph;
 pub mod kmeans;

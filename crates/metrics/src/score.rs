@@ -162,10 +162,7 @@ mod tests {
 
     #[test]
     fn pod_counts_only_tp_with_known_delays() {
-        let truth = g(
-            3,
-            &[(0, 1, Some(2)), (1, 2, Some(1)), (0, 2, None)],
-        );
+        let truth = g(3, &[(0, 1, Some(2)), (1, 2, Some(1)), (0, 2, None)]);
         // One delay right, one wrong, one TP without GT delay, one FP.
         let pred = g(
             3,

@@ -242,8 +242,8 @@ mod tests {
         let mut store = ParamStore::new();
         let lin = Linear::he(&mut store, &mut rng, "l", 2, 2, true);
         let mut adam = Adam::new(0.05);
-        let x_data = Tensor::from_vec(vec![4, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, -0.5])
-            .unwrap();
+        let x_data =
+            Tensor::from_vec(vec![4, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, -0.5]).unwrap();
         for _ in 0..400 {
             let mut tape = Tape::new();
             let bound = store.bind(&mut tape);

@@ -39,7 +39,6 @@
 // would obscure.
 #![allow(clippy::needless_range_loop)]
 
-
 mod layers;
 mod optim;
 mod param;

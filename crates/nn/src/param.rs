@@ -103,7 +103,12 @@ impl ParamStore {
             "snapshot/store parameter count mismatch"
         );
         for (p, s) in self.params.iter_mut().zip(snapshot) {
-            assert_eq!(p.value.shape(), s.shape(), "snapshot shape mismatch for {}", p.name);
+            assert_eq!(
+                p.value.shape(),
+                s.shape(),
+                "snapshot shape mismatch for {}",
+                p.name
+            );
             p.value = s.clone();
         }
     }

@@ -1,7 +1,10 @@
 //! Integration tests of training dynamics: optimizers on non-trivial
 //! objectives, gradient clipping interplay, and recurrent gradient flow.
 
-use cf_nn::{clip_global_norm, Adam, EarlyStopper, Linear, LstmCell, Optimizer, ParamStore, Sgd, StopDecision};
+use cf_nn::{
+    clip_global_norm, Adam, EarlyStopper, Linear, LstmCell, Optimizer, ParamStore, Sgd,
+    StopDecision,
+};
 use cf_tensor::{uniform, Tape, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,7 +18,9 @@ fn mlp_fits_sine() {
     let l2 = Linear::he(&mut store, &mut rng, "l2", 16, 1, true);
     let mut adam = Adam::new(1e-2);
 
-    let xs: Vec<f64> = (0..64).map(|i| i as f64 / 64.0 * std::f64::consts::TAU).collect();
+    let xs: Vec<f64> = (0..64)
+        .map(|i| i as f64 / 64.0 * std::f64::consts::TAU)
+        .collect();
     let ys: Vec<f64> = xs.iter().map(|&x| x.sin()).collect();
     let x_t = Tensor::from_vec(vec![64, 1], xs).unwrap();
     let y_t = Tensor::from_vec(vec![64, 1], ys).unwrap();
@@ -63,8 +68,10 @@ fn adam_beats_sgd_on_ill_conditioned_quadratic() {
                 adam.step(&mut store, &bound, &grads);
             } else {
                 // SGD with lr stable for the stiff direction.
-                let mut pairs: Vec<_> =
-                    bound.gradients(&grads).map(|(i, g)| (i, g.clone())).collect();
+                let mut pairs: Vec<_> = bound
+                    .gradients(&grads)
+                    .map(|(i, g)| (i, g.clone()))
+                    .collect();
                 clip_global_norm(&mut pairs, 1.0);
                 sgd.step_pairs(&mut store, &pairs);
             }

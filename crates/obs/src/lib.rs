@@ -1,0 +1,37 @@
+//! `cf-obs`: zero-dependency observability for the CausalFormer stack.
+//!
+//! Four cooperating pieces, all usable independently:
+//!
+//! * [`span`] — hierarchical RAII wall-clock timers. `span::enter("train")`
+//!   returns a guard; nested guards produce dotted paths
+//!   (`discover.train.epoch`), and a global registry accumulates
+//!   call count / total / min / max per path.
+//! * [`metrics`] — named counters, gauges, and fixed-bucket histograms
+//!   with percentile summaries. Lock-free on the hot path.
+//! * [`profile`] — per-op-kind profiling hooks for the autodiff tape:
+//!   counts, wall time, and approximate FLOPs for forward and backward
+//!   ops. Gated behind one relaxed atomic load when disabled.
+//! * [`sink`] — a process-global structured-event sink writing JSON
+//!   Lines; the CLI points it at `--metrics-out <path>`.
+//!
+//! Log verbosity is controlled by [`log`] (`CF_LOG` env var or
+//! [`log::set_level`]); the [`error!`]/[`warn!`]/[`info!`]/[`debug!`]/
+//! [`trace!`] macros format lazily, only when the level is enabled.
+//!
+//! The crate deliberately has no dependencies (not even the vendored
+//! ones) so it can sit below `cf-tensor` in the workspace graph.
+
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod profile;
+pub mod sink;
+pub mod span;
+
+/// Seconds since the Unix epoch, as f64 (for event timestamps).
+pub fn unix_time() -> f64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}

@@ -1,0 +1,166 @@
+//! Leveled logging to stderr, controlled by the `CF_LOG` environment
+//! variable (`off|error|warn|info|debug|trace`) or programmatically via
+//! [`set_level`] (the CLI's `--log-level`/`--quiet` route here).
+//!
+//! Use the [`crate::error!`]..[`crate::trace!`] macros: they check the
+//! level before formatting, so disabled log lines cost one atomic load.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Log verbosity, ordered from silent to chattiest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Off = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses a level name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// 255 = "not yet initialised; read CF_LOG on first use".
+const UNSET: u8 = 255;
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+static ENV_LEVEL: OnceLock<Level> = OnceLock::new();
+
+fn env_level() -> Level {
+    *ENV_LEVEL.get_or_init(|| {
+        std::env::var("CF_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .unwrap_or(Level::Warn)
+    })
+}
+
+/// The current level (defaults to `CF_LOG`, else `warn`).
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        UNSET => env_level(),
+        n => match n {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            _ => Level::Trace,
+        },
+    }
+}
+
+/// Overrides the level (takes precedence over `CF_LOG`).
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Whether records at `l` are currently emitted.
+pub fn enabled(l: Level) -> bool {
+    l != Level::Off && l <= level()
+}
+
+/// Writes one record to stderr. Callers should gate on [`enabled`]
+/// first (the macros do).
+pub fn write_line(l: Level, msg: &str) {
+    eprintln!("[{}] {}", l.tag(), msg);
+}
+
+/// Logs at error level.
+#[macro_export]
+macro_rules! error {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::write_line($crate::log::Level::Error, &format!($($t)*));
+        }
+    };
+}
+
+/// Logs at warn level.
+#[macro_export]
+macro_rules! warn {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::write_line($crate::log::Level::Warn, &format!($($t)*));
+        }
+    };
+}
+
+/// Logs at info level.
+#[macro_export]
+macro_rules! info {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::write_line($crate::log::Level::Info, &format!($($t)*));
+        }
+    };
+}
+
+/// Logs at debug level.
+#[macro_export]
+macro_rules! debug {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::write_line($crate::log::Level::Debug, &format!($($t)*));
+        }
+    };
+}
+
+/// Logs at trace level.
+#[macro_export]
+macro_rules! trace {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Trace) {
+            $crate::log::write_line($crate::log::Level::Trace, &format!($($t)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_levels() {
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn enabled_respects_ordering() {
+        set_level(Level::Info);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Off);
+        assert!(!enabled(Level::Error));
+        set_level(Level::Warn);
+    }
+}

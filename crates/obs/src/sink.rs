@@ -1,0 +1,150 @@
+//! A process-global structured-event sink writing JSON Lines.
+//!
+//! The CLI installs a file sink for `--metrics-out <path>`; library code
+//! calls [`emit`] unconditionally — when no sink is installed the call
+//! is a cheap no-op. Each emitted line is one JSON object; callers build
+//! lines with [`crate::json::Obj`] (conventionally with an `"event"`
+//! discriminator and a `"ts"` Unix timestamp).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::sync::{Mutex, OnceLock};
+
+fn sink() -> &'static Mutex<Option<Box<dyn Write + Send>>> {
+    static SINK: OnceLock<Mutex<Option<Box<dyn Write + Send>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs a JSONL sink writing to the file at `path` (truncating any
+/// existing file).
+pub fn install_file(path: &str) -> io::Result<()> {
+    let file = File::create(path)?;
+    install_writer(Box::new(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Installs an arbitrary writer as the sink (tests use an in-memory
+/// buffer).
+pub fn install_writer(w: Box<dyn Write + Send>) {
+    *sink().lock().expect("metrics sink poisoned") = Some(w);
+}
+
+/// Removes the sink, flushing buffered output first.
+pub fn uninstall() {
+    let mut guard = sink().lock().expect("metrics sink poisoned");
+    if let Some(w) = guard.as_mut() {
+        let _ = w.flush();
+    }
+    *guard = None;
+}
+
+/// Whether a sink is installed (lets callers skip building expensive
+/// event payloads).
+pub fn is_installed() -> bool {
+    sink().lock().expect("metrics sink poisoned").is_some()
+}
+
+/// Writes one JSONL record (`json_line` must be a single-line JSON
+/// object; the trailing newline is added here). No-op without a sink.
+pub fn emit(json_line: &str) {
+    let mut guard = sink().lock().expect("metrics sink poisoned");
+    if let Some(w) = guard.as_mut() {
+        let _ = writeln!(w, "{json_line}");
+    }
+}
+
+/// Flushes buffered output, if a sink is installed.
+pub fn flush() {
+    let mut guard = sink().lock().expect("metrics sink poisoned");
+    if let Some(w) = guard.as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Emits span-registry, metrics, and tape op-profile snapshots as three
+/// summary records. Called at the end of a pipeline run.
+pub fn emit_summaries() {
+    if !is_installed() {
+        return;
+    }
+    emit(
+        &crate::json::Obj::new()
+            .str("event", "span_summary")
+            .f64("ts", crate::unix_time())
+            .raw("spans", &crate::span::snapshot_json())
+            .finish(),
+    );
+    emit(
+        &crate::json::Obj::new()
+            .str("event", "metrics_summary")
+            .f64("ts", crate::unix_time())
+            .raw("metrics", &crate::metrics::snapshot_json())
+            .finish(),
+    );
+    emit(
+        &crate::json::Obj::new()
+            .str("event", "op_profile")
+            .f64("ts", crate::unix_time())
+            .raw("ops", &crate::profile::snapshot_json())
+            .finish(),
+    );
+    flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// Shared-buffer writer for capturing emitted lines.
+    #[derive(Clone)]
+    struct Shared(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    // Both tests touch the global sink; serialise them.
+    static SINK_LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn emits_one_line_per_event_and_round_trips() {
+        let _l = SINK_LOCK.lock().unwrap();
+        let buf = Shared(Arc::new(StdMutex::new(Vec::new())));
+        install_writer(Box::new(buf.clone()));
+        emit(
+            &crate::json::Obj::new()
+                .str("event", "epoch")
+                .u64("epoch", 1)
+                .f64("loss", 0.25)
+                .finish(),
+        );
+        emit(
+            &crate::json::Obj::new()
+                .str("event", "epoch")
+                .u64("epoch", 2)
+                .f64("loss", 0.125)
+                .finish(),
+        );
+        uninstall();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"event":"epoch","epoch":1,"loss":0.25}"#);
+        assert_eq!(lines[1], r#"{"event":"epoch","epoch":2,"loss":0.125}"#);
+    }
+
+    #[test]
+    fn emit_without_sink_is_a_noop() {
+        let _l = SINK_LOCK.lock().unwrap();
+        // Must not panic or write anywhere.
+        emit(r#"{"event":"ignored"}"#);
+    }
+}

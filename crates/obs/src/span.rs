@@ -1,0 +1,190 @@
+//! Hierarchical wall-clock span timers.
+//!
+//! [`enter`] returns an RAII guard; while it lives, further [`enter`]
+//! calls on the same thread nest under it, producing dotted paths
+//! (`discover.train.epoch`). Dropping the guard records the elapsed
+//! time into a process-global registry keyed by path, accumulating
+//! call count and total/min/max duration per path.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Accumulated timing for one span path.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanStats {
+    /// Number of completed spans at this path.
+    pub count: u64,
+    /// Sum of elapsed time over all completions.
+    pub total: Duration,
+    /// Shortest single completion.
+    pub min: Duration,
+    /// Longest single completion.
+    pub max: Duration,
+}
+
+impl SpanStats {
+    fn record(&mut self, d: Duration) {
+        self.count += 1;
+        self.total += d;
+        self.min = self.min.min(d);
+        self.max = self.max.max(d);
+    }
+
+    /// Mean duration per completion.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<HashMap<String, SpanStats>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, SpanStats>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+thread_local! {
+    /// Stack of active span names on this thread; the registry key for a
+    /// completing span is the `.`-joined stack at its enter time.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Live span; records into the registry on drop.
+#[must_use = "a span guard times its scope; dropping it immediately records ~0"]
+pub struct SpanGuard {
+    path: String,
+    start: Instant,
+}
+
+/// Opens a span named `name`, nested under any spans already active on
+/// this thread.
+pub fn enter(name: &'static str) -> SpanGuard {
+    let path = STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.push(name);
+        stack.join(".")
+    });
+    SpanGuard {
+        path,
+        start: Instant::now(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        let mut reg = registry().lock().expect("span registry poisoned");
+        reg.entry(std::mem::take(&mut self.path))
+            .or_insert(SpanStats {
+                count: 0,
+                total: Duration::ZERO,
+                min: Duration::MAX,
+                max: Duration::ZERO,
+            })
+            .record(elapsed);
+    }
+}
+
+impl SpanGuard {
+    /// The full dotted path this guard will record under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+/// All recorded spans, sorted by path.
+pub fn snapshot() -> Vec<(String, SpanStats)> {
+    let reg = registry().lock().expect("span registry poisoned");
+    let mut out: Vec<_> = reg.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Stats for one exact path, if recorded.
+pub fn get(path: &str) -> Option<SpanStats> {
+    registry()
+        .lock()
+        .expect("span registry poisoned")
+        .get(path)
+        .copied()
+}
+
+/// Clears the registry (tests and multi-run benchmarks).
+pub fn reset() {
+    registry().lock().expect("span registry poisoned").clear();
+}
+
+/// Serialises the snapshot as a JSON array of span objects.
+pub fn snapshot_json() -> String {
+    let mut arr = crate::json::Arr::new();
+    for (path, s) in snapshot() {
+        arr = arr.raw(
+            &crate::json::Obj::new()
+                .str("span", &path)
+                .u64("count", s.count)
+                .f64("total_secs", s.total.as_secs_f64())
+                .f64("mean_secs", s.mean().as_secs_f64())
+                .f64("min_secs", s.min.as_secs_f64())
+                .f64("max_secs", s.max.as_secs_f64())
+                .finish(),
+        );
+    }
+    arr.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests share one global registry; run them under distinct
+    // root names so parallel test threads cannot collide.
+
+    #[test]
+    fn nesting_produces_dotted_paths() {
+        {
+            let _a = enter("t_outer");
+            {
+                let _b = enter("t_inner");
+            }
+            {
+                let _b = enter("t_inner");
+            }
+        }
+        let inner = get("t_outer.t_inner").expect("nested path recorded");
+        assert_eq!(inner.count, 2);
+        let outer = get("t_outer").expect("outer path recorded");
+        assert_eq!(outer.count, 1);
+    }
+
+    #[test]
+    fn timing_is_monotone_and_consistent() {
+        {
+            let _g = enter("t_sleepy");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let s = get("t_sleepy").unwrap();
+        assert!(s.total >= Duration::from_millis(5), "total {:?}", s.total);
+        assert!(s.min <= s.max);
+        assert!(s.total >= s.max);
+        assert!(s.mean() >= s.min && s.mean() <= s.max);
+    }
+
+    #[test]
+    fn outer_span_covers_inner() {
+        {
+            let _a = enter("t_cover");
+            let _b = enter("t_part");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let outer = get("t_cover").unwrap();
+        let inner = get("t_cover.t_part").unwrap();
+        assert!(outer.total >= inner.total);
+    }
+}

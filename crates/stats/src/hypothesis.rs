@@ -52,7 +52,7 @@ pub fn partial_correlation(x: &[f64], y: &[f64], z: &[Vec<f64>]) -> f64 {
 fn residualize(target: &[f64], z: &[Vec<f64>]) -> Vec<f64> {
     let n = target.len();
     let p = z.len() + 1; // + intercept
-    // Design matrix columns: [1, z...]
+                         // Design matrix columns: [1, z...]
     let col = |j: usize, i: usize| -> f64 {
         if j == 0 {
             1.0
@@ -129,12 +129,23 @@ mod tests {
         // x and y are both driven by z; conditioning on z should collapse
         // their correlation.
         let z: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
-        let x: Vec<f64> = z.iter().enumerate().map(|(i, &v)| v + ((i * 7919) % 13) as f64 * 0.01).collect();
-        let y: Vec<f64> = z.iter().enumerate().map(|(i, &v)| v + ((i * 104729) % 17) as f64 * 0.01).collect();
+        let x: Vec<f64> = z
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + ((i * 7919) % 13) as f64 * 0.01)
+            .collect();
+        let y: Vec<f64> = z
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + ((i * 104729) % 17) as f64 * 0.01)
+            .collect();
         let raw = pearson(&x, &y);
         let partial = partial_correlation(&x, &y, &[z]);
         assert!(raw > 0.99, "raw correlation {raw}");
-        assert!(partial.abs() < 0.5, "partial correlation {partial} not collapsed");
+        assert!(
+            partial.abs() < 0.5,
+            "partial correlation {partial} not collapsed"
+        );
     }
 
     #[test]
@@ -171,6 +182,9 @@ mod tests {
         let z: Vec<f64> = (0..30).map(|i| i as f64).collect();
         let target: Vec<f64> = z.iter().map(|v| 3.0 * v + 1.0).collect();
         let r = residualize(&target, &[z]);
-        assert!(r.iter().all(|v| v.abs() < 1e-6), "residuals not zero: {r:?}");
+        assert!(
+            r.iter().all(|v| v.abs() < 1e-6),
+            "residuals not zero: {r:?}"
+        );
     }
 }

@@ -25,13 +25,12 @@
 // would obscure.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod dist;
 pub mod hypothesis;
 pub mod lin;
 pub mod special;
 
 pub use dist::{chi2_cdf, f_cdf, normal_cdf, student_t_cdf};
+pub use hypothesis::{f_test_nested, fisher_z_test, partial_correlation, pearson};
 pub use lin::{ols, solve_spd};
 pub use special::{erf, ln_gamma, reg_inc_beta, reg_inc_gamma};
-pub use hypothesis::{f_test_nested, fisher_z_test, partial_correlation, pearson};

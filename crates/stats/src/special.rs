@@ -107,8 +107,8 @@ pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let front = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln())
-        .exp();
+    let front =
+        (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a
     } else {
@@ -226,7 +226,11 @@ mod tests {
         }
         // I_x(2, 2) = x²(3 − 2x).
         for x in [0.2, 0.5, 0.8] {
-            assert!(close(reg_inc_beta(2.0, 2.0, x), x * x * (3.0 - 2.0 * x), 1e-10));
+            assert!(close(
+                reg_inc_beta(2.0, 2.0, x),
+                x * x * (3.0 - 2.0 * x),
+                1e-10
+            ));
         }
         // Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
         assert!(close(

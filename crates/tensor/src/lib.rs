@@ -42,7 +42,6 @@
 // would obscure.
 #![allow(clippy::needless_range_loop)]
 
-
 mod error;
 mod init;
 pub mod ops;

@@ -357,8 +357,8 @@ mod tests {
     #[test]
     fn causal_conv_backward_matches_finite_difference() {
         let x = Tensor::from_vec(vec![2, 3], vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]).unwrap();
-        let k = Tensor::from_vec(vec![2, 2, 3], (1..=12).map(|v| v as f64 / 6.0).collect())
-            .unwrap();
+        let k =
+            Tensor::from_vec(vec![2, 2, 3], (1..=12).map(|v| v as f64 / 6.0).collect()).unwrap();
         let g = Tensor::ones(&[2, 2, 3]);
         let base = causal_conv(&x, &k).mul(&g).sum();
         let eps = 1e-6;

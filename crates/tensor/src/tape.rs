@@ -109,6 +109,66 @@ pub enum Op {
     TilePairs(VarId),
 }
 
+impl Op {
+    /// Stable kind name, used as the profiling key for forward execution.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::AddRowVector(..) => "add_row_vector",
+            Op::MulRowVector(..) => "mul_row_vector",
+            Op::Scale(..) => "scale",
+            Op::MatMul(..) => "matmul",
+            Op::MatMulNT(..) => "matmul_nt",
+            Op::SoftmaxRows(..) => "softmax_rows",
+            Op::LeakyRelu(..) => "leaky_relu",
+            Op::Tanh(..) => "tanh",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Square(..) => "square",
+            Op::MulConst(..) => "mul_const",
+            Op::SumAll(..) => "sum_all",
+            Op::MeanAll(..) => "mean_all",
+            Op::L1(..) => "l1",
+            Op::ScaleByElem { .. } => "scale_by_elem",
+            Op::CausalConv { .. } => "causal_conv",
+            Op::SelfShift(..) => "self_shift",
+            Op::AttnApply { .. } => "attn_apply",
+            Op::TilePairs(..) => "tile_pairs",
+        }
+    }
+
+    /// Profiling key for this op's backward rule.
+    fn bwd_kind(&self) -> &'static str {
+        match self {
+            Op::Leaf => "bwd.leaf",
+            Op::Add(..) => "bwd.add",
+            Op::Sub(..) => "bwd.sub",
+            Op::Mul(..) => "bwd.mul",
+            Op::AddRowVector(..) => "bwd.add_row_vector",
+            Op::MulRowVector(..) => "bwd.mul_row_vector",
+            Op::Scale(..) => "bwd.scale",
+            Op::MatMul(..) => "bwd.matmul",
+            Op::MatMulNT(..) => "bwd.matmul_nt",
+            Op::SoftmaxRows(..) => "bwd.softmax_rows",
+            Op::LeakyRelu(..) => "bwd.leaky_relu",
+            Op::Tanh(..) => "bwd.tanh",
+            Op::Sigmoid(..) => "bwd.sigmoid",
+            Op::Square(..) => "bwd.square",
+            Op::MulConst(..) => "bwd.mul_const",
+            Op::SumAll(..) => "bwd.sum_all",
+            Op::MeanAll(..) => "bwd.mean_all",
+            Op::L1(..) => "bwd.l1",
+            Op::ScaleByElem { .. } => "bwd.scale_by_elem",
+            Op::CausalConv { .. } => "bwd.causal_conv",
+            Op::SelfShift(..) => "bwd.self_shift",
+            Op::AttnApply { .. } => "bwd.attn_apply",
+            Op::TilePairs(..) => "bwd.tile_pairs",
+        }
+    }
+}
+
 struct Node {
     value: Tensor,
     op: Op,
@@ -181,6 +241,57 @@ impl Tape {
         self.nodes[id.0].requires_grad
     }
 
+    /// Rough floating-point-operation estimate for one forward execution
+    /// of `op`, from its parents' shapes. Order-of-magnitude accounting
+    /// for profiles, not an exact count.
+    fn op_flops(&self, op: &Op) -> u64 {
+        let len = |id: &VarId| self.value(*id).len() as u64;
+        match op {
+            Op::Leaf => 0,
+            Op::Add(a, _) | Op::Sub(a, _) | Op::Mul(a, _) => len(a),
+            Op::AddRowVector(m, _) | Op::MulRowVector(m, _) => len(m),
+            Op::Scale(a, _)
+            | Op::LeakyRelu(a, _)
+            | Op::Tanh(a)
+            | Op::Sigmoid(a)
+            | Op::Square(a)
+            | Op::MulConst(a, _)
+            | Op::SumAll(a)
+            | Op::MeanAll(a)
+            | Op::L1(a)
+            | Op::SelfShift(a) => len(a),
+            Op::SoftmaxRows(a) => 4 * len(a),
+            Op::MatMul(a, b) => {
+                let (sa, sb) = (self.value(*a).shape(), self.value(*b).shape());
+                (2 * sa[0] * sa[1] * sb[1]) as u64
+            }
+            Op::MatMulNT(a, b) => {
+                let (sa, sb) = (self.value(*a).shape(), self.value(*b).shape());
+                (2 * sa[0] * sa[1] * sb[0]) as u64
+            }
+            Op::ScaleByElem { x, .. } => len(x),
+            Op::CausalConv { x, .. } => {
+                let s = self.value(*x).shape();
+                (s[0] * s[0] * s[1] * s[1]) as u64
+            }
+            Op::AttnApply { v, .. } => 2 * len(v),
+            Op::TilePairs(x) => {
+                let s = self.value(*x).shape();
+                (s[0] * s[0] * s[1]) as u64
+            }
+        }
+    }
+
+    /// Starts a forward-op profile timer for `op`; inert (one atomic
+    /// load, no clock read or FLOP estimate) when profiling is off.
+    fn op_timer(&self, op: &Op) -> cf_obs::profile::OpTimer {
+        if cf_obs::profile::enabled() {
+            cf_obs::profile::op_timer(op.kind(), self.op_flops(op))
+        } else {
+            cf_obs::profile::op_timer(op.kind(), 0)
+        }
+    }
+
     // -----------------------------------------------------------------
     // Node constructors
     // -----------------------------------------------------------------
@@ -198,35 +309,45 @@ impl Tape {
 
     /// Elementwise sum.
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let op = Op::Add(a, b);
+        let _t = self.op_timer(&op);
         let v = self.value(a).add(self.value(b));
         let rg = self.rg(a) || self.rg(b);
-        self.push(v, Op::Add(a, b), rg)
+        self.push(v, op, rg)
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let op = Op::Sub(a, b);
+        let _t = self.op_timer(&op);
         let v = self.value(a).sub(self.value(b));
         let rg = self.rg(a) || self.rg(b);
-        self.push(v, Op::Sub(a, b), rg)
+        self.push(v, op, rg)
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let op = Op::Mul(a, b);
+        let _t = self.op_timer(&op);
         let v = self.value(a).mul(self.value(b));
         let rg = self.rg(a) || self.rg(b);
-        self.push(v, Op::Mul(a, b), rg)
+        self.push(v, op, rg)
     }
 
     /// Matrix-plus-row-vector broadcast (bias addition).
     pub fn add_row_vector(&mut self, m: VarId, bias: VarId) -> VarId {
+        let op = Op::AddRowVector(m, bias);
+        let _t = self.op_timer(&op);
         let v = self.value(m).add_row_vector(self.value(bias));
         let rg = self.rg(m) || self.rg(bias);
-        self.push(v, Op::AddRowVector(m, bias), rg)
+        self.push(v, op, rg)
     }
 
     /// Matrix-times-row-vector broadcast (per-column gating): `out[r,c] =
     /// m[r,c] · v[c]`.
     pub fn mul_row_vector(&mut self, m: VarId, v: VarId) -> VarId {
+        let op = Op::MulRowVector(m, v);
+        let _t = self.op_timer(&op);
         let mv = self.value(m);
         let vv = self.value(v);
         assert_eq!(mv.rank(), 2, "mul_row_vector matrix must be 2-d");
@@ -241,67 +362,84 @@ impl Tape {
             }
         }
         let rg = self.rg(m) || self.rg(v);
-        self.push(out, Op::MulRowVector(m, v), rg)
+        self.push(out, op, rg)
     }
 
     /// Scalar multiple.
     pub fn scale(&mut self, a: VarId, alpha: f64) -> VarId {
+        let op = Op::Scale(a, alpha);
+        let _t = self.op_timer(&op);
         let v = self.value(a).scale(alpha);
         let rg = self.rg(a);
-        self.push(v, Op::Scale(a, alpha), rg)
+        self.push(v, op, rg)
     }
 
     /// Matrix product.
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let op = Op::MatMul(a, b);
+        let _t = self.op_timer(&op);
         let v = self.value(a).matmul(self.value(b));
         let rg = self.rg(a) || self.rg(b);
-        self.push(v, Op::MatMul(a, b), rg)
+        self.push(v, op, rg)
     }
 
     /// Matrix product with transposed right operand.
     pub fn matmul_nt(&mut self, a: VarId, b: VarId) -> VarId {
+        let op = Op::MatMulNT(a, b);
+        let _t = self.op_timer(&op);
         let v = self.value(a).matmul_nt(self.value(b));
         let rg = self.rg(a) || self.rg(b);
-        self.push(v, Op::MatMulNT(a, b), rg)
+        self.push(v, op, rg)
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, a: VarId) -> VarId {
+        let op = Op::SoftmaxRows(a);
+        let _t = self.op_timer(&op);
         let v = self.value(a).softmax_rows();
         let rg = self.rg(a);
-        self.push(v, Op::SoftmaxRows(a), rg)
+        self.push(v, op, rg)
     }
 
     /// Leaky ReLU.
     pub fn leaky_relu(&mut self, a: VarId, slope: f64) -> VarId {
+        let op = Op::LeakyRelu(a, slope);
+        let _t = self.op_timer(&op);
         let v = self.value(a).map(|x| if x >= 0.0 { x } else { slope * x });
         let rg = self.rg(a);
-        self.push(v, Op::LeakyRelu(a, slope), rg)
+        self.push(v, op, rg)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: VarId) -> VarId {
+        let op = Op::Tanh(a);
+        let _t = self.op_timer(&op);
         let v = self.value(a).map(f64::tanh);
         let rg = self.rg(a);
-        self.push(v, Op::Tanh(a), rg)
+        self.push(v, op, rg)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let op = Op::Sigmoid(a);
+        let _t = self.op_timer(&op);
         let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
         let rg = self.rg(a);
-        self.push(v, Op::Sigmoid(a), rg)
+        self.push(v, op, rg)
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: VarId) -> VarId {
+        let op = Op::Square(a);
+        let _t = self.op_timer(&op);
         let v = self.value(a).map(|x| x * x);
         let rg = self.rg(a);
-        self.push(v, Op::Square(a), rg)
+        self.push(v, op, rg)
     }
 
     /// Elementwise product with a constant tensor (e.g. a loss mask).
     pub fn mul_const(&mut self, a: VarId, c: Tensor) -> VarId {
+        let _t = cf_obs::profile::op_timer("mul_const", self.value(a).len() as u64);
         let v = self.value(a).mul(&c);
         let rg = self.rg(a);
         self.push(v, Op::MulConst(a, c), rg)
@@ -309,56 +447,72 @@ impl Tape {
 
     /// Sum of all elements, as a scalar node.
     pub fn sum_all(&mut self, a: VarId) -> VarId {
+        let op = Op::SumAll(a);
+        let _t = self.op_timer(&op);
         let v = Tensor::scalar(self.value(a).sum());
         let rg = self.rg(a);
-        self.push(v, Op::SumAll(a), rg)
+        self.push(v, op, rg)
     }
 
     /// Mean of all elements, as a scalar node.
     pub fn mean_all(&mut self, a: VarId) -> VarId {
+        let op = Op::MeanAll(a);
+        let _t = self.op_timer(&op);
         let v = Tensor::scalar(self.value(a).mean());
         let rg = self.rg(a);
-        self.push(v, Op::MeanAll(a), rg)
+        self.push(v, op, rg)
     }
 
     /// L1 norm, as a scalar node.
     pub fn l1(&mut self, a: VarId) -> VarId {
+        let op = Op::L1(a);
+        let _t = self.op_timer(&op);
         let v = Tensor::scalar(self.value(a).l1_norm());
         let rg = self.rg(a);
-        self.push(v, Op::L1(a), rg)
+        self.push(v, op, rg)
     }
 
     /// `w[idx] · x` — scales a tensor by one element of a parameter vector.
     pub fn scale_by_elem(&mut self, x: VarId, w: VarId, idx: usize) -> VarId {
+        let op = Op::ScaleByElem { x, w, idx };
+        let _t = self.op_timer(&op);
         let weight = self.value(w).data()[idx];
         let v = self.value(x).scale(weight);
         let rg = self.rg(x) || self.rg(w);
-        self.push(v, Op::ScaleByElem { x, w, idx }, rg)
+        self.push(v, op, rg)
     }
 
     /// Multi-kernel causal convolution (paper Eq. 3).
     pub fn causal_conv(&mut self, x: VarId, kernel: VarId) -> VarId {
+        let op = Op::CausalConv { x, kernel };
+        let _t = self.op_timer(&op);
         let v = ops::causal_conv(self.value(x), self.value(kernel));
         let rg = self.rg(x) || self.rg(kernel);
-        self.push(v, Op::CausalConv { x, kernel }, rg)
+        self.push(v, op, rg)
     }
 
     /// Self-causation shift (paper Eq. 4).
     pub fn self_shift(&mut self, a: VarId) -> VarId {
+        let op = Op::SelfShift(a);
+        let _t = self.op_timer(&op);
         let v = ops::self_shift(self.value(a));
         let rg = self.rg(a);
-        self.push(v, Op::SelfShift(a), rg)
+        self.push(v, op, rg)
     }
 
     /// Attention application (paper Eq. 6).
     pub fn attn_apply(&mut self, attn: VarId, v: VarId) -> VarId {
+        let op = Op::AttnApply { attn, v };
+        let _t = self.op_timer(&op);
         let out = ops::attn_apply(self.value(attn), self.value(v));
         let rg = self.rg(attn) || self.rg(v);
-        self.push(out, Op::AttnApply { attn, v }, rg)
+        self.push(out, op, rg)
     }
 
     /// Tiles an `N×T` kernel to an `N×N×T` bank (single-kernel ablation).
     pub fn tile_pairs(&mut self, x: VarId) -> VarId {
+        let op = Op::TilePairs(x);
+        let _t = self.op_timer(&op);
         let src = self.value(x);
         assert_eq!(src.rank(), 2, "tile_pairs expects N×T");
         let (n, t_len) = (src.shape()[0], src.shape()[1]);
@@ -371,7 +525,7 @@ impl Tape {
             }
         }
         let rg = self.rg(x);
-        self.push(out, Op::TilePairs(x), rg)
+        self.push(out, op, rg)
     }
 
     // -----------------------------------------------------------------
@@ -412,6 +566,11 @@ impl Tape {
             };
             // Re-store: callers may want gradients of interior nodes too.
             let node = &self.nodes[idx];
+            let _t = if cf_obs::profile::enabled() {
+                cf_obs::profile::op_timer(node.op.bwd_kind(), 2 * self.op_flops(&node.op))
+            } else {
+                cf_obs::profile::op_timer(node.op.bwd_kind(), 0)
+            };
             self.propagate(&node.op, &g, idx, &mut grads);
             grads[idx] = Some(g);
         }
@@ -560,7 +719,11 @@ impl Tape {
             }
             Op::CausalConv { x, kernel } => {
                 if self.rg(*x) {
-                    self.accumulate(grads, *x, ops::causal_conv_backward_x(self.value(*kernel), g));
+                    self.accumulate(
+                        grads,
+                        *x,
+                        ops::causal_conv_backward_x(self.value(*kernel), g),
+                    );
                 }
                 if self.rg(*kernel) {
                     self.accumulate(
@@ -586,7 +749,11 @@ impl Tape {
             }
             Op::AttnApply { attn, v } => {
                 if self.rg(*attn) {
-                    self.accumulate(grads, *attn, ops::attn_apply_backward_attn(self.value(*v), g));
+                    self.accumulate(
+                        grads,
+                        *attn,
+                        ops::attn_apply_backward_attn(self.value(*v), g),
+                    );
                 }
                 if self.rg(*v) {
                     self.accumulate(grads, *v, ops::attn_apply_backward_v(self.value(*attn), g));
@@ -812,8 +979,7 @@ mod tests {
         let mask = rand_t(&[3, 3], 24);
         let kernel = rand_t(&[3, 3, 4], 25);
         gradcheck(&[x, w_emb, wq, wk, mask, kernel], |t, ids| {
-            let (x, w_emb, wq, wk, mask, kernel) =
-                (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+            let (x, w_emb, wq, wk, mask, kernel) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
             let emb = t.matmul(x, w_emb);
             let q = t.matmul(emb, wq);
             let k = t.matmul(emb, wk);
@@ -874,6 +1040,36 @@ mod tests {
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::ones(&[2, 2]), true);
         let _ = tape.backward(x);
+    }
+
+    #[test]
+    fn profiling_captures_forward_and_backward_ops() {
+        cf_obs::profile::set_enabled(true);
+        {
+            let mut tape = Tape::new();
+            let a = tape.leaf(rand_t(&[4, 6], 30), true);
+            let b = tape.leaf(rand_t(&[6, 4], 31), true);
+            let y = tape.matmul(a, b);
+            let th = tape.tanh(y);
+            let loss = tape.sum_all(th);
+            let _ = tape.backward(loss);
+        }
+        cf_obs::profile::set_enabled(false);
+        let snap = cf_obs::profile::snapshot();
+        let stats = |kind: &str| {
+            snap.iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, s)| *s)
+                .unwrap_or_else(|| panic!("no profile entry for {kind}"))
+        };
+        let fwd = stats("matmul");
+        assert!(fwd.count >= 1);
+        // matmul 4×6 · 6×4 = 192 FLOPs per execution.
+        assert!(fwd.flops >= 192, "matmul flops {}", fwd.flops);
+        let bwd = stats("bwd.matmul");
+        assert!(bwd.count >= 1);
+        assert!(stats("bwd.tanh").count >= 1);
+        assert!(stats("bwd.sum_all").count >= 1);
     }
 
     #[test]

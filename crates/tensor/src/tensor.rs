@@ -171,7 +171,10 @@ impl Tensor {
         debug_assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
         let mut flat = 0usize;
         for (axis, (&i, &dim)) in idx.iter().zip(&self.shape).enumerate() {
-            debug_assert!(i < dim, "index {i} out of bounds for axis {axis} (dim {dim})");
+            debug_assert!(
+                i < dim,
+                "index {i} out of bounds for axis {axis} (dim {dim})"
+            );
             flat = flat * dim + i;
         }
         flat

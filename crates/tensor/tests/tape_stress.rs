@@ -55,7 +55,10 @@ fn softmax_saturation_keeps_gradients_finite() {
         true,
     );
     let s = tape.softmax_rows(x);
-    let w = tape.mul_const(s, Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]).unwrap());
+    let w = tape.mul_const(
+        s,
+        Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]).unwrap(),
+    );
     let loss = tape.sum_all(w);
     let grads = tape.backward(loss);
     let g = grads.expect(x, "x");

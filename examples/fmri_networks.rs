@@ -47,7 +47,10 @@ fn main() {
     }
     ranking.sort_by(|a, b| b.1.f1().partial_cmp(&a.1.f1()).expect("finite F1"));
 
-    println!("{:<14} {:>9} {:>7} {:>5}", "method", "precision", "recall", "F1");
+    println!(
+        "{:<14} {:>9} {:>7} {:>5}",
+        "method", "precision", "recall", "F1"
+    );
     for (name, c) in &ranking {
         println!(
             "{name:<14} {:>9.2} {:>7.2} {:>5.2}",

@@ -42,7 +42,8 @@ fn main() {
             ..cf.detector
         };
         let mut det_rng = StdRng::seed_from_u64(1);
-        let (graph, _) = detector::detect(&mut det_rng, &loaded.model, &loaded.store, &windows, &det);
+        let (graph, _) =
+            detector::detect(&mut det_rng, &loaded.model, &loaded.store, &windows, &det);
         println!("m/n = {m_top}/{n_clusters}: {graph}");
     }
     println!("ground truth:  {}", data.truth);

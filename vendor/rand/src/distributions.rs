@@ -1,0 +1,125 @@
+//! Distributions: the `Standard` catch-all and a float `Uniform`.
+
+use crate::{RngCore, SampleRange};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution per type: uniform `[0,1)` floats, uniform
+/// integers over the full domain, fair bools.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty : $m:ident),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8: next_u32, u16: next_u32, u32: next_u32,
+                   u64: next_u64, usize: next_u64,
+                   i8: next_u32, i16: next_u32, i32: next_u32,
+                   i64: next_u64, isize: next_u64);
+
+/// Uniform distribution over an `f64` interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+    inclusive: bool,
+}
+
+impl Uniform {
+    /// Uniform on the half-open interval `[low, high)`.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low < high, "Uniform::new requires low < high");
+        Self {
+            low,
+            high,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform on the closed interval `[low, high]`.
+    pub fn new_inclusive(low: f64, high: f64) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+        Self {
+            low,
+            high,
+            inclusive: true,
+        }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.inclusive {
+            (self.low..=self.high).sample_single(rng)
+        } else {
+            (self.low..self.high).sample_single(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_half_open_excludes_high() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Uniform::new(-0.5, 0.5);
+        for _ in 0..5000 {
+            let v = d.sample(&mut rng);
+            assert!((-0.5..0.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_inclusive_covers_bounds_region() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Uniform::new_inclusive(1.0, 3.0);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for _ in 0..5000 {
+            let v = d.sample(&mut rng);
+            assert!((1.0..=3.0).contains(&v));
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert!(min < 1.01 && max > 2.99);
+    }
+}

@@ -1,0 +1,295 @@
+//! The JSON-shaped value tree shared by `serde` and `serde_json`.
+//!
+//! Numbers keep their integer/float identity (as `serde_json` does) so
+//! `1` serialises as `1`, not `1.0`. Object fields preserve insertion
+//! order, so derived struct serialisation emits fields in declaration
+//! order. Float formatting uses Rust's shortest-round-trip `Display`
+//! and parsing uses the correctly-rounded `f64::from_str`, so
+//! float → text → float is bit-exact (the `float_roundtrip` guarantee).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Deserialisation error.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+
+    /// "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Error for a struct field absent from the object.
+    pub fn missing_field(name: &str) -> Self {
+        Self(format!("missing field `{name}`"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Value {
+    /// The value's JSON type name (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Numeric value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::UInt(n) => i64::try_from(*n).ok(),
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (any number variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string content.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array items.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the array items.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object field.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mutably looks up an object field.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(fields) => fields.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn write_json(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => {
+                out.push_str(&n.to_string());
+            }
+            Value::Int(n) => {
+                out.push_str(&n.to_string());
+            }
+            Value::Float(x) => write_f64(out, *x),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    item.write_json(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write_json(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Pretty JSON with 2-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, Some(2), 0);
+        out
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        if x == 0.0 && x.is_sign_negative() {
+            // Keep the sign bit through the round-trip.
+            out.push_str("-0.0");
+        } else {
+            out.push_str(&x.to_string());
+        }
+    } else {
+        // JSON cannot express NaN/inf; serde_json emits null.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write_json(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Panics if `self` is not an object containing `key` (mirrors
+    /// `serde_json`'s panicking index for missing keys on non-objects;
+    /// missing keys yield `Null` there, but every workspace use indexes
+    /// present keys, so panicking with context is more useful here).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key)
+            .unwrap_or_else(|| panic!("no field {key:?} in {}", self.kind()))
+    }
+}
+
+impl IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        let kind = self.kind();
+        self.get_mut(key)
+            .unwrap_or_else(|| panic!("no field {key:?} in {kind}"))
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => &items[idx],
+            other => panic!("cannot index {} with a usize", other.kind()),
+        }
+    }
+}
+
+impl IndexMut<usize> for Value {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Array(items) => &mut items[idx],
+            other => panic!("cannot index {} with a usize", other.kind()),
+        }
+    }
+}

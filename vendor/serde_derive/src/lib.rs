@@ -1,0 +1,165 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for non-generic structs with named fields —
+//! the only shapes this workspace derives. Parses the raw token stream
+//! (no `syn`/`quote` available offline) and emits impls of the
+//! data-model traits defined in the vendored `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Parsed {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and named-field list from a derive input.
+fn parse_struct(input: TokenStream, trait_name: &str) -> Parsed {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, incl. doc comments) and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        other => panic!("derive({trait_name}) supports only structs, got {other:?}"),
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({trait_name}): expected struct name, got {other:?}"),
+    };
+
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive({trait_name}) does not support generic structs")
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("derive({trait_name}) does not support tuple structs")
+            }
+            Some(_) => continue,
+            None => panic!("derive({trait_name}): struct {name} has no body"),
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("derive({trait_name}): expected field name, got {other:?}"),
+            None => break,
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive({trait_name}): expected `:` after {field}, got {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        // (`<`/`>` are bare puncts, unlike parens/brackets which arrive as
+        // groups, so generic arguments need explicit depth tracking.)
+        let mut angle_depth = 0i32;
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(_) => {
+                    toks.next();
+                }
+                None => break,
+            }
+        }
+        fields.push(field);
+    }
+
+    Parsed { name, fields }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_struct(input, "Serialize");
+    let mut pairs = String::new();
+    for f in &parsed.fields {
+        pairs.push_str(&format!(
+            "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{pairs}])\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_struct(input, "Deserialize");
+    let mut inits = String::new();
+    for f in &parsed.fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(\
+                 v.get(\"{f}\").ok_or_else(|| ::serde::DeError::missing_field(\"{f}\"))?\
+             )?,"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Object(_) => Ok(Self {{ {inits} }}),\n\
+                     other => Err(::serde::DeError::expected(\"object\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
