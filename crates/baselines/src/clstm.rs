@@ -79,11 +79,35 @@ impl Discoverer for Clstm {
         // Sequence start offsets (each sequence predicts seq_len steps).
         let starts: Vec<usize> = (0..l - cfg.seq_len - 1).step_by(cfg.stride).collect();
 
-        let mut graph = CausalGraph::new(n);
-        for target in 0..n {
-            let mut store = ParamStore::new();
-            let cell = LstmCell::new(&mut store, rng, "lstm", n, cfg.hidden);
-            let head = Linear::xavier(&mut store, rng, "head", cfg.hidden, 1, true);
+        // Same three-phase split as cMLP: sequential rng-consuming init,
+        // parallel rng-free BPTT training, sequential rng-consuming edge
+        // selection — graph output is identical at any thread count.
+        struct TargetState {
+            store: ParamStore,
+            cell: LstmCell,
+            head: Linear,
+            target: usize,
+        }
+
+        // Phase A: sequential init (consumes rng).
+        let mut states: Vec<TargetState> = (0..n)
+            .map(|target| {
+                let mut store = ParamStore::new();
+                let cell = LstmCell::new(&mut store, rng, "lstm", n, cfg.hidden);
+                let head = Linear::xavier(&mut store, rng, "head", cfg.hidden, 1, true);
+                TargetState {
+                    store,
+                    cell,
+                    head,
+                    target,
+                }
+            })
+            .collect();
+
+        // Phase B: parallel rng-free training.
+        cf_par::par_each_mut(&mut states, |_, st| {
+            let target = st.target;
+            let (store, cell, head) = (&mut st.store, &st.cell, &st.head);
             let mut adam = Adam::new(cfg.lr);
 
             for _ in 0..cfg.epochs {
@@ -120,13 +144,13 @@ impl Discoverer for Clstm {
                 let sum = loss_acc.expect("at least one sequence");
                 let loss = tape.scale(sum, 1.0 / count as f64);
                 let grads = tape.backward(loss);
-                adam.step(&mut store, &bound, &grads);
+                adam.step(store, &bound, &grads);
 
                 // Proximal group shrinkage over input columns (rows of W_x,
                 // which is input_dim×hidden — one row per source series)
                 // jointly across the four gates.
                 let thresh = cfg.lr * cfg.lambda;
-                let norms = input_group_norms(&store, &cell, n);
+                let norms = input_group_norms(store, cell, n);
                 for (i, &norm) in norms.iter().enumerate() {
                     let factor = if norm > thresh {
                         1.0 - thresh / norm
@@ -143,12 +167,16 @@ impl Discoverer for Clstm {
                     }
                 }
             }
+        });
 
-            let scores = input_group_norms(&store, &cell, n);
+        // Phase C: sequential edge selection (consumes rng).
+        let mut graph = CausalGraph::new(n);
+        for st in &states {
+            let scores = input_group_norms(&st.store, &st.cell, n);
             let mask = top_class_mask(rng, &scores, 2, 1);
             for (i, &selected) in mask.iter().enumerate() {
                 if selected {
-                    graph.add_edge(i, target, None);
+                    graph.add_edge(i, st.target, None);
                 }
             }
         }

@@ -78,30 +78,54 @@ impl Discoverer for Cmlp {
         let (inputs, targets) = lagged_design(&std_series, cfg.lag);
         let s = inputs.shape()[0];
 
-        let mut graph = CausalGraph::new(n);
-        for target in 0..n {
-            // Per-target MLP: (N·lag) → hidden → 1.
-            let mut store = ParamStore::new();
-            let l1 = Linear::xavier(&mut store, rng, "in", n * cfg.lag, cfg.hidden, true);
-            let l2 = Linear::xavier(&mut store, rng, "out", cfg.hidden, 1, true);
+        // Tank et al.'s design makes each target series an independent
+        // model, so the per-target training loops run concurrently. RNG use
+        // stays sequential and thread-free: all initialisations draw from
+        // `rng` up front (phase A), the rng-free training fans out across
+        // the pool (phase B), and the k-means edge selection consumes `rng`
+        // again in target order (phase C) — the discovered graph is
+        // identical at any thread count.
+        struct TargetState {
+            store: ParamStore,
+            l1: Linear,
+            l2: Linear,
+            y_col: Tensor,
+        }
+
+        // Phase A: sequential init (consumes rng).
+        let mut states: Vec<TargetState> = (0..n)
+            .map(|target| {
+                // Per-target MLP: (N·lag) → hidden → 1.
+                let mut store = ParamStore::new();
+                let l1 = Linear::xavier(&mut store, rng, "in", n * cfg.lag, cfg.hidden, true);
+                let l2 = Linear::xavier(&mut store, rng, "out", cfg.hidden, 1, true);
+                let y_col =
+                    Tensor::from_vec(vec![s, 1], targets.col(target)).expect("column extraction");
+                TargetState {
+                    store,
+                    l1,
+                    l2,
+                    y_col,
+                }
+            })
+            .collect();
+
+        // Phase B: parallel rng-free training.
+        cf_par::par_each_mut(&mut states, |_, st| {
             let mut adam = Adam::new(cfg.lr);
-
-            let y_col =
-                Tensor::from_vec(vec![s, 1], targets.col(target)).expect("column extraction");
-
             for _ in 0..cfg.epochs {
                 let mut tape = Tape::new();
-                let bound = store.bind(&mut tape);
+                let bound = st.store.bind(&mut tape);
                 let x = tape.constant(inputs.clone());
-                let h_lin = l1.forward(&mut tape, &bound, x);
+                let h_lin = st.l1.forward(&mut tape, &bound, x);
                 let h = tape.leaky_relu(h_lin, 0.01);
-                let pred = l2.forward(&mut tape, &bound, h);
-                let tgt = tape.constant(y_col.clone());
+                let pred = st.l2.forward(&mut tape, &bound, h);
+                let tgt = tape.constant(st.y_col.clone());
                 let diff = tape.sub(pred, tgt);
                 let sq = tape.square(diff);
                 let mse = tape.mean_all(sq);
                 let grads = tape.backward(mse);
-                adam.step(&mut store, &bound, &grads);
+                adam.step(&mut st.store, &bound, &grads);
 
                 // Proximal group-lasso step (cMLP trains with proximal
                 // gradient descent): shrink each source series' input rows
@@ -109,10 +133,10 @@ impl Discoverer for Cmlp {
                 // the threshold.
                 let thresh = cfg.lr * cfg.lambda;
                 let norms: Vec<f64> = {
-                    let w = store.value(l1.weight());
+                    let w = st.store.value(st.l1.weight());
                     (0..n).map(|i| group_norm(w, i, cfg.lag)).collect()
                 };
-                let w = store.value_mut(l1.weight());
+                let w = st.store.value_mut(st.l1.weight());
                 let hcols = w.shape()[1];
                 for (i, &norm) in norms.iter().enumerate() {
                     let factor = if norm > thresh {
@@ -128,9 +152,13 @@ impl Discoverer for Cmlp {
                     }
                 }
             }
+        });
 
+        // Phase C: sequential edge selection (consumes rng).
+        let mut graph = CausalGraph::new(n);
+        for (target, st) in states.iter().enumerate() {
             // Causal scores: group norms of the trained input layer.
-            let w_in = store.value(l1.weight());
+            let w_in = st.store.value(st.l1.weight());
             let scores: Vec<f64> = (0..n).map(|i| group_norm(w_in, i, cfg.lag)).collect();
             let mask = top_class_mask(rng, &scores, 2, 1);
             for (i, &selected) in mask.iter().enumerate() {

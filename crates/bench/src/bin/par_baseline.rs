@@ -1,0 +1,137 @@
+//! Parallel-performance baseline: per-(method × dataset) discovery wall
+//! times at 1 and N worker threads, plus an end-to-end CausalFormer run on
+//! Lorenz-96 with 20 variables. The committed `BENCH_PR2.json` at the repo
+//! root is this binary's output — re-run it after kernel or scheduler
+//! changes to track the speedup trajectory:
+//!
+//! ```text
+//! cargo run -p cf-bench --release --bin par_baseline -- --json BENCH_PR2.json
+//! ```
+//!
+//! Because results are bitwise identical at any thread count, the F1
+//! column is reported once per cell; only wall time varies with threads.
+
+use cf_bench::{parse_options, run_cell, DatasetKind, MethodKind, Options};
+use cf_data::lorenz96::{self, Lorenz96Config};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+#[derive(serde::Serialize)]
+struct CellTiming {
+    method: String,
+    dataset: String,
+    f1_mean: Option<f64>,
+    wall_secs: Vec<ThreadTiming>,
+}
+
+#[derive(serde::Serialize)]
+struct ThreadTiming {
+    threads: usize,
+    secs: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Baseline {
+    host_cores: usize,
+    thread_counts: Vec<usize>,
+    cells: Vec<CellTiming>,
+    lorenz96_n20_discover: Vec<ThreadTiming>,
+    notes: &'static str,
+}
+
+fn main() {
+    let options = parse_options(std::env::args().skip(1));
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let thread_counts = vec![1usize, 4];
+    println!("Parallel baseline — host has {host_cores} core(s)");
+
+    // Per-(method × dataset) wall times: the Table 1 methods that gained a
+    // parallel path in this round, on one synthetic and one dynamical
+    // dataset, quick budgets, one seed.
+    let cell_opts = Options {
+        quick: true,
+        seeds: 1,
+        json_out: None,
+        metrics: false,
+        threads: None,
+    };
+    let methods = [
+        MethodKind::Cmlp,
+        MethodKind::Clstm,
+        MethodKind::CausalFormer,
+    ];
+    let datasets = [DatasetKind::Fork, DatasetKind::Lorenz96];
+    let mut cells = Vec::new();
+    for method in methods {
+        for dataset in datasets {
+            let mut timings = Vec::new();
+            let mut f1_mean = None;
+            for &threads in &thread_counts {
+                cf_par::set_threads(threads);
+                eprintln!(
+                    "running {} on {:?} with {threads} thread(s) …",
+                    method.name(),
+                    dataset
+                );
+                let cell = run_cell(method, dataset, &cell_opts);
+                f1_mean = cell.f1.map(|m| m.mean);
+                timings.push(ThreadTiming {
+                    threads,
+                    secs: cell.wall_secs,
+                });
+            }
+            cells.push(CellTiming {
+                method: method.name().to_string(),
+                dataset: format!("{dataset:?}"),
+                f1_mean,
+                wall_secs: timings,
+            });
+        }
+    }
+
+    // End-to-end discover on Lorenz-96 with N = 20 variables.
+    let mut lorenz = Vec::new();
+    for &threads in &thread_counts {
+        cf_par::set_threads(threads);
+        let mut rng = StdRng::seed_from_u64(96);
+        let config = Lorenz96Config {
+            n: 20,
+            length: 400,
+            forcing: 35.0,
+            ..Lorenz96Config::default()
+        };
+        let data = lorenz96::generate(&mut rng, config);
+        let mut cf = causalformer::presets::lorenz96(config.n);
+        cf.model.window = 8;
+        cf.train.max_epochs = 10;
+        cf.train.stride = 2;
+        eprintln!("lorenz96 n=20 discover with {threads} thread(s) …");
+        let started = Instant::now();
+        let result = cf.discover(&mut rng, &data.series);
+        let secs = started.elapsed().as_secs_f64();
+        println!(
+            "lorenz96 n=20, {threads} thread(s): {secs:.2}s, {} edges",
+            result.graph.edges().count()
+        );
+        lorenz.push(ThreadTiming { threads, secs });
+    }
+
+    let baseline = Baseline {
+        host_cores,
+        thread_counts,
+        cells,
+        lorenz96_n20_discover: lorenz,
+        notes: "wall times are single-run; outputs are bitwise identical \
+                across thread counts, so only timing varies. Speedups above \
+                1 thread require host_cores > 1.",
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("serializable");
+    match &options.json_out {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write baseline json");
+            println!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

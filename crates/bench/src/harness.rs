@@ -13,6 +13,10 @@ pub struct Options {
     /// Also write a per-run metrics artifact (wall times, tape op profile,
     /// span summary) next to the `--json` output.
     pub metrics: bool,
+    /// Worker-thread override; `None` keeps the `CF_THREADS` / core-count
+    /// default. Results are bitwise identical at any thread count, so this
+    /// only affects wall time.
+    pub threads: Option<usize>,
 }
 
 impl Default for Options {
@@ -22,6 +26,7 @@ impl Default for Options {
             seeds: 5,
             json_out: None,
             metrics: false,
+            threads: None,
         }
     }
 }
@@ -55,6 +60,18 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Options {
                 );
             }
             "--metrics" => options.metrics = true,
+            "--threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_abort("--threads requires a value"));
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_abort("--threads must be a positive integer"));
+                if n == 0 {
+                    usage_abort("--threads must be ≥ 1");
+                }
+                options.threads = Some(n);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -65,16 +82,21 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Options {
     if options.quick && !explicit_seeds {
         options.seeds = 2;
     }
+    if let Some(n) = options.threads {
+        cf_par::set_threads(n);
+    }
     options
 }
 
 const USAGE: &str = "\
-usage: <experiment> [--quick] [--seeds K] [--json PATH] [--metrics]
+usage: <experiment> [--quick] [--seeds K] [--json PATH] [--metrics] [--threads N]
   --quick      reduced budgets (2 seeds, shorter series, fewer epochs)
   --seeds K    seeds per cell (default 5; 2 with --quick)
   --json PATH  dump machine-readable results
   --metrics    also write wall times + op profile to <PATH>.metrics.json
-               (metrics.json without --json)";
+               (metrics.json without --json)
+  --threads N  worker threads (default: CF_THREADS env, else all cores;
+               results are identical at any thread count)";
 
 fn usage_abort(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -122,5 +144,13 @@ mod tests {
     fn metrics_flag_captured() {
         assert!(!parse(&[]).metrics);
         assert!(parse(&["--metrics"]).metrics);
+    }
+
+    #[test]
+    fn threads_flag_captured_and_applied() {
+        assert_eq!(parse(&[]).threads, None);
+        let o = parse(&["--threads", "2"]);
+        assert_eq!(o.threads, Some(2));
+        assert_eq!(cf_par::threads(), 2);
     }
 }

@@ -255,6 +255,7 @@ mod tests {
             seeds: 1,
             json_out: Some(json_path.to_string_lossy().into_owned()),
             metrics: true,
+            threads: None,
         };
         let cell = Cell {
             method: "cMLP".into(),

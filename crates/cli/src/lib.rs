@@ -50,8 +50,9 @@ causalformer — temporal causal discovery (CausalFormer, ICDE 2025)
 
 usage:
   causalformer discover --input FILE.csv [--preset NAME] [--window T]
-                        [--epochs E] [--seed S] [--dot FILE] [--save FILE]
-                        [--metrics-out FILE.jsonl] [--log-level LEVEL] [--quiet]
+                        [--epochs E] [--seed S] [--threads N] [--dot FILE]
+                        [--save FILE] [--metrics-out FILE.jsonl]
+                        [--log-level LEVEL] [--quiet]
   causalformer generate --dataset NAME [--length L] [--seed S] --output FILE.csv
 
 discover options:
@@ -60,6 +61,8 @@ discover options:
   --window T           observation window override
   --epochs E           training epoch override
   --seed S             RNG seed (default 0)
+  --threads N          worker threads (default: CF_THREADS env, else all
+                       cores; results are identical at any thread count)
   --dot FILE           write the discovered graph as Graphviz DOT
   --save FILE          write the trained model checkpoint (JSON)
   --metrics-out FILE   write JSONL telemetry (stage timings, per-epoch
@@ -86,6 +89,8 @@ pub struct DiscoverArgs {
     pub epochs: Option<usize>,
     /// RNG seed.
     pub seed: u64,
+    /// Worker-thread override (`cf_par::set_threads`).
+    pub threads: Option<usize>,
     /// DOT output path.
     pub dot: Option<String>,
     /// Checkpoint output path.
@@ -139,6 +144,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 window: None,
                 epochs: None,
                 seed: 0,
+                threads: None,
                 dot: None,
                 save: None,
                 metrics_out: None,
@@ -167,6 +173,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         a.epochs = Some(parse_num(flag, value)?);
                     }
                     "--seed" => a.seed = parse_num::<u64>(flag, value)?,
+                    "--threads" => {
+                        let n: usize = parse_num(flag, value)?;
+                        if n == 0 {
+                            return Err(CliError::Usage("--threads must be at least 1".into()));
+                        }
+                        a.threads = Some(n);
+                    }
                     "--dot" => a.dot = Some(value.clone()),
                     "--save" => a.save = Some(value.clone()),
                     "--metrics-out" => a.metrics_out = Some(value.clone()),
@@ -267,6 +280,9 @@ fn setup_observability(a: &DiscoverArgs) -> Result<bool, CliError> {
 /// Executes `discover`, returning the human-readable report that `main`
 /// prints.
 pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
+    if let Some(n) = a.threads {
+        cf_par::set_threads(n);
+    }
     let sink_installed = setup_observability(a)?;
     let started = std::time::Instant::now();
     let parsed = csv_io::read_series_csv_file(&a.input)
@@ -399,6 +415,8 @@ mod tests {
             "5",
             "--seed",
             "7",
+            "--threads",
+            "2",
             "--dot",
             "g.dot",
             "--save",
@@ -417,6 +435,7 @@ mod tests {
                 assert_eq!(a.window, Some(8));
                 assert_eq!(a.epochs, Some(5));
                 assert_eq!(a.seed, 7);
+                assert_eq!(a.threads, Some(2));
                 assert_eq!(a.dot.as_deref(), Some("g.dot"));
                 assert_eq!(a.save.as_deref(), Some("m.json"));
                 assert_eq!(a.metrics_out.as_deref(), Some("m.jsonl"));
@@ -494,6 +513,7 @@ mod tests {
             window: Some(8),
             epochs: Some(3),
             seed: 1,
+            threads: None,
             dot: Some(dot_path.to_string_lossy().into_owned()),
             save: None,
             metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
@@ -541,6 +561,7 @@ mod tests {
             window: Some(100),
             epochs: Some(1),
             seed: 0,
+            threads: None,
             dot: None,
             save: None,
             metrics_out: None,

@@ -136,7 +136,10 @@ pub fn window_scores(
     let need_relevance = mode != DetectorMode::NoRelevance;
     let need_gradient = mode != DetectorMode::NoGradient;
 
-    for i in 0..n {
+    // Per-target passes are independent given the shared forward tape
+    // (`backward_with_seed` takes `&self`): fan the i-loop out across the
+    // pool, each target producing its own attention row and kernel matrix.
+    let per_target: Vec<(Vec<f64>, Tensor)> = cf_par::par_map(n, |i| {
         // Gradient pass: seed the prediction with the target's row.
         let (grad_attn, grad_bank) = if need_gradient {
             let mut seed = Tensor::zeros(&[n, t]);
@@ -171,6 +174,8 @@ pub fn window_scores(
         };
 
         // Combine per Eq. 19 (or the ablated variants).
+        let mut attn_row = vec![0.0; n];
+        let mut kernel_i = Tensor::zeros(&[n, t]);
         for j in 0..n {
             let mut acc = 0.0;
             for h in 0..heads {
@@ -186,7 +191,7 @@ pub fn window_scores(
                 };
                 acc += val.max(0.0); // the (·)⁺ rectifier
             }
-            scores.attn[i][j] = acc / heads as f64;
+            attn_row[j] = acc / heads as f64;
 
             for u in 0..t {
                 let val = match mode {
@@ -205,10 +210,15 @@ pub fn window_scores(
                                 .get3(j, i, u)
                     }
                 };
-                let prev = scores.kernel[i].get2(j, u);
-                scores.kernel[i].set2(j, u, prev + val.max(0.0));
+                let prev = kernel_i.get2(j, u);
+                kernel_i.set2(j, u, prev + val.max(0.0));
             }
         }
+        (attn_row, kernel_i)
+    });
+    for (i, (attn_row, kernel_i)) in per_target.into_iter().enumerate() {
+        scores.attn[i] = attn_row;
+        scores.kernel[i] = kernel_i;
     }
     scores
 }

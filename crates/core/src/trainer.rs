@@ -7,7 +7,7 @@
 
 use crate::config::{ModelConfig, TrainConfig};
 use crate::model::CausalityAwareTransformer;
-use cf_nn::{clip_global_norm, Adam, EarlyStopper, Optimizer, ParamStore, StopDecision};
+use cf_nn::{clip_global_norm, Adam, EarlyStopper, Optimizer, ParamId, ParamStore, StopDecision};
 use cf_tensor::{Tape, Tensor};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -87,29 +87,79 @@ pub fn train<R: Rng + ?Sized>(
         let mut epoch_grad_norm = 0.0;
         let mut steps = 0usize;
         for batch in order.chunks(train_config.batch_size) {
-            let mut tape = Tape::new();
-            let bound = store.bind(&mut tape);
-            let mut batch_loss = None;
-            for &wi in batch {
-                let trace = model.forward(&mut tape, &bound, &train_set[wi]);
-                let loss = model.prediction_loss(&mut tape, &trace, &train_set[wi]);
-                batch_loss = Some(match batch_loss {
-                    None => loss,
-                    Some(acc) => tape.add(acc, loss),
-                });
+            // Data-parallel step: each window runs forward + backward on a
+            // private tape; per-parameter gradients combine via the
+            // fixed-order tree reduction, so the loss/gradient trajectory is
+            // bitwise identical at any thread count (the reduction shape
+            // depends only on the batch size).
+            let n_params = store.len();
+            let per_window: Vec<(f64, Vec<Option<Tensor>>)> = cf_par::par_map(batch.len(), |bi| {
+                let w = &train_set[batch[bi]];
+                let mut tape = Tape::new();
+                let bound = store.bind(&mut tape);
+                let trace = model.forward(&mut tape, &bound, w);
+                let loss = model.prediction_loss(&mut tape, &trace, w);
+                let loss_val = tape.value(loss).item();
+                let grads = tape.backward(loss);
+                let mut gvec: Vec<Option<Tensor>> = vec![None; n_params];
+                for (id, g) in bound.gradients(&grads) {
+                    gvec[id.index()] = Some(g.clone());
+                }
+                (loss_val, gvec)
+            });
+            let batch_len = per_window.len();
+            let (loss_sum, mut grad_sum) = cf_par::tree_reduce(per_window, |mut a, b| {
+                a.0 += b.0;
+                for (slot, gb) in a.1.iter_mut().zip(b.1) {
+                    if let Some(gb) = gb {
+                        match slot {
+                            Some(ga) => ga.add_assign(&gb),
+                            None => *slot = Some(gb),
+                        }
+                    }
+                }
+                a
+            })
+            .expect("non-empty batch");
+
+            // The sparsity penalty depends only on the parameters, not the
+            // windows: evaluate it once per step on its own small tape.
+            let mut ptape = Tape::new();
+            let pbound = store.bind(&mut ptape);
+            let penalty = model.sparsity_penalty(&mut ptape, &pbound);
+            let penalty_val = ptape.value(penalty).item();
+            let pgrads = ptape.backward(penalty);
+            let mut pvec: Vec<Option<Tensor>> = vec![None; n_params];
+            for (id, g) in pbound.gradients(&pgrads) {
+                pvec[id.index()] = Some(g.clone());
             }
-            let sum = batch_loss.expect("non-empty batch");
-            let mean = tape.scale(sum, 1.0 / batch.len() as f64);
-            let penalty = model.sparsity_penalty(&mut tape, &bound);
-            let total = tape.add(mean, penalty);
-            let grads = tape.backward(total);
-            let mut pairs: Vec<_> = bound
-                .gradients(&grads)
-                .map(|(id, g)| (id, g.clone()))
-                .collect();
+
+            let inv = 1.0 / batch_len as f64;
+            let mut pairs: Vec<(ParamId, Tensor)> = Vec::with_capacity(n_params);
+            for id in store.ids() {
+                let idx = id.index();
+                let pred = grad_sum[idx].take().map(|mut g| {
+                    for v in g.data_mut() {
+                        *v *= inv;
+                    }
+                    g
+                });
+                let merged = match (pred, pvec[idx].take()) {
+                    (Some(mut g), Some(pg)) => {
+                        g.add_assign(&pg);
+                        Some(g)
+                    }
+                    (Some(g), None) => Some(g),
+                    (None, Some(pg)) => Some(pg),
+                    (None, None) => None,
+                };
+                if let Some(g) = merged {
+                    pairs.push((id, g));
+                }
+            }
             epoch_grad_norm += clip_global_norm(&mut pairs, train_config.clip_norm);
             adam.step_pairs(&mut store, &pairs);
-            epoch_loss += tape.value(total).item();
+            epoch_loss += loss_sum * inv + penalty_val;
             steps += 1;
         }
         grad_norms.push(epoch_grad_norm / steps.max(1) as f64);
@@ -184,14 +234,16 @@ pub fn train<R: Rng + ?Sized>(
 /// Mean masked-MSE prediction loss of `model` over `windows` (no penalty).
 pub fn evaluate(model: &CausalityAwareTransformer, store: &ParamStore, windows: &[Tensor]) -> f64 {
     assert!(!windows.is_empty(), "no evaluation windows");
-    let mut total = 0.0;
-    for w in windows {
+    // Per-window losses in parallel, combined with the fixed-order tree
+    // reduction: the same value at any thread count.
+    let losses = cf_par::par_map(windows.len(), |i| {
         let mut tape = Tape::new();
         let bound = store.bind(&mut tape);
-        let trace = model.forward(&mut tape, &bound, w);
-        let loss = model.prediction_loss(&mut tape, &trace, w);
-        total += tape.value(loss).item();
-    }
+        let trace = model.forward(&mut tape, &bound, &windows[i]);
+        let loss = model.prediction_loss(&mut tape, &trace, &windows[i]);
+        tape.value(loss).item()
+    });
+    let total = cf_par::tree_reduce(losses, |a, b| a + b).expect("non-empty windows");
     total / windows.len() as f64
 }
 

@@ -1,0 +1,582 @@
+//! `cf-par`: a zero-dependency, long-lived worker pool for the
+//! CausalFormer stack.
+//!
+//! The build environment has no network registry, so this crate supplies
+//! the small slice of rayon the workloads actually need, built on
+//! `std::thread` only:
+//!
+//! * [`par_for`] — chunked parallel iteration over an index range,
+//! * [`par_chunks_mut`] — parallel iteration over disjoint mutable
+//!   sub-slices (row-blocked kernels),
+//! * [`par_map`] — parallel map collecting results in index order,
+//! * [`par_each_mut`] — parallel in-place mutation of a slice of items,
+//! * [`tree_reduce`] — a *fixed-shape* binary reduction whose association
+//!   order depends only on the item count, never on thread count.
+//!
+//! # Determinism contract
+//!
+//! Every primitive here is deterministic at any pool size:
+//!
+//! * Work is split into chunks whose boundaries depend only on the problem
+//!   size and the caller-supplied grain — not on the number of threads.
+//!   Which *worker* executes a chunk is scheduling-dependent, but each
+//!   chunk is a pure function of its inputs writing a disjoint output
+//!   region, so results are bitwise identical regardless of assignment.
+//! * Cross-chunk combination must go through [`tree_reduce`] (or another
+//!   fixed-order fold); its floating-point association is a function of
+//!   the chunk count alone.
+//!
+//! Consequently `CF_THREADS=1` and `CF_THREADS=64` produce bitwise
+//! identical tensors, gradients, and discovery output — the property the
+//! equivalence tests in `cf-tensor` and `causalformer` pin down.
+//!
+//! # Pool lifecycle
+//!
+//! A process-global pool is created lazily on first use, sized by the
+//! `CF_THREADS` environment variable (falling back to
+//! `std::thread::available_parallelism`). [`set_threads`] replaces the
+//! pool (used by `--threads` CLI flags and the equivalence tests).
+//! Workers are long-lived: they block on a condvar between jobs, claim
+//! chunks with an atomic cursor while a job is live, and the publishing
+//! thread participates in its own job, so a pool of size 1 adds no
+//! threads at all.
+//!
+//! Nested calls (a parallel kernel inside a parallel training chunk) run
+//! inline on the calling worker — no nested fan-out, no deadlock.
+//!
+//! # Observability
+//!
+//! Each dispatch updates `cf-obs` counters: `par.jobs` / `par.jobs_inline`
+//! (parallel vs inline dispatches), `par.tasks` (chunks executed),
+//! `par.busy_ns` (summed chunk execution time), and `par.idle_ns`
+//! (pool-size × job wall-clock minus busy time — dispatch overhead plus
+//! load imbalance). The `par.threads` gauge records the pool size.
+//! `--metrics-out` surfaces them in the `metrics_summary` record, so
+//! parallel efficiency is `busy / (busy + idle)`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Job: one parallel-for dispatch shared between the publisher and workers.
+// ---------------------------------------------------------------------
+
+/// Type-erased chunk closure. The pointer borrows from the publishing
+/// stack frame; soundness rests on [`Pool::run`] not returning until every
+/// chunk has finished executing (`done == total`), after which no worker
+/// dereferences `func` again (claims past `total` touch only atomics).
+struct Job {
+    func: *const (dyn Fn(usize) + Sync),
+    total: usize,
+    next: AtomicUsize,
+    done: AtomicUsize,
+    panicked: AtomicBool,
+    busy_ns: AtomicU64,
+}
+
+// SAFETY: `func` points at a `Sync` closure and is only dereferenced while
+// the publisher keeps the referent alive (see `Job` docs); the remaining
+// fields are atomics.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and executes chunks until the cursor passes `total`.
+    /// Returns `true` if this thread executed the final chunk.
+    fn work(&self) -> bool {
+        let mut finished_last = false;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                break;
+            }
+            let started = Instant::now();
+            // SAFETY: i < total, so the publisher is still blocked in
+            // `Pool::run` keeping the closure alive.
+            let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*self.func)(i) })).is_ok();
+            if !ok {
+                self.panicked.store(true, Ordering::SeqCst);
+            }
+            self.busy_ns
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            if self.done.fetch_add(1, Ordering::SeqCst) + 1 == self.total {
+                finished_last = true;
+            }
+        }
+        finished_last
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pool
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct PoolState {
+    job: Option<Arc<Job>>,
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Wakes workers when a job is published (or on shutdown).
+    work_cv: Condvar,
+    /// Wakes the publisher when the last chunk of a job completes.
+    done_cv: Condvar,
+}
+
+/// A fixed-size worker pool. Most callers use the process-global pool via
+/// the free functions; tests may build private pools.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    size: usize,
+}
+
+std::thread_local! {
+    /// Set while this thread is executing pool chunks; nested dispatches
+    /// run inline instead of re-entering the pool.
+    static IN_POOL_TASK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+impl Pool {
+    /// A pool executing on `size` threads total (the publishing thread
+    /// counts as one; `size - 1` background workers are spawned).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (1..size)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cf-par-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning cf-par worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            size,
+        }
+    }
+
+    /// Number of threads participating in this pool's jobs.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Executes `f(0), …, f(chunks - 1)` across the pool, blocking until
+    /// all calls complete. Runs inline when the pool has one thread, the
+    /// job has at most one chunk, or the caller is itself a pool task.
+    pub fn run(&self, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if chunks == 0 {
+            return;
+        }
+        let inline = self.size == 1 || chunks == 1 || IN_POOL_TASK.with(|c| c.get());
+        if inline {
+            metrics().jobs_inline.add(1);
+            metrics().tasks.add(chunks as u64);
+            for i in 0..chunks {
+                f(i);
+            }
+            return;
+        }
+
+        let job = Arc::new(Job {
+            // Erase the closure's lifetime; see the `Job` safety comment.
+            func: unsafe {
+                std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                    f as *const _,
+                )
+            },
+            total: chunks,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            busy_ns: AtomicU64::new(0),
+        });
+        let started = Instant::now();
+        {
+            let mut st = self.shared.state.lock().expect("cf-par state poisoned");
+            st.job = Some(Arc::clone(&job));
+            st.epoch += 1;
+            self.shared.work_cv.notify_all();
+        }
+
+        // The publisher works its own job too.
+        IN_POOL_TASK.with(|c| c.set(true));
+        let finished_last = job.work();
+        IN_POOL_TASK.with(|c| c.set(false));
+
+        let mut st = self.shared.state.lock().expect("cf-par state poisoned");
+        if finished_last {
+            // This thread ran the last chunk; no worker will notify.
+        } else {
+            while job.done.load(Ordering::SeqCst) < job.total {
+                st = self.shared.done_cv.wait(st).expect("cf-par state poisoned");
+            }
+        }
+        st.job = None;
+        drop(st);
+
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let busy_ns = job.busy_ns.load(Ordering::Relaxed);
+        let m = metrics();
+        m.jobs.add(1);
+        m.tasks.add(chunks as u64);
+        m.busy_ns.add(busy_ns);
+        m.idle_ns
+            .add((self.size as u64 * wall_ns).saturating_sub(busy_ns));
+
+        if job.panicked.load(Ordering::SeqCst) {
+            panic!("cf-par: a parallel task panicked");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("cf-par state poisoned");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IN_POOL_TASK.with(|c| c.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("cf-par state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > seen_epoch {
+                    seen_epoch = st.epoch;
+                    if let Some(job) = st.job.clone() {
+                        break job;
+                    }
+                }
+                st = shared.work_cv.wait(st).expect("cf-par state poisoned");
+            }
+        };
+        if job.work() {
+            // Last chunk: wake the publisher. Taking the lock orders the
+            // notification after the publisher's check-then-wait.
+            let _st = shared.state.lock().expect("cf-par state poisoned");
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Process-global pool
+// ---------------------------------------------------------------------
+
+fn global() -> &'static Mutex<Option<Arc<Pool>>> {
+    static POOL: OnceLock<Mutex<Option<Arc<Pool>>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(None))
+}
+
+/// The pool size the environment asks for: `CF_THREADS` if set and
+/// positive, else `available_parallelism`.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("CF_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn current() -> Arc<Pool> {
+    let mut guard = global().lock().expect("cf-par global pool poisoned");
+    if guard.is_none() {
+        let pool = Arc::new(Pool::new(default_threads()));
+        cf_obs::metrics::gauge("par.threads").set(pool.size() as f64);
+        *guard = Some(pool);
+    }
+    Arc::clone(guard.as_ref().expect("just installed"))
+}
+
+/// Replaces the process-global pool with one of `n` threads (clamped to a
+/// minimum of 1). In-flight jobs on the old pool finish undisturbed.
+pub fn set_threads(n: usize) {
+    let pool = Arc::new(Pool::new(n.max(1)));
+    cf_obs::metrics::gauge("par.threads").set(pool.size() as f64);
+    *global().lock().expect("cf-par global pool poisoned") = Some(pool);
+}
+
+/// The size of the process-global pool (creating it if needed).
+pub fn threads() -> usize {
+    current().size()
+}
+
+struct ParMetrics {
+    jobs: cf_obs::metrics::Counter,
+    jobs_inline: cf_obs::metrics::Counter,
+    tasks: cf_obs::metrics::Counter,
+    busy_ns: cf_obs::metrics::Counter,
+    idle_ns: cf_obs::metrics::Counter,
+}
+
+/// Counter handles are fetched per call (not cached) so that
+/// `cf_obs::metrics::reset()` — which replaces the registry — keeps
+/// working; the registry lookup is one short mutex acquisition per
+/// *dispatch*, far off the per-chunk hot path.
+fn metrics() -> ParMetrics {
+    ParMetrics {
+        jobs: cf_obs::metrics::counter("par.jobs"),
+        jobs_inline: cf_obs::metrics::counter("par.jobs_inline"),
+        tasks: cf_obs::metrics::counter("par.tasks"),
+        busy_ns: cf_obs::metrics::counter("par.busy_ns"),
+        idle_ns: cf_obs::metrics::counter("par.idle_ns"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// High-level primitives
+// ---------------------------------------------------------------------
+
+/// Splits `0..total` into contiguous chunks of at most `grain` indices and
+/// runs `f(range)` for each chunk across the global pool. Chunk boundaries
+/// depend only on `total` and `grain`, never on thread count.
+pub fn par_for<F>(total: usize, grain: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    if total == 0 {
+        return;
+    }
+    let grain = grain.max(1);
+    let chunks = total.div_ceil(grain);
+    current().run(chunks, &|ci: usize| {
+        let start = ci * grain;
+        let end = (start + grain).min(total);
+        f(start..end);
+    });
+}
+
+/// Pointer wrapper that lets disjoint sub-slices cross the closure
+/// boundary. Safety is localised to [`par_chunks_mut`].
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Splits `data` into contiguous chunks of at most `chunk_len` elements
+/// and runs `f(chunk_index, chunk)` for each across the global pool. The
+/// chunks are disjoint, so each invocation owns its sub-slice.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let chunk_len = chunk_len.max(1);
+    let base = SendPtr(data.as_mut_ptr());
+    let base = &base; // capture the Sync wrapper, not the raw pointer field
+    par_for(len.div_ceil(chunk_len), 1, |range| {
+        for ci in range {
+            let start = ci * chunk_len;
+            let end = (start + chunk_len).min(len);
+            // SAFETY: chunk index ranges are disjoint and within `len`;
+            // `par_for` completes before `data`'s borrow ends.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+            f(ci, chunk);
+        }
+    });
+}
+
+/// Computes `f(i)` for `i ∈ 0..n` in parallel, returning results in index
+/// order.
+pub fn par_map<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    par_chunks_mut(&mut out, 1, |i, slot| {
+        slot[0] = Some(f(i));
+    });
+    out.into_iter()
+        .map(|r| r.expect("par_map slot filled"))
+        .collect()
+}
+
+/// Runs `f(index, &mut item)` for every item of `items` in parallel.
+pub fn par_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    par_chunks_mut(items, 1, |i, chunk| f(i, &mut chunk[0]));
+}
+
+/// Reduces `items` with a *fixed-shape* binary tree: adjacent pairs are
+/// combined round by round (`[a⊕b, c⊕d, …]` then again) until one value
+/// remains. The association order — and therefore the floating-point
+/// result — depends only on `items.len()`, making parallel gradient
+/// accumulation bitwise reproducible at any thread count.
+pub fn tree_reduce<T>(items: Vec<T>, mut combine: impl FnMut(T, T) -> T) -> Option<T> {
+    let mut level = items;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(combine(a, b)),
+                None => next.push(a),
+            }
+        }
+        level = next;
+    }
+    level.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Serialises tests that resize the global pool.
+    fn pool_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .expect("test lock")
+    }
+
+    #[test]
+    fn par_for_visits_every_index_once() {
+        let _g = pool_lock();
+        for threads in [1, 2, 4] {
+            set_threads(threads);
+            let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+            par_for(97, 5, |range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::SeqCst),
+                    1,
+                    "index {i} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_disjoint_chunks() {
+        let _g = pool_lock();
+        set_threads(4);
+        let mut data = vec![0usize; 103];
+        par_chunks_mut(&mut data, 10, |ci, chunk| {
+            for v in chunk.iter_mut() {
+                *v = ci + 1;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 10 + 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let _g = pool_lock();
+        set_threads(3);
+        let out = par_map(50, |i| i * i);
+        assert_eq!(out, (0..50).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_each_mut_mutates_in_place() {
+        let _g = pool_lock();
+        set_threads(2);
+        let mut items: Vec<u64> = (0..20).collect();
+        par_each_mut(&mut items, |i, v| *v += i as u64);
+        assert_eq!(items, (0..20).map(|i| 2 * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tree_reduce_is_shape_stable() {
+        // 6 items: ((a+b)+(c+d)) + (e+f) — verify with a shape-sensitive
+        // combine (string parenthesisation).
+        let items: Vec<String> = ["a", "b", "c", "d", "e", "f"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = tree_reduce(items, |a, b| format!("({a}+{b})")).unwrap();
+        assert_eq!(out, "(((a+b)+(c+d))+((e+f)))".replace("((e+f))", "(e+f)"));
+        assert!(tree_reduce(Vec::<i32>::new(), |a, _| a).is_none());
+        assert_eq!(tree_reduce(vec![7], |a, b| a + b), Some(7));
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline() {
+        let _g = pool_lock();
+        set_threads(4);
+        let count = AtomicUsize::new(0);
+        par_for(4, 1, |outer| {
+            // Nested call must not deadlock and must cover its range.
+            par_for(8, 2, |inner| {
+                count.fetch_add(inner.len() * outer.len(), Ordering::SeqCst);
+            });
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_publisher() {
+        let _g = pool_lock();
+        set_threads(2);
+        let result = std::panic::catch_unwind(|| {
+            par_for(8, 1, |range| {
+                if range.start == 3 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err(), "panic must propagate");
+        // Pool stays usable afterwards.
+        let sum = AtomicUsize::new(0);
+        par_for(10, 1, |r| {
+            sum.fetch_add(r.start, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 45);
+    }
+
+    #[test]
+    fn private_pool_runs_jobs() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.size(), 3);
+        let count = AtomicUsize::new(0);
+        pool.run(10, &|_i| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+}

@@ -14,6 +14,11 @@
 
 use crate::Tensor;
 
+/// Multiply-add count (≈ n²·T² for a causal convolution) below which the
+/// convolution kernels stay serial; mirrors
+/// [`PAR_FLOP_THRESHOLD`](crate::tensor::PAR_FLOP_THRESHOLD) for matmuls.
+const PAR_ELEM_THRESHOLD: usize = 131_072;
+
 /// Multi-kernel causal convolution (paper Eq. 3).
 ///
 /// `x` is the `N×T` input window, `kernel` the `N×N×T` bank 𝒦 whose axes are
@@ -36,19 +41,33 @@ pub fn causal_conv(x: &Tensor, kernel: &Tensor) -> Tensor {
     assert_eq!(kt, t_len, "kernel taps must equal window length");
 
     let mut out = Tensor::zeros(&[n, n, t_len]);
-    for i in 0..n {
+    // Slab-parallel over i: out[i,·,·] is a contiguous, disjoint n·t_len
+    // block computed purely from x.row(i) and kernel[i,·,·], so the parallel
+    // result is bitwise identical to serial at any thread count.
+    let slab_len = n * t_len;
+    let kdata = kernel.data();
+    let slab = |i: usize, oslab: &mut [f64]| {
         let xi = x.row(i);
+        let kslab = &kdata[i * slab_len..(i + 1) * slab_len];
         for j in 0..n {
             for t in 0..t_len {
                 let mut acc = 0.0;
                 // s ranges over the observed prefix [0, t]; the matching
                 // kernel tap is u = T−1−t+s (0-indexed).
                 for s in 0..=t {
-                    acc += kernel.get3(i, j, t_len - 1 - t + s) * xi[s];
+                    acc += kslab[j * t_len + t_len - 1 - t + s] * xi[s];
                 }
-                out.set3(i, j, t, acc / (t + 1) as f64);
+                oslab[j * t_len + t] = acc / (t + 1) as f64;
             }
         }
+    };
+    if n * n * t_len * t_len < PAR_ELEM_THRESHOLD {
+        for i in 0..n {
+            let oslab = &mut out.data_mut()[i * slab_len..(i + 1) * slab_len];
+            slab(i, oslab);
+        }
+    } else {
+        cf_par::par_chunks_mut(out.data_mut(), slab_len, slab);
     }
     out
 }
@@ -57,20 +76,33 @@ pub fn causal_conv(x: &Tensor, kernel: &Tensor) -> Tensor {
 pub fn causal_conv_backward_kernel(x: &Tensor, grad_out: &Tensor) -> Tensor {
     let (n, t_len) = dims_2(x, "causal_conv_backward_kernel x");
     let mut grad_k = Tensor::zeros(&[n, n, t_len]);
-    for i in 0..n {
+    // Same per-i slab decomposition as the forward pass: grad_k[i,·,·]
+    // depends only on x.row(i) and grad_out[i,·,·].
+    let slab_len = n * t_len;
+    let gdata = grad_out.data();
+    let slab = |i: usize, gkslab: &mut [f64]| {
         let xi = x.row(i);
+        let gslab = &gdata[i * slab_len..(i + 1) * slab_len];
         for j in 0..n {
             for t in 0..t_len {
-                let g = grad_out.get3(i, j, t) / (t + 1) as f64;
+                let g = gslab[j * t_len + t] / (t + 1) as f64;
                 if g == 0.0 {
                     continue;
                 }
                 for s in 0..=t {
                     let u = t_len - 1 - t + s;
-                    *grad_k.at_mut(&[i, j, u]) += g * xi[s];
+                    gkslab[j * t_len + u] += g * xi[s];
                 }
             }
         }
+    };
+    if n * n * t_len * t_len < PAR_ELEM_THRESHOLD {
+        for i in 0..n {
+            let gkslab = &mut grad_k.data_mut()[i * slab_len..(i + 1) * slab_len];
+            slab(i, gkslab);
+        }
+    } else {
+        cf_par::par_chunks_mut(grad_k.data_mut(), slab_len, slab);
     }
     grad_k
 }
@@ -79,19 +111,34 @@ pub fn causal_conv_backward_kernel(x: &Tensor, grad_out: &Tensor) -> Tensor {
 pub fn causal_conv_backward_x(kernel: &Tensor, grad_out: &Tensor) -> Tensor {
     let (n, _, t_len) = dims_3(kernel, "causal_conv_backward_x kernel");
     let mut grad_x = Tensor::zeros(&[n, t_len]);
-    for i in 0..n {
+    // Row-parallel over i: grad_x.row(i) depends only on kernel[i,·,·] and
+    // grad_out[i,·,·], so rows are disjoint work units.
+    let slab_len = n * t_len;
+    let kdata = kernel.data();
+    let gdata = grad_out.data();
+    let row = |i: usize, gxrow: &mut [f64]| {
+        let kslab = &kdata[i * slab_len..(i + 1) * slab_len];
+        let gslab = &gdata[i * slab_len..(i + 1) * slab_len];
         for j in 0..n {
             for t in 0..t_len {
-                let g = grad_out.get3(i, j, t) / (t + 1) as f64;
+                let g = gslab[j * t_len + t] / (t + 1) as f64;
                 if g == 0.0 {
                     continue;
                 }
                 for s in 0..=t {
                     let u = t_len - 1 - t + s;
-                    grad_x.set2(i, s, grad_x.get2(i, s) + g * kernel.get3(i, j, u));
+                    gxrow[s] += g * kslab[j * t_len + u];
                 }
             }
         }
+    };
+    if n * n * t_len * t_len < PAR_ELEM_THRESHOLD {
+        for i in 0..n {
+            let gxrow = &mut grad_x.data_mut()[i * t_len..(i + 1) * t_len];
+            row(i, gxrow);
+        }
+    } else {
+        cf_par::par_chunks_mut(grad_x.data_mut(), t_len, row);
     }
     grad_x
 }

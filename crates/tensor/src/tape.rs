@@ -587,23 +587,56 @@ impl Tape {
         }
     }
 
+    /// Accumulates `alpha · src` into the slot for `id`, axpy-ing into the
+    /// existing buffer when one is present instead of materialising a scaled
+    /// copy first. Numerically identical to
+    /// `accumulate(…, src.scale(alpha))`: both round `alpha·srcᵢ` once, then
+    /// add.
+    fn accumulate_scaled(&self, grads: &mut [Option<Tensor>], id: VarId, alpha: f64, src: &Tensor) {
+        if !self.rg(id) {
+            return;
+        }
+        match &mut grads[id.0] {
+            Some(existing) => existing.axpy(alpha, src),
+            slot @ None => {
+                *slot = Some(if alpha == 1.0 {
+                    src.clone()
+                } else {
+                    src.scale(alpha)
+                })
+            }
+        }
+    }
+
+    /// Accumulates the Hadamard product `g ⊙ other` into the slot for `id`
+    /// without allocating the product tensor when a buffer already exists.
+    fn accumulate_mul(&self, grads: &mut [Option<Tensor>], id: VarId, g: &Tensor, other: &Tensor) {
+        if !self.rg(id) {
+            return;
+        }
+        match &mut grads[id.0] {
+            Some(existing) => existing.add_mul_assign(g, other),
+            slot @ None => *slot = Some(g.mul(other)),
+        }
+    }
+
     fn propagate(&self, op: &Op, g: &Tensor, idx: usize, grads: &mut [Option<Tensor>]) {
         match op {
             Op::Leaf => {}
             Op::Add(a, b) => {
-                self.accumulate(grads, *a, g.clone());
-                self.accumulate(grads, *b, g.clone());
+                self.accumulate_scaled(grads, *a, 1.0, g);
+                self.accumulate_scaled(grads, *b, 1.0, g);
             }
             Op::Sub(a, b) => {
-                self.accumulate(grads, *a, g.clone());
-                self.accumulate(grads, *b, g.scale(-1.0));
+                self.accumulate_scaled(grads, *a, 1.0, g);
+                self.accumulate_scaled(grads, *b, -1.0, g);
             }
             Op::Mul(a, b) => {
-                self.accumulate(grads, *a, g.mul(self.value(*b)));
-                self.accumulate(grads, *b, g.mul(self.value(*a)));
+                self.accumulate_mul(grads, *a, g, self.value(*b));
+                self.accumulate_mul(grads, *b, g, self.value(*a));
             }
             Op::AddRowVector(m, bias) => {
-                self.accumulate(grads, *m, g.clone());
+                self.accumulate_scaled(grads, *m, 1.0, g);
                 if self.rg(*bias) {
                     // Column sums of g.
                     let (r, c) = (g.shape()[0], g.shape()[1]);
@@ -640,7 +673,7 @@ impl Tape {
                     self.accumulate(grads, *v, gv);
                 }
             }
-            Op::Scale(a, alpha) => self.accumulate(grads, *a, g.scale(*alpha)),
+            Op::Scale(a, alpha) => self.accumulate_scaled(grads, *a, *alpha, g),
             Op::MatMul(a, b) => {
                 // y = a·b : da = g·bᵀ, db = aᵀ·g
                 if self.rg(*a) {
@@ -691,7 +724,7 @@ impl Tape {
                 let x = self.value(*a);
                 self.accumulate(grads, *a, g.zip_map(x, |gv, xv| gv * 2.0 * xv));
             }
-            Op::MulConst(a, c) => self.accumulate(grads, *a, g.mul(c)),
+            Op::MulConst(a, c) => self.accumulate_mul(grads, *a, g, c),
             Op::SumAll(a) => {
                 let val = Tensor::full(self.value(*a).shape(), g.item());
                 self.accumulate(grads, *a, val);
@@ -709,7 +742,7 @@ impl Tape {
             Op::ScaleByElem { x, w, idx: wi } => {
                 let weight = self.value(*w).data()[*wi];
                 if self.rg(*x) {
-                    self.accumulate(grads, *x, g.scale(weight));
+                    self.accumulate_scaled(grads, *x, weight, g);
                 }
                 if self.rg(*w) {
                     let mut gw = Tensor::zeros(self.value(*w).shape());

@@ -16,6 +16,19 @@ pub struct Tensor {
     data: Vec<f64>,
 }
 
+/// FLOP count (2·m·k·n for a matmul) below which the linear-algebra kernels
+/// stay serial: a pool dispatch costs on the order of a microsecond, which
+/// only pays for itself once the kernel does roughly this much arithmetic.
+pub(crate) const PAR_FLOP_THRESHOLD: usize = 262_144;
+
+/// Output rows per parallel chunk, targeting ~32 KFLOPs of work per chunk so
+/// dispatch overhead stays small while chunks outnumber any plausible pool.
+/// Depends only on the problem size — never on thread count — which keeps
+/// chunk boundaries (and thus scheduling-independent results) deterministic.
+pub(crate) fn rows_per_block(m: usize, flops_per_row: usize) -> usize {
+    (32_768 / flops_per_row.max(1)).clamp(1, m)
+}
+
 impl Tensor {
     // ---------------------------------------------------------------------
     // Construction
@@ -321,6 +334,17 @@ impl Tensor {
         }
     }
 
+    /// In-place elementwise multiply-accumulate: `self[i] += a[i] · b[i]`.
+    /// The fused form of `self.add_assign(&a.mul(b))` without the
+    /// intermediate allocation; same rounding (multiply then add).
+    pub fn add_mul_assign(&mut self, a: &Self, b: &Self) {
+        self.assert_same_shape(a, "add_mul_assign");
+        self.assert_same_shape(b, "add_mul_assign");
+        for ((s, av), bv) in self.data.iter_mut().zip(&a.data).zip(&b.data) {
+            *s += av * bv;
+        }
+    }
+
     /// Multiply every element by a scalar.
     pub fn scale(&self, alpha: f64) -> Self {
         self.map(|v| v * alpha)
@@ -418,6 +442,11 @@ impl Tensor {
     // ---------------------------------------------------------------------
 
     /// Matrix product of two 2-d tensors: `(m×k)·(k×n) → m×n`.
+    ///
+    /// Row-parallel above [`PAR_FLOP_THRESHOLD`]: each worker owns a
+    /// disjoint band of output rows, and every output cell is computed
+    /// entirely within one band, so the result is bitwise identical to the
+    /// serial kernel at any thread count.
     pub fn matmul(&self, other: &Self) -> Self {
         assert_eq!(self.rank(), 2, "matmul lhs must be 2-d");
         assert_eq!(other.rank(), 2, "matmul rhs must be 2-d");
@@ -425,47 +454,97 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
         let mut out = Self::zeros(&[m, n]);
+        let a = &self.data;
+        let b = &other.data;
         // ikj loop order: the inner loop runs over contiguous memory in both
         // `other` and `out`, which LLVM vectorises.
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += a * brow[j];
+        let band = |i0: usize, orows: &mut [f64]| {
+            for (di, orow) in orows.chunks_mut(n).enumerate() {
+                let i = i0 + di;
+                for p in 0..k {
+                    let av = a[i * k + p];
+                    // Zero-skip: the group-lasso penalty and proximal
+                    // shrinkage drive many weights *exactly* to 0, and
+                    // causal masks zero whole bands — skipping dodges a full
+                    // length-n fused-multiply-add row per zero. For finite
+                    // operands this never changes the result (adding a ±0.0
+                    // term is the identity under f64 ==).
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for j in 0..n {
+                        orow[j] += av * brow[j];
+                    }
                 }
             }
+        };
+        if 2 * m * k * n < PAR_FLOP_THRESHOLD {
+            band(0, &mut out.data);
+        } else {
+            let rb = rows_per_block(m, 2 * k * n);
+            cf_par::par_chunks_mut(&mut out.data, rb * n, |ci, chunk| band(ci * rb, chunk));
         }
         out
     }
 
     /// `self · otherᵀ` for 2-d tensors: `(m×k)·(n×k)ᵀ → m×n`.
+    ///
+    /// Cache-blocked over `j`/`p` (the attention-score kernel hits this with
+    /// large `k = N·T` rows, where plain `ijp` order streams the whole of
+    /// `other` through cache once per output row) and row-parallel above
+    /// [`PAR_FLOP_THRESHOLD`]. Each `(i,j)` cell accumulates its `p` terms in
+    /// ascending order across the `p`-blocks, so blocking and threading leave
+    /// the floating-point result bit-identical to the naive kernel.
     pub fn matmul_nt(&self, other: &Self) -> Self {
         assert_eq!(self.rank(), 2, "matmul_nt lhs must be 2-d");
         assert_eq!(other.rank(), 2, "matmul_nt rhs must be 2-d");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_nt inner dims: {k} vs {k2}");
+        // Block sizes: JB rows of `other` (JB·PB·8 bytes ≈ 128 KiB) stay
+        // resident while a band of `self` rows streams against them.
+        const JB: usize = 64;
+        const PB: usize = 256;
         let mut out = Self::zeros(&[m, n]);
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for p in 0..k {
-                    acc += arow[p] * brow[p];
+        let a = &self.data;
+        let b = &other.data;
+        let band = |i0: usize, orows: &mut [f64]| {
+            let rows = orows.len() / n;
+            for jb in (0..n).step_by(JB) {
+                let jhi = (jb + JB).min(n);
+                for pb in (0..k).step_by(PB) {
+                    let phi = (pb + PB).min(k);
+                    for di in 0..rows {
+                        let arow = &a[(i0 + di) * k..(i0 + di + 1) * k];
+                        let orow = &mut orows[di * n..(di + 1) * n];
+                        for j in jb..jhi {
+                            let brow = &b[j * k..(j + 1) * k];
+                            let mut acc = orow[j];
+                            for p in pb..phi {
+                                acc += arow[p] * brow[p];
+                            }
+                            orow[j] = acc;
+                        }
+                    }
                 }
-                out.data[i * n + j] = acc;
             }
+        };
+        if 2 * m * k * n < PAR_FLOP_THRESHOLD {
+            band(0, &mut out.data);
+        } else {
+            let rb = rows_per_block(m, 2 * k * n);
+            cf_par::par_chunks_mut(&mut out.data, rb * n, |ci, chunk| band(ci * rb, chunk));
         }
         out
     }
 
     /// `selfᵀ · other` for 2-d tensors: `(k×m)ᵀ·(k×n) → m×n`.
+    ///
+    /// Output-row-parallel above [`PAR_FLOP_THRESHOLD`]; per cell the `p`
+    /// terms accumulate in ascending order with the same zero-skip as the
+    /// serial kernel (see [`Tensor::matmul`] for why the skip is free), so
+    /// results are bitwise identical at any thread count.
     pub fn matmul_tn(&self, other: &Self) -> Self {
         assert_eq!(self.rank(), 2, "matmul_tn lhs must be 2-d");
         assert_eq!(other.rank(), 2, "matmul_tn rhs must be 2-d");
@@ -473,19 +552,28 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_tn inner dims: {k} vs {k2}");
         let mut out = Self::zeros(&[m, n]);
-        for p in 0..k {
-            let arow = &self.data[p * m..(p + 1) * m];
-            let brow = &other.data[p * n..(p + 1) * n];
-            for i in 0..m {
-                let a = arow[i];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += a * brow[j];
+        let a = &self.data;
+        let b = &other.data;
+        let band = |i0: usize, orows: &mut [f64]| {
+            for (di, orow) in orows.chunks_mut(n).enumerate() {
+                let i = i0 + di;
+                for p in 0..k {
+                    let av = a[p * m + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for j in 0..n {
+                        orow[j] += av * brow[j];
+                    }
                 }
             }
+        };
+        if 2 * m * k * n < PAR_FLOP_THRESHOLD {
+            band(0, &mut out.data);
+        } else {
+            let rb = rows_per_block(m, 2 * k * n);
+            cf_par::par_chunks_mut(&mut out.data, rb * n, |ci, chunk| band(ci * rb, chunk));
         }
         out
     }

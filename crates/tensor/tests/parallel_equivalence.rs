@@ -1,0 +1,164 @@
+//! Serial-vs-parallel bitwise equivalence for the parallel kernels.
+//!
+//! The determinism contract (DESIGN.md, "Parallelism") promises that every
+//! parallel kernel produces *bitwise identical* output at any thread count:
+//! chunk boundaries depend only on problem size, each chunk writes a
+//! disjoint output region, and no floating-point combination order changes
+//! with the worker count. These tests pin a reference result at 1 thread
+//! and re-run at 2 and 4 threads, comparing raw `f64` data exactly.
+//!
+//! All problem sizes here sit *above* the serial-fallback thresholds so
+//! the parallel code paths actually execute.
+
+use cf_tensor::{ops, Tape, Tensor};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// `cf_par::set_threads` mutates a process-wide pool, so tests that change
+/// the thread count must not interleave.
+fn pool_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Deterministic filler: a splitmix-style generator, with a sprinkling of
+/// exact zeros to exercise the zero-skip fast paths.
+fn filled(shape: &[usize], seed: u64) -> Tensor {
+    let len: usize = shape.iter().product();
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let data: Vec<f64> = (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
+            let bits = (state >> 11) as f64 / (1u64 << 53) as f64;
+            if bits < 0.125 {
+                0.0
+            } else {
+                2.0 * bits - 1.0
+            }
+        })
+        .collect();
+    Tensor::from_vec(shape.to_vec(), data).expect("shape/data agree")
+}
+
+/// Runs `f` at 1 thread for a reference, then asserts the outputs at 2 and
+/// 4 threads are bitwise identical to it.
+fn assert_thread_invariant<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    cf_par::set_threads(1);
+    let reference = f();
+    for threads in [2, 4] {
+        cf_par::set_threads(threads);
+        assert_eq!(f(), reference, "output differs at {threads} threads");
+    }
+}
+
+#[test]
+fn matmul_family_is_bitwise_identical_across_thread_counts() {
+    let _guard = pool_lock();
+    // 2·m·k·n = 294,912 ≥ PAR_FLOP_THRESHOLD for all three kernels.
+    let (m, k, n) = (64, 48, 48);
+    let a = filled(&[m, k], 1);
+    let b = filled(&[k, n], 2);
+    let a_t = filled(&[k, m], 3);
+    let b_rows = filled(&[n, k], 4);
+    assert_thread_invariant(|| {
+        (
+            a.matmul(&b).data().to_vec(),
+            a.matmul_nt(&b_rows).data().to_vec(),
+            a_t.matmul_tn(&b).data().to_vec(),
+        )
+    });
+}
+
+#[test]
+fn causal_conv_forward_and_backward_are_bitwise_identical() {
+    let _guard = pool_lock();
+    // n²·T² = 147,456 ≥ PAR_ELEM_THRESHOLD.
+    let (n, t) = (12, 32);
+    let x = filled(&[n, t], 5);
+    let kernel = filled(&[n, n, t], 6);
+    let grad_out = filled(&[n, n, t], 7);
+    assert_thread_invariant(|| {
+        (
+            ops::causal_conv(&x, &kernel).data().to_vec(),
+            ops::causal_conv_backward_kernel(&x, &grad_out)
+                .data()
+                .to_vec(),
+            ops::causal_conv_backward_x(&kernel, &grad_out)
+                .data()
+                .to_vec(),
+        )
+    });
+}
+
+#[test]
+fn tape_gradients_are_bitwise_identical_across_thread_counts() {
+    let _guard = pool_lock();
+    let (m, k, n) = (64, 48, 48);
+    let a0 = filled(&[m, k], 8);
+    let b0 = filled(&[k, n], 9);
+    assert_thread_invariant(|| {
+        let mut tape = Tape::new();
+        let a = tape.leaf(a0.clone(), true);
+        let b = tape.leaf(b0.clone(), true);
+        let prod = tape.matmul(a, b);
+        let loss = tape.sum_all(prod);
+        let grads = tape.backward(loss);
+        (
+            grads.expect(a, "a").data().to_vec(),
+            grads.expect(b, "b").data().to_vec(),
+        )
+    });
+}
+
+#[test]
+fn parallel_matmul_gradient_matches_finite_difference() {
+    let _guard = pool_lock();
+    cf_par::set_threads(4);
+    // Big enough for the parallel path; gradcheck a handful of entries.
+    let (m, k, n) = (64, 48, 48);
+    let a0 = filled(&[m, k], 10);
+    let b0 = filled(&[k, n], 11);
+    let loss_of = |a_t: &Tensor, b_t: &Tensor| {
+        let mut tape = Tape::new();
+        let a = tape.leaf(a_t.clone(), true);
+        let b = tape.leaf(b_t.clone(), true);
+        let prod = tape.matmul(a, b);
+        let loss = tape.mean_all(prod);
+        tape.value(loss).item()
+    };
+    let (ga, gb) = {
+        let mut tape = Tape::new();
+        let a = tape.leaf(a0.clone(), true);
+        let b = tape.leaf(b0.clone(), true);
+        let prod = tape.matmul(a, b);
+        let loss = tape.mean_all(prod);
+        let grads = tape.backward(loss);
+        (grads.expect(a, "a").clone(), grads.expect(b, "b").clone())
+    };
+    let eps = 1e-6;
+    for idx in [0, 7, m * k / 2, m * k - 1] {
+        let mut plus = a0.clone();
+        plus.data_mut()[idx] += eps;
+        let mut minus = a0.clone();
+        minus.data_mut()[idx] -= eps;
+        let numeric = (loss_of(&plus, &b0) - loss_of(&minus, &b0)) / (2.0 * eps);
+        let analytic = ga.data()[idx];
+        assert!(
+            (numeric - analytic).abs() < 1e-6,
+            "dL/da[{idx}]: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+    for idx in [0, 13, k * n / 2, k * n - 1] {
+        let mut plus = b0.clone();
+        plus.data_mut()[idx] += eps;
+        let mut minus = b0.clone();
+        minus.data_mut()[idx] -= eps;
+        let numeric = (loss_of(&a0, &plus) - loss_of(&a0, &minus)) / (2.0 * eps);
+        let analytic = gb.data()[idx];
+        assert!(
+            (numeric - analytic).abs() < 1e-6,
+            "dL/db[{idx}]: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+}

@@ -10,7 +10,12 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test -q --workspace"
-cargo test -q --workspace
+# The suite runs twice — serial and with a 4-worker pool — to enforce the
+# determinism contract: results must be identical at any thread count.
+echo "== cargo test -q --workspace (CF_THREADS=1)"
+CF_THREADS=1 cargo test -q --workspace
+
+echo "== cargo test -q --workspace (CF_THREADS=4)"
+CF_THREADS=4 cargo test -q --workspace
 
 echo "All checks passed."
