@@ -13,12 +13,14 @@
 //! selected by k-means on the group norms.
 
 use crate::common::standardize;
+use crate::sweep_cache::{fingerprint_payload, SweepCache};
 use crate::Discoverer;
 use cf_metrics::kmeans::top_class_mask;
 use cf_metrics::CausalGraph;
 use cf_nn::{Adam, Linear, LstmCell, Optimizer, ParamStore};
 use cf_tensor::{Tape, Tensor};
 use rand::RngCore;
+use std::path::Path;
 
 /// Hyper-parameters of the cLSTM baseline.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +64,25 @@ impl Clstm {
     pub fn new(config: ClstmConfig) -> Self {
         Self { config }
     }
+
+    /// [`Discoverer::discover`] with per-target checkpointing under `dir`:
+    /// the four trained gate input-projection matrices of each finished
+    /// target are persisted, and a restarted sweep skips those targets. The
+    /// resulting graph is bitwise identical to an uninterrupted
+    /// [`discover`] call with the same rng seed (see
+    /// [`crate::sweep_cache`]).
+    ///
+    /// [`discover`]: Discoverer::discover
+    pub fn discover_resumable(
+        &self,
+        rng: &mut dyn RngCore,
+        series: &Tensor,
+        dir: &Path,
+    ) -> std::io::Result<CausalGraph> {
+        let payload = fingerprint_payload(&format!("{:?}", self.config), series);
+        let cache = SweepCache::open(dir, "cLSTM", &payload)?;
+        Ok(self.discover_impl(rng, series, Some(&cache)))
+    }
 }
 
 impl Discoverer for Clstm {
@@ -70,6 +91,17 @@ impl Discoverer for Clstm {
     }
 
     fn discover(&self, rng: &mut dyn RngCore, series: &Tensor) -> CausalGraph {
+        self.discover_impl(rng, series, None)
+    }
+}
+
+impl Clstm {
+    fn discover_impl(
+        &self,
+        rng: &mut dyn RngCore,
+        series: &Tensor,
+        cache: Option<&SweepCache>,
+    ) -> CausalGraph {
         let cfg = self.config;
         let n = series.shape()[0];
         let l = series.shape()[1];
@@ -104,8 +136,43 @@ impl Discoverer for Clstm {
             })
             .collect();
 
-        // Phase B: parallel rng-free training.
-        cf_par::par_each_mut(&mut states, |_, st| {
+        // Resume: restore already-trained gate input projections from the
+        // sweep cache (sequentially). Phase C's group norms read only
+        // these four matrices, so nothing else needs restoring.
+        let gate_names = ["wx0", "wx1", "wx2", "wx3"];
+        let restored: Vec<bool> = if let Some(c) = cache {
+            states
+                .iter_mut()
+                .enumerate()
+                .map(|(t, st)| {
+                    let Some(arts) = c.load(t) else {
+                        return false;
+                    };
+                    let ids = st.cell.input_weights();
+                    let ok = arts.len() == ids.len()
+                        && arts.iter().zip(&ids).zip(&gate_names).all(
+                            |(((name, w), &id), &expect)| {
+                                name == expect && w.shape() == st.store.value(id).shape()
+                            },
+                        );
+                    if !ok {
+                        return false;
+                    }
+                    for ((_, w), &id) in arts.into_iter().zip(&ids) {
+                        *st.store.value_mut(id) = w;
+                    }
+                    true
+                })
+                .collect()
+        } else {
+            vec![false; n]
+        };
+
+        // Phase B: parallel rng-free training (restored targets skip it).
+        cf_par::par_each_mut(&mut states, |idx, st| {
+            if restored[idx] {
+                return;
+            }
             let target = st.target;
             let (store, cell, head) = (&mut st.store, &st.cell, &st.head);
             let mut adam = Adam::new(cfg.lr);
@@ -168,6 +235,21 @@ impl Discoverer for Clstm {
                 }
             }
         });
+
+        // Checkpoint each freshly trained target (sequential writes).
+        if let Some(c) = cache {
+            for (t, st) in states.iter().enumerate() {
+                if !restored[t] {
+                    let ids = st.cell.input_weights();
+                    let tensors: Vec<(&str, &Tensor)> = gate_names
+                        .iter()
+                        .zip(&ids)
+                        .map(|(&name, &id)| (name, st.store.value(id)))
+                        .collect();
+                    c.store(t, &tensors);
+                }
+            }
+        }
 
         // Phase C: sequential edge selection (consumes rng).
         let mut graph = CausalGraph::new(n);

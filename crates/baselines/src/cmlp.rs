@@ -14,12 +14,14 @@
 //! check when the proximal operator has zeroed the rest.
 
 use crate::common::{group_norm, lag_norm, lagged_design, standardize};
+use crate::sweep_cache::{fingerprint_payload, SweepCache};
 use crate::Discoverer;
 use cf_metrics::kmeans::top_class_mask;
 use cf_metrics::CausalGraph;
 use cf_nn::{Adam, Linear, Optimizer, ParamStore};
 use cf_tensor::{Tape, Tensor};
 use rand::RngCore;
+use std::path::Path;
 
 /// Hyper-parameters of the cMLP baseline.
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +62,24 @@ impl Cmlp {
     pub fn new(config: CmlpConfig) -> Self {
         Self { config }
     }
+
+    /// [`Discoverer::discover`] with per-target checkpointing under `dir`:
+    /// each target's trained input layer is persisted as it finishes, and a
+    /// restarted sweep skips every already-trained target. The resulting
+    /// graph is bitwise identical to an uninterrupted [`discover`] call
+    /// with the same rng seed (see [`crate::sweep_cache`]).
+    ///
+    /// [`discover`]: Discoverer::discover
+    pub fn discover_resumable(
+        &self,
+        rng: &mut dyn RngCore,
+        series: &Tensor,
+        dir: &Path,
+    ) -> std::io::Result<CausalGraph> {
+        let payload = fingerprint_payload(&format!("{:?}", self.config), series);
+        let cache = SweepCache::open(dir, "cMLP", &payload)?;
+        Ok(self.discover_impl(rng, series, Some(&cache)))
+    }
 }
 
 impl Discoverer for Cmlp {
@@ -72,6 +92,17 @@ impl Discoverer for Cmlp {
     }
 
     fn discover(&self, rng: &mut dyn RngCore, series: &Tensor) -> CausalGraph {
+        self.discover_impl(rng, series, None)
+    }
+}
+
+impl Cmlp {
+    fn discover_impl(
+        &self,
+        rng: &mut dyn RngCore,
+        series: &Tensor,
+        cache: Option<&SweepCache>,
+    ) -> CausalGraph {
         let cfg = self.config;
         let n = series.shape()[0];
         let std_series = standardize(series);
@@ -110,8 +141,33 @@ impl Discoverer for Cmlp {
             })
             .collect();
 
-        // Phase B: parallel rng-free training.
-        cf_par::par_each_mut(&mut states, |_, st| {
+        // Resume: restore already-trained input layers from the sweep
+        // cache (sequentially — cache reads must not race). Only the input
+        // layer needs restoring: Phase C reads nothing else.
+        let restored: Vec<bool> = if let Some(c) = cache {
+            states
+                .iter_mut()
+                .enumerate()
+                .map(|(t, st)| match c.load(t).as_deref() {
+                    Some([(name, w)])
+                        if name == "in.weight"
+                            && w.shape() == st.store.value(st.l1.weight()).shape() =>
+                    {
+                        *st.store.value_mut(st.l1.weight()) = w.clone();
+                        true
+                    }
+                    _ => false,
+                })
+                .collect()
+        } else {
+            vec![false; n]
+        };
+
+        // Phase B: parallel rng-free training (restored targets skip it).
+        cf_par::par_each_mut(&mut states, |idx, st| {
+            if restored[idx] {
+                return;
+            }
             let mut adam = Adam::new(cfg.lr);
             for _ in 0..cfg.epochs {
                 let mut tape = Tape::new();
@@ -153,6 +209,16 @@ impl Discoverer for Cmlp {
                 }
             }
         });
+
+        // Checkpoint each freshly trained target (sequential writes, so a
+        // crash mid-sweep loses at most the in-flight target).
+        if let Some(c) = cache {
+            for (t, st) in states.iter().enumerate() {
+                if !restored[t] {
+                    c.store(t, &[("in.weight", st.store.value(st.l1.weight()))]);
+                }
+            }
+        }
 
         // Phase C: sequential edge selection (consumes rng).
         let mut graph = CausalGraph::new(n);

@@ -44,6 +44,7 @@ mod cuts;
 mod dvgnn;
 mod dynotears;
 mod pcmci_lite;
+pub mod sweep_cache;
 mod tcdf;
 mod var_granger;
 
@@ -54,6 +55,7 @@ pub use cuts::{Cuts, CutsConfig};
 pub use dvgnn::{Dvgnn, DvgnnConfig};
 pub use dynotears::{Dynotears, DynotearsConfig};
 pub use pcmci_lite::{Pcmci, PcmciConfig};
+pub use sweep_cache::SweepCache;
 pub use tcdf::{Tcdf, TcdfConfig};
 pub use var_granger::{VarGranger, VarGrangerConfig};
 

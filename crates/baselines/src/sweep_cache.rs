@@ -1,0 +1,240 @@
+//! Per-target artifact cache for the component-wise baseline sweeps.
+//!
+//! cMLP and cLSTM train one independent model per target series; a full
+//! Table-1 sweep retrains every target from scratch, so a crash near the
+//! end loses hours of work. This cache checkpoints each target's *causally
+//! relevant* trained weights as soon as that target finishes, under the
+//! same checksummed atomic-write envelope as the trainer's checkpoints
+//! ([`causalformer::checkpoint::write_envelope`]). A restarted sweep skips
+//! every cached target and — because per-target RNG consumption happens in
+//! the sequential init and selection phases, which always run — produces a
+//! **bitwise identical** causal graph to an uninterrupted run.
+//!
+//! Cache entries are keyed by target index and guarded by a fingerprint of
+//! the method configuration and the input series: stale entries (different
+//! data or hyper-parameters) and corrupt files are treated as misses and
+//! retrained, never trusted.
+
+use causalformer::checkpoint::{fnv1a64, read_envelope, write_envelope};
+use cf_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// One cached target: named weight tensors flattened for the vendored
+/// serde derive (parallel `names`/`shapes`/`values` arrays).
+#[derive(Serialize, Deserialize)]
+struct SavedTarget {
+    method: String,
+    target: u64,
+    fingerprint: String,
+    names: Vec<String>,
+    shapes: Vec<Vec<u64>>,
+    values: Vec<Vec<f64>>,
+}
+
+/// A directory of per-target artifacts for one (method, config, series)
+/// sweep. See the [module docs](self).
+pub struct SweepCache {
+    dir: PathBuf,
+    method: &'static str,
+    fingerprint: String,
+}
+
+impl SweepCache {
+    /// Opens (creating if needed) the cache directory for a sweep whose
+    /// identity is `method` plus a caller-built fingerprint payload
+    /// (hyper-parameters and input series bits).
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        method: &'static str,
+        fingerprint_payload: &[u8],
+    ) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            method,
+            fingerprint: format!("{:016x}", fnv1a64(fingerprint_payload)),
+        })
+    }
+
+    fn path(&self, target: usize) -> PathBuf {
+        self.dir
+            .join(format!("{}-target-{target:04}.cfck", self.method))
+    }
+
+    /// Loads the cached tensors for `target`, or `None` on any miss:
+    /// absent file, corrupt envelope, undecodable payload, or a
+    /// fingerprint from a different config/series. Misses are safe — the
+    /// caller simply retrains the target.
+    pub fn load(&self, target: usize) -> Option<Vec<(String, Tensor)>> {
+        let path = self.path(target);
+        if !path.exists() {
+            return None;
+        }
+        let payload = match read_envelope(&path) {
+            Ok(p) => p,
+            Err(e) => {
+                cf_obs::warn!("sweep cache: ignoring unreadable artifact: {e}");
+                return None;
+            }
+        };
+        let json = match std::str::from_utf8(&payload) {
+            Ok(s) => s,
+            Err(_) => {
+                cf_obs::warn!(
+                    "sweep cache: artifact {} is not UTF-8, retraining",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        let saved: SavedTarget = match serde_json::from_str(json) {
+            Ok(s) => s,
+            Err(e) => {
+                cf_obs::warn!(
+                    "sweep cache: ignoring undecodable artifact {}: {e}",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        if saved.method != self.method
+            || saved.target != target as u64
+            || saved.fingerprint != self.fingerprint
+        {
+            cf_obs::warn!(
+                "sweep cache: stale artifact {} (different config or series), retraining",
+                path.display()
+            );
+            return None;
+        }
+        if saved.names.len() != saved.shapes.len() || saved.names.len() != saved.values.len() {
+            cf_obs::warn!(
+                "sweep cache: inconsistent artifact {}, retraining",
+                path.display()
+            );
+            return None;
+        }
+        let mut out = Vec::with_capacity(saved.names.len());
+        for ((name, shape), values) in saved.names.into_iter().zip(saved.shapes).zip(saved.values) {
+            let shape: Vec<usize> = shape.into_iter().map(|d| d as usize).collect();
+            match Tensor::from_vec(shape, values) {
+                Ok(t) => out.push((name, t)),
+                Err(e) => {
+                    cf_obs::warn!(
+                        "sweep cache: artifact {} has a malformed tensor ({e}), retraining",
+                        path.display()
+                    );
+                    return None;
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Persists `target`'s trained tensors. Best-effort like the trainer's
+    /// epoch checkpoints: a failed write costs a retrain on resume, never
+    /// the current sweep.
+    pub fn store(&self, target: usize, tensors: &[(&str, &Tensor)]) {
+        let saved = SavedTarget {
+            method: self.method.to_string(),
+            target: target as u64,
+            fingerprint: self.fingerprint.clone(),
+            names: tensors.iter().map(|(n, _)| n.to_string()).collect(),
+            shapes: tensors
+                .iter()
+                .map(|(_, t)| t.shape().iter().map(|&d| d as u64).collect())
+                .collect(),
+            values: tensors.iter().map(|(_, t)| t.data().to_vec()).collect(),
+        };
+        let payload = match serde_json::to_string(&saved) {
+            Ok(p) => p,
+            Err(e) => {
+                cf_obs::warn!("sweep cache: could not encode target {target}: {e}");
+                return;
+            }
+        };
+        if let Err(e) = write_envelope(&self.path(target), payload.as_bytes()) {
+            cf_obs::warn!(
+                "sweep cache: could not write {}: {e}",
+                self.path(target).display()
+            );
+        }
+    }
+}
+
+/// Fingerprint payload builder: method config debug string plus the exact
+/// bit pattern of the input series. Any change to either retrains.
+pub(crate) fn fingerprint_payload(config_repr: &str, series: &Tensor) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(config_repr.len() + series.data().len() * 8 + 16);
+    bytes.extend_from_slice(config_repr.as_bytes());
+    for &d in series.shape() {
+        bytes.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for &v in series.data() {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cf_sweep_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn series() -> Tensor {
+        Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn roundtrips_tensors_bitwise() {
+        let dir = tmp_dir("roundtrip");
+        let fp = fingerprint_payload("cfg", &series());
+        let cache = SweepCache::open(&dir, "test", &fp).unwrap();
+        let w = Tensor::from_vec(vec![2, 2], vec![0.1, -0.2, f64::MIN_POSITIVE, 1e300]).unwrap();
+        cache.store(3, &[("w", &w)]);
+        let loaded = cache.load(3).expect("hit");
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0, "w");
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&w), bits(&loaded[0].1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn different_fingerprint_misses() {
+        let dir = tmp_dir("fp");
+        let fp_a = fingerprint_payload("cfg-a", &series());
+        let cache_a = SweepCache::open(&dir, "test", &fp_a).unwrap();
+        let w = Tensor::from_vec(vec![1], vec![7.0]).unwrap();
+        cache_a.store(0, &[("w", &w)]);
+
+        let fp_b = fingerprint_payload("cfg-b", &series());
+        let cache_b = SweepCache::open(&dir, "test", &fp_b).unwrap();
+        assert!(cache_b.load(0).is_none(), "stale artifact must miss");
+        assert!(cache_a.load(0).is_some(), "original keeps hitting");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_artifact_misses() {
+        let dir = tmp_dir("corrupt");
+        let fp = fingerprint_payload("cfg", &series());
+        let cache = SweepCache::open(&dir, "test", &fp).unwrap();
+        let w = Tensor::from_vec(vec![1], vec![7.0]).unwrap();
+        cache.store(0, &[("w", &w)]);
+        let path = dir.join("test-target-0000.cfck");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.load(0).is_none(), "corrupt artifact must miss");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-target sweep checkpointing: an interrupted cMLP/cLSTM sweep that
+//! resumes from its per-target artifacts must produce the same causal
+//! graph as a plain uninterrupted `discover` call — and stale caches
+//! (different series or hyper-parameters) must be ignored, not trusted.
+
+use cf_baselines::{Clstm, ClstmConfig, Cmlp, CmlpConfig, Discoverer};
+use cf_data::synthetic::{generate, Structure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cf_sweep_resume_{tag}_{}_t{}",
+        std::process::id(),
+        std::env::var("CF_THREADS").unwrap_or_default()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cmlp_resume_matches_uninterrupted_sweep() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = generate(&mut rng, Structure::Fork, 200);
+    let cmlp = Cmlp::new(CmlpConfig {
+        epochs: 25,
+        ..Default::default()
+    });
+
+    let mut rng = StdRng::seed_from_u64(33);
+    let plain = cmlp.discover(&mut rng, &data.series);
+
+    // First sweep populates one artifact per target.
+    let dir = tmp_dir("cmlp");
+    let mut rng = StdRng::seed_from_u64(33);
+    let first = cmlp
+        .discover_resumable(&mut rng, &data.series, &dir)
+        .unwrap();
+    assert_eq!(plain, first, "caching must not change the graph");
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 3);
+
+    // Simulate a crash that lost the last target, then resume: the two
+    // cached targets are skipped, the lost one retrains, and the graph is
+    // identical (the rng phases are independent of cache hits).
+    std::fs::remove_file(dir.join("cMLP-target-0002.cfck")).unwrap();
+    let mut rng = StdRng::seed_from_u64(33);
+    let resumed = cmlp
+        .discover_resumable(&mut rng, &data.series, &dir)
+        .unwrap();
+    assert_eq!(plain, resumed, "resumed sweep diverged");
+
+    // Fully warm cache: every target skips training, same graph again.
+    let mut rng = StdRng::seed_from_u64(33);
+    let warm = cmlp
+        .discover_resumable(&mut rng, &data.series, &dir)
+        .unwrap();
+    assert_eq!(plain, warm, "warm-cache sweep diverged");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clstm_resume_matches_uninterrupted_sweep() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = generate(&mut rng, Structure::VStructure, 120);
+    let clstm = Clstm::new(ClstmConfig {
+        epochs: 4,
+        ..Default::default()
+    });
+
+    let mut rng = StdRng::seed_from_u64(44);
+    let plain = clstm.discover(&mut rng, &data.series);
+
+    let dir = tmp_dir("clstm");
+    let mut rng = StdRng::seed_from_u64(44);
+    let first = clstm
+        .discover_resumable(&mut rng, &data.series, &dir)
+        .unwrap();
+    assert_eq!(plain, first, "caching must not change the graph");
+
+    std::fs::remove_file(dir.join("cLSTM-target-0000.cfck")).unwrap();
+    let mut rng = StdRng::seed_from_u64(44);
+    let resumed = clstm
+        .discover_resumable(&mut rng, &data.series, &dir)
+        .unwrap();
+    assert_eq!(plain, resumed, "resumed sweep diverged");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_cache_is_retrained_not_trusted() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let fork = generate(&mut rng, Structure::Fork, 150);
+    let mediator = generate(&mut rng, Structure::Mediator, 150);
+    let cmlp = Cmlp::new(CmlpConfig {
+        epochs: 15,
+        ..Default::default()
+    });
+
+    // Populate the cache from one dataset, then sweep another through the
+    // same directory: the fingerprints differ, so every entry misses.
+    let dir = tmp_dir("stale");
+    let mut rng = StdRng::seed_from_u64(55);
+    cmlp.discover_resumable(&mut rng, &fork.series, &dir)
+        .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(55);
+    let plain = cmlp.discover(&mut rng, &mediator.series);
+    let mut rng = StdRng::seed_from_u64(55);
+    let swept = cmlp
+        .discover_resumable(&mut rng, &mediator.series, &dir)
+        .unwrap();
+    assert_eq!(plain, swept, "stale cache leaked into the result");
+    std::fs::remove_dir_all(&dir).ok();
+}

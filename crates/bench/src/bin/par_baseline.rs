@@ -11,7 +11,9 @@
 //! Because results are bitwise identical at any thread count, the F1
 //! column is reported once per cell; only wall time varies with threads.
 
-use cf_bench::{parse_options, run_cell, DatasetKind, MethodKind, Options};
+use cf_bench::{
+    init_metrics, maybe_dump_metrics, parse_options, run_cell, DatasetKind, MethodKind, Options,
+};
 use cf_data::lorenz96::{self, Lorenz96Config};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,28 +45,40 @@ struct Baseline {
 fn main() {
     let options = parse_options(std::env::args().skip(1));
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let thread_counts = vec![1usize, 4];
+    let thread_counts = if options.smoke {
+        vec![1usize, 2]
+    } else {
+        vec![1usize, 4]
+    };
     println!("Parallel baseline — host has {host_cores} core(s)");
 
     // Per-(method × dataset) wall times: the Table 1 methods that gained a
     // parallel path in this round, on one synthetic and one dynamical
-    // dataset, quick budgets, one seed.
+    // dataset, quick budgets, one seed. Smoke mode keeps one synthetic
+    // dataset so the whole binary finishes in seconds.
     let cell_opts = Options {
         quick: true,
         seeds: 1,
         json_out: None,
         metrics: false,
         threads: None,
+        smoke: options.smoke,
     };
     let methods = [
         MethodKind::Cmlp,
         MethodKind::Clstm,
         MethodKind::CausalFormer,
     ];
-    let datasets = [DatasetKind::Fork, DatasetKind::Lorenz96];
+    let datasets: &[DatasetKind] = if options.smoke {
+        &[DatasetKind::Fork]
+    } else {
+        &[DatasetKind::Fork, DatasetKind::Lorenz96]
+    };
+    init_metrics(&options);
     let mut cells = Vec::new();
+    let mut raw_cells = Vec::new();
     for method in methods {
-        for dataset in datasets {
+        for &dataset in datasets {
             let mut timings = Vec::new();
             let mut f1_mean = None;
             for &threads in &thread_counts {
@@ -80,6 +94,7 @@ fn main() {
                     threads,
                     secs: cell.wall_secs,
                 });
+                raw_cells.push(cell);
             }
             cells.push(CellTiming {
                 method: method.name().to_string(),
@@ -90,31 +105,73 @@ fn main() {
         }
     }
 
-    // End-to-end discover on Lorenz-96 with N = 20 variables.
+    // End-to-end discover on Lorenz-96 with N = 20 variables (N = 6 and a
+    // short series in smoke mode).
     let mut lorenz = Vec::new();
     for &threads in &thread_counts {
         cf_par::set_threads(threads);
         let mut rng = StdRng::seed_from_u64(96);
         let config = Lorenz96Config {
-            n: 20,
-            length: 400,
+            n: if options.smoke { 6 } else { 20 },
+            length: if options.smoke { 120 } else { 400 },
             forcing: 35.0,
             ..Lorenz96Config::default()
         };
         let data = lorenz96::generate(&mut rng, config);
         let mut cf = causalformer::presets::lorenz96(config.n);
         cf.model.window = 8;
-        cf.train.max_epochs = 10;
+        cf.train.max_epochs = if options.smoke { 2 } else { 10 };
         cf.train.stride = 2;
-        eprintln!("lorenz96 n=20 discover with {threads} thread(s) …");
+        eprintln!(
+            "lorenz96 n={} discover with {threads} thread(s) …",
+            config.n
+        );
         let started = Instant::now();
         let result = cf.discover(&mut rng, &data.series);
         let secs = started.elapsed().as_secs_f64();
         println!(
-            "lorenz96 n=20, {threads} thread(s): {secs:.2}s, {} edges",
+            "lorenz96 n={}, {threads} thread(s): {secs:.2}s, {} edges",
+            config.n,
             result.graph.edges().count()
         );
         lorenz.push(ThreadTiming { threads, secs });
+    }
+
+    // Output guard: a benchmark that emits NaN/Inf (a silently diverged
+    // model or a broken timer) must fail loudly — CI treats a non-zero
+    // exit as a rotten perf binary.
+    let mut bad = Vec::new();
+    for cell in &cells {
+        if let Some(f1) = cell.f1_mean {
+            if !f1.is_finite() {
+                bad.push(format!(
+                    "{} on {}: f1_mean = {f1}",
+                    cell.method, cell.dataset
+                ));
+            }
+        }
+        for t in &cell.wall_secs {
+            if !t.secs.is_finite() {
+                bad.push(format!(
+                    "{} on {} at {} thread(s): wall = {}",
+                    cell.method, cell.dataset, t.threads, t.secs
+                ));
+            }
+        }
+    }
+    for t in &lorenz {
+        if !t.secs.is_finite() {
+            bad.push(format!(
+                "lorenz96 at {} thread(s): wall = {}",
+                t.threads, t.secs
+            ));
+        }
+    }
+    if !bad.is_empty() {
+        for line in &bad {
+            eprintln!("non-finite output: {line}");
+        }
+        std::process::exit(1);
     }
 
     let baseline = Baseline {
@@ -134,4 +191,5 @@ fn main() {
         }
         None => println!("{json}"),
     }
+    maybe_dump_metrics(&options, &raw_cells);
 }

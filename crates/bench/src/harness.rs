@@ -17,6 +17,10 @@ pub struct Options {
     /// default. Results are bitwise identical at any thread count, so this
     /// only affects wall time.
     pub threads: Option<usize>,
+    /// CI smoke mode: tiny fixed budgets (seconds, not minutes). Timing
+    /// numbers are meaningless in this mode — it exists so CI can prove
+    /// the binary still runs end-to-end and emits finite output.
+    pub smoke: bool,
 }
 
 impl Default for Options {
@@ -27,6 +31,7 @@ impl Default for Options {
             json_out: None,
             metrics: false,
             threads: None,
+            smoke: false,
         }
     }
 }
@@ -60,6 +65,10 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Options {
                 );
             }
             "--metrics" => options.metrics = true,
+            "--smoke" => {
+                options.smoke = true;
+                options.quick = true;
+            }
             "--threads" => {
                 let v = args
                     .next()
@@ -80,7 +89,7 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Options {
         }
     }
     if options.quick && !explicit_seeds {
-        options.seeds = 2;
+        options.seeds = if options.smoke { 1 } else { 2 };
     }
     if let Some(n) = options.threads {
         cf_par::set_threads(n);
@@ -89,8 +98,11 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Options {
 }
 
 const USAGE: &str = "\
-usage: <experiment> [--quick] [--seeds K] [--json PATH] [--metrics] [--threads N]
+usage: <experiment> [--quick] [--smoke] [--seeds K] [--json PATH] [--metrics] [--threads N]
   --quick      reduced budgets (2 seeds, shorter series, fewer epochs)
+  --smoke      CI smoke mode: implies --quick, 1 seed, tiny fixed budgets;
+               proves the binary runs and emits finite output (timings are
+               meaningless)
   --seeds K    seeds per cell (default 5; 2 with --quick)
   --json PATH  dump machine-readable results
   --metrics    also write wall times + op profile to <PATH>.metrics.json
@@ -144,6 +156,15 @@ mod tests {
     fn metrics_flag_captured() {
         assert!(!parse(&[]).metrics);
         assert!(parse(&["--metrics"]).metrics);
+    }
+
+    #[test]
+    fn smoke_implies_quick_with_one_seed() {
+        let o = parse(&["--smoke"]);
+        assert!(o.smoke && o.quick);
+        assert_eq!(o.seeds, 1);
+        let o2 = parse(&["--smoke", "--seeds", "3"]);
+        assert_eq!(o2.seeds, 3);
     }
 
     #[test]

@@ -256,6 +256,7 @@ mod tests {
             json_out: Some(json_path.to_string_lossy().into_owned()),
             metrics: true,
             threads: None,
+            smoke: false,
         };
         let cell = Cell {
             method: "cMLP".into(),

@@ -17,7 +17,7 @@
 //! causalformer generate --dataset fork --length 600 --output fork.csv
 //! ```
 
-use causalformer::{persist, presets, trainer, CausalFormer};
+use causalformer::{persist, presets, trainer, CausalFormer, CheckpointConfig};
 use cf_data::{io as csv_io, lorenz96, synthetic, window};
 use cf_metrics::graph_dot_plain;
 use rand::rngs::StdRng;
@@ -52,7 +52,8 @@ usage:
   causalformer discover --input FILE.csv [--preset NAME] [--window T]
                         [--epochs E] [--seed S] [--threads N] [--dot FILE]
                         [--save FILE] [--metrics-out FILE.jsonl]
-                        [--log-level LEVEL] [--quiet]
+                        [--checkpoint-dir DIR] [--checkpoint-every N]
+                        [--resume] [--log-level LEVEL] [--quiet]
   causalformer generate --dataset NAME [--length L] [--seed S] --output FILE.csv
 
 discover options:
@@ -67,6 +68,10 @@ discover options:
   --save FILE          write the trained model checkpoint (JSON)
   --metrics-out FILE   write JSONL telemetry (stage timings, per-epoch
                        records, tape op profile, discovery summary)
+  --checkpoint-dir DIR write crash-safe training checkpoints into DIR
+  --checkpoint-every N checkpoint every N epochs (default 1)
+  --resume             continue from the newest checkpoint in DIR; the
+                       result is bitwise identical to an uninterrupted run
   --log-level LEVEL    off | error | warn | info | debug | trace
                        (default info; the CF_LOG env var also works)
   --quiet              suppress per-epoch progress (same as --log-level warn)
@@ -97,6 +102,12 @@ pub struct DiscoverArgs {
     pub save: Option<String>,
     /// JSONL telemetry output path.
     pub metrics_out: Option<String>,
+    /// Training-checkpoint directory (enables crash-safe training).
+    pub checkpoint_dir: Option<String>,
+    /// Epochs between checkpoints (requires `checkpoint_dir`).
+    pub checkpoint_every: Option<usize>,
+    /// Resume from the newest checkpoint in `checkpoint_dir`.
+    pub resume: bool,
     /// Log level override (parsed in `run_discover`).
     pub log_level: Option<String>,
     /// Suppress per-epoch progress lines.
@@ -148,6 +159,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 dot: None,
                 save: None,
                 metrics_out: None,
+                checkpoint_dir: None,
+                checkpoint_every: None,
+                resume: false,
                 log_level: None,
                 quiet: false,
             };
@@ -157,6 +171,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 // Boolean flags take no value.
                 if flag == "--quiet" {
                     a.quiet = true;
+                    i += 1;
+                    continue;
+                }
+                if flag == "--resume" {
+                    a.resume = true;
                     i += 1;
                     continue;
                 }
@@ -183,6 +202,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--dot" => a.dot = Some(value.clone()),
                     "--save" => a.save = Some(value.clone()),
                     "--metrics-out" => a.metrics_out = Some(value.clone()),
+                    "--checkpoint-dir" => a.checkpoint_dir = Some(value.clone()),
+                    "--checkpoint-every" => {
+                        let n: usize = parse_num(flag, value)?;
+                        if n == 0 {
+                            return Err(CliError::Usage(
+                                "--checkpoint-every must be at least 1".into(),
+                            ));
+                        }
+                        a.checkpoint_every = Some(n);
+                    }
                     "--log-level" => a.log_level = Some(value.clone()),
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
@@ -190,6 +219,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             if a.input.is_empty() {
                 return Err(CliError::Usage("discover requires --input".into()));
+            }
+            if a.checkpoint_dir.is_none() && (a.resume || a.checkpoint_every.is_some()) {
+                return Err(CliError::Usage(
+                    "--resume / --checkpoint-every require --checkpoint-dir".into(),
+                ));
             }
             Ok(Command::Discover(a))
         }
@@ -306,7 +340,14 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
     }
 
     let mut rng = StdRng::seed_from_u64(a.seed);
-    let result = cf.discover(&mut rng, &parsed.series);
+    let result = match &a.checkpoint_dir {
+        Some(dir) => {
+            let ckpt = CheckpointConfig::new(dir).every(a.checkpoint_every.unwrap_or(1));
+            cf.discover_resumable(&mut rng, &parsed.series, ckpt, a.resume)
+                .map_err(|e| CliError::Run(format!("resumable discovery: {e}")))?
+        }
+        None => cf.discover(&mut rng, &parsed.series),
+    };
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -423,6 +464,11 @@ mod tests {
             "m.json",
             "--metrics-out",
             "m.jsonl",
+            "--checkpoint-dir",
+            "ckpts",
+            "--checkpoint-every",
+            "2",
+            "--resume",
             "--log-level",
             "debug",
             "--quiet",
@@ -439,6 +485,9 @@ mod tests {
                 assert_eq!(a.dot.as_deref(), Some("g.dot"));
                 assert_eq!(a.save.as_deref(), Some("m.json"));
                 assert_eq!(a.metrics_out.as_deref(), Some("m.jsonl"));
+                assert_eq!(a.checkpoint_dir.as_deref(), Some("ckpts"));
+                assert_eq!(a.checkpoint_every, Some(2));
+                assert!(a.resume);
                 assert_eq!(a.log_level.as_deref(), Some("debug"));
                 assert!(a.quiet);
             }
@@ -457,6 +506,31 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn resume_requires_checkpoint_dir() {
+        for args in [
+            vec!["discover", "--input", "x.csv", "--resume"],
+            vec!["discover", "--input", "x.csv", "--checkpoint-every", "2"],
+        ] {
+            match parse(&s(&args)) {
+                Err(CliError::Usage(m)) => assert!(m.contains("--checkpoint-dir"), "{m}"),
+                other => panic!("expected a usage error, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            parse(&s(&[
+                "discover",
+                "--input",
+                "x.csv",
+                "--checkpoint-dir",
+                "d",
+                "--checkpoint-every",
+                "0"
+            ])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -517,6 +591,9 @@ mod tests {
             dot: Some(dot_path.to_string_lossy().into_owned()),
             save: None,
             metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            resume: false,
             log_level: None,
             quiet: true,
         };
@@ -565,10 +642,56 @@ mod tests {
             dot: None,
             save: None,
             metrics_out: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            resume: false,
             log_level: None,
             quiet: true,
         };
         assert!(matches!(run_discover(&disc), Err(CliError::Run(_))));
         std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn checkpointed_discover_resumes_to_same_graph() {
+        let dir = std::env::temp_dir();
+        let csv_path = dir.join("cf_cli_test_ckpt.csv");
+        let ckpt_dir = dir.join(format!("cf_cli_test_ckpts_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        run_generate(&GenerateArgs {
+            dataset: "fork".into(),
+            length: 200,
+            seed: 2,
+            output: csv_path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+
+        let mut disc = DiscoverArgs {
+            input: csv_path.to_string_lossy().into_owned(),
+            preset: "synthetic-sparse".into(),
+            window: Some(8),
+            epochs: Some(3),
+            seed: 2,
+            threads: None,
+            dot: None,
+            save: None,
+            metrics_out: None,
+            checkpoint_dir: Some(ckpt_dir.to_string_lossy().into_owned()),
+            checkpoint_every: None,
+            resume: false,
+            log_level: None,
+            quiet: true,
+        };
+        let first = run_discover(&disc).unwrap();
+        assert!(std::fs::read_dir(&ckpt_dir).unwrap().count() > 0);
+
+        // Re-running with --resume restores epoch 3's state (nothing left
+        // to train) and must print the identical graph.
+        disc.resume = true;
+        let second = run_discover(&disc).unwrap();
+        assert_eq!(first, second);
+
+        std::fs::remove_file(&csv_path).ok();
+        std::fs::remove_dir_all(&ckpt_dir).ok();
     }
 }

@@ -1,0 +1,510 @@
+//! Crash-safe training checkpoints.
+//!
+//! A checkpoint captures *everything* the training loop mutates — parameter
+//! values, best-epoch snapshot, Adam moments and step count, early-stopping
+//! state, the RNG state, the (accumulated) shuffle order, and the loss
+//! history — so a killed run resumed from disk continues **bitwise
+//! identically** to one that never died (see `tests/resume_determinism.rs`).
+//!
+//! ## On-disk format
+//!
+//! One file per checkpoint, `ckpt-NNNNNN.cfck` (NNNNNN = epochs completed),
+//! holding a one-line envelope header followed by a JSON payload:
+//!
+//! ```text
+//! CFCKPT1 len=<payload bytes> fnv1a64=<16 hex digits>\n
+//! {"format_version":1, ...}
+//! ```
+//!
+//! The checksum turns silent corruption (torn writes, bad disks) into a
+//! loud [`CheckpointError::Corrupt`]; [`load_latest`] then falls back to
+//! the next-newest intact file. Writes are atomic — temp file, `fsync`,
+//! `rename`, directory `fsync` — so a crash mid-write can never destroy an
+//! existing checkpoint. Retention keeps the newest
+//! [`CheckpointConfig::keep`] files.
+
+use crate::persist::{SavedConfig, SavedParam};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Version stamp embedded in every checkpoint payload.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// File extension of checkpoint files.
+pub const CHECKPOINT_EXTENSION: &str = "cfck";
+
+const ENVELOPE_MAGIC: &str = "CFCKPT1";
+const FILE_PREFIX: &str = "ckpt-";
+
+/// Where and how often the trainer checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding `ckpt-NNNNNN.cfck` files (created on first save).
+    pub dir: PathBuf,
+    /// Save after every `every`-th completed epoch.
+    pub every: usize,
+    /// How many newest checkpoints to retain; older ones are pruned. Keep
+    /// at least 2 so a checkpoint corrupted *after* being written still
+    /// leaves a usable predecessor.
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints into `dir` after every epoch, keeping the newest two.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            every: 1,
+            keep: 2,
+        }
+    }
+
+    /// Sets the epoch interval between saves.
+    pub fn every(mut self, every: usize) -> Self {
+        self.every = every;
+        self
+    }
+
+    /// Sets how many newest checkpoints to retain.
+    pub fn keep(mut self, keep: usize) -> Self {
+        self.keep = keep;
+        self
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) {
+        assert!(self.every >= 1, "checkpoint interval must be positive");
+        assert!(self.keep >= 1, "must retain at least one checkpoint");
+    }
+}
+
+/// Errors from checkpoint persistence.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure on the named file or directory.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying failure.
+        source: std::io::Error,
+    },
+    /// The file exists but fails the envelope/checksum/JSON checks.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// The checkpoint is intact but disagrees with the run trying to
+    /// resume from it (different config, window count, batch size, …).
+    Mismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// What exactly disagrees.
+        detail: String,
+    },
+    /// Checkpoint files exist but every one of them is unreadable.
+    NoUsableCheckpoint {
+        /// The directory that was scanned.
+        dir: PathBuf,
+        /// Why the newest candidate was rejected.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(
+                    f,
+                    "checkpoint I/O error: {source} (file: {})",
+                    path.display()
+                )
+            }
+            CheckpointError::Corrupt { path, detail } => {
+                write!(f, "corrupt checkpoint: {detail} (file: {})", path.display())
+            }
+            CheckpointError::Mismatch { path, detail } => {
+                write!(
+                    f,
+                    "checkpoint mismatch: {detail} (file: {})",
+                    path.display()
+                )
+            }
+            CheckpointError::NoUsableCheckpoint { dir, detail } => {
+                write!(f, "no usable checkpoint in {}: {detail}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+fn corrupt(path: &Path, detail: impl Into<String>) -> CheckpointError {
+    CheckpointError::Corrupt {
+        path: path.to_path_buf(),
+        detail: detail.into(),
+    }
+}
+
+/// The full training state, mirroring every variable the training loop
+/// mutates across epochs. Flat primitives/containers only — the vendored
+/// serde derive handles exactly non-generic named-field structs.
+#[derive(Serialize, Deserialize)]
+pub(crate) struct SavedCheckpoint {
+    pub(crate) format_version: u32,
+    /// Architecture this state belongs to; resume verifies equality.
+    pub(crate) config: SavedConfig,
+    /// Total window count of the run (train + validation split derives
+    /// from it deterministically).
+    pub(crate) n_windows: usize,
+    pub(crate) batch_size: usize,
+    /// Epochs completed; resume continues at this epoch index.
+    pub(crate) next_epoch: usize,
+    /// Global gradient-step counter (drives `CF_FAULT=nan:stepN` indices).
+    pub(crate) step: u64,
+    /// Total rollback retries consumed so far (telemetry).
+    pub(crate) retries: u64,
+    /// RNG state words (see `cf_tensor::capture_rng`).
+    pub(crate) rng: Vec<u64>,
+    /// The accumulated shuffle order. Each epoch shuffles the *previous*
+    /// epoch's order in place, so the permutation itself is state.
+    pub(crate) order: Vec<usize>,
+    /// Current parameter values.
+    pub(crate) params: Vec<SavedParam>,
+    /// Best-validation-epoch parameter values.
+    pub(crate) best_params: Vec<SavedParam>,
+    pub(crate) adam_t: u64,
+    pub(crate) adam_lr: f64,
+    /// Adam first moments, indexed by parameter; data only, shapes follow
+    /// the architecture.
+    pub(crate) adam_m: Vec<Option<Vec<f64>>>,
+    /// Adam second moments.
+    pub(crate) adam_v: Vec<Option<Vec<f64>>>,
+    pub(crate) stopper_best: f64,
+    pub(crate) stopper_best_epoch: usize,
+    pub(crate) stopper_epochs_seen: usize,
+    pub(crate) stopper_stale: usize,
+    pub(crate) train_losses: Vec<f64>,
+    pub(crate) val_losses: Vec<f64>,
+    pub(crate) epoch_wall_secs: Vec<f64>,
+    pub(crate) grad_norms: Vec<f64>,
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and plenty to catch torn writes
+/// and bit rot (this is an integrity check, not an adversarial one). Also
+/// used by the baseline sweep caches to fingerprint their inputs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Writes `payload` under the checksummed envelope, atomically: temp file
+/// in the same directory, `fsync`, `rename` over the target, directory
+/// `fsync`. A crash at any point leaves either the old file or the new
+/// one, never a torn hybrid. Shared by the trainer and the per-target
+/// baseline checkpoints.
+pub fn write_envelope(path: &Path, payload: &[u8]) -> std::io::Result<()> {
+    let header = format!(
+        "{ENVELOPE_MAGIC} len={} fnv1a64={:016x}\n",
+        payload.len(),
+        fnv1a64(payload)
+    );
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("envelope path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!(".{file_name}.tmp"));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(header.as_bytes())?;
+        f.write_all(payload)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Durability of the rename itself; best-effort (not all filesystems
+    // support fsync on directories).
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and verifies an envelope written by [`write_envelope`], returning
+/// the payload bytes.
+pub fn read_envelope(path: &Path) -> Result<Vec<u8>, CheckpointError> {
+    let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| corrupt(path, "missing envelope header line"))?;
+    let header = std::str::from_utf8(&bytes[..nl])
+        .map_err(|_| corrupt(path, "envelope header is not UTF-8"))?;
+    let mut parts = header.split_whitespace();
+    match parts.next() {
+        Some(ENVELOPE_MAGIC) => {}
+        other => {
+            return Err(corrupt(
+                path,
+                format!("bad magic {other:?}, expected {ENVELOPE_MAGIC:?}"),
+            ))
+        }
+    }
+    let len: usize = parts
+        .next()
+        .and_then(|p| p.strip_prefix("len="))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| corrupt(path, "envelope header missing len= field"))?;
+    let sum: u64 = parts
+        .next()
+        .and_then(|p| p.strip_prefix("fnv1a64="))
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| corrupt(path, "envelope header missing fnv1a64= field"))?;
+    let payload = &bytes[nl + 1..];
+    if payload.len() != len {
+        return Err(corrupt(
+            path,
+            format!(
+                "payload is {} bytes, header says {len} (truncated?)",
+                payload.len()
+            ),
+        ));
+    }
+    let actual = fnv1a64(payload);
+    if actual != sum {
+        return Err(corrupt(
+            path,
+            format!("checksum mismatch: computed {actual:016x}, header says {sum:016x}"),
+        ));
+    }
+    Ok(payload.to_vec())
+}
+
+/// The canonical file name for a checkpoint taken after `epoch` completed
+/// epochs.
+pub(crate) fn file_name(epoch: u64) -> String {
+    format!("{FILE_PREFIX}{epoch:06}.{CHECKPOINT_EXTENSION}")
+}
+
+/// Lists `(epochs_completed, path)` for every checkpoint file in `dir`,
+/// sorted oldest-first. Files not matching the naming scheme are ignored.
+pub(crate) fn list(dir: &Path) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(io_err(dir, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(stem) = name
+            .strip_prefix(FILE_PREFIX)
+            .and_then(|s| s.strip_suffix(&format!(".{CHECKPOINT_EXTENSION}")))
+        else {
+            continue;
+        };
+        if let Ok(epoch) = stem.parse::<u64>() {
+            out.push((epoch, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Saves a checkpoint taken after `epoch` completed epochs, then prunes old
+/// files down to `cfg.keep`. Plants the `io_fail` fault point (indexed by
+/// epoch) so checkpoint-write failures are drillable.
+pub(crate) fn save(
+    cfg: &CheckpointConfig,
+    saved: &SavedCheckpoint,
+    epoch: u64,
+) -> Result<PathBuf, CheckpointError> {
+    fs::create_dir_all(&cfg.dir).map_err(|e| io_err(&cfg.dir, e))?;
+    let path = cfg.dir.join(file_name(epoch));
+    if cf_faults::fire(cf_faults::FaultSite::IoFail, epoch) {
+        return Err(io_err(
+            &path,
+            cf_faults::injected_io_error(&format!("checkpoint write at epoch {epoch}")),
+        ));
+    }
+    let json = serde_json::to_string(saved).map_err(|e| CheckpointError::Corrupt {
+        path: path.clone(),
+        detail: format!("payload encoding failed: {e}"),
+    })?;
+    write_envelope(&path, json.as_bytes()).map_err(|e| io_err(&path, e))?;
+    prune(cfg);
+    Ok(path)
+}
+
+/// Best-effort retention: removes all but the newest `cfg.keep` files.
+fn prune(cfg: &CheckpointConfig) {
+    let Ok(files) = list(&cfg.dir) else { return };
+    if files.len() <= cfg.keep {
+        return;
+    }
+    for (_, path) in &files[..files.len() - cfg.keep] {
+        if fs::remove_file(path).is_err() {
+            cf_obs::warn!("could not prune old checkpoint {}", path.display());
+        }
+    }
+}
+
+/// Loads and verifies one checkpoint file.
+pub(crate) fn load(path: &Path) -> Result<SavedCheckpoint, CheckpointError> {
+    let payload = read_envelope(path)?;
+    let json = std::str::from_utf8(&payload).map_err(|_| corrupt(path, "payload is not UTF-8"))?;
+    let saved: SavedCheckpoint = serde_json::from_str(json)
+        .map_err(|e| corrupt(path, format!("payload does not parse: {e}")))?;
+    if saved.format_version != CHECKPOINT_FORMAT_VERSION {
+        return Err(CheckpointError::Mismatch {
+            path: path.to_path_buf(),
+            detail: format!(
+                "format version {} unsupported (this build reads {CHECKPOINT_FORMAT_VERSION})",
+                saved.format_version
+            ),
+        });
+    }
+    Ok(saved)
+}
+
+/// Loads the newest *usable* checkpoint in `dir`.
+///
+/// Returns `Ok(None)` when the directory is missing or holds no checkpoint
+/// files (a fresh start, not an error). A corrupt newest file logs a
+/// warning and falls back to its predecessor — this is the whole point of
+/// retaining more than one. Only when every file is unreadable does this
+/// fail, with [`CheckpointError::NoUsableCheckpoint`].
+pub(crate) fn load_latest(
+    dir: &Path,
+) -> Result<Option<(SavedCheckpoint, PathBuf)>, CheckpointError> {
+    let files = list(dir)?;
+    if files.is_empty() {
+        return Ok(None);
+    }
+    let mut last_reason = String::new();
+    for (_, path) in files.iter().rev() {
+        match load(path) {
+            Ok(saved) => return Ok(Some((saved, path.clone()))),
+            Err(e) => {
+                cf_obs::warn!("skipping unusable checkpoint: {e}");
+                last_reason = e.to_string();
+            }
+        }
+    }
+    Err(CheckpointError::NoUsableCheckpoint {
+        dir: dir.to_path_buf(),
+        detail: last_reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cf_ckpt_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("payload.cfck");
+        let payload = br#"{"hello": [1, 2.5, -3]}"#;
+        write_envelope(&path, payload).unwrap();
+        assert_eq!(read_envelope(&path).unwrap(), payload);
+        // No temp file left behind.
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn envelope_detects_corruption_and_truncation() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("payload.cfck");
+        write_envelope(&path, b"some checkpoint payload").unwrap();
+
+        // Flip one payload byte.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = read_envelope(&path).expect_err("must fail");
+        assert!(
+            matches!(&err, CheckpointError::Corrupt { detail, .. } if detail.contains("checksum")),
+            "wrong error: {err}"
+        );
+
+        // Truncate.
+        write_envelope(&path, b"some checkpoint payload").unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let err = read_envelope(&path).expect_err("must fail");
+        assert!(
+            matches!(&err, CheckpointError::Corrupt { detail, .. } if detail.contains("truncated")),
+            "wrong error: {err}"
+        );
+
+        // Wrong magic.
+        fs::write(&path, b"NOTCKPT len=1 fnv1a64=0\nx").unwrap();
+        assert!(matches!(
+            read_envelope(&path).expect_err("must fail"),
+            CheckpointError::Corrupt { .. }
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn listing_sorts_and_ignores_strangers() {
+        let dir = tmp_dir("list");
+        for epoch in [3u64, 1, 2] {
+            write_envelope(&dir.join(file_name(epoch)), b"x").unwrap();
+        }
+        fs::write(dir.join("notes.txt"), "not a checkpoint").unwrap();
+        fs::write(dir.join("ckpt-bad.cfck"), "not numbered").unwrap();
+        let epochs: Vec<u64> = list(&dir).unwrap().into_iter().map(|(e, _)| e).collect();
+        assert_eq!(epochs, vec![1, 2, 3]);
+        // Missing directory is an empty listing, not an error.
+        assert!(list(&dir.join("nope")).unwrap().is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference values of FNV-1a 64 (offset basis, and "a").
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

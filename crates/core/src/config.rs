@@ -2,7 +2,7 @@
 
 /// Architecture hyper-parameters of the causality-aware transformer
 /// (paper §4.1 and the per-dataset settings of §5.3).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelConfig {
     /// Number of time series `N`.
     pub n_series: usize,
@@ -99,6 +99,11 @@ pub struct TrainConfig {
     /// Multiplicative learning-rate decay applied after each epoch
     /// (1.0 = constant rate).
     pub lr_decay: f64,
+    /// How many consecutive rollback-and-retry attempts a non-finite
+    /// loss/gradient may trigger before the trainer gives up on further
+    /// progress and returns the best weights found so far (see
+    /// DESIGN.md, "Fault tolerance").
+    pub max_retries: usize,
 }
 
 impl Default for TrainConfig {
@@ -113,6 +118,7 @@ impl Default for TrainConfig {
             val_frac: 0.2,
             stride: 4,
             lr_decay: 1.0,
+            max_retries: 2,
         }
     }
 }

@@ -42,6 +42,7 @@
 // would obscure.
 #![allow(clippy::needless_range_loop)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod detector;
 pub mod model;
@@ -50,8 +51,9 @@ pub mod pipeline;
 pub mod rrp;
 pub mod trainer;
 
+pub use checkpoint::{CheckpointConfig, CheckpointError};
 pub use config::{DetectorConfig, DetectorMode, ModelConfig, TrainConfig};
 pub use detector::{detect, CausalScores};
 pub use model::{CausalityAwareTransformer, ForwardTrace};
 pub use pipeline::{presets, CausalFormer, DiscoveryResult};
-pub use trainer::{train, TrainReport, TrainedModel};
+pub use trainer::{train, TrainError, TrainReport, TrainedModel, Trainer};

@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Serialised form of a trained model.
 #[derive(Serialize, Deserialize)]
@@ -26,9 +26,10 @@ struct SavedModel {
 }
 
 /// `ModelConfig` mirror with explicit field names (stable on-disk format,
-/// decoupled from the in-memory struct).
+/// decoupled from the in-memory struct). Shared with the training
+/// checkpoint format (`checkpoint.rs`).
 #[derive(Serialize, Deserialize)]
-struct SavedConfig {
+pub(crate) struct SavedConfig {
     n_series: usize,
     window: usize,
     d_model: usize,
@@ -43,8 +44,10 @@ struct SavedConfig {
     single_kernel: bool,
 }
 
+/// One named parameter's values, in registration order. Shared with the
+/// training checkpoint format (`checkpoint.rs`).
 #[derive(Serialize, Deserialize)]
-struct SavedParam {
+pub(crate) struct SavedParam {
     name: String,
     shape: Vec<usize>,
     data: Vec<f64>,
@@ -59,6 +62,24 @@ pub enum PersistError {
     Json(serde_json::Error),
     /// The file's parameters do not match the reconstructed architecture.
     Mismatch(String),
+    /// Any of the above, annotated with the file it happened on. [`save`]
+    /// and [`load`] wrap their errors in this variant so a failure deep in
+    /// a pipeline still names the offending path.
+    At {
+        /// The file being read or written.
+        path: PathBuf,
+        /// The underlying failure.
+        source: Box<PersistError>,
+    },
+}
+
+impl PersistError {
+    fn at(self, path: &Path) -> Self {
+        PersistError::At {
+            path: path.to_path_buf(),
+            source: Box::new(self),
+        }
+    }
 }
 
 impl fmt::Display for PersistError {
@@ -67,11 +88,23 @@ impl fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "I/O error: {e}"),
             PersistError::Json(e) => write!(f, "JSON error: {e}"),
             PersistError::Mismatch(m) => write!(f, "model file mismatch: {m}"),
+            PersistError::At { path, source } => {
+                write!(f, "{source} (file: {})", path.display())
+            }
         }
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Json(e) => Some(e),
+            PersistError::Mismatch(_) => None,
+            PersistError::At { source, .. } => Some(source),
+        }
+    }
+}
 
 impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
@@ -85,34 +118,114 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
+/// Converts a live config into its on-disk mirror.
+pub(crate) fn saved_config(c: &ModelConfig) -> SavedConfig {
+    SavedConfig {
+        n_series: c.n_series,
+        window: c.window,
+        d_model: c.d_model,
+        d_qk: c.d_qk,
+        d_ffn: c.d_ffn,
+        heads: c.heads,
+        temperature: c.temperature,
+        lambda_kernel: c.lambda_kernel,
+        lambda_mask: c.lambda_mask,
+        lambda_lag: c.lambda_lag,
+        leaky_slope: c.leaky_slope,
+        single_kernel: c.single_kernel,
+    }
+}
+
+/// Converts an on-disk config mirror back into a live config.
+pub(crate) fn model_config(sc: &SavedConfig) -> ModelConfig {
+    ModelConfig {
+        n_series: sc.n_series,
+        window: sc.window,
+        d_model: sc.d_model,
+        d_qk: sc.d_qk,
+        d_ffn: sc.d_ffn,
+        heads: sc.heads,
+        temperature: sc.temperature,
+        lambda_kernel: sc.lambda_kernel,
+        lambda_mask: sc.lambda_mask,
+        lambda_lag: sc.lambda_lag,
+        leaky_slope: sc.leaky_slope,
+        single_kernel: sc.single_kernel,
+    }
+}
+
+/// Serialises the store's current values, in registration order.
+pub(crate) fn saved_params(store: &ParamStore) -> Vec<SavedParam> {
+    store
+        .ids()
+        .map(|id| SavedParam {
+            name: store.name(id).to_string(),
+            shape: store.value(id).shape().to_vec(),
+            data: store.value(id).data().to_vec(),
+        })
+        .collect()
+}
+
+/// Serialises an external snapshot (e.g. best-epoch weights) using the
+/// store's names and registration order.
+pub(crate) fn saved_params_from(store: &ParamStore, values: &[Tensor]) -> Vec<SavedParam> {
+    assert_eq!(values.len(), store.len(), "snapshot length mismatch");
+    store
+        .ids()
+        .zip(values)
+        .map(|(id, v)| SavedParam {
+            name: store.name(id).to_string(),
+            shape: v.shape().to_vec(),
+            data: v.data().to_vec(),
+        })
+        .collect()
+}
+
+/// Validates saved parameters against the architecture in `store` (count,
+/// names, shapes) and rebuilds them as tensors ready for
+/// `ParamStore::restore`. Errors are human-readable detail strings so both
+/// [`PersistError`] and checkpoint errors can wrap them.
+pub(crate) fn restore_values(
+    store: &ParamStore,
+    params: &[SavedParam],
+) -> Result<Vec<Tensor>, String> {
+    if params.len() != store.len() {
+        return Err(format!(
+            "file has {} parameters, architecture expects {}",
+            params.len(),
+            store.len()
+        ));
+    }
+    let mut values = Vec::with_capacity(params.len());
+    for (id, sp) in store.ids().zip(params) {
+        if store.name(id) != sp.name {
+            return Err(format!(
+                "parameter order mismatch: expected {:?}, found {:?}",
+                store.name(id),
+                sp.name
+            ));
+        }
+        if store.value(id).shape() != sp.shape.as_slice() {
+            return Err(format!(
+                "shape mismatch for {:?}: expected {:?}, found {:?}",
+                sp.name,
+                store.value(id).shape(),
+                sp.shape
+            ));
+        }
+        let tensor = Tensor::from_vec(sp.shape.clone(), sp.data.clone())
+            .map_err(|e| format!("parameter {:?}: {e}", sp.name))?;
+        values.push(tensor);
+    }
+    Ok(values)
+}
+
 /// Serialises a trained model to JSON.
 pub fn to_json(trained: &TrainedModel) -> Result<String, PersistError> {
-    let c = *trained.model.config();
     let saved = SavedModel {
         format_version: 1,
-        config: SavedConfig {
-            n_series: c.n_series,
-            window: c.window,
-            d_model: c.d_model,
-            d_qk: c.d_qk,
-            d_ffn: c.d_ffn,
-            heads: c.heads,
-            temperature: c.temperature,
-            lambda_kernel: c.lambda_kernel,
-            lambda_mask: c.lambda_mask,
-            lambda_lag: c.lambda_lag,
-            leaky_slope: c.leaky_slope,
-            single_kernel: c.single_kernel,
-        },
-        params: trained
-            .store
-            .ids()
-            .map(|id| SavedParam {
-                name: trained.store.name(id).to_string(),
-                shape: trained.store.value(id).shape().to_vec(),
-                data: trained.store.value(id).data().to_vec(),
-            })
-            .collect(),
+        config: saved_config(trained.model.config()),
+        params: saved_params(&trained.store),
     };
     Ok(serde_json::to_string(&saved)?)
 }
@@ -126,21 +239,7 @@ pub fn from_json(json: &str) -> Result<TrainedModel, PersistError> {
             saved.format_version
         )));
     }
-    let sc = saved.config;
-    let config = ModelConfig {
-        n_series: sc.n_series,
-        window: sc.window,
-        d_model: sc.d_model,
-        d_qk: sc.d_qk,
-        d_ffn: sc.d_ffn,
-        heads: sc.heads,
-        temperature: sc.temperature,
-        lambda_kernel: sc.lambda_kernel,
-        lambda_mask: sc.lambda_mask,
-        lambda_lag: sc.lambda_lag,
-        leaky_slope: sc.leaky_slope,
-        single_kernel: sc.single_kernel,
-    };
+    let config = model_config(&saved.config);
     config.validate();
 
     // Rebuild the architecture (registration order is deterministic); the
@@ -148,47 +247,24 @@ pub fn from_json(json: &str) -> Result<TrainedModel, PersistError> {
     let mut store = ParamStore::new();
     let model = CausalityAwareTransformer::new(&mut store, &mut StdRng::seed_from_u64(0), config);
 
-    if saved.params.len() != store.len() {
-        return Err(PersistError::Mismatch(format!(
-            "file has {} parameters, architecture expects {}",
-            saved.params.len(),
-            store.len()
-        )));
-    }
-    let mut values = Vec::with_capacity(saved.params.len());
-    for (id, sp) in store.ids().zip(&saved.params) {
-        if store.name(id) != sp.name {
-            return Err(PersistError::Mismatch(format!(
-                "parameter order mismatch: expected {:?}, found {:?}",
-                store.name(id),
-                sp.name
-            )));
-        }
-        if store.value(id).shape() != sp.shape.as_slice() {
-            return Err(PersistError::Mismatch(format!(
-                "shape mismatch for {:?}: expected {:?}, found {:?}",
-                sp.name,
-                store.value(id).shape(),
-                sp.shape
-            )));
-        }
-        let tensor = Tensor::from_vec(sp.shape.clone(), sp.data.clone())
-            .map_err(|e| PersistError::Mismatch(format!("parameter {:?}: {e}", sp.name)))?;
-        values.push(tensor);
-    }
+    let values = restore_values(&store, &saved.params).map_err(PersistError::Mismatch)?;
     store.restore(&values);
     Ok(TrainedModel { model, store })
 }
 
-/// Saves a trained model to a JSON file.
+/// Saves a trained model to a JSON file. Errors name the offending path.
 pub fn save(trained: &TrainedModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    std::fs::write(path, to_json(trained)?)?;
+    let path = path.as_ref();
+    let json = to_json(trained).map_err(|e| e.at(path))?;
+    std::fs::write(path, json).map_err(|e| PersistError::Io(e).at(path))?;
     Ok(())
 }
 
-/// Loads a trained model from a JSON file.
+/// Loads a trained model from a JSON file. Errors name the offending path.
 pub fn load(path: impl AsRef<Path>) -> Result<TrainedModel, PersistError> {
-    from_json(&std::fs::read_to_string(path)?)
+    let path = path.as_ref();
+    let json = std::fs::read_to_string(path).map_err(|e| PersistError::Io(e).at(path))?;
+    from_json(&json).map_err(|e| e.at(path))
 }
 
 #[cfg(test)]
@@ -273,5 +349,30 @@ mod tests {
             from_json(&truncated).err().expect("must fail"),
             PersistError::Mismatch(_)
         ));
+    }
+
+    #[test]
+    fn load_errors_name_the_offending_path() {
+        let missing = std::env::temp_dir().join("causalformer_no_such_model.json");
+        let err = load(&missing).err().expect("must fail");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("causalformer_no_such_model.json"),
+            "path missing from error: {msg}"
+        );
+        assert!(matches!(err, PersistError::At { .. }));
+
+        // Mismatch through the file path also carries the path.
+        let (trained, _) = tiny_trained();
+        let path = std::env::temp_dir().join("causalformer_badshape_test.json");
+        let json = to_json(&trained).unwrap();
+        let bad = json.replace("\"format_version\":1", "\"format_version\":99");
+        std::fs::write(&path, bad).unwrap();
+        let msg = load(&path).err().expect("must fail").to_string();
+        assert!(
+            msg.contains("causalformer_badshape_test.json") && msg.contains("format version"),
+            "unhelpful error: {msg}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

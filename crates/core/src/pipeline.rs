@@ -9,11 +9,13 @@
 //! with CPU-scaled model widths — the paper trains d=256–512 on a 4090; the
 //! experiment *shapes* are preserved at the smaller widths (see DESIGN.md).
 
+use crate::checkpoint::CheckpointConfig;
 use crate::config::{DetectorConfig, ModelConfig, TrainConfig};
 use crate::detector::{detect, CausalScores};
-use crate::trainer::{train, TrainReport};
+use crate::trainer::{train, TrainError, TrainReport, TrainedModel, Trainer};
 use cf_metrics::CausalGraph;
 use cf_tensor::Tensor;
+use rand::rngs::StdRng;
 use rand::Rng;
 
 /// The complete CausalFormer method: model + training + detector configs.
@@ -57,12 +59,56 @@ impl CausalFormer {
     /// Panics if the series shape disagrees with the model config or is too
     /// short to produce a single window.
     pub fn discover<R: Rng + ?Sized>(&self, rng: &mut R, series: &Tensor) -> DiscoveryResult {
+        let _pipeline_span = cf_obs::span::enter("discover");
+        let windows = self.prepare_windows(series);
+        let (trained, train_report) = {
+            let _s = cf_obs::span::enter("train");
+            let started = std::time::Instant::now();
+            let out = train(rng, self.model, self.train, &windows);
+            emit_stage("train", started.elapsed().as_secs_f64());
+            out
+        };
+        self.detect_stage(rng, trained, train_report, &windows)
+    }
+
+    /// [`CausalFormer::discover`] with crash safety: training checkpoints
+    /// into `checkpoint.dir` and, when `resume` is set, continues from the
+    /// newest usable checkpoint there. A resumed discovery is *bitwise
+    /// identical* to an uninterrupted one — the checkpoint carries the RNG
+    /// state, so the detector's window sampling matches too.
+    ///
+    /// Takes a concrete [`StdRng`] because resumable training must capture
+    /// and restore RNG state.
+    pub fn discover_resumable(
+        &self,
+        rng: &mut StdRng,
+        series: &Tensor,
+        checkpoint: CheckpointConfig,
+        resume: bool,
+    ) -> Result<DiscoveryResult, TrainError> {
+        let _pipeline_span = cf_obs::span::enter("discover");
+        let windows = self.prepare_windows(series);
+        let (trained, train_report) = {
+            let _s = cf_obs::span::enter("train");
+            let started = std::time::Instant::now();
+            let out = Trainer::new(self.model, self.train)
+                .with_checkpoints(checkpoint)
+                .resume(resume)
+                .fit(rng, &windows)?;
+            emit_stage("train", started.elapsed().as_secs_f64());
+            out
+        };
+        Ok(self.detect_stage(rng, trained, train_report, &windows))
+    }
+
+    /// Standardises the series and slices training windows (shared by the
+    /// plain and resumable discovery paths).
+    fn prepare_windows(&self, series: &Tensor) -> Vec<Tensor> {
         assert_eq!(
             series.shape()[0],
             self.model.n_series,
             "series count disagrees with model config"
         );
-        let _pipeline_span = cf_obs::span::enter("discover");
         let windows = {
             let _s = cf_obs::span::enter("windowing");
             let started = std::time::Instant::now();
@@ -83,25 +129,24 @@ impl CausalFormer {
             windows.len(),
             self.model.window
         );
-        let (trained, train_report) = {
-            let _s = cf_obs::span::enter("train");
-            let started = std::time::Instant::now();
-            let out = train(rng, self.model, self.train, &windows);
-            emit_stage("train", started.elapsed().as_secs_f64());
-            out
-        };
+        windows
+    }
+
+    /// Runs the decomposition-based detector on a trained model and
+    /// assembles the discovery result.
+    fn detect_stage<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        trained: TrainedModel,
+        train_report: TrainReport,
+        windows: &[Tensor],
+    ) -> DiscoveryResult {
         // `detect` runs relevance propagation (RRP) and graph construction;
         // the finer-grained spans live inside `detector.rs`.
         let (graph, scores) = {
             let _s = cf_obs::span::enter("detect");
             let started = std::time::Instant::now();
-            let out = detect(
-                rng,
-                &trained.model,
-                &trained.store,
-                &windows,
-                &self.detector,
-            );
+            let out = detect(rng, &trained.model, &trained.store, windows, &self.detector);
             emit_stage("detect", started.elapsed().as_secs_f64());
             out
         };

@@ -4,13 +4,42 @@
 //! Adam and early stopping (§5.3). A training *sample* is one `N×T` window;
 //! each gradient step averages the masked-MSE loss over a mini-batch of
 //! windows and adds the L1 sparsity penalties once per step.
+//!
+//! ## Fault tolerance
+//!
+//! The loop is built to survive the two ways long CPU runs actually die:
+//!
+//! * **Non-finite values.** Every gradient step checks the step loss and
+//!   the pre-clip gradient norm for finiteness *before* Adam touches the
+//!   parameters; validation is checked too. A non-finite value rolls the
+//!   epoch back to a guard snapshot taken at its start and retries, at most
+//!   [`TrainConfig::max_retries`] consecutive times; after that the run
+//!   *degrades* — it stops early and returns the best weights seen so far
+//!   rather than panicking or emitting NaN weights.
+//! * **Crashes.** With a [`CheckpointConfig`], [`Trainer::fit`] writes a
+//!   full-state checkpoint every `every` epochs and can resume from the
+//!   newest usable one. Resumption is bitwise: the checkpoint carries the
+//!   RNG state, Adam moments, the accumulated shuffle order, and the
+//!   early-stopping state, so a killed-and-resumed run produces exactly the
+//!   weights (and downstream causal graph) of an uninterrupted one.
+//!
+//! Fault points for all of this live in `cf-faults` (`CF_FAULT=nan:step17`,
+//! `io_fail:epoch3`, `kill:epoch2`), so the recovery paths are tested
+//! rather than hoped for — see `tests/fault_injection.rs`.
 
+use crate::checkpoint::{self, CheckpointConfig, CheckpointError, CHECKPOINT_FORMAT_VERSION};
 use crate::config::{ModelConfig, TrainConfig};
 use crate::model::CausalityAwareTransformer;
-use cf_nn::{clip_global_norm, Adam, EarlyStopper, Optimizer, ParamId, ParamStore, StopDecision};
+use crate::persist;
+use cf_nn::{
+    clip_global_norm, Adam, AdamState, EarlyStopper, Optimizer, ParamId, ParamStore, StopDecision,
+};
 use cf_tensor::{Tape, Tensor};
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::fmt;
+use std::path::Path;
 
 /// A trained causality-aware transformer: the model definition plus the
 /// parameter store holding the best weights found.
@@ -36,6 +65,126 @@ pub struct TrainReport {
     pub best_epoch: usize,
     /// Whether early stopping fired before `max_epochs`.
     pub early_stopped: bool,
+    /// Total non-finite rollback retries consumed across the run.
+    pub retries: u64,
+    /// True if the retry budget was exhausted and training stopped early,
+    /// returning the best weights seen so far.
+    pub degraded: bool,
+    /// The epoch index (0-based) this run resumed at, if it resumed from a
+    /// checkpoint.
+    pub resumed_at: Option<usize>,
+}
+
+/// Errors from the checkpointing trainer ([`Trainer::fit`]).
+#[derive(Debug)]
+pub enum TrainError {
+    /// A simulated kill (`CF_FAULT=kill:epochN`) stopped the run between
+    /// epochs. State up to `epochs_done` is on disk; re-run with resume.
+    Interrupted {
+        /// Completed epochs at the time of the kill.
+        epochs_done: usize,
+    },
+    /// The resume path failed: no usable checkpoint, or the checkpoint
+    /// disagrees with this run's configuration.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Interrupted { epochs_done } => {
+                write!(f, "training interrupted after {epochs_done} epochs")
+            }
+            TrainError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            TrainError::Interrupted { .. } => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// A trainer with optional checkpoint/resume behaviour.
+///
+/// [`train`] is the plain entry point for fire-and-forget runs; `Trainer`
+/// adds crash safety on top of the same loop:
+///
+/// ```no_run
+/// use causalformer::{trainer::Trainer, CheckpointConfig, ModelConfig, TrainConfig};
+/// # use cf_tensor::Tensor; use rand::{rngs::StdRng, SeedableRng};
+/// # let windows: Vec<Tensor> = vec![];
+/// let trainer = Trainer::new(ModelConfig::compact(3, 8), TrainConfig::default())
+///     .with_checkpoints(CheckpointConfig::new("run/checkpoints").every(2))
+///     .resume(true); // continue from the newest checkpoint if one exists
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let (trained, report) = trainer.fit(&mut rng, &windows).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    /// Architecture to train.
+    pub model: ModelConfig,
+    /// Training schedule.
+    pub train: TrainConfig,
+    /// Checkpointing; `None` disables it.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Whether to resume from the newest usable checkpoint. With no
+    /// checkpoint on disk this silently trains from scratch.
+    pub resume: bool,
+}
+
+impl Trainer {
+    /// A trainer with no checkpointing (equivalent to [`train`]).
+    pub fn new(model: ModelConfig, train: TrainConfig) -> Self {
+        Self {
+            model,
+            train,
+            checkpoint: None,
+            resume: false,
+        }
+    }
+
+    /// Enables checkpointing.
+    pub fn with_checkpoints(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Sets whether [`Trainer::fit`] resumes from an existing checkpoint.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Trains, checkpointing and resuming per the configuration. Takes a
+    /// concrete [`StdRng`] because resumable training must capture and
+    /// restore the RNG state; on resume the RNG is rewound to the
+    /// checkpointed stream position so everything downstream (e.g. the
+    /// detector's sampling) matches an uninterrupted run bitwise.
+    pub fn fit(
+        &self,
+        rng: &mut StdRng,
+        windows: &[Tensor],
+    ) -> Result<(TrainedModel, TrainReport), TrainError> {
+        fit_inner(
+            rng,
+            self.model,
+            self.train,
+            self.checkpoint.as_ref(),
+            self.resume,
+            windows,
+        )
+    }
 }
 
 /// Trains a fresh causality-aware transformer on the given windows.
@@ -44,14 +193,115 @@ pub struct TrainReport {
 /// `val_frac` of them (temporal tail) are held out for early stopping. The
 /// model predicts each window from itself under the temporal-priority
 /// constraint, so input and target coincide.
+///
+/// This path never checkpoints (its RNG is opaque, so state capture is
+/// impossible) but still carries the non-finite guards: a persistent NaN
+/// degrades to the best-so-far weights instead of panicking.
 pub fn train<R: Rng + ?Sized>(
     rng: &mut R,
     model_config: ModelConfig,
     train_config: TrainConfig,
     windows: &[Tensor],
 ) -> (TrainedModel, TrainReport) {
+    let mut rng = OpaqueRng(rng);
+    fit_inner(&mut rng, model_config, train_config, None, false, windows)
+        .expect("training without checkpointing cannot fail")
+}
+
+/// The trainer's view of its RNG. Checkpointing must capture and restore
+/// RNG state, which a generic `R: Rng` cannot do — so [`train`] wraps its
+/// RNG in the null-capture [`OpaqueRng`], while the [`Trainer::fit`] path
+/// uses [`StdRng`]'s real state words. Everything else (model init,
+/// shuffling) goes through the trait so both paths share one loop.
+trait TrainRng {
+    fn init_model(
+        &mut self,
+        store: &mut ParamStore,
+        config: ModelConfig,
+    ) -> CausalityAwareTransformer;
+    fn shuffle(&mut self, order: &mut [usize]);
+    /// RNG state words, if this RNG supports capture.
+    fn capture(&self) -> Option<Vec<u64>>;
+    /// Restores captured state; `false` if unsupported or invalid.
+    fn restore_words(&mut self, words: &[u64]) -> bool;
+}
+
+impl TrainRng for StdRng {
+    fn init_model(
+        &mut self,
+        store: &mut ParamStore,
+        config: ModelConfig,
+    ) -> CausalityAwareTransformer {
+        CausalityAwareTransformer::new(store, self, config)
+    }
+    fn shuffle(&mut self, order: &mut [usize]) {
+        order.shuffle(self);
+    }
+    fn capture(&self) -> Option<Vec<u64>> {
+        Some(cf_tensor::capture_rng(self))
+    }
+    fn restore_words(&mut self, words: &[u64]) -> bool {
+        match cf_tensor::restore_rng(words) {
+            Ok(r) => {
+                *self = r;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// An RNG whose state cannot be captured (any `R: Rng`). Rollback still
+/// works — the retried epoch just reshuffles with fresh draws — but
+/// checkpoints cannot be written, which [`train`] never asks for.
+struct OpaqueRng<'a, R: Rng + ?Sized>(&'a mut R);
+
+impl<R: Rng + ?Sized> TrainRng for OpaqueRng<'_, R> {
+    fn init_model(
+        &mut self,
+        store: &mut ParamStore,
+        config: ModelConfig,
+    ) -> CausalityAwareTransformer {
+        CausalityAwareTransformer::new(store, self.0, config)
+    }
+    fn shuffle(&mut self, order: &mut [usize]) {
+        order.shuffle(self.0);
+    }
+    fn capture(&self) -> Option<Vec<u64>> {
+        None
+    }
+    fn restore_words(&mut self, _words: &[u64]) -> bool {
+        false
+    }
+}
+
+/// Everything the training loop mutates, captured at the top of an epoch so
+/// a mid-epoch non-finite value can rewind as if the epoch never ran.
+struct Guard {
+    step: u64,
+    params: Vec<Tensor>,
+    best: Vec<Tensor>,
+    adam: AdamState,
+    stopper: cf_nn::StopperState,
+    rng: Option<Vec<u64>>,
+    order: Vec<usize>,
+    /// History length (all four telemetry vectors move in lock step).
+    hist: usize,
+}
+
+fn fit_inner<Q: TrainRng>(
+    rng: &mut Q,
+    model_config: ModelConfig,
+    train_config: TrainConfig,
+    ckpt: Option<&CheckpointConfig>,
+    resume: bool,
+    windows: &[Tensor],
+) -> Result<(TrainedModel, TrainReport), TrainError> {
     model_config.validate();
     train_config.validate();
+    if let Some(cfg) = ckpt {
+        cfg.validate();
+    }
     assert!(!windows.is_empty(), "no training windows");
     for w in windows {
         assert_eq!(
@@ -62,7 +312,7 @@ pub fn train<R: Rng + ?Sized>(
     }
 
     let mut store = ParamStore::new();
-    let model = CausalityAwareTransformer::new(&mut store, rng, model_config);
+    let model = rng.init_model(&mut store, model_config);
     let mut adam = Adam::new(train_config.lr);
     let mut stopper = EarlyStopper::new(train_config.patience, train_config.min_delta);
 
@@ -77,16 +327,82 @@ pub fn train<R: Rng + ?Sized>(
     let mut grad_norms = Vec::new();
     let mut best_snapshot = store.snapshot();
     let mut early_stopped = false;
-
+    let mut degraded = false;
     let mut order: Vec<usize> = (0..train_set.len()).collect();
-    for epoch in 0..train_config.max_epochs {
+    let mut epoch = 0usize;
+    let mut step = 0u64;
+    let mut retries_total = 0u64;
+    let mut retries = 0u64; // consecutive, reset on each clean epoch
+    let mut resumed_at = None;
+
+    if let (Some(cfg), true) = (ckpt, resume) {
+        if let Some((saved, path)) = checkpoint::load_latest(&cfg.dir)? {
+            let applied = apply_checkpoint(
+                saved,
+                &path,
+                &model_config,
+                &train_config,
+                windows.len(),
+                train_set.len(),
+                &mut store,
+                &mut adam,
+                &mut stopper,
+            )?;
+            if !rng.restore_words(&applied.rng) {
+                return Err(CheckpointError::Mismatch {
+                    path,
+                    detail: "saved RNG state cannot be restored".into(),
+                }
+                .into());
+            }
+            epoch = applied.next_epoch;
+            step = applied.step;
+            retries_total = applied.retries;
+            order = applied.order;
+            best_snapshot = applied.best_snapshot;
+            train_losses = applied.train_losses;
+            val_losses = applied.val_losses;
+            epoch_wall_secs = applied.epoch_wall_secs;
+            grad_norms = applied.grad_norms;
+            resumed_at = Some(epoch);
+            cf_obs::info!(
+                "resumed from {} at epoch {}/{}",
+                path.display(),
+                epoch + 1,
+                train_config.max_epochs
+            );
+        } else {
+            cf_obs::info!(
+                "resume requested but no checkpoint under {}; training from scratch",
+                cfg.dir.display()
+            );
+        }
+    }
+
+    while epoch < train_config.max_epochs {
         let _epoch_span = cf_obs::span::enter("epoch");
         let epoch_start = std::time::Instant::now();
-        order.shuffle(rng);
+
+        // Guard snapshot: enough to rewind this epoch on a non-finite value.
+        let guard = Guard {
+            step,
+            params: store.snapshot(),
+            best: best_snapshot.clone(),
+            adam: adam.export_state(),
+            stopper: stopper.export_state(),
+            rng: rng.capture(),
+            order: order.clone(),
+            hist: train_losses.len(),
+        };
+
+        rng.shuffle(&mut order);
         let mut epoch_loss = 0.0;
         let mut epoch_grad_norm = 0.0;
         let mut steps = 0usize;
+        let mut stop = false;
+        let mut poisoned: Option<String> = None;
         for batch in order.chunks(train_config.batch_size) {
+            step += 1;
             // Data-parallel step: each window runs forward + backward on a
             // private tape; per-parameter gradients combine via the
             // fixed-order tree reduction, so the loss/gradient trajectory is
@@ -157,68 +473,175 @@ pub fn train<R: Rng + ?Sized>(
                     pairs.push((id, g));
                 }
             }
-            epoch_grad_norm += clip_global_norm(&mut pairs, train_config.clip_norm);
-            adam.step_pairs(&mut store, &pairs);
-            epoch_loss += loss_sum * inv + penalty_val;
-            steps += 1;
-        }
-        grad_norms.push(epoch_grad_norm / steps.max(1) as f64);
-        train_losses.push(epoch_loss / steps.max(1) as f64);
-        if train_config.lr_decay < 1.0 {
-            adam.set_lr(adam.lr() * train_config.lr_decay);
-        }
-
-        // Validation loss (prediction term only, no penalty).
-        let monitored = if val_set.is_empty() {
-            *train_losses.last().expect("pushed above")
-        } else {
-            evaluate(&model, &store, val_set)
-        };
-        val_losses.push(monitored);
-        let epoch_secs = epoch_start.elapsed().as_secs_f64();
-        epoch_wall_secs.push(epoch_secs);
-
-        cf_obs::info!(
-            "epoch {:>3}/{} train_loss {:.6} val_loss {:.6} grad_norm {:.4} ({:.2}s)",
-            epoch + 1,
-            train_config.max_epochs,
-            train_losses.last().expect("pushed above"),
-            monitored,
-            grad_norms.last().expect("pushed above"),
-            epoch_secs,
-        );
-        if cf_obs::sink::is_installed() {
-            cf_obs::sink::emit(
-                &cf_obs::json::Obj::new()
-                    .str("event", "epoch")
-                    .f64("ts", cf_obs::unix_time())
-                    .u64("epoch", (epoch + 1) as u64)
-                    .f64("train_loss", *train_losses.last().expect("pushed above"))
-                    .f64("val_loss", monitored)
-                    .f64("grad_norm", *grad_norms.last().expect("pushed above"))
-                    .f64("wall_secs", epoch_secs)
-                    .finish(),
-            );
-        }
-
-        match stopper.observe(monitored) {
-            StopDecision::Improved => best_snapshot = store.snapshot(),
-            StopDecision::NoImprovement => {}
-            StopDecision::Stop => {
-                early_stopped = true;
+            // Fault point: a cosmic-ray gradient (CF_FAULT=nan:stepN).
+            if cf_faults::fire(cf_faults::FaultSite::Nan, step) {
+                if let Some(v) = pairs
+                    .first_mut()
+                    .and_then(|(_, g)| g.data_mut().first_mut())
+                {
+                    *v = f64::NAN;
+                }
+            }
+            // Non-finite guard: check the step loss and the pre-clip
+            // gradient norm (the sum over every gradient element, so one
+            // NaN anywhere poisons it) *before* Adam touches the weights.
+            let pre_clip = clip_global_norm(&mut pairs, train_config.clip_norm);
+            let step_loss = loss_sum * inv + penalty_val;
+            if !step_loss.is_finite() || !pre_clip.is_finite() {
+                poisoned = Some(format!(
+                    "step {step}: loss {step_loss}, pre-clip grad norm {pre_clip}"
+                ));
                 break;
             }
+            adam.step_pairs(&mut store, &pairs);
+            epoch_grad_norm += pre_clip;
+            epoch_loss += step_loss;
+            steps += 1;
         }
+
+        if poisoned.is_none() {
+            grad_norms.push(epoch_grad_norm / steps.max(1) as f64);
+            train_losses.push(epoch_loss / steps.max(1) as f64);
+            if train_config.lr_decay < 1.0 {
+                adam.set_lr(adam.lr() * train_config.lr_decay);
+            }
+
+            // Validation loss (prediction term only, no penalty).
+            let monitored = if val_set.is_empty() {
+                *train_losses.last().expect("pushed above")
+            } else {
+                evaluate(&model, &store, val_set)
+            };
+            if !monitored.is_finite() {
+                poisoned = Some(format!("epoch {}: validation loss {monitored}", epoch + 1));
+            } else {
+                val_losses.push(monitored);
+                let epoch_secs = epoch_start.elapsed().as_secs_f64();
+                epoch_wall_secs.push(epoch_secs);
+
+                cf_obs::info!(
+                    "epoch {:>3}/{} train_loss {:.6} val_loss {:.6} grad_norm {:.4} ({:.2}s)",
+                    epoch + 1,
+                    train_config.max_epochs,
+                    train_losses.last().expect("pushed above"),
+                    monitored,
+                    grad_norms.last().expect("pushed above"),
+                    epoch_secs,
+                );
+                if cf_obs::sink::is_installed() {
+                    cf_obs::sink::emit(
+                        &cf_obs::json::Obj::new()
+                            .str("event", "epoch")
+                            .f64("ts", cf_obs::unix_time())
+                            .u64("epoch", (epoch + 1) as u64)
+                            .f64("train_loss", *train_losses.last().expect("pushed above"))
+                            .f64("val_loss", monitored)
+                            .f64("grad_norm", *grad_norms.last().expect("pushed above"))
+                            .f64("wall_secs", epoch_secs)
+                            .finish(),
+                    );
+                }
+
+                match stopper.observe(monitored) {
+                    StopDecision::Improved => best_snapshot = store.snapshot(),
+                    StopDecision::NoImprovement => {}
+                    StopDecision::Stop => stop = true,
+                }
+            }
+        }
+
+        if let Some(detail) = poisoned {
+            retries += 1;
+            retries_total += 1;
+            if retries > train_config.max_retries as u64 {
+                cf_obs::warn!(
+                    "non-finite value ({detail}); retry budget of {} exhausted — \
+                     degrading to best-so-far weights",
+                    train_config.max_retries
+                );
+                degraded = true;
+                break;
+            }
+            cf_obs::warn!(
+                "non-finite value ({detail}); rolling epoch {} back (retry {}/{})",
+                epoch + 1,
+                retries,
+                train_config.max_retries
+            );
+            store.restore(&guard.params);
+            best_snapshot = guard.best;
+            adam.import_state(guard.adam);
+            stopper.import_state(&guard.stopper);
+            step = guard.step;
+            order = guard.order;
+            train_losses.truncate(guard.hist);
+            val_losses.truncate(guard.hist);
+            epoch_wall_secs.truncate(guard.hist);
+            grad_norms.truncate(guard.hist);
+            if let Some(words) = &guard.rng {
+                let ok = rng.restore_words(words);
+                debug_assert!(ok, "own captured state must restore");
+            }
+            continue; // re-run the same epoch
+        }
+        retries = 0;
+
+        if let Some(cfg) = ckpt {
+            let done = (epoch + 1) as u64;
+            if (epoch + 1).is_multiple_of(cfg.every) {
+                let saved = build_checkpoint(
+                    &model_config,
+                    &train_config,
+                    windows.len(),
+                    epoch + 1,
+                    step,
+                    retries_total,
+                    rng.capture().unwrap_or_default(),
+                    &order,
+                    &store,
+                    &best_snapshot,
+                    &adam,
+                    &stopper,
+                    &train_losses,
+                    &val_losses,
+                    &epoch_wall_secs,
+                    &grad_norms,
+                );
+                // A failed checkpoint write must not kill a healthy run:
+                // warn and keep training (the previous checkpoint stands).
+                match checkpoint::save(cfg, &saved, done) {
+                    Ok(path) => cf_obs::debug!("checkpoint written: {}", path.display()),
+                    Err(e) => cf_obs::warn!("checkpoint write failed (training continues): {e}"),
+                }
+            }
+            // Fault point: the process dies between epochs
+            // (CF_FAULT=kill:epochN). Only meaningful when checkpointing —
+            // there is nothing to resume from otherwise.
+            if cf_faults::fire(cf_faults::FaultSite::Kill, done) {
+                cf_obs::warn!("simulated kill after epoch {done}");
+                return Err(TrainError::Interrupted {
+                    epochs_done: epoch + 1,
+                });
+            }
+        }
+
+        if stop {
+            early_stopped = true;
+            break;
+        }
+        epoch += 1;
     }
 
     store.restore(&best_snapshot);
     cf_obs::debug!(
-        "training done: {} epochs, best epoch {}, early_stopped {}",
+        "training done: {} epochs, best epoch {}, early_stopped {}, retries {}, degraded {}",
         train_losses.len(),
         stopper.best_epoch(),
         early_stopped,
+        retries_total,
+        degraded,
     );
-    (
+    Ok((
         TrainedModel { model, store },
         TrainReport {
             train_losses,
@@ -227,8 +650,211 @@ pub fn train<R: Rng + ?Sized>(
             grad_norms,
             best_epoch: stopper.best_epoch(),
             early_stopped,
+            retries: retries_total,
+            degraded,
+            resumed_at,
         },
-    )
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_checkpoint(
+    model_config: &ModelConfig,
+    train_config: &TrainConfig,
+    n_windows: usize,
+    next_epoch: usize,
+    step: u64,
+    retries: u64,
+    rng: Vec<u64>,
+    order: &[usize],
+    store: &ParamStore,
+    best_snapshot: &[Tensor],
+    adam: &Adam,
+    stopper: &EarlyStopper,
+    train_losses: &[f64],
+    val_losses: &[f64],
+    epoch_wall_secs: &[f64],
+    grad_norms: &[f64],
+) -> checkpoint::SavedCheckpoint {
+    let astate = adam.export_state();
+    let sstate = stopper.export_state();
+    let moments = |m: &[Option<Tensor>]| -> Vec<Option<Vec<f64>>> {
+        m.iter()
+            .map(|o| o.as_ref().map(|t| t.data().to_vec()))
+            .collect()
+    };
+    checkpoint::SavedCheckpoint {
+        format_version: CHECKPOINT_FORMAT_VERSION,
+        config: persist::saved_config(model_config),
+        n_windows,
+        batch_size: train_config.batch_size,
+        next_epoch,
+        step,
+        retries,
+        rng,
+        order: order.to_vec(),
+        params: persist::saved_params(store),
+        best_params: persist::saved_params_from(store, best_snapshot),
+        adam_t: astate.t,
+        adam_lr: astate.lr,
+        adam_m: moments(&astate.m),
+        adam_v: moments(&astate.v),
+        stopper_best: sstate.best,
+        stopper_best_epoch: sstate.best_epoch,
+        stopper_epochs_seen: sstate.epochs_seen,
+        stopper_stale: sstate.stale,
+        train_losses: train_losses.to_vec(),
+        val_losses: val_losses.to_vec(),
+        epoch_wall_secs: epoch_wall_secs.to_vec(),
+        grad_norms: grad_norms.to_vec(),
+    }
+}
+
+/// The loop state recovered from a checkpoint (the pieces that are plain
+/// values; `store`/`adam`/`stopper` are restored in place).
+struct Applied {
+    next_epoch: usize,
+    step: u64,
+    retries: u64,
+    rng: Vec<u64>,
+    order: Vec<usize>,
+    best_snapshot: Vec<Tensor>,
+    train_losses: Vec<f64>,
+    val_losses: Vec<f64>,
+    epoch_wall_secs: Vec<f64>,
+    grad_norms: Vec<f64>,
+}
+
+/// Validates a loaded checkpoint against this run's configuration and
+/// applies it. Every mismatch is a typed error naming the file — a
+/// checkpoint from a different run must never be silently half-applied.
+#[allow(clippy::too_many_arguments)]
+fn apply_checkpoint(
+    saved: checkpoint::SavedCheckpoint,
+    path: &Path,
+    model_config: &ModelConfig,
+    train_config: &TrainConfig,
+    n_windows: usize,
+    train_len: usize,
+    store: &mut ParamStore,
+    adam: &mut Adam,
+    stopper: &mut EarlyStopper,
+) -> Result<Applied, CheckpointError> {
+    let mismatch = |detail: String| CheckpointError::Mismatch {
+        path: path.to_path_buf(),
+        detail,
+    };
+
+    let saved_mc = persist::model_config(&saved.config);
+    if saved_mc != *model_config {
+        return Err(mismatch(format!(
+            "model config differs: checkpoint {saved_mc:?}, run {model_config:?}"
+        )));
+    }
+    if saved.n_windows != n_windows {
+        return Err(mismatch(format!(
+            "checkpoint trained on {} windows, this run has {n_windows}",
+            saved.n_windows
+        )));
+    }
+    if saved.batch_size != train_config.batch_size {
+        return Err(mismatch(format!(
+            "checkpoint batch size {}, this run uses {}",
+            saved.batch_size, train_config.batch_size
+        )));
+    }
+    if saved.order.len() != train_len {
+        return Err(mismatch(format!(
+            "shuffle order covers {} windows, training split has {train_len}",
+            saved.order.len()
+        )));
+    }
+    let mut seen = vec![false; train_len];
+    for &i in &saved.order {
+        if i >= train_len || seen[i] {
+            return Err(mismatch("shuffle order is not a permutation".into()));
+        }
+        seen[i] = true;
+    }
+    let hist = saved.train_losses.len();
+    if hist != saved.next_epoch
+        || saved.val_losses.len() != hist
+        || saved.epoch_wall_secs.len() != hist
+        || saved.grad_norms.len() != hist
+    {
+        return Err(mismatch(format!(
+            "history lengths ({}, {}, {}, {}) disagree with {} completed epochs",
+            hist,
+            saved.val_losses.len(),
+            saved.epoch_wall_secs.len(),
+            saved.grad_norms.len(),
+            saved.next_epoch
+        )));
+    }
+    if !(saved.adam_lr.is_finite() && saved.adam_lr > 0.0) {
+        return Err(mismatch(format!(
+            "saved learning rate {} is not positive",
+            saved.adam_lr
+        )));
+    }
+
+    let values = persist::restore_values(store, &saved.params).map_err(&mismatch)?;
+    let best_snapshot = persist::restore_values(store, &saved.best_params)
+        .map_err(|d| mismatch(format!("best-epoch snapshot: {d}")))?;
+
+    // Rebuild Adam moments with the architecture's shapes.
+    let ids: Vec<ParamId> = store.ids().collect();
+    let rebuild =
+        |name: &str, m: Vec<Option<Vec<f64>>>| -> Result<Vec<Option<Tensor>>, CheckpointError> {
+            if m.len() > ids.len() {
+                return Err(mismatch(format!(
+                    "{name} covers {} parameters, architecture has {}",
+                    m.len(),
+                    ids.len()
+                )));
+            }
+            m.into_iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    o.map(|data| {
+                        let shape = store.value(ids[i]).shape().to_vec();
+                        Tensor::from_vec(shape, data).map_err(|e| {
+                            mismatch(format!("{name} for parameter {}: {e}", store.name(ids[i])))
+                        })
+                    })
+                    .transpose()
+                })
+                .collect()
+        };
+    let adam_m = rebuild("Adam first moments", saved.adam_m)?;
+    let adam_v = rebuild("Adam second moments", saved.adam_v)?;
+
+    store.restore(&values);
+    adam.import_state(AdamState {
+        t: saved.adam_t,
+        lr: saved.adam_lr,
+        m: adam_m,
+        v: adam_v,
+    });
+    stopper.import_state(&cf_nn::StopperState {
+        best: saved.stopper_best,
+        best_epoch: saved.stopper_best_epoch,
+        epochs_seen: saved.stopper_epochs_seen,
+        stale: saved.stopper_stale,
+    });
+
+    Ok(Applied {
+        next_epoch: saved.next_epoch,
+        step: saved.step,
+        retries: saved.retries,
+        rng: saved.rng,
+        order: saved.order,
+        best_snapshot,
+        train_losses: saved.train_losses,
+        val_losses: saved.val_losses,
+        epoch_wall_secs: saved.epoch_wall_secs,
+        grad_norms: saved.grad_norms,
+    })
 }
 
 /// Mean masked-MSE prediction loss of `model` over `windows` (no penalty).
@@ -283,6 +909,9 @@ mod tests {
             last < 0.9 * first,
             "training loss did not drop: {first} → {last}"
         );
+        assert_eq!(report.retries, 0);
+        assert!(!report.degraded);
+        assert!(report.resumed_at.is_none());
     }
 
     #[test]
@@ -351,5 +980,28 @@ mod tests {
             TrainConfig::default(),
             &[],
         );
+    }
+
+    #[test]
+    fn trainer_without_checkpoints_matches_train() {
+        let windows = fork_windows(6, 150, 8);
+        let mc = ModelConfig {
+            d_model: 8,
+            d_qk: 8,
+            d_ffn: 8,
+            heads: 1,
+            ..ModelConfig::compact(3, 8)
+        };
+        let tc = TrainConfig {
+            max_epochs: 4,
+            ..TrainConfig::default()
+        };
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = StdRng::seed_from_u64(11);
+        let (a, _) = train(&mut r1, mc, tc, &windows);
+        let (b, _) = Trainer::new(mc, tc).fit(&mut r2, &windows).unwrap();
+        for (ia, ib) in a.store.ids().zip(b.store.ids()) {
+            assert_eq!(a.store.value(ia), b.store.value(ib));
+        }
     }
 }

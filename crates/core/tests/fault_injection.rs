@@ -1,0 +1,257 @@
+//! Fault drills: inject NaN gradients, checkpoint-write I/O errors,
+//! simulated kills, and on-disk corruption, and verify the trainer
+//! *recovers deterministically* — transient faults leave a bitwise
+//! identical result, persistent faults degrade gracefully (valid weights,
+//! never a panic).
+//!
+//! The `cf-faults` plan store is process-global, so every test serialises
+//! on one mutex and clears the plans it installed.
+
+use causalformer::{CheckpointConfig, ModelConfig, TrainConfig, TrainError, TrainedModel, Trainer};
+use cf_data::{synthetic, window};
+use cf_faults::FaultSite;
+use cf_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize_faults() -> MutexGuard<'static, ()> {
+    let g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    cf_faults::clear();
+    g
+}
+
+fn fork_windows(seed: u64) -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = synthetic::generate(&mut rng, synthetic::Structure::Fork, 240);
+    let std = window::standardize(&d.series);
+    window::windows(&std, 8, 4)
+}
+
+fn configs(max_epochs: usize) -> (ModelConfig, TrainConfig) {
+    let mc = ModelConfig {
+        d_model: 8,
+        d_qk: 8,
+        d_ffn: 8,
+        heads: 1,
+        ..ModelConfig::compact(3, 8)
+    };
+    let tc = TrainConfig {
+        max_epochs,
+        patience: 50,
+        ..TrainConfig::default()
+    };
+    (mc, tc)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cf_fault_{tag}_{}_t{}",
+        std::process::id(),
+        std::env::var("CF_THREADS").unwrap_or_default()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn param_bits(trained: &TrainedModel) -> Vec<u64> {
+    trained
+        .store
+        .ids()
+        .flat_map(|id| {
+            trained
+                .store
+                .value(id)
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<u64>>()
+        })
+        .collect()
+}
+
+#[test]
+fn transient_nan_rolls_back_and_matches_clean_run() {
+    let _g = serialize_faults();
+    let windows = fork_windows(0);
+    let (mc, tc) = configs(4);
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let (clean, clean_report) = Trainer::new(mc, tc).fit(&mut rng, &windows).unwrap();
+
+    // One cosmic-ray NaN in the gradient of step 5 (epoch 1): the epoch
+    // rolls back — including the RNG — and the retry succeeds, so the
+    // final weights are bitwise those of the clean run.
+    cf_faults::install(FaultSite::Nan, 5, false);
+    let mut rng = StdRng::seed_from_u64(9);
+    let (faulted, report) = Trainer::new(mc, tc).fit(&mut rng, &windows).unwrap();
+    cf_faults::clear();
+
+    assert_eq!(report.retries, 1);
+    assert!(!report.degraded);
+    assert_eq!(param_bits(&clean), param_bits(&faulted));
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(bits(&clean_report.train_losses), bits(&report.train_losses));
+}
+
+#[test]
+fn persistent_nan_degrades_to_valid_weights() {
+    let _g = serialize_faults();
+    let windows = fork_windows(1);
+    let (mc, tc) = configs(10);
+    assert_eq!(tc.max_retries, 2, "test assumes the default retry budget");
+
+    // The NaN fires on *every* retry of step 1: rollback cannot help, so
+    // after max_retries the trainer degrades — returning the best (here:
+    // initial) weights, finite, without panicking.
+    cf_faults::install(FaultSite::Nan, 1, true);
+    let mut rng = StdRng::seed_from_u64(11);
+    let (trained, report) = Trainer::new(mc, tc).fit(&mut rng, &windows).unwrap();
+    cf_faults::clear();
+
+    assert!(report.degraded);
+    assert_eq!(report.retries, 3); // budget of 2 + the final failed attempt
+    assert!(report.train_losses.is_empty(), "no epoch ever completed");
+    for id in trained.store.ids() {
+        assert!(
+            trained.store.value(id).all_finite(),
+            "degraded weights must stay finite"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_write_failure_does_not_kill_training() {
+    let _g = serialize_faults();
+    let windows = fork_windows(2);
+    let (mc, tc) = configs(3);
+
+    let mut rng = StdRng::seed_from_u64(13);
+    let (clean, _) = Trainer::new(mc, tc).fit(&mut rng, &windows).unwrap();
+
+    // The epoch-1 checkpoint write fails with an injected I/O error; the
+    // run warns, keeps training, and later checkpoints still land.
+    let dir = tmp_dir("io_fail");
+    cf_faults::install(FaultSite::IoFail, 1, false);
+    let mut rng = StdRng::seed_from_u64(13);
+    let (survivor, report) = Trainer::new(mc, tc)
+        .with_checkpoints(CheckpointConfig::new(&dir))
+        .fit(&mut rng, &windows)
+        .unwrap();
+    cf_faults::clear();
+
+    assert!(!report.degraded);
+    assert_eq!(param_bits(&clean), param_bits(&survivor));
+    assert!(!dir.join("ckpt-000001.cfck").exists());
+    assert!(dir.join("ckpt-000003.cfck").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_between_epochs_resumes_bitwise() {
+    let _g = serialize_faults();
+    let windows = fork_windows(3);
+    let (mc, tc) = configs(4);
+
+    let mut rng = StdRng::seed_from_u64(15);
+    let (straight, straight_report) = Trainer::new(mc, tc).fit(&mut rng, &windows).unwrap();
+
+    // The process "dies" right after epoch 2's checkpoint.
+    let dir = tmp_dir("kill");
+    cf_faults::install(FaultSite::Kill, 2, false);
+    let mut rng = StdRng::seed_from_u64(15);
+    let err = Trainer::new(mc, tc)
+        .with_checkpoints(CheckpointConfig::new(&dir))
+        .fit(&mut rng, &windows)
+        .err()
+        .expect("the kill must interrupt training");
+    cf_faults::clear();
+    match err {
+        TrainError::Interrupted { epochs_done } => assert_eq!(epochs_done, 2),
+        other => panic!("expected an interruption, got: {other}"),
+    }
+
+    // A fresh "process" resumes and finishes; result matches the
+    // uninterrupted run exactly.
+    let mut rng = StdRng::seed_from_u64(777);
+    let (resumed, report) = Trainer::new(mc, tc)
+        .with_checkpoints(CheckpointConfig::new(&dir))
+        .resume(true)
+        .fit(&mut rng, &windows)
+        .unwrap();
+    assert_eq!(report.resumed_at, Some(2));
+    assert_eq!(param_bits(&straight), param_bits(&resumed));
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(
+        bits(&straight_report.train_losses),
+        bits(&report.train_losses)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_newest_checkpoint_falls_back_to_predecessor() {
+    let _g = serialize_faults();
+    let windows = fork_windows(4);
+    let (mc, tc) = configs(3);
+
+    let dir = tmp_dir("corrupt");
+    let mut rng = StdRng::seed_from_u64(17);
+    let (reference, _) = Trainer::new(mc, tc)
+        .with_checkpoints(CheckpointConfig::new(&dir).keep(10))
+        .fit(&mut rng, &windows)
+        .unwrap();
+
+    // Corrupt the newest checkpoint (torn write / bit rot): flip one
+    // payload byte so the checksum no longer matches.
+    let newest = dir.join("ckpt-000003.cfck");
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&newest, &bytes).unwrap();
+
+    // Resume skips the corrupt file, restarts from epoch 2, replays epoch
+    // 3 — and still lands on exactly the reference weights.
+    let mut rng = StdRng::seed_from_u64(4242);
+    let (recovered, report) = Trainer::new(mc, tc)
+        .with_checkpoints(CheckpointConfig::new(&dir).keep(10))
+        .resume(true)
+        .fit(&mut rng, &windows)
+        .unwrap();
+    assert_eq!(report.resumed_at, Some(2));
+    assert_eq!(param_bits(&reference), param_bits(&recovered));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn all_checkpoints_corrupt_is_a_loud_error() {
+    let _g = serialize_faults();
+    let windows = fork_windows(5);
+    let (mc, tc) = configs(2);
+
+    let dir = tmp_dir("all_corrupt");
+    let mut rng = StdRng::seed_from_u64(19);
+    Trainer::new(mc, tc)
+        .with_checkpoints(CheckpointConfig::new(&dir))
+        .fit(&mut rng, &windows)
+        .unwrap();
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        std::fs::write(&path, b"garbage").unwrap();
+    }
+    let err = Trainer::new(mc, tc)
+        .with_checkpoints(CheckpointConfig::new(&dir))
+        .resume(true)
+        .fit(&mut rng, &windows)
+        .err()
+        .expect("resume must fail when every checkpoint is unreadable");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("no usable checkpoint"),
+        "unhelpful error: {msg}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

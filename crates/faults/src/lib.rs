@@ -1,0 +1,263 @@
+//! # cf-faults
+//!
+//! A tiny fault-injection harness. Production code plants *fault points*
+//! at the places where real systems break — checkpoint writes, gradient
+//! computation, epoch boundaries — and this crate decides whether the
+//! fault fires. With no faults armed the check is one relaxed atomic load,
+//! so fault points cost nothing in normal operation.
+//!
+//! Faults are armed either programmatically ([`install`] / [`clear`], for
+//! tests) or from the `CF_FAULT` environment variable (for end-to-end
+//! drills), parsed lazily on the first [`fire`] call:
+//!
+//! ```text
+//! CF_FAULT=io_fail:epoch3          # checkpoint write at epoch 3 fails
+//! CF_FAULT=nan:step17              # gradient of step 17 becomes NaN
+//! CF_FAULT=kill:epoch2             # simulated kill after epoch 2
+//! CF_FAULT=nan:step5:sticky        # fires on *every* retry of step 5
+//! CF_FAULT=io_fail:epoch1,nan:step9   # comma-separates multiple plans
+//! ```
+//!
+//! A plan is one-shot by default: it fires the first time its site and
+//! index match, then disarms — which models transient faults (the retry
+//! succeeds). A `:sticky` plan keeps firing every time the site/index
+//! match — which models persistent faults (retries keep failing until the
+//! caller gives up and degrades). The label between the site and the
+//! number (`epoch`/`step`) is documentation only; matching uses the
+//! numeric index.
+//!
+//! This crate deliberately knows nothing about training: sites are plain
+//! strings and indices plain `u64`s, so any subsystem can plant points.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+
+/// Where a fault can fire. The variants mirror the failure classes the
+/// trainer must survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A checkpoint (or other persistence) write fails with an I/O error.
+    IoFail,
+    /// A gradient/loss turns non-finite.
+    Nan,
+    /// The process dies between epochs.
+    Kill,
+}
+
+impl FaultSite {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "io_fail" => Some(FaultSite::IoFail),
+            "nan" => Some(FaultSite::Nan),
+            "kill" => Some(FaultSite::Kill),
+            _ => None,
+        }
+    }
+
+    /// The spec-string name of the site.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::IoFail => "io_fail",
+            FaultSite::Nan => "nan",
+            FaultSite::Kill => "kill",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Plan {
+    site: FaultSite,
+    at: u64,
+    sticky: bool,
+    fired: bool,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PLANS: OnceLock<Mutex<Vec<Plan>>> = OnceLock::new();
+static ENV_INIT: Once = Once::new();
+
+fn plans() -> &'static Mutex<Vec<Plan>> {
+    PLANS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Vec<Plan>> {
+    // A poisoned lock only means another test panicked mid-injection;
+    // the plan list itself is always in a valid state.
+    plans().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Parses one `site:label` spec, e.g. `nan:step17` or `io_fail:epoch3:sticky`.
+fn parse_spec(spec: &str) -> Result<(FaultSite, u64, bool), String> {
+    let mut parts = spec.split(':');
+    let site = parts
+        .next()
+        .and_then(FaultSite::parse)
+        .ok_or_else(|| format!("unknown fault site in {spec:?} (io_fail, nan, kill)"))?;
+    let label = parts
+        .next()
+        .ok_or_else(|| format!("fault spec {spec:?} missing an index (e.g. nan:step17)"))?;
+    let digits: String = label.chars().skip_while(|c| !c.is_ascii_digit()).collect();
+    let at: u64 = digits
+        .parse()
+        .map_err(|_| format!("fault spec {spec:?} has no numeric index"))?;
+    let sticky = match parts.next() {
+        None => false,
+        Some("sticky") => true,
+        Some(other) => return Err(format!("unknown fault modifier {other:?} in {spec:?}")),
+    };
+    if let Some(extra) = parts.next() {
+        return Err(format!("trailing {extra:?} in fault spec {spec:?}"));
+    }
+    Ok((site, at, sticky))
+}
+
+/// Arms faults from a comma-separated spec string (the `CF_FAULT` syntax).
+/// Existing plans stay armed. Returns an error message for a malformed
+/// spec without arming anything from it.
+pub fn install_spec(specs: &str) -> Result<(), String> {
+    let mut parsed = Vec::new();
+    for spec in specs.split(',').filter(|s| !s.trim().is_empty()) {
+        parsed.push(parse_spec(spec.trim())?);
+    }
+    let mut guard = lock();
+    for (site, at, sticky) in parsed {
+        guard.push(Plan {
+            site,
+            at,
+            sticky,
+            fired: false,
+        });
+    }
+    if !guard.is_empty() {
+        ARMED.store(true, Ordering::Release);
+    }
+    Ok(())
+}
+
+/// Arms a single fault programmatically (the test-suite entry point).
+pub fn install(site: FaultSite, at: u64, sticky: bool) {
+    lock().push(Plan {
+        site,
+        at,
+        sticky,
+        fired: false,
+    });
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms every fault (tests call this in a `finally` position so plans
+/// never leak across tests).
+pub fn clear() {
+    lock().clear();
+    ARMED.store(false, Ordering::Release);
+}
+
+/// Lazily arms faults from the `CF_FAULT` environment variable, once per
+/// process. Malformed specs abort loudly — a typo'd fault drill silently
+/// testing nothing is worse than an error.
+fn env_init() {
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("CF_FAULT") {
+            if let Err(e) = install_spec(&spec) {
+                panic!("CF_FAULT: {e}");
+            }
+        }
+    });
+}
+
+/// A fault point: returns `true` if an armed plan matches `site` at
+/// `index` (and consumes it unless sticky). Disarmed fast path is a single
+/// atomic load.
+pub fn fire(site: FaultSite, index: u64) -> bool {
+    env_init();
+    if !ARMED.load(Ordering::Acquire) {
+        return false;
+    }
+    let mut guard = lock();
+    let mut hit = false;
+    for plan in guard.iter_mut() {
+        if plan.site == site && plan.at == index && (plan.sticky || !plan.fired) {
+            plan.fired = true;
+            hit = true;
+        }
+    }
+    // Keep the fast path honest: disarm once every one-shot plan has fired.
+    if guard.iter().all(|p| p.fired && !p.sticky) {
+        ARMED.store(false, Ordering::Release);
+    }
+    hit
+}
+
+/// Convenience: a synthetic I/O error for [`FaultSite::IoFail`] points.
+pub fn injected_io_error(context: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault: {context}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The plan store is process-global; tests serialise on this lock so
+    // they cannot see each other's plans.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        let g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        g
+    }
+
+    #[test]
+    fn one_shot_fires_once() {
+        let _g = guard();
+        install(FaultSite::Nan, 17, false);
+        assert!(!fire(FaultSite::Nan, 16));
+        assert!(!fire(FaultSite::IoFail, 17));
+        assert!(fire(FaultSite::Nan, 17));
+        assert!(!fire(FaultSite::Nan, 17), "one-shot must disarm");
+        clear();
+    }
+
+    #[test]
+    fn sticky_fires_repeatedly() {
+        let _g = guard();
+        install(FaultSite::Kill, 2, true);
+        for _ in 0..3 {
+            assert!(fire(FaultSite::Kill, 2));
+        }
+        clear();
+        assert!(!fire(FaultSite::Kill, 2));
+    }
+
+    #[test]
+    fn spec_parsing() {
+        let _g = guard();
+        assert!(install_spec("nan:step17,io_fail:epoch3:sticky").is_ok());
+        assert!(fire(FaultSite::Nan, 17));
+        assert!(fire(FaultSite::IoFail, 3));
+        assert!(fire(FaultSite::IoFail, 3), "sticky survives");
+        clear();
+
+        assert!(install_spec("nan:9").is_ok(), "bare numeric index allowed");
+        assert!(fire(FaultSite::Nan, 9));
+        clear();
+
+        for bad in [
+            "frob:1",
+            "nan",
+            "nan:stepX",
+            "nan:1:often",
+            "nan:1:sticky:x",
+        ] {
+            assert!(install_spec(bad).is_err(), "{bad:?} must be rejected");
+        }
+        assert!(install_spec("").is_ok(), "empty spec arms nothing");
+        assert!(!fire(FaultSite::Nan, 1));
+    }
+
+    #[test]
+    fn injected_io_error_is_descriptive() {
+        let e = injected_io_error("checkpoint write epoch 3");
+        assert!(e.to_string().contains("injected fault"));
+    }
+}

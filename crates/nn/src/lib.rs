@@ -45,6 +45,6 @@ mod param;
 mod train;
 
 pub use layers::{Linear, LstmCell, LstmState};
-pub use optim::{clip_global_norm, Adam, Optimizer, Sgd};
+pub use optim::{clip_global_norm, Adam, AdamState, Optimizer, Sgd};
 pub use param::{BoundParams, ParamId, ParamStore};
-pub use train::{EarlyStopper, StopDecision};
+pub use train::{EarlyStopper, StopDecision, StopperState};

@@ -69,6 +69,40 @@ impl EarlyStopper {
     pub fn best_epoch(&self) -> usize {
         self.best_epoch
     }
+
+    /// Copies out the stopper's mutable state for checkpointing. The
+    /// patience/`min_delta` configuration is not part of the state.
+    pub fn export_state(&self) -> StopperState {
+        StopperState {
+            best: self.best,
+            best_epoch: self.best_epoch,
+            epochs_seen: self.epochs_seen,
+            stale: self.stale,
+        }
+    }
+
+    /// Restores state captured by [`EarlyStopper::export_state`];
+    /// subsequent [`EarlyStopper::observe`] calls continue the captured
+    /// decision sequence exactly.
+    pub fn import_state(&mut self, state: &StopperState) {
+        self.best = state.best;
+        self.best_epoch = state.best_epoch;
+        self.epochs_seen = state.epochs_seen;
+        self.stale = state.stale;
+    }
+}
+
+/// Snapshot of an [`EarlyStopper`]'s mutable state, for checkpoint/resume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopperState {
+    /// Best monitored loss so far (`f64::INFINITY` before any observation).
+    pub best: f64,
+    /// 1-based epoch of the best observation (0 if none).
+    pub best_epoch: usize,
+    /// Number of observations so far.
+    pub epochs_seen: usize,
+    /// Consecutive non-improving observations.
+    pub stale: usize,
 }
 
 #[cfg(test)]
@@ -95,6 +129,24 @@ mod tests {
         // 0.95 is better but not by ≥ 0.1 — counts as stale.
         assert_eq!(es.observe(0.95), StopDecision::NoImprovement);
         assert_eq!(es.observe(0.94), StopDecision::Stop);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_decisions() {
+        let mut a = EarlyStopper::new(2, 0.0);
+        let mut b = EarlyStopper::new(2, 0.0);
+        for loss in [1.0, 0.8, 0.9] {
+            a.observe(loss);
+            b.observe(loss);
+        }
+        // Rebuild `b` from its exported state.
+        let state = b.export_state();
+        let mut b = EarlyStopper::new(2, 0.0);
+        b.import_state(&state);
+        for loss in [0.95, 0.96, 0.97] {
+            assert_eq!(a.observe(loss), b.observe(loss));
+        }
+        assert_eq!(a.best_epoch(), b.best_epoch());
     }
 
     #[test]

@@ -45,10 +45,12 @@
 mod error;
 mod init;
 pub mod ops;
+pub mod rngstate;
 mod tape;
 mod tensor;
 
 pub use error::TensorError;
 pub use init::{he_normal, uniform, xavier_uniform};
+pub use rngstate::{capture_rng, restore_rng};
 pub use tape::{Gradients, Op, Tape, VarId};
 pub use tensor::Tensor;

@@ -18,4 +18,16 @@ CF_THREADS=1 cargo test -q --workspace
 echo "== cargo test -q --workspace (CF_THREADS=4)"
 CF_THREADS=4 cargo test -q --workspace
 
+# Resume-determinism gate: interrupted-then-resumed training (3 epochs →
+# checkpoint → resume 3 more) must be bitwise identical to 6 epochs straight
+# — parameters, loss history, and the downstream causal matrix — and the
+# fault drills (injected NaN, injected I/O failure, kill between epochs,
+# on-disk corruption) must recover. Run at 1, 2, and 4 worker threads:
+# recovery must be exact on any machine.
+for threads in 1 2 4; do
+  echo "== resume determinism + fault drills (CF_THREADS=$threads)"
+  CF_THREADS=$threads cargo test -q -p causalformer \
+    --test resume_determinism --test fault_injection
+done
+
 echo "All checks passed."
