@@ -18,9 +18,16 @@ use crate::Discoverer;
 use cf_metrics::kmeans::top_class_mask;
 use cf_metrics::CausalGraph;
 use cf_nn::{Adam, Linear, LstmCell, Optimizer, ParamStore};
-use cf_tensor::{Tape, Tensor};
+use cf_tensor::{with_pooled_tape, Tensor};
 use rand::RngCore;
 use std::path::Path;
+
+/// Minimum estimated per-target training FLOPs (MACs through the four gate
+/// projections, forward only) before the per-target sweep is dispatched to
+/// the worker pool. Below this, pool dispatch plus thread contention on
+/// small hosts outweighs any overlap — the sweep runs on the calling
+/// thread, producing bitwise-identical weights either way.
+const CLSTM_PAR_WORK_THRESHOLD: usize = 64 * 1024 * 1024;
 
 /// Hyper-parameters of the cLSTM baseline.
 #[derive(Debug, Clone, Copy)]
@@ -169,7 +176,7 @@ impl Clstm {
         };
 
         // Phase B: parallel rng-free training (restored targets skip it).
-        cf_par::par_each_mut(&mut states, |idx, st| {
+        let train_target = |idx: usize, st: &mut TargetState| {
             if restored[idx] {
                 return;
             }
@@ -178,40 +185,41 @@ impl Clstm {
             let mut adam = Adam::new(cfg.lr);
 
             for _ in 0..cfg.epochs {
-                let mut tape = Tape::new();
-                let bound = store.bind(&mut tape);
-                let mut loss_acc: Option<cf_tensor::VarId> = None;
-                let mut count = 0usize;
-                for &start in &starts {
-                    let mut state = cell.zero_state(&mut tape, 1);
-                    for step in 0..cfg.seq_len {
-                        let t = start + step;
-                        let x_t = Tensor::from_vec(
-                            vec![1, n],
-                            (0..n).map(|i| std_series.get2(i, t)).collect(),
-                        )
-                        .expect("consistent");
-                        let xv = tape.constant(x_t);
-                        state = cell.step(&mut tape, &bound, xv, state);
-                        let pred = head.forward(&mut tape, &bound, state.h);
-                        let tgt = tape.constant(
-                            Tensor::from_vec(vec![1, 1], vec![std_series.get2(target, t + 1)])
-                                .expect("consistent"),
-                        );
-                        let diff = tape.sub(pred, tgt);
-                        let sq = tape.square(diff);
-                        let term = tape.sum_all(sq);
-                        loss_acc = Some(match loss_acc {
-                            None => term,
-                            Some(acc) => tape.add(acc, term),
-                        });
-                        count += 1;
+                with_pooled_tape(|tape| {
+                    let bound = store.bind(tape);
+                    let mut loss_acc: Option<cf_tensor::VarId> = None;
+                    let mut count = 0usize;
+                    for &start in &starts {
+                        let mut state = cell.zero_state(tape, 1);
+                        for step in 0..cfg.seq_len {
+                            let t = start + step;
+                            let x_t = Tensor::from_vec(
+                                vec![1, n],
+                                (0..n).map(|i| std_series.get2(i, t)).collect(),
+                            )
+                            .expect("consistent");
+                            let xv = tape.constant(x_t);
+                            state = cell.step(tape, &bound, xv, state);
+                            let pred = head.forward(tape, &bound, state.h);
+                            let tgt = tape.constant(
+                                Tensor::from_vec(vec![1, 1], vec![std_series.get2(target, t + 1)])
+                                    .expect("consistent"),
+                            );
+                            let diff = tape.sub(pred, tgt);
+                            let sq = tape.square(diff);
+                            let term = tape.sum_all(sq);
+                            loss_acc = Some(match loss_acc {
+                                None => term,
+                                Some(acc) => tape.add(acc, term),
+                            });
+                            count += 1;
+                        }
                     }
-                }
-                let sum = loss_acc.expect("at least one sequence");
-                let loss = tape.scale(sum, 1.0 / count as f64);
-                let grads = tape.backward(loss);
-                adam.step(store, &bound, &grads);
+                    let sum = loss_acc.expect("at least one sequence");
+                    let loss = tape.scale(sum, 1.0 / count as f64);
+                    let grads = tape.backward(loss);
+                    adam.step(store, &bound, &grads);
+                });
 
                 // Proximal group shrinkage over input columns (rows of W_x,
                 // which is input_dim×hidden — one row per source series)
@@ -234,7 +242,25 @@ impl Clstm {
                     }
                 }
             }
-        });
+        };
+        // Each target trains independently and consumes no rng, so the
+        // serial and parallel paths produce bitwise-identical weights —
+        // pick by per-target work size. Small models (BENCH_PR2: Fork
+        // cLSTM 0.40s@1T → 0.49s@4T) lose more to pool dispatch and
+        // thread contention than they gain, so they stay on this thread.
+        let per_target_flops = cfg.epochs
+            * starts.len()
+            * cfg.seq_len
+            * 4 // gates
+            * (n + cfg.hidden)
+            * cfg.hidden;
+        if per_target_flops < CLSTM_PAR_WORK_THRESHOLD {
+            for (idx, st) in states.iter_mut().enumerate() {
+                train_target(idx, st);
+            }
+        } else {
+            cf_par::par_each_mut(&mut states, train_target);
+        }
 
         // Checkpoint each freshly trained target (sequential writes).
         if let Some(c) = cache {

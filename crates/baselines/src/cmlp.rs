@@ -19,7 +19,7 @@ use crate::Discoverer;
 use cf_metrics::kmeans::top_class_mask;
 use cf_metrics::CausalGraph;
 use cf_nn::{Adam, Linear, Optimizer, ParamStore};
-use cf_tensor::{Tape, Tensor};
+use cf_tensor::{with_pooled_tape, Tensor};
 use rand::RngCore;
 use std::path::Path;
 
@@ -170,18 +170,19 @@ impl Cmlp {
             }
             let mut adam = Adam::new(cfg.lr);
             for _ in 0..cfg.epochs {
-                let mut tape = Tape::new();
-                let bound = st.store.bind(&mut tape);
-                let x = tape.constant(inputs.clone());
-                let h_lin = st.l1.forward(&mut tape, &bound, x);
-                let h = tape.leaky_relu(h_lin, 0.01);
-                let pred = st.l2.forward(&mut tape, &bound, h);
-                let tgt = tape.constant(st.y_col.clone());
-                let diff = tape.sub(pred, tgt);
-                let sq = tape.square(diff);
-                let mse = tape.mean_all(sq);
-                let grads = tape.backward(mse);
-                adam.step(&mut st.store, &bound, &grads);
+                with_pooled_tape(|tape| {
+                    let bound = st.store.bind(tape);
+                    let x = tape.constant(inputs.clone());
+                    let h_lin = st.l1.forward(tape, &bound, x);
+                    let h = tape.leaky_relu(h_lin, 0.01);
+                    let pred = st.l2.forward(tape, &bound, h);
+                    let tgt = tape.constant(st.y_col.clone());
+                    let diff = tape.sub(pred, tgt);
+                    let sq = tape.square(diff);
+                    let mse = tape.mean_all(sq);
+                    let grads = tape.backward(mse);
+                    adam.step(&mut st.store, &bound, &grads);
+                });
 
                 // Proximal group-lasso step (cMLP trains with proximal
                 // gradient descent): shrink each source series' input rows

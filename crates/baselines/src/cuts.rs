@@ -18,7 +18,7 @@ use crate::Discoverer;
 use cf_metrics::kmeans::top_class_mask;
 use cf_metrics::CausalGraph;
 use cf_nn::{Adam, Linear, Optimizer, ParamStore};
-use cf_tensor::{Tape, Tensor};
+use cf_tensor::{with_pooled_tape, Tensor};
 use rand::RngCore;
 
 /// Hyper-parameters of the CUTS-lite baseline.
@@ -93,24 +93,25 @@ impl Discoverer for Cuts {
                 Tensor::from_vec(vec![s, 1], targets.col(target)).expect("column extraction");
 
             for _ in 0..cfg.epochs {
-                let mut tape = Tape::new();
-                let bound = store.bind(&mut tape);
-                let gate_probs = tape.sigmoid(bound.var(gates));
-                let x = tape.constant(inputs.clone());
-                let gated = tape.mul_row_vector(x, gate_probs);
-                let h_lin = l1.forward(&mut tape, &bound, gated);
-                let h = tape.leaky_relu(h_lin, 0.01);
-                let pred = l2.forward(&mut tape, &bound, h);
-                let tgt = tape.constant(y_col.clone());
-                let diff = tape.sub(pred, tgt);
-                let sq = tape.square(diff);
-                let mse = tape.mean_all(sq);
-                // σ > 0 ⇒ L1 = plain sum.
-                let gsum = tape.sum_all(gate_probs);
-                let penalty = tape.scale(gsum, cfg.lambda);
-                let loss = tape.add(mse, penalty);
-                let grads = tape.backward(loss);
-                adam.step(&mut store, &bound, &grads);
+                with_pooled_tape(|tape| {
+                    let bound = store.bind(tape);
+                    let gate_probs = tape.sigmoid(bound.var(gates));
+                    let x = tape.constant(inputs.clone());
+                    let gated = tape.mul_row_vector(x, gate_probs);
+                    let h_lin = l1.forward(tape, &bound, gated);
+                    let h = tape.leaky_relu(h_lin, 0.01);
+                    let pred = l2.forward(tape, &bound, h);
+                    let tgt = tape.constant(y_col.clone());
+                    let diff = tape.sub(pred, tgt);
+                    let sq = tape.square(diff);
+                    let mse = tape.mean_all(sq);
+                    // σ > 0 ⇒ L1 = plain sum.
+                    let gsum = tape.sum_all(gate_probs);
+                    let penalty = tape.scale(gsum, cfg.lambda);
+                    let loss = tape.add(mse, penalty);
+                    let grads = tape.backward(loss);
+                    adam.step(&mut store, &bound, &grads);
+                });
             }
 
             // Score i→target: max gate over lags.

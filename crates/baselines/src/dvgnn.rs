@@ -19,7 +19,7 @@ use crate::Discoverer;
 use cf_metrics::kmeans::top_class_mask;
 use cf_metrics::CausalGraph;
 use cf_nn::{Adam, Optimizer, ParamStore};
-use cf_tensor::{xavier_uniform, Tape, Tensor};
+use cf_tensor::{with_pooled_tape, xavier_uniform, Tensor};
 use rand::RngCore;
 
 /// Hyper-parameters of the DVGNN-lite baseline.
@@ -99,31 +99,32 @@ impl Discoverer for Dvgnn {
         let mut adam = Adam::new(cfg.lr);
 
         for _ in 0..cfg.epochs {
-            let mut tape = Tape::new();
-            let bound = store.bind(&mut tape);
-            let probs = tape.sigmoid(bound.var(logits));
-            // Gated adjacency per lag: A_k[i,j] = σ(L[i,j]) · W_k[i,j].
-            let a1 = tape.mul(probs, bound.var(w1));
-            let a2 = tape.mul(probs, bound.var(w2));
-            let x1v = tape.constant(x1.clone());
-            let x2v = tape.constant(x2.clone());
-            // Message passing: column j of (X·A) mixes sources i weighted by
-            // the i→j edge.
-            let m1 = tape.matmul(x1v, a1);
-            let m2 = tape.matmul(x2v, a2);
-            let mixed = tape.add(m1, m2);
-            let act = tape.leaky_relu(mixed, 0.1);
-            let pred = tape.matmul(act, bound.var(decoder));
-            let yv = tape.constant(y.clone());
-            let diff = tape.sub(pred, yv);
-            let sq = tape.square(diff);
-            let mse = tape.mean_all(sq);
-            // σ(L) > 0, so the L1 penalty is just the sum.
-            let psum = tape.sum_all(probs);
-            let penalty = tape.scale(psum, cfg.lambda);
-            let loss = tape.add(mse, penalty);
-            let grads = tape.backward(loss);
-            adam.step(&mut store, &bound, &grads);
+            with_pooled_tape(|tape| {
+                let bound = store.bind(tape);
+                let probs = tape.sigmoid(bound.var(logits));
+                // Gated adjacency per lag: A_k[i,j] = σ(L[i,j]) · W_k[i,j].
+                let a1 = tape.mul(probs, bound.var(w1));
+                let a2 = tape.mul(probs, bound.var(w2));
+                let x1v = tape.constant(x1.clone());
+                let x2v = tape.constant(x2.clone());
+                // Message passing: column j of (X·A) mixes sources i weighted
+                // by the i→j edge.
+                let m1 = tape.matmul(x1v, a1);
+                let m2 = tape.matmul(x2v, a2);
+                let mixed = tape.add(m1, m2);
+                let act = tape.leaky_relu(mixed, 0.1);
+                let pred = tape.matmul(act, bound.var(decoder));
+                let yv = tape.constant(y.clone());
+                let diff = tape.sub(pred, yv);
+                let sq = tape.square(diff);
+                let mse = tape.mean_all(sq);
+                // σ(L) > 0, so the L1 penalty is just the sum.
+                let psum = tape.sum_all(probs);
+                let penalty = tape.scale(psum, cfg.lambda);
+                let loss = tape.add(mse, penalty);
+                let grads = tape.backward(loss);
+                adam.step(&mut store, &bound, &grads);
+            });
         }
 
         // Edge scores = σ(L); k-means per target (column of the adjacency).

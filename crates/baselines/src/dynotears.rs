@@ -15,7 +15,7 @@ use crate::Discoverer;
 use cf_metrics::kmeans::top_class_mask;
 use cf_metrics::CausalGraph;
 use cf_nn::{Adam, Optimizer, ParamStore};
-use cf_tensor::{Tape, Tensor};
+use cf_tensor::{with_pooled_tape, Tensor};
 use rand::RngCore;
 
 /// Hyper-parameters of the DYNOTEARS-lite baseline.
@@ -100,30 +100,31 @@ impl Discoverer for Dynotears {
         let mut adam = Adam::new(cfg.lr);
 
         for _ in 0..cfg.epochs {
-            let mut tape = Tape::new();
-            let bound = store.bind(&mut tape);
-            let mut pred = None;
-            for (tau, &wid) in w_ids.iter().enumerate() {
-                let x = tape.constant(x_lags[tau].clone());
-                let term = tape.matmul(x, bound.var(wid));
-                pred = Some(match pred {
-                    None => term,
-                    Some(acc) => tape.add(acc, term),
-                });
-            }
-            let pred = pred.expect("lag ≥ 1");
-            let yv = tape.constant(y.clone());
-            let diff = tape.sub(pred, yv);
-            let sq = tape.square(diff);
-            let mse = tape.mean_all(sq);
-            let mut loss = mse;
-            for &wid in &w_ids {
-                let l1 = tape.l1(bound.var(wid));
-                let pen = tape.scale(l1, cfg.lambda);
-                loss = tape.add(loss, pen);
-            }
-            let grads = tape.backward(loss);
-            adam.step(&mut store, &bound, &grads);
+            with_pooled_tape(|tape| {
+                let bound = store.bind(tape);
+                let mut pred = None;
+                for (tau, &wid) in w_ids.iter().enumerate() {
+                    let x = tape.constant(x_lags[tau].clone());
+                    let term = tape.matmul(x, bound.var(wid));
+                    pred = Some(match pred {
+                        None => term,
+                        Some(acc) => tape.add(acc, term),
+                    });
+                }
+                let pred = pred.expect("lag ≥ 1");
+                let yv = tape.constant(y.clone());
+                let diff = tape.sub(pred, yv);
+                let sq = tape.square(diff);
+                let mse = tape.mean_all(sq);
+                let mut loss = mse;
+                for &wid in &w_ids {
+                    let l1 = tape.l1(bound.var(wid));
+                    let pen = tape.scale(l1, cfg.lambda);
+                    loss = tape.add(loss, pen);
+                }
+                let grads = tape.backward(loss);
+                adam.step(&mut store, &bound, &grads);
+            });
         }
 
         // Edge scores: max over lags of |W^τ[i,j]|; delay = argmax τ.

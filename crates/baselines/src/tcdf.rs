@@ -20,7 +20,7 @@ use crate::common::{largest_gap_threshold, standardize};
 use crate::Discoverer;
 use cf_metrics::CausalGraph;
 use cf_nn::{Adam, Optimizer, ParamStore};
-use cf_tensor::{he_normal, Tape, Tensor};
+use cf_tensor::{he_normal, with_pooled_tape, Tensor};
 use rand::RngCore;
 
 /// Hyper-parameters of the TCDF baseline.
@@ -112,32 +112,33 @@ impl Discoverer for Tcdf {
         }
 
         for _ in 0..cfg.epochs {
-            let mut tape = Tape::new();
-            let bound = store.bind(&mut tape);
-            let attn = tape.softmax_rows(bound.var(attn_logits));
-            let mut loss_acc = None;
-            for w in &windows {
-                let x = tape.constant(w.clone());
-                let conv = tape.causal_conv(x, bound.var(kernel));
-                let shifted = tape.self_shift(conv);
-                let pred = tape.attn_apply(attn, shifted);
-                let tgt = tape.constant(w.clone());
-                let diff = tape.sub(pred, tgt);
-                let sq = tape.square(diff);
-                let masked = tape.mul_const(sq, mask.clone());
-                let term = tape.sum_all(masked);
-                loss_acc = Some(match loss_acc {
-                    None => term,
-                    Some(acc) => tape.add(acc, term),
-                });
-            }
-            let sum = loss_acc.expect("at least one window");
-            let mse = tape.scale(sum, 1.0 / (windows.len() * n * (cfg.window - 1)) as f64);
-            let l1k = tape.l1(bound.var(kernel));
-            let penalty = tape.scale(l1k, cfg.lambda);
-            let loss = tape.add(mse, penalty);
-            let grads = tape.backward(loss);
-            adam.step(&mut store, &bound, &grads);
+            with_pooled_tape(|tape| {
+                let bound = store.bind(tape);
+                let attn = tape.softmax_rows(bound.var(attn_logits));
+                let mut loss_acc = None;
+                for w in &windows {
+                    let x = tape.constant(w.clone());
+                    let conv = tape.causal_conv(x, bound.var(kernel));
+                    let shifted = tape.self_shift(conv);
+                    let pred = tape.attn_apply(attn, shifted);
+                    let tgt = tape.constant(w.clone());
+                    let diff = tape.sub(pred, tgt);
+                    let sq = tape.square(diff);
+                    let masked = tape.mul_const(sq, mask.clone());
+                    let term = tape.sum_all(masked);
+                    loss_acc = Some(match loss_acc {
+                        None => term,
+                        Some(acc) => tape.add(acc, term),
+                    });
+                }
+                let sum = loss_acc.expect("at least one window");
+                let mse = tape.scale(sum, 1.0 / (windows.len() * n * (cfg.window - 1)) as f64);
+                let l1k = tape.l1(bound.var(kernel));
+                let penalty = tape.scale(l1k, cfg.lambda);
+                let loss = tape.add(mse, penalty);
+                let grads = tape.backward(loss);
+                adam.step(&mut store, &bound, &grads);
+            });
         }
 
         // Read out: attention per target row, largest-gap selection, kernel

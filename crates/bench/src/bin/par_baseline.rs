@@ -1,15 +1,23 @@
 //! Parallel-performance baseline: per-(method × dataset) discovery wall
 //! times at 1 and N worker threads, plus an end-to-end CausalFormer run on
-//! Lorenz-96 with 20 variables. The committed `BENCH_PR2.json` at the repo
-//! root is this binary's output — re-run it after kernel or scheduler
-//! changes to track the speedup trajectory:
+//! Lorenz-96 with 20 variables. The committed `BENCH_PR2.json` /
+//! `BENCH_PR4.json` files at the repo root are this binary's output —
+//! re-run it after kernel, scheduler, or allocator changes to track the
+//! speedup trajectory:
 //!
 //! ```text
-//! cargo run -p cf-bench --release --bin par_baseline -- --json BENCH_PR2.json
+//! cargo run -p cf-bench --release --bin par_baseline -- --json BENCH_PR4.json
 //! ```
 //!
 //! Because results are bitwise identical at any thread count, the F1
 //! column is reported once per cell; only wall time varies with threads.
+//!
+//! Each timing also carries the buffer-pool counters for its run
+//! (`alloc_count` = fresh heap allocations, `pool_hits`/`pool_misses` =
+//! free-list traffic), and the binary ends with a steady-state gate: a
+//! warmed-up repeat of the Lorenz-96 discover must stay under a pinned
+//! allocations-per-epoch bound, or the process exits non-zero (CI's
+//! bench-smoke job runs this with `--smoke`).
 
 use cf_bench::{
     init_metrics, maybe_dump_metrics, parse_options, run_cell, DatasetKind, MethodKind, Options,
@@ -31,6 +39,52 @@ struct CellTiming {
 struct ThreadTiming {
     threads: usize,
     secs: f64,
+    /// Fresh heap allocations for tensor storage during this run (pool
+    /// misses plus externally built buffers adopted by tensors).
+    alloc_count: u64,
+    /// Buffer-pool free-list hits during this run.
+    pool_hits: u64,
+    /// Buffer-pool free-list misses during this run.
+    pool_misses: u64,
+}
+
+/// Runs `f`, returning its result, the wall time, and the pool-counter
+/// deltas the run produced.
+fn timed<R>(threads: usize, f: impl FnOnce() -> R) -> (R, ThreadTiming) {
+    let before = cf_tensor::pool::stats();
+    let started = Instant::now();
+    let out = f();
+    let secs = started.elapsed().as_secs_f64();
+    let after = cf_tensor::pool::stats();
+    (
+        out,
+        ThreadTiming {
+            threads,
+            secs,
+            alloc_count: after.alloc - before.alloc,
+            pool_hits: after.hit - before.hit,
+            pool_misses: after.miss - before.miss,
+        },
+    )
+}
+
+/// Pinned CI bound on steady-state tensor allocations per training epoch
+/// (measured on a warmed pool over a repeated Lorenz-96 discover at one
+/// thread). Steady-state traffic is per-run setup — window construction,
+/// parameter init, graph read-out — amortised over epochs; the training
+/// hot loop itself allocates nothing (observed: ~33 allocs/epoch in
+/// smoke mode). Generous headroom keeps CI from flaking while a real
+/// regression (per-step allocations scale with windows × params —
+/// thousands per epoch) trips it immediately.
+const STEADY_ALLOC_PER_EPOCH_BOUND: u64 = 500;
+
+#[derive(serde::Serialize)]
+struct SteadyStateGate {
+    allocs: u64,
+    pool_misses: u64,
+    epochs: u64,
+    allocs_per_epoch: u64,
+    bound: u64,
 }
 
 #[derive(serde::Serialize)]
@@ -39,6 +93,7 @@ struct Baseline {
     thread_counts: Vec<usize>,
     cells: Vec<CellTiming>,
     lorenz96_n20_discover: Vec<ThreadTiming>,
+    steady_state: SteadyStateGate,
     notes: &'static str,
 }
 
@@ -88,12 +143,10 @@ fn main() {
                     method.name(),
                     dataset
                 );
-                let cell = run_cell(method, dataset, &cell_opts);
+                let (cell, mut timing) = timed(threads, || run_cell(method, dataset, &cell_opts));
                 f1_mean = cell.f1.map(|m| m.mean);
-                timings.push(ThreadTiming {
-                    threads,
-                    secs: cell.wall_secs,
-                });
+                timing.secs = cell.wall_secs;
+                timings.push(timing);
                 raw_cells.push(cell);
             }
             cells.push(CellTiming {
@@ -126,15 +179,59 @@ fn main() {
             "lorenz96 n={} discover with {threads} thread(s) …",
             config.n
         );
-        let started = Instant::now();
-        let result = cf.discover(&mut rng, &data.series);
-        let secs = started.elapsed().as_secs_f64();
+        let (result, timing) = timed(threads, || cf.discover(&mut rng, &data.series));
         println!(
-            "lorenz96 n={}, {threads} thread(s): {secs:.2}s, {} edges",
+            "lorenz96 n={}, {threads} thread(s): {:.2}s, {} edges",
             config.n,
+            timing.secs,
             result.graph.edges().count()
         );
-        lorenz.push(ThreadTiming { threads, secs });
+        lorenz.push(timing);
+    }
+
+    // Steady-state allocation gate: with the pool warmed by a first run,
+    // a repeat of the same discover must perform (almost) no fresh heap
+    // allocation — what remains is per-run setup (window construction,
+    // parameter init, graph read-out), amortised across epochs. A bound
+    // violation means the pool regressed to allocating in the hot loop.
+    cf_par::set_threads(1);
+    let gate_config = Lorenz96Config {
+        n: if options.smoke { 6 } else { 20 },
+        length: if options.smoke { 120 } else { 400 },
+        forcing: 35.0,
+        ..Lorenz96Config::default()
+    };
+    let mut gate_cf = causalformer::presets::lorenz96(gate_config.n);
+    gate_cf.model.window = 8;
+    gate_cf.train.max_epochs = if options.smoke { 2 } else { 10 };
+    gate_cf.train.stride = 2;
+    let mut rng = StdRng::seed_from_u64(96);
+    let gate_data = lorenz96::generate(&mut rng, gate_config);
+    eprintln!(
+        "steady-state allocation gate (lorenz96 n={}) …",
+        gate_config.n
+    );
+    let mut gate_rng = StdRng::seed_from_u64(96);
+    gate_cf.discover(&mut gate_rng, &gate_data.series); // warm-up
+    let warm = cf_tensor::pool::stats();
+    let mut gate_rng = StdRng::seed_from_u64(96);
+    let gate_result = gate_cf.discover(&mut gate_rng, &gate_data.series);
+    let steady = cf_tensor::pool::stats();
+    let epochs = gate_result.train_report.train_losses.len().max(1) as u64;
+    let steady_allocs = steady.alloc - warm.alloc;
+    let steady_misses = steady.miss - warm.miss;
+    let alloc_per_epoch = steady_allocs / epochs;
+    println!(
+        "steady state: {steady_allocs} allocs, {steady_misses} pool misses \
+         over {epochs} epoch(s) ({alloc_per_epoch} allocs/epoch)"
+    );
+    if alloc_per_epoch > STEADY_ALLOC_PER_EPOCH_BOUND {
+        eprintln!(
+            "steady-state allocation regression: {alloc_per_epoch} \
+             allocs/epoch exceeds the pinned bound of \
+             {STEADY_ALLOC_PER_EPOCH_BOUND}"
+        );
+        std::process::exit(1);
     }
 
     // Output guard: a benchmark that emits NaN/Inf (a silently diverged
@@ -179,9 +276,18 @@ fn main() {
         thread_counts,
         cells,
         lorenz96_n20_discover: lorenz,
+        steady_state: SteadyStateGate {
+            allocs: steady_allocs,
+            pool_misses: steady_misses,
+            epochs,
+            allocs_per_epoch: alloc_per_epoch,
+            bound: STEADY_ALLOC_PER_EPOCH_BOUND,
+        },
         notes: "wall times are single-run; outputs are bitwise identical \
                 across thread counts, so only timing varies. Speedups above \
-                1 thread require host_cores > 1.",
+                1 thread require host_cores > 1. alloc/pool counters come \
+                from the cf-tensor buffer pool; steady_state repeats the \
+                lorenz96 discover on a warm pool at 1 thread.",
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serializable");
     match &options.json_out {

@@ -219,6 +219,9 @@ pub fn maybe_dump_metrics(options: &Options, cells: &[Cell]) {
                 .finish(),
         );
     }
+    // Fold the buffer pool's allocator counters into the registry before
+    // snapshotting so mem.pool.* / mem.alloc.count ride along.
+    cf_tensor::pool::publish_obs();
     let doc = cf_obs::json::Obj::new()
         .f64("ts", cf_obs::unix_time())
         .u64("seeds", options.seeds as u64)
@@ -226,6 +229,7 @@ pub fn maybe_dump_metrics(options: &Options, cells: &[Cell]) {
         .raw("runs", &runs.finish())
         .raw("op_profile", &cf_obs::profile::snapshot_json())
         .raw("spans", &cf_obs::span::snapshot_json())
+        .raw("metrics", &cf_obs::metrics::snapshot_json())
         .finish();
     let path = metrics_path(options);
     std::fs::write(&path, doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));

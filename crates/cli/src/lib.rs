@@ -394,6 +394,9 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
                 .f64("wall_secs", started.elapsed().as_secs_f64())
                 .finish(),
         );
+        // Sync the buffer pool's counters into the registry so the metrics
+        // summary includes mem.pool.* and mem.alloc.count.
+        cf_tensor::pool::publish_obs();
         cf_obs::sink::emit_summaries();
         cf_obs::sink::uninstall();
         let path = a.metrics_out.as_deref().unwrap_or("?");

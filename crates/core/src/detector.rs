@@ -21,7 +21,7 @@ use crate::rrp::{self, RrpLayers};
 use cf_metrics::kmeans::top_class_mask;
 use cf_metrics::CausalGraph;
 use cf_nn::ParamStore;
-use cf_tensor::{Tape, Tensor};
+use cf_tensor::{with_pooled_tape, Tape, Tensor};
 use rand::Rng;
 
 /// Accumulated causal scores: per target series `i`, an `N`-vector of
@@ -74,153 +74,151 @@ pub fn window_scores(
     let _span = cf_obs::span::enter("window_scores");
     let cfg = model.config();
     let (n, t) = (cfg.n_series, cfg.window);
-    let mut tape = Tape::new();
-    let bound = store.bind(&mut tape);
-    let trace = model.forward(&mut tape, &bound, x_window);
+    with_pooled_tape(|tape| {
+        let bound = store.bind(tape);
+        let trace = model.forward(tape, &bound, x_window);
+        // The forward pass is done recording; reborrow shared so the
+        // per-target backward passes can fan out over `&Tape`.
+        let tape: &Tape = tape;
 
-    let mut scores = CausalScores::zeros(n, t);
-    let heads = trace.attn.len();
+        let mut scores = CausalScores::zeros(n, t);
+        let heads = trace.attn.len();
 
-    if mode == DetectorMode::NoInterpretation {
-        // Read model weights directly: attention matrices and |kernel|.
-        let bank = tape.value(trace.bank);
-        for i in 0..n {
-            for j in 0..n {
-                let mean_attn: f64 = trace
-                    .attn
-                    .iter()
-                    .map(|&a| tape.value(a).get2(i, j))
-                    .sum::<f64>()
-                    / heads as f64;
-                scores.attn[i][j] = mean_attn;
-                for u in 0..t {
-                    scores.kernel[i].set2(j, u, bank.get3(j, i, u).abs());
+        if mode == DetectorMode::NoInterpretation {
+            // Read model weights directly: attention matrices and |kernel|.
+            let bank = tape.value(trace.bank);
+            for i in 0..n {
+                for j in 0..n {
+                    let mean_attn: f64 = trace
+                        .attn
+                        .iter()
+                        .map(|&a| tape.value(a).get2(i, j))
+                        .sum::<f64>()
+                        / heads as f64;
+                    scores.attn[i][j] = mean_attn;
+                    for u in 0..t {
+                        scores.kernel[i].set2(j, u, bank.get3(j, i, u).abs());
+                    }
                 }
             }
+            return scores;
         }
-        return scores;
-    }
 
-    // Pull the forward values needed by RRP off the tape once.
-    let weights = model.rrp_weights();
-    let biases = model.rrp_biases();
-    let head_out: Vec<Tensor> = trace
-        .head_out
-        .iter()
-        .map(|&v| tape.value(v).clone())
-        .collect();
-    let attn_vals: Vec<Tensor> = trace.attn.iter().map(|&v| tape.value(v).clone()).collect();
-    let layers = RrpLayers {
-        x: tape.value(trace.x),
-        pred: tape.value(trace.pred),
-        ffn_out: tape.value(trace.ffn_out),
-        ffn_act: tape.value(trace.ffn_act),
-        ffn_pre: tape.value(trace.ffn_pre),
-        att: tape.value(trace.att),
-        head_out: &head_out,
-        attn: &attn_vals,
-        shifted: tape.value(trace.shifted),
-        conv: tape.value(trace.conv),
-        bank: tape.value(trace.bank),
-        w_out: store.value(weights.output_w),
-        b_out: store.value(biases.output_b),
-        w2: store.value(weights.ffn2_w),
-        b2: store.value(biases.ffn2_b),
-        w1: store.value(weights.ffn1_w),
-        b1: store.value(biases.ffn1_b),
-        w_o: store.value(weights.w_o),
-        with_bias: mode != DetectorMode::NoBias,
-    };
-    layers.validate_shapes();
-
-    let need_relevance = mode != DetectorMode::NoRelevance;
-    let need_gradient = mode != DetectorMode::NoGradient;
-
-    // Per-target passes are independent given the shared forward tape
-    // (`backward_with_seed` takes `&self`): fan the i-loop out across the
-    // pool, each target producing its own attention row and kernel matrix.
-    let per_target: Vec<(Vec<f64>, Tensor)> = cf_par::par_map(n, |i| {
-        // Gradient pass: seed the prediction with the target's row.
-        let (grad_attn, grad_bank) = if need_gradient {
-            let mut seed = Tensor::zeros(&[n, t]);
-            for tt in 0..t {
-                seed.set2(i, tt, 1.0);
-            }
-            let grads = tape.backward_with_seed(trace.pred, seed);
-            let ga: Vec<Tensor> = trace
-                .attn
-                .iter()
-                .map(|&a| {
-                    grads
-                        .get(a)
-                        .cloned()
-                        .unwrap_or_else(|| Tensor::zeros(&[n, n]))
-                })
-                .collect();
-            let gb = grads
-                .get(trace.bank)
-                .cloned()
-                .unwrap_or_else(|| Tensor::zeros(&[n, n, t]));
-            (ga, gb)
-        } else {
-            (Vec::new(), Tensor::zeros(&[n, n, t]))
+        // Pull the forward values needed by RRP off the tape once.
+        let weights = model.rrp_weights();
+        let biases = model.rrp_biases();
+        let head_out: Vec<Tensor> = trace
+            .head_out
+            .iter()
+            .map(|&v| tape.value(v).clone())
+            .collect();
+        let attn_vals: Vec<Tensor> = trace.attn.iter().map(|&v| tape.value(v).clone()).collect();
+        let layers = RrpLayers {
+            x: tape.value(trace.x),
+            pred: tape.value(trace.pred),
+            ffn_out: tape.value(trace.ffn_out),
+            ffn_act: tape.value(trace.ffn_act),
+            ffn_pre: tape.value(trace.ffn_pre),
+            att: tape.value(trace.att),
+            head_out: &head_out,
+            attn: &attn_vals,
+            shifted: tape.value(trace.shifted),
+            conv: tape.value(trace.conv),
+            bank: tape.value(trace.bank),
+            w_out: store.value(weights.output_w),
+            b_out: store.value(biases.output_b),
+            w2: store.value(weights.ffn2_w),
+            b2: store.value(biases.ffn2_b),
+            w1: store.value(weights.ffn1_w),
+            b1: store.value(biases.ffn1_b),
+            w_o: store.value(weights.w_o),
+            with_bias: mode != DetectorMode::NoBias,
         };
+        layers.validate_shapes();
 
-        // Relevance pass.
-        let rel = if need_relevance {
-            Some(rrp::propagate(&layers, i))
-        } else {
-            None
-        };
+        let need_relevance = mode != DetectorMode::NoRelevance;
+        let need_gradient = mode != DetectorMode::NoGradient;
 
-        // Combine per Eq. 19 (or the ablated variants).
-        let mut attn_row = vec![0.0; n];
-        let mut kernel_i = Tensor::zeros(&[n, t]);
-        for j in 0..n {
-            let mut acc = 0.0;
-            for h in 0..heads {
-                let val = match mode {
-                    DetectorMode::NoRelevance => grad_attn[h].get2(i, j).abs(),
-                    DetectorMode::NoGradient => {
-                        rel.as_ref().expect("relevance computed").attn[h].get2(i, j)
-                    }
-                    _ => {
-                        grad_attn[h].get2(i, j).abs()
-                            * rel.as_ref().expect("relevance computed").attn[h].get2(i, j)
-                    }
-                };
-                acc += val.max(0.0); // the (·)⁺ rectifier
+        // Per-target passes are independent given the shared forward tape
+        // (`backward_with_seed` takes `&self`): fan the i-loop out across the
+        // pool, each target producing its own attention row and kernel matrix.
+        let per_target: Vec<(Vec<f64>, Tensor)> = cf_par::par_map(n, |i| {
+            // Gradient pass: seed the prediction with the target's row.
+            let (grad_attn, grad_bank) = if need_gradient {
+                let mut seed = Tensor::zeros(&[n, t]);
+                for tt in 0..t {
+                    seed.set2(i, tt, 1.0);
+                }
+                let mut grads = tape.backward_with_seed(trace.pred, seed);
+                let ga: Vec<Tensor> = trace
+                    .attn
+                    .iter()
+                    .map(|&a| grads.take(a).unwrap_or_else(|| Tensor::zeros(&[n, n])))
+                    .collect();
+                let gb = grads
+                    .take(trace.bank)
+                    .unwrap_or_else(|| Tensor::zeros(&[n, n, t]));
+                (ga, gb)
+            } else {
+                (Vec::new(), Tensor::zeros(&[n, n, t]))
+            };
+
+            // Relevance pass.
+            let rel = if need_relevance {
+                Some(rrp::propagate(&layers, i))
+            } else {
+                None
+            };
+
+            // Combine per Eq. 19 (or the ablated variants).
+            let mut attn_row = vec![0.0; n];
+            let mut kernel_i = Tensor::zeros(&[n, t]);
+            for j in 0..n {
+                let mut acc = 0.0;
+                for h in 0..heads {
+                    let val = match mode {
+                        DetectorMode::NoRelevance => grad_attn[h].get2(i, j).abs(),
+                        DetectorMode::NoGradient => {
+                            rel.as_ref().expect("relevance computed").attn[h].get2(i, j)
+                        }
+                        _ => {
+                            grad_attn[h].get2(i, j).abs()
+                                * rel.as_ref().expect("relevance computed").attn[h].get2(i, j)
+                        }
+                    };
+                    acc += val.max(0.0); // the (·)⁺ rectifier
+                }
+                attn_row[j] = acc / heads as f64;
+
+                for u in 0..t {
+                    let val = match mode {
+                        DetectorMode::NoRelevance => grad_bank.get3(j, i, u).abs(),
+                        DetectorMode::NoGradient => rel
+                            .as_ref()
+                            .expect("relevance computed")
+                            .kernel
+                            .get3(j, i, u),
+                        _ => {
+                            grad_bank.get3(j, i, u).abs()
+                                * rel
+                                    .as_ref()
+                                    .expect("relevance computed")
+                                    .kernel
+                                    .get3(j, i, u)
+                        }
+                    };
+                    let prev = kernel_i.get2(j, u);
+                    kernel_i.set2(j, u, prev + val.max(0.0));
+                }
             }
-            attn_row[j] = acc / heads as f64;
-
-            for u in 0..t {
-                let val = match mode {
-                    DetectorMode::NoRelevance => grad_bank.get3(j, i, u).abs(),
-                    DetectorMode::NoGradient => rel
-                        .as_ref()
-                        .expect("relevance computed")
-                        .kernel
-                        .get3(j, i, u),
-                    _ => {
-                        grad_bank.get3(j, i, u).abs()
-                            * rel
-                                .as_ref()
-                                .expect("relevance computed")
-                                .kernel
-                                .get3(j, i, u)
-                    }
-                };
-                let prev = kernel_i.get2(j, u);
-                kernel_i.set2(j, u, prev + val.max(0.0));
-            }
+            (attn_row, kernel_i)
+        });
+        for (i, (attn_row, kernel_i)) in per_target.into_iter().enumerate() {
+            scores.attn[i] = attn_row;
+            scores.kernel[i] = kernel_i;
         }
-        (attn_row, kernel_i)
-    });
-    for (i, (attn_row, kernel_i)) in per_target.into_iter().enumerate() {
-        scores.attn[i] = attn_row;
-        scores.kernel[i] = kernel_i;
-    }
-    scores
+        scores
+    })
 }
 
 /// Averages [`window_scores`] over up to `cfg.sample_windows` windows
@@ -326,21 +324,22 @@ pub fn permutation_scores<R: Rng + ?Sized>(
     // Per-series squared error of a forward pass, ignoring slot 0 (as the
     // training loss does).
     let per_series_err = |x: &Tensor, target_like: &Tensor| -> Vec<f64> {
-        let mut tape = Tape::new();
-        let bound = store.bind(&mut tape);
-        let trace = model.forward(&mut tape, &bound, x);
-        let pred = tape.value(trace.pred);
-        (0..n)
-            .map(|i| {
-                (1..t)
-                    .map(|tt| {
-                        let d = pred.get2(i, tt) - target_like.get2(i, tt);
-                        d * d
-                    })
-                    .sum::<f64>()
-                    / (t - 1) as f64
-            })
-            .collect()
+        with_pooled_tape(|tape| {
+            let bound = store.bind(tape);
+            let trace = model.forward(tape, &bound, x);
+            let pred = tape.value(trace.pred);
+            (0..n)
+                .map(|i| {
+                    (1..t)
+                        .map(|tt| {
+                            let d = pred.get2(i, tt) - target_like.get2(i, tt);
+                            d * d
+                        })
+                        .sum::<f64>()
+                        / (t - 1) as f64
+                })
+                .collect()
+        })
     };
 
     for w in windows {

@@ -34,7 +34,7 @@ use crate::persist;
 use cf_nn::{
     clip_global_norm, Adam, AdamState, EarlyStopper, Optimizer, ParamId, ParamStore, StopDecision,
 };
-use cf_tensor::{Tape, Tensor};
+use cf_tensor::{with_pooled_tape, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -404,24 +404,24 @@ fn fit_inner<Q: TrainRng>(
         for batch in order.chunks(train_config.batch_size) {
             step += 1;
             // Data-parallel step: each window runs forward + backward on a
-            // private tape; per-parameter gradients combine via the
-            // fixed-order tree reduction, so the loss/gradient trajectory is
-            // bitwise identical at any thread count (the reduction shape
-            // depends only on the batch size).
+            // persistent per-thread tape (reset between uses, retaining its
+            // node and buffer capacity); per-parameter gradients combine via
+            // the fixed-order tree reduction, so the loss/gradient
+            // trajectory is bitwise identical at any thread count (the
+            // reduction shape depends only on the batch size).
             let n_params = store.len();
             let per_window: Vec<(f64, Vec<Option<Tensor>>)> = cf_par::par_map(batch.len(), |bi| {
                 let w = &train_set[batch[bi]];
-                let mut tape = Tape::new();
-                let bound = store.bind(&mut tape);
-                let trace = model.forward(&mut tape, &bound, w);
-                let loss = model.prediction_loss(&mut tape, &trace, w);
-                let loss_val = tape.value(loss).item();
-                let grads = tape.backward(loss);
-                let mut gvec: Vec<Option<Tensor>> = vec![None; n_params];
-                for (id, g) in bound.gradients(&grads) {
-                    gvec[id.index()] = Some(g.clone());
-                }
-                (loss_val, gvec)
+                with_pooled_tape(|tape| {
+                    let bound = store.bind(tape);
+                    let trace = model.forward(tape, &bound, w);
+                    let loss = model.prediction_loss(tape, &trace, w);
+                    let loss_val = tape.value(loss).item();
+                    let mut grads = tape.backward(loss);
+                    let mut gvec: Vec<Option<Tensor>> = vec![None; n_params];
+                    bound.take_gradients(&mut grads, |id, g| gvec[id.index()] = Some(g));
+                    (loss_val, gvec)
+                })
             });
             let batch_len = per_window.len();
             let (loss_sum, mut grad_sum) = cf_par::tree_reduce(per_window, |mut a, b| {
@@ -440,15 +440,15 @@ fn fit_inner<Q: TrainRng>(
 
             // The sparsity penalty depends only on the parameters, not the
             // windows: evaluate it once per step on its own small tape.
-            let mut ptape = Tape::new();
-            let pbound = store.bind(&mut ptape);
-            let penalty = model.sparsity_penalty(&mut ptape, &pbound);
-            let penalty_val = ptape.value(penalty).item();
-            let pgrads = ptape.backward(penalty);
-            let mut pvec: Vec<Option<Tensor>> = vec![None; n_params];
-            for (id, g) in pbound.gradients(&pgrads) {
-                pvec[id.index()] = Some(g.clone());
-            }
+            let (penalty_val, mut pvec) = with_pooled_tape(|ptape| {
+                let pbound = store.bind(ptape);
+                let penalty = model.sparsity_penalty(ptape, &pbound);
+                let penalty_val = ptape.value(penalty).item();
+                let mut pgrads = ptape.backward(penalty);
+                let mut pvec: Vec<Option<Tensor>> = vec![None; n_params];
+                pbound.take_gradients(&mut pgrads, |id, g| pvec[id.index()] = Some(g));
+                (penalty_val, pvec)
+            });
 
             let inv = 1.0 / batch_len as f64;
             let mut pairs: Vec<(ParamId, Tensor)> = Vec::with_capacity(n_params);
@@ -529,6 +529,11 @@ fn fit_inner<Q: TrainRng>(
                     epoch_secs,
                 );
                 if cf_obs::sink::is_installed() {
+                    // Fold the buffer pool's allocator counters into the
+                    // registry so the epoch record's eventual summary (and
+                    // any `--metrics-out` dump) carries mem.* alongside the
+                    // par.* and span counters.
+                    cf_tensor::pool::publish_obs();
                     cf_obs::sink::emit(
                         &cf_obs::json::Obj::new()
                             .str("event", "epoch")
@@ -863,11 +868,12 @@ pub fn evaluate(model: &CausalityAwareTransformer, store: &ParamStore, windows: 
     // Per-window losses in parallel, combined with the fixed-order tree
     // reduction: the same value at any thread count.
     let losses = cf_par::par_map(windows.len(), |i| {
-        let mut tape = Tape::new();
-        let bound = store.bind(&mut tape);
-        let trace = model.forward(&mut tape, &bound, &windows[i]);
-        let loss = model.prediction_loss(&mut tape, &trace, &windows[i]);
-        tape.value(loss).item()
+        with_pooled_tape(|tape| {
+            let bound = store.bind(tape);
+            let trace = model.forward(tape, &bound, &windows[i]);
+            let loss = model.prediction_loss(tape, &trace, &windows[i]);
+            tape.value(loss).item()
+        })
     });
     let total = cf_par::tree_reduce(losses, |a, b| a + b).expect("non-empty windows");
     total / windows.len() as f64

@@ -128,11 +128,12 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, store: &mut ParamStore, bound: &BoundParams, grads: &Gradients) {
-        let pairs: Vec<(ParamId, Tensor)> = bound
-            .gradients(grads)
-            .map(|(id, g)| (id, g.clone()))
-            .collect();
-        self.step_pairs(store, &pairs);
+        // Updates read the gradients in place — same visiting order as
+        // `step_pairs`, without cloning each tensor first.
+        self.t += 1;
+        for (id, g) in bound.gradients(grads) {
+            self.update_one(store, id, g);
+        }
     }
 
     fn step_pairs(&mut self, store: &mut ParamStore, pairs: &[(ParamId, Tensor)]) {
@@ -168,32 +169,37 @@ impl Sgd {
     }
 }
 
+impl Sgd {
+    fn update_one(&mut self, store: &mut ParamStore, id: ParamId, g: &Tensor) {
+        let idx = id.index();
+        if self.velocity.len() <= idx {
+            self.velocity.resize(idx + 1, None);
+        }
+        let value = store.value_mut(id);
+        if self.momentum > 0.0 {
+            let vel = self.velocity[idx].get_or_insert_with(|| Tensor::zeros(g.shape()));
+            for i in 0..g.len() {
+                let v = self.momentum * vel.data()[i] + g.data()[i];
+                vel.data_mut()[i] = v;
+                value.data_mut()[i] -= self.lr * v;
+            }
+        } else {
+            value.axpy(-self.lr, g);
+        }
+    }
+}
+
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore, bound: &BoundParams, grads: &Gradients) {
-        let pairs: Vec<(ParamId, Tensor)> = bound
-            .gradients(grads)
-            .map(|(id, g)| (id, g.clone()))
-            .collect();
-        self.step_pairs(store, &pairs);
+        // As with Adam: visit gradients by reference, no per-step clones.
+        for (id, g) in bound.gradients(grads) {
+            self.update_one(store, id, g);
+        }
     }
 
     fn step_pairs(&mut self, store: &mut ParamStore, pairs: &[(ParamId, Tensor)]) {
         for (id, g) in pairs {
-            let idx = id.index();
-            if self.velocity.len() <= idx {
-                self.velocity.resize(idx + 1, None);
-            }
-            let value = store.value_mut(*id);
-            if self.momentum > 0.0 {
-                let vel = self.velocity[idx].get_or_insert_with(|| Tensor::zeros(g.shape()));
-                for i in 0..g.len() {
-                    let v = self.momentum * vel.data()[i] + g.data()[i];
-                    vel.data_mut()[i] = v;
-                    value.data_mut()[i] -= self.lr * v;
-                }
-            } else {
-                value.axpy(-self.lr, g);
-            }
+            self.update_one(store, *id, g);
         }
     }
 }

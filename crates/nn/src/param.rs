@@ -147,6 +147,18 @@ impl BoundParams {
             .enumerate()
             .filter_map(move |(i, &v)| grads.get(v).map(|g| (ParamId(i), g)))
     }
+
+    /// Moves every bound parameter's gradient out of `grads` into `sink` —
+    /// the ownership counterpart of [`BoundParams::gradients`] for callers
+    /// that would otherwise clone each tensor (the trainer ships per-window
+    /// gradients to its reducer; moving keeps the buffers pooled).
+    pub fn take_gradients(&self, grads: &mut Gradients, mut sink: impl FnMut(ParamId, Tensor)) {
+        for (i, &v) in self.vars.iter().enumerate() {
+            if let Some(g) = grads.take(v) {
+                sink(ParamId(i), g);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

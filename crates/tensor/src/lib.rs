@@ -45,6 +45,7 @@
 mod error;
 mod init;
 pub mod ops;
+pub mod pool;
 pub mod rngstate;
 mod tape;
 mod tensor;
@@ -52,5 +53,5 @@ mod tensor;
 pub use error::TensorError;
 pub use init::{he_normal, uniform, xavier_uniform};
 pub use rngstate::{capture_rng, restore_rng};
-pub use tape::{Gradients, Op, Tape, VarId};
+pub use tape::{with_pooled_tape, Gradients, Op, Tape, VarId};
 pub use tensor::Tensor;

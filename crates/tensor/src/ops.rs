@@ -76,6 +76,21 @@ pub fn causal_conv(x: &Tensor, kernel: &Tensor) -> Tensor {
 pub fn causal_conv_backward_kernel(x: &Tensor, grad_out: &Tensor) -> Tensor {
     let (n, t_len) = dims_2(x, "causal_conv_backward_kernel x");
     let mut grad_k = Tensor::zeros(&[n, n, t_len]);
+    causal_conv_backward_kernel_into(x, grad_out, &mut grad_k);
+    grad_k
+}
+
+/// In-place form of [`causal_conv_backward_kernel`]: writes the gradient
+/// into `grad_k`, which the caller provides freshly zeroed (typically a
+/// pooled buffer). Identical arithmetic and ordering to the allocating
+/// form, so results are bitwise equal.
+pub fn causal_conv_backward_kernel_into(x: &Tensor, grad_out: &Tensor, grad_k: &mut Tensor) {
+    let (n, t_len) = dims_2(x, "causal_conv_backward_kernel x");
+    assert_eq!(
+        grad_k.shape(),
+        &[n, n, t_len],
+        "causal_conv_backward_kernel_into output shape"
+    );
     // Same per-i slab decomposition as the forward pass: grad_k[i,·,·]
     // depends only on x.row(i) and grad_out[i,·,·].
     let slab_len = n * t_len;
@@ -104,13 +119,26 @@ pub fn causal_conv_backward_kernel(x: &Tensor, grad_out: &Tensor) -> Tensor {
     } else {
         cf_par::par_chunks_mut(grad_k.data_mut(), slab_len, slab);
     }
-    grad_k
 }
 
 /// Gradient of [`causal_conv`] with respect to the input window.
 pub fn causal_conv_backward_x(kernel: &Tensor, grad_out: &Tensor) -> Tensor {
     let (n, _, t_len) = dims_3(kernel, "causal_conv_backward_x kernel");
     let mut grad_x = Tensor::zeros(&[n, t_len]);
+    causal_conv_backward_x_into(kernel, grad_out, &mut grad_x);
+    grad_x
+}
+
+/// In-place form of [`causal_conv_backward_x`]: accumulates into a
+/// caller-provided freshly zeroed `grad_x` (bitwise identical to the
+/// allocating form).
+pub fn causal_conv_backward_x_into(kernel: &Tensor, grad_out: &Tensor, grad_x: &mut Tensor) {
+    let (n, _, t_len) = dims_3(kernel, "causal_conv_backward_x kernel");
+    assert_eq!(
+        grad_x.shape(),
+        &[n, t_len],
+        "causal_conv_backward_x_into output shape"
+    );
     // Row-parallel over i: grad_x.row(i) depends only on kernel[i,·,·] and
     // grad_out[i,·,·], so rows are disjoint work units.
     let slab_len = n * t_len;
@@ -140,7 +168,6 @@ pub fn causal_conv_backward_x(kernel: &Tensor, grad_out: &Tensor) -> Tensor {
     } else {
         cf_par::par_chunks_mut(grad_x.data_mut(), t_len, row);
     }
-    grad_x
 }
 
 /// Self-causation shift (paper Eq. 4).
@@ -211,8 +238,22 @@ pub fn attn_apply(attn: &Tensor, v: &Tensor) -> Tensor {
 
 /// Gradient of [`attn_apply`] with respect to the attention matrix.
 pub fn attn_apply_backward_attn(v: &Tensor, grad_out: &Tensor) -> Tensor {
-    let (n, _, t_len) = dims_3(v, "attn_apply_backward_attn v");
+    let (n, _, _) = dims_3(v, "attn_apply_backward_attn v");
     let mut grad_a = Tensor::zeros(&[n, n]);
+    attn_apply_backward_attn_into(v, grad_out, &mut grad_a);
+    grad_a
+}
+
+/// In-place form of [`attn_apply_backward_attn`]: writes into a
+/// caller-provided freshly zeroed `grad_a` (bitwise identical to the
+/// allocating form — every cell is overwritten).
+pub fn attn_apply_backward_attn_into(v: &Tensor, grad_out: &Tensor, grad_a: &mut Tensor) {
+    let (n, _, t_len) = dims_3(v, "attn_apply_backward_attn v");
+    assert_eq!(
+        grad_a.shape(),
+        &[n, n],
+        "attn_apply_backward_attn_into output shape"
+    );
     for i in 0..n {
         for j in 0..n {
             let mut acc = 0.0;
@@ -222,7 +263,6 @@ pub fn attn_apply_backward_attn(v: &Tensor, grad_out: &Tensor) -> Tensor {
             grad_a.set2(i, j, acc);
         }
     }
-    grad_a
 }
 
 /// Gradient of [`attn_apply`] with respect to the value tensor.
@@ -230,6 +270,21 @@ pub fn attn_apply_backward_v(attn: &Tensor, grad_out: &Tensor) -> Tensor {
     let (n, _) = dims_2(attn, "attn_apply_backward_v attn");
     let t_len = grad_out.shape()[1];
     let mut grad_v = Tensor::zeros(&[n, n, t_len]);
+    attn_apply_backward_v_into(attn, grad_out, &mut grad_v);
+    grad_v
+}
+
+/// In-place form of [`attn_apply_backward_v`]: accumulates into a
+/// caller-provided freshly zeroed `grad_v` (bitwise identical to the
+/// allocating form).
+pub fn attn_apply_backward_v_into(attn: &Tensor, grad_out: &Tensor, grad_v: &mut Tensor) {
+    let (n, _) = dims_2(attn, "attn_apply_backward_v attn");
+    let t_len = grad_out.shape()[1];
+    assert_eq!(
+        grad_v.shape(),
+        &[n, n, t_len],
+        "attn_apply_backward_v_into output shape"
+    );
     for i in 0..n {
         for j in 0..n {
             let a = attn.get2(i, j);
@@ -238,7 +293,6 @@ pub fn attn_apply_backward_v(attn: &Tensor, grad_out: &Tensor) -> Tensor {
             }
         }
     }
-    grad_v
 }
 
 fn dims_2(t: &Tensor, what: &str) -> (usize, usize) {

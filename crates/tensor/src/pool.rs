@@ -1,0 +1,382 @@
+//! Size-class buffer pool backing [`Tensor`](crate::Tensor) storage.
+//!
+//! Training re-records an identical-topology tape every window of every
+//! epoch, so the same buffer sizes are requested over and over. This pool
+//! turns those requests into free-list pops: buffers are binned by
+//! power-of-two *element* capacity, recycled on drop, and handed back out to
+//! the next same-class request. After one warm-up epoch the steady-state
+//! training step performs zero heap allocations for tensor storage.
+//!
+//! Architecture:
+//!
+//! * **Thread-local free lists** (one array of buckets per thread). The
+//!   overwhelming majority of traffic — tape intermediates created during
+//!   forward/backward and recycled at [`Tape::reset`](crate::Tape::reset) —
+//!   stays on the worker thread that allocated it and never touches a lock.
+//! * **A global overflow list** behind a mutex. Gradient tensors are born on
+//!   cf-par worker threads but dropped on the main thread (tree-reduce and
+//!   the optimizer step run there). Each buffer carries the id of its *home*
+//!   thread; dropping on a foreign thread routes the buffer to the global
+//!   list, where the original worker finds it again on its next request.
+//!   Without this, worker pools would drain by a few buffers per step while
+//!   the main thread hoarded them — steady-state misses forever.
+//!
+//! Size classes guarantee correctness by construction: a recycled buffer
+//! lands in the bucket `floor(log2(capacity))`, a request for `n` elements
+//! pops from bucket `ceil(log2(n))`, so any buffer found there has
+//! `capacity ≥ 2^ceil(log2(n)) ≥ n`.
+//!
+//! The pool changes *where bytes live, never what they hold*: buffers are
+//! handed out logically empty (`len == 0`) and callers fully initialise them
+//! before use, so numeric results are bitwise identical with the pool on or
+//! off (`CF_POOL=off` disables reuse for A/B testing).
+//!
+//! Counters are module-level relaxed atomics — a registry lookup per
+//! allocation would dwarf the allocation itself — and are published into
+//! the `cf-obs` metrics registry in one batch by [`publish_obs`].
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Buckets cover capacities up to 2^31 elements (16 GiB of f64) — far above
+/// any CausalFormer workload; larger requests bypass the pool entirely.
+const NUM_CLASSES: usize = 32;
+
+/// Per-thread, per-class retention: a class always keeps up to
+/// [`LOCAL_RETAIN`] buffers, and beyond that keeps growing while its total
+/// footprint stays under [`LOCAL_RETAIN_BYTES`]. The byte budget matters for
+/// small classes — a cLSTM BPTT tape holds tens of thousands of gate-sized
+/// buffers of one class, far past any sane count cap, yet only a few MiB;
+/// capping by count alone frees them at every tape reset and the next epoch
+/// misses its way through the global mutex again.
+const LOCAL_RETAIN: usize = 512;
+const LOCAL_RETAIN_BYTES: usize = 8 << 20;
+
+/// Global-list retention, same shape as the local policy. Beyond both caps,
+/// buffers are genuinely freed — the backstop that bounds pool memory on
+/// pathological workloads.
+const GLOBAL_RETAIN: usize = 4096;
+const GLOBAL_RETAIN_BYTES: usize = 32 << 20;
+
+/// Whether a class holding `len` buffers may retain one more. `class` is
+/// the log2 capacity, so the byte footprint after the push is
+/// `(len + 1) << class` elements × 8 bytes.
+#[inline]
+fn may_retain(len: usize, class: usize, count_cap: usize, byte_cap: usize) -> bool {
+    len < count_cap || (class < usize::BITS as usize - 4 && ((len + 1) << class) * 8 <= byte_cap)
+}
+
+static HIT: AtomicU64 = AtomicU64::new(0);
+static MISS: AtomicU64 = AtomicU64::new(0);
+static ALLOC: AtomicU64 = AtomicU64::new(0);
+/// Bytes held by live pooled buffers (checked out or external, not yet
+/// recycled). Signed: external buffers can be recycled without a grab.
+static OUTSTANDING: AtomicI64 = AtomicI64::new(0);
+
+/// `false` turns the pool into a pass-through (fresh alloc per grab, free
+/// per recycle). Numerics are identical either way — only allocator traffic
+/// changes — which is exactly what the pooled-vs-unpooled tests assert.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static ENV_CHECKED: AtomicBool = AtomicBool::new(false);
+
+static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(1);
+
+/// Per-thread pool state: the thread's stable id and its free lists live in
+/// one thread-local so the hot path pays a single TLS lookup, not two.
+struct ThreadPool {
+    id: Cell<u32>,
+    lists: RefCell<[Vec<Vec<f64>>; NUM_CLASSES]>,
+}
+
+thread_local! {
+    static LOCAL: ThreadPool = ThreadPool {
+        id: const { Cell::new(0) },
+        lists: RefCell::new(std::array::from_fn(|_| Vec::new())),
+    };
+}
+
+impl ThreadPool {
+    #[inline]
+    fn id(&self) -> u32 {
+        let v = self.id.get();
+        if v != 0 {
+            v
+        } else {
+            let v = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            self.id.set(v);
+            v
+        }
+    }
+}
+
+fn global() -> &'static Mutex<Vec<Vec<Vec<f64>>>> {
+    static GLOBAL: OnceLock<Mutex<Vec<Vec<Vec<f64>>>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new((0..NUM_CLASSES).map(|_| Vec::new()).collect()))
+}
+
+/// Stable id of the calling thread (assigned on first use, never 0).
+#[inline]
+pub(crate) fn thread_id() -> u32 {
+    LOCAL.with(|t| t.id())
+}
+
+/// Smallest class whose buffers can serve a request for `n` elements.
+#[inline]
+fn class_for_request(n: usize) -> usize {
+    debug_assert!(n > 0);
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+/// Class a buffer of `capacity` belongs to when recycled.
+#[inline]
+fn class_for_capacity(capacity: usize) -> usize {
+    debug_assert!(capacity > 0);
+    (usize::BITS - 1 - capacity.leading_zeros()) as usize
+}
+
+#[inline]
+fn enabled() -> bool {
+    if !ENV_CHECKED.load(Ordering::Relaxed) {
+        ENV_CHECKED.store(true, Ordering::Relaxed);
+        if matches!(
+            std::env::var("CF_POOL").as_deref(),
+            Ok("off") | Ok("0") | Ok("false")
+        ) {
+            ENABLED.store(false, Ordering::Relaxed);
+        }
+    }
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables buffer reuse at runtime (tests; `CF_POOL=off` is the
+/// env-var equivalent). Disabling never affects numeric results.
+pub fn set_enabled(on: bool) {
+    ENV_CHECKED.store(true, Ordering::Relaxed);
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Hands out a buffer with `capacity ≥ n` and `len == 0`, plus the home
+/// thread id to pass back to [`recycle`]. The caller must fully initialise
+/// the first `n` elements before reading them.
+pub(crate) fn grab(n: usize) -> (Vec<f64>, u32) {
+    if n == 0 {
+        return (Vec::new(), thread_id());
+    }
+    let class = class_for_request(n);
+    if class < NUM_CLASSES && enabled() {
+        let (local, home) = LOCAL.with(|t| (t.lists.borrow_mut()[class].pop(), t.id()));
+        if let Some(buf) = local {
+            HIT.fetch_add(1, Ordering::Relaxed);
+            OUTSTANDING.fetch_add((buf.capacity() * 8) as i64, Ordering::Relaxed);
+            return (buf, home);
+        }
+        let global = global().lock().expect("pool mutex poisoned")[class].pop();
+        if let Some(buf) = global {
+            HIT.fetch_add(1, Ordering::Relaxed);
+            OUTSTANDING.fetch_add((buf.capacity() * 8) as i64, Ordering::Relaxed);
+            return (buf, home);
+        }
+        MISS.fetch_add(1, Ordering::Relaxed);
+    }
+    let home = thread_id();
+    ALLOC.fetch_add(1, Ordering::Relaxed);
+    // Allocate the full class size so the buffer round-trips through its
+    // bucket stably instead of shrinking a class on each recycle.
+    let cap = if class < NUM_CLASSES {
+        1usize << class
+    } else {
+        n
+    };
+    OUTSTANDING.fetch_add((cap * 8) as i64, Ordering::Relaxed);
+    (Vec::with_capacity(cap), home)
+}
+
+/// Records a buffer allocated outside the pool (e.g. `Tensor::from_vec`
+/// with caller-built data) entering circulation.
+pub(crate) fn note_external(capacity: usize) {
+    if capacity > 0 {
+        ALLOC.fetch_add(1, Ordering::Relaxed);
+        OUTSTANDING.fetch_add((capacity * 8) as i64, Ordering::Relaxed);
+    }
+}
+
+/// Records a pooled buffer leaving circulation without being recycled
+/// (e.g. `Tensor::into_data` handing the raw `Vec` to the caller).
+pub(crate) fn forget(capacity: usize) {
+    if capacity > 0 {
+        OUTSTANDING.fetch_sub((capacity * 8) as i64, Ordering::Relaxed);
+    }
+}
+
+/// Returns a buffer to the pool. `home` is the thread id the buffer was
+/// handed out on: recycling on that thread goes to its lock-free local
+/// list, recycling anywhere else routes through the global overflow list so
+/// cross-thread migration (worker-allocated gradients dropped on the main
+/// thread) flows back to the workers.
+pub(crate) fn recycle(mut buf: Vec<f64>, home: u32) {
+    let cap = buf.capacity();
+    if cap == 0 {
+        return;
+    }
+    OUTSTANDING.fetch_sub((cap * 8) as i64, Ordering::Relaxed);
+    if !enabled() {
+        return; // dropped
+    }
+    let class = class_for_capacity(cap);
+    if class >= NUM_CLASSES {
+        return;
+    }
+    buf.clear();
+    let kept = LOCAL.with(|t| {
+        if home != t.id() {
+            return false;
+        }
+        let mut l = t.lists.borrow_mut();
+        if may_retain(l[class].len(), class, LOCAL_RETAIN, LOCAL_RETAIN_BYTES) {
+            l[class].push(std::mem::take(&mut buf));
+            true
+        } else {
+            false
+        }
+    });
+    if kept {
+        return;
+    }
+    let mut g = global().lock().expect("pool mutex poisoned");
+    if may_retain(g[class].len(), class, GLOBAL_RETAIN, GLOBAL_RETAIN_BYTES) {
+        g[class].push(buf);
+    }
+}
+
+/// A point-in-time snapshot of the pool counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served from a free list.
+    pub hit: u64,
+    /// Requests that found both free lists empty.
+    pub miss: u64,
+    /// Fresh heap allocations (pool misses plus external buffers adopted
+    /// by tensors). Zero deltas here are the "allocation-free" proof.
+    pub alloc: u64,
+    /// Bytes currently held by live pooled buffers.
+    pub bytes_outstanding: i64,
+}
+
+/// Reads the current counter values.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        hit: HIT.load(Ordering::Relaxed),
+        miss: MISS.load(Ordering::Relaxed),
+        alloc: ALLOC.load(Ordering::Relaxed),
+        bytes_outstanding: OUTSTANDING.load(Ordering::Relaxed),
+    }
+}
+
+/// Publishes the pool counters into the `cf-obs` metrics registry as
+/// `mem.pool.{hit,miss,bytes_outstanding}` and `mem.alloc.count`, so they
+/// appear in `--metrics-out` JSONL summaries. Counters are forwarded as
+/// deltas since the previous publish (the registry may be reset between
+/// runs); the gauge is forwarded absolute.
+pub fn publish_obs() {
+    static LAST_HIT: AtomicU64 = AtomicU64::new(0);
+    static LAST_MISS: AtomicU64 = AtomicU64::new(0);
+    static LAST_ALLOC: AtomicU64 = AtomicU64::new(0);
+    let s = stats();
+    let delta = |last: &AtomicU64, now: u64| now.saturating_sub(last.swap(now, Ordering::Relaxed));
+    cf_obs::metrics::counter("mem.pool.hit").add(delta(&LAST_HIT, s.hit));
+    cf_obs::metrics::counter("mem.pool.miss").add(delta(&LAST_MISS, s.miss));
+    cf_obs::metrics::counter("mem.alloc.count").add(delta(&LAST_ALLOC, s.alloc));
+    cf_obs::metrics::gauge("mem.pool.bytes_outstanding").set(s.bytes_outstanding as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_classes_round_up_and_capacity_classes_round_down() {
+        assert_eq!(class_for_request(1), 0);
+        assert_eq!(class_for_request(2), 1);
+        assert_eq!(class_for_request(3), 2);
+        assert_eq!(class_for_request(4), 2);
+        assert_eq!(class_for_request(5), 3);
+        assert_eq!(class_for_capacity(1), 0);
+        assert_eq!(class_for_capacity(3), 1);
+        assert_eq!(class_for_capacity(4), 2);
+        assert_eq!(class_for_capacity(7), 2);
+        assert_eq!(class_for_capacity(8), 3);
+        // The invariant that makes reuse sound: any buffer recycled into the
+        // bucket grab() pops from has sufficient capacity.
+        for n in 1..200usize {
+            for cap in n..400usize {
+                if class_for_capacity(cap) == class_for_request(n) {
+                    assert!(cap >= n, "cap {cap} < request {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grab_after_recycle_reuses_the_same_buffer() {
+        // Use an unusual size so concurrently running tests cannot race this
+        // thread-local bucket. Pointer identity proves reuse.
+        let n = 12_345;
+        let (buf, home) = grab(n);
+        let ptr = buf.as_ptr();
+        recycle(buf, home);
+        let (again, home2) = grab(n);
+        assert_eq!(again.as_ptr(), ptr, "recycled buffer was not reused");
+        assert!(again.capacity() >= n);
+        assert_eq!(again.len(), 0, "pooled buffers must come back empty");
+        recycle(again, home2);
+    }
+
+    #[test]
+    fn size_class_rounding_shares_buffers_within_a_class() {
+        // 9000 and 12000 both round up to the 16384-element class.
+        let (buf, home) = grab(9_000);
+        let ptr = buf.as_ptr();
+        assert_eq!(buf.capacity(), 16_384);
+        recycle(buf, home);
+        let (again, home2) = grab(12_000);
+        assert_eq!(again.as_ptr(), ptr);
+        recycle(again, home2);
+    }
+
+    #[test]
+    fn cross_thread_recycle_returns_via_the_global_list() {
+        // Born on a spawned thread, dropped here: the buffer must flow
+        // through the global overflow list back to a foreign grab.
+        let n = 23_456;
+        let (buf, home) = std::thread::spawn(move || grab(n)).join().unwrap();
+        let ptr = buf.as_ptr();
+        // This thread is not `home`, so recycle routes to the global list …
+        recycle(buf, home);
+        // … where a fresh thread (empty locals) finds it.
+        let ptr = ptr as usize;
+        let found = std::thread::spawn(move || {
+            let (again, home2) = grab(n);
+            let same = again.as_ptr() as usize == ptr;
+            recycle(again, home2);
+            same
+        })
+        .join()
+        .unwrap();
+        assert!(found, "cross-thread recycle did not reach the global list");
+    }
+
+    #[test]
+    fn miss_counter_moves_only_on_cold_requests() {
+        let n = 54_321; // unusual class, private to this test's thread
+        let before = stats();
+        let (buf, home) = grab(n);
+        let mid = stats();
+        assert!(mid.alloc > before.alloc);
+        recycle(buf, home);
+        let (buf, home) = grab(n);
+        recycle(buf, home);
+        let after = stats();
+        assert!(after.hit > mid.hit, "warm grab must count as a hit");
+    }
+}

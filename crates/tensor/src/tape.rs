@@ -11,16 +11,23 @@
 //!   that can be located, read, and finite-difference-tested. This is what
 //!   lets the CausalFormer detector trust the `∇f` terms it feeds into
 //!   gradient modulation (paper Eq. 19).
-//! * **Tapes are rebuilt per step.** Parameters live outside the tape (in
-//!   `cf-nn`'s parameter store); a training step copies them in as leaves,
-//!   runs forward, calls [`Tape::backward`], and reads gradients out. At
-//!   CausalFormer problem sizes this copying is noise.
+//! * **Tapes are re-recorded per step, but reused.** Parameters live outside
+//!   the tape (in `cf-nn`'s parameter store); a training step copies them in
+//!   as leaves, runs forward, calls [`Tape::backward`], and reads gradients
+//!   out. Since every step re-records the same topology, steady-state
+//!   callers hold a persistent tape and call [`Tape::reset`] between steps
+//!   (or use [`with_pooled_tape`], which keeps one tape per thread): node
+//!   storage capacity is retained, tensor buffers recycle through the
+//!   size-class pool, and backward draws its gradient scratch from a
+//!   per-thread free list — after one warm-up pass a step performs no heap
+//!   allocation.
 //! * **`requires_grad` pruning.** Constant leaves (input data, masks) are
 //!   marked as not requiring gradients; backward skips whole subtrees that
 //!   cannot reach a parameter.
 
 use crate::ops;
 use crate::Tensor;
+use std::cell::RefCell;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -175,7 +182,41 @@ struct Node {
     requires_grad: bool,
 }
 
+thread_local! {
+    /// Spare gradient-scratch vectors, one free list per thread. `backward`
+    /// is `&self` and the detector calls it concurrently on a shared tape
+    /// from several workers, so the scratch cannot live in the tape itself.
+    static GRAD_SCRATCH: RefCell<Vec<Vec<Option<Tensor>>>> = const { RefCell::new(Vec::new()) };
+
+    /// Idle tapes for [`with_pooled_tape`], a stack per thread so nested
+    /// uses each get their own tape.
+    static TAPE_POOL: RefCell<Vec<Tape>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Upper bound on spare scratch vectors retained per thread; beyond this
+/// they are genuinely freed.
+const GRAD_SCRATCH_RETAIN: usize = 8;
+
+/// Runs `f` with a tape drawn from this thread's tape pool, resetting and
+/// returning it afterwards. cf-par workers are long-lived, so a training
+/// loop that builds one tape per window through this helper re-records onto
+/// the same node storage every step instead of growing a fresh `Tape::new()`
+/// each time. Nested calls work (the pool is a stack); the tape is handed
+/// over empty, exactly like `Tape::new()`.
+pub fn with_pooled_tape<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
+    let mut tape = TAPE_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    tape.reset();
+    let out = f(&mut tape);
+    tape.reset();
+    TAPE_POOL.with(|p| p.borrow_mut().push(tape));
+    out
+}
+
 /// Gradients produced by [`Tape::backward`], indexed by [`VarId`].
+///
+/// The backing scratch vector is pooled: dropping a `Gradients` recycles
+/// the contained tensors through the buffer pool and parks the (emptied)
+/// vector on a per-thread free list for the next backward pass.
 pub struct Gradients {
     grads: Vec<Option<Tensor>>,
 }
@@ -187,11 +228,33 @@ impl Gradients {
         self.grads.get(id.0).and_then(|g| g.as_ref())
     }
 
+    /// Moves the gradient at `id` out, leaving `None` behind. The ownership
+    /// counterpart of [`Gradients::get`] for callers that would otherwise
+    /// clone (the trainer ships per-window gradients to the reducer).
+    pub fn take(&mut self, id: VarId) -> Option<Tensor> {
+        self.grads.get_mut(id.0).and_then(|g| g.take())
+    }
+
     /// Like [`Gradients::get`] but panics with context when absent — for
     /// parameters that must always receive a gradient.
     pub fn expect(&self, id: VarId, what: &str) -> &Tensor {
         self.get(id)
             .unwrap_or_else(|| panic!("no gradient for {what} (VarId {})", id.0))
+    }
+}
+
+impl Drop for Gradients {
+    fn drop(&mut self) {
+        let mut scratch = std::mem::take(&mut self.grads);
+        // Dropping remaining tensors recycles their buffers; the emptied
+        // shell returns to this thread's scratch list.
+        scratch.clear();
+        GRAD_SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.len() < GRAD_SCRATCH_RETAIN {
+                s.push(scratch);
+            }
+        });
     }
 }
 
@@ -205,6 +268,14 @@ impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clears all recorded nodes while retaining the node storage capacity,
+    /// returning the tape to the `Tape::new()` state for re-recording.
+    /// Dropped node values (and `MulConst` payloads) recycle their buffers
+    /// through the pool, so the next recording re-uses them.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
     }
 
     /// Number of nodes recorded so far.
@@ -554,7 +625,13 @@ impl Tape {
             seed.shape(),
             "seed shape must match root value shape"
         );
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        // Gradient scratch comes from the per-thread free list (warm after
+        // the first backward on each thread) instead of `vec![None; n]`.
+        let mut grads = GRAD_SCRATCH
+            .with(|s| s.borrow_mut().pop())
+            .unwrap_or_default();
+        grads.clear();
+        grads.resize_with(self.nodes.len(), || None);
         if !self.rg(root) {
             return Gradients { grads };
         }
@@ -620,6 +697,31 @@ impl Tape {
         }
     }
 
+    /// Accumulates a contribution produced by writing *in place* into a
+    /// freshly zeroed pooled buffer of `shape`. An empty slot receives the
+    /// filled buffer directly; an occupied slot gets a pooled temporary
+    /// then a single `add_assign` — computing into zeros and adding
+    /// afterwards preserves the exact rounding of the allocate-then-
+    /// accumulate path, so results stay bitwise identical while no path
+    /// allocates once the pool is warm.
+    fn accumulate_into(
+        &self,
+        grads: &mut [Option<Tensor>],
+        id: VarId,
+        shape: &[usize],
+        fill: impl FnOnce(&mut Tensor),
+    ) {
+        if !self.rg(id) {
+            return;
+        }
+        let mut contribution = Tensor::zeros(shape);
+        fill(&mut contribution);
+        match &mut grads[id.0] {
+            Some(existing) => existing.add_assign(&contribution),
+            slot @ None => *slot = Some(contribution),
+        }
+    }
+
     fn propagate(&self, op: &Op, g: &Tensor, idx: usize, grads: &mut [Option<Tensor>]) {
         match op {
             Op::Leaf => {}
@@ -675,37 +777,38 @@ impl Tape {
             }
             Op::Scale(a, alpha) => self.accumulate_scaled(grads, *a, *alpha, g),
             Op::MatMul(a, b) => {
-                // y = a·b : da = g·bᵀ, db = aᵀ·g
-                if self.rg(*a) {
-                    self.accumulate(grads, *a, g.matmul_nt(self.value(*b)));
-                }
-                if self.rg(*b) {
-                    self.accumulate(grads, *b, self.value(*a).matmul_tn(g));
-                }
+                // y = a·b : da = g·bᵀ, db = aᵀ·g — each written in place
+                // into a pooled zeroed buffer of the parent's shape.
+                self.accumulate_into(grads, *a, self.value(*a).shape(), |da| {
+                    g.matmul_nt_into(self.value(*b), da)
+                });
+                self.accumulate_into(grads, *b, self.value(*b).shape(), |db| {
+                    self.value(*a).matmul_tn_into(g, db)
+                });
             }
             Op::MatMulNT(a, b) => {
                 // y = a·bᵀ : da = g·b, db = gᵀ·a
-                if self.rg(*a) {
-                    self.accumulate(grads, *a, g.matmul(self.value(*b)));
-                }
-                if self.rg(*b) {
-                    self.accumulate(grads, *b, g.matmul_tn(self.value(*a)));
-                }
+                self.accumulate_into(grads, *a, self.value(*a).shape(), |da| {
+                    g.matmul_into(self.value(*b), da)
+                });
+                self.accumulate_into(grads, *b, self.value(*b).shape(), |db| {
+                    g.matmul_tn_into(self.value(*a), db)
+                });
             }
             Op::SoftmaxRows(a) => {
                 // ds = (g − Σ_j g·s per row) ⊙ s
                 let s = &self.nodes[idx].value;
                 let (r, c) = (s.shape()[0], s.shape()[1]);
-                let mut out = Tensor::zeros(&[r, c]);
-                for i in 0..r {
-                    let srow = s.row(i);
-                    let grow = g.row(i);
-                    let dot: f64 = srow.iter().zip(grow).map(|(&sv, &gv)| sv * gv).sum();
-                    for j in 0..c {
-                        out.set2(i, j, (grow[j] - dot) * srow[j]);
+                self.accumulate_into(grads, *a, &[r, c], |out| {
+                    for i in 0..r {
+                        let srow = s.row(i);
+                        let grow = g.row(i);
+                        let dot: f64 = srow.iter().zip(grow).map(|(&sv, &gv)| sv * gv).sum();
+                        for j in 0..c {
+                            out.set2(i, j, (grow[j] - dot) * srow[j]);
+                        }
                     }
-                }
-                self.accumulate(grads, *a, out);
+                });
             }
             Op::LeakyRelu(a, slope) => {
                 let x = self.value(*a);
@@ -751,20 +854,12 @@ impl Tape {
                 }
             }
             Op::CausalConv { x, kernel } => {
-                if self.rg(*x) {
-                    self.accumulate(
-                        grads,
-                        *x,
-                        ops::causal_conv_backward_x(self.value(*kernel), g),
-                    );
-                }
-                if self.rg(*kernel) {
-                    self.accumulate(
-                        grads,
-                        *kernel,
-                        ops::causal_conv_backward_kernel(self.value(*x), g),
-                    );
-                }
+                self.accumulate_into(grads, *x, self.value(*x).shape(), |gx| {
+                    ops::causal_conv_backward_x_into(self.value(*kernel), g, gx)
+                });
+                self.accumulate_into(grads, *kernel, self.value(*kernel).shape(), |gk| {
+                    ops::causal_conv_backward_kernel_into(self.value(*x), g, gk)
+                });
             }
             Op::SelfShift(a) => self.accumulate(grads, *a, ops::self_shift_backward(g)),
             Op::TilePairs(a) => {
@@ -781,16 +876,12 @@ impl Tape {
                 self.accumulate(grads, *a, gx);
             }
             Op::AttnApply { attn, v } => {
-                if self.rg(*attn) {
-                    self.accumulate(
-                        grads,
-                        *attn,
-                        ops::attn_apply_backward_attn(self.value(*v), g),
-                    );
-                }
-                if self.rg(*v) {
-                    self.accumulate(grads, *v, ops::attn_apply_backward_v(self.value(*attn), g));
-                }
+                self.accumulate_into(grads, *attn, self.value(*attn).shape(), |ga| {
+                    ops::attn_apply_backward_attn_into(self.value(*v), g, ga)
+                });
+                self.accumulate_into(grads, *v, self.value(*v).shape(), |gv| {
+                    ops::attn_apply_backward_v_into(self.value(*attn), g, gv)
+                });
             }
         }
     }
@@ -1103,6 +1194,76 @@ mod tests {
         assert!(bwd.count >= 1);
         assert!(stats("bwd.tanh").count >= 1);
         assert!(stats("bwd.sum_all").count >= 1);
+    }
+
+    #[test]
+    fn reset_reuses_node_storage_and_matches_fresh_tape() {
+        // The same computation recorded on a reset tape must produce the
+        // same VarIds, values, and gradients as on a fresh tape.
+        let a_t = rand_t(&[4, 3], 40);
+        let b_t = rand_t(&[3, 4], 41);
+        let run = |tape: &mut Tape| {
+            let a = tape.leaf(a_t.clone(), true);
+            let b = tape.leaf(b_t.clone(), true);
+            let y = tape.matmul(a, b);
+            let s = tape.softmax_rows(y);
+            let loss = tape.mean_all(s);
+            let grads = tape.backward(loss);
+            (
+                a,
+                grads.expect(a, "a").clone(),
+                grads.expect(b, "b").clone(),
+            )
+        };
+        let mut fresh = Tape::new();
+        let (id_fresh, ga_fresh, gb_fresh) = run(&mut fresh);
+
+        let mut reused = Tape::new();
+        // Pollute with an unrelated recording, then reset.
+        let junk = reused.leaf(rand_t(&[7, 7], 42), true);
+        let junk2 = reused.square(junk);
+        let junk3 = reused.sum_all(junk2);
+        let _ = reused.backward(junk3);
+        reused.reset();
+        assert!(reused.is_empty());
+        let (id_reused, ga_reused, gb_reused) = run(&mut reused);
+        assert_eq!(id_fresh, id_reused, "VarIds must restart from zero");
+        assert_eq!(ga_fresh, ga_reused);
+        assert_eq!(gb_fresh, gb_reused);
+    }
+
+    #[test]
+    fn with_pooled_tape_hands_out_an_empty_tape_and_nests() {
+        let outer = with_pooled_tape(|tape| {
+            assert!(tape.is_empty());
+            let x = tape.leaf(Tensor::scalar(2.0), true);
+            let y = tape.square(x);
+            let inner = with_pooled_tape(|tape2| {
+                assert!(tape2.is_empty());
+                let a = tape2.leaf(Tensor::scalar(5.0), true);
+                let s = tape2.square(a);
+                tape2.value(s).item()
+            });
+            let grads = tape.backward(y);
+            (tape.value(y).item(), grads.expect(x, "x").item(), inner)
+        });
+        assert_eq!(outer, (4.0, 4.0, 25.0));
+        // The tape went back to the per-thread pool; the next use must see
+        // it empty again.
+        with_pooled_tape(|tape| assert!(tape.is_empty()));
+    }
+
+    #[test]
+    fn gradients_take_moves_and_leaves_none() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_slice(&[1.0, 2.0]), true);
+        let y = tape.square(x);
+        let s = tape.sum_all(y);
+        let mut grads = tape.backward(s);
+        let gx = grads.take(x).expect("gradient present");
+        assert_eq!(gx.data(), &[2.0, 4.0]);
+        assert!(grads.get(x).is_none(), "take must leave the slot empty");
+        assert!(grads.take(x).is_none());
     }
 
     #[test]

@@ -1,6 +1,150 @@
 //! The dense row-major `f64` tensor type.
 
-use crate::TensorError;
+use crate::{pool, TensorError};
+
+/// Maximum tensor rank. CausalFormer shapes are at most rank 3 (`N×N×T`
+/// kernel banks); keeping one spare axis costs nothing because the dims
+/// array lives inline.
+const MAX_RANK: usize = 4;
+
+/// An inline shape: up to [`MAX_RANK`] dimensions in a fixed array, so a
+/// tensor's metadata never touches the heap. Unused trailing dims are zero,
+/// which makes derived equality correct.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
+
+impl Shape {
+    #[inline]
+    fn from_dims(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "tensor rank {} exceeds the supported maximum {MAX_RANK}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
+        Self {
+            dims: inline,
+            rank: dims.len() as u8,
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.rank as usize]
+    }
+
+    #[inline]
+    fn rank(&self) -> usize {
+        self.rank as usize
+    }
+}
+
+impl std::ops::Index<usize> for Shape {
+    type Output = usize;
+    #[inline]
+    fn index(&self, i: usize) -> &usize {
+        &self.as_slice()[i]
+    }
+}
+
+impl std::fmt::Debug for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+/// Pooled storage for tensor elements. Construction draws a buffer from the
+/// size-class pool ([`crate::pool`]); `Drop` returns it. The `home` field is
+/// the thread the buffer was handed out on — recycling consults it to route
+/// same-thread drops to the lock-free local free list and cross-thread drops
+/// (worker-born gradients dropped on the main thread) to the global list.
+pub(crate) struct Buf {
+    vec: Vec<f64>,
+    home: u32,
+}
+
+impl Buf {
+    /// An empty buffer with pooled capacity for `n` elements. The caller
+    /// must push/extend exactly the elements it will read.
+    #[inline]
+    fn with_capacity(n: usize) -> Self {
+        let (vec, home) = pool::grab(n);
+        Self { vec, home }
+    }
+
+    /// A length-`n` buffer of `value`.
+    #[inline]
+    fn filled(n: usize, value: f64) -> Self {
+        let mut b = Self::with_capacity(n);
+        b.vec.resize(n, value);
+        b
+    }
+
+    /// A pooled copy of `values`.
+    #[inline]
+    fn copy_of(values: &[f64]) -> Self {
+        let mut b = Self::with_capacity(values.len());
+        b.vec.extend_from_slice(values);
+        b
+    }
+
+    /// Adopts a caller-allocated `Vec` (counted as an external allocation;
+    /// it joins the pool when dropped).
+    #[inline]
+    fn adopt(vec: Vec<f64>) -> Self {
+        pool::note_external(vec.capacity());
+        Self {
+            vec,
+            home: pool::thread_id(),
+        }
+    }
+}
+
+impl Drop for Buf {
+    #[inline]
+    fn drop(&mut self) {
+        pool::recycle(std::mem::take(&mut self.vec), self.home);
+    }
+}
+
+impl Clone for Buf {
+    #[inline]
+    fn clone(&self) -> Self {
+        Self::copy_of(&self.vec)
+    }
+}
+
+impl PartialEq for Buf {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.vec == other.vec
+    }
+}
+
+impl std::ops::Deref for Buf {
+    type Target = [f64];
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        &self.vec
+    }
+}
+
+impl std::ops::DerefMut for Buf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f64] {
+        &mut self.vec
+    }
+}
+
+impl std::fmt::Debug for Buf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.vec.fmt(f)
+    }
+}
 
 /// A dense, row-major, heap-allocated n-dimensional array of `f64`.
 ///
@@ -9,11 +153,13 @@ use crate::TensorError;
 /// series, tens of time slots) and dominated by clarity-sensitive numeric
 /// code, so a copying design is the right trade-off; hot inner loops
 /// (matmul, convolution) operate on contiguous slices which the compiler
-/// vectorises well.
+/// vectorises well. Element storage is drawn from (and returned to) the
+/// size-class buffer pool in [`crate::pool`], so the copies stop costing
+/// allocations once the pool is warm.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
-    shape: Vec<usize>,
-    data: Vec<f64>,
+    shape: Shape,
+    data: Buf,
 }
 
 /// FLOP count (2·m·k·n for a matmul) below which the linear-algebra kernels
@@ -47,7 +193,24 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Self { shape, data })
+        Ok(Self {
+            shape: Shape::from_dims(&shape),
+            data: Buf::adopt(data),
+        })
+    }
+
+    /// Internal constructor: an empty pooled buffer the caller will fill to
+    /// exactly `shape.iter().product()` elements.
+    #[inline]
+    fn with_shape(shape: Shape) -> (Self, usize) {
+        let n: usize = shape.as_slice().iter().product();
+        (
+            Self {
+                shape,
+                data: Buf::with_capacity(n),
+            },
+            n,
+        )
     }
 
     /// A tensor filled with zeros.
@@ -71,16 +234,16 @@ impl Tensor {
         );
         let n: usize = shape.iter().product();
         Self {
-            shape: shape.to_vec(),
-            data: vec![value; n],
+            shape: Shape::from_dims(shape),
+            data: Buf::filled(n, value),
         }
     }
 
     /// A 1×1…×1-free scalar wrapped as a rank-1 tensor of length 1.
     pub fn scalar(value: f64) -> Self {
         Self {
-            shape: vec![1],
-            data: vec![value],
+            shape: Shape::from_dims(&[1]),
+            data: Buf::copy_of(&[value]),
         }
     }
 
@@ -88,8 +251,8 @@ impl Tensor {
     pub fn from_slice(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "from_slice requires at least one value");
         Self {
-            shape: vec![values.len()],
-            data: values.to_vec(),
+            shape: Shape::from_dims(&[values.len()]),
+            data: Buf::copy_of(values),
         }
     }
 
@@ -98,13 +261,13 @@ impl Tensor {
         assert!(!rows.is_empty(), "from_rows requires at least one row");
         let cols = rows[0].len();
         assert!(cols > 0, "rows must be non-empty");
-        let mut data = Vec::with_capacity(rows.len() * cols);
+        let mut data = Buf::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(r.len(), cols, "row {i} has length {} != {cols}", r.len());
-            data.extend_from_slice(r);
+            data.vec.extend_from_slice(r);
         }
         Self {
-            shape: vec![rows.len(), cols],
+            shape: Shape::from_dims(&[rows.len(), cols]),
             data,
         }
     }
@@ -124,12 +287,12 @@ impl Tensor {
 
     /// The shape of the tensor.
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        self.shape.as_slice()
     }
 
     /// Number of axes.
     pub fn rank(&self) -> usize {
-        self.shape.len()
+        self.shape.rank()
     }
 
     /// Total number of elements.
@@ -157,9 +320,12 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning its buffer.
-    pub fn into_data(self) -> Vec<f64> {
-        self.data
+    /// Consumes the tensor, returning its buffer. The buffer leaves the
+    /// pool's accounting (it belongs to the caller now).
+    pub fn into_data(mut self) -> Vec<f64> {
+        let vec = std::mem::take(&mut self.data.vec);
+        pool::forget(vec.capacity());
+        vec
     }
 
     /// The single value of a one-element tensor.
@@ -181,9 +347,9 @@ impl Tensor {
 
     #[inline]
     fn flat_index(&self, idx: &[usize]) -> usize {
-        debug_assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
+        debug_assert_eq!(idx.len(), self.shape.rank(), "index rank mismatch");
         let mut flat = 0usize;
-        for (axis, (&i, &dim)) in idx.iter().zip(&self.shape).enumerate() {
+        for (axis, (&i, &dim)) in idx.iter().zip(self.shape.as_slice()).enumerate() {
             debug_assert!(
                 i < dim,
                 "index {i} out of bounds for axis {axis} (dim {dim})"
@@ -264,7 +430,7 @@ impl Tensor {
             });
         }
         Ok(Self {
-            shape,
+            shape: Shape::from_dims(&shape),
             data: self.data.clone(),
         })
     }
@@ -321,7 +487,7 @@ impl Tensor {
     /// In-place elementwise accumulation: `self += other`.
     pub fn add_assign(&mut self, other: &Self) {
         self.assert_same_shape(other, "add_assign");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += b;
         }
     }
@@ -329,7 +495,7 @@ impl Tensor {
     /// In-place scaled accumulation: `self += alpha * other` (axpy).
     pub fn axpy(&mut self, alpha: f64, other: &Self) {
         self.assert_same_shape(other, "axpy");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
     }
@@ -340,7 +506,7 @@ impl Tensor {
     pub fn add_mul_assign(&mut self, a: &Self, b: &Self) {
         self.assert_same_shape(a, "add_mul_assign");
         self.assert_same_shape(b, "add_mul_assign");
-        for ((s, av), bv) in self.data.iter_mut().zip(&a.data).zip(&b.data) {
+        for ((s, av), bv) in self.data.iter_mut().zip(a.data.iter()).zip(b.data.iter()) {
             *s += av * bv;
         }
     }
@@ -362,24 +528,22 @@ impl Tensor {
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
-        Self {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        let (mut out, _) = Self::with_shape(self.shape);
+        out.data.vec.extend(self.data.iter().map(|&v| f(v)));
+        out
     }
 
     /// Elementwise binary map over two same-shape tensors.
     pub fn zip_map(&self, other: &Self, f: impl Fn(f64, f64) -> f64) -> Self {
         self.assert_same_shape(other, "zip_map");
-        Self {
-            shape: self.shape.clone(),
-            data: self
-                .data
+        let (mut out, _) = Self::with_shape(self.shape);
+        out.data.vec.extend(
+            self.data
                 .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-        }
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b)),
+        );
+        out
     }
 
     /// Rectifies negatives to zero (the `(·)⁺` operator of Eq. 19).
@@ -448,12 +612,19 @@ impl Tensor {
     /// entirely within one band, so the result is bitwise identical to the
     /// serial kernel at any thread count.
     pub fn matmul(&self, other: &Self) -> Self {
-        assert_eq!(self.rank(), 2, "matmul lhs must be 2-d");
-        assert_eq!(other.rank(), 2, "matmul rhs must be 2-d");
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+        let (m, _, n) = self.matmul_dims(other);
         let mut out = Self::zeros(&[m, n]);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Accumulates `self · other` into `out` (`out += a·b`). Writing into a
+    /// freshly zeroed pooled buffer makes this the allocation-free form the
+    /// backward pass uses; the accumulation order per cell is identical to
+    /// [`Tensor::matmul`], so results are bitwise equal.
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) {
+        let (m, k, n) = self.matmul_dims(other);
+        assert_eq!(out.shape(), &[m, n], "matmul_into output shape");
         let a = &self.data;
         let b = &other.data;
         // ikj loop order: the inner loop runs over contiguous memory in both
@@ -485,7 +656,15 @@ impl Tensor {
             let rb = rows_per_block(m, 2 * k * n);
             cf_par::par_chunks_mut(&mut out.data, rb * n, |ci, chunk| band(ci * rb, chunk));
         }
-        out
+    }
+
+    fn matmul_dims(&self, other: &Self) -> (usize, usize, usize) {
+        assert_eq!(self.rank(), 2, "matmul lhs must be 2-d");
+        assert_eq!(other.rank(), 2, "matmul rhs must be 2-d");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+        (m, k, n)
     }
 
     /// `self · otherᵀ` for 2-d tensors: `(m×k)·(n×k)ᵀ → m×n`.
@@ -499,14 +678,24 @@ impl Tensor {
     pub fn matmul_nt(&self, other: &Self) -> Self {
         assert_eq!(self.rank(), 2, "matmul_nt lhs must be 2-d");
         assert_eq!(other.rank(), 2, "matmul_nt rhs must be 2-d");
+        let (m, n) = (self.shape[0], other.shape[0]);
+        let mut out = Self::zeros(&[m, n]);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// Accumulates `self · otherᵀ` into `out`; see [`Tensor::matmul_nt`].
+    pub fn matmul_nt_into(&self, other: &Self, out: &mut Self) {
+        assert_eq!(self.rank(), 2, "matmul_nt lhs must be 2-d");
+        assert_eq!(other.rank(), 2, "matmul_nt rhs must be 2-d");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_nt inner dims: {k} vs {k2}");
+        assert_eq!(out.shape(), &[m, n], "matmul_nt_into output shape");
         // Block sizes: JB rows of `other` (JB·PB·8 bytes ≈ 128 KiB) stay
         // resident while a band of `self` rows streams against them.
         const JB: usize = 64;
         const PB: usize = 256;
-        let mut out = Self::zeros(&[m, n]);
         let a = &self.data;
         let b = &other.data;
         let band = |i0: usize, orows: &mut [f64]| {
@@ -536,7 +725,6 @@ impl Tensor {
             let rb = rows_per_block(m, 2 * k * n);
             cf_par::par_chunks_mut(&mut out.data, rb * n, |ci, chunk| band(ci * rb, chunk));
         }
-        out
     }
 
     /// `selfᵀ · other` for 2-d tensors: `(k×m)ᵀ·(k×n) → m×n`.
@@ -548,10 +736,20 @@ impl Tensor {
     pub fn matmul_tn(&self, other: &Self) -> Self {
         assert_eq!(self.rank(), 2, "matmul_tn lhs must be 2-d");
         assert_eq!(other.rank(), 2, "matmul_tn rhs must be 2-d");
+        let (m, n) = (self.shape[1], other.shape[1]);
+        let mut out = Self::zeros(&[m, n]);
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// Accumulates `selfᵀ · other` into `out`; see [`Tensor::matmul_tn`].
+    pub fn matmul_tn_into(&self, other: &Self, out: &mut Self) {
+        assert_eq!(self.rank(), 2, "matmul_tn lhs must be 2-d");
+        assert_eq!(other.rank(), 2, "matmul_tn rhs must be 2-d");
         let (k, m) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_tn inner dims: {k} vs {k2}");
-        let mut out = Self::zeros(&[m, n]);
+        assert_eq!(out.shape(), &[m, n], "matmul_tn_into output shape");
         let a = &self.data;
         let b = &other.data;
         let band = |i0: usize, orows: &mut [f64]| {
@@ -575,7 +773,6 @@ impl Tensor {
             let rb = rows_per_block(m, 2 * k * n);
             cf_par::par_chunks_mut(&mut out.data, rb * n, |ci, chunk| band(ci * rb, chunk));
         }
-        out
     }
 
     /// Adds a length-`c` row vector to every row of an `r×c` matrix.
@@ -670,6 +867,15 @@ mod tests {
     }
 
     #[test]
+    fn matmul_into_accumulates_into_existing_buffer() {
+        let a = t2(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = t2(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut out = Tensor::ones(&[2, 2]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), &[20.0, 23.0, 44.0, 51.0]);
+    }
+
+    #[test]
     fn softmax_rows_sum_to_one_and_order_preserved() {
         let t = t2(&[&[1.0, 2.0, 3.0], &[1000.0, 1000.0, 1000.0]]);
         let s = t.softmax_rows();
@@ -756,5 +962,26 @@ mod tests {
         assert!(Tensor::from_slice(&[1.0, 2.0]).all_finite());
         assert!(!Tensor::from_slice(&[1.0, f64::NAN]).all_finite());
         assert!(!Tensor::from_slice(&[f64::INFINITY]).all_finite());
+    }
+
+    #[test]
+    fn pooled_buffers_come_back_clean() {
+        // A dropped tensor's buffer is reused by the next same-class
+        // construction, and constructors fully initialise it — stale bytes
+        // must never leak through.
+        let marker = 7.25;
+        let t = Tensor::full(&[257], marker); // odd class, test-private
+        drop(t);
+        let z = Tensor::zeros(&[257]);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        drop(z);
+        let m = Tensor::from_slice(&[1.0; 257]).map(|v| v + 1.0);
+        assert!(m.data().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn into_data_returns_exact_elements() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(t.into_data(), vec![1.0, 2.0, 3.0]);
     }
 }
