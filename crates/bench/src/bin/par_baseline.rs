@@ -20,7 +20,8 @@
 //! bench-smoke job runs this with `--smoke`).
 
 use cf_bench::{
-    init_metrics, maybe_dump_metrics, parse_options, run_cell, DatasetKind, MethodKind, Options,
+    init_metrics, maybe_dump_metrics, maybe_write_trace, parse_options, run_cell, DatasetKind,
+    MethodKind, Options,
 };
 use cf_data::lorenz96::{self, Lorenz96Config};
 use rand::rngs::StdRng;
@@ -118,6 +119,7 @@ fn main() {
         metrics: false,
         threads: None,
         smoke: options.smoke,
+        trace_out: None,
     };
     let methods = [
         MethodKind::Cmlp,
@@ -143,6 +145,10 @@ fn main() {
                     method.name(),
                     dataset
                 );
+                let _cell_span = cf_obs::trace::span_dyn(format!(
+                    "cell {} {dataset:?} {threads}t",
+                    method.name()
+                ));
                 let (cell, mut timing) = timed(threads, || run_cell(method, dataset, &cell_opts));
                 f1_mean = cell.f1.map(|m| m.mean);
                 timing.secs = cell.wall_secs;
@@ -179,6 +185,7 @@ fn main() {
             "lorenz96 n={} discover with {threads} thread(s) …",
             config.n
         );
+        let _cell_span = cf_obs::trace::span_dyn(format!("lorenz96 n={} {threads}t", config.n));
         let (result, timing) = timed(threads, || cf.discover(&mut rng, &data.series));
         println!(
             "lorenz96 n={}, {threads} thread(s): {:.2}s, {} edges",
@@ -298,4 +305,5 @@ fn main() {
         None => println!("{json}"),
     }
     maybe_dump_metrics(&options, &raw_cells);
+    maybe_write_trace(&options);
 }

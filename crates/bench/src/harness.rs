@@ -21,6 +21,10 @@ pub struct Options {
     /// numbers are meaningless in this mode — it exists so CI can prove
     /// the binary still runs end-to-end and emits finite output.
     pub smoke: bool,
+    /// Chrome trace_event JSON output path. Parsing the flag enables the
+    /// recorder immediately; binaries write the file with
+    /// [`maybe_write_trace`] before exiting.
+    pub trace_out: Option<String>,
 }
 
 impl Default for Options {
@@ -32,6 +36,7 @@ impl Default for Options {
             metrics: false,
             threads: None,
             smoke: false,
+            trace_out: None,
         }
     }
 }
@@ -65,6 +70,12 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Options {
                 );
             }
             "--metrics" => options.metrics = true,
+            "--trace-out" => {
+                options.trace_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_abort("--trace-out requires a path")),
+                );
+            }
             "--smoke" => {
                 options.smoke = true;
                 options.quick = true;
@@ -94,11 +105,31 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Options {
     if let Some(n) = options.threads {
         cf_par::set_threads(n);
     }
+    if options.trace_out.is_some() {
+        cf_obs::trace::reset();
+        cf_obs::trace::set_enabled(true);
+    }
     options
 }
 
+/// Stops the trace recorder and writes the Chrome trace when the run was
+/// started with `--trace-out`. Call once, at the end of the binary.
+pub fn maybe_write_trace(options: &Options) {
+    if let Some(path) = &options.trace_out {
+        cf_obs::trace::set_enabled(false);
+        match cf_obs::export::write_chrome_trace(std::path::Path::new(path)) {
+            Ok(()) => println!("trace written to {path}"),
+            Err(e) => {
+                eprintln!("error: writing trace {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 const USAGE: &str = "\
-usage: <experiment> [--quick] [--smoke] [--seeds K] [--json PATH] [--metrics] [--threads N]
+usage: <experiment> [--quick] [--smoke] [--seeds K] [--json PATH] [--metrics]
+                    [--threads N] [--trace-out PATH]
   --quick      reduced budgets (2 seeds, shorter series, fewer epochs)
   --smoke      CI smoke mode: implies --quick, 1 seed, tiny fixed budgets;
                proves the binary runs and emits finite output (timings are
@@ -108,7 +139,10 @@ usage: <experiment> [--quick] [--smoke] [--seeds K] [--json PATH] [--metrics] [-
   --metrics    also write wall times + op profile to <PATH>.metrics.json
                (metrics.json without --json)
   --threads N  worker threads (default: CF_THREADS env, else all cores;
-               results are identical at any thread count)";
+               results are identical at any thread count)
+  --trace-out PATH
+               record a Chrome trace_event timeline of the whole run
+               (load it in Perfetto / chrome://tracing)";
 
 fn usage_abort(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -165,6 +199,16 @@ mod tests {
         assert_eq!(o.seeds, 1);
         let o2 = parse(&["--smoke", "--seeds", "3"]);
         assert_eq!(o2.seeds, 3);
+    }
+
+    #[test]
+    fn trace_out_path_captured_and_recorder_enabled() {
+        assert!(parse(&[]).trace_out.is_none());
+        let o = parse(&["--trace-out", "/tmp/t.json"]);
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert!(cf_obs::trace::enabled());
+        cf_obs::trace::set_enabled(false);
+        cf_obs::trace::reset();
     }
 
     #[test]

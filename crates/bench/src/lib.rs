@@ -21,7 +21,7 @@
 pub mod harness;
 pub mod methods;
 
-pub use harness::{parse_options, Options};
+pub use harness::{maybe_write_trace, parse_options, Options};
 pub use methods::{build_method, dataset_display_name, DatasetKind, MethodKind};
 
 use cf_baselines::Discoverer;
@@ -261,6 +261,7 @@ mod tests {
             metrics: true,
             threads: None,
             smoke: false,
+            trace_out: None,
         };
         let cell = Cell {
             method: "cMLP".into(),

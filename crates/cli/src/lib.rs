@@ -11,13 +11,21 @@
 //!   checkpoint.
 //! * `generate` — synthesise one of the benchmark datasets to CSV (for
 //!   trying the tool without data).
+//! * `report` — render the artifacts a `discover` run wrote
+//!   (`--metrics-out`, `--trace-out`, `--diag-out`) into one
+//!   self-contained HTML dashboard.
 //!
 //! ```text
 //! causalformer discover --input series.csv --preset fmri --dot graph.dot
 //! causalformer generate --dataset fork --length 600 --output fork.csv
+//! causalformer report --metrics run.jsonl --trace trace.json --out report.html
 //! ```
 
-use causalformer::{persist, presets, trainer, CausalFormer, CheckpointConfig};
+pub mod report;
+
+pub use report::{run_report, ReportArgs};
+
+use causalformer::{diag, persist, presets, trainer, CausalFormer, CheckpointConfig};
 use cf_data::{io as csv_io, lorenz96, synthetic, window};
 use cf_metrics::graph_dot_plain;
 use rand::rngs::StdRng;
@@ -52,9 +60,12 @@ usage:
   causalformer discover --input FILE.csv [--preset NAME] [--window T]
                         [--epochs E] [--seed S] [--threads N] [--dot FILE]
                         [--save FILE] [--metrics-out FILE.jsonl]
+                        [--trace-out FILE.json] [--diag-out FILE.cfdiag]
                         [--checkpoint-dir DIR] [--checkpoint-every N]
                         [--resume] [--log-level LEVEL] [--quiet]
   causalformer generate --dataset NAME [--length L] [--seed S] --output FILE.csv
+  causalformer report   --out FILE.html [--metrics FILE.jsonl]
+                        [--trace FILE.json] [--diag FILE.cfdiag]
 
 discover options:
   --preset NAME        synthetic-dense | synthetic-sparse | lorenz | fmri | sst
@@ -68,6 +79,13 @@ discover options:
   --save FILE          write the trained model checkpoint (JSON)
   --metrics-out FILE   write JSONL telemetry (stage timings, per-epoch
                        records, tape op profile, discovery summary)
+  --trace-out FILE     write a Chrome trace_event JSON timeline (load it
+                       in Perfetto / chrome://tracing): per-thread spans,
+                       worker activity, pool counters
+  --diag-out FILE      write per-epoch model diagnostics (cfdiag JSONL:
+                       mask sparsity/entropy, causal-score trajectories,
+                       grad norms, relevance quantiles); the artifact is
+                       bitwise identical at any --threads value
   --checkpoint-dir DIR write crash-safe training checkpoints into DIR
   --checkpoint-every N checkpoint every N epochs (default 1)
   --resume             continue from the newest checkpoint in DIR; the
@@ -79,7 +97,15 @@ discover options:
 generate options:
   --dataset NAME  diamond | mediator | v-structure | fork | lorenz96
   --length L      series length (default 600)
-  --seed S        RNG seed (default 0)";
+  --seed S        RNG seed (default 0)
+
+report options:
+  --out FILE      HTML output path (required)
+  --metrics FILE  JSONL telemetry from discover --metrics-out
+  --trace FILE    Chrome trace from discover --trace-out
+  --diag FILE     diagnostics from discover --diag-out
+                  (at least one input is required; panels whose input is
+                  missing render a note instead of a chart)";
 
 /// Parsed `discover` arguments.
 #[derive(Debug, Clone)]
@@ -102,6 +128,10 @@ pub struct DiscoverArgs {
     pub save: Option<String>,
     /// JSONL telemetry output path.
     pub metrics_out: Option<String>,
+    /// Chrome trace_event JSON output path.
+    pub trace_out: Option<String>,
+    /// Model-diagnostics (cfdiag JSONL) output path.
+    pub diag_out: Option<String>,
     /// Training-checkpoint directory (enables crash-safe training).
     pub checkpoint_dir: Option<String>,
     /// Epochs between checkpoints (requires `checkpoint_dir`).
@@ -134,6 +164,8 @@ pub enum Command {
     Discover(DiscoverArgs),
     /// `generate` subcommand.
     Generate(GenerateArgs),
+    /// `report` subcommand.
+    Report(ReportArgs),
     /// `--help`.
     Help,
 }
@@ -159,6 +191,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 dot: None,
                 save: None,
                 metrics_out: None,
+                trace_out: None,
+                diag_out: None,
                 checkpoint_dir: None,
                 checkpoint_every: None,
                 resume: false,
@@ -202,6 +236,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--dot" => a.dot = Some(value.clone()),
                     "--save" => a.save = Some(value.clone()),
                     "--metrics-out" => a.metrics_out = Some(value.clone()),
+                    "--trace-out" => a.trace_out = Some(value.clone()),
+                    "--diag-out" => a.diag_out = Some(value.clone()),
                     "--checkpoint-dir" => a.checkpoint_dir = Some(value.clone()),
                     "--checkpoint-every" => {
                         let n: usize = parse_num(flag, value)?;
@@ -256,6 +292,38 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Generate(a))
         }
+        "report" => {
+            let mut a = ReportArgs {
+                metrics: None,
+                trace: None,
+                diag: None,
+                out: String::new(),
+            };
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let value = rest
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))?;
+                match flag {
+                    "--metrics" => a.metrics = Some(value.clone()),
+                    "--trace" => a.trace = Some(value.clone()),
+                    "--diag" => a.diag = Some(value.clone()),
+                    "--out" => a.out = value.clone(),
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+                i += 2;
+            }
+            if a.out.is_empty() {
+                return Err(CliError::Usage("report requires --out".into()));
+            }
+            if a.metrics.is_none() && a.trace.is_none() && a.diag.is_none() {
+                return Err(CliError::Usage(
+                    "report requires at least one of --metrics, --trace, --diag".into(),
+                ));
+            }
+            Ok(Command::Report(a))
+        }
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -306,10 +374,27 @@ fn setup_observability(a: &DiscoverArgs) -> Result<bool, CliError> {
         cf_obs::profile::set_enabled(true);
         cf_obs::sink::install_file(path)
             .map_err(|e| CliError::Run(format!("opening {path}: {e}")))?;
+        // First record identifies the stream so consumers (`report`) can
+        // refuse files newer than they understand. See DESIGN.md for the
+        // schema; bump METRICS_SCHEMA_VERSION on breaking changes.
+        cf_obs::sink::emit(
+            &cf_obs::json::Obj::new()
+                .str("event", "meta")
+                .str("schema_version", METRICS_SCHEMA_VERSION)
+                .str("producer", "causalformer")
+                .f64("ts", cf_obs::unix_time())
+                .finish(),
+        );
         return Ok(true);
     }
     Ok(false)
 }
+
+/// Version of the `--metrics-out` JSONL schema, written in the leading
+/// `meta` event. Major bumps mean existing consumers must not parse the
+/// file; minor bumps are additive. Files without a `meta` event predate
+/// versioning and are treated as `1.0`.
+pub const METRICS_SCHEMA_VERSION: &str = "2.0";
 
 /// Executes `discover`, returning the human-readable report that `main`
 /// prints.
@@ -318,6 +403,14 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
         cf_par::set_threads(n);
     }
     let sink_installed = setup_observability(a)?;
+    if a.trace_out.is_some() {
+        cf_obs::trace::reset();
+        cf_obs::trace::set_enabled(true);
+    }
+    if let Some(path) = &a.diag_out {
+        diag::install_file(std::path::Path::new(path))
+            .map_err(|e| CliError::Run(format!("opening {path}: {e}")))?;
+    }
     let started = std::time::Instant::now();
     let parsed = csv_io::read_series_csv_file(&a.input)
         .map_err(|e| CliError::Run(format!("reading {}: {e}", a.input)))?;
@@ -402,6 +495,19 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
         let path = a.metrics_out.as_deref().unwrap_or("?");
         out.push_str(&format!("metrics written to {path}\n"));
     }
+    if let Some(path) = &a.diag_out {
+        diag::uninstall();
+        out.push_str(&format!("diagnostics written to {path}\n"));
+    }
+    if let Some(path) = &a.trace_out {
+        // Final counter samples for the pool track, then stop recording
+        // before the drain so the write itself is not traced.
+        cf_tensor::pool::publish_obs();
+        cf_obs::trace::set_enabled(false);
+        cf_obs::export::write_chrome_trace(std::path::Path::new(path))
+            .map_err(|e| CliError::Run(format!("writing {path}: {e}")))?;
+        out.push_str(&format!("trace written to {path}\n"));
+    }
     Ok(out)
 }
 
@@ -467,6 +573,10 @@ mod tests {
             "m.json",
             "--metrics-out",
             "m.jsonl",
+            "--trace-out",
+            "t.json",
+            "--diag-out",
+            "d.cfdiag",
             "--checkpoint-dir",
             "ckpts",
             "--checkpoint-every",
@@ -488,6 +598,8 @@ mod tests {
                 assert_eq!(a.dot.as_deref(), Some("g.dot"));
                 assert_eq!(a.save.as_deref(), Some("m.json"));
                 assert_eq!(a.metrics_out.as_deref(), Some("m.jsonl"));
+                assert_eq!(a.trace_out.as_deref(), Some("t.json"));
+                assert_eq!(a.diag_out.as_deref(), Some("d.cfdiag"));
                 assert_eq!(a.checkpoint_dir.as_deref(), Some("ckpts"));
                 assert_eq!(a.checkpoint_every, Some(2));
                 assert!(a.resume);
@@ -594,6 +706,8 @@ mod tests {
             dot: Some(dot_path.to_string_lossy().into_owned()),
             save: None,
             metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
+            trace_out: None,
+            diag_out: None,
             checkpoint_dir: None,
             checkpoint_every: None,
             resume: false,
@@ -618,6 +732,11 @@ mod tests {
                 .filter(|l| l.contains(&format!("\"event\":\"{kind}\"")))
                 .count()
         };
+        assert_eq!(count("meta"), 1, "{telemetry}");
+        assert!(
+            events[0].contains(&format!("\"schema_version\":\"{METRICS_SCHEMA_VERSION}\"")),
+            "meta must be the first event: {telemetry}"
+        );
         assert_eq!(count("epoch"), 3, "{telemetry}");
         assert_eq!(count("stage"), 3, "{telemetry}"); // windowing, train, detect
         assert_eq!(count("discovery"), 1, "{telemetry}");
@@ -645,6 +764,8 @@ mod tests {
             dot: None,
             save: None,
             metrics_out: None,
+            trace_out: None,
+            diag_out: None,
             checkpoint_dir: None,
             checkpoint_every: None,
             resume: false,
@@ -679,6 +800,8 @@ mod tests {
             dot: None,
             save: None,
             metrics_out: None,
+            trace_out: None,
+            diag_out: None,
             checkpoint_dir: Some(ckpt_dir.to_string_lossy().into_owned()),
             checkpoint_every: None,
             resume: false,

@@ -1,7 +1,7 @@
 //! `causalformer` — temporal causal discovery on CSV time series.
 //! Thin shell over [`cf_cli`]; see `causalformer --help`.
 
-use cf_cli::{parse, run_discover, run_generate, Command, USAGE};
+use cf_cli::{parse, run_discover, run_generate, run_report, Command, USAGE};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -12,6 +12,7 @@ fn main() {
         }
         Ok(Command::Discover(a)) => run_discover(&a),
         Ok(Command::Generate(a)) => run_generate(&a),
+        Ok(Command::Report(a)) => run_report(&a),
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);

@@ -375,6 +375,7 @@ pub fn detect<R: Rng + ?Sized>(
     cfg: &DetectorConfig,
 ) -> (CausalGraph, CausalScores) {
     let scores = aggregate_scores(model, store, windows, cfg);
+    crate::diag::record_detect(&scores, model.config().window);
     let graph = build_graph(rng, &scores, model.config().window, cfg);
     (graph, scores)
 }

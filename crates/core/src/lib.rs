@@ -45,6 +45,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod detector;
+pub mod diag;
 pub mod model;
 pub mod persist;
 pub mod pipeline;

@@ -60,9 +60,11 @@ impl CausalFormer {
     /// short to produce a single window.
     pub fn discover<R: Rng + ?Sized>(&self, rng: &mut R, series: &Tensor) -> DiscoveryResult {
         let _pipeline_span = cf_obs::span::enter("discover");
+        let _pipeline_trace = cf_obs::trace::span("discover");
         let windows = self.prepare_windows(series);
         let (trained, train_report) = {
             let _s = cf_obs::span::enter("train");
+            let _t = cf_obs::trace::span("train");
             let started = std::time::Instant::now();
             let out = train(rng, self.model, self.train, &windows);
             emit_stage("train", started.elapsed().as_secs_f64());
@@ -87,9 +89,11 @@ impl CausalFormer {
         resume: bool,
     ) -> Result<DiscoveryResult, TrainError> {
         let _pipeline_span = cf_obs::span::enter("discover");
+        let _pipeline_trace = cf_obs::trace::span("discover");
         let windows = self.prepare_windows(series);
         let (trained, train_report) = {
             let _s = cf_obs::span::enter("train");
+            let _t = cf_obs::trace::span("train");
             let started = std::time::Instant::now();
             let out = Trainer::new(self.model, self.train)
                 .with_checkpoints(checkpoint)
@@ -111,6 +115,7 @@ impl CausalFormer {
         );
         let windows = {
             let _s = cf_obs::span::enter("windowing");
+            let _t = cf_obs::trace::span("windowing");
             let started = std::time::Instant::now();
             let std = standardize(series);
             let windows = slice_windows(&std, self.model.window, self.train.stride);
@@ -145,6 +150,7 @@ impl CausalFormer {
         // the finer-grained spans live inside `detector.rs`.
         let (graph, scores) = {
             let _s = cf_obs::span::enter("detect");
+            let _t = cf_obs::trace::span("detect");
             let started = std::time::Instant::now();
             let out = detect(rng, &trained.model, &trained.store, windows, &self.detector);
             emit_stage("detect", started.elapsed().as_secs_f64());

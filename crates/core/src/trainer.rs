@@ -313,6 +313,7 @@ fn fit_inner<Q: TrainRng>(
 
     let mut store = ParamStore::new();
     let model = rng.init_model(&mut store, model_config);
+    crate::diag::record_header(&model_config);
     let mut adam = Adam::new(train_config.lr);
     let mut stopper = EarlyStopper::new(train_config.patience, train_config.min_delta);
 
@@ -381,7 +382,11 @@ fn fit_inner<Q: TrainRng>(
 
     while epoch < train_config.max_epochs {
         let _epoch_span = cf_obs::span::enter("epoch");
+        let _epoch_trace = cf_obs::trace::span("epoch");
         let epoch_start = std::time::Instant::now();
+        // Per-epoch gradient-group diagnostics; dropped (not emitted) if
+        // this epoch rolls back, so retries leave no trace in the artifact.
+        let mut grad_diag = crate::diag::GradGroupAccum::new();
 
         // Guard snapshot: enough to rewind this epoch on a non-finite value.
         let guard = Guard {
@@ -493,6 +498,9 @@ fn fit_inner<Q: TrainRng>(
                 ));
                 break;
             }
+            if crate::diag::is_installed() {
+                grad_diag.observe(&store, &pairs);
+            }
             adam.step_pairs(&mut store, &pairs);
             epoch_grad_norm += pre_clip;
             epoch_loss += step_loss;
@@ -534,6 +542,7 @@ fn fit_inner<Q: TrainRng>(
                     // any `--metrics-out` dump) carries mem.* alongside the
                     // par.* and span counters.
                     cf_tensor::pool::publish_obs();
+                    let pool = cf_tensor::pool::stats();
                     cf_obs::sink::emit(
                         &cf_obs::json::Obj::new()
                             .str("event", "epoch")
@@ -543,9 +552,20 @@ fn fit_inner<Q: TrainRng>(
                             .f64("val_loss", monitored)
                             .f64("grad_norm", *grad_norms.last().expect("pushed above"))
                             .f64("wall_secs", epoch_secs)
+                            .u64("pool_hit", pool.hit)
+                            .u64("pool_miss", pool.miss)
                             .finish(),
                     );
                 }
+
+                crate::diag::record_epoch(
+                    epoch + 1,
+                    *train_losses.last().expect("pushed above"),
+                    monitored,
+                    &model,
+                    &store,
+                    &grad_diag,
+                );
 
                 match stopper.observe(monitored) {
                     StopDecision::Improved => best_snapshot = store.snapshot(),
@@ -614,6 +634,7 @@ fn fit_inner<Q: TrainRng>(
                 );
                 // A failed checkpoint write must not kill a healthy run:
                 // warn and keep training (the previous checkpoint stands).
+                let _ckpt_trace = cf_obs::trace::span("checkpoint.write");
                 match checkpoint::save(cfg, &saved, done) {
                     Ok(path) => cf_obs::debug!("checkpoint written: {}", path.display()),
                     Err(e) => cf_obs::warn!("checkpoint write failed (training continues): {e}"),

@@ -1,0 +1,123 @@
+//! Chrome `trace_event` export for the [`crate::trace`] recorder.
+//!
+//! Produces the JSON Object Format (`{"traceEvents":[...]}`) that
+//! `chrome://tracing` and Perfetto load directly: one `M` (metadata)
+//! event naming each thread, then `X` (complete), `i` (instant) and
+//! `C` (counter) events with microsecond timestamps. All timestamps
+//! are offsets from the process `Instant` anchor; the wall-clock epoch
+//! of that anchor is recorded once as the `traceEpochUnix` top-level
+//! field so absolute times can be reconstructed without ever letting a
+//! wall-clock step bend the timeline.
+
+use crate::json::{Arr, Obj};
+use crate::trace::{Kind, ThreadTrace};
+
+const PID: u64 = 1;
+
+fn base_event(name: &str, ph: &str, tid: u64, ts_us: f64) -> Obj {
+    Obj::new()
+        .str("name", name)
+        .str("ph", ph)
+        .u64("pid", PID)
+        .u64("tid", tid)
+        .f64("ts", ts_us)
+}
+
+/// Serialises drained thread timelines as Chrome trace JSON. Timelines
+/// with no events (e.g. workers of an already-replaced pool) are
+/// omitted entirely.
+pub fn chrome_trace_json(threads: &[ThreadTrace]) -> String {
+    let threads: Vec<&ThreadTrace> = threads.iter().filter(|t| !t.events.is_empty()).collect();
+    let mut events = Arr::new();
+    for t in &threads {
+        events = events.raw(
+            &Obj::new()
+                .str("name", "thread_name")
+                .str("ph", "M")
+                .u64("pid", PID)
+                .u64("tid", t.tid)
+                .raw("args", &Obj::new().str("name", &t.name).finish())
+                .finish(),
+        );
+    }
+    for t in &threads {
+        for ev in &t.events {
+            let ts_us = ev.ts_ns as f64 / 1_000.0;
+            let obj = match ev.kind {
+                Kind::Complete { dur_ns } => base_event(ev.name.as_str(), "X", t.tid, ts_us)
+                    .f64("dur", dur_ns as f64 / 1_000.0),
+                Kind::Instant => base_event(ev.name.as_str(), "i", t.tid, ts_us).str("s", "t"),
+                Kind::Counter { value } => base_event(ev.name.as_str(), "C", t.tid, ts_us)
+                    .raw("args", &Obj::new().f64("value", value).finish()),
+            };
+            events = events.raw(&obj.finish());
+        }
+    }
+    Obj::new()
+        .raw("traceEvents", &events.finish())
+        .str("displayTimeUnit", "ms")
+        .f64("traceEpochUnix", crate::anchor_unix_time())
+        .u64("droppedEvents", crate::trace::dropped())
+        .finish()
+}
+
+/// Drains the recorder and writes the Chrome trace to `path`.
+pub fn write_chrome_trace(path: &std::path::Path) -> std::io::Result<()> {
+    let threads = crate::trace::drain();
+    std::fs::write(path, chrome_trace_json(&threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Event, Name};
+
+    fn sample_threads() -> Vec<ThreadTrace> {
+        vec![
+            ThreadTrace {
+                tid: 1,
+                name: "main".into(),
+                events: vec![
+                    Event {
+                        name: Name::Static("epoch"),
+                        ts_ns: 1_500,
+                        kind: Kind::Complete { dur_ns: 2_000_000 },
+                    },
+                    Event {
+                        name: Name::Owned("cell:lorenz96".into()),
+                        ts_ns: 2_500_000,
+                        kind: Kind::Instant,
+                    },
+                ],
+            },
+            ThreadTrace {
+                tid: 2,
+                name: "cf-par-0".into(),
+                events: vec![Event {
+                    name: Name::Static("mem.pool.hit"),
+                    ts_ns: 3_000_000,
+                    kind: Kind::Counter { value: 17.0 },
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn t_chrome_json_has_metadata_and_event_phases() {
+        let json = chrome_trace_json(&sample_threads());
+        assert!(json.starts_with(r#"{"traceEvents":["#));
+        // Two thread_name metadata records.
+        assert_eq!(json.matches(r#""ph":"M""#).count(), 2);
+        assert!(json.contains(r#""args":{"name":"cf-par-0"}"#));
+        // Complete span: µs timestamps and duration.
+        assert!(json.contains(r#""name":"epoch","ph":"X""#));
+        assert!(json.contains(r#""ts":1.5"#));
+        assert!(json.contains(r#""dur":2000"#));
+        // Instant and counter phases.
+        assert!(json.contains(r#""name":"cell:lorenz96","ph":"i""#));
+        assert!(json.contains(r#""name":"mem.pool.hit","ph":"C""#));
+        assert!(json.contains(r#""args":{"value":17}"#));
+        assert!(json.contains(r#""displayTimeUnit":"ms""#));
+        assert!(json.contains(r#""traceEpochUnix":"#));
+    }
+}

@@ -133,6 +133,13 @@ impl Arr {
         self
     }
 
+    /// Appends an unsigned integer element.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.sep();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
     /// Appends a string element.
     pub fn str(mut self, v: &str) -> Self {
         self.sep();

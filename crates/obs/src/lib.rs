@@ -21,17 +21,55 @@
 //! The crate deliberately has no dependencies (not even the vendored
 //! ones) so it can sit below `cf-tensor` in the workspace graph.
 
+pub mod export;
 pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod sink;
 pub mod span;
+pub mod trace;
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+struct Clock {
+    /// Wall-clock seconds since the Unix epoch at the moment `anchor`
+    /// was captured. Sampled exactly once per process.
+    unix_at_anchor: f64,
+    anchor: Instant,
+}
+
+fn clock() -> &'static Clock {
+    static CLOCK: OnceLock<Clock> = OnceLock::new();
+    CLOCK.get_or_init(|| Clock {
+        unix_at_anchor: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0),
+        anchor: Instant::now(),
+    })
+}
 
 /// Seconds since the Unix epoch, as f64 (for event timestamps).
+///
+/// Monotone by construction: the wall clock is sampled once (the trace
+/// epoch anchor) and every later call is that anchor plus an
+/// [`Instant`]-measured offset, so timestamps cannot step backward when
+/// NTP adjusts the system clock mid-run.
 pub fn unix_time() -> f64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs_f64())
-        .unwrap_or(0.0)
+    let c = clock();
+    c.unix_at_anchor + c.anchor.elapsed().as_secs_f64()
+}
+
+/// Nanoseconds elapsed since the process clock anchor (monotone,
+/// `Instant`-based). This is the timebase for [`trace`] events.
+pub fn anchor_ns() -> u64 {
+    clock().anchor.elapsed().as_nanos() as u64
+}
+
+/// Wall-clock seconds since the Unix epoch at the clock anchor — the
+/// one place wall time enters trace output, as the epoch anchor only.
+pub fn anchor_unix_time() -> f64 {
+    clock().unix_at_anchor
 }

@@ -1,0 +1,382 @@
+//! Per-thread trace-event recorder with bounded memory.
+//!
+//! Every thread that emits events owns a bounded ring buffer; recording
+//! touches only that thread's buffer (a per-thread mutex that is
+//! uncontended on the hot path — the only other toucher is the
+//! end-of-run drain). When a ring fills, the **oldest** event is
+//! dropped and the global `trace.dropped` counter incremented; the hot
+//! path never blocks and never allocates beyond the fixed ring.
+//!
+//! The whole subsystem is gated behind one relaxed atomic load: with
+//! tracing disabled, [`span`]/[`instant`]/[`counter`] return after a
+//! single `AtomicBool` check. Timestamps are nanosecond offsets from
+//! the process [`crate::anchor_ns`] `Instant` anchor, so timelines are
+//! monotone regardless of wall-clock steps; wall time appears only as
+//! the trace epoch anchor in the exported file (see [`crate::export`]).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default per-thread ring capacity (events).
+pub const DEFAULT_CAPACITY: usize = 16_384;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Event name: `&'static str` for the common case (no allocation on
+/// the hot path), owned for dynamic labels such as bench cell names.
+#[derive(Debug, Clone)]
+pub enum Name {
+    /// Compile-time name; the hot-path default.
+    Static(&'static str),
+    /// Heap-allocated name for dynamic labels.
+    Owned(String),
+}
+
+impl Name {
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Name::Static(s) => s,
+            Name::Owned(s) => s,
+        }
+    }
+}
+
+/// What one recorded event is.
+#[derive(Debug, Clone)]
+pub enum Kind {
+    /// A completed span: `ts_ns` is the start, `dur_ns` the length.
+    Complete {
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A zero-duration marker.
+    Instant,
+    /// A sampled counter value at `ts_ns`.
+    Counter {
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Event name (timeline label).
+    pub name: Name,
+    /// Nanoseconds since the process clock anchor.
+    pub ts_ns: u64,
+    /// Event payload.
+    pub kind: Kind,
+}
+
+struct ThreadBuf {
+    tid: u64,
+    name: Mutex<String>,
+    ring: Mutex<Ring>,
+}
+
+struct Ring {
+    events: std::collections::VecDeque<Event>,
+}
+
+fn dropped_counter() -> &'static crate::metrics::Counter {
+    static COUNTER: OnceLock<crate::metrics::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| crate::metrics::counter("trace.dropped"))
+}
+
+impl Ring {
+    fn push(&mut self, ev: Event) {
+        let cap = CAPACITY.load(Ordering::Relaxed).max(1);
+        while self.events.len() >= cap {
+            self.events.pop_front();
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+            dropped_counter().inc();
+        }
+        self.events.push_back(ev);
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: Arc<ThreadBuf> = {
+        let buf = Arc::new(ThreadBuf {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            name: Mutex::new(
+                std::thread::current()
+                    .name()
+                    .unwrap_or("thread")
+                    .to_string(),
+            ),
+            ring: Mutex::new(Ring {
+                events: std::collections::VecDeque::new(),
+            }),
+        });
+        registry()
+            .lock()
+            .expect("trace registry poisoned")
+            .push(Arc::clone(&buf));
+        buf
+    };
+}
+
+/// Turns the recorder on or off. Off is the default; when off, every
+/// recording call costs one relaxed atomic load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the recorder is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Sets the per-thread ring capacity (events). Applies to subsequent
+/// pushes on every thread; existing rings shrink lazily as they push.
+pub fn set_capacity(cap: usize) {
+    CAPACITY.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// Total events dropped (oldest-first) across all threads since the
+/// last [`reset`].
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Names the calling thread's trace timeline. Threads that never call
+/// this use their OS thread name (or "thread").
+pub fn register_thread(name: impl Into<String>) {
+    LOCAL.with(|buf| {
+        *buf.name.lock().expect("trace thread name poisoned") = name.into();
+    });
+}
+
+fn record(ev: Event) {
+    LOCAL.with(|buf| {
+        buf.ring.lock().expect("trace ring poisoned").push(ev);
+    });
+}
+
+/// RAII guard recording a complete span from creation to drop.
+pub struct SpanGuard {
+    name: Option<Name>,
+    start_ns: u64,
+}
+
+impl SpanGuard {
+    fn new(name: Name) -> Self {
+        Self {
+            name: Some(name),
+            start_ns: crate::anchor_ns(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            // Start and end on the same anchor timebase, so a span
+            // always covers every event recorded inside it.
+            let end_ns = crate::anchor_ns();
+            record(Event {
+                name,
+                ts_ns: self.start_ns,
+                kind: Kind::Complete {
+                    dur_ns: end_ns.saturating_sub(self.start_ns),
+                },
+            });
+        }
+    }
+}
+
+/// Opens a span on the calling thread's timeline; the span closes when
+/// the returned guard drops. Returns `None` (recording nothing) when
+/// tracing is disabled.
+#[inline]
+pub fn span(name: &'static str) -> Option<SpanGuard> {
+    if !enabled() {
+        return None;
+    }
+    Some(SpanGuard::new(Name::Static(name)))
+}
+
+/// Like [`span`] but with a dynamically built name (bench cells etc.).
+#[inline]
+pub fn span_dyn(name: String) -> Option<SpanGuard> {
+    if !enabled() {
+        return None;
+    }
+    Some(SpanGuard::new(Name::Owned(name)))
+}
+
+/// Records a zero-duration marker on the calling thread's timeline.
+#[inline]
+pub fn instant(name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        name: Name::Static(name),
+        ts_ns: crate::anchor_ns(),
+        kind: Kind::Instant,
+    });
+}
+
+/// Samples a counter value onto the calling thread's timeline.
+#[inline]
+pub fn counter(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        name: Name::Static(name),
+        ts_ns: crate::anchor_ns(),
+        kind: Kind::Counter { value },
+    });
+}
+
+/// One thread's drained timeline.
+pub struct ThreadTrace {
+    /// Stable per-process thread id (1-based registration order).
+    pub tid: u64,
+    /// Timeline name (thread name or [`register_thread`] override).
+    pub name: String,
+    /// Events in record order.
+    pub events: Vec<Event>,
+}
+
+/// Drains every thread's buffered events (leaving the buffers empty but
+/// registered) and returns them grouped per thread, ordered by tid.
+pub fn drain() -> Vec<ThreadTrace> {
+    let reg = registry().lock().expect("trace registry poisoned");
+    let mut out: Vec<ThreadTrace> = reg
+        .iter()
+        .map(|buf| ThreadTrace {
+            tid: buf.tid,
+            name: buf.name.lock().expect("trace thread name poisoned").clone(),
+            events: buf
+                .ring
+                .lock()
+                .expect("trace ring poisoned")
+                .events
+                .drain(..)
+                .collect(),
+        })
+        .collect();
+    out.sort_by_key(|t| t.tid);
+    out
+}
+
+/// Clears all buffered events and the dropped-event counter. The
+/// enabled flag and registered threads are left alone.
+pub fn reset() {
+    let reg = registry().lock().expect("trace registry poisoned");
+    for buf in reg.iter() {
+        buf.ring.lock().expect("trace ring poisoned").events.clear();
+    }
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The recorder is process-global; run every scenario under one
+    /// test function so enabling/disabling can't race between tests.
+    #[test]
+    fn t_trace_recorder_end_to_end() {
+        // Disabled: nothing is recorded, nothing is dropped.
+        reset();
+        set_enabled(false);
+        instant("t_trace.off");
+        counter("t_trace.off_counter", 1.0);
+        drop(span("t_trace.off_span"));
+        let disabled_events: usize = drain().iter().map(|t| t.events.len()).sum();
+        assert_eq!(disabled_events, 0, "disabled recorder captured events");
+
+        // Enabled: spans, instants and counters land on this thread's
+        // timeline in record order with monotone timestamps.
+        set_enabled(true);
+        register_thread("t_trace_main");
+        {
+            let _g = span("t_trace.outer");
+            instant("t_trace.marker");
+            counter("t_trace.value", 42.5);
+        }
+        let traces = drain();
+        let mine = traces
+            .iter()
+            .find(|t| t.name == "t_trace_main")
+            .expect("calling thread registered");
+        assert_eq!(mine.events.len(), 3);
+        // Drop order: instant, counter, then the enclosing span.
+        assert_eq!(mine.events[0].name.as_str(), "t_trace.marker");
+        assert!(matches!(mine.events[0].kind, Kind::Instant));
+        assert_eq!(mine.events[1].name.as_str(), "t_trace.value");
+        match mine.events[1].kind {
+            Kind::Counter { value } => assert_eq!(value, 42.5),
+            ref k => panic!("expected counter, got {k:?}"),
+        }
+        assert_eq!(mine.events[2].name.as_str(), "t_trace.outer");
+        match mine.events[2].kind {
+            Kind::Complete { dur_ns } => {
+                assert!(mine.events[2].ts_ns <= mine.events[0].ts_ns);
+                assert!(mine.events[2].ts_ns + dur_ns >= mine.events[1].ts_ns);
+            }
+            ref k => panic!("expected complete span, got {k:?}"),
+        }
+
+        // Worker threads get their own timelines with their own names.
+        let handle = std::thread::Builder::new()
+            .name("t-trace-worker".into())
+            .spawn(|| {
+                register_thread("t_trace_worker");
+                instant("t_trace.from_worker");
+            })
+            .unwrap();
+        handle.join().unwrap();
+        let traces = drain();
+        let worker = traces
+            .iter()
+            .find(|t| t.name == "t_trace_worker")
+            .expect("worker thread registered");
+        assert_eq!(worker.events.len(), 1);
+        assert_eq!(worker.events[0].name.as_str(), "t_trace.from_worker");
+
+        // Overflow drops the OLDEST events and counts every drop.
+        reset();
+        set_capacity(8);
+        let before = dropped();
+        assert_eq!(before, 0);
+        for _ in 0..20 {
+            instant("t_trace.flood");
+        }
+        instant("t_trace.newest");
+        assert_eq!(dropped(), 13, "20 + 1 pushes into capacity 8");
+        assert_eq!(
+            crate::metrics::counter("trace.dropped").get(),
+            13,
+            "trace.dropped metric mirrors the drop count"
+        );
+        let traces = drain();
+        let mine = traces.iter().find(|t| t.name == "t_trace_main").unwrap();
+        assert_eq!(mine.events.len(), 8, "ring holds exactly its capacity");
+        assert_eq!(
+            mine.events.last().unwrap().name.as_str(),
+            "t_trace.newest",
+            "newest event survives an overflowing ring"
+        );
+
+        set_capacity(DEFAULT_CAPACITY);
+        set_enabled(false);
+        reset();
+    }
+}

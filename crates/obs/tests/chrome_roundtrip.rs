@@ -1,0 +1,112 @@
+//! The exported Chrome trace must round-trip through a real JSON
+//! parser: structurally valid `trace_event` Object Format, with the
+//! metadata, complete, instant and counter phases Perfetto expects.
+
+use cf_obs::export::chrome_trace_json;
+use cf_obs::trace::{Event, Kind, Name, ThreadTrace};
+use serde_json::Value;
+
+fn sample() -> Vec<ThreadTrace> {
+    vec![
+        ThreadTrace {
+            tid: 1,
+            name: "main".into(),
+            events: vec![
+                Event {
+                    name: Name::Static("discover"),
+                    ts_ns: 0,
+                    kind: Kind::Complete { dur_ns: 5_000_000 },
+                },
+                Event {
+                    name: Name::Static("tape.reset"),
+                    ts_ns: 1_000_000,
+                    kind: Kind::Instant,
+                },
+            ],
+        },
+        ThreadTrace {
+            tid: 2,
+            name: "cf-par-0".into(),
+            events: vec![Event {
+                name: Name::Owned("pool \"quoted\" name".into()),
+                ts_ns: 2_000_000,
+                kind: Kind::Counter { value: 3.25 },
+            }],
+        },
+    ]
+}
+
+#[test]
+fn chrome_trace_round_trips_through_serde_json() {
+    let json = chrome_trace_json(&sample());
+    let v: Value = serde_json::from_str(&json).expect("exporter emits valid JSON");
+
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    // 2 thread_name metadata + 3 data events.
+    assert_eq!(events.len(), 5);
+
+    let phase = |e: &Value| e.get("ph").and_then(Value::as_str).unwrap().to_string();
+    assert_eq!(events.iter().filter(|e| phase(e) == "M").count(), 2);
+    assert_eq!(events.iter().filter(|e| phase(e) == "X").count(), 1);
+    assert_eq!(events.iter().filter(|e| phase(e) == "i").count(), 1);
+    assert_eq!(events.iter().filter(|e| phase(e) == "C").count(), 1);
+
+    for e in events {
+        // Every event carries pid + tid, and data events a numeric ts.
+        assert!(e.get("pid").and_then(Value::as_u64).is_some());
+        assert!(e.get("tid").and_then(Value::as_u64).is_some());
+        if phase(e) != "M" {
+            assert!(e.get("ts").and_then(Value::as_f64).is_some());
+        }
+    }
+
+    let span = events.iter().find(|e| phase(e) == "X").unwrap();
+    assert_eq!(span.get("name").and_then(Value::as_str), Some("discover"));
+    assert_eq!(span.get("dur").and_then(Value::as_f64), Some(5_000.0));
+
+    let counter = events.iter().find(|e| phase(e) == "C").unwrap();
+    assert_eq!(
+        counter.get("name").and_then(Value::as_str),
+        Some("pool \"quoted\" name"),
+        "dynamic names with quotes survive escaping"
+    );
+    assert_eq!(
+        counter
+            .get("args")
+            .and_then(|a| a.get("value"))
+            .and_then(Value::as_f64),
+        Some(3.25)
+    );
+
+    let meta = events.iter().find(|e| phase(e) == "M").unwrap();
+    assert_eq!(
+        meta.get("name").and_then(Value::as_str),
+        Some("thread_name")
+    );
+    assert!(meta
+        .get("args")
+        .and_then(|a| a.get("name"))
+        .and_then(Value::as_str)
+        .is_some());
+
+    assert!(v.get("traceEpochUnix").and_then(Value::as_f64).is_some());
+    assert_eq!(v.get("droppedEvents").and_then(Value::as_u64), Some(0));
+}
+
+#[test]
+fn unix_time_is_monotone() {
+    // Instant-anchored: consecutive samples can never go backward even
+    // if NTP steps the wall clock mid-run.
+    let mut prev = cf_obs::unix_time();
+    for _ in 0..1_000 {
+        let now = cf_obs::unix_time();
+        assert!(now >= prev, "unix_time went backward: {prev} -> {now}");
+        prev = now;
+    }
+    // The anchor itself is fixed.
+    assert_eq!(cf_obs::anchor_unix_time(), cf_obs::anchor_unix_time());
+    assert!(cf_obs::unix_time() >= cf_obs::anchor_unix_time());
+}

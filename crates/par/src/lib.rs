@@ -93,6 +93,7 @@ impl Job {
                 break;
             }
             let started = Instant::now();
+            let _chunk_span = cf_obs::trace::span("par.chunk");
             // SAFETY: i < total, so the publisher is still blocked in
             // `Pool::run` keeping the closure alive.
             let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*self.func)(i) })).is_ok();
@@ -180,6 +181,7 @@ impl Pool {
         if chunks == 0 {
             return;
         }
+        let _job_span = cf_obs::trace::span("par.job");
         let inline = self.size == 1 || chunks == 1 || IN_POOL_TASK.with(|c| c.get());
         if inline {
             metrics().jobs_inline.add(1);
@@ -257,6 +259,11 @@ impl Drop for Pool {
 
 fn worker_loop(shared: &Shared) {
     IN_POOL_TASK.with(|c| c.set(true));
+    // Give this worker its own named trace timeline (the OS thread name
+    // set at spawn, e.g. "cf-par-3").
+    if let Some(name) = std::thread::current().name() {
+        cf_obs::trace::register_thread(name.to_string());
+    }
     let mut seen_epoch = 0u64;
     loop {
         let job = {

@@ -178,6 +178,7 @@ pub(crate) fn grab(n: usize) -> (Vec<f64>, u32) {
             return (buf, home);
         }
         MISS.fetch_add(1, Ordering::Relaxed);
+        cf_obs::trace::instant("pool.miss");
     }
     let home = thread_id();
     ALLOC.fetch_add(1, Ordering::Relaxed);
@@ -288,6 +289,11 @@ pub fn publish_obs() {
     cf_obs::metrics::counter("mem.pool.miss").add(delta(&LAST_MISS, s.miss));
     cf_obs::metrics::counter("mem.alloc.count").add(delta(&LAST_ALLOC, s.alloc));
     cf_obs::metrics::gauge("mem.pool.bytes_outstanding").set(s.bytes_outstanding as f64);
+    // Cumulative samples onto the trace timeline so Perfetto's counter
+    // track (and the report's pool panel) can plot them over time.
+    cf_obs::trace::counter("mem.pool.hit", s.hit as f64);
+    cf_obs::trace::counter("mem.pool.miss", s.miss as f64);
+    cf_obs::trace::counter("mem.pool.bytes_outstanding", s.bytes_outstanding as f64);
 }
 
 #[cfg(test)]

@@ -275,6 +275,7 @@ impl Tape {
     /// Dropped node values (and `MulConst` payloads) recycle their buffers
     /// through the pool, so the next recording re-uses them.
     pub fn reset(&mut self) {
+        cf_obs::trace::instant("tape.reset");
         self.nodes.clear();
     }
 

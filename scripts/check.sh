@@ -30,4 +30,30 @@ for threads in 1 2 4; do
     --test resume_determinism --test fault_injection
 done
 
+# Report smoke: a real discover run must produce a loadable trace, a
+# diagnostics stream, and an HTML dashboard containing every panel.
+echo "== causalformer report smoke"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run -q -p cf-cli --bin causalformer -- \
+  generate --dataset fork --length 200 --seed 1 --output "$smoke_dir/fork.csv"
+cargo run -q -p cf-cli --bin causalformer -- \
+  discover --input "$smoke_dir/fork.csv" --preset synthetic-sparse \
+  --window 8 --epochs 3 --seed 1 --quiet \
+  --metrics-out "$smoke_dir/metrics.jsonl" \
+  --trace-out "$smoke_dir/trace.json" \
+  --diag-out "$smoke_dir/diag.cfdiag"
+cargo run -q -p cf-cli --bin causalformer -- \
+  report --metrics "$smoke_dir/metrics.jsonl" \
+  --trace "$smoke_dir/trace.json" --diag "$smoke_dir/diag.cfdiag" \
+  --out "$smoke_dir/report.html"
+test -s "$smoke_dir/report.html"
+for panel in panel-training-loss panel-causal-evolution \
+             panel-thread-utilization panel-pool; do
+  grep -q "id=\"$panel\"" "$smoke_dir/report.html" \
+    || { echo "missing $panel in report.html"; exit 1; }
+done
+grep -q '"traceEvents"' "$smoke_dir/trace.json"
+grep -q '"record":"detect"' "$smoke_dir/diag.cfdiag"
+
 echo "All checks passed."
