@@ -20,8 +20,7 @@
 //! bench-smoke job runs this with `--smoke`).
 
 use cf_bench::{
-    init_metrics, maybe_dump_metrics, maybe_write_trace, parse_options, run_cell, DatasetKind,
-    MethodKind, Options,
+    init_metrics, maybe_dump_metrics, parse_options, run_cell, DatasetKind, MethodKind, Options,
 };
 use cf_data::lorenz96::{self, Lorenz96Config};
 use rand::rngs::StdRng;
@@ -47,11 +46,27 @@ struct ThreadTiming {
     pool_hits: u64,
     /// Buffer-pool free-list misses during this run.
     pool_misses: u64,
+    /// More worker threads than the host has cores: the wall time
+    /// measures scheduler contention, not scaling, and downstream
+    /// consumers (`bench-diff`) must not draw scaling conclusions.
+    oversubscribed: bool,
+}
+
+/// Merges drained timelines into `into`, concatenating events per tid so
+/// repeated drains still yield one timeline per thread in the final trace.
+fn merge_traces(into: &mut Vec<cf_obs::trace::ThreadTrace>, more: Vec<cf_obs::trace::ThreadTrace>) {
+    for t in more {
+        match into.iter_mut().find(|h| h.tid == t.tid) {
+            Some(h) => h.events.extend(t.events),
+            None => into.push(t),
+        }
+    }
 }
 
 /// Runs `f`, returning its result, the wall time, and the pool-counter
 /// deltas the run produced.
 fn timed<R>(threads: usize, f: impl FnOnce() -> R) -> (R, ThreadTiming) {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let before = cf_tensor::pool::stats();
     let started = Instant::now();
     let out = f();
@@ -65,6 +80,7 @@ fn timed<R>(threads: usize, f: impl FnOnce() -> R) -> (R, ThreadTiming) {
             alloc_count: after.alloc - before.alloc,
             pool_hits: after.hit - before.hit,
             pool_misses: after.miss - before.miss,
+            oversubscribed: threads > host_cores,
         },
     )
 }
@@ -107,6 +123,14 @@ fn main() {
         vec![1usize, 4]
     };
     println!("Parallel baseline — host has {host_cores} core(s)");
+    if thread_counts.iter().any(|&t| t > host_cores) {
+        eprintln!(
+            "WARNING: thread counts {thread_counts:?} exceed the {host_cores} available \
+             core(s) — multi-thread cells will be OVERSUBSCRIBED and their wall times \
+             measure scheduler contention, not scaling; cells are flagged in the JSON \
+             output"
+        );
+    }
 
     // Per-(method × dataset) wall times: the Table 1 methods that gained a
     // parallel path in this round, on one synthetic and one dynamical
@@ -165,8 +189,22 @@ fn main() {
     }
 
     // End-to-end discover on Lorenz-96 with N = 20 variables (N = 6 and a
-    // short series in smoke mode).
+    // short series in smoke mode). With `--trace-out BASE.json`, each
+    // thread count additionally gets its own standalone trace
+    // (`BASE.lorenz96-<N>t.json`) — a ready-made input pair for
+    // `causalformer analyze --compare` — and the binary prints the
+    // scaling attribution for the first-vs-last pair in-process.
+    let tracing = options.trace_out.is_some();
+    // Events recorded so far (the cell matrix) are held aside so the
+    // per-run drains below stay scoped to one lorenz run each; they are
+    // merged back for the final whole-run trace file.
+    let mut held = if tracing {
+        cf_obs::trace::drain()
+    } else {
+        Vec::new()
+    };
     let mut lorenz = Vec::new();
+    let mut lorenz_traces = Vec::new();
     for &threads in &thread_counts {
         cf_par::set_threads(threads);
         let mut rng = StdRng::seed_from_u64(96);
@@ -185,15 +223,58 @@ fn main() {
             "lorenz96 n={} discover with {threads} thread(s) …",
             config.n
         );
-        let _cell_span = cf_obs::trace::span_dyn(format!("lorenz96 n={} {threads}t", config.n));
-        let (result, timing) = timed(threads, || cf.discover(&mut rng, &data.series));
+        let (result, timing) = {
+            let _cell_span = cf_obs::trace::span_dyn(format!("lorenz96 n={} {threads}t", config.n));
+            timed(threads, || cf.discover(&mut rng, &data.series))
+        };
         println!(
-            "lorenz96 n={}, {threads} thread(s): {:.2}s, {} edges",
+            "lorenz96 n={}, {threads} thread(s): {:.2}s, {} edges{}",
             config.n,
             timing.secs,
-            result.graph.edges().count()
+            result.graph.edges().count(),
+            if timing.oversubscribed {
+                " [OVERSUBSCRIBED — wall time not meaningful]"
+            } else {
+                ""
+            }
         );
         lorenz.push(timing);
+        if let Some(base) = &options.trace_out {
+            let run = cf_obs::trace::drain();
+            let stem = base.strip_suffix(".json").unwrap_or(base);
+            let path = format!("{stem}.lorenz96-{threads}t.json");
+            std::fs::write(&path, cf_obs::export::chrome_trace_json(&run))
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("lorenz96 {threads}-thread trace written to {path}");
+            lorenz_traces.push((threads, run));
+        }
+    }
+
+    // In-process scaling attribution over the first-vs-last lorenz pair:
+    // which spans fail to shrink as threads increase. The same table is
+    // reproducible offline via `causalformer analyze --compare`.
+    if let [first, .., last] = lorenz_traces.as_slice() {
+        let base = cf_obs::analyze::Trace::from_thread_traces(&first.1);
+        let scaled = cf_obs::analyze::Trace::from_thread_traces(&last.1);
+        let p = (last.0 as f64 / first.0 as f64).max(1.0);
+        let report = cf_obs::analyze::scaling_attribution(&base, &scaled, p);
+        println!(
+            "scaling attribution lorenz96 {}t → {}t (wall speedup {:.2}×):",
+            first.0, last.0, report.wall_speedup
+        );
+        for row in report.rows.iter().take(8) {
+            println!(
+                "  {:<28} {:>9.1}ms → {:>9.1}ms  speedup {:>5.2}×  lost {:>8.1}ms",
+                row.name,
+                row.base_us / 1_000.0,
+                row.scaled_us / 1_000.0,
+                row.speedup,
+                row.lost_us / 1_000.0
+            );
+        }
+    }
+    for (_, run) in lorenz_traces {
+        merge_traces(&mut held, run);
     }
 
     // Steady-state allocation gate: with the pool warmed by a first run,
@@ -292,7 +373,9 @@ fn main() {
         },
         notes: "wall times are single-run; outputs are bitwise identical \
                 across thread counts, so only timing varies. Speedups above \
-                1 thread require host_cores > 1. alloc/pool counters come \
+                1 thread require host_cores > 1; timings with \
+                oversubscribed=true ran more threads than cores and measure \
+                scheduler contention, not scaling. alloc/pool counters come \
                 from the cf-tensor buffer pool; steady_state repeats the \
                 lorenz96 discover on a warm pool at 1 thread.",
     };
@@ -305,5 +388,18 @@ fn main() {
         None => println!("{json}"),
     }
     maybe_dump_metrics(&options, &raw_cells);
-    maybe_write_trace(&options);
+    // The lorenz loop drained the recorder into `held` piecewise; write
+    // the merged whole-run trace instead of `maybe_write_trace` (which
+    // would only see the post-drain remainder).
+    if let Some(path) = &options.trace_out {
+        cf_obs::trace::set_enabled(false);
+        merge_traces(&mut held, cf_obs::trace::drain());
+        match std::fs::write(path, cf_obs::export::chrome_trace_json(&held)) {
+            Ok(()) => println!("trace written to {path}"),
+            Err(e) => {
+                eprintln!("error: writing trace {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

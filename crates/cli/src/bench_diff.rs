@@ -1,0 +1,490 @@
+//! `causalformer bench-diff` — cell-by-cell comparison of two
+//! `BENCH_*.json` files (the output of the `par_baseline` bench
+//! harness).
+//!
+//! Cells are keyed `(method, dataset, threads)`; the scaling benchmark
+//! `lorenz96_n20_discover` contributes cells under its own name. For
+//! each cell present in both files the ratio `new/base` of wall seconds
+//! is computed; cells whose ratio exceeds `--threshold` count as
+//! regressions and make the command exit nonzero, so CI can gate on it.
+//!
+//! Cells recorded with more threads than the producing host had cores
+//! are annotated `oversubscribed` — their wall times measure scheduler
+//! contention, not scaling, and a "regression" there is expected (this
+//! is exactly the committed `BENCH_PR4.json` 4-thread story).
+
+use crate::CliError;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parsed `bench-diff` arguments.
+#[derive(Debug, Clone)]
+pub struct BenchDiffArgs {
+    /// Baseline bench JSON path.
+    pub baseline: String,
+    /// New bench JSON path.
+    pub new: String,
+    /// Regression threshold on the `new/base` wall-time ratio
+    /// (default 1.10 = fail on >10% slowdown).
+    pub threshold: f64,
+    /// Emit machine-readable JSON instead of the markdown table.
+    pub json: bool,
+}
+
+impl Default for BenchDiffArgs {
+    fn default() -> Self {
+        Self {
+            baseline: String::new(),
+            new: String::new(),
+            threshold: 1.10,
+            json: false,
+        }
+    }
+}
+
+/// One benchmark cell: a (method, dataset, threads) wall-time sample.
+#[derive(Debug, Clone)]
+struct Cell {
+    secs: f64,
+    /// Recorded with more threads than the host had cores.
+    oversubscribed: bool,
+}
+
+type CellKey = (String, String, u64);
+
+/// Flattens one bench JSON into keyed cells. Unknown fields are
+/// ignored, so the diff keeps working as the harness grows columns.
+fn load_bench(path: &str) -> Result<BTreeMap<CellKey, Cell>, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Run(format!("reading {path}: {e}")))?;
+    let v: Value =
+        serde_json::from_str(&text).map_err(|e| CliError::Run(format!("{path}: bad JSON: {e}")))?;
+    let host_cores = v.get("host_cores").and_then(Value::as_u64);
+    let mut cells = BTreeMap::new();
+    let mut add = |method: &str, dataset: &str, timing: &Value| {
+        let (Some(threads), Some(secs)) = (
+            timing.get("threads").and_then(Value::as_u64),
+            timing.get("secs").and_then(Value::as_f64),
+        ) else {
+            return;
+        };
+        cells.insert(
+            (method.to_string(), dataset.to_string(), threads),
+            Cell {
+                secs,
+                oversubscribed: host_cores.is_some_and(|c| threads > c),
+            },
+        );
+    };
+    for cell in v
+        .get("cells")
+        .and_then(Value::as_array)
+        .map(Vec::as_slice)
+        .unwrap_or_default()
+    {
+        let method = cell.get("method").and_then(Value::as_str).unwrap_or("?");
+        let dataset = cell.get("dataset").and_then(Value::as_str).unwrap_or("?");
+        for timing in cell
+            .get("wall_secs")
+            .and_then(Value::as_array)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+        {
+            add(method, dataset, timing);
+        }
+    }
+    for timing in v
+        .get("lorenz96_n20_discover")
+        .and_then(Value::as_array)
+        .map(Vec::as_slice)
+        .unwrap_or_default()
+    {
+        add("lorenz96_n20_discover", "-", timing);
+    }
+    if cells.is_empty() {
+        return Err(CliError::Run(format!(
+            "{path}: no benchmark cells found — not a BENCH_*.json file?"
+        )));
+    }
+    Ok(cells)
+}
+
+/// One row of the diff.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// Method name (or `lorenz96_n20_discover` for the scaling bench).
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Thread count of the cell.
+    pub threads: u64,
+    /// Baseline wall seconds.
+    pub base_secs: f64,
+    /// New wall seconds.
+    pub new_secs: f64,
+    /// `new/base` ratio; >1 is a slowdown.
+    pub ratio: f64,
+    /// Ratio exceeded the threshold.
+    pub regressed: bool,
+    /// Either side was recorded oversubscribed.
+    pub oversubscribed: bool,
+}
+
+/// The full diff: rows plus cells present on only one side.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Compared cells, worst ratio first.
+    pub rows: Vec<DiffRow>,
+    /// Keys only in the baseline.
+    pub only_base: Vec<CellKey>,
+    /// Keys only in the new file.
+    pub only_new: Vec<CellKey>,
+    /// Threshold used.
+    pub threshold: f64,
+}
+
+impl DiffReport {
+    /// Number of regressed cells; nonzero means the command fails.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+}
+
+/// Compares two bench files cell-by-cell.
+pub fn diff(baseline: &str, new: &str, threshold: f64) -> Result<DiffReport, CliError> {
+    let base = load_bench(baseline)?;
+    let newer = load_bench(new)?;
+    let mut rows = Vec::new();
+    let mut only_base = Vec::new();
+    for (key, b) in &base {
+        match newer.get(key) {
+            Some(n) => {
+                let ratio = if b.secs > 0.0 {
+                    n.secs / b.secs
+                } else {
+                    f64::INFINITY
+                };
+                rows.push(DiffRow {
+                    method: key.0.clone(),
+                    dataset: key.1.clone(),
+                    threads: key.2,
+                    base_secs: b.secs,
+                    new_secs: n.secs,
+                    ratio,
+                    regressed: ratio > threshold,
+                    oversubscribed: b.oversubscribed || n.oversubscribed,
+                });
+            }
+            None => only_base.push(key.clone()),
+        }
+    }
+    let only_new: Vec<CellKey> = newer
+        .keys()
+        .filter(|k| !base.contains_key(*k))
+        .cloned()
+        .collect();
+    rows.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+    Ok(DiffReport {
+        rows,
+        only_base,
+        only_new,
+        threshold,
+    })
+}
+
+fn markdown(report: &DiffReport, baseline: &str, new: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench diff: {baseline} → {new} (threshold {:.2}×)",
+        report.threshold
+    );
+    if report.rows.iter().any(|r| r.oversubscribed) {
+        let _ = writeln!(
+            out,
+            "WARNING: cells marked `oversub` ran more threads than the recording host \
+             had cores — their wall times measure contention, not scaling"
+        );
+    }
+    let _ = writeln!(out, "| method | dataset | threads | base | new | ratio | |");
+    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---|");
+    for r in &report.rows {
+        let mut note = String::new();
+        if r.regressed {
+            note.push_str("REGRESSED");
+        }
+        if r.oversubscribed {
+            if !note.is_empty() {
+                note.push(' ');
+            }
+            note.push_str("oversub");
+        }
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.4}s | {:.4}s | {:.2}× | {note} |",
+            r.method, r.dataset, r.threads, r.base_secs, r.new_secs, r.ratio
+        );
+    }
+    for (label, keys) in [
+        ("only in baseline", &report.only_base),
+        ("only in new", &report.only_new),
+    ] {
+        for (m, d, t) in keys {
+            let _ = writeln!(out, "note: cell ({m}, {d}, {t}T) {label} — not compared");
+        }
+    }
+    let n = report.regressions();
+    let _ = writeln!(
+        out,
+        "{}",
+        if n == 0 {
+            format!("OK: no cell regressed beyond {:.2}×", report.threshold)
+        } else {
+            format!(
+                "FAIL: {n} cell(s) regressed beyond {:.2}×",
+                report.threshold
+            )
+        }
+    );
+    out
+}
+
+fn machine_json(report: &DiffReport, baseline: &str, new: &str) -> String {
+    let mut rows = cf_obs::json::Arr::new();
+    for r in &report.rows {
+        rows = rows.raw(
+            &cf_obs::json::Obj::new()
+                .str("method", &r.method)
+                .str("dataset", &r.dataset)
+                .u64("threads", r.threads)
+                .f64("base_secs", r.base_secs)
+                .f64("new_secs", r.new_secs)
+                .f64("ratio", r.ratio)
+                .bool("regressed", r.regressed)
+                .bool("oversubscribed", r.oversubscribed)
+                .finish(),
+        );
+    }
+    let key_arr = |keys: &[CellKey]| {
+        let mut arr = cf_obs::json::Arr::new();
+        for (m, d, t) in keys {
+            arr = arr.raw(
+                &cf_obs::json::Obj::new()
+                    .str("method", m)
+                    .str("dataset", d)
+                    .u64("threads", *t)
+                    .finish(),
+            );
+        }
+        arr.finish()
+    };
+    cf_obs::json::Obj::new()
+        .str("schema", "bench-diff-v1")
+        .str("baseline", baseline)
+        .str("new", new)
+        .f64("threshold", report.threshold)
+        .u64("regressions", report.regressions() as u64)
+        .raw("rows", &rows.finish())
+        .raw("only_base", &key_arr(&report.only_base))
+        .raw("only_new", &key_arr(&report.only_new))
+        .finish()
+}
+
+/// Executes `bench-diff`. Returns the rendered output and the number of
+/// regressions; `main` maps a nonzero count to a nonzero exit code.
+pub fn run_bench_diff(a: &BenchDiffArgs) -> Result<(String, usize), CliError> {
+    if !(a.threshold.is_finite() && a.threshold > 0.0) {
+        return Err(CliError::Usage(
+            "--threshold must be a positive ratio (e.g. 1.10)".into(),
+        ));
+    }
+    let report = diff(&a.baseline, &a.new, a.threshold)?;
+    let out = if a.json {
+        let mut s = machine_json(&report, &a.baseline, &a.new);
+        s.push('\n');
+        s
+    } else {
+        markdown(&report, &a.baseline, &a.new)
+    };
+    Ok((out, report.regressions()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_json(cf_lorenz_4t_secs: f64, host_cores: u64) -> String {
+        format!(
+            r#"{{
+  "host_cores": {host_cores},
+  "thread_counts": [1, 4],
+  "cells": [
+    {{"method": "CausalFormer", "dataset": "Fork", "f1_mean": 0.88,
+      "wall_secs": [
+        {{"threads": 1, "secs": 0.156}},
+        {{"threads": 4, "secs": 0.186}}
+      ]}},
+    {{"method": "CausalFormer", "dataset": "Lorenz96", "f1_mean": 0.59,
+      "wall_secs": [
+        {{"threads": 1, "secs": 0.308}},
+        {{"threads": 4, "secs": {cf_lorenz_4t_secs}}}
+      ]}}
+  ],
+  "lorenz96_n20_discover": [
+    {{"threads": 1, "secs": 0.351}},
+    {{"threads": 4, "secs": 0.407}}
+  ]
+}}"#
+        )
+    }
+
+    fn tmp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn identical_files_have_zero_regressions() {
+        let a = tmp("cf_bd_same_a.json", &bench_json(0.372, 8));
+        let b = tmp("cf_bd_same_b.json", &bench_json(0.372, 8));
+        let (out, regressions) = run_bench_diff(&BenchDiffArgs {
+            baseline: a.clone(),
+            new: b.clone(),
+            ..BenchDiffArgs::default()
+        })
+        .unwrap();
+        assert_eq!(regressions, 0, "{out}");
+        assert!(out.contains("OK: no cell regressed"), "{out}");
+        // All six cells (4 matrix + 2 scaling) compared at ratio 1.00×.
+        assert_eq!(out.matches("1.00×").count(), 6, "{out}");
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn exactly_one_regressed_cell_is_named_and_counted() {
+        let a = tmp("cf_bd_reg_a.json", &bench_json(0.372, 8));
+        // CausalFormer/Lorenz96 @4T slows 0.372 → 0.500 (1.34×); every
+        // other cell is identical.
+        let b = tmp("cf_bd_reg_b.json", &bench_json(0.500, 8));
+        let (out, regressions) = run_bench_diff(&BenchDiffArgs {
+            baseline: a.clone(),
+            new: b.clone(),
+            threshold: 1.15,
+            ..BenchDiffArgs::default()
+        })
+        .unwrap();
+        assert_eq!(regressions, 1, "{out}");
+        assert!(out.contains("FAIL: 1 cell(s) regressed"), "{out}");
+        // The worst ratio sorts first and carries the marker.
+        let first_row = out.lines().find(|l| l.starts_with("| Causal")).unwrap();
+        assert!(
+            first_row.contains("Lorenz96") && first_row.contains("REGRESSED"),
+            "{out}"
+        );
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn oversubscribed_cells_are_annotated() {
+        // host_cores 1 with 4-thread cells — the committed BENCH_PR4
+        // situation.
+        let a = tmp("cf_bd_over_a.json", &bench_json(0.372, 1));
+        let b = tmp("cf_bd_over_b.json", &bench_json(0.372, 1));
+        let (out, regressions) = run_bench_diff(&BenchDiffArgs {
+            baseline: a.clone(),
+            new: b.clone(),
+            ..BenchDiffArgs::default()
+        })
+        .unwrap();
+        assert_eq!(regressions, 0);
+        assert!(out.contains("WARNING"), "{out}");
+        // Three 4-thread cells, each annotated.
+        assert_eq!(out.matches("oversub |").count(), 3, "{out}");
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn json_output_round_trips() {
+        let a = tmp("cf_bd_json_a.json", &bench_json(0.372, 8));
+        let b = tmp("cf_bd_json_b.json", &bench_json(0.500, 8));
+        let (out, regressions) = run_bench_diff(&BenchDiffArgs {
+            baseline: a.clone(),
+            new: b.clone(),
+            threshold: 1.15,
+            json: true,
+        })
+        .unwrap();
+        assert_eq!(regressions, 1);
+        let v: Value = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(v["schema"].as_str(), Some("bench-diff-v1"));
+        assert_eq!(v["regressions"].as_u64(), Some(1));
+        assert_eq!(v["rows"].as_array().unwrap().len(), 6);
+        assert_eq!(v["rows"][0]["regressed"].as_bool(), Some(true));
+        assert_eq!(v["rows"][0]["dataset"].as_str(), Some("Lorenz96"));
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn unmatched_cells_are_reported_not_compared() {
+        let a = tmp("cf_bd_uk_a.json", &bench_json(0.372, 8));
+        // New file lacks the scaling section entirely.
+        let trimmed = bench_json(0.372, 8).replace("lorenz96_n20_discover", "renamed_section");
+        let b = tmp("cf_bd_uk_b.json", &trimmed);
+        let (out, regressions) = run_bench_diff(&BenchDiffArgs {
+            baseline: a.clone(),
+            new: b.clone(),
+            ..BenchDiffArgs::default()
+        })
+        .unwrap();
+        assert_eq!(regressions, 0, "{out}");
+        assert!(out.contains("only in baseline"), "{out}");
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn committed_bench_pr4_self_diff_is_clean_and_flagged_oversubscribed() {
+        // The real committed baseline: host_cores 1 with 4T cells must
+        // self-compare clean but carry the oversubscription warning.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+        if !std::path::Path::new(path).exists() {
+            return;
+        }
+        let (out, regressions) = run_bench_diff(&BenchDiffArgs {
+            baseline: path.into(),
+            new: path.into(),
+            ..BenchDiffArgs::default()
+        })
+        .unwrap();
+        assert_eq!(regressions, 0, "{out}");
+        assert!(out.contains("oversub"), "{out}");
+    }
+
+    #[test]
+    fn rejects_non_bench_files_and_bad_threshold() {
+        let bogus = tmp("cf_bd_bogus.json", r#"{"traceEvents": []}"#);
+        let err = run_bench_diff(&BenchDiffArgs {
+            baseline: bogus.clone(),
+            new: bogus.clone(),
+            ..BenchDiffArgs::default()
+        })
+        .unwrap_err();
+        assert!(format!("{err}").contains("no benchmark cells"), "{err}");
+        assert!(matches!(
+            run_bench_diff(&BenchDiffArgs {
+                baseline: bogus.clone(),
+                new: bogus.clone(),
+                threshold: 0.0,
+                ..BenchDiffArgs::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(&bogus).ok();
+    }
+}

@@ -21,8 +21,12 @@
 //! causalformer report --metrics run.jsonl --trace trace.json --out report.html
 //! ```
 
+pub mod analyze;
+pub mod bench_diff;
 pub mod report;
 
+pub use analyze::{run_analyze, AnalyzeArgs};
+pub use bench_diff::{run_bench_diff, BenchDiffArgs};
 pub use report::{run_report, ReportArgs};
 
 use causalformer::{diag, persist, presets, trainer, CausalFormer, CheckpointConfig};
@@ -65,7 +69,12 @@ usage:
                         [--resume] [--log-level LEVEL] [--quiet]
   causalformer generate --dataset NAME [--length L] [--seed S] --output FILE.csv
   causalformer report   --out FILE.html [--metrics FILE.jsonl]
-                        [--trace FILE.json] [--diag FILE.cfdiag]
+                        [--trace FILE.json] [--compare-trace FILE.json]
+                        [--diag FILE.cfdiag]
+  causalformer analyze  (--trace FILE.json | --compare BASE.json SCALED.json)
+                        [--top N] [--threads-base N] [--threads-scaled N]
+                        [--json]
+  causalformer bench-diff BASELINE.json NEW.json [--threshold R] [--json]
 
 discover options:
   --preset NAME        synthetic-dense | synthetic-sparse | lorenz | fmri | sst
@@ -105,7 +114,30 @@ report options:
   --trace FILE    Chrome trace from discover --trace-out
   --diag FILE     diagnostics from discover --diag-out
                   (at least one input is required; panels whose input is
-                  missing render a note instead of a chart)";
+                  missing render a note instead of a chart)
+  --compare-trace FILE
+                  second Chrome trace of the same workload at a higher
+                  thread count; adds a scaling-attribution panel
+
+analyze options:
+  --trace FILE         analyze one Chrome trace: top self-time spans,
+                       thread utilization, serial fraction, critical path
+  --compare BASE SCALED
+                       compare two traces of the same workload (e.g. a
+                       1-thread and a 4-thread run): ranks spans whose
+                       wall time fails to shrink with more threads
+  --top N              rows per table (default 15)
+  --threads-base N     baseline parallelism (default: inferred from
+                       cf-par worker timelines in the trace)
+  --threads-scaled N   scaled-trace parallelism (default: inferred)
+  --json               machine-readable JSON instead of tables
+
+bench-diff options:
+  compares two BENCH_*.json files cell-by-cell (method × dataset ×
+  threads); exits 1 when any cell's new/base wall-time ratio exceeds
+  the threshold
+  --threshold R   regression threshold ratio (default 1.10)
+  --json          machine-readable JSON instead of the markdown table";
 
 /// Parsed `discover` arguments.
 #[derive(Debug, Clone)]
@@ -166,6 +198,10 @@ pub enum Command {
     Generate(GenerateArgs),
     /// `report` subcommand.
     Report(ReportArgs),
+    /// `analyze` subcommand.
+    Analyze(AnalyzeArgs),
+    /// `bench-diff` subcommand.
+    BenchDiff(BenchDiffArgs),
     /// `--help`.
     Help,
 }
@@ -296,6 +332,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut a = ReportArgs {
                 metrics: None,
                 trace: None,
+                compare_trace: None,
                 diag: None,
                 out: String::new(),
             };
@@ -308,6 +345,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 match flag {
                     "--metrics" => a.metrics = Some(value.clone()),
                     "--trace" => a.trace = Some(value.clone()),
+                    "--compare-trace" => a.compare_trace = Some(value.clone()),
                     "--diag" => a.diag = Some(value.clone()),
                     "--out" => a.out = value.clone(),
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
@@ -322,7 +360,92 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "report requires at least one of --metrics, --trace, --diag".into(),
                 ));
             }
+            if a.compare_trace.is_some() && a.trace.is_none() {
+                return Err(CliError::Usage(
+                    "--compare-trace requires --trace (the baseline trace)".into(),
+                ));
+            }
             Ok(Command::Report(a))
+        }
+        "analyze" => {
+            let mut a = AnalyzeArgs::default();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                if flag == "--json" {
+                    a.json = true;
+                    i += 1;
+                    continue;
+                }
+                if flag == "--compare" {
+                    let base = rest
+                        .get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--compare requires two files".into()))?;
+                    let scaled = rest
+                        .get(i + 2)
+                        .ok_or_else(|| CliError::Usage("--compare requires two files".into()))?;
+                    a.compare = Some((base.clone(), scaled.clone()));
+                    i += 3;
+                    continue;
+                }
+                let value = rest
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))?;
+                match flag {
+                    "--trace" => a.trace = Some(value.clone()),
+                    "--top" => {
+                        let n: usize = parse_num(flag, value)?;
+                        if n == 0 {
+                            return Err(CliError::Usage("--top must be at least 1".into()));
+                        }
+                        a.top = n;
+                    }
+                    "--threads-base" => a.threads_base = Some(parse_num(flag, value)?),
+                    "--threads-scaled" => a.threads_scaled = Some(parse_num(flag, value)?),
+                    other => return Err(CliError::Usage(format!("unknown flag {other}"))),
+                }
+                i += 2;
+            }
+            match (&a.trace, &a.compare) {
+                (Some(_), None) | (None, Some(_)) => Ok(Command::Analyze(a)),
+                _ => Err(CliError::Usage(
+                    "analyze requires exactly one of --trace FILE or --compare BASE SCALED".into(),
+                )),
+            }
+        }
+        "bench-diff" => {
+            let mut a = BenchDiffArgs::default();
+            let mut positional = Vec::new();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                if flag == "--json" {
+                    a.json = true;
+                    i += 1;
+                    continue;
+                }
+                if flag == "--threshold" {
+                    let value = rest
+                        .get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--threshold requires a value".into()))?;
+                    a.threshold = parse_num(flag, value)?;
+                    i += 2;
+                    continue;
+                }
+                if flag.starts_with("--") {
+                    return Err(CliError::Usage(format!("unknown flag {flag}")));
+                }
+                positional.push(rest[i].clone());
+                i += 1;
+            }
+            let [baseline, new] = positional.as_slice() else {
+                return Err(CliError::Usage(
+                    "bench-diff requires exactly two files: BASELINE.json NEW.json".into(),
+                ));
+            };
+            a.baseline = baseline.clone();
+            a.new = new.clone();
+            Ok(Command::BenchDiff(a))
         }
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -371,6 +494,7 @@ fn setup_observability(a: &DiscoverArgs) -> Result<bool, CliError> {
         cf_obs::span::reset();
         cf_obs::metrics::reset();
         cf_obs::profile::reset();
+        cf_obs::hist::reset();
         cf_obs::profile::set_enabled(true);
         cf_obs::sink::install_file(path)
             .map_err(|e| CliError::Run(format!("opening {path}: {e}")))?;
@@ -394,7 +518,12 @@ fn setup_observability(a: &DiscoverArgs) -> Result<bool, CliError> {
 /// `meta` event. Major bumps mean existing consumers must not parse the
 /// file; minor bumps are additive. Files without a `meta` event predate
 /// versioning and are treated as `1.0`.
-pub const METRICS_SCHEMA_VERSION: &str = "2.0";
+///
+/// 2.1 (additive): `span_summary` entries carry streaming percentile
+/// estimates (`p50_secs`/`p95_secs`/`p99_secs`), and a `span_hist`
+/// summary event records the raw fixed-bucket duration histograms
+/// (schema `log2us-v1`, see `cf_obs::hist`).
+pub const METRICS_SCHEMA_VERSION: &str = "2.1";
 
 /// Executes `discover`, returning the human-readable report that `main`
 /// prints.

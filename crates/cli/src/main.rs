@@ -1,7 +1,10 @@
 //! `causalformer` — temporal causal discovery on CSV time series.
 //! Thin shell over [`cf_cli`]; see `causalformer --help`.
 
-use cf_cli::{parse, run_discover, run_generate, run_report, Command, USAGE};
+use cf_cli::{
+    parse, run_analyze, run_bench_diff, run_discover, run_generate, run_report, CliError, Command,
+    USAGE,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,6 +16,16 @@ fn main() {
         Ok(Command::Discover(a)) => run_discover(&a),
         Ok(Command::Generate(a)) => run_generate(&a),
         Ok(Command::Report(a)) => run_report(&a),
+        Ok(Command::Analyze(a)) => run_analyze(&a),
+        Ok(Command::BenchDiff(a)) => match run_bench_diff(&a) {
+            // A regression is a successful comparison with a failing
+            // verdict: print the table, then exit 1 so CI gates on it.
+            Ok((report, regressions)) => {
+                print!("{report}");
+                std::process::exit(if regressions == 0 { 0 } else { 1 });
+            }
+            Err(e) => Err(e),
+        },
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
@@ -22,7 +35,12 @@ fn main() {
         Ok(report) => print!("{report}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            // Usage-class errors exit 2 whether caught at parse time or
+            // during validation inside a run_* function.
+            std::process::exit(match e {
+                CliError::Usage(_) => 2,
+                CliError::Run(_) => 1,
+            });
         }
     }
 }

@@ -10,18 +10,25 @@
 //!   busy fractions.
 //!
 //! Every panel keeps a stable element id (`panel-training-loss`,
-//! `panel-causal-evolution`, `panel-thread-utilization`, `panel-pool`) so
+//! `panel-causal-evolution`, `panel-thread-utilization`, `panel-pool`,
+//! `panel-top-self-time`, `panel-percentiles`, `panel-scaling`) so
 //! smoke tests can assert presence; a panel whose input is missing or
 //! empty renders an explanatory note instead of a chart.
+//!
+//! Trace analysis (self-time aggregation, scaling attribution) is
+//! delegated to [`cf_obs::analyze`]; this module only renders.
 //!
 //! The metrics stream is versioned (leading `meta` event, see
 //! [`crate::METRICS_SCHEMA_VERSION`]): files with a newer major version
 //! are refused with a clear error rather than misread; files without a
 //! `meta` event are treated as legacy `1.0` and parsed best-effort.
 
+use crate::analyze::load_chrome_trace;
 use crate::CliError;
+use cf_obs::analyze::{
+    aggregate, busy_us, scaling_attribution, Span as TraceSpan, Thread as TraceThread, Trace,
+};
 use serde_json::Value;
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Parsed `report` arguments.
@@ -31,6 +38,9 @@ pub struct ReportArgs {
     pub metrics: Option<String>,
     /// Chrome trace path (`discover --trace-out`).
     pub trace: Option<String>,
+    /// Second trace of the same workload at a higher thread count;
+    /// enables the scaling-attribution panel.
+    pub compare_trace: Option<String>,
     /// Diagnostics path (`discover --diag-out`).
     pub diag: Option<String>,
     /// HTML output path.
@@ -57,11 +67,22 @@ struct Discovery {
     wall_secs: f64,
 }
 
+/// Streaming percentile estimates for one span path, from the
+/// `span_summary` event (schema ≥ 2.1).
+struct SpanPercentiles {
+    span: String,
+    count: u64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
 /// Everything the report uses from the metrics JSONL.
 struct Metrics {
     schema_version: String,
     epochs: Vec<EpochRow>,
     discovery: Option<Discovery>,
+    span_percentiles: Vec<SpanPercentiles>,
 }
 
 /// One `epoch` record from the cfdiag stream.
@@ -78,26 +99,6 @@ struct Diag {
     detect_attn: Option<Vec<Vec<f64>>>,
 }
 
-/// One complete (`ph == "X"`) event from the trace, in microseconds.
-struct TraceSpan {
-    name: String,
-    ts_us: f64,
-    dur_us: f64,
-}
-
-/// One thread's timeline.
-struct TraceThread {
-    tid: u64,
-    name: String,
-    spans: Vec<TraceSpan>,
-}
-
-/// Everything the report uses from the Chrome trace.
-struct Trace {
-    threads: Vec<TraceThread>,
-    dropped: u64,
-}
-
 /// Executes `report`, returning the line `main` prints.
 pub fn run_report(a: &ReportArgs) -> Result<String, CliError> {
     let metrics = match &a.metrics {
@@ -109,10 +110,19 @@ pub fn run_report(a: &ReportArgs) -> Result<String, CliError> {
         None => None,
     };
     let trace = match &a.trace {
-        Some(path) => Some(load_trace(path)?),
+        Some(path) => Some(load_chrome_trace(path)?),
         None => None,
     };
-    let html = render_html(metrics.as_ref(), diag.as_ref(), trace.as_ref());
+    let compare = match &a.compare_trace {
+        Some(path) => Some(load_chrome_trace(path)?),
+        None => None,
+    };
+    let html = render_html(
+        metrics.as_ref(),
+        diag.as_ref(),
+        trace.as_ref(),
+        compare.as_ref(),
+    );
     std::fs::write(&a.out, &html).map_err(|e| CliError::Run(format!("writing {}: {e}", a.out)))?;
     Ok(format!(
         "report written to {} ({} bytes)\n",
@@ -158,6 +168,7 @@ fn load_metrics(path: &str) -> Result<Metrics, CliError> {
         schema_version: "1.0".into(),
         epochs: Vec::new(),
         discovery: None,
+        span_percentiles: Vec::new(),
     };
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -199,6 +210,32 @@ fn load_metrics(path: &str) -> Result<Metrics, CliError> {
                     edges: u(&v, "edges").unwrap_or(0),
                     wall_secs: f(&v, "wall_secs").unwrap_or(0.0),
                 });
+            }
+            Some("span_summary") => {
+                // Percentiles appear from schema 2.1; absent fields
+                // simply keep the panel on its fallback note.
+                for sp in v
+                    .get("spans")
+                    .and_then(Value::as_array)
+                    .map(Vec::as_slice)
+                    .unwrap_or_default()
+                {
+                    let (Some(span), Some(p50), Some(p95), Some(p99)) = (
+                        s(sp, "span"),
+                        f(sp, "p50_secs"),
+                        f(sp, "p95_secs"),
+                        f(sp, "p99_secs"),
+                    ) else {
+                        continue;
+                    };
+                    m.span_percentiles.push(SpanPercentiles {
+                        span,
+                        count: u(sp, "count").unwrap_or(0),
+                        p50_us: p50 * 1e6,
+                        p95_us: p95 * 1e6,
+                        p99_us: p99 * 1e6,
+                    });
+                }
             }
             _ => {}
         }
@@ -242,49 +279,6 @@ fn load_diag(path: &str) -> Result<Diag, CliError> {
         }
     }
     Ok(d)
-}
-
-fn load_trace(path: &str) -> Result<Trace, CliError> {
-    let text = read(path)?;
-    let v: Value =
-        serde_json::from_str(&text).map_err(|e| CliError::Run(format!("{path}: bad JSON: {e}")))?;
-    let events = v
-        .get("traceEvents")
-        .and_then(Value::as_array)
-        .ok_or_else(|| CliError::Run(format!("{path}: no traceEvents array")))?;
-    let mut names: BTreeMap<u64, String> = BTreeMap::new();
-    let mut spans: BTreeMap<u64, Vec<TraceSpan>> = BTreeMap::new();
-    for e in events {
-        let tid = u(e, "tid").unwrap_or(0);
-        match s(e, "ph").as_deref() {
-            Some("M") if s(e, "name").as_deref() == Some("thread_name") => {
-                if let Some(n) = e.get("args").and_then(|a| s(a, "name")) {
-                    names.insert(tid, n);
-                }
-            }
-            Some("X") => spans.entry(tid).or_default().push(TraceSpan {
-                name: s(e, "name").unwrap_or_default(),
-                ts_us: f(e, "ts").unwrap_or(0.0),
-                dur_us: f(e, "dur").unwrap_or(0.0),
-            }),
-            _ => {}
-        }
-    }
-    let threads = spans
-        .into_iter()
-        .map(|(tid, spans)| TraceThread {
-            tid,
-            name: names
-                .get(&tid)
-                .cloned()
-                .unwrap_or_else(|| format!("tid {tid}")),
-            spans,
-        })
-        .collect();
-    Ok(Trace {
-        threads,
-        dropped: u(&v, "droppedEvents").unwrap_or(0),
-    })
 }
 
 // ---------------------------------------------------------------------------
@@ -587,27 +581,6 @@ fn causal_evolution(diag: &Diag) -> String {
 /// weight is preserved when a trace is dense.
 const MAX_SPANS_PER_ROW: usize = 800;
 
-/// Merged-interval busy time of a span set (nested spans counted once).
-fn busy_us(spans: &[TraceSpan]) -> f64 {
-    let mut iv: Vec<(f64, f64)> = spans
-        .iter()
-        .map(|s| (s.ts_us, s.ts_us + s.dur_us))
-        .collect();
-    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let mut busy = 0.0;
-    let mut end = f64::NEG_INFINITY;
-    for (a, b) in iv {
-        if a > end {
-            busy += b - a;
-            end = b;
-        } else if b > end {
-            busy += b - end;
-            end = b;
-        }
-    }
-    busy
-}
-
 /// Per-thread span timeline with busy-percentage readouts.
 fn thread_timeline(trace: &Trace) -> String {
     let threads: Vec<&TraceThread> = trace
@@ -616,7 +589,13 @@ fn thread_timeline(trace: &Trace) -> String {
         .filter(|t| !t.spans.is_empty())
         .collect();
     if threads.is_empty() {
-        return note("no spans in trace (run discover with --trace-out)");
+        // Say what the file *did* contain (counters only, dropped
+        // events, nothing) instead of rendering a blank lane.
+        return note(
+            &trace
+                .empty_diagnostic()
+                .unwrap_or_else(|| "no spans in trace (run discover with --trace-out)".into()),
+        );
     }
     let t0 = threads
         .iter()
@@ -718,8 +697,171 @@ fn thread_timeline(trace: &Trace) -> String {
     out
 }
 
+/// Rows shown in the self-time and percentile tables.
+const MAX_TABLE_ROWS: usize = 12;
+
+/// Top self-time table from the trace (delegates the span-aggregation
+/// math to `cf_obs::analyze::aggregate`).
+fn self_time_table(trace: &Trace) -> String {
+    if let Some(diag) = trace.empty_diagnostic() {
+        return note(&diag);
+    }
+    let agg = aggregate(trace);
+    let total_self: f64 = agg.iter().map(|s| s.self_us).sum();
+    let mut out = String::from(
+        r#"<table><thead><tr><th>span</th><th class="num">count</th><th class="num">total</th><th class="num">self</th><th class="num">self %</th></tr></thead><tbody>"#,
+    );
+    for st in agg.iter().take(MAX_TABLE_ROWS) {
+        let _ = write!(
+            out,
+            r#"<tr><td>{}</td><td class="num">{}</td><td class="num">{}</td><td class="num">{}</td><td class="num">{:.0}%</td></tr>"#,
+            esc(&st.name),
+            st.count,
+            fmt_dur(st.total_us),
+            fmt_dur(st.self_us),
+            100.0 * st.self_us / total_self.max(1e-9)
+        );
+    }
+    out.push_str("</tbody></table>");
+    if agg.len() > MAX_TABLE_ROWS {
+        out.push_str(&note(&format!(
+            "{} more span name(s) below the cut",
+            agg.len() - MAX_TABLE_ROWS
+        )));
+    }
+    out
+}
+
+/// Scaling-attribution table for a trace pair: spans ranked by wall
+/// time lost versus perfect scaling.
+fn scaling_panel(base: &Trace, scaled: &Trace) -> String {
+    for (label, t) in [("baseline trace", base), ("compare trace", scaled)] {
+        if let Some(diag) = t.empty_diagnostic() {
+            return note(&format!("{label}: {diag}"));
+        }
+    }
+    let p_base = base.inferred_threads();
+    let p_scaled = scaled.inferred_threads();
+    let p = (p_scaled as f64 / p_base as f64).max(1.0);
+    let report = scaling_attribution(base, scaled, p);
+    let mut out = String::new();
+    for (label, t, threads) in [("baseline", base, p_base), ("compare", scaled, p_scaled)] {
+        if let Some(cores) = t.host_cores {
+            if threads > cores {
+                out.push_str(&note(&format!(
+                    "warning: the {label} trace ran {threads} worker thread(s) on a \
+                     {cores}-core host — it was oversubscribed and its scaling numbers \
+                     must not be trusted"
+                )));
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        r#"<p class="caption">wall {} → {} (speedup {:.2}×, p = {:.0}{}); spans ranked by wall time lost to imperfect scaling</p>"#,
+        fmt_dur(report.base_wall_us),
+        fmt_dur(report.scaled_wall_us),
+        report.wall_speedup,
+        report.p,
+        report
+            .amdahl_serial_fraction
+            .map(|s| format!("; Amdahl serial fraction ≈ {:.0}%", 100.0 * s))
+            .unwrap_or_default()
+    );
+    out.push_str(
+        r#"<table><thead><tr><th>span</th><th class="num">base</th><th class="num">scaled</th><th class="num">speedup</th><th class="num">lost</th></tr></thead><tbody>"#,
+    );
+    for row in report.rows.iter().take(MAX_TABLE_ROWS) {
+        let _ = write!(
+            out,
+            r#"<tr><td>{}</td><td class="num">{}</td><td class="num">{}</td><td class="num">{:.2}×</td><td class="num">{}</td></tr>"#,
+            esc(&row.name),
+            fmt_dur(row.base_us),
+            fmt_dur(row.scaled_us),
+            row.speedup,
+            fmt_dur(row.lost_us)
+        );
+    }
+    out.push_str("</tbody></table>");
+    out
+}
+
+/// Percentile strips: for each span path a p50→p95→p99 bar on a shared
+/// log-ish scale, widest spans first.
+fn percentile_strips(rows: &[SpanPercentiles]) -> String {
+    let mut rows: Vec<&SpanPercentiles> = rows.iter().filter(|r| r.p99_us > 0.0).collect();
+    if rows.is_empty() {
+        return note(
+            "no span percentiles in metrics (needs a metrics file from schema 2.1 or newer)",
+        );
+    }
+    rows.sort_by(|a, b| b.p99_us.total_cmp(&a.p99_us));
+    rows.truncate(MAX_TABLE_ROWS);
+    let max_p99 = rows[0].p99_us;
+    // log10 scale from 1µs so strips stay readable across 6 decades.
+    let pos = |us: f64| (us.max(1.0).log10() / max_p99.max(10.0).log10()).clamp(0.0, 1.0);
+    let (w, gutter, right) = (660.0, 190.0, 8.0);
+    let (row_h, gap, top) = (18.0, 6.0, 4.0);
+    let lane_w = w - gutter - right;
+    let h = top + rows.len() as f64 * (row_h + gap);
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg viewBox="0 0 {w} {h:.0}" role="img" aria-label="span duration percentiles">"#
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let y = top + i as f64 * (row_h + gap);
+        let label: String = r.span.chars().take(24).collect();
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" class="tick" text-anchor="end">{}<title>{} ({} samples)</title></text>"#,
+            gutter - 8.0,
+            y + row_h - 5.0,
+            esc(&label),
+            esc(&r.span),
+            r.count
+        );
+        let _ = write!(
+            svg,
+            r#"<rect x="{gutter}" y="{y:.1}" width="{lane_w:.1}" height="{row_h}" class="lane"/>"#
+        );
+        // p50→p99 band, with a tick at p95.
+        let (x50, x95, x99) = (
+            gutter + lane_w * pos(r.p50_us),
+            gutter + lane_w * pos(r.p95_us),
+            gutter + lane_w * pos(r.p99_us),
+        );
+        let _ = write!(
+            svg,
+            r#"<rect x="{x50:.1}" y="{:.1}" width="{:.1}" height="{:.1}" class="span"><title>{}: p50 {} · p95 {} · p99 {}</title></rect><line x1="{x95:.1}" y1="{y:.1}" x2="{x95:.1}" y2="{:.1}" class="baseline"/>"#,
+            y + 3.0,
+            (x99 - x50).max(2.0),
+            row_h - 6.0,
+            esc(&r.span),
+            fmt_dur(r.p50_us),
+            fmt_dur(r.p95_us),
+            fmt_dur(r.p99_us),
+            y + row_h,
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" class="tick">{}</text>"#,
+            (x99 + 6.0).min(w - 60.0),
+            y + row_h - 5.0,
+            fmt_dur(r.p99_us)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
 /// Assembles the full document.
-fn render_html(metrics: Option<&Metrics>, diag: Option<&Diag>, trace: Option<&Trace>) -> String {
+fn render_html(
+    metrics: Option<&Metrics>,
+    diag: Option<&Diag>,
+    trace: Option<&Trace>,
+    compare: Option<&Trace>,
+) -> String {
     let mut html = String::from(HEAD);
 
     // Header line from the discovery summary, when present.
@@ -792,6 +934,33 @@ fn render_html(metrics: Option<&Metrics>, diag: Option<&Diag>, trace: Option<&Tr
     match trace {
         Some(t) => html.push_str(&thread_timeline(t)),
         None => html.push_str(&note("no trace file (run discover with --trace-out)")),
+    }
+    html.push_str("</section>");
+
+    // Panel 5: top self-time spans (trace).
+    html.push_str(r#"<section id="panel-top-self-time"><h2>Top self-time spans</h2><p class="caption">Per span name: total wall time and self time (total minus time in nested spans), aggregated across all threads.</p>"#);
+    match trace {
+        Some(t) => html.push_str(&self_time_table(t)),
+        None => html.push_str(&note("no trace file (run discover with --trace-out)")),
+    }
+    html.push_str("</section>");
+
+    // Panel 6: scaling attribution (trace pair).
+    html.push_str(r#"<section id="panel-scaling"><h2>Scaling attribution</h2>"#);
+    match (trace, compare) {
+        (Some(base), Some(scaled)) => html.push_str(&scaling_panel(base, scaled)),
+        _ => html.push_str(&note(
+            "no comparison trace (pass --compare-trace with a trace of the same \
+             workload at a higher thread count)",
+        )),
+    }
+    html.push_str("</section>");
+
+    // Panel 7: span-duration percentiles (metrics span_summary).
+    html.push_str(r#"<section id="panel-percentiles"><h2>Span duration percentiles</h2><p class="caption">p50–p99 band per span path (log scale, tick at p95), from the fixed-bucket streaming histograms.</p>"#);
+    match metrics {
+        Some(m) => html.push_str(&percentile_strips(&m.span_percentiles)),
+        None => html.push_str(&note("no metrics file (run discover with --metrics-out)")),
     }
     html.push_str("</section>");
 
@@ -907,6 +1076,10 @@ svg { display: block; width: 100%; height: auto; }
   font-family: inherit;
   font-variant-numeric: tabular-nums;
 }
+table { border-collapse: collapse; width: 100%; font-size: 12.5px; }
+th, td { text-align: left; padding: 4px 10px 4px 0; border-bottom: 1px solid var(--grid-line); }
+th { color: var(--text-muted); font-weight: 500; }
+.num { text-align: right; font-variant-numeric: tabular-nums; }
 .legend { display: flex; gap: 16px; margin-bottom: 8px; color: var(--text-secondary); font-size: 12.5px; }
 .key { display: inline-flex; align-items: center; gap: 6px; }
 .swatch { width: 10px; height: 10px; border-radius: 2px; display: inline-block; }
@@ -964,17 +1137,41 @@ mod tests {
 
     #[test]
     fn render_without_inputs_keeps_all_panel_ids() {
-        let html = render_html(None, None, None);
+        let html = render_html(None, None, None, None);
         for id in [
             "panel-training-loss",
             "panel-causal-evolution",
             "panel-thread-utilization",
             "panel-pool",
+            "panel-top-self-time",
+            "panel-scaling",
+            "panel-percentiles",
         ] {
             assert!(html.contains(&format!(r#"id="{id}""#)), "{id} missing");
         }
         assert!(!html.contains("http://"), "report must be self-contained");
         assert!(!html.contains("<script"), "report must not need scripts");
+    }
+
+    #[test]
+    fn percentile_strips_render_and_degrade() {
+        assert!(percentile_strips(&[]).contains("no span percentiles"));
+        let rows = vec![SpanPercentiles {
+            span: "discover.train.epoch".into(),
+            count: 10,
+            p50_us: 900.0,
+            p95_us: 1800.0,
+            p99_us: 2500.0,
+        }];
+        let svg = percentile_strips(&rows);
+        assert!(svg.contains("discover.train.epoch"), "{svg}");
+        assert!(svg.contains("p50 900 µs"), "{svg}");
+    }
+
+    #[test]
+    fn self_time_table_degrades_on_empty_trace() {
+        let out = self_time_table(&Trace::default());
+        assert!(out.contains("no events"), "{out}");
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! process-global observability state (trace recorder, diag writer,
 //! metrics sink) that must not race the library unit tests.
 
-use cf_cli::{run_discover, run_generate, run_report, DiscoverArgs, GenerateArgs, ReportArgs};
+use cf_cli::{
+    run_analyze, run_discover, run_generate, run_report, AnalyzeArgs, DiscoverArgs, GenerateArgs,
+    ReportArgs,
+};
 use serde_json::Value;
 use std::path::PathBuf;
 
@@ -20,6 +23,7 @@ fn discover_artifacts_render_into_report() {
     let csv = tmp("fork.csv");
     let metrics = tmp("metrics.jsonl");
     let trace = tmp("trace.json");
+    let trace_1t = tmp("trace_1t.json");
     let diag = tmp("diag.cfdiag");
     let html_path = tmp("report.html");
 
@@ -28,6 +32,28 @@ fn discover_artifacts_render_into_report() {
         length: 200,
         seed: 3,
         output: csv.to_string_lossy().into_owned(),
+    })
+    .unwrap();
+
+    // Baseline run at 1 thread: the `--compare` / `--compare-trace`
+    // baseline for scaling attribution.
+    run_discover(&DiscoverArgs {
+        input: csv.to_string_lossy().into_owned(),
+        preset: "synthetic-sparse".into(),
+        window: Some(8),
+        epochs: Some(3),
+        seed: 3,
+        threads: Some(1),
+        dot: None,
+        save: None,
+        metrics_out: None,
+        trace_out: Some(trace_1t.to_string_lossy().into_owned()),
+        diag_out: None,
+        checkpoint_dir: None,
+        checkpoint_every: None,
+        resume: false,
+        log_level: None,
+        quiet: true,
     })
     .unwrap();
 
@@ -91,33 +117,74 @@ fn discover_artifacts_render_into_report() {
 
     // Render the dashboard and check each panel actually charted data
     // (an <svg> inside the section, not the missing-input note).
+    // The span summary must carry percentile estimates (schema 2.1).
+    assert!(metrics_text.contains(r#""p95_secs":"#), "{metrics_text}");
+    assert!(
+        metrics_text.contains(r#""event":"span_hist""#),
+        "{metrics_text}"
+    );
+
     let msg = run_report(&ReportArgs {
         metrics: Some(metrics.to_string_lossy().into_owned()),
-        trace: Some(trace.to_string_lossy().into_owned()),
+        trace: Some(trace_1t.to_string_lossy().into_owned()),
+        compare_trace: Some(trace.to_string_lossy().into_owned()),
         diag: Some(diag.to_string_lossy().into_owned()),
         out: html_path.to_string_lossy().into_owned(),
     })
     .unwrap();
     assert!(msg.contains("report written to"), "{msg}");
     let html = std::fs::read_to_string(&html_path).unwrap();
+    let section = |id: &str| {
+        html.split(&format!(r#"id="{id}""#))
+            .nth(1)
+            .unwrap_or_else(|| panic!("{id} missing"))
+            .split("</section>")
+            .next()
+            .unwrap()
+    };
     for id in [
         "panel-training-loss",
         "panel-causal-evolution",
         "panel-thread-utilization",
         "panel-pool",
+        "panel-percentiles",
     ] {
-        let section = html
-            .split(&format!(r#"id="{id}""#))
-            .nth(1)
-            .unwrap_or_else(|| panic!("{id} missing"))
-            .split("</section>")
-            .next()
-            .unwrap();
-        assert!(section.contains("<svg"), "{id} rendered no chart");
+        assert!(section(id).contains("<svg"), "{id} rendered no chart");
     }
+    // The analysis panels render tables, not charts.
+    assert!(
+        section("panel-top-self-time").contains("<table"),
+        "self-time panel rendered no table"
+    );
+    let scaling = section("panel-scaling");
+    assert!(
+        scaling.contains("<table"),
+        "scaling panel rendered no table"
+    );
+    assert!(
+        scaling.contains("Amdahl") || scaling.contains("speedup"),
+        "{scaling}"
+    );
     assert!(!html.contains("<script"), "report must be script-free");
 
-    for p in [&csv, &metrics, &trace, &diag, &html_path] {
+    // The analyze subcommand on the same trace pair produces the
+    // scaling-attribution table, naming pipeline spans.
+    let out = run_analyze(&AnalyzeArgs {
+        compare: Some((
+            trace_1t.to_string_lossy().into_owned(),
+            trace.to_string_lossy().into_owned(),
+        )),
+        ..AnalyzeArgs::default()
+    })
+    .unwrap();
+    assert!(out.contains("scaling attribution"), "{out}");
+    assert!(
+        out.contains("| train |") || out.contains("| epoch |"),
+        "{out}"
+    );
+    assert!(out.contains("top self-time spans"), "{out}");
+
+    for p in [&csv, &metrics, &trace, &trace_1t, &diag, &html_path] {
         std::fs::remove_file(p).ok();
     }
 }

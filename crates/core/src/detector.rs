@@ -72,6 +72,7 @@ pub fn window_scores(
     mode: DetectorMode,
 ) -> CausalScores {
     let _span = cf_obs::span::enter("window_scores");
+    let _trace = cf_obs::trace::span("window_scores");
     let cfg = model.config();
     let (n, t) = (cfg.n_series, cfg.window);
     with_pooled_tape(|tape| {
@@ -230,6 +231,7 @@ pub fn aggregate_scores(
     cfg: &DetectorConfig,
 ) -> CausalScores {
     let _span = cf_obs::span::enter("aggregate_scores");
+    let _trace = cf_obs::trace::span("aggregate_scores");
     assert!(
         !windows.is_empty(),
         "need at least one window for detection"
@@ -261,6 +263,7 @@ pub fn build_graph<R: Rng + ?Sized>(
     cfg: &DetectorConfig,
 ) -> CausalGraph {
     let _span = cf_obs::span::enter("build_graph");
+    let _trace = cf_obs::trace::span("build_graph");
     let n = scores.attn.len();
     let mut graph = CausalGraph::new(n);
     for i in 0..n {
@@ -316,6 +319,7 @@ pub fn permutation_scores<R: Rng + ?Sized>(
 ) -> CausalScores {
     use rand::seq::SliceRandom;
     let _span = cf_obs::span::enter("permutation_scores");
+    let _trace = cf_obs::trace::span("permutation_scores");
     assert!(!windows.is_empty(), "need at least one window");
     let cfg = model.config();
     let (n, t) = (cfg.n_series, cfg.window);

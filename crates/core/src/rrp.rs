@@ -110,6 +110,7 @@ pub struct RrpLayers<'a> {
 /// returns the relevance of every attention matrix and of the kernel bank.
 pub fn propagate(layers: &RrpLayers<'_>, target: usize) -> RrpResult {
     let _span = cf_obs::span::enter("rrp.propagate");
+    let _trace = cf_obs::trace::span("rrp.propagate");
     let n = layers.pred.shape()[0];
     let t = layers.pred.shape()[1];
     assert!(target < n, "target series out of range");

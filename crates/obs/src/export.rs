@@ -58,6 +58,13 @@ pub fn chrome_trace_json(threads: &[ThreadTrace]) -> String {
         .str("displayTimeUnit", "ms")
         .f64("traceEpochUnix", crate::anchor_unix_time())
         .u64("droppedEvents", crate::trace::dropped())
+        // Effective parallelism of the recording host, so analysis can
+        // flag oversubscribed runs (threads > cores) whose scaling
+        // numbers must not be trusted.
+        .u64(
+            "hostCores",
+            std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+        )
         .finish()
 }
 

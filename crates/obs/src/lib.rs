@@ -21,7 +21,9 @@
 //! The crate deliberately has no dependencies (not even the vendored
 //! ones) so it can sit below `cf-tensor` in the workspace graph.
 
+pub mod analyze;
 pub mod export;
+pub mod hist;
 pub mod json;
 pub mod log;
 pub mod metrics;

@@ -88,6 +88,14 @@ pub fn emit_summaries() {
             .raw("ops", &crate::profile::snapshot_json())
             .finish(),
     );
+    emit(
+        &crate::json::Obj::new()
+            .str("event", "span_hist")
+            .f64("ts", crate::unix_time())
+            .str("schema", crate::hist::SCHEMA)
+            .raw("spans", &crate::hist::snapshot_json())
+            .finish(),
+    );
     flush();
 }
 

@@ -80,6 +80,9 @@ impl Drop for SpanGuard {
         STACK.with(|s| {
             s.borrow_mut().pop();
         });
+        // Feed the fixed-bucket duration histogram before the registry
+        // takes the path; percentile summaries ride the same spans.
+        crate::hist::record_span_us(&self.path, elapsed.as_secs_f64() * 1e6);
         let mut reg = registry().lock().expect("span registry poisoned");
         reg.entry(std::mem::take(&mut self.path))
             .or_insert(SpanStats {
@@ -121,10 +124,13 @@ pub fn reset() {
     registry().lock().expect("span registry poisoned").clear();
 }
 
-/// Serialises the snapshot as a JSON array of span objects.
+/// Serialises the snapshot as a JSON array of span objects. Each entry
+/// carries streaming percentile estimates (p50/p95/p99 seconds) from
+/// the fixed-bucket duration histogram in [`crate::hist`].
 pub fn snapshot_json() -> String {
     let mut arr = crate::json::Arr::new();
     for (path, s) in snapshot() {
+        let hist = crate::hist::span_hist(&path);
         arr = arr.raw(
             &crate::json::Obj::new()
                 .str("span", &path)
@@ -133,6 +139,9 @@ pub fn snapshot_json() -> String {
                 .f64("mean_secs", s.mean().as_secs_f64())
                 .f64("min_secs", s.min.as_secs_f64())
                 .f64("max_secs", s.max.as_secs_f64())
+                .f64("p50_secs", hist.quantile_us(0.50) / 1e6)
+                .f64("p95_secs", hist.quantile_us(0.95) / 1e6)
+                .f64("p99_secs", hist.quantile_us(0.99) / 1e6)
                 .finish(),
         );
     }

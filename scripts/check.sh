@@ -32,6 +32,8 @@ done
 
 # Report smoke: a real discover run must produce a loadable trace, a
 # diagnostics stream, and an HTML dashboard containing every panel.
+# Two discover runs (1 and 2 threads) give the analyze/report compare
+# path a real trace pair.
 echo "== causalformer report smoke"
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -39,21 +41,42 @@ cargo run -q -p cf-cli --bin causalformer -- \
   generate --dataset fork --length 200 --seed 1 --output "$smoke_dir/fork.csv"
 cargo run -q -p cf-cli --bin causalformer -- \
   discover --input "$smoke_dir/fork.csv" --preset synthetic-sparse \
-  --window 8 --epochs 3 --seed 1 --quiet \
+  --window 8 --epochs 3 --seed 1 --quiet --threads 1 \
+  --trace-out "$smoke_dir/trace-1t.json"
+cargo run -q -p cf-cli --bin causalformer -- \
+  discover --input "$smoke_dir/fork.csv" --preset synthetic-sparse \
+  --window 8 --epochs 3 --seed 1 --quiet --threads 2 \
   --metrics-out "$smoke_dir/metrics.jsonl" \
   --trace-out "$smoke_dir/trace.json" \
   --diag-out "$smoke_dir/diag.cfdiag"
 cargo run -q -p cf-cli --bin causalformer -- \
   report --metrics "$smoke_dir/metrics.jsonl" \
-  --trace "$smoke_dir/trace.json" --diag "$smoke_dir/diag.cfdiag" \
+  --trace "$smoke_dir/trace-1t.json" --compare-trace "$smoke_dir/trace.json" \
+  --diag "$smoke_dir/diag.cfdiag" \
   --out "$smoke_dir/report.html"
 test -s "$smoke_dir/report.html"
 for panel in panel-training-loss panel-causal-evolution \
-             panel-thread-utilization panel-pool; do
+             panel-thread-utilization panel-pool \
+             panel-top-self-time panel-scaling panel-percentiles; do
   grep -q "id=\"$panel\"" "$smoke_dir/report.html" \
     || { echo "missing $panel in report.html"; exit 1; }
 done
 grep -q '"traceEvents"' "$smoke_dir/trace.json"
 grep -q '"record":"detect"' "$smoke_dir/diag.cfdiag"
+
+# Trace-analysis smoke: the analyzer must produce self-time and scaling
+# tables from the same pair, and bench-diff must report a committed
+# baseline as identical to itself (exit 0).
+echo "== causalformer analyze + bench-diff smoke"
+cargo run -q -p cf-cli --bin causalformer -- \
+  analyze --trace "$smoke_dir/trace.json" > "$smoke_dir/analyze.md"
+grep -q "top self-time spans" "$smoke_dir/analyze.md"
+cargo run -q -p cf-cli --bin causalformer -- \
+  analyze --compare "$smoke_dir/trace-1t.json" "$smoke_dir/trace.json" \
+  > "$smoke_dir/analyze-compare.md"
+grep -q "scaling attribution" "$smoke_dir/analyze-compare.md"
+cargo run -q -p cf-cli --bin causalformer -- \
+  bench-diff BENCH_PR4.json BENCH_PR4.json > "$smoke_dir/bench-diff.md"
+grep -q "OK: no cell regressed" "$smoke_dir/bench-diff.md"
 
 echo "All checks passed."

@@ -73,6 +73,14 @@ impl Value {
         }
     }
 
+    /// Boolean value, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Numeric value as `u64` if it is a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
