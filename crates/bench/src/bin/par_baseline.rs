@@ -20,9 +20,11 @@
 //! bench-smoke job runs this with `--smoke`).
 
 use cf_bench::{
-    init_metrics, maybe_dump_metrics, parse_options, run_cell, DatasetKind, MethodKind, Options,
+    init_metrics, maybe_dump_metrics, method_label, parse_options, run_cell, DatasetKind,
+    MethodKind, Options,
 };
 use cf_data::lorenz96::{self, Lorenz96Config};
+use cf_tensor::Dtype;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -104,12 +106,24 @@ struct SteadyStateGate {
     bound: u64,
 }
 
+/// f32-vs-f64 CausalFormer wall time at one thread on one dataset.
+#[derive(serde::Serialize)]
+struct F32Speedup {
+    dataset: String,
+    f64_secs: f64,
+    f32_secs: f64,
+    /// `f64_secs / f32_secs`; >1 means f32 is faster.
+    speedup: f64,
+}
+
 #[derive(serde::Serialize)]
 struct Baseline {
     host_cores: usize,
     thread_counts: Vec<usize>,
     cells: Vec<CellTiming>,
+    f32_speedup_1t: Vec<F32Speedup>,
     lorenz96_n20_discover: Vec<ThreadTiming>,
+    lorenz96_n20_discover_f32: Vec<ThreadTiming>,
     steady_state: SteadyStateGate,
     notes: &'static str,
 }
@@ -135,8 +149,10 @@ fn main() {
     // Per-(method × dataset) wall times: the Table 1 methods that gained a
     // parallel path in this round, on one synthetic and one dynamical
     // dataset, quick budgets, one seed. Smoke mode keeps one synthetic
-    // dataset so the whole binary finishes in seconds.
-    let cell_opts = Options {
+    // dataset so the whole binary finishes in seconds. CausalFormer runs
+    // twice — once per compute precision — so every baseline file carries
+    // the f64-vs-f32 comparison; the baselines themselves are f64-only.
+    let cell_opts = |dtype: Dtype| Options {
         quick: true,
         seeds: 1,
         json_out: None,
@@ -144,11 +160,13 @@ fn main() {
         threads: None,
         smoke: options.smoke,
         trace_out: None,
+        dtype,
     };
     let methods = [
-        MethodKind::Cmlp,
-        MethodKind::Clstm,
-        MethodKind::CausalFormer,
+        (MethodKind::Cmlp, Dtype::F64),
+        (MethodKind::Clstm, Dtype::F64),
+        (MethodKind::CausalFormer, Dtype::F64),
+        (MethodKind::CausalFormer, Dtype::F32),
     ];
     let datasets: &[DatasetKind] = if options.smoke {
         &[DatasetKind::Fork]
@@ -158,32 +176,56 @@ fn main() {
     init_metrics(&options);
     let mut cells = Vec::new();
     let mut raw_cells = Vec::new();
-    for method in methods {
+    for (method, dtype) in methods {
+        let label = method_label(method, dtype);
         for &dataset in datasets {
             let mut timings = Vec::new();
             let mut f1_mean = None;
             for &threads in &thread_counts {
                 cf_par::set_threads(threads);
-                eprintln!(
-                    "running {} on {:?} with {threads} thread(s) …",
-                    method.name(),
-                    dataset
-                );
-                let _cell_span = cf_obs::trace::span_dyn(format!(
-                    "cell {} {dataset:?} {threads}t",
-                    method.name()
-                ));
-                let (cell, mut timing) = timed(threads, || run_cell(method, dataset, &cell_opts));
+                eprintln!("running {label} on {dataset:?} with {threads} thread(s) …");
+                let _cell_span =
+                    cf_obs::trace::span_dyn(format!("cell {label} {dataset:?} {threads}t"));
+                let (cell, mut timing) =
+                    timed(threads, || run_cell(method, dataset, &cell_opts(dtype)));
                 f1_mean = cell.f1.map(|m| m.mean);
                 timing.secs = cell.wall_secs;
                 timings.push(timing);
                 raw_cells.push(cell);
             }
             cells.push(CellTiming {
-                method: method.name().to_string(),
+                method: label.clone(),
                 dataset: format!("{dataset:?}"),
                 f1_mean,
                 wall_secs: timings,
+            });
+        }
+    }
+
+    // f32-vs-f64 speedup at one thread per dataset — the headline number
+    // of the single-precision backend, computed from the cells above.
+    let mut f32_speedup_1t = Vec::new();
+    for &dataset in datasets {
+        let secs_at_1t = |label: &str| {
+            cells
+                .iter()
+                .find(|c| c.method == label && c.dataset == format!("{dataset:?}"))
+                .and_then(|c| c.wall_secs.iter().find(|t| t.threads == 1))
+                .map(|t| t.secs)
+        };
+        if let (Some(f64_secs), Some(f32_secs)) =
+            (secs_at_1t("CausalFormer"), secs_at_1t("CausalFormer-f32"))
+        {
+            let speedup = f64_secs / f32_secs;
+            println!(
+                "CausalFormer {dataset:?} 1 thread: f64 {f64_secs:.3}s, f32 {f32_secs:.3}s \
+                 ({speedup:.2}× speedup)"
+            );
+            f32_speedup_1t.push(F32Speedup {
+                dataset: format!("{dataset:?}"),
+                f64_secs,
+                f32_secs,
+                speedup,
             });
         }
     }
@@ -277,6 +319,59 @@ fn main() {
         merge_traces(&mut held, run);
     }
 
+    // The same end-to-end discover at f32 — the large-N datapoint for the
+    // single-precision backend. No per-thread trace pair here; the f64
+    // pair above already feeds the analyzer.
+    let mut lorenz_f32 = Vec::new();
+    for &threads in &thread_counts {
+        cf_par::set_threads(threads);
+        let mut rng = StdRng::seed_from_u64(96);
+        let config = Lorenz96Config {
+            n: if options.smoke { 6 } else { 20 },
+            length: if options.smoke { 120 } else { 400 },
+            forcing: 35.0,
+            ..Lorenz96Config::default()
+        };
+        let data = lorenz96::generate(&mut rng, config);
+        let mut cf = causalformer::presets::lorenz96(config.n);
+        cf.model.window = 8;
+        cf.train.max_epochs = if options.smoke { 2 } else { 10 };
+        cf.train.stride = 2;
+        cf.train.dtype = Dtype::F32;
+        eprintln!(
+            "lorenz96 n={} f32 discover with {threads} thread(s) …",
+            config.n
+        );
+        let (result, timing) = {
+            let _cell_span =
+                cf_obs::trace::span_dyn(format!("lorenz96 n={} f32 {threads}t", config.n));
+            timed(threads, || cf.discover(&mut rng, &data.series))
+        };
+        println!(
+            "lorenz96 n={} f32, {threads} thread(s): {:.2}s, {} edges{}",
+            config.n,
+            timing.secs,
+            result.graph.edges().count(),
+            if timing.oversubscribed {
+                " [OVERSUBSCRIBED — wall time not meaningful]"
+            } else {
+                ""
+            }
+        );
+        lorenz_f32.push(timing);
+    }
+    if let (Some(f64_1t), Some(f32_1t)) = (
+        lorenz.iter().find(|t| t.threads == 1),
+        lorenz_f32.iter().find(|t| t.threads == 1),
+    ) {
+        println!(
+            "lorenz96 1 thread: f64 {:.3}s, f32 {:.3}s ({:.2}× speedup)",
+            f64_1t.secs,
+            f32_1t.secs,
+            f64_1t.secs / f32_1t.secs
+        );
+    }
+
     // Steady-state allocation gate: with the pool warmed by a first run,
     // a repeat of the same discover must perform (almost) no fresh heap
     // allocation — what remains is per-run setup (window construction,
@@ -344,12 +439,14 @@ fn main() {
             }
         }
     }
-    for t in &lorenz {
-        if !t.secs.is_finite() {
-            bad.push(format!(
-                "lorenz96 at {} thread(s): wall = {}",
-                t.threads, t.secs
-            ));
+    for (label, timings) in [("", &lorenz), (" f32", &lorenz_f32)] {
+        for t in timings.iter() {
+            if !t.secs.is_finite() {
+                bad.push(format!(
+                    "lorenz96{label} at {} thread(s): wall = {}",
+                    t.threads, t.secs
+                ));
+            }
         }
     }
     if !bad.is_empty() {
@@ -363,7 +460,9 @@ fn main() {
         host_cores,
         thread_counts,
         cells,
+        f32_speedup_1t,
         lorenz96_n20_discover: lorenz,
+        lorenz96_n20_discover_f32: lorenz_f32,
         steady_state: SteadyStateGate {
             allocs: steady_allocs,
             pool_misses: steady_misses,
@@ -377,7 +476,11 @@ fn main() {
                 oversubscribed=true ran more threads than cores and measure \
                 scheduler contention, not scaling. alloc/pool counters come \
                 from the cf-tensor buffer pool; steady_state repeats the \
-                lorenz96 discover on a warm pool at 1 thread.",
+                lorenz96 discover on a warm pool at 1 thread. CausalFormer \
+                cells appear twice, once per compute precision: \
+                'CausalFormer' is the bitwise-reproducible f64 path, \
+                'CausalFormer-f32' the single-precision backend; \
+                f32_speedup_1t summarises their 1-thread ratio.",
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serializable");
     match &options.json_out {

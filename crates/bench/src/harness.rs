@@ -1,5 +1,7 @@
 //! Command-line options shared by all experiment binaries.
 
+use cf_tensor::Dtype;
+
 /// Options parsed from the command line.
 #[derive(Debug, Clone)]
 pub struct Options {
@@ -25,6 +27,9 @@ pub struct Options {
     /// recorder immediately; binaries write the file with
     /// [`maybe_write_trace`] before exiting.
     pub trace_out: Option<String>,
+    /// Compute precision for CausalFormer cells (`--dtype f32|f64`). The
+    /// baselines always run f64; f64 is the bitwise-reproducible default.
+    pub dtype: Dtype,
 }
 
 impl Default for Options {
@@ -37,6 +42,7 @@ impl Default for Options {
             threads: None,
             smoke: false,
             trace_out: None,
+            dtype: Dtype::F64,
         }
     }
 }
@@ -79,6 +85,14 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Options {
             "--smoke" => {
                 options.smoke = true;
                 options.quick = true;
+            }
+            "--dtype" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_abort("--dtype requires f32 or f64"));
+                options.dtype = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_abort("--dtype must be f32 or f64"));
             }
             "--threads" => {
                 let v = args
@@ -129,7 +143,7 @@ pub fn maybe_write_trace(options: &Options) {
 
 const USAGE: &str = "\
 usage: <experiment> [--quick] [--smoke] [--seeds K] [--json PATH] [--metrics]
-                    [--threads N] [--trace-out PATH]
+                    [--threads N] [--dtype D] [--trace-out PATH]
   --quick      reduced budgets (2 seeds, shorter series, fewer epochs)
   --smoke      CI smoke mode: implies --quick, 1 seed, tiny fixed budgets;
                proves the binary runs and emits finite output (timings are
@@ -140,6 +154,8 @@ usage: <experiment> [--quick] [--smoke] [--seeds K] [--json PATH] [--metrics]
                (metrics.json without --json)
   --threads N  worker threads (default: CF_THREADS env, else all cores;
                results are identical at any thread count)
+  --dtype D    CausalFormer compute precision: f64 (default, bitwise-
+               reproducible) or f32 (~2× faster; baselines stay f64)
   --trace-out PATH
                record a Chrome trace_event timeline of the whole run
                (load it in Perfetto / chrome://tracing)";
@@ -209,6 +225,13 @@ mod tests {
         assert!(cf_obs::trace::enabled());
         cf_obs::trace::set_enabled(false);
         cf_obs::trace::reset();
+    }
+
+    #[test]
+    fn dtype_flag_captured_with_f64_default() {
+        assert_eq!(parse(&[]).dtype, Dtype::F64);
+        assert_eq!(parse(&["--dtype", "f32"]).dtype, Dtype::F32);
+        assert_eq!(parse(&["--dtype", "f64"]).dtype, Dtype::F64);
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod harness;
 pub mod methods;
 
 pub use harness::{maybe_write_trace, parse_options, Options};
-pub use methods::{build_method, dataset_display_name, DatasetKind, MethodKind};
+pub use methods::{
+    build_method, build_method_dtyped, dataset_display_name, method_label, DatasetKind, MethodKind,
+};
 
 use cf_baselines::Discoverer;
 use cf_data::Dataset;
@@ -91,10 +93,21 @@ pub fn run_cell(method_kind: MethodKind, dataset_kind: DatasetKind, options: &Op
     let mut pods: Vec<Option<f64>> = Vec::new();
     let mut wall_secs = 0.0;
 
+    let budget = if options.smoke {
+        methods::Budget::Smoke
+    } else {
+        methods::Budget::from_quick(options.quick)
+    };
     for seed in 0..options.seeds as u64 {
-        let datasets = methods::generate_datasets(dataset_kind, seed, options.quick);
+        let datasets = methods::generate_datasets_budgeted(dataset_kind, seed, budget);
         for data in &datasets {
-            let method = build_method(method_kind, dataset_kind, data.num_series(), options.quick);
+            let method = methods::build_method_budgeted(
+                method_kind,
+                dataset_kind,
+                data.num_series(),
+                budget,
+                options.dtype,
+            );
             // Separate RNG stream per (method, seed, dataset) so methods
             // don't perturb each other's draws.
             let mut rng = StdRng::seed_from_u64(
@@ -119,7 +132,7 @@ pub fn run_cell(method_kind: MethodKind, dataset_kind: DatasetKind, options: &Op
     }
 
     Cell {
-        method: method_kind.name().to_string(),
+        method: method_label(method_kind, options.dtype),
         dataset: dataset_display_name(dataset_kind).to_string(),
         f1: Some(MeanStd::from_samples(&f1s).into()),
         precision: Some(MeanStd::from_samples(&precisions).into()),
@@ -262,6 +275,7 @@ mod tests {
             threads: None,
             smoke: false,
             trace_out: None,
+            dtype: cf_tensor::Dtype::F64,
         };
         let cell = Cell {
             method: "cMLP".into(),

@@ -12,6 +12,11 @@
 //! are annotated `oversubscribed` — their wall times measure scheduler
 //! contention, not scaling, and a "regression" there is expected (this
 //! is exactly the committed `BENCH_PR4.json` 4-thread story).
+//!
+//! When both files carry the buffer-pool counters (`alloc_count`,
+//! `pool_misses` per timing — recorded since `BENCH_PR4.json`), the diff
+//! shows them as informational `base→new` columns; allocation drift
+//! never gates, only the wall-time ratio does.
 
 use crate::CliError;
 use serde_json::Value;
@@ -49,6 +54,11 @@ struct Cell {
     secs: f64,
     /// Recorded with more threads than the host had cores.
     oversubscribed: bool,
+    /// Fresh heap allocations during the cell's run (absent in older
+    /// baseline files).
+    alloc_count: Option<u64>,
+    /// Buffer-pool free-list misses during the cell's run.
+    pool_misses: Option<u64>,
 }
 
 type CellKey = (String, String, u64);
@@ -74,6 +84,8 @@ fn load_bench(path: &str) -> Result<BTreeMap<CellKey, Cell>, CliError> {
             Cell {
                 secs,
                 oversubscribed: host_cores.is_some_and(|c| threads > c),
+                alloc_count: timing.get("alloc_count").and_then(Value::as_u64),
+                pool_misses: timing.get("pool_misses").and_then(Value::as_u64),
             },
         );
     };
@@ -94,13 +106,15 @@ fn load_bench(path: &str) -> Result<BTreeMap<CellKey, Cell>, CliError> {
             add(method, dataset, timing);
         }
     }
-    for timing in v
-        .get("lorenz96_n20_discover")
-        .and_then(Value::as_array)
-        .map(Vec::as_slice)
-        .unwrap_or_default()
-    {
-        add("lorenz96_n20_discover", "-", timing);
+    for section in ["lorenz96_n20_discover", "lorenz96_n20_discover_f32"] {
+        for timing in v
+            .get(section)
+            .and_then(Value::as_array)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+        {
+            add(section, "-", timing);
+        }
     }
     if cells.is_empty() {
         return Err(CliError::Run(format!(
@@ -129,6 +143,15 @@ pub struct DiffRow {
     pub regressed: bool,
     /// Either side was recorded oversubscribed.
     pub oversubscribed: bool,
+    /// Baseline allocation count, when the baseline recorded it.
+    pub base_allocs: Option<u64>,
+    /// New allocation count. Informational only — allocation drift never
+    /// gates; the wall-time ratio does.
+    pub new_allocs: Option<u64>,
+    /// Baseline pool-miss count, when recorded.
+    pub base_misses: Option<u64>,
+    /// New pool-miss count (informational).
+    pub new_misses: Option<u64>,
 }
 
 /// The full diff: rows plus cells present on only one side.
@@ -174,6 +197,10 @@ pub fn diff(baseline: &str, new: &str, threshold: f64) -> Result<DiffReport, Cli
                     ratio,
                     regressed: ratio > threshold,
                     oversubscribed: b.oversubscribed || n.oversubscribed,
+                    base_allocs: b.alloc_count,
+                    new_allocs: n.alloc_count,
+                    base_misses: b.pool_misses,
+                    new_misses: n.pool_misses,
                 });
             }
             None => only_base.push(key.clone()),
@@ -207,8 +234,17 @@ fn markdown(report: &DiffReport, baseline: &str, new: &str) -> String {
              had cores — their wall times measure contention, not scaling"
         );
     }
-    let _ = writeln!(out, "| method | dataset | threads | base | new | ratio | |");
-    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---|");
+    let _ = writeln!(
+        out,
+        "| method | dataset | threads | base | new | ratio | allocs | misses | |"
+    );
+    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---|");
+    // The alloc / pool-miss columns are informational: they surface
+    // allocator drift next to the wall-time ratio but never gate.
+    let counter = |base: Option<u64>, new: Option<u64>| match (base, new) {
+        (Some(b), Some(n)) => format!("{b}→{n}"),
+        _ => "-".to_string(),
+    };
     for r in &report.rows {
         let mut note = String::new();
         if r.regressed {
@@ -222,8 +258,15 @@ fn markdown(report: &DiffReport, baseline: &str, new: &str) -> String {
         }
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {:.4}s | {:.4}s | {:.2}× | {note} |",
-            r.method, r.dataset, r.threads, r.base_secs, r.new_secs, r.ratio
+            "| {} | {} | {} | {:.4}s | {:.4}s | {:.2}× | {} | {} | {note} |",
+            r.method,
+            r.dataset,
+            r.threads,
+            r.base_secs,
+            r.new_secs,
+            r.ratio,
+            counter(r.base_allocs, r.new_allocs),
+            counter(r.base_misses, r.new_misses),
         );
     }
     for (label, keys) in [
@@ -253,18 +296,24 @@ fn markdown(report: &DiffReport, baseline: &str, new: &str) -> String {
 fn machine_json(report: &DiffReport, baseline: &str, new: &str) -> String {
     let mut rows = cf_obs::json::Arr::new();
     for r in &report.rows {
-        rows = rows.raw(
-            &cf_obs::json::Obj::new()
-                .str("method", &r.method)
-                .str("dataset", &r.dataset)
-                .u64("threads", r.threads)
-                .f64("base_secs", r.base_secs)
-                .f64("new_secs", r.new_secs)
-                .f64("ratio", r.ratio)
-                .bool("regressed", r.regressed)
-                .bool("oversubscribed", r.oversubscribed)
-                .finish(),
-        );
+        let mut obj = cf_obs::json::Obj::new()
+            .str("method", &r.method)
+            .str("dataset", &r.dataset)
+            .u64("threads", r.threads)
+            .f64("base_secs", r.base_secs)
+            .f64("new_secs", r.new_secs)
+            .f64("ratio", r.ratio)
+            .bool("regressed", r.regressed)
+            .bool("oversubscribed", r.oversubscribed);
+        // Informational allocator columns, present only when both sides
+        // recorded the counters.
+        if let (Some(b), Some(n)) = (r.base_allocs, r.new_allocs) {
+            obj = obj.u64("base_allocs", b).u64("new_allocs", n);
+        }
+        if let (Some(b), Some(n)) = (r.base_misses, r.new_misses) {
+            obj = obj.u64("base_misses", b).u64("new_misses", n);
+        }
+        rows = rows.raw(&obj.finish());
     }
     let key_arr = |keys: &[CellKey]| {
         let mut arr = cf_obs::json::Arr::new();
@@ -431,6 +480,65 @@ mod tests {
     }
 
     #[test]
+    fn alloc_counters_render_informationally_and_never_gate() {
+        // Allocations explode 10 → 9000 while wall time is unchanged: the
+        // drift must be visible in both output modes but regress nothing.
+        let with_counters = |allocs: u64| {
+            format!(
+                r#"{{
+  "host_cores": 8,
+  "cells": [
+    {{"method": "CausalFormer", "dataset": "Fork",
+      "wall_secs": [
+        {{"threads": 1, "secs": 0.2, "alloc_count": {allocs}, "pool_misses": 3}}
+      ]}}
+  ]
+}}"#
+            )
+        };
+        let a = tmp("cf_bd_alloc_a.json", &with_counters(10));
+        let b = tmp("cf_bd_alloc_b.json", &with_counters(9000));
+        let (out, regressions) = run_bench_diff(&BenchDiffArgs {
+            baseline: a.clone(),
+            new: b.clone(),
+            ..BenchDiffArgs::default()
+        })
+        .unwrap();
+        assert_eq!(regressions, 0, "{out}");
+        assert!(out.contains("| 10→9000 | 3→3 |"), "{out}");
+        let (json_out, _) = run_bench_diff(&BenchDiffArgs {
+            baseline: a.clone(),
+            new: b.clone(),
+            json: true,
+            ..BenchDiffArgs::default()
+        })
+        .unwrap();
+        let v: Value = serde_json::from_str(json_out.trim()).unwrap();
+        assert_eq!(v["rows"][0]["base_allocs"].as_u64(), Some(10));
+        assert_eq!(v["rows"][0]["new_allocs"].as_u64(), Some(9000));
+        assert_eq!(v["rows"][0]["new_misses"].as_u64(), Some(3));
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn baselines_without_counters_render_a_dash() {
+        // The fixture JSON carries no counters at all — the columns fall
+        // back to "-" and the JSON rows omit the fields.
+        let a = tmp("cf_bd_nocnt_a.json", &bench_json(0.372, 8));
+        let b = tmp("cf_bd_nocnt_b.json", &bench_json(0.372, 8));
+        let (out, _) = run_bench_diff(&BenchDiffArgs {
+            baseline: a.clone(),
+            new: b.clone(),
+            ..BenchDiffArgs::default()
+        })
+        .unwrap();
+        assert!(out.contains("| - | - |"), "{out}");
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
     fn unmatched_cells_are_reported_not_compared() {
         let a = tmp("cf_bd_uk_a.json", &bench_json(0.372, 8));
         // New file lacks the scaling section entirely.
@@ -449,21 +557,54 @@ mod tests {
     }
 
     #[test]
-    fn committed_bench_pr4_self_diff_is_clean_and_flagged_oversubscribed() {
-        // The real committed baseline: host_cores 1 with 4T cells must
-        // self-compare clean but carry the oversubscription warning.
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    fn committed_baselines_self_diff_clean() {
+        // Every committed baseline must self-compare with zero
+        // regressions; BENCH_PR4 (host_cores 1 with 4T cells) must also
+        // carry the oversubscription warning.
+        for name in ["BENCH_PR4.json", "BENCH_PR7.json"] {
+            let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+            if !std::path::Path::new(&path).exists() {
+                continue;
+            }
+            let (out, regressions) = run_bench_diff(&BenchDiffArgs {
+                baseline: path.clone(),
+                new: path.clone(),
+                ..BenchDiffArgs::default()
+            })
+            .unwrap();
+            assert_eq!(regressions, 0, "{name}: {out}");
+            if name == "BENCH_PR4.json" {
+                assert!(out.contains("oversub"), "{out}");
+            }
+        }
+    }
+
+    #[test]
+    fn bench_pr7_carries_both_dtypes_with_counters() {
+        // The PR7 baseline records the CausalFormer cell matrix at both
+        // precisions plus the f32 lorenz section; its counters must make
+        // it into a diff against itself.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json");
         if !std::path::Path::new(path).exists() {
             return;
         }
-        let (out, regressions) = run_bench_diff(&BenchDiffArgs {
+        let (out, _) = run_bench_diff(&BenchDiffArgs {
             baseline: path.into(),
             new: path.into(),
+            json: true,
             ..BenchDiffArgs::default()
         })
         .unwrap();
-        assert_eq!(regressions, 0, "{out}");
-        assert!(out.contains("oversub"), "{out}");
+        let v: Value = serde_json::from_str(out.trim()).unwrap();
+        let rows = v["rows"].as_array().unwrap();
+        let has = |m: &str| rows.iter().any(|r| r["method"].as_str() == Some(m));
+        assert!(has("CausalFormer"), "{out}");
+        assert!(has("CausalFormer-f32"), "{out}");
+        assert!(has("lorenz96_n20_discover_f32"), "{out}");
+        assert!(
+            rows.iter().all(|r| r["base_allocs"].as_u64().is_some()),
+            "every PR7 cell carries pool counters: {out}"
+        );
     }
 
     #[test]

@@ -29,9 +29,10 @@ pub use analyze::{run_analyze, AnalyzeArgs};
 pub use bench_diff::{run_bench_diff, BenchDiffArgs};
 pub use report::{run_report, ReportArgs};
 
-use causalformer::{diag, persist, presets, trainer, CausalFormer, CheckpointConfig};
+use causalformer::{diag, persist, presets, trainer, CausalFormer, CheckpointConfig, Dtype};
 use cf_data::{io as csv_io, lorenz96, synthetic, window};
 use cf_metrics::graph_dot_plain;
+use cf_tensor::TensorBase;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -62,8 +63,8 @@ causalformer — temporal causal discovery (CausalFormer, ICDE 2025)
 
 usage:
   causalformer discover --input FILE.csv [--preset NAME] [--window T]
-                        [--epochs E] [--seed S] [--threads N] [--dot FILE]
-                        [--save FILE] [--metrics-out FILE.jsonl]
+                        [--epochs E] [--seed S] [--threads N] [--dtype D]
+                        [--dot FILE] [--save FILE] [--metrics-out FILE.jsonl]
                         [--trace-out FILE.json] [--diag-out FILE.cfdiag]
                         [--checkpoint-dir DIR] [--checkpoint-every N]
                         [--resume] [--log-level LEVEL] [--quiet]
@@ -84,6 +85,11 @@ discover options:
   --seed S             RNG seed (default 0)
   --threads N          worker threads (default: CF_THREADS env, else all
                        cores; results are identical at any thread count)
+  --dtype D            compute precision: f64 (default; bitwise-
+                       reproducible) or f32 (faster training — speedup
+                       grows with model width — with f64-accumulated
+                       reductions; results may differ in the last bits,
+                       discovered graphs agree in practice)
   --dot FILE           write the discovered graph as Graphviz DOT
   --save FILE          write the trained model checkpoint (JSON)
   --metrics-out FILE   write JSONL telemetry (stage timings, per-epoch
@@ -154,6 +160,8 @@ pub struct DiscoverArgs {
     pub seed: u64,
     /// Worker-thread override (`cf_par::set_threads`).
     pub threads: Option<usize>,
+    /// Compute precision (element type) for training and detection.
+    pub dtype: Dtype,
     /// DOT output path.
     pub dot: Option<String>,
     /// Checkpoint output path.
@@ -224,6 +232,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 epochs: None,
                 seed: 0,
                 threads: None,
+                dtype: Dtype::F64,
                 dot: None,
                 save: None,
                 metrics_out: None,
@@ -268,6 +277,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             return Err(CliError::Usage("--threads must be at least 1".into()));
                         }
                         a.threads = Some(n);
+                    }
+                    "--dtype" => {
+                        a.dtype = value.parse().map_err(CliError::Usage)?;
                     }
                     "--dot" => a.dot = Some(value.clone()),
                     "--save" => a.save = Some(value.clone()),
@@ -548,6 +560,7 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
     let names = parsed.names.clone();
 
     let mut cf = preset_by_name(&a.preset, n)?;
+    cf.train.dtype = a.dtype;
     if let Some(w) = a.window {
         cf.model.window = w;
     }
@@ -588,13 +601,25 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
     }
     if let Some(path) = &a.save {
         // Retrain once more is wasteful; instead persist by re-running the
-        // training stage through the public API.
+        // training stage through the public API, at the run's dtype so the
+        // saved parameters match what `discover` trained (the on-disk form
+        // is always f64 — f32 widens losslessly).
         let std_series = window::standardize(&parsed.series);
         let windows = window::windows(&std_series, cf.model.window, cf.train.stride);
         let mut rng2 = StdRng::seed_from_u64(a.seed);
-        let (trained, _) = trainer::train(&mut rng2, cf.model, cf.train, &windows);
-        persist::save(&trained, path)
-            .map_err(|e| CliError::Run(format!("saving model to {path}: {e}")))?;
+        let saved = match a.dtype {
+            Dtype::F64 => {
+                let (trained, _) = trainer::train(&mut rng2, cf.model, cf.train, &windows);
+                persist::save(&trained, path)
+            }
+            Dtype::F32 => {
+                let w32: Vec<TensorBase<f32>> =
+                    windows.iter().map(TensorBase::from_f64_tensor).collect();
+                let (trained, _) = trainer::train(&mut rng2, cf.model, cf.train, &w32);
+                persist::save(&trained, path)
+            }
+        };
+        saved.map_err(|e| CliError::Run(format!("saving model to {path}: {e}")))?;
         out.push_str(&format!("model checkpoint written to {path}\n"));
     }
 
@@ -696,6 +721,8 @@ mod tests {
             "7",
             "--threads",
             "2",
+            "--dtype",
+            "f32",
             "--dot",
             "g.dot",
             "--save",
@@ -724,6 +751,7 @@ mod tests {
                 assert_eq!(a.epochs, Some(5));
                 assert_eq!(a.seed, 7);
                 assert_eq!(a.threads, Some(2));
+                assert_eq!(a.dtype, Dtype::F32);
                 assert_eq!(a.dot.as_deref(), Some("g.dot"));
                 assert_eq!(a.save.as_deref(), Some("m.json"));
                 assert_eq!(a.metrics_out.as_deref(), Some("m.jsonl"));
@@ -775,6 +803,19 @@ mod tests {
             ])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn dtype_defaults_to_f64_and_rejects_unknown_names() {
+        let cmd = parse(&s(&["discover", "--input", "x.csv"])).unwrap();
+        match cmd {
+            Command::Discover(a) => assert_eq!(a.dtype, Dtype::F64),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&s(&["discover", "--input", "x.csv", "--dtype", "f16"])) {
+            Err(CliError::Usage(m)) => assert!(m.contains("unknown dtype"), "{m}"),
+            other => panic!("expected a usage error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -832,6 +873,7 @@ mod tests {
             epochs: Some(3),
             seed: 1,
             threads: None,
+            dtype: Dtype::F64,
             dot: Some(dot_path.to_string_lossy().into_owned()),
             save: None,
             metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
@@ -890,6 +932,7 @@ mod tests {
             epochs: Some(1),
             seed: 0,
             threads: None,
+            dtype: Dtype::F64,
             dot: None,
             save: None,
             metrics_out: None,
@@ -926,6 +969,7 @@ mod tests {
             epochs: Some(3),
             seed: 2,
             threads: None,
+            dtype: Dtype::F64,
             dot: None,
             save: None,
             metrics_out: None,

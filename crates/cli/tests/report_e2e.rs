@@ -44,6 +44,7 @@ fn discover_artifacts_render_into_report() {
         epochs: Some(3),
         seed: 3,
         threads: Some(1),
+        dtype: causalformer::Dtype::F64,
         dot: None,
         save: None,
         metrics_out: None,
@@ -64,6 +65,7 @@ fn discover_artifacts_render_into_report() {
         epochs: Some(3),
         seed: 3,
         threads: Some(2),
+        dtype: causalformer::Dtype::F64,
         dot: None,
         save: None,
         metrics_out: Some(metrics.to_string_lossy().into_owned()),

@@ -30,8 +30,11 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-/// Version stamp embedded in every checkpoint payload.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+/// Version stamp embedded in every checkpoint payload. Version 2 added the
+/// `dtype` tag: a checkpoint is a bitwise continuation of one precision's
+/// trajectory, so resume refuses to cross dtypes (or read v1 files, which
+/// predate the tag).
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
 
 /// File extension of checkpoint files.
 pub const CHECKPOINT_EXTENSION: &str = "cfck";
@@ -171,6 +174,10 @@ fn corrupt(path: &Path, detail: impl Into<String>) -> CheckpointError {
 #[derive(Serialize, Deserialize)]
 pub(crate) struct SavedCheckpoint {
     pub(crate) format_version: u32,
+    /// Element type the run trained in (`"f32"`/`"f64"`); resume refuses a
+    /// dtype mismatch. Parameter payloads below are always stored widened
+    /// to f64 regardless of this tag.
+    pub(crate) dtype: String,
     /// Architecture this state belongs to; resume verifies equality.
     pub(crate) config: SavedConfig,
     /// Total window count of the run (train + validation split derives

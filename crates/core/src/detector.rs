@@ -20,8 +20,8 @@ use crate::model::CausalityAwareTransformer;
 use crate::rrp::{self, RrpLayers};
 use cf_metrics::kmeans::top_class_mask;
 use cf_metrics::CausalGraph;
-use cf_nn::ParamStore;
-use cf_tensor::{with_pooled_tape, Tape, Tensor};
+use cf_nn::ParamStoreBase;
+use cf_tensor::{with_pooled_tape, Scalar, TapeBase, Tensor, TensorBase};
 use rand::Rng;
 
 /// Accumulated causal scores: per target series `i`, an `N`-vector of
@@ -64,11 +64,13 @@ impl CausalScores {
     }
 }
 
-/// Computes the causal scores contributed by a single window.
-pub fn window_scores(
+/// Computes the causal scores contributed by a single window. Scores are
+/// always f64 — for an f32-trained model the forward values cross into
+/// f64 at the RRP/read-out boundary below.
+pub fn window_scores<E: Scalar>(
     model: &CausalityAwareTransformer,
-    store: &ParamStore,
-    x_window: &Tensor,
+    store: &ParamStoreBase<E>,
+    x_window: &TensorBase<E>,
     mode: DetectorMode,
 ) -> CausalScores {
     let _span = cf_obs::span::enter("window_scores");
@@ -80,7 +82,7 @@ pub fn window_scores(
         let trace = model.forward(tape, &bound, x_window);
         // The forward pass is done recording; reborrow shared so the
         // per-target backward passes can fan out over `&Tape`.
-        let tape: &Tape = tape;
+        let tape: &TapeBase<E> = tape;
 
         let mut scores = CausalScores::zeros(n, t);
         let heads = trace.attn.len();
@@ -105,34 +107,58 @@ pub fn window_scores(
             return scores;
         }
 
-        // Pull the forward values needed by RRP off the tape once.
+        // Pull the forward values needed by RRP off the tape once. RRP
+        // itself stays f64 whatever the training dtype: relevance
+        // propagation is a read-out, not a hot loop, so the forward
+        // values and weights are materialised as f64 tensors here (an
+        // identity copy when E = f64).
         let weights = model.rrp_weights();
         let biases = model.rrp_biases();
         let head_out: Vec<Tensor> = trace
             .head_out
             .iter()
-            .map(|&v| tape.value(v).clone())
+            .map(|&v| tape.value(v).to_f64_tensor())
             .collect();
-        let attn_vals: Vec<Tensor> = trace.attn.iter().map(|&v| tape.value(v).clone()).collect();
+        let attn_vals: Vec<Tensor> = trace
+            .attn
+            .iter()
+            .map(|&v| tape.value(v).to_f64_tensor())
+            .collect();
+        let x_v = tape.value(trace.x).to_f64_tensor();
+        let pred_v = tape.value(trace.pred).to_f64_tensor();
+        let ffn_out_v = tape.value(trace.ffn_out).to_f64_tensor();
+        let ffn_act_v = tape.value(trace.ffn_act).to_f64_tensor();
+        let ffn_pre_v = tape.value(trace.ffn_pre).to_f64_tensor();
+        let att_v = tape.value(trace.att).to_f64_tensor();
+        let shifted_v = tape.value(trace.shifted).to_f64_tensor();
+        let conv_v = tape.value(trace.conv).to_f64_tensor();
+        let bank_v = tape.value(trace.bank).to_f64_tensor();
+        let w_out_v = store.value(weights.output_w).to_f64_tensor();
+        let b_out_v = store.value(biases.output_b).to_f64_tensor();
+        let w2_v = store.value(weights.ffn2_w).to_f64_tensor();
+        let b2_v = store.value(biases.ffn2_b).to_f64_tensor();
+        let w1_v = store.value(weights.ffn1_w).to_f64_tensor();
+        let b1_v = store.value(biases.ffn1_b).to_f64_tensor();
+        let w_o_v = store.value(weights.w_o).to_f64_tensor();
         let layers = RrpLayers {
-            x: tape.value(trace.x),
-            pred: tape.value(trace.pred),
-            ffn_out: tape.value(trace.ffn_out),
-            ffn_act: tape.value(trace.ffn_act),
-            ffn_pre: tape.value(trace.ffn_pre),
-            att: tape.value(trace.att),
+            x: &x_v,
+            pred: &pred_v,
+            ffn_out: &ffn_out_v,
+            ffn_act: &ffn_act_v,
+            ffn_pre: &ffn_pre_v,
+            att: &att_v,
             head_out: &head_out,
             attn: &attn_vals,
-            shifted: tape.value(trace.shifted),
-            conv: tape.value(trace.conv),
-            bank: tape.value(trace.bank),
-            w_out: store.value(weights.output_w),
-            b_out: store.value(biases.output_b),
-            w2: store.value(weights.ffn2_w),
-            b2: store.value(biases.ffn2_b),
-            w1: store.value(weights.ffn1_w),
-            b1: store.value(biases.ffn1_b),
-            w_o: store.value(weights.w_o),
+            shifted: &shifted_v,
+            conv: &conv_v,
+            bank: &bank_v,
+            w_out: &w_out_v,
+            b_out: &b_out_v,
+            w2: &w2_v,
+            b2: &b2_v,
+            w1: &w1_v,
+            b1: &b1_v,
+            w_o: &w_o_v,
             with_bias: mode != DetectorMode::NoBias,
         };
         layers.validate_shapes();
@@ -146,22 +172,22 @@ pub fn window_scores(
         let per_target: Vec<(Vec<f64>, Tensor)> = cf_par::par_map(n, |i| {
             // Gradient pass: seed the prediction with the target's row.
             let (grad_attn, grad_bank) = if need_gradient {
-                let mut seed = Tensor::zeros(&[n, t]);
+                let mut seed = TensorBase::<E>::zeros(&[n, t]);
                 for tt in 0..t {
                     seed.set2(i, tt, 1.0);
                 }
                 let mut grads = tape.backward_with_seed(trace.pred, seed);
-                let ga: Vec<Tensor> = trace
+                let ga: Vec<TensorBase<E>> = trace
                     .attn
                     .iter()
-                    .map(|&a| grads.take(a).unwrap_or_else(|| Tensor::zeros(&[n, n])))
+                    .map(|&a| grads.take(a).unwrap_or_else(|| TensorBase::zeros(&[n, n])))
                     .collect();
                 let gb = grads
                     .take(trace.bank)
-                    .unwrap_or_else(|| Tensor::zeros(&[n, n, t]));
+                    .unwrap_or_else(|| TensorBase::zeros(&[n, n, t]));
                 (ga, gb)
             } else {
-                (Vec::new(), Tensor::zeros(&[n, n, t]))
+                (Vec::new(), TensorBase::zeros(&[n, n, t]))
             };
 
             // Relevance pass.
@@ -224,10 +250,10 @@ pub fn window_scores(
 
 /// Averages [`window_scores`] over up to `cfg.sample_windows` windows
 /// (evenly spaced through `windows`).
-pub fn aggregate_scores(
+pub fn aggregate_scores<E: Scalar>(
     model: &CausalityAwareTransformer,
-    store: &ParamStore,
-    windows: &[Tensor],
+    store: &ParamStoreBase<E>,
+    windows: &[TensorBase<E>],
     cfg: &DetectorConfig,
 ) -> CausalScores {
     let _span = cf_obs::span::enter("aggregate_scores");
@@ -311,11 +337,11 @@ pub fn build_graph<R: Rng + ?Sized>(
 /// permutation, so the returned `CausalScores::kernel` holds the per-window
 /// error increase replicated across taps — delays fall back to the
 /// most-recent tap.
-pub fn permutation_scores<R: Rng + ?Sized>(
+pub fn permutation_scores<E: Scalar, R: Rng + ?Sized>(
     rng: &mut R,
     model: &CausalityAwareTransformer,
-    store: &ParamStore,
-    windows: &[Tensor],
+    store: &ParamStoreBase<E>,
+    windows: &[TensorBase<E>],
 ) -> CausalScores {
     use rand::seq::SliceRandom;
     let _span = cf_obs::span::enter("permutation_scores");
@@ -327,7 +353,7 @@ pub fn permutation_scores<R: Rng + ?Sized>(
 
     // Per-series squared error of a forward pass, ignoring slot 0 (as the
     // training loss does).
-    let per_series_err = |x: &Tensor, target_like: &Tensor| -> Vec<f64> {
+    let per_series_err = |x: &TensorBase<E>, target_like: &TensorBase<E>| -> Vec<f64> {
         with_pooled_tape(|tape| {
             let bound = store.bind(tape);
             let trace = model.forward(tape, &bound, x);
@@ -349,8 +375,9 @@ pub fn permutation_scores<R: Rng + ?Sized>(
     for w in windows {
         let base = per_series_err(w, w);
         for j in 0..n {
-            // Permute series j's row within the window.
-            let mut perm: Vec<f64> = w.row(j).to_vec();
+            // Permute series j's row within the window (shuffled as f64
+            // values; `set2` narrows back to E).
+            let mut perm: Vec<f64> = w.row(j).iter().map(|v| v.to_f64()).collect();
             perm.shuffle(rng);
             let mut xp = w.clone();
             for (tt, &v) in perm.iter().enumerate() {
@@ -371,11 +398,11 @@ pub fn permutation_scores<R: Rng + ?Sized>(
 }
 
 /// Convenience wrapper: aggregate scores over `windows` and build the graph.
-pub fn detect<R: Rng + ?Sized>(
+pub fn detect<E: Scalar, R: Rng + ?Sized>(
     rng: &mut R,
     model: &CausalityAwareTransformer,
-    store: &ParamStore,
-    windows: &[Tensor],
+    store: &ParamStoreBase<E>,
+    windows: &[TensorBase<E>],
     cfg: &DetectorConfig,
 ) -> (CausalGraph, CausalScores) {
     let scores = aggregate_scores(model, store, windows, cfg);
@@ -388,6 +415,7 @@ pub fn detect<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::config::ModelConfig;
+    use cf_nn::ParamStore;
     use cf_tensor::uniform;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

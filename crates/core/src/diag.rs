@@ -23,9 +23,9 @@
 use crate::config::ModelConfig;
 use crate::detector::CausalScores;
 use crate::model::CausalityAwareTransformer;
-use cf_nn::{ParamId, ParamStore};
+use cf_nn::{ParamId, ParamStoreBase};
 use cf_obs::json::{Arr, Obj};
-use cf_tensor::Tensor;
+use cf_tensor::{Scalar, TensorBase};
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -115,10 +115,21 @@ impl GradGroupAccum {
     }
 
     /// Folds one optimizer step's gradient pairs in.
-    pub fn observe(&mut self, store: &ParamStore, pairs: &[(ParamId, Tensor)]) {
+    pub fn observe<E: Scalar>(
+        &mut self,
+        store: &ParamStoreBase<E>,
+        pairs: &[(ParamId, TensorBase<E>)],
+    ) {
         for (id, g) in pairs {
             let group = param_group(store.name(*id));
-            let sumsq: f64 = g.data().iter().map(|v| v * v).sum();
+            let sumsq: f64 = g
+                .data()
+                .iter()
+                .map(|v| {
+                    let x = v.to_f64();
+                    x * x
+                })
+                .sum();
             match self.groups.iter_mut().find(|(name, _)| name == group) {
                 Some((_, acc)) => *acc += sumsq,
                 None => self.groups.push((group.to_string(), sumsq)),
@@ -145,20 +156,23 @@ struct MaskStats {
     entropy: f64,
 }
 
-fn mask_stats(mask: &Tensor) -> MaskStats {
+fn mask_stats<E: Scalar>(mask: &TensorBase<E>) -> MaskStats {
     let data = mask.data();
-    let max_abs = data.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let max_abs = data.iter().fold(0.0f64, |m, v| m.max(v.to_f64().abs()));
     if max_abs == 0.0 || data.is_empty() {
         return MaskStats {
             sparsity: 1.0,
             entropy: 0.0,
         };
     }
-    let near_zero = data.iter().filter(|v| v.abs() <= 0.01 * max_abs).count();
-    let total: f64 = data.iter().map(|v| v.abs()).sum();
+    let near_zero = data
+        .iter()
+        .filter(|v| v.to_f64().abs() <= 0.01 * max_abs)
+        .count();
+    let total: f64 = data.iter().map(|v| v.to_f64().abs()).sum();
     let entropy = -data
         .iter()
-        .map(|v| v.abs() / total)
+        .map(|v| v.to_f64().abs() / total)
         .filter(|&p| p > 0.0)
         .map(|p| p * p.ln())
         .sum::<f64>();
@@ -191,12 +205,12 @@ pub fn record_header(config: &ModelConfig) {
 /// Emits one epoch's interpretability snapshot: losses, per-head mask
 /// sparsity/entropy, the mean-|mask| causal proxy matrix (the report's
 /// causal-matrix-evolution panel), and per-group gradient norms.
-pub fn record_epoch(
+pub fn record_epoch<E: Scalar>(
     epoch: usize,
     train_loss: f64,
     val_loss: f64,
     model: &CausalityAwareTransformer,
-    store: &ParamStore,
+    store: &ParamStoreBase<E>,
     grads: &GradGroupAccum,
 ) {
     if !is_installed() {
@@ -325,6 +339,7 @@ pub fn record_detect(scores: &CausalScores, window: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cf_tensor::Tensor;
 
     #[test]
     fn t_param_groups_strip_trailing_digits() {

@@ -57,4 +57,6 @@ pub use config::{DetectorConfig, DetectorMode, ModelConfig, TrainConfig};
 pub use detector::{detect, CausalScores};
 pub use model::{CausalityAwareTransformer, ForwardTrace};
 pub use pipeline::{presets, CausalFormer, DiscoveryResult};
-pub use trainer::{train, TrainError, TrainReport, TrainedModel, Trainer};
+pub use trainer::{train, TrainError, TrainReport, TrainedModel, TrainedModelBase, Trainer};
+
+pub use cf_tensor::Dtype;

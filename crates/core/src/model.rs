@@ -20,8 +20,8 @@
 //! sparsity penalties on `𝒦` and the attention masks.
 
 use crate::config::ModelConfig;
-use cf_nn::{BoundParams, Linear, ParamId, ParamStore};
-use cf_tensor::{he_normal, Tape, Tensor, VarId};
+use cf_nn::{BoundParams, Linear, ParamId, ParamStoreBase};
+use cf_tensor::{he_normal, Scalar, TapeBase, TensorBase, VarId};
 use rand::Rng;
 
 /// Per-head parameters of the multi-variate causal attention.
@@ -83,14 +83,18 @@ impl CausalityAwareTransformer {
     ///
     /// The attention masks start at 1 (no masking) and the head-combination
     /// weights at `1/h`, so the initial model averages heads uniformly.
-    pub fn new<R: Rng + ?Sized>(store: &mut ParamStore, rng: &mut R, config: ModelConfig) -> Self {
+    pub fn new<E: Scalar, R: Rng + ?Sized>(
+        store: &mut ParamStoreBase<E>,
+        rng: &mut R,
+        config: ModelConfig,
+    ) -> Self {
         config.validate();
         let n = config.n_series;
         let t = config.window;
         let d = config.d_model;
 
         let w_emb = store.register("emb.w", he_normal(rng, &[t, d], t));
-        let b_emb = store.register("emb.b", Tensor::zeros(&[d]));
+        let b_emb = store.register("emb.b", TensorBase::zeros(&[d]));
 
         let kernel_shape: &[usize] = if config.single_kernel {
             &[n, t]
@@ -102,16 +106,16 @@ impl CausalityAwareTransformer {
         let heads = (0..config.heads)
             .map(|h| AttentionHead {
                 w_q: store.register(format!("head{h}.wq"), he_normal(rng, &[d, config.d_qk], d)),
-                b_q: store.register(format!("head{h}.bq"), Tensor::zeros(&[config.d_qk])),
+                b_q: store.register(format!("head{h}.bq"), TensorBase::zeros(&[config.d_qk])),
                 w_k: store.register(format!("head{h}.wk"), he_normal(rng, &[d, config.d_qk], d)),
-                b_k: store.register(format!("head{h}.bk"), Tensor::zeros(&[config.d_qk])),
-                mask: store.register(format!("head{h}.mask"), Tensor::ones(&[n, n])),
+                b_k: store.register(format!("head{h}.bk"), TensorBase::zeros(&[config.d_qk])),
+                mask: store.register(format!("head{h}.mask"), TensorBase::ones(&[n, n])),
             })
             .collect();
 
         let w_o = store.register(
             "attn.wo",
-            Tensor::full(&[config.heads], 1.0 / config.heads as f64),
+            TensorBase::full(&[config.heads], 1.0 / config.heads as f64),
         );
 
         let ffn1 = Linear::he(store, rng, "ffn.lin1", t, config.d_ffn, true);
@@ -172,7 +176,12 @@ impl CausalityAwareTransformer {
     ///
     /// # Panics
     /// Panics if `x`'s shape does not match the configuration.
-    pub fn forward(&self, tape: &mut Tape, bound: &BoundParams, x_window: &Tensor) -> ForwardTrace {
+    pub fn forward<E: Scalar>(
+        &self,
+        tape: &mut TapeBase<E>,
+        bound: &BoundParams,
+        x_window: &TensorBase<E>,
+    ) -> ForwardTrace {
         assert_eq!(
             x_window.shape(),
             &[self.config.n_series, self.config.window],
@@ -250,7 +259,12 @@ impl CausalityAwareTransformer {
     /// Builds the per-window prediction loss: MSE over every slot except
     /// the first (Eq. 9, "we ignore the prediction of the first time slot").
     /// Returns a scalar node.
-    pub fn prediction_loss(&self, tape: &mut Tape, trace: &ForwardTrace, target: &Tensor) -> VarId {
+    pub fn prediction_loss<E: Scalar>(
+        &self,
+        tape: &mut TapeBase<E>,
+        trace: &ForwardTrace,
+        target: &TensorBase<E>,
+    ) -> VarId {
         let n = self.config.n_series;
         let t = self.config.window;
         assert_eq!(target.shape(), &[n, t], "target shape mismatch");
@@ -258,7 +272,7 @@ impl CausalityAwareTransformer {
         let diff = tape.sub(trace.pred, tgt);
         let sq = tape.square(diff);
         // Mask out the first slot of every series.
-        let mut mask = Tensor::ones(&[n, t]);
+        let mut mask = TensorBase::ones(&[n, t]);
         for i in 0..n {
             mask.set2(i, 0, 0.0);
         }
@@ -269,8 +283,12 @@ impl CausalityAwareTransformer {
 
     /// Adds the L1 sparsity penalties of Eq. 9: `λ_𝒦‖𝒦‖₁ + λ_M Σ_h‖M_h‖₁`.
     /// Returns a scalar node (zero work when both λ are 0).
-    pub fn sparsity_penalty(&self, tape: &mut Tape, bound: &BoundParams) -> VarId {
-        let mut acc = tape.constant(Tensor::scalar(0.0));
+    pub fn sparsity_penalty<E: Scalar>(
+        &self,
+        tape: &mut TapeBase<E>,
+        bound: &BoundParams,
+    ) -> VarId {
+        let mut acc = tape.constant(TensorBase::scalar(0.0));
         if self.config.lambda_kernel > 0.0 {
             let l1k = tape.l1(bound.var(self.kernel));
             let scaled = tape.scale(l1k, self.config.lambda_kernel);
@@ -293,8 +311,8 @@ impl CausalityAwareTransformer {
             } else {
                 vec![self.config.n_series, self.config.n_series, t]
             };
-            let mut weights = Tensor::zeros(&shape);
-            let per_row: Vec<f64> = (0..t).map(|u| (t - 1 - u) as f64).collect();
+            let mut weights = TensorBase::<E>::zeros(&shape);
+            let per_row: Vec<E> = (0..t).map(|u| E::from_f64((t - 1 - u) as f64)).collect();
             for chunk in weights.data_mut().chunks_mut(t) {
                 chunk.copy_from_slice(&per_row);
             }
@@ -332,7 +350,8 @@ pub struct RrpWeights {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cf_tensor::uniform;
+    use cf_nn::ParamStore;
+    use cf_tensor::{uniform, Tape, Tensor};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

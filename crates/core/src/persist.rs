@@ -8,9 +8,9 @@
 
 use crate::config::ModelConfig;
 use crate::model::CausalityAwareTransformer;
-use crate::trainer::TrainedModel;
-use cf_nn::ParamStore;
-use cf_tensor::Tensor;
+use crate::trainer::{TrainedModel, TrainedModelBase};
+use cf_nn::{ParamStore, ParamStoreBase};
+use cf_tensor::{Scalar, TensorBase};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -154,21 +154,25 @@ pub(crate) fn model_config(sc: &SavedConfig) -> ModelConfig {
     }
 }
 
-/// Serialises the store's current values, in registration order.
-pub(crate) fn saved_params(store: &ParamStore) -> Vec<SavedParam> {
+/// Serialises the store's current values, in registration order. The
+/// on-disk payload is always f64; narrower dtypes widen losslessly here.
+pub(crate) fn saved_params<E: Scalar>(store: &ParamStoreBase<E>) -> Vec<SavedParam> {
     store
         .ids()
         .map(|id| SavedParam {
             name: store.name(id).to_string(),
             shape: store.value(id).shape().to_vec(),
-            data: store.value(id).data().to_vec(),
+            data: store.value(id).data().iter().map(|v| v.to_f64()).collect(),
         })
         .collect()
 }
 
 /// Serialises an external snapshot (e.g. best-epoch weights) using the
 /// store's names and registration order.
-pub(crate) fn saved_params_from(store: &ParamStore, values: &[Tensor]) -> Vec<SavedParam> {
+pub(crate) fn saved_params_from<E: Scalar>(
+    store: &ParamStoreBase<E>,
+    values: &[TensorBase<E>],
+) -> Vec<SavedParam> {
     assert_eq!(values.len(), store.len(), "snapshot length mismatch");
     store
         .ids()
@@ -176,7 +180,7 @@ pub(crate) fn saved_params_from(store: &ParamStore, values: &[Tensor]) -> Vec<Sa
         .map(|(id, v)| SavedParam {
             name: store.name(id).to_string(),
             shape: v.shape().to_vec(),
-            data: v.data().to_vec(),
+            data: v.data().iter().map(|v| v.to_f64()).collect(),
         })
         .collect()
 }
@@ -185,10 +189,10 @@ pub(crate) fn saved_params_from(store: &ParamStore, values: &[Tensor]) -> Vec<Sa
 /// names, shapes) and rebuilds them as tensors ready for
 /// `ParamStore::restore`. Errors are human-readable detail strings so both
 /// [`PersistError`] and checkpoint errors can wrap them.
-pub(crate) fn restore_values(
-    store: &ParamStore,
+pub(crate) fn restore_values<E: Scalar>(
+    store: &ParamStoreBase<E>,
     params: &[SavedParam],
-) -> Result<Vec<Tensor>, String> {
+) -> Result<Vec<TensorBase<E>>, String> {
     if params.len() != store.len() {
         return Err(format!(
             "file has {} parameters, architecture expects {}",
@@ -213,15 +217,18 @@ pub(crate) fn restore_values(
                 sp.shape
             ));
         }
-        let tensor = Tensor::from_vec(sp.shape.clone(), sp.data.clone())
+        let data = sp.data.iter().copied().map(E::from_f64).collect();
+        let tensor = TensorBase::from_vec(sp.shape.clone(), data)
             .map_err(|e| format!("parameter {:?}: {e}", sp.name))?;
         values.push(tensor);
     }
     Ok(values)
 }
 
-/// Serialises a trained model to JSON.
-pub fn to_json(trained: &TrainedModel) -> Result<String, PersistError> {
+/// Serialises a trained model to JSON. Parameters are stored as f64
+/// whatever the store's dtype — an f32-trained model widens losslessly on
+/// save and loads back as the f64 model with the same weights.
+pub fn to_json<E: Scalar>(trained: &TrainedModelBase<E>) -> Result<String, PersistError> {
     let saved = SavedModel {
         format_version: 1,
         config: saved_config(trained.model.config()),
@@ -253,7 +260,10 @@ pub fn from_json(json: &str) -> Result<TrainedModel, PersistError> {
 }
 
 /// Saves a trained model to a JSON file. Errors name the offending path.
-pub fn save(trained: &TrainedModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
+pub fn save<E: Scalar>(
+    trained: &TrainedModelBase<E>,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistError> {
     let path = path.as_ref();
     let json = to_json(trained).map_err(|e| e.at(path))?;
     std::fs::write(path, json).map_err(|e| PersistError::Io(e).at(path))?;
@@ -274,7 +284,7 @@ mod tests {
     use crate::detector::detect;
     use crate::trainer::train;
     use crate::TrainConfig;
-    use cf_tensor::uniform;
+    use cf_tensor::{uniform, Tensor};
 
     fn tiny_trained() -> (TrainedModel, Vec<Tensor>) {
         let mut rng = StdRng::seed_from_u64(4);

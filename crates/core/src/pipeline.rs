@@ -12,9 +12,9 @@
 use crate::checkpoint::CheckpointConfig;
 use crate::config::{DetectorConfig, ModelConfig, TrainConfig};
 use crate::detector::{detect, CausalScores};
-use crate::trainer::{train, TrainError, TrainReport, TrainedModel, Trainer};
+use crate::trainer::{train, TrainError, TrainReport, TrainedModelBase, Trainer};
 use cf_metrics::CausalGraph;
-use cf_tensor::Tensor;
+use cf_tensor::{Dtype, Scalar, Tensor, TensorBase};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -53,15 +53,29 @@ impl CausalFormer {
         }
     }
 
-    /// Runs the full workflow on an `N×L` series matrix.
+    /// Runs the full workflow on an `N×L` series matrix. The input series
+    /// is always f64; [`TrainConfig::dtype`] selects the precision the
+    /// training and detection stages run in (windows are cast once after
+    /// the f64 preprocessing, so standardisation is dtype-invariant).
     ///
     /// # Panics
     /// Panics if the series shape disagrees with the model config or is too
     /// short to produce a single window.
     pub fn discover<R: Rng + ?Sized>(&self, rng: &mut R, series: &Tensor) -> DiscoveryResult {
+        match self.train.dtype {
+            Dtype::F64 => self.discover_typed::<f64, R>(rng, series),
+            Dtype::F32 => self.discover_typed::<f32, R>(rng, series),
+        }
+    }
+
+    fn discover_typed<E: Scalar, R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        series: &Tensor,
+    ) -> DiscoveryResult {
         let _pipeline_span = cf_obs::span::enter("discover");
         let _pipeline_trace = cf_obs::trace::span("discover");
-        let windows = self.prepare_windows(series);
+        let windows = self.prepare_typed_windows::<E>(series);
         let (trained, train_report) = {
             let _s = cf_obs::span::enter("train");
             let _t = cf_obs::trace::span("train");
@@ -88,9 +102,22 @@ impl CausalFormer {
         checkpoint: CheckpointConfig,
         resume: bool,
     ) -> Result<DiscoveryResult, TrainError> {
+        match self.train.dtype {
+            Dtype::F64 => self.discover_resumable_typed::<f64>(rng, series, checkpoint, resume),
+            Dtype::F32 => self.discover_resumable_typed::<f32>(rng, series, checkpoint, resume),
+        }
+    }
+
+    fn discover_resumable_typed<E: Scalar>(
+        &self,
+        rng: &mut StdRng,
+        series: &Tensor,
+        checkpoint: CheckpointConfig,
+        resume: bool,
+    ) -> Result<DiscoveryResult, TrainError> {
         let _pipeline_span = cf_obs::span::enter("discover");
         let _pipeline_trace = cf_obs::trace::span("discover");
-        let windows = self.prepare_windows(series);
+        let windows = self.prepare_typed_windows::<E>(series);
         let (trained, train_report) = {
             let _s = cf_obs::span::enter("train");
             let _t = cf_obs::trace::span("train");
@@ -137,14 +164,24 @@ impl CausalFormer {
         windows
     }
 
+    /// [`CausalFormer::prepare_windows`] followed by one cast into the
+    /// compute dtype. Standardisation always runs in f64, so the f32 path
+    /// trains on the rounded image of exactly the f64 windows.
+    fn prepare_typed_windows<E: Scalar>(&self, series: &Tensor) -> Vec<TensorBase<E>> {
+        self.prepare_windows(series)
+            .iter()
+            .map(TensorBase::from_f64_tensor)
+            .collect()
+    }
+
     /// Runs the decomposition-based detector on a trained model and
     /// assembles the discovery result.
-    fn detect_stage<R: Rng + ?Sized>(
+    fn detect_stage<E: Scalar, R: Rng + ?Sized>(
         &self,
         rng: &mut R,
-        trained: TrainedModel,
+        trained: TrainedModelBase<E>,
         train_report: TrainReport,
-        windows: &[Tensor],
+        windows: &[TensorBase<E>],
     ) -> DiscoveryResult {
         // `detect` runs relevance propagation (RRP) and graph construction;
         // the finer-grained spans live inside `detector.rs`.

@@ -32,9 +32,10 @@ use crate::config::{ModelConfig, TrainConfig};
 use crate::model::CausalityAwareTransformer;
 use crate::persist;
 use cf_nn::{
-    clip_global_norm, Adam, AdamState, EarlyStopper, Optimizer, ParamId, ParamStore, StopDecision,
+    clip_global_norm, AdamBase, AdamStateBase, EarlyStopper, Optimizer, ParamId, ParamStoreBase,
+    StopDecision,
 };
-use cf_tensor::{with_pooled_tape, Tensor};
+use cf_tensor::{with_pooled_tape, Scalar, TensorBase};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -43,12 +44,15 @@ use std::path::Path;
 
 /// A trained causality-aware transformer: the model definition plus the
 /// parameter store holding the best weights found.
-pub struct TrainedModel {
+pub struct TrainedModelBase<E: Scalar = f64> {
     /// The architecture (parameter ids, config).
     pub model: CausalityAwareTransformer,
     /// Parameter values (best validation epoch).
-    pub store: ParamStore,
+    pub store: ParamStoreBase<E>,
 }
+
+/// The `f64`-trained model (the historical API).
+pub type TrainedModel = TrainedModelBase<f64>;
 
 /// Per-epoch training telemetry.
 #[derive(Debug, Clone)]
@@ -171,11 +175,11 @@ impl Trainer {
     /// restore the RNG state; on resume the RNG is rewound to the
     /// checkpointed stream position so everything downstream (e.g. the
     /// detector's sampling) matches an uninterrupted run bitwise.
-    pub fn fit(
+    pub fn fit<E: Scalar>(
         &self,
         rng: &mut StdRng,
-        windows: &[Tensor],
-    ) -> Result<(TrainedModel, TrainReport), TrainError> {
+        windows: &[TensorBase<E>],
+    ) -> Result<(TrainedModelBase<E>, TrainReport), TrainError> {
         fit_inner(
             rng,
             self.model,
@@ -197,12 +201,12 @@ impl Trainer {
 /// This path never checkpoints (its RNG is opaque, so state capture is
 /// impossible) but still carries the non-finite guards: a persistent NaN
 /// degrades to the best-so-far weights instead of panicking.
-pub fn train<R: Rng + ?Sized>(
+pub fn train<E: Scalar, R: Rng + ?Sized>(
     rng: &mut R,
     model_config: ModelConfig,
     train_config: TrainConfig,
-    windows: &[Tensor],
-) -> (TrainedModel, TrainReport) {
+    windows: &[TensorBase<E>],
+) -> (TrainedModelBase<E>, TrainReport) {
     let mut rng = OpaqueRng(rng);
     fit_inner(&mut rng, model_config, train_config, None, false, windows)
         .expect("training without checkpointing cannot fail")
@@ -213,10 +217,10 @@ pub fn train<R: Rng + ?Sized>(
 /// RNG in the null-capture [`OpaqueRng`], while the [`Trainer::fit`] path
 /// uses [`StdRng`]'s real state words. Everything else (model init,
 /// shuffling) goes through the trait so both paths share one loop.
-trait TrainRng {
+trait TrainRng<E: Scalar> {
     fn init_model(
         &mut self,
-        store: &mut ParamStore,
+        store: &mut ParamStoreBase<E>,
         config: ModelConfig,
     ) -> CausalityAwareTransformer;
     fn shuffle(&mut self, order: &mut [usize]);
@@ -226,10 +230,10 @@ trait TrainRng {
     fn restore_words(&mut self, words: &[u64]) -> bool;
 }
 
-impl TrainRng for StdRng {
+impl<E: Scalar> TrainRng<E> for StdRng {
     fn init_model(
         &mut self,
-        store: &mut ParamStore,
+        store: &mut ParamStoreBase<E>,
         config: ModelConfig,
     ) -> CausalityAwareTransformer {
         CausalityAwareTransformer::new(store, self, config)
@@ -256,10 +260,10 @@ impl TrainRng for StdRng {
 /// checkpoints cannot be written, which [`train`] never asks for.
 struct OpaqueRng<'a, R: Rng + ?Sized>(&'a mut R);
 
-impl<R: Rng + ?Sized> TrainRng for OpaqueRng<'_, R> {
+impl<E: Scalar, R: Rng + ?Sized> TrainRng<E> for OpaqueRng<'_, R> {
     fn init_model(
         &mut self,
-        store: &mut ParamStore,
+        store: &mut ParamStoreBase<E>,
         config: ModelConfig,
     ) -> CausalityAwareTransformer {
         CausalityAwareTransformer::new(store, self.0, config)
@@ -277,11 +281,11 @@ impl<R: Rng + ?Sized> TrainRng for OpaqueRng<'_, R> {
 
 /// Everything the training loop mutates, captured at the top of an epoch so
 /// a mid-epoch non-finite value can rewind as if the epoch never ran.
-struct Guard {
+struct Guard<E: Scalar> {
     step: u64,
-    params: Vec<Tensor>,
-    best: Vec<Tensor>,
-    adam: AdamState,
+    params: Vec<TensorBase<E>>,
+    best: Vec<TensorBase<E>>,
+    adam: AdamStateBase<E>,
     stopper: cf_nn::StopperState,
     rng: Option<Vec<u64>>,
     order: Vec<usize>,
@@ -289,14 +293,14 @@ struct Guard {
     hist: usize,
 }
 
-fn fit_inner<Q: TrainRng>(
+fn fit_inner<E: Scalar, Q: TrainRng<E>>(
     rng: &mut Q,
     model_config: ModelConfig,
     train_config: TrainConfig,
     ckpt: Option<&CheckpointConfig>,
     resume: bool,
-    windows: &[Tensor],
-) -> Result<(TrainedModel, TrainReport), TrainError> {
+    windows: &[TensorBase<E>],
+) -> Result<(TrainedModelBase<E>, TrainReport), TrainError> {
     model_config.validate();
     train_config.validate();
     if let Some(cfg) = ckpt {
@@ -311,10 +315,10 @@ fn fit_inner<Q: TrainRng>(
         );
     }
 
-    let mut store = ParamStore::new();
+    let mut store = ParamStoreBase::<E>::new();
     let model = rng.init_model(&mut store, model_config);
     crate::diag::record_header(&model_config);
-    let mut adam = Adam::new(train_config.lr);
+    let mut adam = AdamBase::<E>::new(train_config.lr);
     let mut stopper = EarlyStopper::new(train_config.patience, train_config.min_delta);
 
     // Temporal split: validation = chronological tail.
@@ -415,19 +419,25 @@ fn fit_inner<Q: TrainRng>(
             // trajectory is bitwise identical at any thread count (the
             // reduction shape depends only on the batch size).
             let n_params = store.len();
-            let per_window: Vec<(f64, Vec<Option<Tensor>>)> = cf_par::par_map(batch.len(), |bi| {
-                let w = &train_set[batch[bi]];
-                with_pooled_tape(|tape| {
-                    let bound = store.bind(tape);
-                    let trace = model.forward(tape, &bound, w);
-                    let loss = model.prediction_loss(tape, &trace, w);
-                    let loss_val = tape.value(loss).item();
-                    let mut grads = tape.backward(loss);
-                    let mut gvec: Vec<Option<Tensor>> = vec![None; n_params];
-                    bound.take_gradients(&mut grads, |id, g| gvec[id.index()] = Some(g));
-                    (loss_val, gvec)
-                })
-            });
+            let per_window: Vec<(f64, Vec<Option<TensorBase<E>>>)> =
+                cf_par::par_map(batch.len(), |bi| {
+                    let w = &train_set[batch[bi]];
+                    with_pooled_tape(|tape| {
+                        let bound = store.bind(tape);
+                        let trace = model.forward(tape, &bound, w);
+                        let loss = model.prediction_loss(tape, &trace, w);
+                        let loss_val = tape.value(loss).item();
+                        // Loss scaling: seed with GRAD_SCALE (1.0 for f64 —
+                        // identical to plain backward; 2^32 for f32, keeping
+                        // backward-kernel products out of the subnormal
+                        // range). Unscaled below via `inv`.
+                        let mut grads =
+                            tape.backward_with_seed(loss, TensorBase::scalar(E::GRAD_SCALE));
+                        let mut gvec: Vec<Option<TensorBase<E>>> = vec![None; n_params];
+                        bound.take_gradients(&mut grads, |id, g| gvec[id.index()] = Some(g));
+                        (loss_val, gvec)
+                    })
+                });
             let batch_len = per_window.len();
             let (loss_sum, mut grad_sum) = cf_par::tree_reduce(per_window, |mut a, b| {
                 a.0 += b.0;
@@ -450,18 +460,22 @@ fn fit_inner<Q: TrainRng>(
                 let penalty = model.sparsity_penalty(ptape, &pbound);
                 let penalty_val = ptape.value(penalty).item();
                 let mut pgrads = ptape.backward(penalty);
-                let mut pvec: Vec<Option<Tensor>> = vec![None; n_params];
+                let mut pvec: Vec<Option<TensorBase<E>>> = vec![None; n_params];
                 pbound.take_gradients(&mut pgrads, |id, g| pvec[id.index()] = Some(g));
                 (penalty_val, pvec)
             });
 
             let inv = 1.0 / batch_len as f64;
-            let mut pairs: Vec<(ParamId, Tensor)> = Vec::with_capacity(n_params);
+            // Batch averaging and gradient unscaling in one multiply; the
+            // divide by GRAD_SCALE (an exact power of two) is exact for
+            // f64 (where it is 1.0) and for every normal f32 gradient.
+            let inv_e = E::from_f64(inv / E::GRAD_SCALE);
+            let mut pairs: Vec<(ParamId, TensorBase<E>)> = Vec::with_capacity(n_params);
             for id in store.ids() {
                 let idx = id.index();
                 let pred = grad_sum[idx].take().map(|mut g| {
                     for v in g.data_mut() {
-                        *v *= inv;
+                        *v *= inv_e;
                     }
                     g
                 });
@@ -484,7 +498,7 @@ fn fit_inner<Q: TrainRng>(
                     .first_mut()
                     .and_then(|(_, g)| g.data_mut().first_mut())
                 {
-                    *v = f64::NAN;
+                    *v = E::from_f64(f64::NAN);
                 }
             }
             // Non-finite guard: check the step loss and the pre-clip
@@ -668,7 +682,7 @@ fn fit_inner<Q: TrainRng>(
         degraded,
     );
     Ok((
-        TrainedModel { model, store },
+        TrainedModelBase { model, store },
         TrainReport {
             train_losses,
             val_losses,
@@ -684,7 +698,7 @@ fn fit_inner<Q: TrainRng>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn build_checkpoint(
+fn build_checkpoint<E: Scalar>(
     model_config: &ModelConfig,
     train_config: &TrainConfig,
     n_windows: usize,
@@ -693,9 +707,9 @@ fn build_checkpoint(
     retries: u64,
     rng: Vec<u64>,
     order: &[usize],
-    store: &ParamStore,
-    best_snapshot: &[Tensor],
-    adam: &Adam,
+    store: &ParamStoreBase<E>,
+    best_snapshot: &[TensorBase<E>],
+    adam: &AdamBase<E>,
     stopper: &EarlyStopper,
     train_losses: &[f64],
     val_losses: &[f64],
@@ -704,13 +718,17 @@ fn build_checkpoint(
 ) -> checkpoint::SavedCheckpoint {
     let astate = adam.export_state();
     let sstate = stopper.export_state();
-    let moments = |m: &[Option<Tensor>]| -> Vec<Option<Vec<f64>>> {
+    let moments = |m: &[Option<TensorBase<E>>]| -> Vec<Option<Vec<f64>>> {
         m.iter()
-            .map(|o| o.as_ref().map(|t| t.data().to_vec()))
+            .map(|o| {
+                o.as_ref()
+                    .map(|t| t.data().iter().map(|v| v.to_f64()).collect())
+            })
             .collect()
     };
     checkpoint::SavedCheckpoint {
         format_version: CHECKPOINT_FORMAT_VERSION,
+        dtype: E::DTYPE.as_str().to_string(),
         config: persist::saved_config(model_config),
         n_windows,
         batch_size: train_config.batch_size,
@@ -738,13 +756,13 @@ fn build_checkpoint(
 
 /// The loop state recovered from a checkpoint (the pieces that are plain
 /// values; `store`/`adam`/`stopper` are restored in place).
-struct Applied {
+struct Applied<E: Scalar> {
     next_epoch: usize,
     step: u64,
     retries: u64,
     rng: Vec<u64>,
     order: Vec<usize>,
-    best_snapshot: Vec<Tensor>,
+    best_snapshot: Vec<TensorBase<E>>,
     train_losses: Vec<f64>,
     val_losses: Vec<f64>,
     epoch_wall_secs: Vec<f64>,
@@ -755,21 +773,32 @@ struct Applied {
 /// applies it. Every mismatch is a typed error naming the file — a
 /// checkpoint from a different run must never be silently half-applied.
 #[allow(clippy::too_many_arguments)]
-fn apply_checkpoint(
+fn apply_checkpoint<E: Scalar>(
     saved: checkpoint::SavedCheckpoint,
     path: &Path,
     model_config: &ModelConfig,
     train_config: &TrainConfig,
     n_windows: usize,
     train_len: usize,
-    store: &mut ParamStore,
-    adam: &mut Adam,
+    store: &mut ParamStoreBase<E>,
+    adam: &mut AdamBase<E>,
     stopper: &mut EarlyStopper,
-) -> Result<Applied, CheckpointError> {
+) -> Result<Applied<E>, CheckpointError> {
     let mismatch = |detail: String| CheckpointError::Mismatch {
         path: path.to_path_buf(),
         detail,
     };
+
+    // A checkpoint is a bitwise continuation of one precision's training
+    // trajectory; resuming it under another dtype would silently change
+    // every subsequent step. Refuse rather than round-trip through f64.
+    if saved.dtype != E::DTYPE.as_str() {
+        return Err(mismatch(format!(
+            "checkpoint was written by a {} run, this run uses {}",
+            saved.dtype,
+            E::DTYPE
+        )));
+    }
 
     let saved_mc = persist::model_config(&saved.config);
     if saved_mc != *model_config {
@@ -830,33 +859,35 @@ fn apply_checkpoint(
 
     // Rebuild Adam moments with the architecture's shapes.
     let ids: Vec<ParamId> = store.ids().collect();
-    let rebuild =
-        |name: &str, m: Vec<Option<Vec<f64>>>| -> Result<Vec<Option<Tensor>>, CheckpointError> {
-            if m.len() > ids.len() {
-                return Err(mismatch(format!(
-                    "{name} covers {} parameters, architecture has {}",
-                    m.len(),
-                    ids.len()
-                )));
-            }
-            m.into_iter()
-                .enumerate()
-                .map(|(i, o)| {
-                    o.map(|data| {
-                        let shape = store.value(ids[i]).shape().to_vec();
-                        Tensor::from_vec(shape, data).map_err(|e| {
-                            mismatch(format!("{name} for parameter {}: {e}", store.name(ids[i])))
-                        })
+    let rebuild = |name: &str,
+                   m: Vec<Option<Vec<f64>>>|
+     -> Result<Vec<Option<TensorBase<E>>>, CheckpointError> {
+        if m.len() > ids.len() {
+            return Err(mismatch(format!(
+                "{name} covers {} parameters, architecture has {}",
+                m.len(),
+                ids.len()
+            )));
+        }
+        m.into_iter()
+            .enumerate()
+            .map(|(i, o)| {
+                o.map(|data| {
+                    let shape = store.value(ids[i]).shape().to_vec();
+                    let data = data.into_iter().map(E::from_f64).collect();
+                    TensorBase::from_vec(shape, data).map_err(|e| {
+                        mismatch(format!("{name} for parameter {}: {e}", store.name(ids[i])))
                     })
-                    .transpose()
                 })
-                .collect()
-        };
+                .transpose()
+            })
+            .collect()
+    };
     let adam_m = rebuild("Adam first moments", saved.adam_m)?;
     let adam_v = rebuild("Adam second moments", saved.adam_v)?;
 
     store.restore(&values);
-    adam.import_state(AdamState {
+    adam.import_state(AdamStateBase {
         t: saved.adam_t,
         lr: saved.adam_lr,
         m: adam_m,
@@ -884,7 +915,11 @@ fn apply_checkpoint(
 }
 
 /// Mean masked-MSE prediction loss of `model` over `windows` (no penalty).
-pub fn evaluate(model: &CausalityAwareTransformer, store: &ParamStore, windows: &[Tensor]) -> f64 {
+pub fn evaluate<E: Scalar>(
+    model: &CausalityAwareTransformer,
+    store: &ParamStoreBase<E>,
+    windows: &[TensorBase<E>],
+) -> f64 {
     assert!(!windows.is_empty(), "no evaluation windows");
     // Per-window losses in parallel, combined with the fixed-order tree
     // reduction: the same value at any thread count.
@@ -904,6 +939,7 @@ pub fn evaluate(model: &CausalityAwareTransformer, store: &ParamStore, windows: 
 mod tests {
     use super::*;
     use cf_data::{synthetic, window};
+    use cf_tensor::Tensor;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -1001,7 +1037,7 @@ mod tests {
     #[should_panic(expected = "no training windows")]
     fn empty_windows_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
-        let _ = train(
+        let _ = train::<f64, _>(
             &mut rng,
             ModelConfig::compact(3, 8),
             TrainConfig::default(),

@@ -1,0 +1,142 @@
+//! Cross-dtype pipeline guarantees (DESIGN.md, "Compute backend &
+//! precision"):
+//!
+//! 1. **f64 is frozen history.** The default-precision `discover` output
+//!    — losses, gradient norms, attention scores, graph — is bitwise
+//!    identical to the pre-backend-refactor implementation. The golden
+//!    constants below were captured by running this exact workload at the
+//!    previous release commit (`git worktree add ... <pr6-head>`, seed 11,
+//!    Fork, 240 steps, 3 epochs); the generic `Scalar` plumbing and the
+//!    cache-blocked microkernels must not move a single bit at `f64`.
+//! 2. **f32 is a tolerance contract.** Training in single precision (with
+//!    f64-accumulated reductions) must land the same causal structure:
+//!    discovery F1 within ±0.02 of the f64 run on the Fork and Lorenz96
+//!    workloads, at every supported thread count.
+//!
+//! One test function because `cf_par::set_threads` is process-global.
+
+use causalformer::presets;
+use cf_data::lorenz96::{self, Lorenz96Config};
+use cf_data::synthetic::{self, Structure};
+use cf_metrics::score;
+use cf_tensor::Dtype;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// PR6-head golden bits for the Fork workload below (captured at the
+/// commit preceding the generic-dtype backend; any-thread-count invariant).
+const GOLDEN_TRAIN: [u64; 3] = [0x3FF0A60223A02E89, 0x3FEFD1F7B2C7D995, 0x3FEEEC242B4378CB];
+const GOLDEN_VAL: [u64; 3] = [0x3FF20E31CCCF04CA, 0x3FF194660808947D, 0x3FF140F0A49E51AF];
+const GOLDEN_GRAD: [u64; 3] = [0x3FE10C2089A4C62B, 0x3FDA1AA52B70A4E3, 0x3FD4E6C9A8ADAA2A];
+const GOLDEN_GRAPH: &str = "CausalGraph(n=3, edges=[S1→S2(0), S2→S1(0), S2→S2(2), S3→S3(2)])";
+const GOLDEN_ATTN: [u64; 9] = [
+    0x3F7CDF78C7983F3C,
+    0x3FE0E67D6798E8C0,
+    0x3FA5B5318B664F5B,
+    0x3FBF15F6C099A6EB,
+    0x3FCB5E301BBFF485,
+    0x3FA349FFD1FF87A0,
+    0x3FA81629B83AEC4A,
+    0x3FA335E309DF7CDD,
+    0x3FC41C74C7FE8CE2,
+];
+
+fn fork_pipeline(dtype: Dtype) -> (causalformer::DiscoveryResult, cf_metrics::CausalGraph) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let data = synthetic::generate(&mut rng, Structure::Fork, 240);
+    let mut cf = presets::synthetic_sparse(3);
+    cf.model.d_model = 12;
+    cf.model.d_qk = 12;
+    cf.model.d_ffn = 12;
+    cf.model.window = 8;
+    cf.train.max_epochs = 3;
+    cf.train.stride = 2;
+    cf.train.dtype = dtype;
+    let result = cf.discover(&mut rng, &data.series);
+    (result, data.truth)
+}
+
+fn lorenz_f1(dtype: Dtype) -> f64 {
+    let mut rng = StdRng::seed_from_u64(23);
+    let data = lorenz96::generate(
+        &mut rng,
+        Lorenz96Config {
+            n: 6,
+            length: 160,
+            ..Lorenz96Config::default()
+        },
+    );
+    let mut cf = presets::lorenz96(6);
+    cf.train.max_epochs = 2;
+    cf.train.stride = 2;
+    cf.train.dtype = dtype;
+    let result = cf.discover(&mut rng, &data.series);
+    score::confusion(&data.truth, &result.graph).f1()
+}
+
+fn assert_bits(label: &str, got: &[f64], want: &[u64], threads: usize) {
+    assert_eq!(got.len(), want.len(), "{label} length at {threads}t");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            *w,
+            "{label}[{i}] drifted from the PR6 golden at {threads} thread(s): \
+             got {g} (0x{:016X}), want 0x{w:016X}",
+            g.to_bits()
+        );
+    }
+}
+
+#[test]
+fn f64_matches_pr6_goldens_and_f32_matches_f64_within_tolerance() {
+    for threads in [1usize, 2, 4] {
+        cf_par::set_threads(threads);
+
+        // --- 1: the f64 path reproduces the pre-refactor bits exactly.
+        let (r64, fork_truth) = fork_pipeline(Dtype::F64);
+        assert_bits(
+            "train_losses",
+            &r64.train_report.train_losses,
+            &GOLDEN_TRAIN,
+            threads,
+        );
+        assert_bits(
+            "val_losses",
+            &r64.train_report.val_losses,
+            &GOLDEN_VAL,
+            threads,
+        );
+        assert_bits(
+            "grad_norms",
+            &r64.train_report.grad_norms,
+            &GOLDEN_GRAD,
+            threads,
+        );
+        assert_eq!(
+            format!("{}", r64.graph),
+            GOLDEN_GRAPH,
+            "f64 graph drifted from the PR6 golden at {threads} thread(s)"
+        );
+        let attn: Vec<f64> = r64.scores.attn.iter().flatten().copied().collect();
+        assert_bits("attn", &attn, &GOLDEN_ATTN, threads);
+
+        // --- 2: f32 training lands the same causal structure on Fork.
+        let f1_64 = score::confusion(&fork_truth, &r64.graph).f1();
+        let (r32, _) = fork_pipeline(Dtype::F32);
+        let f1_32 = score::confusion(&fork_truth, &r32.graph).f1();
+        assert!(
+            (f1_32 - f1_64).abs() <= 0.02,
+            "Fork F1 diverged across dtypes at {threads} thread(s): \
+             f64 {f1_64:.4} vs f32 {f1_32:.4}"
+        );
+
+        // --- and on Lorenz96.
+        let l64 = lorenz_f1(Dtype::F64);
+        let l32 = lorenz_f1(Dtype::F32);
+        assert!(
+            (l32 - l64).abs() <= 0.02,
+            "Lorenz96 F1 diverged across dtypes at {threads} thread(s): \
+             f64 {l64:.4} vs f32 {l32:.4}"
+        );
+    }
+}

@@ -4,8 +4,8 @@
 //! a [`ParamStore`], and `forward` replays the layer onto whatever tape the
 //! current step is using.
 
-use crate::{BoundParams, ParamId, ParamStore};
-use cf_tensor::{he_normal, xavier_uniform, Tape, Tensor, VarId};
+use crate::{BoundParams, ParamId, ParamStoreBase};
+use cf_tensor::{he_normal, xavier_uniform, Scalar, TapeBase, TensorBase, VarId};
 use rand::Rng;
 
 /// A fully-connected layer `y = x·W + b` applied row-wise.
@@ -20,8 +20,8 @@ pub struct Linear {
 
 impl Linear {
     /// Registers a He-initialised linear layer (paper's initialisation).
-    pub fn he<R: Rng + ?Sized>(
-        store: &mut ParamStore,
+    pub fn he<E: Scalar, R: Rng + ?Sized>(
+        store: &mut ParamStoreBase<E>,
         rng: &mut R,
         name: &str,
         in_dim: usize,
@@ -32,7 +32,7 @@ impl Linear {
             format!("{name}.w"),
             he_normal(rng, &[in_dim, out_dim], in_dim),
         );
-        let b = bias.then(|| store.register(format!("{name}.b"), Tensor::zeros(&[out_dim])));
+        let b = bias.then(|| store.register(format!("{name}.b"), TensorBase::zeros(&[out_dim])));
         Self {
             w,
             b,
@@ -42,8 +42,8 @@ impl Linear {
     }
 
     /// Registers a Xavier-initialised linear layer (used by baselines).
-    pub fn xavier<R: Rng + ?Sized>(
-        store: &mut ParamStore,
+    pub fn xavier<E: Scalar, R: Rng + ?Sized>(
+        store: &mut ParamStoreBase<E>,
         rng: &mut R,
         name: &str,
         in_dim: usize,
@@ -54,7 +54,7 @@ impl Linear {
             format!("{name}.w"),
             xavier_uniform(rng, &[in_dim, out_dim], in_dim, out_dim),
         );
-        let b = bias.then(|| store.register(format!("{name}.b"), Tensor::zeros(&[out_dim])));
+        let b = bias.then(|| store.register(format!("{name}.b"), TensorBase::zeros(&[out_dim])));
         Self {
             w,
             b,
@@ -64,7 +64,12 @@ impl Linear {
     }
 
     /// Applies the layer on the given tape.
-    pub fn forward(&self, tape: &mut Tape, bound: &BoundParams, x: VarId) -> VarId {
+    pub fn forward<E: Scalar>(
+        &self,
+        tape: &mut TapeBase<E>,
+        bound: &BoundParams,
+        x: VarId,
+    ) -> VarId {
         let y = tape.matmul(x, bound.var(self.w));
         match self.b {
             Some(b) => tape.add_row_vector(y, bound.var(b)),
@@ -125,8 +130,8 @@ pub struct LstmCell {
 impl LstmCell {
     /// Registers an LSTM cell. The forget-gate bias is initialised to 1, the
     /// usual trick for gradient flow early in training.
-    pub fn new<R: Rng + ?Sized>(
-        store: &mut ParamStore,
+    pub fn new<E: Scalar, R: Rng + ?Sized>(
+        store: &mut ParamStoreBase<E>,
         rng: &mut R,
         name: &str,
         input_dim: usize,
@@ -146,9 +151,9 @@ impl LstmCell {
                 xavier_uniform(rng, &[hidden, hidden], hidden, hidden),
             ));
             let init = if gn == "f" {
-                Tensor::ones(&[hidden])
+                TensorBase::ones(&[hidden])
             } else {
-                Tensor::zeros(&[hidden])
+                TensorBase::zeros(&[hidden])
             };
             b.push(store.register(format!("{name}.b_{gn}"), init));
         }
@@ -162,22 +167,22 @@ impl LstmCell {
     }
 
     /// A zero initial state for `rows` parallel sequences.
-    pub fn zero_state(&self, tape: &mut Tape, rows: usize) -> LstmState {
-        let h = tape.constant(Tensor::zeros(&[rows, self.hidden]));
-        let c = tape.constant(Tensor::zeros(&[rows, self.hidden]));
+    pub fn zero_state<E: Scalar>(&self, tape: &mut TapeBase<E>, rows: usize) -> LstmState {
+        let h = tape.constant(TensorBase::zeros(&[rows, self.hidden]));
+        let c = tape.constant(TensorBase::zeros(&[rows, self.hidden]));
         LstmState { h, c }
     }
 
     /// One recurrence step: consumes `x_t` (`rows×input_dim`) and the
     /// previous state, returns the next state.
-    pub fn step(
+    pub fn step<E: Scalar>(
         &self,
-        tape: &mut Tape,
+        tape: &mut TapeBase<E>,
         bound: &BoundParams,
         x_t: VarId,
         state: LstmState,
     ) -> LstmState {
-        let gate = |tape: &mut Tape, k: usize| -> VarId {
+        let gate = |tape: &mut TapeBase<E>, k: usize| -> VarId {
             let xp = tape.matmul(x_t, bound.var(self.wx[k]));
             let hp = tape.matmul(state.h, bound.var(self.wh[k]));
             let s = tape.add(xp, hp);
@@ -219,7 +224,8 @@ impl LstmCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Adam, Optimizer};
+    use crate::{Adam, Optimizer, ParamStore};
+    use cf_tensor::{Tape, Tensor};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

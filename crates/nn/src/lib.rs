@@ -45,6 +45,8 @@ mod param;
 mod train;
 
 pub use layers::{Linear, LstmCell, LstmState};
-pub use optim::{clip_global_norm, Adam, AdamState, Optimizer, Sgd};
-pub use param::{BoundParams, ParamId, ParamStore};
+pub use optim::{
+    clip_global_norm, Adam, AdamBase, AdamState, AdamStateBase, Optimizer, Sgd, SgdBase,
+};
+pub use param::{BoundParams, ParamId, ParamStore, ParamStoreBase};
 pub use train::{EarlyStopper, StopDecision, StopperState};

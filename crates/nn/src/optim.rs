@@ -1,16 +1,30 @@
 //! Optimizers and gradient utilities.
+//!
+//! Optimizer state (moments, velocity) is stored in the training dtype,
+//! but the *update arithmetic* runs in `f64` regardless of element type:
+//! the per-element cost is negligible next to the kernels, and keeping the
+//! moment updates in double precision avoids `ε`-scale rounding artifacts
+//! in the f32 path (`v̂` can underflow f32 granularity near convergence).
+//! For `E = f64` the conversions are the identity, preserving the bitwise
+//! trajectory contract.
 
-use crate::{BoundParams, ParamId, ParamStore};
-use cf_tensor::{Gradients, Tensor};
+use crate::{BoundParams, ParamId, ParamStoreBase};
+use cf_tensor::{GradientsBase, Scalar, TensorBase};
 
-/// A first-order optimizer updating a [`ParamStore`] from tape gradients.
-pub trait Optimizer {
+/// A first-order optimizer updating a [`ParamStoreBase`] from tape
+/// gradients.
+pub trait Optimizer<E: Scalar = f64> {
     /// Applies one update step given the gradients of the current tape.
-    fn step(&mut self, store: &mut ParamStore, bound: &BoundParams, grads: &Gradients);
+    fn step(
+        &mut self,
+        store: &mut ParamStoreBase<E>,
+        bound: &BoundParams,
+        grads: &GradientsBase<E>,
+    );
 
     /// Applies one update from pre-collected `(param, grad)` pairs. Useful
     /// when gradients were accumulated across several tapes (mini-batches).
-    fn step_pairs(&mut self, store: &mut ParamStore, pairs: &[(ParamId, Tensor)]);
+    fn step_pairs(&mut self, store: &mut ParamStoreBase<E>, pairs: &[(ParamId, TensorBase<E>)]);
 }
 
 /// Snapshot of an [`Adam`] optimizer's mutable state (step count, learning
@@ -18,30 +32,36 @@ pub trait Optimizer {
 /// The β/ε hyper-parameters are configuration, not state, and stay with
 /// the optimizer they were constructed with.
 #[derive(Debug, Clone)]
-pub struct AdamState {
+pub struct AdamStateBase<E: Scalar = f64> {
     /// Bias-correction step count.
     pub t: u64,
     /// Current learning rate (mutable via schedules).
     pub lr: f64,
     /// First-moment estimates, indexed by `ParamId`.
-    pub m: Vec<Option<Tensor>>,
+    pub m: Vec<Option<TensorBase<E>>>,
     /// Second-moment estimates, indexed by `ParamId`.
-    pub v: Vec<Option<Tensor>>,
+    pub v: Vec<Option<TensorBase<E>>>,
 }
 
+/// The `f64` Adam state (the historical API).
+pub type AdamState = AdamStateBase<f64>;
+
 /// Adam (Kingma & Ba) with bias correction — the optimizer the paper uses.
-pub struct Adam {
+pub struct AdamBase<E: Scalar = f64> {
     lr: f64,
     beta1: f64,
     beta2: f64,
     eps: f64,
     t: u64,
     // Lazily sized first/second moment estimates, indexed by ParamId.
-    m: Vec<Option<Tensor>>,
-    v: Vec<Option<Tensor>>,
+    m: Vec<Option<TensorBase<E>>>,
+    v: Vec<Option<TensorBase<E>>>,
 }
 
-impl Adam {
+/// The `f64` Adam optimizer (the historical API).
+pub type Adam = AdamBase<f64>;
+
+impl<E: Scalar> AdamBase<E> {
     /// Adam with the given learning rate and the standard defaults
     /// `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
     pub fn new(lr: f64) -> Self {
@@ -75,8 +95,8 @@ impl Adam {
     }
 
     /// Copies out the optimizer's mutable state for checkpointing.
-    pub fn export_state(&self) -> AdamState {
-        AdamState {
+    pub fn export_state(&self) -> AdamStateBase<E> {
+        AdamStateBase {
             t: self.t,
             lr: self.lr,
             m: self.m.clone(),
@@ -84,10 +104,10 @@ impl Adam {
         }
     }
 
-    /// Restores state captured by [`Adam::export_state`]. The next
+    /// Restores state captured by [`AdamBase::export_state`]. The next
     /// [`Optimizer::step_pairs`] continues the exact update trajectory of
     /// the captured optimizer.
-    pub fn import_state(&mut self, state: AdamState) {
+    pub fn import_state(&mut self, state: AdamStateBase<E>) {
         assert!(state.lr > 0.0, "learning rate must be positive");
         self.t = state.t;
         self.lr = state.lr;
@@ -102,32 +122,38 @@ impl Adam {
         }
     }
 
-    fn update_one(&mut self, store: &mut ParamStore, id: ParamId, grad: &Tensor) {
+    fn update_one(&mut self, store: &mut ParamStoreBase<E>, id: ParamId, grad: &TensorBase<E>) {
         let idx = id.index();
         self.ensure_len(idx + 1);
         let value = store.value_mut(id);
-        let m = self.m[idx].get_or_insert_with(|| Tensor::zeros(grad.shape()));
-        let v = self.v[idx].get_or_insert_with(|| Tensor::zeros(grad.shape()));
+        let m = self.m[idx].get_or_insert_with(|| TensorBase::zeros(grad.shape()));
+        let v = self.v[idx].get_or_insert_with(|| TensorBase::zeros(grad.shape()));
         let (b1, b2) = (self.beta1, self.beta2);
         let bc1 = 1.0 - b1.powi(self.t as i32);
         let bc2 = 1.0 - b2.powi(self.t as i32);
         let lr = self.lr;
         let eps = self.eps;
         for i in 0..grad.len() {
-            let g = grad.data()[i];
-            let mi = b1 * m.data()[i] + (1.0 - b1) * g;
-            let vi = b2 * v.data()[i] + (1.0 - b2) * g * g;
-            m.data_mut()[i] = mi;
-            v.data_mut()[i] = vi;
+            let g = grad.data()[i].to_f64();
+            let mi = b1 * m.data()[i].to_f64() + (1.0 - b1) * g;
+            let vi = b2 * v.data()[i].to_f64() + (1.0 - b2) * g * g;
+            m.data_mut()[i] = E::from_f64(mi);
+            v.data_mut()[i] = E::from_f64(vi);
             let m_hat = mi / bc1;
             let v_hat = vi / bc2;
-            value.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            let next = value.data()[i].to_f64() - lr * m_hat / (v_hat.sqrt() + eps);
+            value.data_mut()[i] = E::from_f64(next);
         }
     }
 }
 
-impl Optimizer for Adam {
-    fn step(&mut self, store: &mut ParamStore, bound: &BoundParams, grads: &Gradients) {
+impl<E: Scalar> Optimizer<E> for AdamBase<E> {
+    fn step(
+        &mut self,
+        store: &mut ParamStoreBase<E>,
+        bound: &BoundParams,
+        grads: &GradientsBase<E>,
+    ) {
         // Updates read the gradients in place — same visiting order as
         // `step_pairs`, without cloning each tensor first.
         self.t += 1;
@@ -136,7 +162,7 @@ impl Optimizer for Adam {
         }
     }
 
-    fn step_pairs(&mut self, store: &mut ParamStore, pairs: &[(ParamId, Tensor)]) {
+    fn step_pairs(&mut self, store: &mut ParamStoreBase<E>, pairs: &[(ParamId, TensorBase<E>)]) {
         self.t += 1;
         for (id, g) in pairs {
             self.update_one(store, *id, g);
@@ -145,13 +171,16 @@ impl Optimizer for Adam {
 }
 
 /// Plain stochastic gradient descent with optional momentum.
-pub struct Sgd {
+pub struct SgdBase<E: Scalar = f64> {
     lr: f64,
     momentum: f64,
-    velocity: Vec<Option<Tensor>>,
+    velocity: Vec<Option<TensorBase<E>>>,
 }
 
-impl Sgd {
+/// The `f64` SGD optimizer (the historical API).
+pub type Sgd = SgdBase<f64>;
+
+impl<E: Scalar> SgdBase<E> {
     /// SGD without momentum.
     pub fn new(lr: f64) -> Self {
         Self::with_momentum(lr, 0.0)
@@ -167,21 +196,20 @@ impl Sgd {
             velocity: Vec::new(),
         }
     }
-}
 
-impl Sgd {
-    fn update_one(&mut self, store: &mut ParamStore, id: ParamId, g: &Tensor) {
+    fn update_one(&mut self, store: &mut ParamStoreBase<E>, id: ParamId, g: &TensorBase<E>) {
         let idx = id.index();
         if self.velocity.len() <= idx {
             self.velocity.resize(idx + 1, None);
         }
         let value = store.value_mut(id);
         if self.momentum > 0.0 {
-            let vel = self.velocity[idx].get_or_insert_with(|| Tensor::zeros(g.shape()));
+            let vel = self.velocity[idx].get_or_insert_with(|| TensorBase::zeros(g.shape()));
             for i in 0..g.len() {
-                let v = self.momentum * vel.data()[i] + g.data()[i];
-                vel.data_mut()[i] = v;
-                value.data_mut()[i] -= self.lr * v;
+                let v = self.momentum * vel.data()[i].to_f64() + g.data()[i].to_f64();
+                vel.data_mut()[i] = E::from_f64(v);
+                let next = value.data()[i].to_f64() - self.lr * v;
+                value.data_mut()[i] = E::from_f64(next);
             }
         } else {
             value.axpy(-self.lr, g);
@@ -189,15 +217,20 @@ impl Sgd {
     }
 }
 
-impl Optimizer for Sgd {
-    fn step(&mut self, store: &mut ParamStore, bound: &BoundParams, grads: &Gradients) {
+impl<E: Scalar> Optimizer<E> for SgdBase<E> {
+    fn step(
+        &mut self,
+        store: &mut ParamStoreBase<E>,
+        bound: &BoundParams,
+        grads: &GradientsBase<E>,
+    ) {
         // As with Adam: visit gradients by reference, no per-step clones.
         for (id, g) in bound.gradients(grads) {
             self.update_one(store, id, g);
         }
     }
 
-    fn step_pairs(&mut self, store: &mut ParamStore, pairs: &[(ParamId, Tensor)]) {
+    fn step_pairs(&mut self, store: &mut ParamStoreBase<E>, pairs: &[(ParamId, TensorBase<E>)]) {
         for (id, g) in pairs {
             self.update_one(store, *id, g);
         }
@@ -206,16 +239,24 @@ impl Optimizer for Sgd {
 
 /// Rescales a set of gradients in place so their *global* L2 norm is at most
 /// `max_norm`. Returns the pre-clip norm. Standard recipe for keeping early
-/// transformer steps stable.
-pub fn clip_global_norm(pairs: &mut [(ParamId, Tensor)], max_norm: f64) -> f64 {
+/// transformer steps stable. The norm accumulates in `f64` for both dtypes.
+pub fn clip_global_norm<E: Scalar>(pairs: &mut [(ParamId, TensorBase<E>)], max_norm: f64) -> f64 {
     assert!(max_norm > 0.0, "max_norm must be positive");
     let total: f64 = pairs
         .iter()
-        .map(|(_, g)| g.data().iter().map(|v| v * v).sum::<f64>())
+        .map(|(_, g)| {
+            g.data()
+                .iter()
+                .map(|v| {
+                    let v = v.to_f64();
+                    v * v
+                })
+                .sum::<f64>()
+        })
         .sum::<f64>()
         .sqrt();
     if total > max_norm {
-        let scale = max_norm / total;
+        let scale = E::from_f64(max_norm / total);
         for (_, g) in pairs.iter_mut() {
             for v in g.data_mut() {
                 *v *= scale;
@@ -228,9 +269,10 @@ pub fn clip_global_norm(pairs: &mut [(ParamId, Tensor)], max_norm: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cf_tensor::Tape;
+    use crate::ParamStore;
+    use cf_tensor::{Tape, Tensor};
 
-    fn optimize(opt: &mut dyn Optimizer, steps: usize, target: f64) -> f64 {
+    fn optimize(opt: &mut dyn Optimizer<f64>, steps: usize, target: f64) -> f64 {
         let mut store = ParamStore::new();
         let w = store.register("w", Tensor::from_slice(&[0.0]));
         for _ in 0..steps {
@@ -327,5 +369,18 @@ mod tests {
         let mut small = vec![(ParamId::from_raw(0), Tensor::from_slice(&[0.1]))];
         clip_global_norm(&mut small, 1.0);
         assert_eq!(small[0].1.data()[0], 0.1); // untouched
+    }
+
+    #[test]
+    fn f32_adam_converges_on_quadratic() {
+        let mut store = ParamStoreBase::<f32>::new();
+        let w = store.register("w", TensorBase::<f32>::from_slice(&[0.0]));
+        let mut adam = AdamBase::<f32>::new(0.2);
+        for _ in 0..200 {
+            let g = TensorBase::<f32>::from_slice(&[store.value(w).item() - 3.0]);
+            adam.step_pairs(&mut store, &[(w, g)]);
+        }
+        let val = store.value(w).item();
+        assert!((val - 3.0).abs() < 1e-2, "w = {val}");
     }
 }

@@ -1,6 +1,6 @@
 //! Named parameter storage shared across training steps.
 
-use cf_tensor::{Gradients, Tape, Tensor, VarId};
+use cf_tensor::{GradientsBase, Scalar, TapeBase, TensorBase, VarId};
 
 /// Handle to a parameter registered in a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -19,31 +19,34 @@ impl ParamId {
     }
 }
 
-struct Param {
+struct Param<E: Scalar> {
     name: String,
-    value: Tensor,
+    value: TensorBase<E>,
 }
 
 /// Owns model parameters between steps.
 ///
-/// The autodiff [`Tape`] is rebuilt each training step; a `ParamStore` is
-/// the durable home of the weights. [`ParamStore::bind`] copies every
+/// The autodiff tape is rebuilt each training step; a `ParamStore` is
+/// the durable home of the weights. [`ParamStoreBase::bind`] copies every
 /// parameter onto a fresh tape as a gradient-requiring leaf and returns a
 /// [`BoundParams`] that maps [`ParamId`] → [`VarId`] for that step.
 #[derive(Default)]
-pub struct ParamStore {
-    params: Vec<Param>,
+pub struct ParamStoreBase<E: Scalar = f64> {
+    params: Vec<Param<E>>,
 }
 
-impl ParamStore {
+/// The `f64` parameter store (the historical API).
+pub type ParamStore = ParamStoreBase<f64>;
+
+impl<E: Scalar> ParamStoreBase<E> {
     /// An empty store.
     pub fn new() -> Self {
-        Self::default()
+        Self { params: Vec::new() }
     }
 
     /// Registers a parameter with an initial value. Names are for debugging
     /// and error messages; duplicates are allowed but discouraged.
-    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+    pub fn register(&mut self, name: impl Into<String>, value: TensorBase<E>) -> ParamId {
         self.params.push(Param {
             name: name.into(),
             value,
@@ -67,12 +70,12 @@ impl ParamStore {
     }
 
     /// The current value of a parameter.
-    pub fn value(&self, id: ParamId) -> &Tensor {
+    pub fn value(&self, id: ParamId) -> &TensorBase<E> {
         &self.params[id.0].value
     }
 
     /// Mutable access to a parameter value (used by optimizers).
-    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+    pub fn value_mut(&mut self, id: ParamId) -> &mut TensorBase<E> {
         &mut self.params[id.0].value
     }
 
@@ -88,15 +91,15 @@ impl ParamStore {
 
     /// Copies all parameter values, in registration order (for early
     /// stopping's best-weights snapshot).
-    pub fn snapshot(&self) -> Vec<Tensor> {
+    pub fn snapshot(&self) -> Vec<TensorBase<E>> {
         self.params.iter().map(|p| p.value.clone()).collect()
     }
 
-    /// Restores values captured by [`ParamStore::snapshot`].
+    /// Restores values captured by [`ParamStoreBase::snapshot`].
     ///
     /// # Panics
     /// Panics if the snapshot does not match the store's parameters.
-    pub fn restore(&mut self, snapshot: &[Tensor]) {
+    pub fn restore(&mut self, snapshot: &[TensorBase<E>]) {
         assert_eq!(
             snapshot.len(),
             self.params.len(),
@@ -114,7 +117,7 @@ impl ParamStore {
     }
 
     /// Copies every parameter onto `tape` as a gradient-requiring leaf.
-    pub fn bind(&self, tape: &mut Tape) -> BoundParams {
+    pub fn bind(&self, tape: &mut TapeBase<E>) -> BoundParams {
         let vars = self
             .params
             .iter()
@@ -125,7 +128,8 @@ impl ParamStore {
 }
 
 /// The per-step mapping from [`ParamId`] to tape [`VarId`] produced by
-/// [`ParamStore::bind`].
+/// [`ParamStoreBase::bind`]. Dtype-agnostic: it holds only the id mapping,
+/// so the element type is inferred from the `Gradients` it is paired with.
 pub struct BoundParams {
     vars: Vec<VarId>,
 }
@@ -138,10 +142,10 @@ impl BoundParams {
 
     /// Collects `(ParamId, gradient)` pairs for every bound parameter that
     /// received a gradient.
-    pub fn gradients<'a, 'g: 'a>(
+    pub fn gradients<'a, 'g: 'a, E: Scalar>(
         &'a self,
-        grads: &'g Gradients,
-    ) -> impl Iterator<Item = (ParamId, &'g Tensor)> + 'a {
+        grads: &'g GradientsBase<E>,
+    ) -> impl Iterator<Item = (ParamId, &'g TensorBase<E>)> + 'a {
         self.vars
             .iter()
             .enumerate()
@@ -152,7 +156,11 @@ impl BoundParams {
     /// the ownership counterpart of [`BoundParams::gradients`] for callers
     /// that would otherwise clone each tensor (the trainer ships per-window
     /// gradients to its reducer; moving keeps the buffers pooled).
-    pub fn take_gradients(&self, grads: &mut Gradients, mut sink: impl FnMut(ParamId, Tensor)) {
+    pub fn take_gradients<E: Scalar>(
+        &self,
+        grads: &mut GradientsBase<E>,
+        mut sink: impl FnMut(ParamId, TensorBase<E>),
+    ) {
         for (i, &v) in self.vars.iter().enumerate() {
             if let Some(g) = grads.take(v) {
                 sink(ParamId(i), g);
@@ -164,6 +172,7 @@ impl BoundParams {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cf_tensor::{Tape, Tensor};
 
     #[test]
     fn register_and_lookup() {
@@ -201,5 +210,15 @@ mod tests {
         assert_eq!(collected[0].0, a);
         assert_eq!(collected[0].1.item(), 4.0);
         assert_ne!(collected[0].0, unused);
+    }
+
+    #[test]
+    fn f32_store_roundtrips_snapshot() {
+        let mut store = ParamStoreBase::<f32>::new();
+        let a = store.register("a", TensorBase::<f32>::zeros(&[2, 2]));
+        let snap = store.snapshot();
+        store.value_mut(a).data_mut()[0] = 5.0;
+        store.restore(&snap);
+        assert_eq!(store.value(a).data()[0], 0.0);
     }
 }

@@ -4,58 +4,74 @@
 //! initialisation ([51] in the paper); the baselines use Xavier. All
 //! initialisers take an explicit RNG so experiments are reproducible from a
 //! single seed.
+//!
+//! Sampling always happens in `f64` and is then narrowed to the requested
+//! element type, so the RNG stream — and therefore the entire experiment
+//! seed bookkeeping — is identical across dtypes: an f32 run starts from
+//! the rounded image of exactly the f64 run's initial parameters.
 
-use crate::Tensor;
+use crate::scalar::Scalar;
+use crate::tensor::TensorBase;
 use rand::Rng;
 use rand_distr::{Distribution, Normal, Uniform};
 
 /// He (Kaiming) normal initialisation: `N(0, sqrt(2 / fan_in))`.
 ///
 /// `fan_in` is the number of input units feeding each output unit.
-pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], fan_in: usize) -> Tensor {
+pub fn he_normal<E: Scalar, R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: &[usize],
+    fan_in: usize,
+) -> TensorBase<E> {
     assert!(fan_in > 0, "fan_in must be positive");
     let std = (2.0 / fan_in as f64).sqrt();
     let dist = Normal::new(0.0, std).expect("valid normal");
     let n: usize = shape.iter().product();
-    let data = (0..n).map(|_| dist.sample(rng)).collect();
-    Tensor::from_vec(shape.to_vec(), data).expect("shape/data consistent by construction")
+    let data = (0..n).map(|_| E::from_f64(dist.sample(rng))).collect();
+    TensorBase::from_vec(shape.to_vec(), data).expect("shape/data consistent by construction")
 }
 
 /// Xavier (Glorot) uniform initialisation: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`.
-pub fn xavier_uniform<R: Rng + ?Sized>(
+pub fn xavier_uniform<E: Scalar, R: Rng + ?Sized>(
     rng: &mut R,
     shape: &[usize],
     fan_in: usize,
     fan_out: usize,
-) -> Tensor {
+) -> TensorBase<E> {
     assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
     let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
     let dist = Uniform::new_inclusive(-a, a);
     let n: usize = shape.iter().product();
-    let data = (0..n).map(|_| dist.sample(rng)).collect();
-    Tensor::from_vec(shape.to_vec(), data).expect("shape/data consistent by construction")
+    let data = (0..n).map(|_| E::from_f64(dist.sample(rng))).collect();
+    TensorBase::from_vec(shape.to_vec(), data).expect("shape/data consistent by construction")
 }
 
 /// Uniform initialisation on `[lo, hi)`.
-pub fn uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], lo: f64, hi: f64) -> Tensor {
+pub fn uniform<E: Scalar, R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: &[usize],
+    lo: f64,
+    hi: f64,
+) -> TensorBase<E> {
     assert!(lo < hi, "uniform requires lo < hi");
     let dist = Uniform::new(lo, hi);
     let n: usize = shape.iter().product();
-    let data = (0..n).map(|_| dist.sample(rng)).collect();
-    Tensor::from_vec(shape.to_vec(), data).expect("shape/data consistent by construction")
+    let data = (0..n).map(|_| E::from_f64(dist.sample(rng))).collect();
+    TensorBase::from_vec(shape.to_vec(), data).expect("shape/data consistent by construction")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Tensor;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]
     fn he_normal_std_matches_fan_in() {
         let mut rng = StdRng::seed_from_u64(7);
-        let t = he_normal(&mut rng, &[100, 100], 50);
+        let t: Tensor = he_normal(&mut rng, &[100, 100], 50);
         let mean = t.mean();
         let var = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f64>() / t.len() as f64;
         let expected = 2.0 / 50.0;
@@ -66,7 +82,7 @@ mod tests {
     #[test]
     fn xavier_uniform_respects_bound() {
         let mut rng = StdRng::seed_from_u64(7);
-        let t = xavier_uniform(&mut rng, &[64, 64], 64, 64);
+        let t: Tensor = xavier_uniform(&mut rng, &[64, 64], 64, 64);
         let a = (6.0f64 / 128.0).sqrt();
         assert!(t.max() <= a && t.min() >= -a);
     }
@@ -74,14 +90,25 @@ mod tests {
     #[test]
     fn uniform_respects_range() {
         let mut rng = StdRng::seed_from_u64(7);
-        let t = uniform(&mut rng, &[1000], -0.5, 0.5);
+        let t: Tensor = uniform(&mut rng, &[1000], -0.5, 0.5);
         assert!(t.max() < 0.5 && t.min() >= -0.5);
     }
 
     #[test]
     fn seeded_initialisation_is_deterministic() {
-        let a = he_normal(&mut StdRng::seed_from_u64(3), &[4, 4], 4);
-        let b = he_normal(&mut StdRng::seed_from_u64(3), &[4, 4], 4);
+        let a: Tensor = he_normal(&mut StdRng::seed_from_u64(3), &[4, 4], 4);
+        let b: Tensor = he_normal(&mut StdRng::seed_from_u64(3), &[4, 4], 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn f32_init_is_the_rounded_f64_stream() {
+        // Same seed, both dtypes: the f32 tensor must be elementwise
+        // `as f32` of the f64 tensor (one shared RNG stream).
+        let a: Tensor = he_normal(&mut StdRng::seed_from_u64(11), &[6, 6], 6);
+        let b: TensorBase<f32> = he_normal(&mut StdRng::seed_from_u64(11), &[6, 6], 6);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(*x as f32, *y);
+        }
     }
 }

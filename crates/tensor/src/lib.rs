@@ -1,24 +1,29 @@
 //! # cf-tensor
 //!
-//! Dense `f64` tensors and reverse-mode automatic differentiation, built from
+//! Dense tensors and reverse-mode automatic differentiation, built from
 //! scratch as the numeric substrate for the CausalFormer reproduction.
 //!
-//! The crate has two layers:
+//! The crate has three layers:
 //!
-//! * [`Tensor`] — a row-major, heap-allocated n-dimensional array of `f64`
-//!   with the elementwise, linear-algebra, and reduction operations the
-//!   models need. Shape errors panic with a descriptive message (they are
-//!   programming errors, not runtime conditions); fallible construction from
-//!   user data goes through [`Tensor::from_vec`] which returns a
-//!   [`TensorError`].
-//! * [`Tape`] — a define-by-run reverse-mode autodiff tape. Every operation
-//!   appends a node holding its output value and an explicit [`Op`]
-//!   descriptor; [`Tape::backward`] walks the nodes in reverse and
-//!   accumulates gradients. The op set includes the custom primitives the
-//!   paper requires: the multi-kernel *causal convolution* (Eq. 3), the
-//!   *self-shift* that hides a series' own current value from its prediction
-//!   (Eq. 4), the *multi-variate attention application* `A[i,t] = Σ_j
-//!   𝒜[i,j]·V[j,i,t]` (Eq. 6), and per-head scalar combination (Eq. 7).
+//! * [`Scalar`] — the sealed element-type trait (`f32`/`f64`), with the
+//!   runtime [`Dtype`] selector. Each dtype carries its own accumulation
+//!   policy for the dot-product microkernel (sequential and bitwise-pinned
+//!   for `f64`, multi-lane SIMD for `f32`) and its own pooled storage.
+//! * [`TensorBase`] — a row-major, heap-allocated n-dimensional array,
+//!   generic over the element type; [`Tensor`] is the `f64` alias that
+//!   keeps the historical API. Shape errors panic with a descriptive
+//!   message (they are programming errors, not runtime conditions);
+//!   fallible construction from user data goes through
+//!   [`Tensor::from_vec`] which returns a [`TensorError`].
+//! * [`TapeBase`] / [`Tape`] — a define-by-run reverse-mode autodiff tape.
+//!   Every operation appends a node holding its output value and an
+//!   explicit [`Op`] descriptor; [`Tape::backward`] walks the nodes in
+//!   reverse and accumulates gradients. The op set includes the custom
+//!   primitives the paper requires: the multi-kernel *causal convolution*
+//!   (Eq. 3), the *self-shift* that hides a series' own current value from
+//!   its prediction (Eq. 4), the *multi-variate attention application*
+//!   `A[i,t] = Σ_j 𝒜[i,j]·V[j,i,t]` (Eq. 6), and per-head scalar
+//!   combination (Eq. 7).
 //!
 //! Keeping the op set explicit (an enum rather than boxed closures) makes
 //! every backward rule unit-testable against finite differences — see
@@ -47,11 +52,13 @@ mod init;
 pub mod ops;
 pub mod pool;
 pub mod rngstate;
+mod scalar;
 mod tape;
 mod tensor;
 
 pub use error::TensorError;
 pub use init::{he_normal, uniform, xavier_uniform};
 pub use rngstate::{capture_rng, restore_rng};
-pub use tape::{with_pooled_tape, Gradients, Op, Tape, VarId};
-pub use tensor::Tensor;
+pub use scalar::{Dtype, Scalar, ScratchStack};
+pub use tape::{with_pooled_tape, Gradients, GradientsBase, Op, Tape, TapeBase, VarId};
+pub use tensor::{Tensor, TensorBase};

@@ -11,8 +11,15 @@
 //! autodiff [`Tape`](crate::Tape); keeping them here as pure functions makes
 //! them unit-testable in isolation (including finite-difference checks in
 //! `tape::tests`).
+//!
+//! All kernels are generic over the element type and written as contiguous
+//! slice panels: the convolution inner loop is a [`Scalar::dot_from`] over
+//! the observed prefix (sequential for f64 — bitwise-pinned — and 8-lane
+//! for f32), and the backward/attention loops are `out[..] += a * src[..]`
+//! axpy panels with the bounds checks hoisted out of the inner loop.
 
-use crate::Tensor;
+use crate::scalar::Scalar;
+use crate::tensor::TensorBase;
 
 /// Multiply-add count (≈ n²·T² for a causal convolution) below which the
 /// convolution kernels stay serial; mirrors
@@ -33,31 +40,31 @@ const PAR_ELEM_THRESHOLD: usize = 131_072;
 /// that tap `u = T` always touches the *current* slot (lag 0) and tap
 /// `u = T−δ` touches lag `δ`. The division by `t` (the number of non-zero
 /// window entries) rescales early slots where most of the window is padding.
-pub fn causal_conv(x: &Tensor, kernel: &Tensor) -> Tensor {
+pub fn causal_conv<E: Scalar>(x: &TensorBase<E>, kernel: &TensorBase<E>) -> TensorBase<E> {
     let (n, t_len) = dims_2(x, "causal_conv x");
     let (kn, kn2, kt) = dims_3(kernel, "causal_conv kernel");
     assert_eq!(kn, n, "kernel axis 0 must equal series count");
     assert_eq!(kn2, n, "kernel axis 1 must equal series count");
     assert_eq!(kt, t_len, "kernel taps must equal window length");
 
-    let mut out = Tensor::zeros(&[n, n, t_len]);
+    let mut out = TensorBase::<E>::zeros(&[n, n, t_len]);
     // Slab-parallel over i: out[i,·,·] is a contiguous, disjoint n·t_len
     // block computed purely from x.row(i) and kernel[i,·,·], so the parallel
     // result is bitwise identical to serial at any thread count.
     let slab_len = n * t_len;
     let kdata = kernel.data();
-    let slab = |i: usize, oslab: &mut [f64]| {
+    let slab = |i: usize, oslab: &mut [E]| {
         let xi = x.row(i);
         let kslab = &kdata[i * slab_len..(i + 1) * slab_len];
         for j in 0..n {
+            let krow = &kslab[j * t_len..(j + 1) * t_len];
+            let orow = &mut oslab[j * t_len..(j + 1) * t_len];
             for t in 0..t_len {
-                let mut acc = 0.0;
                 // s ranges over the observed prefix [0, t]; the matching
-                // kernel tap is u = T−1−t+s (0-indexed).
-                for s in 0..=t {
-                    acc += kslab[j * t_len + t_len - 1 - t + s] * xi[s];
-                }
-                oslab[j * t_len + t] = acc / (t + 1) as f64;
+                // kernel taps are u = T−1−t .. T−1, a contiguous suffix —
+                // one microkernel dot per output slot.
+                let acc = E::dot_from(E::ZERO, &krow[t_len - 1 - t..], &xi[..=t]);
+                orow[t] = acc / E::from_f64((t + 1) as f64);
             }
         }
     };
@@ -73,9 +80,12 @@ pub fn causal_conv(x: &Tensor, kernel: &Tensor) -> Tensor {
 }
 
 /// Gradient of [`causal_conv`] with respect to the kernel.
-pub fn causal_conv_backward_kernel(x: &Tensor, grad_out: &Tensor) -> Tensor {
+pub fn causal_conv_backward_kernel<E: Scalar>(
+    x: &TensorBase<E>,
+    grad_out: &TensorBase<E>,
+) -> TensorBase<E> {
     let (n, t_len) = dims_2(x, "causal_conv_backward_kernel x");
-    let mut grad_k = Tensor::zeros(&[n, n, t_len]);
+    let mut grad_k = TensorBase::<E>::zeros(&[n, n, t_len]);
     causal_conv_backward_kernel_into(x, grad_out, &mut grad_k);
     grad_k
 }
@@ -84,7 +94,11 @@ pub fn causal_conv_backward_kernel(x: &Tensor, grad_out: &Tensor) -> Tensor {
 /// into `grad_k`, which the caller provides freshly zeroed (typically a
 /// pooled buffer). Identical arithmetic and ordering to the allocating
 /// form, so results are bitwise equal.
-pub fn causal_conv_backward_kernel_into(x: &Tensor, grad_out: &Tensor, grad_k: &mut Tensor) {
+pub fn causal_conv_backward_kernel_into<E: Scalar>(
+    x: &TensorBase<E>,
+    grad_out: &TensorBase<E>,
+    grad_k: &mut TensorBase<E>,
+) {
     let (n, t_len) = dims_2(x, "causal_conv_backward_kernel x");
     assert_eq!(
         grad_k.shape(),
@@ -95,18 +109,22 @@ pub fn causal_conv_backward_kernel_into(x: &Tensor, grad_out: &Tensor, grad_k: &
     // depends only on x.row(i) and grad_out[i,·,·].
     let slab_len = n * t_len;
     let gdata = grad_out.data();
-    let slab = |i: usize, gkslab: &mut [f64]| {
+    let slab = |i: usize, gkslab: &mut [E]| {
         let xi = x.row(i);
         let gslab = &gdata[i * slab_len..(i + 1) * slab_len];
         for j in 0..n {
+            let grow = &gslab[j * t_len..(j + 1) * t_len];
+            let gkrow = &mut gkslab[j * t_len..(j + 1) * t_len];
             for t in 0..t_len {
-                let g = gslab[j * t_len + t] / (t + 1) as f64;
-                if g == 0.0 {
+                let g = grow[t] / E::from_f64((t + 1) as f64);
+                if g == E::ZERO {
                     continue;
                 }
-                for s in 0..=t {
-                    let u = t_len - 1 - t + s;
-                    gkslab[j * t_len + u] += g * xi[s];
+                // Taps u = T−1−t .. T−1 receive g · x[0..=t]: a contiguous
+                // axpy panel.
+                let panel = &mut gkrow[t_len - 1 - t..];
+                for (gk, &xv) in panel.iter_mut().zip(&xi[..=t]) {
+                    *gk += g * xv;
                 }
             }
         }
@@ -122,9 +140,12 @@ pub fn causal_conv_backward_kernel_into(x: &Tensor, grad_out: &Tensor, grad_k: &
 }
 
 /// Gradient of [`causal_conv`] with respect to the input window.
-pub fn causal_conv_backward_x(kernel: &Tensor, grad_out: &Tensor) -> Tensor {
+pub fn causal_conv_backward_x<E: Scalar>(
+    kernel: &TensorBase<E>,
+    grad_out: &TensorBase<E>,
+) -> TensorBase<E> {
     let (n, _, t_len) = dims_3(kernel, "causal_conv_backward_x kernel");
-    let mut grad_x = Tensor::zeros(&[n, t_len]);
+    let mut grad_x = TensorBase::<E>::zeros(&[n, t_len]);
     causal_conv_backward_x_into(kernel, grad_out, &mut grad_x);
     grad_x
 }
@@ -132,7 +153,11 @@ pub fn causal_conv_backward_x(kernel: &Tensor, grad_out: &Tensor) -> Tensor {
 /// In-place form of [`causal_conv_backward_x`]: accumulates into a
 /// caller-provided freshly zeroed `grad_x` (bitwise identical to the
 /// allocating form).
-pub fn causal_conv_backward_x_into(kernel: &Tensor, grad_out: &Tensor, grad_x: &mut Tensor) {
+pub fn causal_conv_backward_x_into<E: Scalar>(
+    kernel: &TensorBase<E>,
+    grad_out: &TensorBase<E>,
+    grad_x: &mut TensorBase<E>,
+) {
     let (n, _, t_len) = dims_3(kernel, "causal_conv_backward_x kernel");
     assert_eq!(
         grad_x.shape(),
@@ -144,18 +169,22 @@ pub fn causal_conv_backward_x_into(kernel: &Tensor, grad_out: &Tensor, grad_x: &
     let slab_len = n * t_len;
     let kdata = kernel.data();
     let gdata = grad_out.data();
-    let row = |i: usize, gxrow: &mut [f64]| {
+    let row = |i: usize, gxrow: &mut [E]| {
         let kslab = &kdata[i * slab_len..(i + 1) * slab_len];
         let gslab = &gdata[i * slab_len..(i + 1) * slab_len];
         for j in 0..n {
+            let grow = &gslab[j * t_len..(j + 1) * t_len];
+            let krow = &kslab[j * t_len..(j + 1) * t_len];
             for t in 0..t_len {
-                let g = gslab[j * t_len + t] / (t + 1) as f64;
-                if g == 0.0 {
+                let g = grow[t] / E::from_f64((t + 1) as f64);
+                if g == E::ZERO {
                     continue;
                 }
-                for s in 0..=t {
-                    let u = t_len - 1 - t + s;
-                    gxrow[s] += g * kslab[j * t_len + u];
+                // x[0..=t] receives g · taps[T−1−t..]: the transpose panel
+                // of the kernel-gradient axpy above.
+                let taps = &krow[t_len - 1 - t..];
+                for (gx, &kv) in gxrow[..=t].iter_mut().zip(taps) {
+                    *gx += g * kv;
                 }
             }
         }
@@ -177,30 +206,32 @@ pub fn causal_conv_backward_x_into(kernel: &Tensor, grad_out: &Tensor, grad_x: &
 /// ground-truth value never contributes to its own prediction. Off-diagonal
 /// rows pass through unchanged — other series' *current* values are allowed
 /// (instantaneous causality).
-pub fn self_shift(v: &Tensor) -> Tensor {
+pub fn self_shift<E: Scalar>(v: &TensorBase<E>) -> TensorBase<E> {
     let (n, n2, t_len) = dims_3(v, "self_shift");
     assert_eq!(n, n2, "self_shift requires an N×N×T tensor");
     let mut out = v.clone();
+    let data = out.data_mut();
     for i in 0..n {
+        let drow = &mut data[(i * n + i) * t_len..(i * n + i + 1) * t_len];
         for t in (1..t_len).rev() {
-            let prev = out.get3(i, i, t - 1);
-            out.set3(i, i, t, prev);
+            drow[t] = drow[t - 1];
         }
-        out.set3(i, i, 0, 0.0);
+        drow[0] = E::ZERO;
     }
     out
 }
 
 /// Gradient of [`self_shift`]: the inverse (left) shift on diagonal rows.
-pub fn self_shift_backward(grad_out: &Tensor) -> Tensor {
+pub fn self_shift_backward<E: Scalar>(grad_out: &TensorBase<E>) -> TensorBase<E> {
     let (n, _, t_len) = dims_3(grad_out, "self_shift_backward");
     let mut grad_in = grad_out.clone();
+    let data = grad_in.data_mut();
     for i in 0..n {
+        let drow = &mut data[(i * n + i) * t_len..(i * n + i + 1) * t_len];
         for t in 0..t_len - 1 {
-            let nxt = grad_in.get3(i, i, t + 1);
-            grad_in.set3(i, i, t, nxt);
+            drow[t] = drow[t + 1];
         }
-        grad_in.set3(i, i, t_len - 1, 0.0);
+        drow[t_len - 1] = E::ZERO;
     }
     grad_in
 }
@@ -215,21 +246,26 @@ pub fn self_shift_backward(grad_out: &Tensor) -> Tensor {
 /// ```text
 /// A[i,t] = Σ_j 𝒜[i,j] · V[j,i,t]
 /// ```
-pub fn attn_apply(attn: &Tensor, v: &Tensor) -> Tensor {
+pub fn attn_apply<E: Scalar>(attn: &TensorBase<E>, v: &TensorBase<E>) -> TensorBase<E> {
     let (n, n2) = dims_2(attn, "attn_apply attn");
     assert_eq!(n, n2, "attention matrix must be square");
     let (vn, vn2, t_len) = dims_3(v, "attn_apply v");
     assert_eq!(vn, n, "value axis 0 vs attention size");
     assert_eq!(vn2, n, "value axis 1 vs attention size");
-    let mut out = Tensor::zeros(&[n, t_len]);
+    let mut out = TensorBase::<E>::zeros(&[n, t_len]);
+    let adata = attn.data();
+    let vdata = v.data();
+    let odata = out.data_mut();
     for i in 0..n {
+        let orow = &mut odata[i * t_len..(i + 1) * t_len];
         for j in 0..n {
-            let a = attn.get2(i, j);
-            if a == 0.0 {
+            let a = adata[i * n + j];
+            if a == E::ZERO {
                 continue;
             }
-            for t in 0..t_len {
-                out.set2(i, t, out.get2(i, t) + a * v.get3(j, i, t));
+            let vrow = &vdata[(j * n + i) * t_len..(j * n + i + 1) * t_len];
+            for (o, &vv) in orow.iter_mut().zip(vrow) {
+                *o += a * vv;
             }
         }
     }
@@ -237,9 +273,12 @@ pub fn attn_apply(attn: &Tensor, v: &Tensor) -> Tensor {
 }
 
 /// Gradient of [`attn_apply`] with respect to the attention matrix.
-pub fn attn_apply_backward_attn(v: &Tensor, grad_out: &Tensor) -> Tensor {
+pub fn attn_apply_backward_attn<E: Scalar>(
+    v: &TensorBase<E>,
+    grad_out: &TensorBase<E>,
+) -> TensorBase<E> {
     let (n, _, _) = dims_3(v, "attn_apply_backward_attn v");
-    let mut grad_a = Tensor::zeros(&[n, n]);
+    let mut grad_a = TensorBase::<E>::zeros(&[n, n]);
     attn_apply_backward_attn_into(v, grad_out, &mut grad_a);
     grad_a
 }
@@ -247,29 +286,37 @@ pub fn attn_apply_backward_attn(v: &Tensor, grad_out: &Tensor) -> Tensor {
 /// In-place form of [`attn_apply_backward_attn`]: writes into a
 /// caller-provided freshly zeroed `grad_a` (bitwise identical to the
 /// allocating form — every cell is overwritten).
-pub fn attn_apply_backward_attn_into(v: &Tensor, grad_out: &Tensor, grad_a: &mut Tensor) {
+pub fn attn_apply_backward_attn_into<E: Scalar>(
+    v: &TensorBase<E>,
+    grad_out: &TensorBase<E>,
+    grad_a: &mut TensorBase<E>,
+) {
     let (n, _, t_len) = dims_3(v, "attn_apply_backward_attn v");
     assert_eq!(
         grad_a.shape(),
         &[n, n],
         "attn_apply_backward_attn_into output shape"
     );
+    let vdata = v.data();
+    let gdata = grad_out.data();
+    let ga = grad_a.data_mut();
     for i in 0..n {
+        let grow = &gdata[i * t_len..(i + 1) * t_len];
         for j in 0..n {
-            let mut acc = 0.0;
-            for t in 0..t_len {
-                acc += v.get3(j, i, t) * grad_out.get2(i, t);
-            }
-            grad_a.set2(i, j, acc);
+            let vrow = &vdata[(j * n + i) * t_len..(j * n + i + 1) * t_len];
+            ga[i * n + j] = E::dot_from(E::ZERO, vrow, grow);
         }
     }
 }
 
 /// Gradient of [`attn_apply`] with respect to the value tensor.
-pub fn attn_apply_backward_v(attn: &Tensor, grad_out: &Tensor) -> Tensor {
+pub fn attn_apply_backward_v<E: Scalar>(
+    attn: &TensorBase<E>,
+    grad_out: &TensorBase<E>,
+) -> TensorBase<E> {
     let (n, _) = dims_2(attn, "attn_apply_backward_v attn");
     let t_len = grad_out.shape()[1];
-    let mut grad_v = Tensor::zeros(&[n, n, t_len]);
+    let mut grad_v = TensorBase::<E>::zeros(&[n, n, t_len]);
     attn_apply_backward_v_into(attn, grad_out, &mut grad_v);
     grad_v
 }
@@ -277,7 +324,11 @@ pub fn attn_apply_backward_v(attn: &Tensor, grad_out: &Tensor) -> Tensor {
 /// In-place form of [`attn_apply_backward_v`]: accumulates into a
 /// caller-provided freshly zeroed `grad_v` (bitwise identical to the
 /// allocating form).
-pub fn attn_apply_backward_v_into(attn: &Tensor, grad_out: &Tensor, grad_v: &mut Tensor) {
+pub fn attn_apply_backward_v_into<E: Scalar>(
+    attn: &TensorBase<E>,
+    grad_out: &TensorBase<E>,
+    grad_v: &mut TensorBase<E>,
+) {
     let (n, _) = dims_2(attn, "attn_apply_backward_v attn");
     let t_len = grad_out.shape()[1];
     assert_eq!(
@@ -285,22 +336,27 @@ pub fn attn_apply_backward_v_into(attn: &Tensor, grad_out: &Tensor, grad_v: &mut
         &[n, n, t_len],
         "attn_apply_backward_v_into output shape"
     );
+    let adata = attn.data();
+    let gdata = grad_out.data();
+    let gv = grad_v.data_mut();
     for i in 0..n {
+        let grow = &gdata[i * t_len..(i + 1) * t_len];
         for j in 0..n {
-            let a = attn.get2(i, j);
-            for t in 0..t_len {
-                grad_v.set3(j, i, t, grad_v.get3(j, i, t) + a * grad_out.get2(i, t));
+            let a = adata[i * n + j];
+            let gvrow = &mut gv[(j * n + i) * t_len..(j * n + i + 1) * t_len];
+            for (o, &g) in gvrow.iter_mut().zip(grow) {
+                *o += a * g;
             }
         }
     }
 }
 
-fn dims_2(t: &Tensor, what: &str) -> (usize, usize) {
+fn dims_2<E: Scalar>(t: &TensorBase<E>, what: &str) -> (usize, usize) {
     assert_eq!(t.rank(), 2, "{what} must be 2-d, got shape {:?}", t.shape());
     (t.shape()[0], t.shape()[1])
 }
 
-fn dims_3(t: &Tensor, what: &str) -> (usize, usize, usize) {
+fn dims_3<E: Scalar>(t: &TensorBase<E>, what: &str) -> (usize, usize, usize) {
     assert_eq!(t.rank(), 3, "{what} must be 3-d, got shape {:?}", t.shape());
     (t.shape()[0], t.shape()[1], t.shape()[2])
 }
@@ -308,6 +364,7 @@ fn dims_3(t: &Tensor, what: &str) -> (usize, usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Tensor;
 
     #[test]
     fn causal_conv_hand_case() {
@@ -478,6 +535,27 @@ mod tests {
             xp.data_mut()[idx] += eps;
             let num = (causal_conv(&xp, &k).mul(&g).sum() - base) / eps;
             assert!((num - gx.data()[idx]).abs() < 1e-5, "x idx {idx}");
+        }
+    }
+
+    #[test]
+    fn f32_causal_conv_matches_f64_within_tolerance() {
+        let n = 5;
+        let t = 24;
+        let xv: Vec<f64> = (0..n * t)
+            .map(|i| ((i * 13 % 29) as f64 - 14.0) / 10.0)
+            .collect();
+        let kv: Vec<f64> = (0..n * n * t)
+            .map(|i| ((i * 7 % 31) as f64 - 15.0) / 20.0)
+            .collect();
+        let x64 = Tensor::from_vec(vec![n, t], xv).unwrap();
+        let k64 = Tensor::from_vec(vec![n, n, t], kv).unwrap();
+        let x32 = TensorBase::<f32>::from_f64_tensor(&x64);
+        let k32 = TensorBase::<f32>::from_f64_tensor(&k64);
+        let o64 = causal_conv(&x64, &k64);
+        let o32 = causal_conv(&x32, &k32);
+        for (a, b) in o64.data().iter().zip(o32.data()) {
+            assert!((a - b.to_f64()).abs() < 1e-3, "{a} vs {b}");
         }
     }
 }

@@ -9,22 +9,29 @@
 //!
 //! Architecture:
 //!
-//! * **Thread-local free lists** (one array of buckets per thread). The
-//!   overwhelming majority of traffic — tape intermediates created during
+//! * **Thread-local free lists** (one array of buckets per thread *per
+//!   element type* — free lists are typed `Vec<E>`, and each
+//!   [`Scalar`](crate::Scalar) implementation owns its own thread-local
+//!   storage; see the storage hooks in `scalar.rs`). The overwhelming
+//!   majority of traffic — tape intermediates created during
 //!   forward/backward and recycled at [`Tape::reset`](crate::Tape::reset) —
 //!   stays on the worker thread that allocated it and never touches a lock.
-//! * **A global overflow list** behind a mutex. Gradient tensors are born on
-//!   cf-par worker threads but dropped on the main thread (tree-reduce and
-//!   the optimizer step run there). Each buffer carries the id of its *home*
-//!   thread; dropping on a foreign thread routes the buffer to the global
-//!   list, where the original worker finds it again on its next request.
-//!   Without this, worker pools would drain by a few buffers per step while
-//!   the main thread hoarded them — steady-state misses forever.
+//! * **A global overflow list** (one per element type) behind a mutex.
+//!   Gradient tensors are born on cf-par worker threads but dropped on the
+//!   main thread (tree-reduce and the optimizer step run there). Each buffer
+//!   carries the id of its *home* thread; dropping on a foreign thread
+//!   routes the buffer to the global list, where the original worker finds
+//!   it again on its next request. Without this, worker pools would drain
+//!   by a few buffers per step while the main thread hoarded them —
+//!   steady-state misses forever.
 //!
 //! Size classes guarantee correctness by construction: a recycled buffer
 //! lands in the bucket `floor(log2(capacity))`, a request for `n` elements
 //! pops from bucket `ceil(log2(n))`, so any buffer found there has
-//! `capacity ≥ 2^ceil(log2(n)) ≥ n`.
+//! `capacity ≥ 2^ceil(log2(n)) ≥ n`. Classes are *element*-count-based, so
+//! an f32 class holds half the bytes of the same f64 class; all byte
+//! accounting (`bytes_outstanding`, the retention byte caps) multiplies by
+//! `size_of::<E>()` rather than assuming 8-byte elements.
 //!
 //! The pool changes *where bytes live, never what they hold*: buffers are
 //! handed out logically empty (`len == 0`) and callers fully initialise them
@@ -33,15 +40,18 @@
 //!
 //! Counters are module-level relaxed atomics — a registry lookup per
 //! allocation would dwarf the allocation itself — and are published into
-//! the `cf-obs` metrics registry in one batch by [`publish_obs`].
+//! the `cf-obs` metrics registry in one batch by [`publish_obs`]. Counters
+//! are shared across element types (they answer "is the process allocating",
+//! not "which dtype is").
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+
+use crate::scalar::Scalar;
 
 /// Buckets cover capacities up to 2^31 elements (16 GiB of f64) — far above
 /// any CausalFormer workload; larger requests bypass the pool entirely.
-const NUM_CLASSES: usize = 32;
+pub(crate) const NUM_CLASSES: usize = 32;
 
 /// Per-thread, per-class retention: a class always keeps up to
 /// [`LOCAL_RETAIN`] buffers, and beyond that keeps growing while its total
@@ -60,11 +70,18 @@ const GLOBAL_RETAIN: usize = 4096;
 const GLOBAL_RETAIN_BYTES: usize = 32 << 20;
 
 /// Whether a class holding `len` buffers may retain one more. `class` is
-/// the log2 capacity, so the byte footprint after the push is
-/// `(len + 1) << class` elements × 8 bytes.
+/// the log2 *element* capacity, so the byte footprint after the push is
+/// `(len + 1) << class` elements × `elem_size` bytes.
 #[inline]
-fn may_retain(len: usize, class: usize, count_cap: usize, byte_cap: usize) -> bool {
-    len < count_cap || (class < usize::BITS as usize - 4 && ((len + 1) << class) * 8 <= byte_cap)
+fn may_retain(
+    len: usize,
+    class: usize,
+    elem_size: usize,
+    count_cap: usize,
+    byte_cap: usize,
+) -> bool {
+    len < count_cap
+        || (class < usize::BITS as usize - 4 && ((len + 1) << class) * elem_size <= byte_cap)
 }
 
 static HIT: AtomicU64 = AtomicU64::new(0);
@@ -82,43 +99,47 @@ static ENV_CHECKED: AtomicBool = AtomicBool::new(false);
 
 static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(1);
 
-/// Per-thread pool state: the thread's stable id and its free lists live in
-/// one thread-local so the hot path pays a single TLS lookup, not two.
-struct ThreadPool {
-    id: Cell<u32>,
-    lists: RefCell<[Vec<Vec<f64>>; NUM_CLASSES]>,
-}
-
 thread_local! {
-    static LOCAL: ThreadPool = ThreadPool {
-        id: const { Cell::new(0) },
-        lists: RefCell::new(std::array::from_fn(|_| Vec::new())),
-    };
+    static THREAD_ID: Cell<u32> = const { Cell::new(0) };
 }
 
-impl ThreadPool {
-    #[inline]
-    fn id(&self) -> u32 {
-        let v = self.id.get();
-        if v != 0 {
-            v
-        } else {
-            let v = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
-            self.id.set(v);
-            v
+/// Per-thread, per-dtype free lists. Instances live in the per-dtype
+/// thread-locals behind [`Scalar::with_pool`]; this type is public only so
+/// that hook can name it.
+#[doc(hidden)]
+pub struct ThreadPool<E> {
+    lists: RefCell<[Vec<Vec<E>>; NUM_CLASSES]>,
+}
+
+impl<E> ThreadPool<E> {
+    pub(crate) fn new() -> Self {
+        Self {
+            lists: RefCell::new(std::array::from_fn(|_| Vec::new())),
         }
     }
 }
 
-fn global() -> &'static Mutex<Vec<Vec<Vec<f64>>>> {
-    static GLOBAL: OnceLock<Mutex<Vec<Vec<Vec<f64>>>>> = OnceLock::new();
-    GLOBAL.get_or_init(|| Mutex::new((0..NUM_CLASSES).map(|_| Vec::new()).collect()))
+impl<E> Default for ThreadPool<E> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Stable id of the calling thread (assigned on first use, never 0).
+/// Shared across element types, so a thread has one identity no matter
+/// which dtypes it allocates.
 #[inline]
 pub(crate) fn thread_id() -> u32 {
-    LOCAL.with(|t| t.id())
+    THREAD_ID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            v
+        } else {
+            let v = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+            v
+        }
+    })
 }
 
 /// Smallest class whose buffers can serve a request for `n` elements.
@@ -159,22 +180,23 @@ pub fn set_enabled(on: bool) {
 /// Hands out a buffer with `capacity ≥ n` and `len == 0`, plus the home
 /// thread id to pass back to [`recycle`]. The caller must fully initialise
 /// the first `n` elements before reading them.
-pub(crate) fn grab(n: usize) -> (Vec<f64>, u32) {
+pub(crate) fn grab<E: Scalar>(n: usize) -> (Vec<E>, u32) {
     if n == 0 {
         return (Vec::new(), thread_id());
     }
     let class = class_for_request(n);
     if class < NUM_CLASSES && enabled() {
-        let (local, home) = LOCAL.with(|t| (t.lists.borrow_mut()[class].pop(), t.id()));
+        let local = E::with_pool(|t| t.lists.borrow_mut()[class].pop());
+        let home = thread_id();
         if let Some(buf) = local {
             HIT.fetch_add(1, Ordering::Relaxed);
-            OUTSTANDING.fetch_add((buf.capacity() * 8) as i64, Ordering::Relaxed);
+            OUTSTANDING.fetch_add(bytes_of::<E>(buf.capacity()), Ordering::Relaxed);
             return (buf, home);
         }
-        let global = global().lock().expect("pool mutex poisoned")[class].pop();
+        let global = E::global_pool().lock().expect("pool mutex poisoned")[class].pop();
         if let Some(buf) = global {
             HIT.fetch_add(1, Ordering::Relaxed);
-            OUTSTANDING.fetch_add((buf.capacity() * 8) as i64, Ordering::Relaxed);
+            OUTSTANDING.fetch_add(bytes_of::<E>(buf.capacity()), Ordering::Relaxed);
             return (buf, home);
         }
         MISS.fetch_add(1, Ordering::Relaxed);
@@ -189,24 +211,29 @@ pub(crate) fn grab(n: usize) -> (Vec<f64>, u32) {
     } else {
         n
     };
-    OUTSTANDING.fetch_add((cap * 8) as i64, Ordering::Relaxed);
+    OUTSTANDING.fetch_add(bytes_of::<E>(cap), Ordering::Relaxed);
     (Vec::with_capacity(cap), home)
+}
+
+#[inline]
+fn bytes_of<E>(elems: usize) -> i64 {
+    (elems * std::mem::size_of::<E>()) as i64
 }
 
 /// Records a buffer allocated outside the pool (e.g. `Tensor::from_vec`
 /// with caller-built data) entering circulation.
-pub(crate) fn note_external(capacity: usize) {
+pub(crate) fn note_external<E: Scalar>(capacity: usize) {
     if capacity > 0 {
         ALLOC.fetch_add(1, Ordering::Relaxed);
-        OUTSTANDING.fetch_add((capacity * 8) as i64, Ordering::Relaxed);
+        OUTSTANDING.fetch_add(bytes_of::<E>(capacity), Ordering::Relaxed);
     }
 }
 
 /// Records a pooled buffer leaving circulation without being recycled
 /// (e.g. `Tensor::into_data` handing the raw `Vec` to the caller).
-pub(crate) fn forget(capacity: usize) {
+pub(crate) fn forget<E: Scalar>(capacity: usize) {
     if capacity > 0 {
-        OUTSTANDING.fetch_sub((capacity * 8) as i64, Ordering::Relaxed);
+        OUTSTANDING.fetch_sub(bytes_of::<E>(capacity), Ordering::Relaxed);
     }
 }
 
@@ -215,12 +242,12 @@ pub(crate) fn forget(capacity: usize) {
 /// list, recycling anywhere else routes through the global overflow list so
 /// cross-thread migration (worker-allocated gradients dropped on the main
 /// thread) flows back to the workers.
-pub(crate) fn recycle(mut buf: Vec<f64>, home: u32) {
+pub(crate) fn recycle<E: Scalar>(mut buf: Vec<E>, home: u32) {
     let cap = buf.capacity();
     if cap == 0 {
         return;
     }
-    OUTSTANDING.fetch_sub((cap * 8) as i64, Ordering::Relaxed);
+    OUTSTANDING.fetch_sub(bytes_of::<E>(cap), Ordering::Relaxed);
     if !enabled() {
         return; // dropped
     }
@@ -229,12 +256,19 @@ pub(crate) fn recycle(mut buf: Vec<f64>, home: u32) {
         return;
     }
     buf.clear();
-    let kept = LOCAL.with(|t| {
-        if home != t.id() {
+    let elem = std::mem::size_of::<E>();
+    let kept = E::with_pool(|t| {
+        if home != thread_id() {
             return false;
         }
         let mut l = t.lists.borrow_mut();
-        if may_retain(l[class].len(), class, LOCAL_RETAIN, LOCAL_RETAIN_BYTES) {
+        if may_retain(
+            l[class].len(),
+            class,
+            elem,
+            LOCAL_RETAIN,
+            LOCAL_RETAIN_BYTES,
+        ) {
             l[class].push(std::mem::take(&mut buf));
             true
         } else {
@@ -244,8 +278,14 @@ pub(crate) fn recycle(mut buf: Vec<f64>, home: u32) {
     if kept {
         return;
     }
-    let mut g = global().lock().expect("pool mutex poisoned");
-    if may_retain(g[class].len(), class, GLOBAL_RETAIN, GLOBAL_RETAIN_BYTES) {
+    let mut g = E::global_pool().lock().expect("pool mutex poisoned");
+    if may_retain(
+        g[class].len(),
+        class,
+        elem,
+        GLOBAL_RETAIN,
+        GLOBAL_RETAIN_BYTES,
+    ) {
         g[class].push(buf);
     }
 }
@@ -260,7 +300,8 @@ pub struct PoolStats {
     /// Fresh heap allocations (pool misses plus external buffers adopted
     /// by tensors). Zero deltas here are the "allocation-free" proof.
     pub alloc: u64,
-    /// Bytes currently held by live pooled buffers.
+    /// Bytes currently held by live pooled buffers (all element types,
+    /// element-size-aware).
     pub bytes_outstanding: i64,
 }
 
@@ -328,10 +369,10 @@ mod tests {
         // Use an unusual size so concurrently running tests cannot race this
         // thread-local bucket. Pointer identity proves reuse.
         let n = 12_345;
-        let (buf, home) = grab(n);
+        let (buf, home) = grab::<f64>(n);
         let ptr = buf.as_ptr();
         recycle(buf, home);
-        let (again, home2) = grab(n);
+        let (again, home2) = grab::<f64>(n);
         assert_eq!(again.as_ptr(), ptr, "recycled buffer was not reused");
         assert!(again.capacity() >= n);
         assert_eq!(again.len(), 0, "pooled buffers must come back empty");
@@ -341,13 +382,49 @@ mod tests {
     #[test]
     fn size_class_rounding_shares_buffers_within_a_class() {
         // 9000 and 12000 both round up to the 16384-element class.
-        let (buf, home) = grab(9_000);
+        let (buf, home) = grab::<f64>(9_000);
         let ptr = buf.as_ptr();
         assert_eq!(buf.capacity(), 16_384);
         recycle(buf, home);
-        let (again, home2) = grab(12_000);
+        let (again, home2) = grab::<f64>(12_000);
         assert_eq!(again.as_ptr(), ptr);
         recycle(again, home2);
+    }
+
+    #[test]
+    fn dtypes_have_disjoint_free_lists() {
+        // An f64 buffer recycled into class 14 must never be handed to an
+        // f32 request of the same class (the lists are separately typed);
+        // both round-trip independently.
+        let n = 13_579;
+        let (b64, h64) = grab::<f64>(n);
+        let p64 = b64.as_ptr() as usize;
+        recycle(b64, h64);
+        let (b32, h32) = grab::<f32>(n);
+        let p32 = b32.as_ptr() as usize;
+        recycle(b32, h32);
+        let (again64, h64b) = grab::<f64>(n);
+        let (again32, h32b) = grab::<f32>(n);
+        assert_eq!(again64.as_ptr() as usize, p64);
+        assert_eq!(again32.as_ptr() as usize, p32);
+        recycle(again64, h64b);
+        recycle(again32, h32b);
+    }
+
+    #[test]
+    fn byte_accounting_is_element_size_aware() {
+        // (The global bytes_outstanding gauge moves concurrently with other
+        // tests, so the accounting units are pinned directly.)
+        assert_eq!(bytes_of::<f64>(100), 800);
+        assert_eq!(bytes_of::<f32>(100), 400);
+        // Retention byte caps count real bytes: with the count cap disabled,
+        // a class-10 bucket (1024 elements/buffer) at a 64 KiB cap holds 8
+        // f64 buffers but 16 f32 buffers.
+        let cap = 64 << 10;
+        assert!(may_retain(7, 10, 8, 0, cap));
+        assert!(!may_retain(8, 10, 8, 0, cap));
+        assert!(may_retain(15, 10, 4, 0, cap));
+        assert!(!may_retain(16, 10, 4, 0, cap));
     }
 
     #[test]
@@ -355,14 +432,14 @@ mod tests {
         // Born on a spawned thread, dropped here: the buffer must flow
         // through the global overflow list back to a foreign grab.
         let n = 23_456;
-        let (buf, home) = std::thread::spawn(move || grab(n)).join().unwrap();
+        let (buf, home) = std::thread::spawn(move || grab::<f64>(n)).join().unwrap();
         let ptr = buf.as_ptr();
         // This thread is not `home`, so recycle routes to the global list …
         recycle(buf, home);
         // … where a fresh thread (empty locals) finds it.
         let ptr = ptr as usize;
         let found = std::thread::spawn(move || {
-            let (again, home2) = grab(n);
+            let (again, home2) = grab::<f64>(n);
             let same = again.as_ptr() as usize == ptr;
             recycle(again, home2);
             same
@@ -376,11 +453,11 @@ mod tests {
     fn miss_counter_moves_only_on_cold_requests() {
         let n = 54_321; // unusual class, private to this test's thread
         let before = stats();
-        let (buf, home) = grab(n);
+        let (buf, home) = grab::<f64>(n);
         let mid = stats();
         assert!(mid.alloc > before.alloc);
         recycle(buf, home);
-        let (buf, home) = grab(n);
+        let (buf, home) = grab::<f64>(n);
         recycle(buf, home);
         let after = stats();
         assert!(after.hit > mid.hit, "warm grab must count as a hit");

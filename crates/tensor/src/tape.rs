@@ -24,10 +24,14 @@
 //! * **`requires_grad` pruning.** Constant leaves (input data, masks) are
 //!   marked as not requiring gradients; backward skips whole subtrees that
 //!   cannot reach a parameter.
+//! * **Generic element type.** [`TapeBase<E>`] is generic over the
+//!   [`Scalar`] element; `Tape`/`Gradients` are the historical `f64`
+//!   aliases. Per-dtype tape pools and gradient scratch live behind the
+//!   `Scalar` storage hooks, so each dtype recycles its own storage.
 
 use crate::ops;
-use crate::Tensor;
-use std::cell::RefCell;
+use crate::scalar::Scalar;
+use crate::tensor::TensorBase;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,9 +47,11 @@ impl VarId {
 /// Operation descriptor for one tape node.
 ///
 /// Variants reference parent nodes by [`VarId`]. The tensor-valued payloads
-/// (`MulConst`) hold *constants* that do not receive gradients.
+/// (`MulConst`) hold *constants* that do not receive gradients. Scalar
+/// hyper-parameters (`Scale`, `LeakyRelu`) stay `f64` regardless of the
+/// element type — they are configuration, not data.
 #[derive(Debug, Clone)]
-pub enum Op {
+pub enum Op<E: Scalar = f64> {
     /// An input: parameter (requires grad) or constant (does not).
     Leaf,
     /// Elementwise `a + b` (same shapes).
@@ -75,7 +81,7 @@ pub enum Op {
     /// Elementwise square.
     Square(VarId),
     /// Elementwise product with a constant tensor (masking).
-    MulConst(VarId, Tensor),
+    MulConst(VarId, TensorBase<E>),
     /// Sum of all elements (scalar output).
     SumAll(VarId),
     /// Mean of all elements (scalar output).
@@ -116,7 +122,7 @@ pub enum Op {
     TilePairs(VarId),
 }
 
-impl Op {
+impl<E: Scalar> Op<E> {
     /// Stable kind name, used as the profiling key for forward execution.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -176,21 +182,10 @@ impl Op {
     }
 }
 
-struct Node {
-    value: Tensor,
-    op: Op,
+struct Node<E: Scalar> {
+    value: TensorBase<E>,
+    op: Op<E>,
     requires_grad: bool,
-}
-
-thread_local! {
-    /// Spare gradient-scratch vectors, one free list per thread. `backward`
-    /// is `&self` and the detector calls it concurrently on a shared tape
-    /// from several workers, so the scratch cannot live in the tape itself.
-    static GRAD_SCRATCH: RefCell<Vec<Vec<Option<Tensor>>>> = const { RefCell::new(Vec::new()) };
-
-    /// Idle tapes for [`with_pooled_tape`], a stack per thread so nested
-    /// uses each get their own tape.
-    static TAPE_POOL: RefCell<Vec<Tape>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Upper bound on spare scratch vectors retained per thread; beyond this
@@ -202,13 +197,14 @@ const GRAD_SCRATCH_RETAIN: usize = 8;
 /// loop that builds one tape per window through this helper re-records onto
 /// the same node storage every step instead of growing a fresh `Tape::new()`
 /// each time. Nested calls work (the pool is a stack); the tape is handed
-/// over empty, exactly like `Tape::new()`.
-pub fn with_pooled_tape<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
-    let mut tape = TAPE_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+/// over empty, exactly like `Tape::new()`. Each dtype has its own per-thread
+/// pool (see the [`Scalar`] storage hooks).
+pub fn with_pooled_tape<E: Scalar, R>(f: impl FnOnce(&mut TapeBase<E>) -> R) -> R {
+    let mut tape = E::with_tape_pool(|p| p.borrow_mut().pop()).unwrap_or_default();
     tape.reset();
     let out = f(&mut tape);
     tape.reset();
-    TAPE_POOL.with(|p| p.borrow_mut().push(tape));
+    E::with_tape_pool(|p| p.borrow_mut().push(tape));
     out
 }
 
@@ -216,40 +212,44 @@ pub fn with_pooled_tape<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
 ///
 /// The backing scratch vector is pooled: dropping a `Gradients` recycles
 /// the contained tensors through the buffer pool and parks the (emptied)
-/// vector on a per-thread free list for the next backward pass.
-pub struct Gradients {
-    grads: Vec<Option<Tensor>>,
+/// vector on a per-thread, per-dtype free list for the next backward pass.
+pub struct GradientsBase<E: Scalar = f64> {
+    grads: Vec<Option<TensorBase<E>>>,
 }
 
-impl Gradients {
+/// The `f64` gradients container (the historical API).
+pub type Gradients = GradientsBase<f64>;
+
+impl<E: Scalar> GradientsBase<E> {
     /// The gradient accumulated at `id`, if that node required gradients and
     /// was reached by backpropagation.
-    pub fn get(&self, id: VarId) -> Option<&Tensor> {
+    pub fn get(&self, id: VarId) -> Option<&TensorBase<E>> {
         self.grads.get(id.0).and_then(|g| g.as_ref())
     }
 
     /// Moves the gradient at `id` out, leaving `None` behind. The ownership
-    /// counterpart of [`Gradients::get`] for callers that would otherwise
-    /// clone (the trainer ships per-window gradients to the reducer).
-    pub fn take(&mut self, id: VarId) -> Option<Tensor> {
+    /// counterpart of [`GradientsBase::get`] for callers that would
+    /// otherwise clone (the trainer ships per-window gradients to the
+    /// reducer).
+    pub fn take(&mut self, id: VarId) -> Option<TensorBase<E>> {
         self.grads.get_mut(id.0).and_then(|g| g.take())
     }
 
-    /// Like [`Gradients::get`] but panics with context when absent — for
-    /// parameters that must always receive a gradient.
-    pub fn expect(&self, id: VarId, what: &str) -> &Tensor {
+    /// Like [`GradientsBase::get`] but panics with context when absent —
+    /// for parameters that must always receive a gradient.
+    pub fn expect(&self, id: VarId, what: &str) -> &TensorBase<E> {
         self.get(id)
             .unwrap_or_else(|| panic!("no gradient for {what} (VarId {})", id.0))
     }
 }
 
-impl Drop for Gradients {
+impl<E: Scalar> Drop for GradientsBase<E> {
     fn drop(&mut self) {
         let mut scratch = std::mem::take(&mut self.grads);
         // Dropping remaining tensors recycles their buffers; the emptied
         // shell returns to this thread's scratch list.
         scratch.clear();
-        GRAD_SCRATCH.with(|s| {
+        E::with_grad_scratch(|s| {
             let mut s = s.borrow_mut();
             if s.len() < GRAD_SCRATCH_RETAIN {
                 s.push(scratch);
@@ -258,16 +258,20 @@ impl Drop for Gradients {
     }
 }
 
-/// A reverse-mode autodiff tape. See the [module docs](self).
+/// A reverse-mode autodiff tape over element type `E`. See the
+/// [module docs](self).
 #[derive(Default)]
-pub struct Tape {
-    nodes: Vec<Node>,
+pub struct TapeBase<E: Scalar = f64> {
+    nodes: Vec<Node<E>>,
 }
 
-impl Tape {
+/// The `f64` tape (the historical API).
+pub type Tape = TapeBase<f64>;
+
+impl<E: Scalar> TapeBase<E> {
     /// An empty tape.
     pub fn new() -> Self {
-        Self::default()
+        Self { nodes: Vec::new() }
     }
 
     /// Clears all recorded nodes while retaining the node storage capacity,
@@ -290,7 +294,7 @@ impl Tape {
     }
 
     /// The forward value at `id`.
-    pub fn value(&self, id: VarId) -> &Tensor {
+    pub fn value(&self, id: VarId) -> &TensorBase<E> {
         &self.nodes[id.0].value
     }
 
@@ -299,7 +303,7 @@ impl Tape {
         self.nodes[id.0].requires_grad
     }
 
-    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> VarId {
+    fn push(&mut self, value: TensorBase<E>, op: Op<E>, requires_grad: bool) -> VarId {
         debug_assert!(value.all_finite(), "non-finite value from {op:?}");
         self.nodes.push(Node {
             value,
@@ -316,7 +320,7 @@ impl Tape {
     /// Rough floating-point-operation estimate for one forward execution
     /// of `op`, from its parents' shapes. Order-of-magnitude accounting
     /// for profiles, not an exact count.
-    fn op_flops(&self, op: &Op) -> u64 {
+    fn op_flops(&self, op: &Op<E>) -> u64 {
         let len = |id: &VarId| self.value(*id).len() as u64;
         match op {
             Op::Leaf => 0,
@@ -356,7 +360,7 @@ impl Tape {
 
     /// Starts a forward-op profile timer for `op`; inert (one atomic
     /// load, no clock read or FLOP estimate) when profiling is off.
-    fn op_timer(&self, op: &Op) -> cf_obs::profile::OpTimer {
+    fn op_timer(&self, op: &Op<E>) -> cf_obs::profile::OpTimer {
         if cf_obs::profile::enabled() {
             cf_obs::profile::op_timer(op.kind(), self.op_flops(op))
         } else {
@@ -370,12 +374,12 @@ impl Tape {
 
     /// Records an input leaf. `requires_grad = true` for parameters,
     /// `false` for data/constants.
-    pub fn leaf(&mut self, value: Tensor, requires_grad: bool) -> VarId {
+    pub fn leaf(&mut self, value: TensorBase<E>, requires_grad: bool) -> VarId {
         self.push(value, Op::Leaf, requires_grad)
     }
 
     /// Convenience: a constant leaf.
-    pub fn constant(&mut self, value: Tensor) -> VarId {
+    pub fn constant(&mut self, value: TensorBase<E>) -> VarId {
         self.leaf(value, false)
     }
 
@@ -427,10 +431,13 @@ impl Tape {
         let (r, c) = (mv.shape()[0], mv.shape()[1]);
         assert_eq!(vv.len(), c, "vector length vs columns");
         let mut out = mv.clone();
-        for i in 0..r {
-            for j in 0..c {
-                let val = out.get2(i, j) * vv.data()[j];
-                out.set2(i, j, val);
+        {
+            let vd = vv.data();
+            let od = out.data_mut();
+            for i in 0..r {
+                for j in 0..c {
+                    od[i * c + j] *= vd[j];
+                }
             }
         }
         let rg = self.rg(m) || self.rg(v);
@@ -477,7 +484,8 @@ impl Tape {
     pub fn leaky_relu(&mut self, a: VarId, slope: f64) -> VarId {
         let op = Op::LeakyRelu(a, slope);
         let _t = self.op_timer(&op);
-        let v = self.value(a).map(|x| if x >= 0.0 { x } else { slope * x });
+        let s = E::from_f64(slope);
+        let v = self.value(a).map(|x| if x >= E::ZERO { x } else { s * x });
         let rg = self.rg(a);
         self.push(v, op, rg)
     }
@@ -486,7 +494,7 @@ impl Tape {
     pub fn tanh(&mut self, a: VarId) -> VarId {
         let op = Op::Tanh(a);
         let _t = self.op_timer(&op);
-        let v = self.value(a).map(f64::tanh);
+        let v = self.value(a).map(E::tanh);
         let rg = self.rg(a);
         self.push(v, op, rg)
     }
@@ -495,7 +503,7 @@ impl Tape {
     pub fn sigmoid(&mut self, a: VarId) -> VarId {
         let op = Op::Sigmoid(a);
         let _t = self.op_timer(&op);
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.value(a).map(|x| E::ONE / (E::ONE + (-x).exp()));
         let rg = self.rg(a);
         self.push(v, op, rg)
     }
@@ -510,7 +518,7 @@ impl Tape {
     }
 
     /// Elementwise product with a constant tensor (e.g. a loss mask).
-    pub fn mul_const(&mut self, a: VarId, c: Tensor) -> VarId {
+    pub fn mul_const(&mut self, a: VarId, c: TensorBase<E>) -> VarId {
         let _t = cf_obs::profile::op_timer("mul_const", self.value(a).len() as u64);
         let v = self.value(a).mul(&c);
         let rg = self.rg(a);
@@ -521,7 +529,7 @@ impl Tape {
     pub fn sum_all(&mut self, a: VarId) -> VarId {
         let op = Op::SumAll(a);
         let _t = self.op_timer(&op);
-        let v = Tensor::scalar(self.value(a).sum());
+        let v = TensorBase::scalar(self.value(a).sum());
         let rg = self.rg(a);
         self.push(v, op, rg)
     }
@@ -530,7 +538,7 @@ impl Tape {
     pub fn mean_all(&mut self, a: VarId) -> VarId {
         let op = Op::MeanAll(a);
         let _t = self.op_timer(&op);
-        let v = Tensor::scalar(self.value(a).mean());
+        let v = TensorBase::scalar(self.value(a).mean());
         let rg = self.rg(a);
         self.push(v, op, rg)
     }
@@ -539,7 +547,7 @@ impl Tape {
     pub fn l1(&mut self, a: VarId) -> VarId {
         let op = Op::L1(a);
         let _t = self.op_timer(&op);
-        let v = Tensor::scalar(self.value(a).l1_norm());
+        let v = TensorBase::scalar(self.value(a).l1_norm());
         let rg = self.rg(a);
         self.push(v, op, rg)
     }
@@ -548,7 +556,7 @@ impl Tape {
     pub fn scale_by_elem(&mut self, x: VarId, w: VarId, idx: usize) -> VarId {
         let op = Op::ScaleByElem { x, w, idx };
         let _t = self.op_timer(&op);
-        let weight = self.value(w).data()[idx];
+        let weight = self.value(w).data()[idx].to_f64();
         let v = self.value(x).scale(weight);
         let rg = self.rg(x) || self.rg(w);
         self.push(v, op, rg)
@@ -588,11 +596,14 @@ impl Tape {
         let src = self.value(x);
         assert_eq!(src.rank(), 2, "tile_pairs expects N×T");
         let (n, t_len) = (src.shape()[0], src.shape()[1]);
-        let mut out = Tensor::zeros(&[n, n, t_len]);
-        for i in 0..n {
-            for j in 0..n {
-                for t in 0..t_len {
-                    out.set3(i, j, t, src.get2(i, t));
+        let mut out = TensorBase::zeros(&[n, n, t_len]);
+        {
+            let sd = src.data();
+            let od = out.data_mut();
+            for i in 0..n {
+                let srow = &sd[i * t_len..(i + 1) * t_len];
+                for j in 0..n {
+                    od[(i * n + j) * t_len..(i * n + j + 1) * t_len].copy_from_slice(srow);
                 }
             }
         }
@@ -608,19 +619,19 @@ impl Tape {
     ///
     /// # Panics
     /// Panics if `root`'s value is not a single element.
-    pub fn backward(&self, root: VarId) -> Gradients {
+    pub fn backward(&self, root: VarId) -> GradientsBase<E> {
         assert!(
             self.value(root).is_scalar(),
             "backward() requires a scalar root; use backward_with_seed for tensor roots"
         );
-        self.backward_with_seed(root, Tensor::scalar(1.0))
+        self.backward_with_seed(root, TensorBase::scalar(1.0))
     }
 
     /// Backpropagates from `root` with an explicit output gradient `seed`
     /// (same shape as `root`'s value). This is how the causality detector
     /// obtains `∂(Σ_t X̃[i,t])/∂𝒜` and `∂/∂𝒦`: seed the prediction with a
     /// one-hot row mask.
-    pub fn backward_with_seed(&self, root: VarId, seed: Tensor) -> Gradients {
+    pub fn backward_with_seed(&self, root: VarId, seed: TensorBase<E>) -> GradientsBase<E> {
         assert_eq!(
             self.value(root).shape(),
             seed.shape(),
@@ -628,13 +639,11 @@ impl Tape {
         );
         // Gradient scratch comes from the per-thread free list (warm after
         // the first backward on each thread) instead of `vec![None; n]`.
-        let mut grads = GRAD_SCRATCH
-            .with(|s| s.borrow_mut().pop())
-            .unwrap_or_default();
+        let mut grads = E::with_grad_scratch(|s| s.borrow_mut().pop()).unwrap_or_default();
         grads.clear();
         grads.resize_with(self.nodes.len(), || None);
         if !self.rg(root) {
-            return Gradients { grads };
+            return GradientsBase { grads };
         }
         grads[root.0] = Some(seed);
 
@@ -652,10 +661,15 @@ impl Tape {
             self.propagate(&node.op, &g, idx, &mut grads);
             grads[idx] = Some(g);
         }
-        Gradients { grads }
+        GradientsBase { grads }
     }
 
-    fn accumulate(&self, grads: &mut [Option<Tensor>], id: VarId, contribution: Tensor) {
+    fn accumulate(
+        &self,
+        grads: &mut [Option<TensorBase<E>>],
+        id: VarId,
+        contribution: TensorBase<E>,
+    ) {
         if !self.rg(id) {
             return;
         }
@@ -670,7 +684,13 @@ impl Tape {
     /// copy first. Numerically identical to
     /// `accumulate(…, src.scale(alpha))`: both round `alpha·srcᵢ` once, then
     /// add.
-    fn accumulate_scaled(&self, grads: &mut [Option<Tensor>], id: VarId, alpha: f64, src: &Tensor) {
+    fn accumulate_scaled(
+        &self,
+        grads: &mut [Option<TensorBase<E>>],
+        id: VarId,
+        alpha: f64,
+        src: &TensorBase<E>,
+    ) {
         if !self.rg(id) {
             return;
         }
@@ -688,7 +708,13 @@ impl Tape {
 
     /// Accumulates the Hadamard product `g ⊙ other` into the slot for `id`
     /// without allocating the product tensor when a buffer already exists.
-    fn accumulate_mul(&self, grads: &mut [Option<Tensor>], id: VarId, g: &Tensor, other: &Tensor) {
+    fn accumulate_mul(
+        &self,
+        grads: &mut [Option<TensorBase<E>>],
+        id: VarId,
+        g: &TensorBase<E>,
+        other: &TensorBase<E>,
+    ) {
         if !self.rg(id) {
             return;
         }
@@ -707,15 +733,15 @@ impl Tape {
     /// allocates once the pool is warm.
     fn accumulate_into(
         &self,
-        grads: &mut [Option<Tensor>],
+        grads: &mut [Option<TensorBase<E>>],
         id: VarId,
         shape: &[usize],
-        fill: impl FnOnce(&mut Tensor),
+        fill: impl FnOnce(&mut TensorBase<E>),
     ) {
         if !self.rg(id) {
             return;
         }
-        let mut contribution = Tensor::zeros(shape);
+        let mut contribution = TensorBase::zeros(shape);
         fill(&mut contribution);
         match &mut grads[id.0] {
             Some(existing) => existing.add_assign(&contribution),
@@ -723,7 +749,13 @@ impl Tape {
         }
     }
 
-    fn propagate(&self, op: &Op, g: &Tensor, idx: usize, grads: &mut [Option<Tensor>]) {
+    fn propagate(
+        &self,
+        op: &Op<E>,
+        g: &TensorBase<E>,
+        idx: usize,
+        grads: &mut [Option<TensorBase<E>>],
+    ) {
         match op {
             Op::Leaf => {}
             Op::Add(a, b) => {
@@ -743,10 +775,14 @@ impl Tape {
                 if self.rg(*bias) {
                     // Column sums of g.
                     let (r, c) = (g.shape()[0], g.shape()[1]);
-                    let mut gb = Tensor::zeros(&[c]);
-                    for i in 0..r {
-                        for j in 0..c {
-                            gb.data_mut()[j] += g.get2(i, j);
+                    let mut gb = TensorBase::zeros(&[c]);
+                    {
+                        let gd = g.data();
+                        let gbd = gb.data_mut();
+                        for i in 0..r {
+                            for (bj, &gv) in gbd.iter_mut().zip(&gd[i * c..(i + 1) * c]) {
+                                *bj += gv;
+                            }
                         }
                     }
                     self.accumulate(grads, *bias, gb);
@@ -757,20 +793,28 @@ impl Tape {
                 if self.rg(*m) {
                     let vv = self.value(*v);
                     let mut gm = g.clone();
-                    for i in 0..r {
-                        for j in 0..c {
-                            let val = gm.get2(i, j) * vv.data()[j];
-                            gm.set2(i, j, val);
+                    {
+                        let vd = vv.data();
+                        let gmd = gm.data_mut();
+                        for i in 0..r {
+                            for j in 0..c {
+                                gmd[i * c + j] *= vd[j];
+                            }
                         }
                     }
                     self.accumulate(grads, *m, gm);
                 }
                 if self.rg(*v) {
                     let mv = self.value(*m);
-                    let mut gv = Tensor::zeros(&[c]);
-                    for i in 0..r {
-                        for j in 0..c {
-                            gv.data_mut()[j] += g.get2(i, j) * mv.get2(i, j);
+                    let mut gv = TensorBase::zeros(&[c]);
+                    {
+                        let gd = g.data();
+                        let md = mv.data();
+                        let gvd = gv.data_mut();
+                        for i in 0..r {
+                            for j in 0..c {
+                                gvd[j] += gd[i * c + j] * md[i * c + j];
+                            }
                         }
                     }
                     self.accumulate(grads, *v, gv);
@@ -801,56 +845,64 @@ impl Tape {
                 let s = &self.nodes[idx].value;
                 let (r, c) = (s.shape()[0], s.shape()[1]);
                 self.accumulate_into(grads, *a, &[r, c], |out| {
+                    let od = out.data_mut();
                     for i in 0..r {
                         let srow = s.row(i);
                         let grow = g.row(i);
-                        let dot: f64 = srow.iter().zip(grow).map(|(&sv, &gv)| sv * gv).sum();
+                        // Sequential ascending accumulation from zero: the
+                        // f64 dot_from policy, bitwise equal to the previous
+                        // `iter().zip().map().sum()` fold.
+                        let dot = E::dot_from(E::ZERO, srow, grow);
+                        let orow = &mut od[i * c..(i + 1) * c];
                         for j in 0..c {
-                            out.set2(i, j, (grow[j] - dot) * srow[j]);
+                            orow[j] = (grow[j] - dot) * srow[j];
                         }
                     }
                 });
             }
             Op::LeakyRelu(a, slope) => {
                 let x = self.value(*a);
-                let gx = g.zip_map(x, |gv, xv| if xv >= 0.0 { gv } else { gv * slope });
+                let s = E::from_f64(*slope);
+                let gx = g.zip_map(x, |gv, xv| if xv >= E::ZERO { gv } else { gv * s });
                 self.accumulate(grads, *a, gx);
             }
             Op::Tanh(a) => {
                 let y = &self.nodes[idx].value;
-                self.accumulate(grads, *a, g.zip_map(y, |gv, yv| gv * (1.0 - yv * yv)));
+                self.accumulate(grads, *a, g.zip_map(y, |gv, yv| gv * (E::ONE - yv * yv)));
             }
             Op::Sigmoid(a) => {
                 let y = &self.nodes[idx].value;
-                self.accumulate(grads, *a, g.zip_map(y, |gv, yv| gv * yv * (1.0 - yv)));
+                self.accumulate(grads, *a, g.zip_map(y, |gv, yv| gv * yv * (E::ONE - yv)));
             }
             Op::Square(a) => {
                 let x = self.value(*a);
-                self.accumulate(grads, *a, g.zip_map(x, |gv, xv| gv * 2.0 * xv));
+                let two = E::from_f64(2.0);
+                self.accumulate(grads, *a, g.zip_map(x, |gv, xv| gv * two * xv));
             }
             Op::MulConst(a, c) => self.accumulate_mul(grads, *a, g, c),
             Op::SumAll(a) => {
-                let val = Tensor::full(self.value(*a).shape(), g.item());
+                let val = TensorBase::full(self.value(*a).shape(), g.item());
                 self.accumulate(grads, *a, val);
             }
             Op::MeanAll(a) => {
                 let n = self.value(*a).len() as f64;
-                let val = Tensor::full(self.value(*a).shape(), g.item() / n);
+                let val = TensorBase::full(self.value(*a).shape(), g.item() / n);
                 self.accumulate(grads, *a, val);
             }
             Op::L1(a) => {
                 let x = self.value(*a);
-                let gi = g.item();
+                let gi = E::from_f64(g.item());
                 self.accumulate(grads, *a, x.map(|v| gi * v.signum()));
             }
             Op::ScaleByElem { x, w, idx: wi } => {
-                let weight = self.value(*w).data()[*wi];
+                let weight = self.value(*w).data()[*wi].to_f64();
                 if self.rg(*x) {
                     self.accumulate_scaled(grads, *x, weight, g);
                 }
                 if self.rg(*w) {
-                    let mut gw = Tensor::zeros(self.value(*w).shape());
-                    gw.data_mut()[*wi] = g.mul(self.value(*x)).sum();
+                    let mut gw = TensorBase::zeros(self.value(*w).shape());
+                    let dot = g.mul(self.value(*x)).sum();
+                    gw.data_mut()[*wi] = E::from_f64(dot);
                     self.accumulate(grads, *w, gw);
                 }
             }
@@ -865,12 +917,18 @@ impl Tape {
             Op::SelfShift(a) => self.accumulate(grads, *a, ops::self_shift_backward(g)),
             Op::TilePairs(a) => {
                 // Sum gradients over the tiled (target) axis.
-                let (n, _, t_len) = (g.shape()[0], g.shape()[1], g.shape()[2]);
-                let mut gx = Tensor::zeros(&[n, t_len]);
-                for i in 0..n {
-                    for j in 0..n {
-                        for t in 0..t_len {
-                            gx.set2(i, t, gx.get2(i, t) + g.get3(i, j, t));
+                let (n, t_len) = (g.shape()[0], g.shape()[2]);
+                let mut gx = TensorBase::zeros(&[n, t_len]);
+                {
+                    let gd = g.data();
+                    let gxd = gx.data_mut();
+                    for i in 0..n {
+                        let gxrow = &mut gxd[i * t_len..(i + 1) * t_len];
+                        for j in 0..n {
+                            let grow = &gd[(i * n + j) * t_len..(i * n + j + 1) * t_len];
+                            for (o, &gv) in gxrow.iter_mut().zip(grow) {
+                                *o += gv;
+                            }
                         }
                     }
                 }
@@ -891,6 +949,7 @@ impl Tape {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Tensor;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -1235,11 +1294,11 @@ mod tests {
 
     #[test]
     fn with_pooled_tape_hands_out_an_empty_tape_and_nests() {
-        let outer = with_pooled_tape(|tape| {
+        let outer = with_pooled_tape(|tape: &mut Tape| {
             assert!(tape.is_empty());
             let x = tape.leaf(Tensor::scalar(2.0), true);
             let y = tape.square(x);
-            let inner = with_pooled_tape(|tape2| {
+            let inner = with_pooled_tape(|tape2: &mut Tape| {
                 assert!(tape2.is_empty());
                 let a = tape2.leaf(Tensor::scalar(5.0), true);
                 let s = tape2.square(a);
@@ -1251,7 +1310,7 @@ mod tests {
         assert_eq!(outer, (4.0, 4.0, 25.0));
         // The tape went back to the per-thread pool; the next use must see
         // it empty again.
-        with_pooled_tape(|tape| assert!(tape.is_empty()));
+        with_pooled_tape(|tape: &mut Tape| assert!(tape.is_empty()));
     }
 
     #[test]
@@ -1285,6 +1344,56 @@ mod tests {
         for i in 0..3 {
             let expected = 2.0 * (pred_t.data()[i] - target_t.data()[i]) / 3.0;
             assert!((g.data()[i] - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn f32_tape_trains_a_quadratic_toward_zero() {
+        // Minimal end-to-end sanity for the f32 tape: gradient-descent on
+        // loss = mean(x²) shrinks x.
+        let mut x = TensorBase::<f32>::from_f64_tensor(&Tensor::from_slice(&[2.0, -3.0]));
+        for _ in 0..50 {
+            let mut tape = TapeBase::<f32>::new();
+            let xv = tape.leaf(x.clone(), true);
+            let sq = tape.square(xv);
+            let loss = tape.mean_all(sq);
+            let grads = tape.backward(loss);
+            let g = grads.expect(xv, "x");
+            x.axpy(-0.5, g);
+        }
+        assert!(x.data().iter().all(|v| v.abs() < 1e-3), "{:?}", x.data());
+    }
+
+    #[test]
+    fn f32_backward_matches_f64_within_tolerance() {
+        // The same mini transformer block on both dtypes: f32 gradients must
+        // track the f64 reference.
+        let x64 = rand_t(&[3, 4], 50);
+        let k64 = rand_t(&[3, 3, 4], 51);
+        let run_f64 = {
+            let mut tape = Tape::new();
+            let x = tape.leaf(x64.clone(), true);
+            let k = tape.leaf(k64.clone(), true);
+            let c = tape.causal_conv(x, k);
+            let sh = tape.self_shift(c);
+            let sq = tape.square(sh);
+            let loss = tape.mean_all(sq);
+            let grads = tape.backward(loss);
+            grads.expect(k, "k").clone()
+        };
+        let run_f32 = {
+            let mut tape = TapeBase::<f32>::new();
+            let x = tape.leaf(TensorBase::<f32>::from_f64_tensor(&x64), true);
+            let k = tape.leaf(TensorBase::<f32>::from_f64_tensor(&k64), true);
+            let c = tape.causal_conv(x, k);
+            let sh = tape.self_shift(c);
+            let sq = tape.square(sh);
+            let loss = tape.mean_all(sq);
+            let grads = tape.backward(loss);
+            grads.expect(k, "k").to_f64_tensor()
+        };
+        for (a, b) in run_f64.data().iter().zip(run_f32.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
     }
 }

@@ -1,5 +1,14 @@
-//! The dense row-major `f64` tensor type.
+//! The dense row-major tensor type, generic over its element type.
+//!
+//! [`TensorBase<E>`] is the storage + kernel layer; [`Tensor`] is the
+//! crate's historical `f64` alias and keeps every pre-existing call site
+//! compiling (and, for `f64`, producing bitwise-identical results).
+//! Scalar-valued entry points (`item`, `at`, `set2`, `scale`, reductions…)
+//! deliberately keep `f64` signatures and convert at the boundary — for
+//! `E = f64` the conversion is the identity, and for `E = f32` it gives
+//! reductions f64 accumulation for free (the tolerance tests rely on it).
 
+use crate::scalar::Scalar;
 use crate::{pool, TensorError};
 
 /// Maximum tensor rank. CausalFormer shapes are at most rank 3 (`N×N×T`
@@ -62,23 +71,23 @@ impl std::fmt::Debug for Shape {
 /// the thread the buffer was handed out on — recycling consults it to route
 /// same-thread drops to the lock-free local free list and cross-thread drops
 /// (worker-born gradients dropped on the main thread) to the global list.
-pub(crate) struct Buf {
-    vec: Vec<f64>,
+pub(crate) struct Buf<E: Scalar> {
+    vec: Vec<E>,
     home: u32,
 }
 
-impl Buf {
+impl<E: Scalar> Buf<E> {
     /// An empty buffer with pooled capacity for `n` elements. The caller
     /// must push/extend exactly the elements it will read.
     #[inline]
     fn with_capacity(n: usize) -> Self {
-        let (vec, home) = pool::grab(n);
+        let (vec, home) = pool::grab::<E>(n);
         Self { vec, home }
     }
 
     /// A length-`n` buffer of `value`.
     #[inline]
-    fn filled(n: usize, value: f64) -> Self {
+    fn filled(n: usize, value: E) -> Self {
         let mut b = Self::with_capacity(n);
         b.vec.resize(n, value);
         b
@@ -86,7 +95,7 @@ impl Buf {
 
     /// A pooled copy of `values`.
     #[inline]
-    fn copy_of(values: &[f64]) -> Self {
+    fn copy_of(values: &[E]) -> Self {
         let mut b = Self::with_capacity(values.len());
         b.vec.extend_from_slice(values);
         b
@@ -95,8 +104,8 @@ impl Buf {
     /// Adopts a caller-allocated `Vec` (counted as an external allocation;
     /// it joins the pool when dropped).
     #[inline]
-    fn adopt(vec: Vec<f64>) -> Self {
-        pool::note_external(vec.capacity());
+    fn adopt(vec: Vec<E>) -> Self {
+        pool::note_external::<E>(vec.capacity());
         Self {
             vec,
             home: pool::thread_id(),
@@ -104,63 +113,67 @@ impl Buf {
     }
 }
 
-impl Drop for Buf {
+impl<E: Scalar> Drop for Buf<E> {
     #[inline]
     fn drop(&mut self) {
         pool::recycle(std::mem::take(&mut self.vec), self.home);
     }
 }
 
-impl Clone for Buf {
+impl<E: Scalar> Clone for Buf<E> {
     #[inline]
     fn clone(&self) -> Self {
         Self::copy_of(&self.vec)
     }
 }
 
-impl PartialEq for Buf {
+impl<E: Scalar> PartialEq for Buf<E> {
     #[inline]
     fn eq(&self, other: &Self) -> bool {
         self.vec == other.vec
     }
 }
 
-impl std::ops::Deref for Buf {
-    type Target = [f64];
+impl<E: Scalar> std::ops::Deref for Buf<E> {
+    type Target = [E];
     #[inline]
-    fn deref(&self) -> &[f64] {
+    fn deref(&self) -> &[E] {
         &self.vec
     }
 }
 
-impl std::ops::DerefMut for Buf {
+impl<E: Scalar> std::ops::DerefMut for Buf<E> {
     #[inline]
-    fn deref_mut(&mut self) -> &mut [f64] {
+    fn deref_mut(&mut self) -> &mut [E] {
         &mut self.vec
     }
 }
 
-impl std::fmt::Debug for Buf {
+impl<E: Scalar> std::fmt::Debug for Buf<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         self.vec.fmt(f)
     }
 }
 
-/// A dense, row-major, heap-allocated n-dimensional array of `f64`.
+/// A dense, row-major, heap-allocated n-dimensional array of `E`.
 ///
-/// `Tensor` is deliberately simple: no views, no strides beyond row-major,
-/// no generic element type. The CausalFormer workloads are small (tens of
-/// series, tens of time slots) and dominated by clarity-sensitive numeric
-/// code, so a copying design is the right trade-off; hot inner loops
-/// (matmul, convolution) operate on contiguous slices which the compiler
-/// vectorises well. Element storage is drawn from (and returned to) the
-/// size-class buffer pool in [`crate::pool`], so the copies stop costing
-/// allocations once the pool is warm.
+/// The design is deliberately simple: no views, no strides beyond
+/// row-major, one generic element type (`f32` or `f64` via the sealed
+/// [`Scalar`] trait). The CausalFormer workloads are small (tens of series,
+/// tens of time slots) and dominated by clarity-sensitive numeric code, so
+/// a copying design is the right trade-off; hot inner loops (matmul,
+/// convolution) operate on contiguous slices through fixed-shape
+/// microkernels the compiler vectorises. Element storage is drawn from (and
+/// returned to) the size-class buffer pool in [`crate::pool`], so the
+/// copies stop costing allocations once the pool is warm.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Tensor {
+pub struct TensorBase<E: Scalar = f64> {
     shape: Shape,
-    data: Buf,
+    data: Buf<E>,
 }
+
+/// The crate's historical dense `f64` tensor — an alias of [`TensorBase`].
+pub type Tensor = TensorBase<f64>;
 
 /// FLOP count (2·m·k·n for a matmul) below which the linear-algebra kernels
 /// stay serial: a pool dispatch costs on the order of a microsecond, which
@@ -175,13 +188,13 @@ pub(crate) fn rows_per_block(m: usize, flops_per_row: usize) -> usize {
     (32_768 / flops_per_row.max(1)).clamp(1, m)
 }
 
-impl Tensor {
+impl<E: Scalar> TensorBase<E> {
     // ---------------------------------------------------------------------
     // Construction
     // ---------------------------------------------------------------------
 
     /// Builds a tensor from a shape and a flat row-major buffer.
-    pub fn from_vec(shape: Vec<usize>, data: Vec<f64>) -> Result<Self, TensorError> {
+    pub fn from_vec(shape: Vec<usize>, data: Vec<E>) -> Result<Self, TensorError> {
         if shape.is_empty() || shape.contains(&0) {
             return Err(TensorError::EmptyShape);
         }
@@ -197,6 +210,15 @@ impl Tensor {
             shape: Shape::from_dims(&shape),
             data: Buf::adopt(data),
         })
+    }
+
+    /// Builds a tensor from `f64` data, converting each element to `E`
+    /// (exact for `E = f64`, round-to-nearest for `E = f32`). The typed
+    /// counterpart of [`TensorBase::from_vec`] for dtype-agnostic callers
+    /// such as checkpoint restore.
+    pub fn from_f64_vec(shape: Vec<usize>, data: Vec<f64>) -> Result<Self, TensorError> {
+        let converted: Vec<E> = data.iter().map(|&v| E::from_f64(v)).collect();
+        Self::from_vec(shape, converted)
     }
 
     /// Internal constructor: an empty pooled buffer the caller will fill to
@@ -235,7 +257,7 @@ impl Tensor {
         let n: usize = shape.iter().product();
         Self {
             shape: Shape::from_dims(shape),
-            data: Buf::filled(n, value),
+            data: Buf::filled(n, E::from_f64(value)),
         }
     }
 
@@ -243,16 +265,18 @@ impl Tensor {
     pub fn scalar(value: f64) -> Self {
         Self {
             shape: Shape::from_dims(&[1]),
-            data: Buf::copy_of(&[value]),
+            data: Buf::copy_of(&[E::from_f64(value)]),
         }
     }
 
-    /// A rank-1 tensor from a slice.
+    /// A rank-1 tensor from a slice of `f64` values (converted to `E`).
     pub fn from_slice(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "from_slice requires at least one value");
+        let mut data = Buf::with_capacity(values.len());
+        data.vec.extend(values.iter().map(|&v| E::from_f64(v)));
         Self {
             shape: Shape::from_dims(&[values.len()]),
-            data: Buf::copy_of(values),
+            data,
         }
     }
 
@@ -264,7 +288,7 @@ impl Tensor {
         let mut data = Buf::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(r.len(), cols, "row {i} has length {} != {cols}", r.len());
-            data.vec.extend_from_slice(r);
+            data.vec.extend(r.iter().map(|&v| E::from_f64(v)));
         }
         Self {
             shape: Shape::from_dims(&[rows.len(), cols]),
@@ -276,14 +300,44 @@ impl Tensor {
     pub fn eye(n: usize) -> Self {
         let mut t = Self::zeros(&[n, n]);
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            t.data[i * n + i] = E::ONE;
         }
         t
     }
 
     // ---------------------------------------------------------------------
+    // Dtype conversion
+    // ---------------------------------------------------------------------
+
+    /// Widens to an `f64` tensor. For `E = f64` this is an exact copy, so
+    /// the dtype-agnostic read-out paths (detector/RRP, checkpointing)
+    /// remain bitwise-identical to direct access on the f64 path.
+    pub fn to_f64_tensor(&self) -> TensorBase<f64> {
+        let (mut out, _) = TensorBase::<f64>::with_shape(self.shape);
+        out.data.vec.extend(self.data.iter().map(|&v| v.to_f64()));
+        out
+    }
+
+    /// Converts an `f64` tensor to element type `E` (exact for `E = f64`).
+    pub fn from_f64_tensor(t: &TensorBase<f64>) -> Self {
+        let (mut out, _) = Self::with_shape(t.shape);
+        out.data.vec.extend(t.data.iter().map(|&v| E::from_f64(v)));
+        out
+    }
+
+    /// Copies all elements out as `f64` (exact widening).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        self.data.iter().map(|&v| v.to_f64()).collect()
+    }
+
+    // ---------------------------------------------------------------------
     // Introspection
     // ---------------------------------------------------------------------
+
+    /// The runtime element type.
+    pub fn dtype(&self) -> crate::Dtype {
+        E::DTYPE
+    }
 
     /// The shape of the tensor.
     pub fn shape(&self) -> &[usize] {
@@ -311,20 +365,20 @@ impl Tensor {
     }
 
     /// The underlying row-major buffer.
-    pub fn data(&self) -> &[f64] {
+    pub fn data(&self) -> &[E] {
         &self.data
     }
 
     /// Mutable access to the underlying row-major buffer.
-    pub fn data_mut(&mut self) -> &mut [f64] {
+    pub fn data_mut(&mut self) -> &mut [E] {
         &mut self.data
     }
 
     /// Consumes the tensor, returning its buffer. The buffer leaves the
     /// pool's accounting (it belongs to the caller now).
-    pub fn into_data(mut self) -> Vec<f64> {
+    pub fn into_data(mut self) -> Vec<E> {
         let vec = std::mem::take(&mut self.data.vec);
-        pool::forget(vec.capacity());
+        pool::forget::<E>(vec.capacity());
         vec
     }
 
@@ -338,7 +392,7 @@ impl Tensor {
             "item() on tensor of shape {:?}",
             self.shape
         );
-        self.data[0]
+        self.data[0].to_f64()
     }
 
     // ---------------------------------------------------------------------
@@ -362,12 +416,12 @@ impl Tensor {
     /// Element access by multi-index.
     #[inline]
     pub fn at(&self, idx: &[usize]) -> f64 {
-        self.data[self.flat_index(idx)]
+        self.data[self.flat_index(idx)].to_f64()
     }
 
     /// Mutable element access by multi-index.
     #[inline]
-    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f64 {
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut E {
         let flat = self.flat_index(idx);
         &mut self.data[flat]
     }
@@ -376,7 +430,7 @@ impl Tensor {
     #[inline]
     pub fn get2(&self, i: usize, j: usize) -> f64 {
         debug_assert_eq!(self.rank(), 2);
-        self.data[i * self.shape[1] + j]
+        self.data[i * self.shape[1] + j].to_f64()
     }
 
     /// 2-d mutable element access.
@@ -384,14 +438,14 @@ impl Tensor {
     pub fn set2(&mut self, i: usize, j: usize, v: f64) {
         debug_assert_eq!(self.rank(), 2);
         let cols = self.shape[1];
-        self.data[i * cols + j] = v;
+        self.data[i * cols + j] = E::from_f64(v);
     }
 
     /// 3-d element access.
     #[inline]
     pub fn get3(&self, i: usize, j: usize, k: usize) -> f64 {
         debug_assert_eq!(self.rank(), 3);
-        self.data[(i * self.shape[1] + j) * self.shape[2] + k]
+        self.data[(i * self.shape[1] + j) * self.shape[2] + k].to_f64()
     }
 
     /// 3-d mutable element access.
@@ -399,21 +453,23 @@ impl Tensor {
     pub fn set3(&mut self, i: usize, j: usize, k: usize, v: f64) {
         debug_assert_eq!(self.rank(), 3);
         let (d1, d2) = (self.shape[1], self.shape[2]);
-        self.data[(i * d1 + j) * d2 + k] = v;
+        self.data[(i * d1 + j) * d2 + k] = E::from_f64(v);
     }
 
     /// Borrow row `i` of a 2-d tensor as a slice.
-    pub fn row(&self, i: usize) -> &[f64] {
+    pub fn row(&self, i: usize) -> &[E] {
         assert_eq!(self.rank(), 2, "row() requires a 2-d tensor");
         let cols = self.shape[1];
         &self.data[i * cols..(i + 1) * cols]
     }
 
-    /// Copy column `j` of a 2-d tensor into a new vector.
+    /// Copy column `j` of a 2-d tensor into a new `f64` vector.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert_eq!(self.rank(), 2, "col() requires a 2-d tensor");
         let (rows, cols) = (self.shape[0], self.shape[1]);
-        (0..rows).map(|i| self.data[i * cols + j]).collect()
+        (0..rows)
+            .map(|i| self.data[i * cols + j].to_f64())
+            .collect()
     }
 
     // ---------------------------------------------------------------------
@@ -487,7 +543,7 @@ impl Tensor {
     /// In-place elementwise accumulation: `self += other`.
     pub fn add_assign(&mut self, other: &Self) {
         self.assert_same_shape(other, "add_assign");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += b;
         }
     }
@@ -495,7 +551,8 @@ impl Tensor {
     /// In-place scaled accumulation: `self += alpha * other` (axpy).
     pub fn axpy(&mut self, alpha: f64, other: &Self) {
         self.assert_same_shape(other, "axpy");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        let alpha = E::from_f64(alpha);
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
     }
@@ -506,35 +563,37 @@ impl Tensor {
     pub fn add_mul_assign(&mut self, a: &Self, b: &Self) {
         self.assert_same_shape(a, "add_mul_assign");
         self.assert_same_shape(b, "add_mul_assign");
-        for ((s, av), bv) in self.data.iter_mut().zip(a.data.iter()).zip(b.data.iter()) {
+        for ((s, &av), &bv) in self.data.iter_mut().zip(a.data.iter()).zip(b.data.iter()) {
             *s += av * bv;
         }
     }
 
     /// Multiply every element by a scalar.
     pub fn scale(&self, alpha: f64) -> Self {
-        self.map(|v| v * alpha)
+        let alpha = E::from_f64(alpha);
+        self.map(move |v| v * alpha)
     }
 
     /// Add a scalar to every element.
     pub fn add_scalar(&self, alpha: f64) -> Self {
-        self.map(|v| v + alpha)
+        let alpha = E::from_f64(alpha);
+        self.map(move |v| v + alpha)
     }
 
     /// Elementwise absolute value.
     pub fn abs(&self) -> Self {
-        self.map(f64::abs)
+        self.map(E::abs)
     }
 
     /// Elementwise map.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+    pub fn map(&self, f: impl Fn(E) -> E) -> Self {
         let (mut out, _) = Self::with_shape(self.shape);
         out.data.vec.extend(self.data.iter().map(|&v| f(v)));
         out
     }
 
     /// Elementwise binary map over two same-shape tensors.
-    pub fn zip_map(&self, other: &Self, f: impl Fn(f64, f64) -> f64) -> Self {
+    pub fn zip_map(&self, other: &Self, f: impl Fn(E, E) -> E) -> Self {
         self.assert_same_shape(other, "zip_map");
         let (mut out, _) = Self::with_shape(self.shape);
         out.data.vec.extend(
@@ -548,16 +607,20 @@ impl Tensor {
 
     /// Rectifies negatives to zero (the `(·)⁺` operator of Eq. 19).
     pub fn relu(&self) -> Self {
-        self.map(|v| v.max(0.0))
+        self.map(|v| v.max(E::ZERO))
     }
 
     // ---------------------------------------------------------------------
     // Reductions
+    //
+    // All reductions accumulate in f64 regardless of `E` (exact identity
+    // for f64; the f32 tolerance policy — losses, norms, and stopping
+    // criteria stay in double precision even when the weights are single).
     // ---------------------------------------------------------------------
 
-    /// Sum of all elements.
+    /// Sum of all elements (f64 accumulation).
     pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+        self.data.iter().map(|&v| v.to_f64()).sum()
     }
 
     /// Mean of all elements.
@@ -567,22 +630,35 @@ impl Tensor {
 
     /// L1 norm: `Σ |x|`.
     pub fn l1_norm(&self) -> f64 {
-        self.data.iter().map(|v| v.abs()).sum()
+        self.data.iter().map(|&v| v.to_f64().abs()).sum()
     }
 
     /// L2 norm: `sqrt(Σ x²)`.
     pub fn l2_norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&v| {
+                let x = v.to_f64();
+                x * x
+            })
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Maximum element (NaN-ignoring is *not* attempted; NaNs propagate).
     pub fn max(&self) -> f64 {
-        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.data
+            .iter()
+            .map(|&v| v.to_f64())
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum element.
     pub fn min(&self) -> f64 {
-        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+        self.data
+            .iter()
+            .map(|&v| v.to_f64())
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Flat index of the maximum element (first occurrence).
@@ -621,15 +697,16 @@ impl Tensor {
     /// Accumulates `self · other` into `out` (`out += a·b`). Writing into a
     /// freshly zeroed pooled buffer makes this the allocation-free form the
     /// backward pass uses; the accumulation order per cell is identical to
-    /// [`Tensor::matmul`], so results are bitwise equal.
+    /// [`TensorBase::matmul`], so results are bitwise equal.
     pub fn matmul_into(&self, other: &Self, out: &mut Self) {
         let (m, k, n) = self.matmul_dims(other);
         assert_eq!(out.shape(), &[m, n], "matmul_into output shape");
         let a = &self.data;
         let b = &other.data;
         // ikj loop order: the inner loop runs over contiguous memory in both
-        // `other` and `out`, which LLVM vectorises.
-        let band = |i0: usize, orows: &mut [f64]| {
+        // `other` and `out`, which LLVM vectorises (for f32 at twice the
+        // lane count of f64 — half the bandwidth, double the SIMD width).
+        let band = |i0: usize, orows: &mut [E]| {
             for (di, orow) in orows.chunks_mut(n).enumerate() {
                 let i = i0 + di;
                 for p in 0..k {
@@ -639,8 +716,8 @@ impl Tensor {
                     // causal masks zero whole bands — skipping dodges a full
                     // length-n fused-multiply-add row per zero. For finite
                     // operands this never changes the result (adding a ±0.0
-                    // term is the identity under f64 ==).
-                    if av == 0.0 {
+                    // term is the identity under IEEE ==).
+                    if av == E::ZERO {
                         continue;
                     }
                     let brow = &b[p * n..(p + 1) * n];
@@ -672,9 +749,9 @@ impl Tensor {
     /// Cache-blocked over `j`/`p` (the attention-score kernel hits this with
     /// large `k = N·T` rows, where plain `ijp` order streams the whole of
     /// `other` through cache once per output row) and row-parallel above
-    /// [`PAR_FLOP_THRESHOLD`]. Each `(i,j)` cell accumulates its `p` terms in
-    /// ascending order across the `p`-blocks, so blocking and threading leave
-    /// the floating-point result bit-identical to the naive kernel.
+    /// [`PAR_FLOP_THRESHOLD`]. Per `(i,j)` cell the `p`-panel contributions
+    /// accumulate through [`Scalar::dot_from`] — ascending sequential order
+    /// for f64 (bitwise-pinned), an 8-lane register tile for f32.
     pub fn matmul_nt(&self, other: &Self) -> Self {
         assert_eq!(self.rank(), 2, "matmul_nt lhs must be 2-d");
         assert_eq!(other.rank(), 2, "matmul_nt rhs must be 2-d");
@@ -684,7 +761,7 @@ impl Tensor {
         out
     }
 
-    /// Accumulates `self · otherᵀ` into `out`; see [`Tensor::matmul_nt`].
+    /// Accumulates `self · otherᵀ` into `out`; see [`TensorBase::matmul_nt`].
     pub fn matmul_nt_into(&self, other: &Self, out: &mut Self) {
         assert_eq!(self.rank(), 2, "matmul_nt lhs must be 2-d");
         assert_eq!(other.rank(), 2, "matmul_nt rhs must be 2-d");
@@ -692,28 +769,25 @@ impl Tensor {
         let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_nt inner dims: {k} vs {k2}");
         assert_eq!(out.shape(), &[m, n], "matmul_nt_into output shape");
-        // Block sizes: JB rows of `other` (JB·PB·8 bytes ≈ 128 KiB) stay
-        // resident while a band of `self` rows streams against them.
+        // Block sizes: JB rows of `other` (JB·PB elements ≈ 128 KiB of f64,
+        // 64 KiB of f32) stay resident while a band of `self` rows streams
+        // against them.
         const JB: usize = 64;
         const PB: usize = 256;
         let a = &self.data;
         let b = &other.data;
-        let band = |i0: usize, orows: &mut [f64]| {
+        let band = |i0: usize, orows: &mut [E]| {
             let rows = orows.len() / n;
             for jb in (0..n).step_by(JB) {
                 let jhi = (jb + JB).min(n);
                 for pb in (0..k).step_by(PB) {
                     let phi = (pb + PB).min(k);
                     for di in 0..rows {
-                        let arow = &a[(i0 + di) * k..(i0 + di + 1) * k];
+                        let arow = &a[(i0 + di) * k + pb..(i0 + di) * k + phi];
                         let orow = &mut orows[di * n..(di + 1) * n];
                         for j in jb..jhi {
-                            let brow = &b[j * k..(j + 1) * k];
-                            let mut acc = orow[j];
-                            for p in pb..phi {
-                                acc += arow[p] * brow[p];
-                            }
-                            orow[j] = acc;
+                            let brow = &b[j * k + pb..j * k + phi];
+                            orow[j] = E::dot_from(orow[j], arow, brow);
                         }
                     }
                 }
@@ -731,8 +805,8 @@ impl Tensor {
     ///
     /// Output-row-parallel above [`PAR_FLOP_THRESHOLD`]; per cell the `p`
     /// terms accumulate in ascending order with the same zero-skip as the
-    /// serial kernel (see [`Tensor::matmul`] for why the skip is free), so
-    /// results are bitwise identical at any thread count.
+    /// serial kernel (see [`TensorBase::matmul`] for why the skip is free),
+    /// so results are bitwise identical at any thread count.
     pub fn matmul_tn(&self, other: &Self) -> Self {
         assert_eq!(self.rank(), 2, "matmul_tn lhs must be 2-d");
         assert_eq!(other.rank(), 2, "matmul_tn rhs must be 2-d");
@@ -742,7 +816,7 @@ impl Tensor {
         out
     }
 
-    /// Accumulates `selfᵀ · other` into `out`; see [`Tensor::matmul_tn`].
+    /// Accumulates `selfᵀ · other` into `out`; see [`TensorBase::matmul_tn`].
     pub fn matmul_tn_into(&self, other: &Self, out: &mut Self) {
         assert_eq!(self.rank(), 2, "matmul_tn lhs must be 2-d");
         assert_eq!(other.rank(), 2, "matmul_tn rhs must be 2-d");
@@ -752,12 +826,12 @@ impl Tensor {
         assert_eq!(out.shape(), &[m, n], "matmul_tn_into output shape");
         let a = &self.data;
         let b = &other.data;
-        let band = |i0: usize, orows: &mut [f64]| {
+        let band = |i0: usize, orows: &mut [E]| {
             for (di, orow) in orows.chunks_mut(n).enumerate() {
                 let i = i0 + di;
                 for p in 0..k {
                     let av = a[p * m + i];
-                    if av == 0.0 {
+                    if av == E::ZERO {
                         continue;
                     }
                     let brow = &b[p * n..(p + 1) * n];
@@ -790,15 +864,17 @@ impl Tensor {
         out
     }
 
-    /// Row-wise softmax of a 2-d tensor (numerically stabilised).
+    /// Row-wise softmax of a 2-d tensor (numerically stabilised). Row math
+    /// runs in the native element type — the f64 path is order-identical to
+    /// the historical kernel.
     pub fn softmax_rows(&self) -> Self {
         assert_eq!(self.rank(), 2, "softmax_rows requires a 2-d tensor");
         let (r, c) = (self.shape[0], self.shape[1]);
         let mut out = self.clone();
         for i in 0..r {
             let row = &mut out.data[i * c..(i + 1) * c];
-            let m = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let mut z = 0.0;
+            let m = row.iter().copied().fold(E::NEG_INFINITY, E::max);
+            let mut z = E::ZERO;
             for v in row.iter_mut() {
                 *v = (*v - m).exp();
                 z += *v;
@@ -983,5 +1059,52 @@ mod tests {
     fn into_data_returns_exact_elements() {
         let t = Tensor::from_slice(&[1.0, 2.0, 3.0]);
         assert_eq!(t.into_data(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn f32_tensors_roundtrip_through_f64() {
+        let t = TensorBase::<f32>::from_slice(&[1.5, -2.25, 0.0]);
+        assert_eq!(t.dtype(), crate::Dtype::F32);
+        let wide = t.to_f64_tensor();
+        assert_eq!(wide.data(), &[1.5, -2.25, 0.0]);
+        let back = TensorBase::<f32>::from_f64_tensor(&wide);
+        assert_eq!(back, t);
+        assert_eq!(t.to_f64_vec(), vec![1.5, -2.25, 0.0]);
+    }
+
+    #[test]
+    fn f64_to_f64_tensor_is_bitwise_copy() {
+        let t = Tensor::from_slice(&[0.1, 0.2, 1.0 / 3.0]);
+        let c = t.to_f64_tensor();
+        for (a, b) in t.data().iter().zip(c.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_matmul_family_matches_f64_within_tolerance() {
+        // The f32 kernels re-associate sums (8-lane dot); pin them against
+        // the f64 kernels on the same values instead of bitwise.
+        let n = 37; // not a multiple of the lane count
+        let vals: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 37 % 101) as f64 - 50.0) / 25.0)
+            .collect();
+        let a64 = Tensor::from_vec(vec![n, n], vals.clone()).unwrap();
+        let b64 =
+            Tensor::from_vec(vec![n, n], vals.iter().map(|v| v * 0.5 - 0.1).collect()).unwrap();
+        let a32 = TensorBase::<f32>::from_f64_tensor(&a64);
+        let b32 = TensorBase::<f32>::from_f64_tensor(&b64);
+        for (c64, c32) in [
+            (a64.matmul(&b64), a32.matmul(&b32)),
+            (a64.matmul_nt(&b64), a32.matmul_nt(&b32)),
+            (a64.matmul_tn(&b64), a32.matmul_tn(&b32)),
+        ] {
+            for (x, y) in c64.data().iter().zip(c32.data()) {
+                assert!(
+                    (x - y.to_f64()).abs() < 1e-2,
+                    "f32 kernel diverged: {x} vs {y}"
+                );
+            }
+        }
     }
 }

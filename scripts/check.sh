@@ -30,6 +30,12 @@ for threads in 1 2 4; do
     --test resume_determinism --test fault_injection
 done
 
+# Dtype gate: the f64 pipeline must reproduce the pre-generic-backend
+# golden bits, and f32 training must land discovery F1 within ±0.02 of
+# f64 — the test sweeps 1/2/4 worker threads internally.
+echo "== dtype equivalence gate (f64 goldens + f32 tolerance)"
+cargo test -q -p causalformer --test dtype_equivalence
+
 # Report smoke: a real discover run must produce a loadable trace, a
 # diagnostics stream, and an HTML dashboard containing every panel.
 # Two discover runs (1 and 2 threads) give the analyze/report compare
@@ -49,6 +55,13 @@ cargo run -q -p cf-cli --bin causalformer -- \
   --metrics-out "$smoke_dir/metrics.jsonl" \
   --trace-out "$smoke_dir/trace.json" \
   --diag-out "$smoke_dir/diag.cfdiag"
+# Single-precision leg: the same discover end-to-end at --dtype f32 must
+# run clean and emit a metrics stream.
+cargo run -q -p cf-cli --bin causalformer -- \
+  discover --input "$smoke_dir/fork.csv" --preset synthetic-sparse \
+  --window 8 --epochs 3 --seed 1 --quiet --threads 2 --dtype f32 \
+  --metrics-out "$smoke_dir/metrics-f32.jsonl"
+test -s "$smoke_dir/metrics-f32.jsonl"
 cargo run -q -p cf-cli --bin causalformer -- \
   report --metrics "$smoke_dir/metrics.jsonl" \
   --trace "$smoke_dir/trace-1t.json" --compare-trace "$smoke_dir/trace.json" \
@@ -75,8 +88,10 @@ cargo run -q -p cf-cli --bin causalformer -- \
   analyze --compare "$smoke_dir/trace-1t.json" "$smoke_dir/trace.json" \
   > "$smoke_dir/analyze-compare.md"
 grep -q "scaling attribution" "$smoke_dir/analyze-compare.md"
-cargo run -q -p cf-cli --bin causalformer -- \
-  bench-diff BENCH_PR4.json BENCH_PR4.json > "$smoke_dir/bench-diff.md"
-grep -q "OK: no cell regressed" "$smoke_dir/bench-diff.md"
+for base in BENCH_PR4.json BENCH_PR7.json; do
+  cargo run -q -p cf-cli --bin causalformer -- \
+    bench-diff "$base" "$base" > "$smoke_dir/bench-diff.md"
+  grep -q "OK: no cell regressed" "$smoke_dir/bench-diff.md"
+done
 
 echo "All checks passed."
