@@ -19,14 +19,17 @@
 //! allocations-per-epoch bound, or the process exits non-zero (CI's
 //! bench-smoke job runs this with `--smoke`).
 
+use causalformer::StreamOptions;
 use cf_bench::{
     init_metrics, maybe_dump_metrics, method_label, parse_options, run_cell, DatasetKind,
     MethodKind, Options,
 };
 use cf_data::lorenz96::{self, Lorenz96Config};
+use cf_store::{FsStorage, SeriesStore, SeriesWriter};
 use cf_tensor::Dtype;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 #[derive(serde::Serialize)]
@@ -125,11 +128,234 @@ struct Baseline {
     lorenz96_n20_discover: Vec<ThreadTiming>,
     lorenz96_n20_discover_f32: Vec<ThreadTiming>,
     steady_state: SteadyStateGate,
+    out_of_core: OutOfCoreCell,
     notes: &'static str,
 }
 
+/// Pinned peak-RSS budget for the out-of-core discover child process. The
+/// full (non-smoke) cell streams a series >10× this budget through the
+/// chunked store; blowing the budget means the streaming path regressed to
+/// materialising the series.
+const OOCORE_RSS_BUDGET_BYTES: u64 = 200 * 1024 * 1024;
+
+/// The out-of-core bench cell: `discover` over a chunked on-disk store,
+/// run in a child process so its peak RSS (`VmHWM`) is measured in
+/// isolation from the parent's allocations.
+#[derive(serde::Serialize)]
+struct OutOfCoreCell {
+    n_series: usize,
+    length: usize,
+    /// Size of the raw f64 matrix the store replaces.
+    raw_bytes: u64,
+    /// On-disk size of the chunked store (delta-varint encoded).
+    store_bytes: u64,
+    chunk_len: usize,
+    max_windows: usize,
+    generate_secs: f64,
+    discover_secs: f64,
+    /// Child peak RSS from `/proc/self/status` VmHWM; 0 on non-Linux
+    /// hosts, where the budget gate is skipped.
+    peak_rss_bytes: u64,
+    rss_budget_bytes: u64,
+    /// `raw_bytes / rss_budget_bytes` — how far out-of-core the cell is.
+    raw_over_budget: f64,
+    edges: usize,
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`), or 0
+/// where unavailable.
+fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+/// Hidden child mode: `--oocore-child STORE_DIR MAX_WINDOWS EPOCHS` runs
+/// the streaming discover and reports its own peak RSS on stdout. The
+/// parent spawns this so the RSS measurement excludes generation and the
+/// benchmark matrix.
+fn oocore_child(args: &[String]) -> i32 {
+    let [dir, max_windows, epochs] = args else {
+        eprintln!("--oocore-child requires STORE_DIR MAX_WINDOWS EPOCHS");
+        return 2;
+    };
+    let store = match SeriesStore::open_dir(dir.as_str()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("opening store {dir}: {e}");
+            return 1;
+        }
+    };
+    let n = store.manifest().n_series;
+    let mut cf = causalformer::presets::lorenz96(n);
+    cf.model.window = 8;
+    cf.train.stride = 2;
+    cf.train.max_epochs = epochs.parse().unwrap_or(2);
+    let opts = StreamOptions {
+        max_windows: max_windows.parse().unwrap_or(128),
+        read_ahead: 2,
+    };
+    let mut rng = StdRng::seed_from_u64(96);
+    match cf.discover_store(&mut rng, &store, &opts) {
+        Ok(result) => {
+            println!("OOCORE_EDGES={}", result.graph.edges().count());
+            println!("OOCORE_PEAK_RSS_BYTES={}", peak_rss_bytes());
+            0
+        }
+        Err(e) => {
+            eprintln!("streaming discover failed: {e}");
+            1
+        }
+    }
+}
+
+/// Generates a Lorenz-96 store (streaming — the matrix never exists in
+/// RAM), then runs the streaming discover in a child process and gates its
+/// peak RSS against [`OOCORE_RSS_BUDGET_BYTES`]. Exits non-zero on any
+/// failure or budget violation.
+fn run_oocore_cell(smoke: bool) -> OutOfCoreCell {
+    // Full mode: 16 series × 20M steps = 2.56 GB raw, 12.8× the 200 MB
+    // budget. Smoke keeps the exact same machinery at CI-friendly size.
+    let (n, length, chunk_len, max_windows, epochs) = if smoke {
+        (8usize, 100_000usize, 16_384usize, 64usize, 2usize)
+    } else {
+        (16, 20_000_000, 65_536, 128, 3)
+    };
+    let raw_bytes = (n * length * 8) as u64;
+    let dir = std::env::temp_dir().join(format!("cf_oocore_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "out-of-core cell: generating lorenz96 n={n} length={length} \
+         ({:.2} GB raw) into {} …",
+        raw_bytes as f64 / 1e9,
+        dir.display()
+    );
+
+    let gen_started = Instant::now();
+    let config = Lorenz96Config {
+        n,
+        length,
+        forcing: 35.0,
+        ..Lorenz96Config::default()
+    };
+    let mut rng = StdRng::seed_from_u64(96);
+    let mut writer = SeriesWriter::new(
+        Arc::new(FsStorage::new(&dir)),
+        n,
+        n,
+        chunk_len,
+        "delta-varint",
+    )
+    .expect("store writer");
+    lorenz96::stream(&mut rng, config, |x| writer.append(x)).expect("store write");
+    writer.finish().expect("store finish");
+    let generate_secs = gen_started.elapsed().as_secs_f64();
+    let store_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("store dir")
+        .map(|e| e.expect("dir entry").metadata().map_or(0, |m| m.len()))
+        .sum();
+    eprintln!(
+        "out-of-core cell: store written in {generate_secs:.1}s, {:.2} GB on disk \
+         ({:.1}% of raw)",
+        store_bytes as f64 / 1e9,
+        100.0 * store_bytes as f64 / raw_bytes as f64
+    );
+
+    let exe = std::env::current_exe().expect("current exe");
+    let discover_started = Instant::now();
+    let out = std::process::Command::new(exe)
+        .args([
+            "--oocore-child",
+            &dir.to_string_lossy(),
+            &max_windows.to_string(),
+            &epochs.to_string(),
+        ])
+        .output()
+        .expect("spawn oocore child");
+    let discover_secs = discover_started.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    if !out.status.success() {
+        eprintln!(
+            "out-of-core discover child failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::process::exit(1);
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let field = |key: &str| -> u64 {
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(key)?.strip_prefix('=')?.trim().parse().ok())
+            .unwrap_or_else(|| panic!("child output missing {key}:\n{stdout}"))
+    };
+    let peak_rss = field("OOCORE_PEAK_RSS_BYTES");
+    let edges = field("OOCORE_EDGES") as usize;
+
+    println!(
+        "out-of-core lorenz96 n={n} length={length}: discover {discover_secs:.1}s, \
+         peak RSS {:.1} MB (budget {:.0} MB, raw series {:.1}× budget), {edges} edges",
+        peak_rss as f64 / 1e6,
+        OOCORE_RSS_BUDGET_BYTES as f64 / 1e6,
+        raw_bytes as f64 / OOCORE_RSS_BUDGET_BYTES as f64
+    );
+    if peak_rss == 0 {
+        eprintln!("peak RSS unavailable on this platform — budget gate skipped");
+    } else if peak_rss > OOCORE_RSS_BUDGET_BYTES {
+        eprintln!(
+            "out-of-core RSS regression: peak {peak_rss} bytes exceeds the pinned \
+             budget of {OOCORE_RSS_BUDGET_BYTES} bytes — the streaming path is \
+             materialising the series"
+        );
+        std::process::exit(1);
+    }
+
+    OutOfCoreCell {
+        n_series: n,
+        length,
+        raw_bytes,
+        store_bytes,
+        chunk_len,
+        max_windows,
+        generate_secs,
+        discover_secs,
+        peak_rss_bytes: peak_rss,
+        rss_budget_bytes: OOCORE_RSS_BUDGET_BYTES,
+        raw_over_budget: raw_bytes as f64 / OOCORE_RSS_BUDGET_BYTES as f64,
+        edges,
+    }
+}
+
 fn main() {
-    let options = parse_options(std::env::args().skip(1));
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
+    if raw_args.first().map(String::as_str) == Some("--oocore-child") {
+        std::process::exit(oocore_child(&raw_args[1..]));
+    }
+    // `--oocore-only` runs just the out-of-core cell and its RSS gate —
+    // the fast path for scripts/check.sh and ad-hoc memory verification.
+    let oocore_only = raw_args.iter().any(|a| a == "--oocore-only");
+    let options = parse_options(raw_args.into_iter().filter(|a| a != "--oocore-only"));
+    if oocore_only {
+        run_oocore_cell(options.smoke);
+        return;
+    }
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let thread_counts = if options.smoke {
         vec![1usize, 2]
@@ -417,6 +643,25 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Out-of-core cell: streaming discover over a chunked store in a
+    // child process, with a hard peak-RSS budget. Also appended to the
+    // cell matrix (1-thread, no pool counters — they belong to the child)
+    // so `bench-diff` tracks its wall time across baselines.
+    let out_of_core = run_oocore_cell(options.smoke);
+    cells.push(CellTiming {
+        method: "CausalFormer-oocore".into(),
+        dataset: "Lorenz96".into(),
+        f1_mean: None,
+        wall_secs: vec![ThreadTiming {
+            threads: 1,
+            secs: out_of_core.discover_secs,
+            alloc_count: 0,
+            pool_hits: 0,
+            pool_misses: 0,
+            oversubscribed: false,
+        }],
+    });
+
     // Output guard: a benchmark that emits NaN/Inf (a silently diverged
     // model or a broken timer) must fail loudly — CI treats a non-zero
     // exit as a rotten perf binary.
@@ -470,6 +715,7 @@ fn main() {
             allocs_per_epoch: alloc_per_epoch,
             bound: STEADY_ALLOC_PER_EPOCH_BOUND,
         },
+        out_of_core,
         notes: "wall times are single-run; outputs are bitwise identical \
                 across thread counts, so only timing varies. Speedups above \
                 1 thread require host_cores > 1; timings with \
@@ -480,7 +726,10 @@ fn main() {
                 cells appear twice, once per compute precision: \
                 'CausalFormer' is the bitwise-reproducible f64 path, \
                 'CausalFormer-f32' the single-precision backend; \
-                f32_speedup_1t summarises their 1-thread ratio.",
+                f32_speedup_1t summarises their 1-thread ratio. \
+                'CausalFormer-oocore' streams a chunked on-disk store \
+                through discover in a child process whose peak RSS is \
+                gated by out_of_core.rss_budget_bytes.",
     };
     let json = serde_json::to_string_pretty(&baseline).expect("serializable");
     match &options.json_out {

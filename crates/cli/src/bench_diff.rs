@@ -561,7 +561,12 @@ mod tests {
         // Every committed baseline must self-compare with zero
         // regressions; BENCH_PR4 (host_cores 1 with 4T cells) must also
         // carry the oversubscription warning.
-        for name in ["BENCH_PR4.json", "BENCH_PR7.json"] {
+        for name in [
+            "BENCH_PR4.json",
+            "BENCH_PR7.json",
+            "BENCH_PR8.json",
+            "BENCH_CI.json",
+        ] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
             if !std::path::Path::new(&path).exists() {
                 continue;
@@ -605,6 +610,29 @@ mod tests {
             rows.iter().all(|r| r["base_allocs"].as_u64().is_some()),
             "every PR7 cell carries pool counters: {out}"
         );
+    }
+
+    #[test]
+    fn bench_pr8_out_of_core_cell_is_under_budget() {
+        // The PR8 baseline must prove the out-of-core contract: the raw
+        // series at least 10× the RSS budget, the recorded peak RSS under
+        // it, and the cell present as a diffable wall-time entry.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
+        if !std::path::Path::new(path).exists() {
+            return;
+        }
+        let text = std::fs::read_to_string(path).unwrap();
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let oo = &v["out_of_core"];
+        let peak = oo["peak_rss_bytes"].as_u64().unwrap();
+        let budget = oo["rss_budget_bytes"].as_u64().unwrap();
+        assert!(peak > 0 && peak < budget, "peak {peak} vs budget {budget}");
+        assert!(
+            oo["raw_over_budget"].as_f64().unwrap() >= 10.0,
+            "raw series must dwarf the RSS budget: {oo}"
+        );
+        let cells = load_bench(path).unwrap();
+        assert!(cells.keys().any(|(m, _, _)| m == "CausalFormer-oocore"));
     }
 
     #[test]

@@ -29,13 +29,18 @@ pub use analyze::{run_analyze, AnalyzeArgs};
 pub use bench_diff::{run_bench_diff, BenchDiffArgs};
 pub use report::{run_report, ReportArgs};
 
-use causalformer::{diag, persist, presets, trainer, CausalFormer, CheckpointConfig, Dtype};
+use causalformer::{
+    diag, effective_stride, persist, presets, trainer, CausalFormer, CheckpointConfig, Dtype,
+    StreamOptions,
+};
 use cf_data::{io as csv_io, lorenz96, synthetic, window};
 use cf_metrics::graph_dot_plain;
-use cf_tensor::TensorBase;
+use cf_store::{FsStorage, SeriesStore, SeriesWriter};
+use cf_tensor::{Tensor, TensorBase};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::sync::Arc;
 
 /// CLI errors with user-facing messages.
 #[derive(Debug)]
@@ -62,13 +67,16 @@ pub const USAGE: &str = "\
 causalformer — temporal causal discovery (CausalFormer, ICDE 2025)
 
 usage:
-  causalformer discover --input FILE.csv [--preset NAME] [--window T]
-                        [--epochs E] [--seed S] [--threads N] [--dtype D]
+  causalformer discover (--input FILE.csv | --store DIR) [--preset NAME]
+                        [--window T] [--epochs E] [--seed S] [--threads N]
+                        [--dtype D] [--max-windows N] [--read-ahead N]
                         [--dot FILE] [--save FILE] [--metrics-out FILE.jsonl]
                         [--trace-out FILE.json] [--diag-out FILE.cfdiag]
                         [--checkpoint-dir DIR] [--checkpoint-every N]
                         [--resume] [--log-level LEVEL] [--quiet]
-  causalformer generate --dataset NAME [--length L] [--seed S] --output FILE.csv
+  causalformer generate --dataset NAME [--length L] [--seed S]
+                        (--output FILE.csv | --store-out DIR)
+                        [--chunk-len N] [--codec NAME]
   causalformer report   --out FILE.html [--metrics FILE.jsonl]
                         [--trace FILE.json] [--compare-trace FILE.json]
                         [--diag FILE.cfdiag]
@@ -78,6 +86,14 @@ usage:
   causalformer bench-diff BASELINE.json NEW.json [--threshold R] [--json]
 
 discover options:
+  --store DIR          read the series from a chunked cf-store directory
+                       (written by generate --store-out) instead of a CSV;
+                       windows stream chunk-by-chunk, so peak memory is set
+                       by --max-windows, not the series length
+  --max-windows N      window budget for --store (default 4096); when the
+                       natural window count exceeds it, the stride widens
+                       deterministically to N evenly spaced windows
+  --read-ahead N       chunk read-ahead for --store streaming (default 2)
   --preset NAME        synthetic-dense | synthetic-sparse | lorenz | fmri | sst
                        (default: fmri — the most general setting)
   --window T           observation window override
@@ -91,7 +107,8 @@ discover options:
                        reductions; results may differ in the last bits,
                        discovered graphs agree in practice)
   --dot FILE           write the discovered graph as Graphviz DOT
-  --save FILE          write the trained model checkpoint (JSON)
+  --save FILE          write the trained model (.json — readable JSON;
+                       .cft — compact CFTENS1 binary at the run's dtype)
   --metrics-out FILE   write JSONL telemetry (stage timings, per-epoch
                        records, tape op profile, discovery summary)
   --trace-out FILE     write a Chrome trace_event JSON timeline (load it
@@ -113,6 +130,12 @@ generate options:
   --dataset NAME  diamond | mediator | v-structure | fork | lorenz96
   --length L      series length (default 600)
   --seed S        RNG seed (default 0)
+  --store-out DIR write a chunked, checksummed cf-store instead of (or in
+                  addition to) the CSV; lorenz96 streams straight into the
+                  chunks, so --length can far exceed RAM
+  --chunk-len N   store chunk length in time steps (default 65536)
+  --codec NAME    store chunk codec: raw | delta | delta-varint
+                  (default delta-varint)
 
 report options:
   --out FILE      HTML output path (required)
@@ -148,8 +171,14 @@ bench-diff options:
 /// Parsed `discover` arguments.
 #[derive(Debug, Clone)]
 pub struct DiscoverArgs {
-    /// Input CSV path.
+    /// Input CSV path (empty when reading from `store`).
     pub input: String,
+    /// Chunked series-store directory to stream from instead of a CSV.
+    pub store: Option<String>,
+    /// Window budget for store streaming (`StreamOptions::max_windows`).
+    pub max_windows: Option<usize>,
+    /// Chunk read-ahead for store streaming (`StreamOptions::read_ahead`).
+    pub read_ahead: Option<usize>,
     /// Preset name.
     pub preset: String,
     /// Window override.
@@ -193,11 +222,20 @@ pub struct GenerateArgs {
     pub length: usize,
     /// RNG seed.
     pub seed: u64,
-    /// Output CSV path.
+    /// Output CSV path (empty when only `store_out` is requested).
     pub output: String,
+    /// Chunked series-store output directory.
+    pub store_out: Option<String>,
+    /// Store chunk length in time steps.
+    pub chunk_len: usize,
+    /// Store chunk codec name.
+    pub codec: String,
 }
 
 /// A parsed command.
+// One instance exists per process invocation, so the size spread between
+// `Discover` and the flag-less variants is irrelevant — not worth boxing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Command {
     /// `discover` subcommand.
@@ -227,6 +265,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "discover" => {
             let mut a = DiscoverArgs {
                 input: String::new(),
+                store: None,
+                max_windows: None,
+                read_ahead: None,
                 preset: "fmri".into(),
                 window: None,
                 epochs: None,
@@ -263,6 +304,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))?;
                 match flag {
                     "--input" => a.input = value.clone(),
+                    "--store" => a.store = Some(value.clone()),
+                    "--max-windows" => {
+                        let n: usize = parse_num(flag, value)?;
+                        if n == 0 {
+                            return Err(CliError::Usage("--max-windows must be at least 1".into()));
+                        }
+                        a.max_windows = Some(n);
+                    }
+                    "--read-ahead" => a.read_ahead = Some(parse_num(flag, value)?),
                     "--preset" => a.preset = value.clone(),
                     "--window" => {
                         a.window = Some(parse_num(flag, value)?);
@@ -301,8 +351,20 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
                 i += 2;
             }
-            if a.input.is_empty() {
-                return Err(CliError::Usage("discover requires --input".into()));
+            if a.input.is_empty() && a.store.is_none() {
+                return Err(CliError::Usage(
+                    "discover requires --input or --store".into(),
+                ));
+            }
+            if !a.input.is_empty() && a.store.is_some() {
+                return Err(CliError::Usage(
+                    "--input and --store are mutually exclusive".into(),
+                ));
+            }
+            if a.store.is_none() && (a.max_windows.is_some() || a.read_ahead.is_some()) {
+                return Err(CliError::Usage(
+                    "--max-windows / --read-ahead require --store".into(),
+                ));
             }
             if a.checkpoint_dir.is_none() && (a.resume || a.checkpoint_every.is_some()) {
                 return Err(CliError::Usage(
@@ -317,6 +379,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 length: 600,
                 seed: 0,
                 output: String::new(),
+                store_out: None,
+                chunk_len: 65536,
+                codec: "delta-varint".into(),
             };
             let mut i = 0;
             while i < rest.len() {
@@ -329,13 +394,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--length" => a.length = parse_num(flag, value)?,
                     "--seed" => a.seed = parse_num::<u64>(flag, value)?,
                     "--output" => a.output = value.clone(),
+                    "--store-out" => a.store_out = Some(value.clone()),
+                    "--chunk-len" => {
+                        let n: usize = parse_num(flag, value)?;
+                        if n == 0 {
+                            return Err(CliError::Usage("--chunk-len must be at least 1".into()));
+                        }
+                        a.chunk_len = n;
+                    }
+                    "--codec" => a.codec = value.clone(),
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
                 i += 2;
             }
-            if a.dataset.is_empty() || a.output.is_empty() {
+            if a.dataset.is_empty() || (a.output.is_empty() && a.store_out.is_none()) {
                 return Err(CliError::Usage(
-                    "generate requires --dataset and --output".into(),
+                    "generate requires --dataset and one of --output / --store-out".into(),
                 ));
             }
             Ok(Command::Generate(a))
@@ -553,11 +627,32 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
             .map_err(|e| CliError::Run(format!("opening {path}: {e}")))?;
     }
     let started = std::time::Instant::now();
-    let parsed = csv_io::read_series_csv_file(&a.input)
-        .map_err(|e| CliError::Run(format!("reading {}: {e}", a.input)))?;
-    let n = parsed.series.shape()[0];
-    let len = parsed.series.shape()[1];
-    let names = parsed.names.clone();
+    let store = match &a.store {
+        Some(dir) => Some(
+            SeriesStore::open_dir(dir)
+                .map_err(|e| CliError::Run(format!("opening store {dir}: {e}")))?,
+        ),
+        None => None,
+    };
+    let (series, names): (Option<Tensor>, Vec<String>) = match &store {
+        Some(st) => (
+            None,
+            (1..=st.manifest().n_series)
+                .map(|i| format!("S{i}"))
+                .collect(),
+        ),
+        None => {
+            let parsed = csv_io::read_series_csv_file(&a.input)
+                .map_err(|e| CliError::Run(format!("reading {}: {e}", a.input)))?;
+            (Some(parsed.series), parsed.names)
+        }
+    };
+    let n = names.len();
+    let len = match (&store, &series) {
+        (Some(st), _) => st.manifest().length,
+        (None, Some(s)) => s.shape()[1],
+        _ => unreachable!("exactly one series source"),
+    };
 
     let mut cf = preset_by_name(&a.preset, n)?;
     cf.train.dtype = a.dtype;
@@ -574,14 +669,37 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
         )));
     }
 
+    let stream_opts = {
+        let mut o = StreamOptions::default();
+        if let Some(m) = a.max_windows {
+            o.max_windows = m;
+        }
+        if let Some(r) = a.read_ahead {
+            o.read_ahead = r;
+        }
+        o
+    };
     let mut rng = StdRng::seed_from_u64(a.seed);
-    let result = match &a.checkpoint_dir {
-        Some(dir) => {
+    let result = match (&store, &a.checkpoint_dir) {
+        (Some(st), Some(dir)) => {
             let ckpt = CheckpointConfig::new(dir).every(a.checkpoint_every.unwrap_or(1));
-            cf.discover_resumable(&mut rng, &parsed.series, ckpt, a.resume)
+            cf.discover_store_resumable(&mut rng, st, &stream_opts, ckpt, a.resume)
                 .map_err(|e| CliError::Run(format!("resumable discovery: {e}")))?
         }
-        None => cf.discover(&mut rng, &parsed.series),
+        (Some(st), None) => cf
+            .discover_store(&mut rng, st, &stream_opts)
+            .map_err(|e| CliError::Run(format!("streaming discovery: {e}")))?,
+        (None, Some(dir)) => {
+            let ckpt = CheckpointConfig::new(dir).every(a.checkpoint_every.unwrap_or(1));
+            cf.discover_resumable(
+                &mut rng,
+                series.as_ref().expect("csv source"),
+                ckpt,
+                a.resume,
+            )
+            .map_err(|e| CliError::Run(format!("resumable discovery: {e}")))?
+        }
+        (None, None) => cf.discover(&mut rng, series.as_ref().expect("csv source")),
     };
 
     let mut out = String::new();
@@ -602,10 +720,26 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
     if let Some(path) = &a.save {
         // Retrain once more is wasteful; instead persist by re-running the
         // training stage through the public API, at the run's dtype so the
-        // saved parameters match what `discover` trained (the on-disk form
-        // is always f64 — f32 widens losslessly).
-        let std_series = window::standardize(&parsed.series);
-        let windows = window::windows(&std_series, cf.model.window, cf.train.stride);
+        // saved parameters match what `discover` trained (`.json` stores
+        // f64; `.cft` stores the native dtype).
+        let windows = match (&store, &series) {
+            (Some(st), _) => {
+                let stride = effective_stride(
+                    st.manifest().length,
+                    cf.model.window,
+                    cf.train.stride,
+                    stream_opts.max_windows,
+                );
+                st.standardized_windows(cf.model.window, stride, stream_opts.read_ahead)
+                    .and_then(|scan| scan.collect::<Result<Vec<Tensor>, _>>())
+                    .map_err(|e| CliError::Run(format!("streaming windows: {e}")))?
+            }
+            (None, Some(s)) => {
+                let std_series = window::standardize(s);
+                window::windows(&std_series, cf.model.window, cf.train.stride)
+            }
+            _ => unreachable!("exactly one series source"),
+        };
         let mut rng2 = StdRng::seed_from_u64(a.seed);
         let saved = match a.dtype {
             Dtype::F64 => {
@@ -628,7 +762,7 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
             &cf_obs::json::Obj::new()
                 .str("event", "discovery")
                 .f64("ts", cf_obs::unix_time())
-                .str("input", &a.input)
+                .str("input", a.store.as_deref().unwrap_or(a.input.as_str()))
                 .str("preset", &a.preset)
                 .u64("seed", a.seed)
                 .u64("n_series", n as u64)
@@ -668,6 +802,47 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
 /// Executes `generate`, returning the report string.
 pub fn run_generate(a: &GenerateArgs) -> Result<String, CliError> {
     let mut rng = StdRng::seed_from_u64(a.seed);
+
+    // Pure store output of lorenz96 streams sample-by-sample into the
+    // chunked store — the N×L matrix is never materialised, so --length
+    // can exceed RAM by orders of magnitude. (With --output too, the CSV
+    // needs the matrix anyway, so the in-RAM path below handles both.)
+    if let (Some(dir), "lorenz96", true) = (&a.store_out, a.dataset.as_str(), a.output.is_empty()) {
+        // Mirrors lorenz96::generate_random_forcing — forcing first, then
+        // the trajectory — so the samples are bitwise those of the in-RAM
+        // path on the same seed.
+        let forcing = rng.gen_range(30.0..=40.0);
+        let config = lorenz96::Lorenz96Config {
+            n: 10,
+            length: a.length,
+            forcing,
+            ..lorenz96::Lorenz96Config::default()
+        };
+        let mut writer = SeriesWriter::new(
+            Arc::new(FsStorage::new(dir)),
+            config.n,
+            config.n,
+            a.chunk_len,
+            &a.codec,
+        )
+        .map_err(|e| CliError::Run(format!("creating store {dir}: {e}")))?;
+        lorenz96::stream(&mut rng, config, |x| writer.append(x))
+            .map_err(|e| CliError::Run(format!("writing store {dir}: {e}")))?;
+        let manifest = writer
+            .finish()
+            .map_err(|e| CliError::Run(format!("finishing store {dir}: {e}")))?;
+        return Ok(format!(
+            "wrote store {dir} ({} series × {} slots, {}×{} chunk grid, codec {}); \
+             ground truth: {}\n",
+            manifest.n_series,
+            manifest.length,
+            manifest.v_blocks(),
+            manifest.t_blocks(),
+            manifest.codec,
+            lorenz96::truth(config.n)
+        ));
+    }
+
     let dataset = match a.dataset.as_str() {
         "diamond" => synthetic::generate(&mut rng, synthetic::Structure::Diamond, a.length),
         "mediator" => synthetic::generate(&mut rng, synthetic::Structure::Mediator, a.length),
@@ -683,18 +858,49 @@ pub fn run_generate(a: &GenerateArgs) -> Result<String, CliError> {
     let names: Vec<String> = (1..=dataset.num_series())
         .map(|i| format!("S{i}"))
         .collect();
-    let mut buf = Vec::new();
-    csv_io::write_series_csv(&mut buf, &dataset.series, &names)
-        .map_err(|e| CliError::Run(format!("serialising CSV: {e}")))?;
-    std::fs::write(&a.output, buf)
-        .map_err(|e| CliError::Run(format!("writing {}: {e}", a.output)))?;
-    Ok(format!(
-        "wrote {} ({} series × {} slots); ground truth: {}\n",
-        a.output,
-        dataset.num_series(),
-        dataset.len(),
-        dataset.truth
-    ))
+    let mut out = String::new();
+    if !a.output.is_empty() {
+        let mut buf = Vec::new();
+        csv_io::write_series_csv(&mut buf, &dataset.series, &names)
+            .map_err(|e| CliError::Run(format!("serialising CSV: {e}")))?;
+        std::fs::write(&a.output, buf)
+            .map_err(|e| CliError::Run(format!("writing {}: {e}", a.output)))?;
+        out.push_str(&format!(
+            "wrote {} ({} series × {} slots); ground truth: {}\n",
+            a.output,
+            dataset.num_series(),
+            dataset.len(),
+            dataset.truth
+        ));
+    }
+    if let Some(dir) = &a.store_out {
+        let (n, l) = (dataset.num_series(), dataset.len());
+        let mut writer =
+            SeriesWriter::new(Arc::new(FsStorage::new(dir)), n, n, a.chunk_len, &a.codec)
+                .map_err(|e| CliError::Run(format!("creating store {dir}: {e}")))?;
+        let data = dataset.series.data();
+        let mut sample = vec![0.0; n];
+        for t in 0..l {
+            for (i, s) in sample.iter_mut().enumerate() {
+                *s = data[i * l + t];
+            }
+            writer
+                .append(&sample)
+                .map_err(|e| CliError::Run(format!("writing store {dir}: {e}")))?;
+        }
+        let manifest = writer
+            .finish()
+            .map_err(|e| CliError::Run(format!("finishing store {dir}: {e}")))?;
+        out.push_str(&format!(
+            "wrote store {dir} ({n} series × {l} slots, {}×{} chunk grid, codec {}); \
+             ground truth: {}\n",
+            manifest.v_blocks(),
+            manifest.t_blocks(),
+            manifest.codec,
+            dataset.truth
+        ));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -861,6 +1067,9 @@ mod tests {
             length: 200,
             seed: 1,
             output: csv_path.to_string_lossy().into_owned(),
+            store_out: None,
+            chunk_len: 65536,
+            codec: "delta-varint".into(),
         };
         let report = run_generate(&gen).unwrap();
         assert!(report.contains("3 series"));
@@ -868,6 +1077,9 @@ mod tests {
         let metrics_path = dir.join("cf_cli_test_fork.jsonl");
         let disc = DiscoverArgs {
             input: csv_path.to_string_lossy().into_owned(),
+            store: None,
+            max_windows: None,
+            read_ahead: None,
             preset: "synthetic-sparse".into(),
             window: Some(8),
             epochs: Some(3),
@@ -921,12 +1133,183 @@ mod tests {
     }
 
     #[test]
+    fn parses_store_flags_and_their_constraints() {
+        let cmd = parse(&s(&[
+            "discover",
+            "--store",
+            "data.cfstore",
+            "--max-windows",
+            "128",
+            "--read-ahead",
+            "3",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Discover(a) => {
+                assert!(a.input.is_empty());
+                assert_eq!(a.store.as_deref(), Some("data.cfstore"));
+                assert_eq!(a.max_windows, Some(128));
+                assert_eq!(a.read_ahead, Some(3));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // --input and --store are mutually exclusive; streaming knobs
+        // require --store.
+        assert!(matches!(
+            parse(&s(&["discover", "--input", "x.csv", "--store", "d"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&s(&["discover", "--input", "x.csv", "--max-windows", "9"])),
+            Err(CliError::Usage(_))
+        ));
+
+        let cmd = parse(&s(&[
+            "generate",
+            "--dataset",
+            "lorenz96",
+            "--store-out",
+            "d.cfstore",
+            "--chunk-len",
+            "512",
+            "--codec",
+            "delta",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Generate(a) => {
+                assert!(a.output.is_empty());
+                assert_eq!(a.store_out.as_deref(), Some("d.cfstore"));
+                assert_eq!(a.chunk_len, 512);
+                assert_eq!(a.codec, "delta");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Neither output nor store-out → usage error.
+        assert!(matches!(
+            parse(&s(&["generate", "--dataset", "fork"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn generate_store_then_discover_store_end_to_end() {
+        let dir = std::env::temp_dir();
+        let store_dir = dir.join(format!("cf_cli_test_store_{}", std::process::id()));
+        let csv_path = dir.join(format!("cf_cli_test_store_{}.csv", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store_dir);
+
+        // Write the same fork dataset as CSV *and* chunked store…
+        let report = run_generate(&GenerateArgs {
+            dataset: "fork".into(),
+            length: 200,
+            seed: 3,
+            output: csv_path.to_string_lossy().into_owned(),
+            store_out: Some(store_dir.to_string_lossy().into_owned()),
+            chunk_len: 64, // ragged tail: 200 = 3×64 + 8
+            codec: "delta-varint".into(),
+        })
+        .unwrap();
+        assert!(report.contains("wrote store"), "{report}");
+        assert!(store_dir.join("manifest.json").exists());
+
+        // …and check discovery from either source prints the same graph.
+        let base = DiscoverArgs {
+            input: String::new(),
+            store: None,
+            max_windows: None,
+            read_ahead: None,
+            preset: "synthetic-sparse".into(),
+            window: Some(8),
+            epochs: Some(3),
+            seed: 3,
+            threads: None,
+            dtype: Dtype::F64,
+            dot: None,
+            save: None,
+            metrics_out: None,
+            trace_out: None,
+            diag_out: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            resume: false,
+            log_level: None,
+            quiet: true,
+        };
+        let from_csv = run_discover(&DiscoverArgs {
+            input: csv_path.to_string_lossy().into_owned(),
+            ..base.clone()
+        })
+        .unwrap();
+        let from_store = run_discover(&DiscoverArgs {
+            store: Some(store_dir.to_string_lossy().into_owned()),
+            ..base
+        })
+        .unwrap();
+        assert_eq!(from_csv, from_store, "store and CSV discovery disagree");
+
+        std::fs::remove_file(&csv_path).ok();
+        std::fs::remove_dir_all(&store_dir).ok();
+    }
+
+    #[test]
+    fn lorenz96_streaming_store_matches_in_ram_generate() {
+        let dir = std::env::temp_dir();
+        let streamed_dir = dir.join(format!("cf_cli_test_l96s_{}", std::process::id()));
+        let in_ram_dir = dir.join(format!("cf_cli_test_l96r_{}", std::process::id()));
+        let csv_path = dir.join(format!("cf_cli_test_l96_{}.csv", std::process::id()));
+        let _ = std::fs::remove_dir_all(&streamed_dir);
+        let _ = std::fs::remove_dir_all(&in_ram_dir);
+
+        // Store-only lorenz96 takes the streaming path…
+        run_generate(&GenerateArgs {
+            dataset: "lorenz96".into(),
+            length: 300,
+            seed: 5,
+            output: String::new(),
+            store_out: Some(streamed_dir.to_string_lossy().into_owned()),
+            chunk_len: 128,
+            codec: "delta-varint".into(),
+        })
+        .unwrap();
+        // …CSV+store takes the in-RAM path; both stores must hold the
+        // bitwise-identical trajectory.
+        run_generate(&GenerateArgs {
+            dataset: "lorenz96".into(),
+            length: 300,
+            seed: 5,
+            output: csv_path.to_string_lossy().into_owned(),
+            store_out: Some(in_ram_dir.to_string_lossy().into_owned()),
+            chunk_len: 128,
+            codec: "delta-varint".into(),
+        })
+        .unwrap();
+
+        let a = SeriesStore::open_dir(&streamed_dir)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        let b = SeriesStore::open_dir(&in_ram_dir)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(a, b, "streaming and in-RAM lorenz96 trajectories differ");
+
+        std::fs::remove_file(&csv_path).ok();
+        std::fs::remove_dir_all(&streamed_dir).ok();
+        std::fs::remove_dir_all(&in_ram_dir).ok();
+    }
+
+    #[test]
     fn discover_rejects_oversized_window() {
         let dir = std::env::temp_dir();
         let csv_path = dir.join("cf_cli_test_short.csv");
         std::fs::write(&csv_path, "1,2\n3,4\n5,6\n").unwrap();
         let disc = DiscoverArgs {
             input: csv_path.to_string_lossy().into_owned(),
+            store: None,
+            max_windows: None,
+            read_ahead: None,
             preset: "fmri".into(),
             window: Some(100),
             epochs: Some(1),
@@ -959,11 +1342,17 @@ mod tests {
             length: 200,
             seed: 2,
             output: csv_path.to_string_lossy().into_owned(),
+            store_out: None,
+            chunk_len: 65536,
+            codec: "delta-varint".into(),
         })
         .unwrap();
 
         let mut disc = DiscoverArgs {
             input: csv_path.to_string_lossy().into_owned(),
+            store: None,
+            max_windows: None,
+            read_ahead: None,
             preset: "synthetic-sparse".into(),
             window: Some(8),
             epochs: Some(3),

@@ -32,6 +32,9 @@ fn discover_artifacts_render_into_report() {
         length: 200,
         seed: 3,
         output: csv.to_string_lossy().into_owned(),
+        store_out: None,
+        chunk_len: 65536,
+        codec: "delta-varint".into(),
     })
     .unwrap();
 
@@ -39,6 +42,9 @@ fn discover_artifacts_render_into_report() {
     // baseline for scaling attribution.
     run_discover(&DiscoverArgs {
         input: csv.to_string_lossy().into_owned(),
+        store: None,
+        max_windows: None,
+        read_ahead: None,
         preset: "synthetic-sparse".into(),
         window: Some(8),
         epochs: Some(3),
@@ -60,6 +66,9 @@ fn discover_artifacts_render_into_report() {
 
     let report = run_discover(&DiscoverArgs {
         input: csv.to_string_lossy().into_owned(),
+        store: None,
+        max_windows: None,
+        read_ahead: None,
         preset: "synthetic-sparse".into(),
         window: Some(8),
         epochs: Some(3),

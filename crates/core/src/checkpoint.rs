@@ -9,12 +9,20 @@
 //! ## On-disk format
 //!
 //! One file per checkpoint, `ckpt-NNNNNN.cfck` (NNNNNN = epochs completed),
-//! holding a one-line envelope header followed by a JSON payload:
+//! holding a one-line envelope header followed by a binary CFTENS1 payload
+//! (see `cf_store::tensors`):
 //!
 //! ```text
 //! CFCKPT1 len=<payload bytes> fnv1a64=<16 hex digits>\n
-//! {"format_version":1, ...}
+//! CFTENS1\n<header_len><JSON header><raw little-endian tensors>
 //! ```
+//!
+//! The scalar training state (epoch counters, Adam step, early-stopping
+//! counters, config) lives in the CFTENS1 `meta` JSON string; every array
+//! (parameters, best-epoch snapshot, Adam moments, RNG words, shuffle
+//! order, loss history) is a named tensor section read back with a bulk
+//! copy instead of per-element JSON parsing. Format versions ≤ 2 used a
+//! JSON payload and are rejected with a clear [`CheckpointError::Mismatch`].
 //!
 //! The checksum turns silent corruption (torn writes, bad disks) into a
 //! loud [`CheckpointError::Corrupt`]; [`load_latest`] then falls back to
@@ -24,6 +32,7 @@
 //! [`CheckpointConfig::keep`] files.
 
 use crate::persist::{SavedConfig, SavedParam};
+use cf_store::{TensorFile, TensorFileBuilder};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs;
@@ -33,8 +42,9 @@ use std::path::{Path, PathBuf};
 /// Version stamp embedded in every checkpoint payload. Version 2 added the
 /// `dtype` tag: a checkpoint is a bitwise continuation of one precision's
 /// trajectory, so resume refuses to cross dtypes (or read v1 files, which
-/// predate the tag).
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
+/// predate the tag). Version 3 moved the payload from JSON to the binary
+/// CFTENS1 envelope — earlier versions are rejected on load.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 3;
 
 /// File extension of checkpoint files.
 pub const CHECKPOINT_EXTENSION: &str = "cfck";
@@ -216,6 +226,171 @@ pub(crate) struct SavedCheckpoint {
     pub(crate) grad_norms: Vec<f64>,
 }
 
+/// The scalar half of a v3 checkpoint, serialised as the CFTENS1 `meta`
+/// JSON string. Floating-point scalars that may be non-finite
+/// (`stopper_best` starts at `+∞`) live in the `scalars` tensor section
+/// instead, where the raw-bits encoding is exact by construction.
+#[derive(Serialize, Deserialize)]
+struct MetaV3 {
+    format_version: u32,
+    dtype: String,
+    config: SavedConfig,
+    n_windows: usize,
+    batch_size: usize,
+    next_epoch: usize,
+    step: u64,
+    retries: u64,
+    adam_t: u64,
+    stopper_best_epoch: usize,
+    stopper_epochs_seen: usize,
+    stopper_stale: usize,
+    param_names: Vec<String>,
+}
+
+/// Encodes the full training state as a CFTENS1 document.
+fn encode_payload(saved: &SavedCheckpoint) -> Result<Vec<u8>, String> {
+    let meta = MetaV3 {
+        format_version: saved.format_version,
+        dtype: saved.dtype.clone(),
+        config: saved.config.clone(),
+        n_windows: saved.n_windows,
+        batch_size: saved.batch_size,
+        next_epoch: saved.next_epoch,
+        step: saved.step,
+        retries: saved.retries,
+        adam_t: saved.adam_t,
+        stopper_best_epoch: saved.stopper_best_epoch,
+        stopper_epochs_seen: saved.stopper_epochs_seen,
+        stopper_stale: saved.stopper_stale,
+        param_names: saved.params.iter().map(|p| p.name.clone()).collect(),
+    };
+    let meta_json = serde_json::to_string(&meta).map_err(|e| format!("meta encoding: {e}"))?;
+    let mut b = TensorFileBuilder::new().meta(meta_json);
+    for (i, p) in saved.params.iter().enumerate() {
+        b.push_slice(&format!("param.{i}"), p.shape.clone(), &p.data);
+    }
+    for (i, p) in saved.best_params.iter().enumerate() {
+        b.push_slice(&format!("best.{i}"), p.shape.clone(), &p.data);
+    }
+    for (i, m) in saved.adam_m.iter().enumerate() {
+        if let Some(m) = m {
+            b.push_f64(&format!("adam_m.{i}"), m);
+        }
+    }
+    for (i, v) in saved.adam_v.iter().enumerate() {
+        if let Some(v) = v {
+            b.push_f64(&format!("adam_v.{i}"), v);
+        }
+    }
+    b.push_u64("rng", &saved.rng);
+    let order: Vec<u64> = saved.order.iter().map(|&o| o as u64).collect();
+    b.push_u64("order", &order);
+    b.push_f64("scalars", &[saved.adam_lr, saved.stopper_best]);
+    b.push_f64("train_losses", &saved.train_losses);
+    b.push_f64("val_losses", &saved.val_losses);
+    b.push_f64("epoch_wall_secs", &saved.epoch_wall_secs);
+    b.push_f64("grad_norms", &saved.grad_norms);
+    Ok(b.finish())
+}
+
+/// Decodes a CFTENS1 checkpoint payload back into the training state.
+fn decode_payload(path: &Path, payload: &[u8]) -> Result<SavedCheckpoint, CheckpointError> {
+    // Versions ≤ 2 stored JSON here; give those a version message rather
+    // than a baffling "bad magic".
+    if payload.first() == Some(&b'{') {
+        return Err(CheckpointError::Mismatch {
+            path: path.to_path_buf(),
+            detail: format!(
+                "legacy JSON checkpoint (format version ≤ 2); this build reads \
+                 version {CHECKPOINT_FORMAT_VERSION} (CFTENS1 payload)"
+            ),
+        });
+    }
+    let origin = path.display().to_string();
+    let file = TensorFile::parse(payload, &origin).map_err(|e| corrupt(path, e.to_string()))?;
+    let meta: MetaV3 = serde_json::from_str(file.meta())
+        .map_err(|e| corrupt(path, format!("checkpoint meta does not parse: {e}")))?;
+    if meta.format_version != CHECKPOINT_FORMAT_VERSION {
+        return Err(CheckpointError::Mismatch {
+            path: path.to_path_buf(),
+            detail: format!(
+                "format version {} unsupported (this build reads {CHECKPOINT_FORMAT_VERSION})",
+                meta.format_version
+            ),
+        });
+    }
+    let n = meta.param_names.len();
+    let read = |e: cf_store::StoreError| corrupt(path, e.to_string());
+    let mut params = Vec::with_capacity(n);
+    let mut best_params = Vec::with_capacity(n);
+    let mut adam_m = Vec::with_capacity(n);
+    let mut adam_v = Vec::with_capacity(n);
+    for (i, name) in meta.param_names.iter().enumerate() {
+        let pk = format!("param.{i}");
+        let bk = format!("best.{i}");
+        params.push(SavedParam {
+            name: name.clone(),
+            shape: file.shape(&pk).map_err(read)?.to_vec(),
+            data: file.f64s(&pk).map_err(read)?,
+        });
+        best_params.push(SavedParam {
+            name: name.clone(),
+            shape: file.shape(&bk).map_err(read)?.to_vec(),
+            data: file.f64s(&bk).map_err(read)?,
+        });
+        let mk = format!("adam_m.{i}");
+        adam_m.push(if file.has(&mk) {
+            Some(file.f64s(&mk).map_err(read)?)
+        } else {
+            None
+        });
+        let vk = format!("adam_v.{i}");
+        adam_v.push(if file.has(&vk) {
+            Some(file.f64s(&vk).map_err(read)?)
+        } else {
+            None
+        });
+    }
+    let scalars = file.f64s("scalars").map_err(read)?;
+    if scalars.len() != 2 {
+        return Err(corrupt(
+            path,
+            format!("scalars section has {} entries, expected 2", scalars.len()),
+        ));
+    }
+    Ok(SavedCheckpoint {
+        format_version: meta.format_version,
+        dtype: meta.dtype,
+        config: meta.config,
+        n_windows: meta.n_windows,
+        batch_size: meta.batch_size,
+        next_epoch: meta.next_epoch,
+        step: meta.step,
+        retries: meta.retries,
+        rng: file.u64s("rng").map_err(read)?,
+        order: file
+            .u64s("order")
+            .map_err(read)?
+            .into_iter()
+            .map(|o| o as usize)
+            .collect(),
+        params,
+        best_params,
+        adam_t: meta.adam_t,
+        adam_lr: scalars[0],
+        adam_m,
+        adam_v,
+        stopper_best: scalars[1],
+        stopper_best_epoch: meta.stopper_best_epoch,
+        stopper_epochs_seen: meta.stopper_epochs_seen,
+        stopper_stale: meta.stopper_stale,
+        train_losses: file.f64s("train_losses").map_err(read)?,
+        val_losses: file.f64s("val_losses").map_err(read)?,
+        epoch_wall_secs: file.f64s("epoch_wall_secs").map_err(read)?,
+        grad_norms: file.f64s("grad_norms").map_err(read)?,
+    })
+}
+
 /// FNV-1a 64-bit: tiny, dependency-free, and plenty to catch torn writes
 /// and bit rot (this is an integrity check, not an adversarial one). Also
 /// used by the baseline sweep caches to fingerprint their inputs.
@@ -364,11 +539,11 @@ pub(crate) fn save(
             cf_faults::injected_io_error(&format!("checkpoint write at epoch {epoch}")),
         ));
     }
-    let json = serde_json::to_string(saved).map_err(|e| CheckpointError::Corrupt {
+    let payload = encode_payload(saved).map_err(|e| CheckpointError::Corrupt {
         path: path.clone(),
         detail: format!("payload encoding failed: {e}"),
     })?;
-    write_envelope(&path, json.as_bytes()).map_err(|e| io_err(&path, e))?;
+    write_envelope(&path, &payload).map_err(|e| io_err(&path, e))?;
     prune(cfg);
     Ok(path)
 }
@@ -389,19 +564,7 @@ fn prune(cfg: &CheckpointConfig) {
 /// Loads and verifies one checkpoint file.
 pub(crate) fn load(path: &Path) -> Result<SavedCheckpoint, CheckpointError> {
     let payload = read_envelope(path)?;
-    let json = std::str::from_utf8(&payload).map_err(|_| corrupt(path, "payload is not UTF-8"))?;
-    let saved: SavedCheckpoint = serde_json::from_str(json)
-        .map_err(|e| corrupt(path, format!("payload does not parse: {e}")))?;
-    if saved.format_version != CHECKPOINT_FORMAT_VERSION {
-        return Err(CheckpointError::Mismatch {
-            path: path.to_path_buf(),
-            detail: format!(
-                "format version {} unsupported (this build reads {CHECKPOINT_FORMAT_VERSION})",
-                saved.format_version
-            ),
-        });
-    }
-    Ok(saved)
+    decode_payload(path, &payload)
 }
 
 /// Loads the newest *usable* checkpoint in `dir`.
@@ -506,6 +669,89 @@ mod tests {
         // Missing directory is an empty listing, not an error.
         assert!(list(&dir.join("nope")).unwrap().is_empty());
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v3_payload_roundtrips_bitwise() {
+        let config = crate::persist::saved_config(&crate::config::ModelConfig::compact(3, 6));
+        let mk = |name: &str, k: usize| SavedParam {
+            name: name.to_string(),
+            shape: vec![2, k],
+            data: (0..2 * k).map(|i| (i as f64 * 0.7).sin()).collect(),
+        };
+        let saved = SavedCheckpoint {
+            format_version: CHECKPOINT_FORMAT_VERSION,
+            dtype: "f64".to_string(),
+            config,
+            n_windows: 12,
+            batch_size: 4,
+            next_epoch: 7,
+            step: 99,
+            retries: 1,
+            rng: vec![0xDEAD_BEEF, 7, u64::MAX],
+            order: vec![3, 0, 2, 1],
+            params: vec![mk("a", 3), mk("b", 5)],
+            best_params: vec![mk("a", 3), mk("b", 5)],
+            adam_t: 42,
+            adam_lr: 1e-3,
+            adam_m: vec![Some(vec![0.1, -0.2]), None],
+            adam_v: vec![None, Some(vec![f64::MIN_POSITIVE])],
+            // +∞ is the stopper's initial best: it must survive the trip
+            // (the old JSON payload could not have represented it).
+            stopper_best: f64::INFINITY,
+            stopper_best_epoch: 5,
+            stopper_epochs_seen: 7,
+            stopper_stale: 2,
+            train_losses: vec![1.5, 1.25, 1.0],
+            val_losses: vec![],
+            epoch_wall_secs: vec![0.01; 3],
+            grad_norms: vec![2.0, 1.0, 0.5],
+        };
+        let payload = encode_payload(&saved).unwrap();
+        let back = decode_payload(Path::new("ckpt-000007.cfck"), &payload).unwrap();
+        assert_eq!(back.dtype, "f64");
+        assert_eq!(back.n_windows, 12);
+        assert_eq!(back.next_epoch, 7);
+        assert_eq!(back.step, 99);
+        assert_eq!(back.rng, saved.rng);
+        assert_eq!(back.order, saved.order);
+        assert_eq!(back.params.len(), 2);
+        assert_eq!(back.params[1].name, "b");
+        assert_eq!(back.params[1].shape, vec![2, 5]);
+        for (a, b) in back.params[1].data.iter().zip(&saved.params[1].data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.adam_m[0].as_deref(), Some(&[0.1, -0.2][..]));
+        assert!(back.adam_m[1].is_none());
+        assert!(back.adam_v[0].is_none());
+        assert_eq!(back.adam_v[1].as_deref(), Some(&[f64::MIN_POSITIVE][..]));
+        assert_eq!(back.adam_lr.to_bits(), saved.adam_lr.to_bits());
+        assert!(back.stopper_best.is_infinite() && back.stopper_best > 0.0);
+        assert_eq!(back.val_losses, Vec::<f64>::new());
+        assert_eq!(back.grad_norms, saved.grad_norms);
+    }
+
+    #[test]
+    fn legacy_json_payload_is_rejected_with_version_message() {
+        let err = decode_payload(
+            Path::new("ckpt-000001.cfck"),
+            br#"{"format_version":2,"dtype":"f64"}"#,
+        )
+        .err()
+        .expect("legacy payload must be rejected");
+        let msg = err.to_string();
+        assert!(
+            matches!(err, CheckpointError::Mismatch { .. }) && msg.contains("legacy"),
+            "wrong error: {msg}"
+        );
+    }
+
+    #[test]
+    fn garbage_payload_is_corrupt_not_a_panic() {
+        let err = decode_payload(Path::new("ckpt-000001.cfck"), b"CFTENS1\nzzzzzzzz")
+            .err()
+            .expect("garbage must be rejected");
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
     }
 
     #[test]

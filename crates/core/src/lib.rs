@@ -56,7 +56,9 @@ pub use checkpoint::{CheckpointConfig, CheckpointError};
 pub use config::{DetectorConfig, DetectorMode, ModelConfig, TrainConfig};
 pub use detector::{detect, CausalScores};
 pub use model::{CausalityAwareTransformer, ForwardTrace};
-pub use pipeline::{presets, CausalFormer, DiscoveryResult};
+pub use pipeline::{
+    effective_stride, presets, CausalFormer, DiscoveryResult, StreamError, StreamOptions,
+};
 pub use trainer::{train, TrainError, TrainReport, TrainedModel, TrainedModelBase, Trainer};
 
 pub use cf_tensor::Dtype;

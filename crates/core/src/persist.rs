@@ -1,10 +1,21 @@
 //! Saving and loading trained models.
 //!
-//! A trained CausalFormer is its [`ModelConfig`] plus the parameter values;
-//! both serialise to a single JSON document. Loading reconstructs the
-//! architecture (parameter registration order is deterministic) and
-//! overwrites the freshly-initialised values with the saved ones, verifying
-//! names and shapes.
+//! A trained CausalFormer is its [`ModelConfig`] plus the parameter values.
+//! Two interchangeable on-disk encodings exist:
+//!
+//! * **JSON** (`.json`, [`to_json`]/[`from_json`]) — human-readable,
+//!   parameters widened to f64. The historical format, still the default.
+//! * **CFTENS1 binary** (`.cft`, [`to_bytes`]/[`from_bytes`]) — the
+//!   safetensors-style envelope from `cf_store::tensors`: parameters stay
+//!   at their native dtype (an f32-trained model stores f32 payloads at
+//!   half the size) and load with a bulk copy instead of JSON float
+//!   parsing.
+//!
+//! [`save`] picks the encoding from the file extension (`.cft` → binary);
+//! [`load`] sniffs the file's magic bytes, so either format loads from any
+//! path. Loading reconstructs the architecture (parameter registration
+//! order is deterministic) and overwrites the freshly-initialised values
+//! with the saved ones, verifying names and shapes.
 
 use crate::config::ModelConfig;
 use crate::model::CausalityAwareTransformer;
@@ -28,7 +39,7 @@ struct SavedModel {
 /// `ModelConfig` mirror with explicit field names (stable on-disk format,
 /// decoupled from the in-memory struct). Shared with the training
 /// checkpoint format (`checkpoint.rs`).
-#[derive(Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub(crate) struct SavedConfig {
     n_series: usize,
     window: usize,
@@ -45,12 +56,13 @@ pub(crate) struct SavedConfig {
 }
 
 /// One named parameter's values, in registration order. Shared with the
-/// training checkpoint format (`checkpoint.rs`).
+/// training checkpoint format (`checkpoint.rs`), which packs the `data`
+/// payloads into CFTENS1 tensor sections.
 #[derive(Serialize, Deserialize)]
 pub(crate) struct SavedParam {
-    name: String,
-    shape: Vec<usize>,
-    data: Vec<f64>,
+    pub(crate) name: String,
+    pub(crate) shape: Vec<usize>,
+    pub(crate) data: Vec<f64>,
 }
 
 /// Errors from model persistence.
@@ -60,6 +72,8 @@ pub enum PersistError {
     Io(std::io::Error),
     /// JSON (de)serialisation failure.
     Json(serde_json::Error),
+    /// A binary model file fails its structural/checksum validation.
+    Corrupt(String),
     /// The file's parameters do not match the reconstructed architecture.
     Mismatch(String),
     /// Any of the above, annotated with the file it happened on. [`save`]
@@ -87,6 +101,7 @@ impl fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "I/O error: {e}"),
             PersistError::Json(e) => write!(f, "JSON error: {e}"),
+            PersistError::Corrupt(m) => write!(f, "corrupt model file: {m}"),
             PersistError::Mismatch(m) => write!(f, "model file mismatch: {m}"),
             PersistError::At { path, source } => {
                 write!(f, "{source} (file: {})", path.display())
@@ -100,7 +115,7 @@ impl std::error::Error for PersistError {
         match self {
             PersistError::Io(e) => Some(e),
             PersistError::Json(e) => Some(e),
-            PersistError::Mismatch(_) => None,
+            PersistError::Corrupt(_) | PersistError::Mismatch(_) => None,
             PersistError::At { source, .. } => Some(source),
         }
     }
@@ -259,22 +274,110 @@ pub fn from_json(json: &str) -> Result<TrainedModel, PersistError> {
     Ok(TrainedModel { model, store })
 }
 
-/// Saves a trained model to a JSON file. Errors name the offending path.
+/// File extension that selects the binary CFTENS1 model encoding.
+pub const MODEL_BINARY_EXTENSION: &str = "cft";
+
+/// Binary model metadata, stored as the CFTENS1 `meta` JSON string.
+#[derive(Serialize, Deserialize)]
+struct BinaryModelMeta {
+    format_version: u32,
+    kind: String,
+    dtype: String,
+    config: SavedConfig,
+    param_names: Vec<String>,
+}
+
+const BINARY_MODEL_KIND: &str = "causalformer-model";
+
+/// Serialises a trained model to the CFTENS1 binary encoding. Unlike
+/// [`to_json`], parameters keep their native dtype: an f32 store writes
+/// f32 sections (half the bytes), an f64 store writes f64 sections.
+pub fn to_bytes<E: Scalar>(trained: &TrainedModelBase<E>) -> Result<Vec<u8>, PersistError> {
+    let store = &trained.store;
+    let meta = BinaryModelMeta {
+        format_version: 1,
+        kind: BINARY_MODEL_KIND.to_string(),
+        dtype: E::DTYPE.as_str().to_string(),
+        config: saved_config(trained.model.config()),
+        param_names: store.ids().map(|id| store.name(id).to_string()).collect(),
+    };
+    let meta_json = serde_json::to_string(&meta)?;
+    let mut b = cf_store::TensorFileBuilder::new().meta(meta_json);
+    for (i, id) in store.ids().enumerate() {
+        b.push_tensor(&format!("param.{i}"), store.value(id));
+    }
+    Ok(b.finish())
+}
+
+/// Reconstructs a trained model from CFTENS1 bytes produced by
+/// [`to_bytes`]. The returned model is always the f64 `TrainedModel`;
+/// f32 sections widen losslessly. `origin` names the source in errors.
+pub fn from_bytes(bytes: &[u8], origin: &str) -> Result<TrainedModel, PersistError> {
+    let file = cf_store::TensorFile::parse(bytes, origin)
+        .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+    let meta: BinaryModelMeta = serde_json::from_str(file.meta())?;
+    if meta.format_version != 1 || meta.kind != BINARY_MODEL_KIND {
+        return Err(PersistError::Mismatch(format!(
+            "not a {BINARY_MODEL_KIND} v1 file (kind {:?}, version {})",
+            meta.kind, meta.format_version
+        )));
+    }
+    let mut params = Vec::with_capacity(meta.param_names.len());
+    for (i, name) in meta.param_names.iter().enumerate() {
+        let key = format!("param.{i}");
+        let read = |e: cf_store::StoreError| PersistError::Corrupt(e.to_string());
+        let tensor = match file.dtype_of(&key).map_err(read)? {
+            "f32" => file.typed::<f32>(&key).map_err(read)?.to_f64_tensor(),
+            _ => file.typed::<f64>(&key).map_err(read)?,
+        };
+        params.push(SavedParam {
+            name: name.clone(),
+            shape: tensor.shape().to_vec(),
+            data: tensor.into_data(),
+        });
+    }
+    let config = model_config(&meta.config);
+    config.validate();
+    let mut store = ParamStore::new();
+    let model = CausalityAwareTransformer::new(&mut store, &mut StdRng::seed_from_u64(0), config);
+    let values = restore_values(&store, &params).map_err(PersistError::Mismatch)?;
+    store.restore(&values);
+    Ok(TrainedModel { model, store })
+}
+
+/// Saves a trained model. The encoding follows the file extension:
+/// `.cft` writes the CFTENS1 binary format (native dtype), anything else
+/// writes JSON (parameters widened to f64). Errors name the offending
+/// path.
 pub fn save<E: Scalar>(
     trained: &TrainedModelBase<E>,
     path: impl AsRef<Path>,
 ) -> Result<(), PersistError> {
     let path = path.as_ref();
-    let json = to_json(trained).map_err(|e| e.at(path))?;
-    std::fs::write(path, json).map_err(|e| PersistError::Io(e).at(path))?;
+    let binary = path
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case(MODEL_BINARY_EXTENSION));
+    let bytes = if binary {
+        to_bytes(trained).map_err(|e| e.at(path))?
+    } else {
+        to_json(trained).map_err(|e| e.at(path))?.into_bytes()
+    };
+    std::fs::write(path, bytes).map_err(|e| PersistError::Io(e).at(path))?;
     Ok(())
 }
 
-/// Loads a trained model from a JSON file. Errors name the offending path.
+/// Loads a trained model from either encoding, sniffing the file's magic
+/// bytes (so a binary model renamed to `.json` still loads). Errors name
+/// the offending path.
 pub fn load(path: impl AsRef<Path>) -> Result<TrainedModel, PersistError> {
     let path = path.as_ref();
-    let json = std::fs::read_to_string(path).map_err(|e| PersistError::Io(e).at(path))?;
-    from_json(&json).map_err(|e| e.at(path))
+    let bytes = std::fs::read(path).map_err(|e| PersistError::Io(e).at(path))?;
+    if bytes.starts_with(b"CFTENS1\n") {
+        return from_bytes(&bytes, &path.display().to_string()).map_err(|e| e.at(path));
+    }
+    let json = std::str::from_utf8(&bytes)
+        .map_err(|e| PersistError::Mismatch(format!("not UTF-8 JSON: {e}")).at(path))?;
+    from_json(json).map_err(|e| e.at(path))
 }
 
 #[cfg(test)]
@@ -321,6 +424,99 @@ mod tests {
         let (g1, _) = detect(&mut r1, &trained.model, &trained.store, &windows, &cfg);
         let (g2, _) = detect(&mut r2, &loaded.model, &loaded.store, &windows, &cfg);
         assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_parameters_bitwise() {
+        let (trained, _) = tiny_trained();
+        let bytes = to_bytes(&trained).unwrap();
+        let loaded = from_bytes(&bytes, "mem").unwrap();
+        for (a, b) in trained.store.ids().zip(loaded.store.ids()) {
+            let (va, vb) = (trained.store.value(a), loaded.store.value(b));
+            assert_eq!(va.shape(), vb.shape());
+            for (x, y) in va.data().iter().zip(vb.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn binary_f32_model_stores_f32_sections() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = ModelConfig {
+            d_model: 8,
+            d_qk: 8,
+            d_ffn: 8,
+            ..ModelConfig::compact(3, 6)
+        };
+        let windows: Vec<TensorBase<f32>> = (0..6)
+            .map(|_| TensorBase::from_f64_tensor(&uniform(&mut rng, &[3, 6], -1.0, 1.0)))
+            .collect();
+        let tc = TrainConfig {
+            max_epochs: 2,
+            ..TrainConfig::default()
+        };
+        let (trained, _) = train(&mut rng, config, tc, &windows);
+        let bytes = to_bytes(&trained).unwrap();
+        // The sections really are f32 (half the payload of an f64 save)…
+        let file = cf_store::TensorFile::parse(&bytes, "mem").unwrap();
+        assert_eq!(file.dtype_of("param.0").unwrap(), "f32");
+        // …and widen losslessly on load.
+        let loaded = from_bytes(&bytes, "mem").unwrap();
+        for (a, b) in trained.store.ids().zip(loaded.store.ids()) {
+            for (x, y) in trained
+                .store
+                .value(a)
+                .data()
+                .iter()
+                .zip(loaded.store.value(b).data())
+            {
+                assert_eq!((x.to_f64()).to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn save_load_dispatch_on_extension_and_magic() {
+        let (trained, _) = tiny_trained();
+        let dir = std::env::temp_dir();
+        let cft = dir.join("causalformer_persist_test.cft");
+        let json = dir.join("causalformer_persist_test_b.json");
+        save(&trained, &cft).unwrap();
+        save(&trained, &json).unwrap();
+        let from_cft = std::fs::read(&cft).unwrap();
+        assert!(from_cft.starts_with(b"CFTENS1\n"), "extension picks binary");
+        assert!(
+            std::fs::read(&json).unwrap().starts_with(b"{"),
+            "default stays JSON"
+        );
+        assert!(
+            from_cft.len() < std::fs::read(&json).unwrap().len(),
+            "binary is smaller"
+        );
+        // Both load back, including a binary file under a .json name (magic
+        // sniffing, not extension trust).
+        assert!(load(&cft).is_ok());
+        assert!(load(&json).is_ok());
+        let disguised = dir.join("causalformer_persist_disguised.json");
+        std::fs::write(&disguised, &from_cft).unwrap();
+        assert!(load(&disguised).is_ok());
+        for p in [cft, json, disguised] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn binary_corruption_is_detected() {
+        let (trained, _) = tiny_trained();
+        let mut bytes = to_bytes(&trained).unwrap();
+        let mid = bytes.len() / 2;
+        bytes.truncate(mid);
+        let err = from_bytes(&bytes, "truncated.cft")
+            .err()
+            .expect("must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("truncated.cft"), "origin missing: {msg}");
     }
 
     #[test]

@@ -14,9 +14,11 @@ use crate::config::{DetectorConfig, ModelConfig, TrainConfig};
 use crate::detector::{detect, CausalScores};
 use crate::trainer::{train, TrainError, TrainReport, TrainedModelBase, Trainer};
 use cf_metrics::CausalGraph;
+use cf_store::{SeriesStore, StoreError};
 use cf_tensor::{Dtype, Scalar, Tensor, TensorBase};
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::fmt;
 
 /// The complete CausalFormer method: model + training + detector configs.
 #[derive(Debug, Clone, Copy)]
@@ -130,6 +132,153 @@ impl CausalFormer {
             out
         };
         Ok(self.detect_stage(rng, trained, train_report, &windows))
+    }
+
+    /// Out-of-core discovery: streams training windows from a chunked
+    /// [`SeriesStore`] instead of materialising the `N×L` matrix. Peak
+    /// memory is set by [`StreamOptions::max_windows`] (and the bounded
+    /// chunk read-ahead), not by the series length — a 10M-step store
+    /// trains under a couple hundred MB.
+    ///
+    /// Standardisation statistics stream over the chunks in the same
+    /// addition order as the in-RAM path, so when the window budget is not
+    /// exceeded (`stream.max_windows` ≥ the natural window count at
+    /// [`TrainConfig::stride`]) the result is **bitwise identical** to
+    /// [`CausalFormer::discover`] on the materialised series. When the
+    /// budget is exceeded, the stride is deterministically widened so at
+    /// most `max_windows` evenly spaced windows are trained on.
+    pub fn discover_store<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        store: &SeriesStore,
+        stream: &StreamOptions,
+    ) -> Result<DiscoveryResult, StreamError> {
+        match self.train.dtype {
+            Dtype::F64 => self.discover_store_typed::<f64, R>(rng, store, stream),
+            Dtype::F32 => self.discover_store_typed::<f32, R>(rng, store, stream),
+        }
+    }
+
+    fn discover_store_typed<E: Scalar, R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        store: &SeriesStore,
+        stream: &StreamOptions,
+    ) -> Result<DiscoveryResult, StreamError> {
+        let _pipeline_span = cf_obs::span::enter("discover");
+        let _pipeline_trace = cf_obs::trace::span("discover");
+        let windows = self.stream_typed_windows::<E>(store, stream)?;
+        let (trained, train_report) = {
+            let _s = cf_obs::span::enter("train");
+            let _t = cf_obs::trace::span("train");
+            let started = std::time::Instant::now();
+            let out = train(rng, self.model, self.train, &windows);
+            emit_stage("train", started.elapsed().as_secs_f64());
+            out
+        };
+        Ok(self.detect_stage(rng, trained, train_report, &windows))
+    }
+
+    /// [`CausalFormer::discover_store`] with crash-safe checkpointing and
+    /// resume, the out-of-core analogue of
+    /// [`CausalFormer::discover_resumable`].
+    pub fn discover_store_resumable(
+        &self,
+        rng: &mut StdRng,
+        store: &SeriesStore,
+        stream: &StreamOptions,
+        checkpoint: CheckpointConfig,
+        resume: bool,
+    ) -> Result<DiscoveryResult, StreamError> {
+        match self.train.dtype {
+            Dtype::F64 => {
+                self.discover_store_resumable_typed::<f64>(rng, store, stream, checkpoint, resume)
+            }
+            Dtype::F32 => {
+                self.discover_store_resumable_typed::<f32>(rng, store, stream, checkpoint, resume)
+            }
+        }
+    }
+
+    fn discover_store_resumable_typed<E: Scalar>(
+        &self,
+        rng: &mut StdRng,
+        store: &SeriesStore,
+        stream: &StreamOptions,
+        checkpoint: CheckpointConfig,
+        resume: bool,
+    ) -> Result<DiscoveryResult, StreamError> {
+        let _pipeline_span = cf_obs::span::enter("discover");
+        let _pipeline_trace = cf_obs::trace::span("discover");
+        let windows = self.stream_typed_windows::<E>(store, stream)?;
+        let (trained, train_report) = {
+            let _s = cf_obs::span::enter("train");
+            let _t = cf_obs::trace::span("train");
+            let started = std::time::Instant::now();
+            let out = Trainer::new(self.model, self.train)
+                .with_checkpoints(checkpoint)
+                .resume(resume)
+                .fit(rng, &windows)
+                .map_err(StreamError::Train)?;
+            emit_stage("train", started.elapsed().as_secs_f64());
+            out
+        };
+        Ok(self.detect_stage(rng, trained, train_report, &windows))
+    }
+
+    /// Streams standardized windows out of the store under the window
+    /// budget, casting each window into the compute dtype as it arrives
+    /// (so the f64 staging buffer never holds more than the scan's carry).
+    fn stream_typed_windows<E: Scalar>(
+        &self,
+        store: &SeriesStore,
+        stream: &StreamOptions,
+    ) -> Result<Vec<TensorBase<E>>, StreamError> {
+        let manifest = store.manifest();
+        if manifest.n_series != self.model.n_series {
+            return Err(StreamError::Store(StoreError::Invalid {
+                detail: format!(
+                    "store has {} series, model config expects {}",
+                    manifest.n_series, self.model.n_series
+                ),
+            }));
+        }
+        if manifest.length < self.model.window {
+            return Err(StreamError::Store(StoreError::Invalid {
+                detail: format!(
+                    "store length {} is shorter than one window of {}",
+                    manifest.length, self.model.window
+                ),
+            }));
+        }
+        let stride = effective_stride(
+            manifest.length,
+            self.model.window,
+            self.train.stride,
+            stream.max_windows,
+        );
+        let windows = {
+            let _s = cf_obs::span::enter("windowing");
+            let _t = cf_obs::trace::span("windowing");
+            let started = std::time::Instant::now();
+            let scan = store
+                .standardized_windows(self.model.window, stride, stream.read_ahead)
+                .map_err(StreamError::Store)?;
+            let mut windows: Vec<TensorBase<E>> = Vec::with_capacity(scan.expected_windows());
+            for w in scan {
+                let w = w.map_err(StreamError::Store)?;
+                windows.push(TensorBase::from_f64_tensor(&w));
+            }
+            emit_stage("windowing", started.elapsed().as_secs_f64());
+            windows
+        };
+        cf_obs::debug!(
+            "discover (store): {} series of {} steps, {} windows at stride {stride}",
+            manifest.n_series,
+            manifest.length,
+            windows.len()
+        );
+        Ok(windows)
     }
 
     /// Standardises the series and slices training windows (shared by the
@@ -283,6 +432,80 @@ fn emit_stage(stage: &str, wall_secs: f64) {
 
 /// Z-scores each series (duplicated from `cf-data` to keep the core crate
 /// dependency-light; both are covered by tests).
+/// Memory knobs for out-of-core discovery ([`CausalFormer::discover_store`]).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOptions {
+    /// Upper bound on the number of training windows materialised from the
+    /// store. When the series would naturally yield more windows at the
+    /// configured stride, the stride widens deterministically (evenly
+    /// spaced windows) so peak memory stays `max_windows · n · window`
+    /// elements regardless of the series length.
+    pub max_windows: usize,
+    /// Chunk blocks of raw-data read-ahead held by the streaming scan
+    /// (see `cf_store::WindowScan`); at least 1.
+    pub read_ahead: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        Self {
+            max_windows: 4096,
+            read_ahead: 2,
+        }
+    }
+}
+
+/// Errors from out-of-core discovery: either the store side (I/O,
+/// corruption, geometry mismatch) or the training side (interruption,
+/// checkpoint problems).
+#[derive(Debug)]
+pub enum StreamError {
+    /// Reading the chunk store failed.
+    Store(StoreError),
+    /// Training failed (kill fault, unusable checkpoint, …).
+    Train(TrainError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Store(e) => write!(f, "{e}"),
+            StreamError::Train(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Store(e) => Some(e),
+            StreamError::Train(e) => Some(e),
+        }
+    }
+}
+
+/// The stride that keeps the window count within `max_windows`: the base
+/// stride when it already fits, otherwise the smallest wider stride whose
+/// evenly spaced windows stay under the budget. Deterministic in its
+/// inputs — resuming a run recomputes the same stride.
+pub fn effective_stride(
+    length: usize,
+    window: usize,
+    base_stride: usize,
+    max_windows: usize,
+) -> usize {
+    debug_assert!(window <= length && base_stride >= 1 && max_windows >= 1);
+    let span = length - window;
+    let natural = span / base_stride + 1;
+    if natural <= max_windows {
+        return base_stride;
+    }
+    if max_windows == 1 {
+        return span + 1;
+    }
+    base_stride.max(span.div_ceil(max_windows - 1))
+}
+
 fn standardize(series: &Tensor) -> Tensor {
     let (n, l) = (series.shape()[0], series.shape()[1]);
     let mut out = series.clone();

@@ -51,29 +51,84 @@ fn derivative(x: &[f64], forcing: f64, out: &mut [f64]) {
     }
 }
 
-fn rk4_step(x: &mut [f64], forcing: f64, dt: f64) {
-    let n = x.len();
-    let mut k1 = vec![0.0; n];
-    let mut k2 = vec![0.0; n];
-    let mut k3 = vec![0.0; n];
-    let mut k4 = vec![0.0; n];
-    let mut tmp = vec![0.0; n];
+/// Reusable RK4 integrator: state and scratch buffers are allocated once,
+/// so advancing is allocation-free — streaming a 10M-sample trajectory into
+/// a chunked store touches the heap only for the store's own buffers.
+///
+/// Construction seeds the initial state and runs the 500-substep burn-in,
+/// exactly as [`generate`] always did (which is now a thin collector over
+/// this stepper — trajectories stay bitwise identical per seed).
+#[derive(Debug, Clone)]
+pub struct Stepper {
+    forcing: f64,
+    dt: f64,
+    x: Vec<f64>,
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+}
 
-    derivative(x, forcing, &mut k1);
-    for i in 0..n {
-        tmp[i] = x[i] + 0.5 * dt * k1[i];
+impl Stepper {
+    /// Seeds `x_i = F + U[−0.5, 0.5)` and burns in 500 substeps.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: &Lorenz96Config) -> Self {
+        assert!(
+            config.n >= 4,
+            "Lorenz-96 stencil needs at least 4 variables"
+        );
+        assert!(config.substeps > 0 && config.dt > 0.0);
+        let n = config.n;
+        let x: Vec<f64> = (0..n)
+            .map(|_| config.forcing + rng.gen_range(-0.5..0.5))
+            .collect();
+        let mut stepper = Self {
+            forcing: config.forcing,
+            dt: config.dt,
+            x,
+            k1: vec![0.0; n],
+            k2: vec![0.0; n],
+            k3: vec![0.0; n],
+            k4: vec![0.0; n],
+            tmp: vec![0.0; n],
+        };
+        for _ in 0..500 {
+            stepper.substep();
+        }
+        stepper
     }
-    derivative(&tmp, forcing, &mut k2);
-    for i in 0..n {
-        tmp[i] = x[i] + 0.5 * dt * k2[i];
+
+    /// The current state vector (one sample of all `n` variables).
+    pub fn state(&self) -> &[f64] {
+        &self.x
     }
-    derivative(&tmp, forcing, &mut k3);
-    for i in 0..n {
-        tmp[i] = x[i] + dt * k3[i];
+
+    /// Advances one recorded sample (`substeps` RK4 integration steps).
+    pub fn advance(&mut self, substeps: usize) {
+        for _ in 0..substeps {
+            self.substep();
+        }
     }
-    derivative(&tmp, forcing, &mut k4);
-    for i in 0..n {
-        x[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+
+    /// One RK4 step of size `dt`.
+    fn substep(&mut self) {
+        let (dt, forcing) = (self.dt, self.forcing);
+        derivative(&self.x, forcing, &mut self.k1);
+        for i in 0..self.x.len() {
+            self.tmp[i] = self.x[i] + 0.5 * dt * self.k1[i];
+        }
+        derivative(&self.tmp, forcing, &mut self.k2);
+        for i in 0..self.x.len() {
+            self.tmp[i] = self.x[i] + 0.5 * dt * self.k2[i];
+        }
+        derivative(&self.tmp, forcing, &mut self.k3);
+        for i in 0..self.x.len() {
+            self.tmp[i] = self.x[i] + dt * self.k3[i];
+        }
+        derivative(&self.tmp, forcing, &mut self.k4);
+        for i in 0..self.x.len() {
+            self.x[i] += dt / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
+        }
     }
 }
 
@@ -96,35 +151,42 @@ pub fn truth(n: usize) -> CausalGraph {
 /// sampling. Initial state is the fixed point `x_i = F` perturbed with
 /// small seeded noise; a 500-substep burn-in is discarded.
 pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: Lorenz96Config) -> Dataset {
-    assert!(
-        config.n >= 4,
-        "Lorenz-96 stencil needs at least 4 variables"
-    );
-    assert!(config.length > 0 && config.substeps > 0 && config.dt > 0.0);
     let n = config.n;
-    let mut x: Vec<f64> = (0..n)
-        .map(|_| config.forcing + rng.gen_range(-0.5..0.5))
-        .collect();
-
-    for _ in 0..500 {
-        rk4_step(&mut x, config.forcing, config.dt);
-    }
-
     let mut data = vec![0.0f64; n * config.length];
-    for t in 0..config.length {
-        for _ in 0..config.substeps {
-            rk4_step(&mut x, config.forcing, config.dt);
+    let mut t = 0;
+    stream::<_, std::convert::Infallible, _>(rng, config, |x| {
+        for (i, &v) in x.iter().enumerate() {
+            data[i * config.length + t] = v;
         }
-        for i in 0..n {
-            data[i * config.length + t] = x[i];
-        }
-    }
+        t += 1;
+        Ok(())
+    })
+    .expect("infallible sink");
 
     Dataset {
         name: format!("lorenz96-F{:.0}", config.forcing),
         series: Tensor::from_vec(vec![n, config.length], data).expect("consistent by construction"),
         truth: truth(n),
     }
+}
+
+/// Streaming generation: integrates the trajectory and hands each recorded
+/// sample (a slice of `n` values) to `emit` without materialising the
+/// `n × length` matrix — the out-of-core path writes these straight into a
+/// chunked `cf-store` series store. `emit`'s error type propagates; the
+/// samples are bitwise those of [`generate`] on the same seed and config.
+pub fn stream<R, E, F>(rng: &mut R, config: Lorenz96Config, mut emit: F) -> Result<(), E>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&[f64]) -> Result<(), E>,
+{
+    assert!(config.length > 0, "length must be positive");
+    let mut stepper = Stepper::new(rng, &config);
+    for _ in 0..config.length {
+        stepper.advance(config.substeps);
+        emit(stepper.state())?;
+    }
+    Ok(())
 }
 
 /// Draws `F ~ U[30, 40]` (paper §5.1) and generates a trajectory.
@@ -205,6 +267,28 @@ mod tests {
             },
         );
         assert_ne!(a.series, c.series);
+    }
+
+    #[test]
+    fn streaming_matches_generate_bitwise() {
+        let config = Lorenz96Config {
+            length: 200,
+            ..Default::default()
+        };
+        let d = generate(&mut StdRng::seed_from_u64(42), config);
+        let mut streamed: Vec<Vec<f64>> = Vec::new();
+        stream::<_, std::convert::Infallible, _>(&mut StdRng::seed_from_u64(42), config, |x| {
+            streamed.push(x.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(streamed.len(), 200);
+        let data = d.series.data();
+        for (t, sample) in streamed.iter().enumerate() {
+            for (i, &v) in sample.iter().enumerate() {
+                assert_eq!(v.to_bits(), data[i * 200 + t].to_bits(), "({i}, {t})");
+            }
+        }
     }
 
     #[test]

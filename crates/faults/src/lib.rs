@@ -14,6 +14,7 @@
 //! CF_FAULT=io_fail:epoch3          # checkpoint write at epoch 3 fails
 //! CF_FAULT=nan:step17              # gradient of step 17 becomes NaN
 //! CF_FAULT=kill:epoch2             # simulated kill after epoch 2
+//! CF_FAULT=torn:put4               # 4th storage write lands truncated
 //! CF_FAULT=nan:step5:sticky        # fires on *every* retry of step 5
 //! CF_FAULT=io_fail:epoch1,nan:step9   # comma-separates multiple plans
 //! ```
@@ -42,6 +43,12 @@ pub enum FaultSite {
     Nan,
     /// The process dies between epochs.
     Kill,
+    /// A storage write is torn: only a prefix of the bytes lands on disk,
+    /// bypassing the atomic-rename path (models a crash mid-`write(2)` on
+    /// a filesystem without rename durability). The reader's checksum must
+    /// catch the damage. Indexed by the storage backend's put sequence
+    /// number.
+    Torn,
 }
 
 impl FaultSite {
@@ -50,6 +57,7 @@ impl FaultSite {
             "io_fail" => Some(FaultSite::IoFail),
             "nan" => Some(FaultSite::Nan),
             "kill" => Some(FaultSite::Kill),
+            "torn" => Some(FaultSite::Torn),
             _ => None,
         }
     }
@@ -60,6 +68,7 @@ impl FaultSite {
             FaultSite::IoFail => "io_fail",
             FaultSite::Nan => "nan",
             FaultSite::Kill => "kill",
+            FaultSite::Torn => "torn",
         }
     }
 }
@@ -92,7 +101,7 @@ fn parse_spec(spec: &str) -> Result<(FaultSite, u64, bool), String> {
     let site = parts
         .next()
         .and_then(FaultSite::parse)
-        .ok_or_else(|| format!("unknown fault site in {spec:?} (io_fail, nan, kill)"))?;
+        .ok_or_else(|| format!("unknown fault site in {spec:?} (io_fail, nan, kill, torn)"))?;
     let label = parts
         .next()
         .ok_or_else(|| format!("fault spec {spec:?} missing an index (e.g. nan:step17)"))?;
@@ -240,6 +249,10 @@ mod tests {
 
         assert!(install_spec("nan:9").is_ok(), "bare numeric index allowed");
         assert!(fire(FaultSite::Nan, 9));
+        clear();
+
+        assert!(install_spec("torn:put2").is_ok());
+        assert!(fire(FaultSite::Torn, 2));
         clear();
 
         for bad in [

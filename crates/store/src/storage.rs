@@ -1,0 +1,279 @@
+//! Pluggable storage backends for the chunk store.
+//!
+//! The [`Storage`] trait is a flat key → bytes namespace (keys never
+//! contain path separators), the minimal contract the chunked series
+//! store needs. Two backends ship: [`FsStorage`] (one file per key under
+//! a root directory, atomic writes) and [`MemStorage`] (a mutexed map,
+//! for tests and for staging stores that never touch disk).
+
+use crate::StoreError;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A flat key → bytes namespace. Implementations must be safe to share
+/// across threads; the streaming reader may be driven from worker pools.
+pub trait Storage: Send + Sync {
+    /// Writes `bytes` under `key`, replacing any previous value. Must be
+    /// atomic per key: a reader never observes a half-written value
+    /// (except through the deliberate torn-write fault point, see
+    /// [`FsStorage`]).
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// Reads the value under `key`.
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError>;
+
+    /// Whether `key` holds a value.
+    fn exists(&self, key: &str) -> bool;
+
+    /// All keys, sorted.
+    fn list(&self) -> Result<Vec<String>, StoreError>;
+
+    /// Removes `key` (missing keys are not an error).
+    fn delete(&self, key: &str) -> Result<(), StoreError>;
+
+    /// The human-readable name of `key`'s target (full path for the
+    /// filesystem backend) — used in error messages so corruption reports
+    /// name the offending file.
+    fn target(&self, key: &str) -> String;
+}
+
+/// Filesystem backend: one file per key under `root`.
+///
+/// Writes are atomic (temp file + rename) except when the
+/// `cf_faults::FaultSite::Torn` fault point fires: then only the first
+/// half of the bytes lands, directly in the final file — simulating a
+/// torn write that the per-chunk CRC must catch. The fault index is this
+/// backend's put sequence number (0-based), so
+/// `CF_FAULT=torn:put3` tears the fourth write.
+pub struct FsStorage {
+    root: PathBuf,
+    puts: AtomicU64,
+}
+
+impl FsStorage {
+    /// Opens (and lazily creates on first write) the directory `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self {
+            root: root.into(),
+            puts: AtomicU64::new(0),
+        }
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, key: &str) -> PathBuf {
+        self.root.join(key)
+    }
+
+    fn io(&self, key: &str, source: std::io::Error) -> StoreError {
+        StoreError::Io {
+            target: self.target(key),
+            source,
+        }
+    }
+}
+
+impl Storage for FsStorage {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        fs::create_dir_all(&self.root).map_err(|e| self.io(key, e))?;
+        let path = self.path(key);
+        let seq = self.puts.fetch_add(1, Ordering::Relaxed);
+        if cf_faults::fire(cf_faults::FaultSite::Torn, seq) {
+            // Deliberately non-atomic and truncated: the damage a crash
+            // mid-write leaves on a filesystem without rename durability.
+            let torn = &bytes[..bytes.len() / 2];
+            fs::write(&path, torn).map_err(|e| self.io(key, e))?;
+            return Ok(());
+        }
+        let tmp = self.root.join(format!(".{key}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| self.io(key, e))?;
+            f.write_all(bytes).map_err(|e| self.io(key, e))?;
+            f.sync_all().map_err(|e| self.io(key, e))?;
+        }
+        if let Err(e) = fs::rename(&tmp, &path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(self.io(key, e));
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+        fs::read(self.path(key)).map_err(|e| self.io(key, e))
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        self.path(key).is_file()
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut out = Vec::new();
+        let entries = match fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(self.io(".", e)),
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| self.io(".", e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.starts_with('.') {
+                out.push(name);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StoreError> {
+        match fs::remove_file(self.path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(self.io(key, e)),
+        }
+    }
+
+    fn target(&self, key: &str) -> String {
+        self.path(key).display().to_string()
+    }
+}
+
+/// In-memory backend: a mutexed sorted map. Useful for tests and for
+/// assembling a store that is later copied to a real backend.
+#[derive(Default)]
+pub struct MemStorage {
+    map: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemStorage {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Vec<u8>>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Storage for MemStorage {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        self.lock().insert(key.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+        self.lock().get(key).cloned().ok_or_else(|| StoreError::Io {
+            target: self.target(key),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "no such key"),
+        })
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        self.lock().contains_key(key)
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        Ok(self.lock().keys().cloned().collect())
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StoreError> {
+        self.lock().remove(key);
+        Ok(())
+    }
+
+    fn target(&self, key: &str) -> String {
+        format!("mem:{key}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // cf_faults plans are process-global, and FsStorage::put consults the
+    // Torn fault point: every test that performs puts (or arms faults)
+    // serialises on this lock so an armed plan cannot tear a neighbouring
+    // test's write.
+    static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+    fn fault_guard() -> std::sync::MutexGuard<'static, ()> {
+        FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cf_store_fs_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fs_roundtrip_list_delete() {
+        let _g = fault_guard();
+        let root = tmp_root("rt");
+        let s = FsStorage::new(&root);
+        assert!(!s.exists("a"));
+        s.put("a", b"alpha").unwrap();
+        s.put("b", b"beta").unwrap();
+        assert_eq!(s.get("a").unwrap(), b"alpha");
+        assert_eq!(s.list().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        s.delete("a").unwrap();
+        assert!(!s.exists("a"));
+        s.delete("a").unwrap(); // idempotent
+                                // No temp files left behind.
+        assert_eq!(s.list().unwrap(), vec!["b".to_string()]);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn fs_overwrite_is_atomic_replacement() {
+        let _g = fault_guard();
+        let root = tmp_root("ow");
+        let s = FsStorage::new(&root);
+        s.put("k", b"first").unwrap();
+        s.put("k", b"second value").unwrap();
+        assert_eq!(s.get("k").unwrap(), b"second value");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn fs_errors_name_the_file() {
+        let root = tmp_root("err");
+        let s = FsStorage::new(&root);
+        let err = s.get("missing.cfc").unwrap_err();
+        assert!(err.to_string().contains("missing.cfc"), "{err}");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn mem_roundtrip() {
+        let s = MemStorage::new();
+        s.put("x", b"1").unwrap();
+        assert!(s.exists("x"));
+        assert_eq!(s.get("x").unwrap(), b"1");
+        assert_eq!(s.list().unwrap(), vec!["x".to_string()]);
+        assert!(s.get("y").unwrap_err().to_string().contains("mem:y"));
+        s.delete("x").unwrap();
+        assert!(!s.exists("x"));
+    }
+
+    #[test]
+    fn torn_fault_truncates_the_write() {
+        let _g = fault_guard();
+        let root = tmp_root("torn");
+        let s = FsStorage::new(&root);
+        cf_faults::install(cf_faults::FaultSite::Torn, 1, false);
+        s.put("ok", b"0123456789").unwrap(); // put #0: clean
+        s.put("torn", b"0123456789").unwrap(); // put #1: torn
+        cf_faults::clear();
+        assert_eq!(s.get("ok").unwrap(), b"0123456789");
+        assert_eq!(s.get("torn").unwrap(), b"01234", "half the bytes");
+        fs::remove_dir_all(&root).ok();
+    }
+}

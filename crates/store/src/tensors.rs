@@ -1,0 +1,468 @@
+//! The `CFTENS1` envelope: a safetensors-style binary format for named
+//! tensors.
+//!
+//! Layout:
+//!
+//! ```text
+//! offset 0   magic   b"CFTENS1\n"            (8 bytes)
+//! offset 8   u64 LE  header_len              (JSON header byte count)
+//! offset 16  JSON    {format_version, meta, tensors: [
+//!                        {name, dtype, shape, offset, bytes}, ...]}
+//! offset 16+header_len   raw little-endian tensor payload
+//! ```
+//!
+//! Tensor `offset`s are relative to the start of the payload and entries
+//! are laid out in push order with no padding. `meta` is an opaque string
+//! the caller owns — the checkpoint code stores its scalar/config state
+//! there as nested JSON, keeping this format ignorant of training.
+//!
+//! The payload is always little-endian on disk. On little-endian hosts
+//! (every platform this project targets) a tensor decodes with a single
+//! bulk copy — no per-element parsing; big-endian hosts fall back to a
+//! per-element `from_le_bytes` loop. Unlike JSON persistence, `f32`
+//! tensors round-trip at full width with no f64 detour.
+
+use crate::StoreError;
+use cf_tensor::{Dtype, Scalar, TensorBase};
+use serde::{Deserialize, Serialize};
+
+const MAGIC: &[u8; 8] = b"CFTENS1\n";
+
+/// Envelope format version (the `format_version` header field).
+pub const TENSOR_FORMAT_VERSION: u32 = 1;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Header {
+    format_version: u32,
+    meta: String,
+    tensors: Vec<Entry>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    name: String,
+    dtype: String,
+    shape: Vec<usize>,
+    offset: usize,
+    bytes: usize,
+}
+
+/// Serialises raw `E` elements to little-endian bytes, appending to `out`.
+fn write_le<E: Scalar>(out: &mut Vec<u8>, src: &[E]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: E is f32 or f64 (Scalar is sealed): plain-old-data with
+        // no padding or invalid bit patterns, so viewing the element slice
+        // as bytes is always defined, and on a little-endian host the
+        // in-memory bytes already are the on-disk encoding.
+        let raw = unsafe {
+            std::slice::from_raw_parts(src.as_ptr() as *const u8, std::mem::size_of_val(src))
+        };
+        out.extend_from_slice(raw);
+    }
+    #[cfg(target_endian = "big")]
+    {
+        for &v in src {
+            match E::DTYPE {
+                Dtype::F32 => out.extend_from_slice(&(v.to_f64() as f32).to_le_bytes()),
+                Dtype::F64 => out.extend_from_slice(&v.to_f64().to_le_bytes()),
+            }
+        }
+    }
+}
+
+/// Decodes little-endian bytes into a `Vec<E>`. `bytes.len()` must be a
+/// multiple of the element size (callers validate against the header).
+fn read_le<E: Scalar>(bytes: &[u8]) -> Vec<E> {
+    let size = E::DTYPE.size_of();
+    debug_assert_eq!(bytes.len() % size, 0);
+    let n = bytes.len() / size;
+    #[cfg(target_endian = "little")]
+    {
+        let mut out: Vec<E> = Vec::with_capacity(n);
+        // SAFETY: the destination allocation holds `n` elements; E is f32
+        // or f64, for which every bit pattern is a valid value, and on a
+        // little-endian host the on-disk bytes are the in-memory layout.
+        // set_len after the copy marks exactly the initialised prefix.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr() as *mut u8, bytes.len());
+            out.set_len(n);
+        }
+        out
+    }
+    #[cfg(target_endian = "big")]
+    {
+        let mut out: Vec<E> = Vec::with_capacity(n);
+        match E::DTYPE {
+            Dtype::F32 => {
+                for c in bytes.chunks_exact(4) {
+                    out.push(E::from_f64(f32::from_le_bytes(c.try_into().unwrap()) as f64));
+                }
+            }
+            Dtype::F64 => {
+                for c in bytes.chunks_exact(8) {
+                    out.push(E::from_f64(f64::from_le_bytes(c.try_into().unwrap())));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Incrementally builds a CFTENS1 document.
+#[derive(Default)]
+pub struct TensorFileBuilder {
+    meta: String,
+    entries: Vec<Entry>,
+    payload: Vec<u8>,
+}
+
+impl TensorFileBuilder {
+    /// An empty document with empty `meta`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the opaque metadata string (typically nested JSON).
+    pub fn meta(mut self, meta: impl Into<String>) -> Self {
+        self.meta = meta.into();
+        self
+    }
+
+    fn push_raw(&mut self, name: &str, dtype: Dtype, shape: Vec<usize>, len: usize) {
+        let offset = self.payload.len();
+        self.entries.push(Entry {
+            name: name.to_string(),
+            dtype: dtype.as_str().to_string(),
+            shape,
+            offset,
+            bytes: len * dtype.size_of(),
+        });
+    }
+
+    /// Appends a named tensor section from typed elements.
+    pub fn push_slice<E: Scalar>(&mut self, name: &str, shape: Vec<usize>, data: &[E]) {
+        self.push_raw(name, E::DTYPE, shape, data.len());
+        write_le(&mut self.payload, data);
+    }
+
+    /// Appends a named 1-D `f64` section.
+    pub fn push_f64(&mut self, name: &str, data: &[f64]) {
+        self.push_slice(name, vec![data.len().max(1)], data);
+    }
+
+    /// Appends a named tensor, preserving its shape and dtype.
+    pub fn push_tensor<E: Scalar>(&mut self, name: &str, t: &TensorBase<E>) {
+        self.push_slice(name, t.shape().to_vec(), t.data());
+    }
+
+    /// Appends a named 1-D `u64` section (stored as raw LE words under the
+    /// reserved dtype name `"u64"` — RNG state, permutation orders).
+    pub fn push_u64(&mut self, name: &str, data: &[u64]) {
+        let offset = self.payload.len();
+        self.entries.push(Entry {
+            name: name.to_string(),
+            dtype: "u64".to_string(),
+            shape: vec![data.len().max(1)],
+            offset,
+            bytes: data.len() * 8,
+        });
+        for &w in data {
+            self.payload.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Serialises the document to bytes.
+    pub fn finish(self) -> Vec<u8> {
+        let header = Header {
+            format_version: TENSOR_FORMAT_VERSION,
+            meta: self.meta,
+            tensors: self.entries,
+        };
+        let header_json =
+            serde_json::to_string(&header).expect("CFTENS1 header serialisation cannot fail");
+        let mut out = Vec::with_capacity(16 + header_json.len() + self.payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(header_json.len() as u64).to_le_bytes());
+        out.extend_from_slice(header_json.as_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+/// A parsed CFTENS1 document. Parsing validates the magic, the header
+/// JSON, and every section's bounds up front; section reads after that
+/// cannot fail structurally (only by name/dtype mismatch).
+#[derive(Debug)]
+pub struct TensorFile {
+    origin: String,
+    meta: String,
+    entries: Vec<Entry>,
+    payload: Vec<u8>,
+}
+
+impl TensorFile {
+    /// Parses `bytes`, attributing any error to `origin` (a file path or
+    /// storage key, for error messages).
+    pub fn parse(bytes: &[u8], origin: &str) -> Result<Self, StoreError> {
+        let corrupt = |detail: String| StoreError::corrupt(origin, detail);
+        if bytes.len() < 16 {
+            return Err(corrupt(format!(
+                "truncated CFTENS1 envelope: {} bytes, need at least 16",
+                bytes.len()
+            )));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(corrupt("bad magic, not a CFTENS1 file".into()));
+        }
+        let header_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let payload_start = 16usize
+            .checked_add(header_len)
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| {
+                corrupt(format!(
+                    "truncated CFTENS1 header: declares {header_len} bytes, file has {}",
+                    bytes.len().saturating_sub(16)
+                ))
+            })?;
+        let header_str = std::str::from_utf8(&bytes[16..payload_start])
+            .map_err(|e| corrupt(format!("CFTENS1 header is not UTF-8: {e}")))?;
+        let header: Header = serde_json::from_str(header_str)
+            .map_err(|e| corrupt(format!("unparseable CFTENS1 header: {e}")))?;
+        if header.format_version != TENSOR_FORMAT_VERSION {
+            return Err(StoreError::mismatch(
+                origin,
+                format!(
+                    "CFTENS1 format version {} (this build reads {})",
+                    header.format_version, TENSOR_FORMAT_VERSION
+                ),
+            ));
+        }
+        let payload = bytes[payload_start..].to_vec();
+        for e in &header.tensors {
+            let size = match e.dtype.as_str() {
+                "f32" => 4,
+                "f64" | "u64" => 8,
+                other => {
+                    return Err(corrupt(format!(
+                        "section {:?}: unknown dtype {other:?}",
+                        e.name
+                    )))
+                }
+            };
+            let end = e
+                .offset
+                .checked_add(e.bytes)
+                .filter(|&end| end <= payload.len())
+                .ok_or_else(|| {
+                    corrupt(format!(
+                        "section {:?} [{}..+{}] overruns {}-byte payload",
+                        e.name,
+                        e.offset,
+                        e.bytes,
+                        payload.len()
+                    ))
+                })?;
+            let _ = end;
+            if e.bytes % size != 0 {
+                return Err(corrupt(format!(
+                    "section {:?}: {} bytes is not a multiple of element size {size}",
+                    e.name, e.bytes
+                )));
+            }
+        }
+        Ok(Self {
+            origin: origin.to_string(),
+            meta: header.meta,
+            entries: header.tensors,
+            payload,
+        })
+    }
+
+    /// The opaque metadata string.
+    pub fn meta(&self) -> &str {
+        &self.meta
+    }
+
+    /// Section names, in layout order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.name.as_str())
+    }
+
+    /// Whether a section named `name` exists.
+    pub fn has(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+
+    fn entry(&self, name: &str) -> Result<&Entry, StoreError> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| StoreError::mismatch(&self.origin, format!("no section named {name:?}")))
+    }
+
+    fn section_bytes(&self, e: &Entry) -> &[u8] {
+        // Bounds were validated in parse().
+        &self.payload[e.offset..e.offset + e.bytes]
+    }
+
+    /// Reads a section as a typed tensor. The stored dtype must equal `E`
+    /// exactly — no silent widening/narrowing.
+    pub fn typed<E: Scalar>(&self, name: &str) -> Result<TensorBase<E>, StoreError> {
+        let e = self.entry(name)?;
+        if e.dtype != E::DTYPE.as_str() {
+            return Err(StoreError::mismatch(
+                &self.origin,
+                format!(
+                    "section {name:?} is {}, caller wants {}",
+                    e.dtype,
+                    E::DTYPE.as_str()
+                ),
+            ));
+        }
+        let data = read_le::<E>(self.section_bytes(e));
+        TensorBase::from_vec(e.shape.clone(), data)
+            .map_err(|err| StoreError::mismatch(&self.origin, format!("section {name:?}: {err}")))
+    }
+
+    /// Reads an `f64` section as a flat vector.
+    pub fn f64s(&self, name: &str) -> Result<Vec<f64>, StoreError> {
+        let e = self.entry(name)?;
+        if e.dtype != "f64" {
+            return Err(StoreError::mismatch(
+                &self.origin,
+                format!("section {name:?} is {}, caller wants f64", e.dtype),
+            ));
+        }
+        Ok(read_le::<f64>(self.section_bytes(e)))
+    }
+
+    /// Reads a `u64` section as a flat vector.
+    pub fn u64s(&self, name: &str) -> Result<Vec<u64>, StoreError> {
+        let e = self.entry(name)?;
+        if e.dtype != "u64" {
+            return Err(StoreError::mismatch(
+                &self.origin,
+                format!("section {name:?} is {}, caller wants u64", e.dtype),
+            ));
+        }
+        Ok(self
+            .section_bytes(e)
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// A section's declared shape.
+    pub fn shape(&self, name: &str) -> Result<&[usize], StoreError> {
+        Ok(&self.entry(name)?.shape)
+    }
+
+    /// A section's declared dtype string (`"f32"`, `"f64"`, `"u64"`).
+    pub fn dtype_of(&self, name: &str) -> Result<&str, StoreError> {
+        Ok(self.entry(name)?.dtype.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64_f32_u64() {
+        let t64 = TensorBase::<f64>::from_vec(vec![2, 3], vec![1.0, -2.5, 3.25, 0.0, 5.5, -6.75])
+            .unwrap();
+        let t32 = TensorBase::<f32>::from_vec(vec![4], vec![1.5f32, -0.25, 3.0e-20, 7.0]).unwrap();
+        let mut b = TensorFileBuilder::new().meta("{\"k\":1}");
+        b.push_tensor("w", &t64);
+        b.push_tensor("small", &t32);
+        b.push_u64("rng", &[0xDEAD_BEEF_u64, 42]);
+        b.push_f64("hist", &[0.5, 0.25]);
+        let bytes = b.finish();
+
+        let f = TensorFile::parse(&bytes, "test.cft").unwrap();
+        assert_eq!(f.meta(), "{\"k\":1}");
+        assert_eq!(
+            f.names().collect::<Vec<_>>(),
+            vec!["w", "small", "rng", "hist"]
+        );
+        let w: TensorBase<f64> = f.typed("w").unwrap();
+        assert_eq!(w.shape(), &[2, 3]);
+        assert_eq!(w.data(), t64.data());
+        let s: TensorBase<f32> = f.typed("small").unwrap();
+        assert_eq!(s.data(), t32.data(), "f32 must round-trip at full width");
+        assert_eq!(f.u64s("rng").unwrap(), vec![0xDEAD_BEEF_u64, 42]);
+        assert_eq!(f.f64s("hist").unwrap(), vec![0.5, 0.25]);
+        assert_eq!(f.dtype_of("small").unwrap(), "f32");
+        assert!(f.has("w") && !f.has("nope"));
+    }
+
+    #[test]
+    fn bit_patterns_survive_exactly() {
+        let vals = vec![f64::NAN, -0.0, f64::INFINITY, 1e-310];
+        let mut b = TensorFileBuilder::new();
+        b.push_f64("x", &vals);
+        let f = TensorFile::parse(&b.finish(), "t").unwrap();
+        let got = f.f64s("x").unwrap();
+        for (g, v) in got.iter().zip(&vals) {
+            assert_eq!(g.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn dtype_mismatch_is_an_error_not_a_cast() {
+        let mut b = TensorFileBuilder::new();
+        b.push_slice::<f64>("w", vec![2], &[1.0, 2.0]);
+        let f = TensorFile::parse(&b.finish(), "t").unwrap();
+        let err = f.typed::<f32>("w").unwrap_err();
+        assert!(err.to_string().contains("f64"), "{err}");
+        assert!(f.u64s("w").is_err());
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_detected() {
+        let mut b = TensorFileBuilder::new();
+        b.push_f64("x", &[1.0, 2.0, 3.0]);
+        let bytes = b.finish();
+
+        // Truncated to inside the header.
+        let err = TensorFile::parse(&bytes[..20], "t").unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // Truncated to inside the payload: section bounds check fires.
+        let cut = bytes.len() - 8;
+        let err = TensorFile::parse(&bytes[..cut], "t").unwrap_err();
+        assert!(err.to_string().contains("overruns"), "{err}");
+        // Too short for even the fixed prelude.
+        assert!(TensorFile::parse(&bytes[..7], "t").is_err());
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        let err = TensorFile::parse(&bad, "t").unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        // Garbage header length.
+        let mut bad = bytes.clone();
+        bad[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(TensorFile::parse(&bad, "t").is_err());
+        // Corrupted header JSON.
+        let mut bad = bytes.clone();
+        bad[17] = b'!';
+        let err = TensorFile::parse(&bad, "t").unwrap_err();
+        assert!(err.to_string().contains("header"), "{err}");
+    }
+
+    #[test]
+    fn errors_name_the_origin() {
+        let err = TensorFile::parse(b"junk", "/ckpt/ckpt-000007.cfck").unwrap_err();
+        assert!(err.to_string().contains("ckpt-000007.cfck"), "{err}");
+    }
+
+    #[test]
+    fn empty_sections_are_representable() {
+        let mut b = TensorFileBuilder::new();
+        b.push_f64("empty", &[]);
+        b.push_u64("also_empty", &[]);
+        let f = TensorFile::parse(&b.finish(), "t").unwrap();
+        assert_eq!(f.f64s("empty").unwrap(), Vec::<f64>::new());
+        assert_eq!(f.u64s("also_empty").unwrap(), Vec::<u64>::new());
+    }
+}

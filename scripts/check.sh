@@ -22,12 +22,15 @@ CF_THREADS=4 cargo test -q --workspace
 # checkpoint → resume 3 more) must be bitwise identical to 6 epochs straight
 # — parameters, loss history, and the downstream causal matrix — and the
 # fault drills (injected NaN, injected I/O failure, kill between epochs,
-# on-disk corruption) must recover. Run at 1, 2, and 4 worker threads:
-# recovery must be exact on any machine.
+# on-disk corruption) must recover. The store-pipeline gate rides along:
+# discovery streamed from a chunked on-disk store must be bitwise identical
+# to the in-RAM path, and a corrupted chunk must fail loudly naming its
+# file. Run at 1, 2, and 4 worker threads: recovery and store/RAM
+# equivalence must be exact on any machine.
 for threads in 1 2 4; do
-  echo "== resume determinism + fault drills (CF_THREADS=$threads)"
+  echo "== resume determinism + fault drills + store pipeline (CF_THREADS=$threads)"
   CF_THREADS=$threads cargo test -q -p causalformer \
-    --test resume_determinism --test fault_injection
+    --test resume_determinism --test fault_injection --test store_pipeline
 done
 
 # Dtype gate: the f64 pipeline must reproduce the pre-generic-backend
@@ -35,6 +38,14 @@ done
 # f64 — the test sweeps 1/2/4 worker threads internally.
 echo "== dtype equivalence gate (f64 goldens + f32 tolerance)"
 cargo test -q -p causalformer --test dtype_equivalence
+
+# Out-of-core peak-RSS gate: stream a lorenz96 trajectory into a chunked
+# store and run discovery from it in a child process; the binary parses
+# the child's VmHWM and exits 1 if the peak crosses the 200 MB budget.
+# Mirrors the CI bench-smoke gate so a memory regression fails locally
+# before it fails on the runner.
+echo "== out-of-core peak-RSS gate (par_baseline --smoke --oocore-only)"
+cargo run -q --release -p cf-bench --bin par_baseline -- --smoke --oocore-only
 
 # Report smoke: a real discover run must produce a loadable trace, a
 # diagnostics stream, and an HTML dashboard containing every panel.
@@ -88,7 +99,7 @@ cargo run -q -p cf-cli --bin causalformer -- \
   analyze --compare "$smoke_dir/trace-1t.json" "$smoke_dir/trace.json" \
   > "$smoke_dir/analyze-compare.md"
 grep -q "scaling attribution" "$smoke_dir/analyze-compare.md"
-for base in BENCH_PR4.json BENCH_PR7.json; do
+for base in BENCH_PR4.json BENCH_PR7.json BENCH_PR8.json BENCH_CI.json; do
   cargo run -q -p cf-cli --bin causalformer -- \
     bench-diff "$base" "$base" > "$smoke_dir/bench-diff.md"
   grep -q "OK: no cell regressed" "$smoke_dir/bench-diff.md"
