@@ -254,7 +254,7 @@ impl Clstm {
             * 4 // gates
             * (n + cfg.hidden)
             * cfg.hidden;
-        if per_target_flops < CLSTM_PAR_WORK_THRESHOLD {
+        if !cf_par::should_fan_out(per_target_flops as u64, CLSTM_PAR_WORK_THRESHOLD as u64) {
             for (idx, st) in states.iter_mut().enumerate() {
                 train_target(idx, st);
             }

@@ -357,11 +357,11 @@ fn main() {
         return;
     }
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let thread_counts = if options.smoke {
-        vec![1usize, 2]
-    } else {
-        vec![1usize, 4]
-    };
+    // 1/2/4 threads in both modes: the 2-thread cell separates scheduler
+    // overhead from core starvation, and CI's multi-core runner records
+    // the full scaling curve (plus the 1T/4T trace pair for the
+    // serial-fraction gate) even in smoke mode.
+    let thread_counts = vec![1usize, 2, 4];
     println!("Parallel baseline — host has {host_cores} core(s)");
     if thread_counts.iter().any(|&t| t > host_cores) {
         eprintln!(

@@ -15,6 +15,12 @@
 //! Traces recorded on an oversubscribed host (more worker threads than
 //! cores, e.g. `host_cores: 1` with 4-thread runs) get a loud warning:
 //! scaling conclusions from such runs must not be trusted.
+//!
+//! `--max-serial-fraction BOUND` turns the compare mode into a CI gate:
+//! the run reports one violation (exit 1 in `main`) when the Amdahl
+//! serial-fraction estimate exceeds the bound. The gate skips itself
+//! with a note on oversubscribed traces, where the estimate would
+//! measure scheduler contention rather than the code.
 
 use crate::CliError;
 use cf_obs::analyze::{
@@ -39,6 +45,11 @@ pub struct AnalyzeArgs {
     pub threads_base: Option<usize>,
     /// Parallelism of the scaled trace; inferred when absent.
     pub threads_scaled: Option<usize>,
+    /// `--compare` gate: fail (exit 1) when the Amdahl serial-fraction
+    /// estimate exceeds this bound. Skipped with a note when either
+    /// trace ran oversubscribed — contention-dominated wall times say
+    /// nothing about the code's serial fraction.
+    pub max_serial_fraction: Option<f64>,
     /// Emit machine-readable JSON instead of tables.
     pub json: bool,
 }
@@ -51,6 +62,7 @@ impl Default for AnalyzeArgs {
             top: 15,
             threads_base: None,
             threads_scaled: None,
+            max_serial_fraction: None,
             json: false,
         }
     }
@@ -341,6 +353,77 @@ pub fn compare_tables(
     out
 }
 
+/// Resolved `--max-serial-fraction` verdict for one compare pair.
+struct GateOutcome {
+    /// The requested bound.
+    bound: f64,
+    /// Measured Amdahl estimate, when one exists.
+    fraction: Option<f64>,
+    /// Why the gate was not evaluated (oversubscription, p ≤ 1).
+    skipped: Option<String>,
+    /// `true` only when evaluated and over the bound.
+    violated: bool,
+}
+
+/// Evaluates the serial-fraction gate. Oversubscribed traces skip the
+/// check — their wall times measure contention, not the code's serial
+/// fraction — as does a pair with no thread-count increase.
+fn serial_fraction_gate(
+    bound: f64,
+    sides: [(&Trace, usize); 2],
+    fraction: Option<f64>,
+) -> GateOutcome {
+    let oversub = sides
+        .iter()
+        .any(|(t, n)| t.host_cores.is_some_and(|c| *n > c));
+    if oversub {
+        GateOutcome {
+            bound,
+            fraction,
+            skipped: Some("the recording host was oversubscribed".into()),
+            violated: false,
+        }
+    } else if let Some(f) = fraction {
+        GateOutcome {
+            bound,
+            fraction,
+            skipped: None,
+            violated: f > bound,
+        }
+    } else {
+        GateOutcome {
+            bound,
+            fraction: None,
+            skipped: Some("no thread-count increase between the traces (p ≤ 1)".into()),
+            violated: false,
+        }
+    }
+}
+
+fn gate_verdict_line(g: &GateOutcome) -> String {
+    if let Some(reason) = &g.skipped {
+        format!(
+            "note: serial-fraction gate (bound {:.2}) skipped — {reason}",
+            g.bound
+        )
+    } else {
+        let f = g.fraction.unwrap_or(0.0);
+        if g.violated {
+            format!(
+                "FAIL: Amdahl serial fraction {:.1}% exceeds --max-serial-fraction {:.1}%",
+                100.0 * f,
+                100.0 * g.bound
+            )
+        } else {
+            format!(
+                "OK: Amdahl serial fraction {:.1}% within --max-serial-fraction {:.1}%",
+                100.0 * f,
+                100.0 * g.bound
+            )
+        }
+    }
+}
+
 fn compare_json(
     base_path: &str,
     base: &Trace,
@@ -348,6 +431,7 @@ fn compare_json(
     scaled: &Trace,
     p: f64,
     top: usize,
+    gate: Option<&GateOutcome>,
 ) -> String {
     let report = scaling_attribution(base, scaled, p);
     let mut rows = cf_obs::json::Arr::new();
@@ -375,6 +459,18 @@ fn compare_json(
     if let Some(s) = report.amdahl_serial_fraction {
         obj = obj.f64("amdahl_serial_fraction", s);
     }
+    if let Some(g) = gate {
+        let mut gobj = cf_obs::json::Obj::new()
+            .f64("bound", g.bound)
+            .bool("violated", g.violated);
+        if let Some(f) = g.fraction {
+            gobj = gobj.f64("fraction", f);
+        }
+        if let Some(r) = &g.skipped {
+            gobj = gobj.str("skipped", r);
+        }
+        obj = obj.raw("serial_fraction_gate", &gobj.finish());
+    }
     let oversub = [
         (base, base.inferred_threads()),
         (scaled, scaled.inferred_threads()),
@@ -384,18 +480,34 @@ fn compare_json(
     obj.bool("oversubscribed", oversub).finish()
 }
 
-/// Executes `analyze`, returning what `main` prints.
-pub fn run_analyze(a: &AnalyzeArgs) -> Result<String, CliError> {
+/// Executes `analyze`, returning what `main` prints plus the number of
+/// gate violations (`--max-serial-fraction`); nonzero means exit 1.
+pub fn run_analyze(a: &AnalyzeArgs) -> Result<(String, usize), CliError> {
+    if let Some(bound) = a.max_serial_fraction {
+        if !(0.0..=1.0).contains(&bound) {
+            return Err(CliError::Usage(format!(
+                "--max-serial-fraction must be a fraction in [0, 1], got {bound}"
+            )));
+        }
+    }
     match (&a.trace, &a.compare) {
         (Some(path), None) => {
+            if a.max_serial_fraction.is_some() {
+                return Err(CliError::Usage(
+                    "--max-serial-fraction needs a --compare trace pair".into(),
+                ));
+            }
             let trace = load_chrome_trace(path)?;
-            Ok(if a.json {
-                let mut s = single_trace_json(path, &trace, a.top);
-                s.push('\n');
-                s
-            } else {
-                single_trace_tables(path, &trace, a.top)
-            })
+            Ok((
+                if a.json {
+                    let mut s = single_trace_json(path, &trace, a.top);
+                    s.push('\n');
+                    s
+                } else {
+                    single_trace_tables(path, &trace, a.top)
+                },
+                0,
+            ))
         }
         (None, Some((base_path, scaled_path))) => {
             let base = load_chrome_trace(base_path)?;
@@ -412,13 +524,18 @@ pub fn run_analyze(a: &AnalyzeArgs) -> Result<String, CliError> {
                     out.push('\n');
                 }
                 out.push_str("nothing to compare\n");
-                return Ok(out);
+                return Ok((out, 0));
             }
             let p_base = a.threads_base.unwrap_or_else(|| base.inferred_threads());
             let p_scaled = a
                 .threads_scaled
                 .unwrap_or_else(|| scaled.inferred_threads());
             let p = (p_scaled as f64 / p_base as f64).max(1.0);
+            let gate = a.max_serial_fraction.map(|bound| {
+                let fraction = scaling_attribution(&base, &scaled, p).amdahl_serial_fraction;
+                serial_fraction_gate(bound, [(&base, p_base), (&scaled, p_scaled)], fraction)
+            });
+            let violations = gate.as_ref().map_or(0, |g| g.violated as usize);
             if a.json {
                 out.push_str(&compare_json(
                     base_path,
@@ -427,9 +544,10 @@ pub fn run_analyze(a: &AnalyzeArgs) -> Result<String, CliError> {
                     &scaled,
                     p,
                     a.top,
+                    gate.as_ref(),
                 ));
                 out.push('\n');
-                return Ok(out);
+                return Ok((out, violations));
             }
             for (path, trace, threads) in
                 [(base_path, &base, p_base), (scaled_path, &scaled, p_scaled)]
@@ -454,12 +572,16 @@ pub fn run_analyze(a: &AnalyzeArgs) -> Result<String, CliError> {
                 p,
                 a.top,
             ));
+            if let Some(g) = &gate {
+                out.push_str(&gate_verdict_line(g));
+                out.push('\n');
+            }
             // The per-trace breakdowns follow the headline comparison.
             out.push('\n');
             out.push_str(&single_trace_tables(base_path, &base, a.top));
             out.push('\n');
             out.push_str(&single_trace_tables(scaled_path, &scaled, a.top));
-            Ok(out)
+            Ok((out, violations))
         }
         _ => Err(CliError::Usage(
             "analyze requires exactly one of --trace FILE or --compare BASE SCALED".into(),
@@ -519,7 +641,7 @@ mod tests {
     #[test]
     fn analyze_single_trace_tables() {
         let path = trace_1t("cf_analyze_single_1t.json");
-        let out = run_analyze(&AnalyzeArgs {
+        let (out, _) = run_analyze(&AnalyzeArgs {
             trace: Some(path.clone()),
             ..AnalyzeArgs::default()
         })
@@ -540,7 +662,7 @@ mod tests {
     fn analyze_compare_ranks_non_scaling_span_first() {
         let p1 = trace_1t("cf_analyze_cmp_1t.json");
         let p4 = trace_4t("cf_analyze_cmp_4t.json");
-        let out = run_analyze(&AnalyzeArgs {
+        let (out, _) = run_analyze(&AnalyzeArgs {
             compare: Some((p1.clone(), p4.clone())),
             ..AnalyzeArgs::default()
         })
@@ -563,7 +685,7 @@ mod tests {
     fn analyze_compare_json_is_machine_readable() {
         let p1 = trace_1t("cf_analyze_json_1t.json");
         let p4 = trace_4t("cf_analyze_json_4t.json");
-        let out = run_analyze(&AnalyzeArgs {
+        let (out, _) = run_analyze(&AnalyzeArgs {
             compare: Some((p1.clone(), p4.clone())),
             json: true,
             ..AnalyzeArgs::default()
@@ -585,7 +707,7 @@ mod tests {
             .unwrap()
             .replace("\"hostCores\":8", "\"hostCores\":2");
         let oversub = tmp("cf_analyze_oversub.json", &contents);
-        let out = run_analyze(&AnalyzeArgs {
+        let (out, _) = run_analyze(&AnalyzeArgs {
             trace: Some(oversub.clone()),
             ..AnalyzeArgs::default()
         })
@@ -596,13 +718,97 @@ mod tests {
     }
 
     #[test]
+    fn serial_fraction_gate_passes_fails_and_skips() {
+        // The fixture pair implies s = (4·0.41/1.00 − 1)/3 ≈ 21.3%.
+        let p1 = trace_1t("cf_analyze_gate_1t.json");
+        let p4 = trace_4t("cf_analyze_gate_4t.json");
+
+        // Bound above the estimate: OK, zero violations.
+        let (out, violations) = run_analyze(&AnalyzeArgs {
+            compare: Some((p1.clone(), p4.clone())),
+            max_serial_fraction: Some(0.30),
+            ..AnalyzeArgs::default()
+        })
+        .unwrap();
+        assert_eq!(violations, 0, "{out}");
+        assert!(out.contains("OK: Amdahl serial fraction 21.3%"), "{out}");
+
+        // Bound below the estimate: FAIL, one violation.
+        let (out, violations) = run_analyze(&AnalyzeArgs {
+            compare: Some((p1.clone(), p4.clone())),
+            max_serial_fraction: Some(0.10),
+            ..AnalyzeArgs::default()
+        })
+        .unwrap();
+        assert_eq!(violations, 1, "{out}");
+        assert!(
+            out.contains("FAIL: Amdahl serial fraction 21.3% exceeds"),
+            "{out}"
+        );
+
+        // Same failing bound in JSON mode: the verdict is machine-readable.
+        let (out, violations) = run_analyze(&AnalyzeArgs {
+            compare: Some((p1.clone(), p4.clone())),
+            max_serial_fraction: Some(0.10),
+            json: true,
+            ..AnalyzeArgs::default()
+        })
+        .unwrap();
+        assert_eq!(violations, 1, "{out}");
+        let v: Value = serde_json::from_str(out.trim()).unwrap();
+        let g = &v["serial_fraction_gate"];
+        assert_eq!(g["violated"].as_bool(), Some(true), "{out}");
+        assert!((g["fraction"].as_f64().unwrap() - 0.2133).abs() < 1e-3);
+
+        // Oversubscribed scaled trace (4 workers, 2-core host): the gate
+        // must skip rather than fail on contention-dominated numbers.
+        let oversub_contents = std::fs::read_to_string(&p4)
+            .unwrap()
+            .replace("\"hostCores\":8", "\"hostCores\":2");
+        let p4_oversub = tmp("cf_analyze_gate_4t_oversub.json", &oversub_contents);
+        let (out, violations) = run_analyze(&AnalyzeArgs {
+            compare: Some((p1.clone(), p4_oversub.clone())),
+            max_serial_fraction: Some(0.10),
+            ..AnalyzeArgs::default()
+        })
+        .unwrap();
+        assert_eq!(violations, 0, "{out}");
+        assert!(
+            out.contains("serial-fraction gate") && out.contains("skipped"),
+            "{out}"
+        );
+
+        // Usage errors: bound outside [0, 1], or no compare pair.
+        assert!(matches!(
+            run_analyze(&AnalyzeArgs {
+                compare: Some((p1.clone(), p4.clone())),
+                max_serial_fraction: Some(1.5),
+                ..AnalyzeArgs::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_analyze(&AnalyzeArgs {
+                trace: Some(p1.clone()),
+                max_serial_fraction: Some(0.5),
+                ..AnalyzeArgs::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+
+        for p in [p1, p4, p4_oversub] {
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
     fn analyze_degrades_on_partial_inputs() {
         // Empty trace: clear one-liner, no panic.
         let empty = tmp(
             "cf_analyze_empty.json",
             r#"{"traceEvents":[],"droppedEvents":0}"#,
         );
-        let out = run_analyze(&AnalyzeArgs {
+        let (out, _) = run_analyze(&AnalyzeArgs {
             trace: Some(empty.clone()),
             ..AnalyzeArgs::default()
         })
@@ -616,7 +822,7 @@ mod tests {
   {"name":"mem.pool.hit","ph":"C","pid":1,"tid":1,"ts":1.0,"args":{"value":5}}
 ],"droppedEvents":3}"#,
         );
-        let out = run_analyze(&AnalyzeArgs {
+        let (out, _) = run_analyze(&AnalyzeArgs {
             trace: Some(counters.clone()),
             ..AnalyzeArgs::default()
         })
@@ -625,7 +831,7 @@ mod tests {
 
         // Compare with one empty side: diagnostic, not a panic.
         let full = trace_1t("cf_analyze_partial_full.json");
-        let out = run_analyze(&AnalyzeArgs {
+        let (out, _) = run_analyze(&AnalyzeArgs {
             compare: Some((empty.clone(), full.clone())),
             ..AnalyzeArgs::default()
         })

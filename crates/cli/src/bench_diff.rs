@@ -17,6 +17,12 @@
 //! `pool_misses` per timing — recorded since `BENCH_PR4.json`), the diff
 //! shows them as informational `base→new` columns; allocation drift
 //! never gates, only the wall-time ratio does.
+//!
+//! Multi-thread cells additionally get a parallel-efficiency column,
+//! `T1 / (N · TN)` against the same file's 1-thread cell (1.0 = perfect
+//! linear scaling). Efficiency below 0.5 on a cell that was *not*
+//! oversubscribed earns a `low-eff` note and a top-level warning —
+//! informational, never gating, since wall-time thresholds already do.
 
 use crate::CliError;
 use serde_json::Value;
@@ -152,6 +158,21 @@ pub struct DiffRow {
     pub base_misses: Option<u64>,
     /// New pool-miss count (informational).
     pub new_misses: Option<u64>,
+    /// Baseline parallel efficiency `T1/(N·TN)` vs the baseline file's
+    /// own 1-thread cell; absent for 1-thread cells or when the file has
+    /// no matching 1-thread cell.
+    pub base_eff: Option<f64>,
+    /// New-side parallel efficiency (same definition, new file).
+    pub new_eff: Option<f64>,
+}
+
+impl DiffRow {
+    /// Informational warning condition: measured efficiency under 0.5 on
+    /// a cell that was *not* oversubscribed (on an oversubscribed host
+    /// low efficiency is expected and says nothing about the scheduler).
+    pub fn low_efficiency(&self) -> bool {
+        !self.oversubscribed && self.new_eff.is_some_and(|e| e < 0.5)
+    }
 }
 
 /// The full diff: rows plus cells present on only one side.
@@ -178,6 +199,15 @@ impl DiffReport {
 pub fn diff(baseline: &str, new: &str, threshold: f64) -> Result<DiffReport, CliError> {
     let base = load_bench(baseline)?;
     let newer = load_bench(new)?;
+    // Parallel efficiency of an N-thread cell against the *same file's*
+    // 1-thread cell for the same (method, dataset): T1/(N·TN).
+    let efficiency = |cells: &BTreeMap<CellKey, Cell>, key: &CellKey, secs: f64| -> Option<f64> {
+        if key.2 <= 1 || secs <= 0.0 {
+            return None;
+        }
+        let one = cells.get(&(key.0.clone(), key.1.clone(), 1))?;
+        (one.secs > 0.0).then(|| one.secs / (key.2 as f64 * secs))
+    };
     let mut rows = Vec::new();
     let mut only_base = Vec::new();
     for (key, b) in &base {
@@ -201,6 +231,8 @@ pub fn diff(baseline: &str, new: &str, threshold: f64) -> Result<DiffReport, Cli
                     new_allocs: n.alloc_count,
                     base_misses: b.pool_misses,
                     new_misses: n.pool_misses,
+                    base_eff: efficiency(&base, key, b.secs),
+                    new_eff: efficiency(&newer, key, n.secs),
                 });
             }
             None => only_base.push(key.clone()),
@@ -234,37 +266,58 @@ fn markdown(report: &DiffReport, baseline: &str, new: &str) -> String {
              had cores — their wall times measure contention, not scaling"
         );
     }
+    if report.rows.iter().any(DiffRow::low_efficiency) {
+        let _ = writeln!(
+            out,
+            "WARNING: cells marked `low-eff` measured parallel efficiency below 0.50 \
+             on a non-oversubscribed host — threads are mostly waiting, not working"
+        );
+    }
     let _ = writeln!(
         out,
-        "| method | dataset | threads | base | new | ratio | allocs | misses | |"
+        "| method | dataset | threads | base | new | ratio | eff | allocs | misses | |"
     );
-    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---|");
+    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|---|");
     // The alloc / pool-miss columns are informational: they surface
     // allocator drift next to the wall-time ratio but never gate.
     let counter = |base: Option<u64>, new: Option<u64>| match (base, new) {
         (Some(b), Some(n)) => format!("{b}→{n}"),
         _ => "-".to_string(),
     };
+    // Efficiency is informational too: `T1/(N·TN)` per side, dash for
+    // 1-thread cells (the definition needs a same-file 1T reference).
+    let eff_fmt = |e: Option<f64>| e.map_or("-".to_string(), |v| format!("{v:.2}"));
+    let eff_col = |base: Option<f64>, new: Option<f64>| match (base, new) {
+        (None, None) => "-".to_string(),
+        (b, n) => format!("{}→{}", eff_fmt(b), eff_fmt(n)),
+    };
     for r in &report.rows {
         let mut note = String::new();
-        if r.regressed {
-            note.push_str("REGRESSED");
-        }
-        if r.oversubscribed {
+        let push_note = |s: &str, note: &mut String| {
             if !note.is_empty() {
                 note.push(' ');
             }
-            note.push_str("oversub");
+            note.push_str(s);
+        };
+        if r.regressed {
+            push_note("REGRESSED", &mut note);
+        }
+        if r.low_efficiency() {
+            push_note("low-eff", &mut note);
+        }
+        if r.oversubscribed {
+            push_note("oversub", &mut note);
         }
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {:.4}s | {:.4}s | {:.2}× | {} | {} | {note} |",
+            "| {} | {} | {} | {:.4}s | {:.4}s | {:.2}× | {} | {} | {} | {note} |",
             r.method,
             r.dataset,
             r.threads,
             r.base_secs,
             r.new_secs,
             r.ratio,
+            eff_col(r.base_eff, r.new_eff),
             counter(r.base_allocs, r.new_allocs),
             counter(r.base_misses, r.new_misses),
         );
@@ -312,6 +365,16 @@ fn machine_json(report: &DiffReport, baseline: &str, new: &str) -> String {
         }
         if let (Some(b), Some(n)) = (r.base_misses, r.new_misses) {
             obj = obj.u64("base_misses", b).u64("new_misses", n);
+        }
+        // Parallel efficiency `T1/(N·TN)`, per side, relative to the same
+        // file's 1-thread cell; absent for 1-thread rows.
+        if let Some(e) = r.base_eff {
+            obj = obj.f64("base_eff", e);
+        }
+        if let Some(e) = r.new_eff {
+            obj = obj
+                .f64("new_eff", e)
+                .bool("low_efficiency", r.low_efficiency());
         }
         rows = rows.raw(&obj.finish());
     }
@@ -565,6 +628,7 @@ mod tests {
             "BENCH_PR4.json",
             "BENCH_PR7.json",
             "BENCH_PR8.json",
+            "BENCH_PR9.json",
             "BENCH_CI.json",
         ] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
@@ -633,6 +697,71 @@ mod tests {
         );
         let cells = load_bench(path).unwrap();
         assert!(cells.keys().any(|(m, _, _)| m == "CausalFormer-oocore"));
+    }
+
+    #[test]
+    fn efficiency_column_warns_below_half_on_real_cores_only() {
+        // host_cores 8, so the 4T cells are NOT oversubscribed. Fixture
+        // efficiencies: Fork 0.156/(4·0.186)=0.21, Lorenz 0.308/(4·0.372)
+        // =0.21, scaling 0.351/(4·0.407)=0.22 — all below the 0.5 bar.
+        let a = tmp("cf_bd_eff_a.json", &bench_json(0.372, 8));
+        let b = tmp("cf_bd_eff_b.json", &bench_json(0.372, 8));
+        let (out, regressions) = run_bench_diff(&BenchDiffArgs {
+            baseline: a.clone(),
+            new: b.clone(),
+            ..BenchDiffArgs::default()
+        })
+        .unwrap();
+        // Informational: annotates but never gates.
+        assert_eq!(regressions, 0, "{out}");
+        assert!(out.contains("low-eff"), "{out}");
+        assert!(
+            out.contains("below 0.50") && out.contains("WARNING"),
+            "{out}"
+        );
+        // The column renders both sides; 1T rows have no efficiency.
+        assert!(out.contains("| 0.21→0.21 |"), "{out}");
+        let one_t_row = out
+            .lines()
+            .find(|l| l.starts_with("| CausalFormer | Fork | 1 "))
+            .unwrap();
+        assert!(one_t_row.contains("| - | - | - |"), "{out}");
+
+        // Machine JSON carries the per-side values and the flag.
+        let (json_out, _) = run_bench_diff(&BenchDiffArgs {
+            baseline: a.clone(),
+            new: b.clone(),
+            json: true,
+            ..BenchDiffArgs::default()
+        })
+        .unwrap();
+        let v: Value = serde_json::from_str(json_out.trim()).unwrap();
+        let four_t = v["rows"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|r| r["threads"].as_u64() == Some(4))
+            .unwrap();
+        let eff = four_t["new_eff"].as_f64().unwrap();
+        assert!((0.15..0.5).contains(&eff), "{four_t}");
+        assert_eq!(four_t["low_efficiency"].as_bool(), Some(true));
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+
+        // Same numbers on a 1-core host: the cells are oversubscribed, so
+        // contention-dominated timings must NOT trip the low-eff warning.
+        let a = tmp("cf_bd_eff_1c_a.json", &bench_json(0.372, 1));
+        let b = tmp("cf_bd_eff_1c_b.json", &bench_json(0.372, 1));
+        let (out, _) = run_bench_diff(&BenchDiffArgs {
+            baseline: a.clone(),
+            new: b.clone(),
+            ..BenchDiffArgs::default()
+        })
+        .unwrap();
+        assert!(!out.contains("low-eff"), "{out}");
+        assert!(out.contains("oversub"), "{out}");
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
     }
 
     #[test]

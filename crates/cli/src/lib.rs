@@ -82,7 +82,7 @@ usage:
                         [--diag FILE.cfdiag]
   causalformer analyze  (--trace FILE.json | --compare BASE.json SCALED.json)
                         [--top N] [--threads-base N] [--threads-scaled N]
-                        [--json]
+                        [--max-serial-fraction S] [--json]
   causalformer bench-diff BASELINE.json NEW.json [--threshold R] [--json]
 
 discover options:
@@ -159,6 +159,10 @@ analyze options:
   --threads-base N     baseline parallelism (default: inferred from
                        cf-par worker timelines in the trace)
   --threads-scaled N   scaled-trace parallelism (default: inferred)
+  --max-serial-fraction S
+                       with --compare: exit 1 when the Amdahl serial
+                       fraction exceeds S (skipped, with a note, when a
+                       trace ran oversubscribed)
   --json               machine-readable JSON instead of tables
 
 bench-diff options:
@@ -488,6 +492,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--threads-base" => a.threads_base = Some(parse_num(flag, value)?),
                     "--threads-scaled" => a.threads_scaled = Some(parse_num(flag, value)?),
+                    "--max-serial-fraction" => {
+                        a.max_serial_fraction = Some(parse_num(flag, value)?)
+                    }
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
                 i += 2;

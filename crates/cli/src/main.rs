@@ -16,7 +16,15 @@ fn main() {
         Ok(Command::Discover(a)) => run_discover(&a),
         Ok(Command::Generate(a)) => run_generate(&a),
         Ok(Command::Report(a)) => run_report(&a),
-        Ok(Command::Analyze(a)) => run_analyze(&a),
+        Ok(Command::Analyze(a)) => match run_analyze(&a) {
+            // A gate violation (--max-serial-fraction) is a successful
+            // analysis with a failing verdict: print it, then exit 1.
+            Ok((report, violations)) => {
+                print!("{report}");
+                std::process::exit(if violations == 0 { 0 } else { 1 });
+            }
+            Err(e) => Err(e),
+        },
         Ok(Command::BenchDiff(a)) => match run_bench_diff(&a) {
             // A regression is a successful comparison with a failing
             // verdict: print the table, then exit 1 so CI gates on it.

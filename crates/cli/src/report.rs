@@ -11,9 +11,10 @@
 //!
 //! Every panel keeps a stable element id (`panel-training-loss`,
 //! `panel-causal-evolution`, `panel-thread-utilization`, `panel-pool`,
-//! `panel-top-self-time`, `panel-percentiles`, `panel-scaling`) so
-//! smoke tests can assert presence; a panel whose input is missing or
-//! empty renders an explanatory note instead of a chart.
+//! `panel-top-self-time`, `panel-percentiles`, `panel-scaling`,
+//! `panel-scheduler`) so smoke tests can assert presence; a panel whose
+//! input is missing or empty renders an explanatory note instead of a
+//! chart.
 //!
 //! Trace analysis (self-time aggregation, scaling attribution) is
 //! delegated to [`cf_obs::analyze`]; this module only renders.
@@ -83,6 +84,9 @@ struct Metrics {
     epochs: Vec<EpochRow>,
     discovery: Option<Discovery>,
     span_percentiles: Vec<SpanPercentiles>,
+    /// `par.*` scheduler counters/gauges from the end-of-run
+    /// `metrics_summary` snapshot, in emission (sorted-name) order.
+    scheduler: Vec<(String, f64)>,
 }
 
 /// One `epoch` record from the cfdiag stream.
@@ -169,6 +173,7 @@ fn load_metrics(path: &str) -> Result<Metrics, CliError> {
         epochs: Vec::new(),
         discovery: None,
         span_percentiles: Vec::new(),
+        scheduler: Vec::new(),
     };
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -235,6 +240,27 @@ fn load_metrics(path: &str) -> Result<Metrics, CliError> {
                         p95_us: p95 * 1e6,
                         p99_us: p99 * 1e6,
                     });
+                }
+            }
+            Some("metrics_summary") => {
+                // Work-stealing scheduler telemetry: every `par.*`
+                // counter and gauge from the snapshot. The summary is
+                // emitted once at the end of a run; if several appear
+                // (concatenated files), the last one wins.
+                let mut rows = Vec::new();
+                for section in ["counters", "gauges"] {
+                    if let Some(Value::Object(fields)) =
+                        v.get("metrics").and_then(|m| m.get(section))
+                    {
+                        for (name, val) in fields {
+                            if let (true, Some(x)) = (name.starts_with("par."), val.as_f64()) {
+                                rows.push((name.clone(), x));
+                            }
+                        }
+                    }
+                }
+                if !rows.is_empty() {
+                    m.scheduler = rows;
                 }
             }
             _ => {}
@@ -1003,8 +1029,41 @@ fn render_html(
     }
     html.push_str("</section>");
 
+    // Panel 8: work-stealing scheduler counters (metrics summary).
+    html.push_str(r#"<section id="panel-scheduler"><h2>Scheduler</h2><p class="caption">Work-stealing pool telemetry for the whole run: parallel vs inline dispatches, chunk tasks, scope spawns, steals, injector overflow, and summed busy/idle time.</p>"#);
+    match metrics.map(|m| m.scheduler.as_slice()) {
+        Some(rows) if !rows.is_empty() => html.push_str(&scheduler_table(rows)),
+        _ => html.push_str(&note(
+            "no scheduler counters in metrics (needs a --metrics-out file \
+             from a build with the cf-par task scheduler)",
+        )),
+    }
+    html.push_str("</section>");
+
     html.push_str("</main></body></html>\n");
     html
+}
+
+/// The `par.*` counter table. Nanosecond counters render as durations,
+/// everything else as plain integers.
+fn scheduler_table(rows: &[(String, f64)]) -> String {
+    let mut out = String::from(
+        r#"<table><thead><tr><th>counter</th><th class="num">value</th></tr></thead><tbody>"#,
+    );
+    for (name, value) in rows {
+        let rendered = if name.ends_with("_ns") {
+            fmt_dur(value / 1_000.0)
+        } else {
+            format!("{value:.0}")
+        };
+        let _ = write!(
+            out,
+            r#"<tr><td>{}</td><td class="num">{rendered}</td></tr>"#,
+            esc(name)
+        );
+    }
+    out.push_str("</tbody></table>");
+    out
 }
 
 /// Document head: all styling inline, light and dark from the same
@@ -1146,11 +1205,38 @@ mod tests {
             "panel-top-self-time",
             "panel-scaling",
             "panel-percentiles",
+            "panel-scheduler",
         ] {
             assert!(html.contains(&format!(r#"id="{id}""#)), "{id} missing");
         }
         assert!(!html.contains("http://"), "report must be self-contained");
         assert!(!html.contains("<script"), "report must not need scripts");
+    }
+
+    #[test]
+    fn scheduler_panel_parses_metrics_summary_and_renders() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("cf_report_sched.jsonl");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"event\":\"meta\",\"schema_version\":\"2.1\"}\n",
+                "{\"event\":\"metrics_summary\",\"ts\":1.0,\"metrics\":{",
+                "\"counters\":{\"par.jobs\":12,\"par.steals\":3,",
+                "\"par.busy_ns\":2500000000,\"mem.pool.hit\":99},",
+                "\"gauges\":{\"par.threads\":4.0},\"histograms\":{}}}\n"
+            ),
+        )
+        .unwrap();
+        let m = load_metrics(path.to_str().unwrap()).unwrap();
+        // Only par.* series make the panel; pool counters have their own.
+        assert_eq!(m.scheduler.len(), 4, "{:?}", m.scheduler);
+        assert!(m.scheduler.iter().all(|(n, _)| n.starts_with("par.")));
+        let html = render_html(Some(&m), None, None, None);
+        assert!(html.contains("par.steals"), "{html}");
+        // Nanosecond counters render as durations: 2.5e9 ns = 2.50 s.
+        assert!(html.contains("2.50"), "{html}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

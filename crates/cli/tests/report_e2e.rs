@@ -180,7 +180,7 @@ fn discover_artifacts_render_into_report() {
 
     // The analyze subcommand on the same trace pair produces the
     // scaling-attribution table, naming pipeline spans.
-    let out = run_analyze(&AnalyzeArgs {
+    let (out, _) = run_analyze(&AnalyzeArgs {
         compare: Some((
             trace_1t.to_string_lossy().into_owned(),
             trace.to_string_lossy().into_owned(),

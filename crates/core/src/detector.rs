@@ -267,12 +267,18 @@ pub fn aggregate_scores<E: Scalar>(
     let mut total = CausalScores::zeros(mcfg.n_series, mcfg.window);
     let k = cfg.sample_windows.min(windows.len());
     let step = windows.len() as f64 / k as f64;
-    let mut used = 0usize;
-    for s in 0..k {
+    // Each sampled window is an independent, rng-free scoring pass — the
+    // coarse grain the scheduler wants. Fan the windows out as tasks
+    // (each one's per-target passes are themselves stealable subtasks),
+    // then accumulate sequentially in sample order: the same left fold
+    // the old serial loop performed, so the sum stays bitwise identical.
+    let per_window: Vec<CausalScores> = cf_par::par_map(k, |s| {
         let idx = (s as f64 * step) as usize;
-        let ws = window_scores(model, store, &windows[idx.min(windows.len() - 1)], cfg.mode);
-        total.add_scaled(&ws, 1.0);
-        used += 1;
+        window_scores(model, store, &windows[idx.min(windows.len() - 1)], cfg.mode)
+    });
+    let used = per_window.len();
+    for ws in &per_window {
+        total.add_scaled(ws, 1.0);
     }
     total.scale(1.0 / used as f64);
     total

@@ -419,25 +419,46 @@ fn fit_inner<E: Scalar, Q: TrainRng<E>>(
             // trajectory is bitwise identical at any thread count (the
             // reduction shape depends only on the batch size).
             let n_params = store.len();
-            let per_window: Vec<(f64, Vec<Option<TensorBase<E>>>)> =
-                cf_par::par_map(batch.len(), |bi| {
-                    let w = &train_set[batch[bi]];
-                    with_pooled_tape(|tape| {
-                        let bound = store.bind(tape);
-                        let trace = model.forward(tape, &bound, w);
-                        let loss = model.prediction_loss(tape, &trace, w);
-                        let loss_val = tape.value(loss).item();
-                        // Loss scaling: seed with GRAD_SCALE (1.0 for f64 —
-                        // identical to plain backward; 2^32 for f32, keeping
-                        // backward-kernel products out of the subnormal
-                        // range). Unscaled below via `inv`.
-                        let mut grads =
-                            tape.backward_with_seed(loss, TensorBase::scalar(E::GRAD_SCALE));
-                        let mut gvec: Vec<Option<TensorBase<E>>> = vec![None; n_params];
-                        bound.take_gradients(&mut grads, |id, g| gvec[id.index()] = Some(g));
-                        (loss_val, gvec)
+            // The sparsity penalty depends only on the parameters, not
+            // the windows, so it overlaps the data-parallel batch as a
+            // stealable task via `join`: both sides are rng-free, read
+            // the store immutably, and record on their own pooled tapes,
+            // so every tensor is bitwise identical to the old sequential
+            // order — only the wall-clock overlap changes.
+            let (per_window, (penalty_val, mut pvec)) = cf_par::join(
+                || {
+                    cf_par::par_map(batch.len(), |bi| {
+                        let w = &train_set[batch[bi]];
+                        with_pooled_tape(|tape| {
+                            let bound = store.bind(tape);
+                            let trace = model.forward(tape, &bound, w);
+                            let loss = model.prediction_loss(tape, &trace, w);
+                            let loss_val = tape.value(loss).item();
+                            // Loss scaling: seed with GRAD_SCALE (1.0 for
+                            // f64 — identical to plain backward; 2^32 for
+                            // f32, keeping backward-kernel products out of
+                            // the subnormal range). Unscaled below via
+                            // `inv`.
+                            let mut grads =
+                                tape.backward_with_seed(loss, TensorBase::scalar(E::GRAD_SCALE));
+                            let mut gvec: Vec<Option<TensorBase<E>>> = vec![None; n_params];
+                            bound.take_gradients(&mut grads, |id, g| gvec[id.index()] = Some(g));
+                            (loss_val, gvec)
+                        })
                     })
-                });
+                },
+                || {
+                    with_pooled_tape(|ptape| {
+                        let pbound = store.bind(ptape);
+                        let penalty = model.sparsity_penalty(ptape, &pbound);
+                        let penalty_val = ptape.value(penalty).item();
+                        let mut pgrads = ptape.backward(penalty);
+                        let mut pvec: Vec<Option<TensorBase<E>>> = vec![None; n_params];
+                        pbound.take_gradients(&mut pgrads, |id, g| pvec[id.index()] = Some(g));
+                        (penalty_val, pvec)
+                    })
+                },
+            );
             let batch_len = per_window.len();
             let (loss_sum, mut grad_sum) = cf_par::tree_reduce(per_window, |mut a, b| {
                 a.0 += b.0;
@@ -452,18 +473,6 @@ fn fit_inner<E: Scalar, Q: TrainRng<E>>(
                 a
             })
             .expect("non-empty batch");
-
-            // The sparsity penalty depends only on the parameters, not the
-            // windows: evaluate it once per step on its own small tape.
-            let (penalty_val, mut pvec) = with_pooled_tape(|ptape| {
-                let pbound = store.bind(ptape);
-                let penalty = model.sparsity_penalty(ptape, &pbound);
-                let penalty_val = ptape.value(penalty).item();
-                let mut pgrads = ptape.backward(penalty);
-                let mut pvec: Vec<Option<TensorBase<E>>> = vec![None; n_params];
-                pbound.take_gradients(&mut pgrads, |id, g| pvec[id.index()] = Some(g));
-                (penalty_val, pvec)
-            });
 
             let inv = 1.0 / batch_len as f64;
             // Batch averaging and gradient unscaling in one multiply; the

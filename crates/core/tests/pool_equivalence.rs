@@ -100,9 +100,23 @@ fn model_gradients() -> Vec<Tensor> {
     })
 }
 
+/// Sums the per-thread counter records into (hit, miss, alloc).
+fn per_thread_sums() -> (u64, u64, u64) {
+    pool::per_thread_stats()
+        .iter()
+        .fold((0, 0, 0), |(h, m, a), s| {
+            (h + s.hit, m + s.miss, a + s.alloc)
+        })
+}
+
 #[test]
 fn pool_is_invisible_to_numerics_and_allocation_free_in_steady_state() {
     // --- 1 + 2: pooled vs unpooled bitwise equivalence, per thread count.
+    // The multi-thread runs drive the full steal path: coarse per-window /
+    // per-target tasks migrate between workers (and back to the main
+    // thread while it help-waits), so every pool grab below may execute on
+    // a thread other than the one that queued the work — exactly the
+    // attribution the per-thread counter invariant at the end pins down.
     for threads in [1usize, 2, 4] {
         cf_par::set_threads(threads);
 
@@ -168,4 +182,36 @@ fn pool_is_invisible_to_numerics_and_allocation_free_in_steady_state() {
             "{name}: steady-state run did not exercise the pool at all"
         );
     }
+
+    // --- 4: per-thread counter attribution under work stealing. All the
+    // runs above are complete (the scheduler is quiescent), so the
+    // per-thread records — bumped by whichever thread *executed* each
+    // grab, including stolen tasks — must sum exactly to the global
+    // totals: every event counted once, none double-counted when a buffer
+    // migrated between threads.
+    let totals = pool::stats();
+    let (hit_sum, miss_sum, alloc_sum) = per_thread_sums();
+    assert_eq!(
+        hit_sum, totals.hit,
+        "per-thread hit records must sum to the global hit total"
+    );
+    assert_eq!(
+        miss_sum, totals.miss,
+        "per-thread miss records must sum to the global miss total"
+    );
+    assert_eq!(
+        alloc_sum, totals.alloc,
+        "per-thread alloc records must sum to the global alloc total"
+    );
+    // The multi-thread phases above ran coarse tasks on pool workers, so
+    // attribution must have spread beyond the main thread.
+    assert!(
+        pool::per_thread_stats()
+            .iter()
+            .filter(|s| s.hit + s.miss + s.alloc > 0)
+            .count()
+            > 1,
+        "stolen/migrated tasks should have attributed pool events to \
+         more than one thread"
+    );
 }

@@ -24,6 +24,8 @@ use crate::tensor::TensorBase;
 /// Multiply-add count (≈ n²·T² for a causal convolution) below which the
 /// convolution kernels stay serial; mirrors
 /// [`PAR_FLOP_THRESHOLD`](crate::tensor::PAR_FLOP_THRESHOLD) for matmuls.
+/// Gated through [`cf_par::should_fan_out`], so nested calls (from inside
+/// a scheduler task) need 4× this much work to fan out.
 const PAR_ELEM_THRESHOLD: usize = 131_072;
 
 /// Multi-kernel causal convolution (paper Eq. 3).
@@ -68,7 +70,7 @@ pub fn causal_conv<E: Scalar>(x: &TensorBase<E>, kernel: &TensorBase<E>) -> Tens
             }
         }
     };
-    if n * n * t_len * t_len < PAR_ELEM_THRESHOLD {
+    if !cf_par::should_fan_out((n * n * t_len * t_len) as u64, PAR_ELEM_THRESHOLD as u64) {
         for i in 0..n {
             let oslab = &mut out.data_mut()[i * slab_len..(i + 1) * slab_len];
             slab(i, oslab);
@@ -129,7 +131,7 @@ pub fn causal_conv_backward_kernel_into<E: Scalar>(
             }
         }
     };
-    if n * n * t_len * t_len < PAR_ELEM_THRESHOLD {
+    if !cf_par::should_fan_out((n * n * t_len * t_len) as u64, PAR_ELEM_THRESHOLD as u64) {
         for i in 0..n {
             let gkslab = &mut grad_k.data_mut()[i * slab_len..(i + 1) * slab_len];
             slab(i, gkslab);
@@ -189,7 +191,7 @@ pub fn causal_conv_backward_x_into<E: Scalar>(
             }
         }
     };
-    if n * n * t_len * t_len < PAR_ELEM_THRESHOLD {
+    if !cf_par::should_fan_out((n * n * t_len * t_len) as u64, PAR_ELEM_THRESHOLD as u64) {
         for i in 0..n {
             let gxrow = &mut grad_x.data_mut()[i * t_len..(i + 1) * t_len];
             row(i, gxrow);

@@ -42,10 +42,15 @@
 //! allocation would dwarf the allocation itself — and are published into
 //! the `cf-obs` metrics registry in one batch by [`publish_obs`]. Counters
 //! are shared across element types (they answer "is the process allocating",
-//! not "which dtype is").
+//! not "which dtype is"). Alongside the totals, each thread keeps its own
+//! hit/miss/alloc record ([`per_thread_stats`]): events are attributed to
+//! the thread that *executed* the grab, so under the work-stealing
+//! scheduler the stealing worker owns the counters of the task it ran and
+//! a migrated buffer is never counted twice.
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::scalar::Scalar;
 
@@ -101,6 +106,50 @@ static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(1);
 
 thread_local! {
     static THREAD_ID: Cell<u32> = const { Cell::new(0) };
+    static LOCAL_COUNTERS: RefCell<Option<Arc<ThreadCounters>>> = const { RefCell::new(None) };
+}
+
+/// Per-thread attribution of the hit/miss/alloc counters. The *executing*
+/// thread owns the bump: under the work-stealing scheduler a grab made
+/// while running a stolen task is attributed to the thief (the thread
+/// whose free list actually served or missed the request), and a buffer
+/// that migrates home → global list → foreign thread counts exactly one
+/// hit, on the thread that re-grabbed it — attribution moves with the
+/// work, totals are never double-counted.
+struct ThreadCounters {
+    thread: u32,
+    hit: AtomicU64,
+    miss: AtomicU64,
+    alloc: AtomicU64,
+}
+
+fn counter_registry() -> &'static Mutex<Vec<Arc<ThreadCounters>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadCounters>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Runs `f` on this thread's counter record, creating and registering it
+/// on first use. One `RefCell` access plus a relaxed atomic add per pool
+/// event — negligible next to the free-list work itself.
+#[inline]
+fn with_local_counters(f: impl FnOnce(&ThreadCounters)) {
+    LOCAL_COUNTERS.with(|c| {
+        let mut slot = c.borrow_mut();
+        let rec = slot.get_or_insert_with(|| {
+            let rec = Arc::new(ThreadCounters {
+                thread: thread_id(),
+                hit: AtomicU64::new(0),
+                miss: AtomicU64::new(0),
+                alloc: AtomicU64::new(0),
+            });
+            counter_registry()
+                .lock()
+                .expect("pool counter registry poisoned")
+                .push(Arc::clone(&rec));
+            rec
+        });
+        f(rec);
+    });
 }
 
 /// Per-thread, per-dtype free lists. Instances live in the per-dtype
@@ -190,20 +239,32 @@ pub(crate) fn grab<E: Scalar>(n: usize) -> (Vec<E>, u32) {
         let home = thread_id();
         if let Some(buf) = local {
             HIT.fetch_add(1, Ordering::Relaxed);
+            with_local_counters(|c| {
+                c.hit.fetch_add(1, Ordering::Relaxed);
+            });
             OUTSTANDING.fetch_add(bytes_of::<E>(buf.capacity()), Ordering::Relaxed);
             return (buf, home);
         }
         let global = E::global_pool().lock().expect("pool mutex poisoned")[class].pop();
         if let Some(buf) = global {
             HIT.fetch_add(1, Ordering::Relaxed);
+            with_local_counters(|c| {
+                c.hit.fetch_add(1, Ordering::Relaxed);
+            });
             OUTSTANDING.fetch_add(bytes_of::<E>(buf.capacity()), Ordering::Relaxed);
             return (buf, home);
         }
         MISS.fetch_add(1, Ordering::Relaxed);
+        with_local_counters(|c| {
+            c.miss.fetch_add(1, Ordering::Relaxed);
+        });
         cf_obs::trace::instant("pool.miss");
     }
     let home = thread_id();
     ALLOC.fetch_add(1, Ordering::Relaxed);
+    with_local_counters(|c| {
+        c.alloc.fetch_add(1, Ordering::Relaxed);
+    });
     // Allocate the full class size so the buffer round-trips through its
     // bucket stably instead of shrinking a class on each recycle.
     let cap = if class < NUM_CLASSES {
@@ -225,6 +286,9 @@ fn bytes_of<E>(elems: usize) -> i64 {
 pub(crate) fn note_external<E: Scalar>(capacity: usize) {
     if capacity > 0 {
         ALLOC.fetch_add(1, Ordering::Relaxed);
+        with_local_counters(|c| {
+            c.alloc.fetch_add(1, Ordering::Relaxed);
+        });
         OUTSTANDING.fetch_add(bytes_of::<E>(capacity), Ordering::Relaxed);
     }
 }
@@ -313,6 +377,41 @@ pub fn stats() -> PoolStats {
         alloc: ALLOC.load(Ordering::Relaxed),
         bytes_outstanding: OUTSTANDING.load(Ordering::Relaxed),
     }
+}
+
+/// One thread's share of the pool counters (see [`per_thread_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPoolStats {
+    /// The pool-assigned stable thread id (see the `home` ids returned by
+    /// grab) of the thread these events executed on.
+    pub thread: u32,
+    /// Requests this thread served from a free list.
+    pub hit: u64,
+    /// Requests this thread found cold.
+    pub miss: u64,
+    /// Fresh allocations performed by this thread.
+    pub alloc: u64,
+}
+
+/// Per-thread attribution snapshot, sorted by thread id. Each event is
+/// counted exactly once, on the thread that executed the grab — so under
+/// work stealing the stealing worker owns the hits and misses of the task
+/// it ran, and at any quiescent point the per-thread sums equal the
+/// [`stats`] totals (the invariant `pool_equivalence` pins down).
+pub fn per_thread_stats() -> Vec<ThreadPoolStats> {
+    let mut out: Vec<ThreadPoolStats> = counter_registry()
+        .lock()
+        .expect("pool counter registry poisoned")
+        .iter()
+        .map(|c| ThreadPoolStats {
+            thread: c.thread,
+            hit: c.hit.load(Ordering::Relaxed),
+            miss: c.miss.load(Ordering::Relaxed),
+            alloc: c.alloc.load(Ordering::Relaxed),
+        })
+        .collect();
+    out.sort_by_key(|s| s.thread);
+    out
 }
 
 /// Publishes the pool counters into the `cf-obs` metrics registry as
@@ -447,6 +546,50 @@ mod tests {
         .join()
         .unwrap();
         assert!(found, "cross-thread recycle did not reach the global list");
+    }
+
+    #[test]
+    fn per_thread_counters_attribute_to_the_executing_thread() {
+        // A grab on a spawned thread must land on that thread's record —
+        // including the hit on a buffer that migrated through the global
+        // list from another thread's recycle (counted once, on the
+        // re-grabbing thread).
+        let n = 87_654; // unusual class, private to this test
+        let (buf, home) = grab::<f64>(n);
+        recycle(buf, home); // local: this thread's list now holds it
+        let (buf, home) = grab::<f64>(n); // hit on this thread
+        let my_id = thread_id();
+        let my_hits = |stats: &[ThreadPoolStats]| {
+            stats
+                .iter()
+                .find(|s| s.thread == my_id)
+                .map(|s| s.hit)
+                .unwrap_or(0)
+        };
+        let before = my_hits(&per_thread_stats());
+        // Drop it from a foreign thread → global list; then a second
+        // foreign thread re-grabs it and must own the hit.
+        let (stolen_hit, foreign_id) = std::thread::spawn(move || {
+            recycle(buf, home); // cross-thread recycle: no hit anywhere
+            let before = per_thread_stats();
+            let (again, h2) = grab::<f64>(n); // hit from the global list
+            let id = thread_id();
+            let after = per_thread_stats();
+            recycle(again, h2);
+            let hits = |s: &[ThreadPoolStats]| {
+                s.iter()
+                    .find(|r| r.thread == id)
+                    .map(|r| r.hit)
+                    .unwrap_or(0)
+            };
+            (hits(&after) - hits(&before), id)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(stolen_hit, 1, "foreign re-grab owns exactly one hit");
+        assert_ne!(foreign_id, my_id);
+        let after = my_hits(&per_thread_stats());
+        assert_eq!(after, before, "migration must not double-count on home");
     }
 
     #[test]

@@ -178,6 +178,9 @@ pub type Tensor = TensorBase<f64>;
 /// FLOP count (2·m·k·n for a matmul) below which the linear-algebra kernels
 /// stay serial: a pool dispatch costs on the order of a microsecond, which
 /// only pays for itself once the kernel does roughly this much arithmetic.
+/// The comparison goes through [`cf_par::should_fan_out`], which raises the
+/// bar by `NESTED_FANOUT_FACTOR` when the kernel already runs inside a
+/// scheduler task (coarse-grained parallelism has first claim on workers).
 pub(crate) const PAR_FLOP_THRESHOLD: usize = 262_144;
 
 /// Output rows per parallel chunk, targeting ~32 KFLOPs of work per chunk so
@@ -727,7 +730,7 @@ impl<E: Scalar> TensorBase<E> {
                 }
             }
         };
-        if 2 * m * k * n < PAR_FLOP_THRESHOLD {
+        if !cf_par::should_fan_out((2 * m * k * n) as u64, PAR_FLOP_THRESHOLD as u64) {
             band(0, &mut out.data);
         } else {
             let rb = rows_per_block(m, 2 * k * n);
@@ -793,7 +796,7 @@ impl<E: Scalar> TensorBase<E> {
                 }
             }
         };
-        if 2 * m * k * n < PAR_FLOP_THRESHOLD {
+        if !cf_par::should_fan_out((2 * m * k * n) as u64, PAR_FLOP_THRESHOLD as u64) {
             band(0, &mut out.data);
         } else {
             let rb = rows_per_block(m, 2 * k * n);
@@ -841,7 +844,7 @@ impl<E: Scalar> TensorBase<E> {
                 }
             }
         };
-        if 2 * m * k * n < PAR_FLOP_THRESHOLD {
+        if !cf_par::should_fan_out((2 * m * k * n) as u64, PAR_FLOP_THRESHOLD as u64) {
             band(0, &mut out.data);
         } else {
             let rb = rows_per_block(m, 2 * k * n);

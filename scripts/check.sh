@@ -81,7 +81,8 @@ cargo run -q -p cf-cli --bin causalformer -- \
 test -s "$smoke_dir/report.html"
 for panel in panel-training-loss panel-causal-evolution \
              panel-thread-utilization panel-pool \
-             panel-top-self-time panel-scaling panel-percentiles; do
+             panel-top-self-time panel-scaling panel-percentiles \
+             panel-scheduler; do
   grep -q "id=\"$panel\"" "$smoke_dir/report.html" \
     || { echo "missing $panel in report.html"; exit 1; }
 done
@@ -99,7 +100,7 @@ cargo run -q -p cf-cli --bin causalformer -- \
   analyze --compare "$smoke_dir/trace-1t.json" "$smoke_dir/trace.json" \
   > "$smoke_dir/analyze-compare.md"
 grep -q "scaling attribution" "$smoke_dir/analyze-compare.md"
-for base in BENCH_PR4.json BENCH_PR7.json BENCH_PR8.json BENCH_CI.json; do
+for base in BENCH_PR4.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json BENCH_CI.json; do
   cargo run -q -p cf-cli --bin causalformer -- \
     bench-diff "$base" "$base" > "$smoke_dir/bench-diff.md"
   grep -q "OK: no cell regressed" "$smoke_dir/bench-diff.md"
