@@ -178,6 +178,7 @@ impl Clstm {
         // Phase B: parallel rng-free training (restored targets skip it).
         let train_target = |idx: usize, st: &mut TargetState| {
             if restored[idx] {
+                cf_obs::heartbeat::progress_inc("baseline.clstm.target", n as u64);
                 return;
             }
             let target = st.target;
@@ -242,6 +243,9 @@ impl Clstm {
                     }
                 }
             }
+            // Per-target heartbeat tick: covers both the serial and the
+            // fanned-out path, since both go through this closure.
+            cf_obs::heartbeat::progress_inc("baseline.clstm.target", n as u64);
         };
         // Each target trains independently and consumes no rng, so the
         // serial and parallel paths produce bitwise-identical weights —
@@ -254,6 +258,9 @@ impl Clstm {
             * 4 // gates
             * (n + cfg.hidden)
             * cfg.hidden;
+        // The heartbeat unit opens at 0/n from serial code so repeated
+        // sweeps in one process restart the bar.
+        cf_obs::heartbeat::progress("baseline.clstm.target", 0, n as u64);
         if !cf_par::should_fan_out(per_target_flops as u64, CLSTM_PAR_WORK_THRESHOLD as u64) {
             for (idx, st) in states.iter_mut().enumerate() {
                 train_target(idx, st);

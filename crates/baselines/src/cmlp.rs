@@ -164,8 +164,12 @@ impl Cmlp {
         };
 
         // Phase B: parallel rng-free training (restored targets skip it).
+        // The heartbeat unit opens at 0/n from serial code so repeated
+        // sweeps in one process restart the bar.
+        cf_obs::heartbeat::progress("baseline.cmlp.target", 0, n as u64);
         cf_par::par_each_mut(&mut states, |idx, st| {
             if restored[idx] {
+                cf_obs::heartbeat::progress_inc("baseline.cmlp.target", n as u64);
                 return;
             }
             let mut adam = Adam::new(cfg.lr);
@@ -209,6 +213,8 @@ impl Cmlp {
                     }
                 }
             }
+            // Per-target heartbeat tick: sweep progress for the monitor.
+            cf_obs::heartbeat::progress_inc("baseline.cmlp.target", n as u64);
         });
 
         // Checkpoint each freshly trained target (sequential writes, so a

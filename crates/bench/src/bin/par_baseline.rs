@@ -21,8 +21,8 @@
 
 use causalformer::StreamOptions;
 use cf_bench::{
-    init_metrics, maybe_dump_metrics, method_label, parse_options, run_cell, DatasetKind,
-    MethodKind, Options,
+    init_metrics, maybe_dump_metrics, maybe_start_heartbeat, method_label, parse_options, run_cell,
+    stop_heartbeat, DatasetKind, MethodKind, Options,
 };
 use cf_data::lorenz96::{self, Lorenz96Config};
 use cf_store::{FsStorage, SeriesStore, SeriesWriter};
@@ -162,32 +162,6 @@ struct OutOfCoreCell {
     edges: usize,
 }
 
-/// Peak resident set size of this process in bytes (Linux `VmHWM`), or 0
-/// where unavailable.
-fn peak_rss_bytes() -> u64 {
-    #[cfg(target_os = "linux")]
-    {
-        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
-            for line in status.lines() {
-                if let Some(rest) = line.strip_prefix("VmHWM:") {
-                    let kb: u64 = rest
-                        .trim()
-                        .trim_end_matches("kB")
-                        .trim()
-                        .parse()
-                        .unwrap_or(0);
-                    return kb * 1024;
-                }
-            }
-        }
-        0
-    }
-    #[cfg(not(target_os = "linux"))]
-    {
-        0
-    }
-}
-
 /// Hidden child mode: `--oocore-child STORE_DIR MAX_WINDOWS EPOCHS` runs
 /// the streaming discover and reports its own peak RSS on stdout. The
 /// parent spawns this so the RSS measurement excludes generation and the
@@ -217,7 +191,10 @@ fn oocore_child(args: &[String]) -> i32 {
     match cf.discover_store(&mut rng, &store, &opts) {
         Ok(result) => {
             println!("OOCORE_EDGES={}", result.graph.edges().count());
-            println!("OOCORE_PEAK_RSS_BYTES={}", peak_rss_bytes());
+            println!(
+                "OOCORE_PEAK_RSS_BYTES={}",
+                cf_obs::heartbeat::peak_rss_bytes()
+            );
             0
         }
         Err(e) => {
@@ -356,6 +333,7 @@ fn main() {
         run_oocore_cell(options.smoke);
         return;
     }
+    let heartbeat = maybe_start_heartbeat(&options);
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     // 1/2/4 threads in both modes: the 2-thread cell separates scheduler
     // overhead from core starvation, and CI's multi-core runner records
@@ -387,6 +365,7 @@ fn main() {
         smoke: options.smoke,
         trace_out: None,
         dtype,
+        heartbeat_out: None,
     };
     let methods = [
         (MethodKind::Cmlp, Dtype::F64),
@@ -740,6 +719,7 @@ fn main() {
         None => println!("{json}"),
     }
     maybe_dump_metrics(&options, &raw_cells);
+    stop_heartbeat(&options, heartbeat);
     // The lorenz loop drained the recorder into `held` piecewise; write
     // the merged whole-run trace instead of `maybe_write_trace` (which
     // would only see the post-drain remainder).

@@ -30,6 +30,10 @@ pub struct Options {
     /// Compute precision for CausalFormer cells (`--dtype f32|f64`). The
     /// baselines always run f64; f64 is the bitwise-reproducible default.
     pub dtype: Dtype,
+    /// Live heartbeat JSONL output path (`--heartbeat-out`). Binaries opt
+    /// in by calling [`maybe_start_heartbeat`] after parsing; the stream is
+    /// tailable with `causalformer monitor PATH` while the run is live.
+    pub heartbeat_out: Option<String>,
 }
 
 impl Default for Options {
@@ -43,6 +47,7 @@ impl Default for Options {
             smoke: false,
             trace_out: None,
             dtype: Dtype::F64,
+            heartbeat_out: None,
         }
     }
 }
@@ -80,6 +85,12 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Options {
                 options.trace_out = Some(
                     args.next()
                         .unwrap_or_else(|| usage_abort("--trace-out requires a path")),
+                );
+            }
+            "--heartbeat-out" => {
+                options.heartbeat_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_abort("--heartbeat-out requires a path")),
                 );
             }
             "--smoke" => {
@@ -126,6 +137,43 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Options {
     options
 }
 
+/// Heartbeat streams are stamped with the same schema version as the CLI's
+/// `--metrics-out` artifacts (`cf_cli::METRICS_SCHEMA_VERSION`) so one
+/// `monitor` binary reads both; keep the two constants in step.
+pub const HEARTBEAT_SCHEMA_VERSION: &str = "2.2";
+
+/// Starts the live heartbeat sampler when `--heartbeat-out` was given or a
+/// `CF_WATCHDOG` policy is set in the environment (file-less watchdog
+/// mode). Returns a guard the binary must keep alive for the whole run;
+/// call [`stop_heartbeat`] (or let it drop) at the end.
+pub fn maybe_start_heartbeat(options: &Options) -> Option<cf_obs::heartbeat::Heartbeat> {
+    if options.heartbeat_out.is_none() && std::env::var_os("CF_WATCHDOG").is_none() {
+        return None;
+    }
+    cf_tensor::pool::install_obs_sampler();
+    cf_obs::heartbeat::reset_progress();
+    let cfg = cf_obs::heartbeat::Config::from_env(HEARTBEAT_SCHEMA_VERSION);
+    let path = options.heartbeat_out.as_deref().map(std::path::Path::new);
+    match cf_obs::heartbeat::start(path, cfg) {
+        Ok(hb) => Some(hb),
+        Err(e) => {
+            eprintln!("error: starting heartbeat: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Flushes the `run_end` event and announces the heartbeat artifact. Call
+/// once, at the end of the binary.
+pub fn stop_heartbeat(options: &Options, heartbeat: Option<cf_obs::heartbeat::Heartbeat>) {
+    if let Some(hb) = heartbeat {
+        hb.stop();
+        if let Some(path) = &options.heartbeat_out {
+            println!("heartbeat written to {path}");
+        }
+    }
+}
+
 /// Stops the trace recorder and writes the Chrome trace when the run was
 /// started with `--trace-out`. Call once, at the end of the binary.
 pub fn maybe_write_trace(options: &Options) {
@@ -144,6 +192,7 @@ pub fn maybe_write_trace(options: &Options) {
 const USAGE: &str = "\
 usage: <experiment> [--quick] [--smoke] [--seeds K] [--json PATH] [--metrics]
                     [--threads N] [--dtype D] [--trace-out PATH]
+                    [--heartbeat-out PATH]
   --quick      reduced budgets (2 seeds, shorter series, fewer epochs)
   --smoke      CI smoke mode: implies --quick, 1 seed, tiny fixed budgets;
                proves the binary runs and emits finite output (timings are
@@ -158,7 +207,12 @@ usage: <experiment> [--quick] [--smoke] [--seeds K] [--json PATH] [--metrics]
                reproducible) or f32 (~2× faster; baselines stay f64)
   --trace-out PATH
                record a Chrome trace_event timeline of the whole run
-               (load it in Perfetto / chrome://tracing)";
+               (load it in Perfetto / chrome://tracing)
+  --heartbeat-out PATH
+               stream live heartbeat samples (RSS, pool hit rate, worker
+               progress) to PATH as JSONL; tail the run with
+               `causalformer monitor PATH` (period: CF_HEARTBEAT_MS,
+               stall policy: CF_WATCHDOG=warn:SECS|fatal:SECS)";
 
 fn usage_abort(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -225,6 +279,13 @@ mod tests {
         assert!(cf_obs::trace::enabled());
         cf_obs::trace::set_enabled(false);
         cf_obs::trace::reset();
+    }
+
+    #[test]
+    fn heartbeat_out_path_captured() {
+        assert!(parse(&[]).heartbeat_out.is_none());
+        let o = parse(&["--heartbeat-out", "/tmp/hb.jsonl"]);
+        assert_eq!(o.heartbeat_out.as_deref(), Some("/tmp/hb.jsonl"));
     }
 
     #[test]

@@ -21,7 +21,10 @@
 pub mod harness;
 pub mod methods;
 
-pub use harness::{maybe_write_trace, parse_options, Options};
+pub use harness::{
+    maybe_start_heartbeat, maybe_write_trace, parse_options, stop_heartbeat, Options,
+    HEARTBEAT_SCHEMA_VERSION,
+};
 pub use methods::{
     build_method, build_method_dtyped, dataset_display_name, method_label, DatasetKind, MethodKind,
 };
@@ -276,6 +279,7 @@ mod tests {
             smoke: false,
             trace_out: None,
             dtype: cf_tensor::Dtype::F64,
+            heartbeat_out: None,
         };
         let cell = Cell {
             method: "cMLP".into(),

@@ -50,6 +50,10 @@ pub struct AnalyzeArgs {
     /// trace ran oversubscribed — contention-dominated wall times say
     /// nothing about the code's serial fraction.
     pub max_serial_fraction: Option<f64>,
+    /// With `--trace`: also write collapsed stacks (one
+    /// `frame;frame value` line per call path, integer µs self-time)
+    /// for flamegraph renderers.
+    pub flamegraph: Option<String>,
     /// Emit machine-readable JSON instead of tables.
     pub json: bool,
 }
@@ -63,6 +67,7 @@ impl Default for AnalyzeArgs {
             threads_base: None,
             threads_scaled: None,
             max_serial_fraction: None,
+            flamegraph: None,
             json: false,
         }
     }
@@ -498,18 +503,28 @@ pub fn run_analyze(a: &AnalyzeArgs) -> Result<(String, usize), CliError> {
                 ));
             }
             let trace = load_chrome_trace(path)?;
-            Ok((
-                if a.json {
-                    let mut s = single_trace_json(path, &trace, a.top);
-                    s.push('\n');
-                    s
-                } else {
-                    single_trace_tables(path, &trace, a.top)
-                },
-                0,
-            ))
+            let mut out = if a.json {
+                let mut s = single_trace_json(path, &trace, a.top);
+                s.push('\n');
+                s
+            } else {
+                single_trace_tables(path, &trace, a.top)
+            };
+            if let Some(folded_path) = &a.flamegraph {
+                cf_obs::export::write_folded_stacks(std::path::Path::new(folded_path), &trace)
+                    .map_err(|e| CliError::Run(format!("writing {folded_path}: {e}")))?;
+                if !a.json {
+                    let _ = writeln!(out, "collapsed stacks written to {folded_path}");
+                }
+            }
+            Ok((out, 0))
         }
         (None, Some((base_path, scaled_path))) => {
+            if a.flamegraph.is_some() {
+                return Err(CliError::Usage(
+                    "--flamegraph needs a single --trace (not --compare)".into(),
+                ));
+            }
             let base = load_chrome_trace(base_path)?;
             let scaled = load_chrome_trace(scaled_path)?;
             let mut out = String::new();
@@ -799,6 +814,39 @@ mod tests {
         for p in [p1, p4, p4_oversub] {
             std::fs::remove_file(&p).ok();
         }
+    }
+
+    #[test]
+    fn flamegraph_flag_writes_collapsed_stacks() {
+        let path = trace_1t("cf_analyze_flame_1t.json");
+        let folded = std::env::temp_dir().join(format!("cf_analyze_{}.folded", std::process::id()));
+        let (out, _) = run_analyze(&AnalyzeArgs {
+            trace: Some(path.clone()),
+            flamegraph: Some(folded.to_string_lossy().into_owned()),
+            ..AnalyzeArgs::default()
+        })
+        .unwrap();
+        assert!(out.contains("collapsed stacks written to"), "{out}");
+        let text = std::fs::read_to_string(&folded).unwrap();
+        // Fixture self-times: discover 11ms, train 75ms, detect 14ms —
+        // all nested under main;discover.
+        assert!(text.contains("main;discover 11000\n"), "{text}");
+        assert!(text.contains("main;discover;train 75000\n"), "{text}");
+        assert!(text.contains("main;discover;detect 14000\n"), "{text}");
+
+        // --flamegraph is a single-trace feature.
+        let other = trace_1t("cf_analyze_flame_other.json");
+        assert!(matches!(
+            run_analyze(&AnalyzeArgs {
+                compare: Some((path.clone(), other.clone())),
+                flamegraph: Some(folded.to_string_lossy().into_owned()),
+                ..AnalyzeArgs::default()
+            }),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&other).ok();
+        std::fs::remove_file(&folded).ok();
     }
 
     #[test]

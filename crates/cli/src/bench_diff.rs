@@ -69,9 +69,10 @@ struct Cell {
 
 type CellKey = (String, String, u64);
 
-/// Flattens one bench JSON into keyed cells. Unknown fields are
-/// ignored, so the diff keeps working as the harness grows columns.
-fn load_bench(path: &str) -> Result<BTreeMap<CellKey, Cell>, CliError> {
+/// Flattens one bench JSON into keyed cells plus the recording host's
+/// core count. Unknown fields are ignored, so the diff keeps working as
+/// the harness grows columns.
+fn load_bench(path: &str) -> Result<(BTreeMap<CellKey, Cell>, Option<u64>), CliError> {
     let text =
         std::fs::read_to_string(path).map_err(|e| CliError::Run(format!("reading {path}: {e}")))?;
     let v: Value =
@@ -127,7 +128,7 @@ fn load_bench(path: &str) -> Result<BTreeMap<CellKey, Cell>, CliError> {
             "{path}: no benchmark cells found — not a BENCH_*.json file?"
         )));
     }
-    Ok(cells)
+    Ok((cells, host_cores))
 }
 
 /// One row of the diff.
@@ -186,6 +187,12 @@ pub struct DiffReport {
     pub only_new: Vec<CellKey>,
     /// Threshold used.
     pub threshold: f64,
+    /// Core count of the host that recorded the baseline file, when the
+    /// file carries one — lets consumers judge oversubscription without
+    /// re-reading the inputs.
+    pub base_host_cores: Option<u64>,
+    /// Core count of the host that recorded the new file.
+    pub new_host_cores: Option<u64>,
 }
 
 impl DiffReport {
@@ -197,8 +204,8 @@ impl DiffReport {
 
 /// Compares two bench files cell-by-cell.
 pub fn diff(baseline: &str, new: &str, threshold: f64) -> Result<DiffReport, CliError> {
-    let base = load_bench(baseline)?;
-    let newer = load_bench(new)?;
+    let (base, base_host_cores) = load_bench(baseline)?;
+    let (newer, new_host_cores) = load_bench(new)?;
     // Parallel efficiency of an N-thread cell against the *same file's*
     // 1-thread cell for the same (method, dataset): T1/(N·TN).
     let efficiency = |cells: &BTreeMap<CellKey, Cell>, key: &CellKey, secs: f64| -> Option<f64> {
@@ -249,6 +256,8 @@ pub fn diff(baseline: &str, new: &str, threshold: f64) -> Result<DiffReport, Cli
         only_base,
         only_new,
         threshold,
+        base_host_cores,
+        new_host_cores,
     })
 }
 
@@ -391,13 +400,21 @@ fn machine_json(report: &DiffReport, baseline: &str, new: &str) -> String {
         }
         arr.finish()
     };
-    cf_obs::json::Obj::new()
+    let mut obj = cf_obs::json::Obj::new()
         .str("schema", "bench-diff-v1")
         .str("baseline", baseline)
         .str("new", new)
         .f64("threshold", report.threshold)
-        .u64("regressions", report.regressions() as u64)
-        .raw("rows", &rows.finish())
+        .u64("regressions", report.regressions() as u64);
+    // Top-level host context for both sides, so consumers can judge
+    // oversubscription (threads > cores) without re-opening the inputs.
+    if let Some(c) = report.base_host_cores {
+        obj = obj.u64("base_host_cores", c);
+    }
+    if let Some(c) = report.new_host_cores {
+        obj = obj.u64("new_host_cores", c);
+    }
+    obj.raw("rows", &rows.finish())
         .raw("only_base", &key_arr(&report.only_base))
         .raw("only_new", &key_arr(&report.only_new))
         .finish()
@@ -538,6 +555,9 @@ mod tests {
         assert_eq!(v["rows"].as_array().unwrap().len(), 6);
         assert_eq!(v["rows"][0]["regressed"].as_bool(), Some(true));
         assert_eq!(v["rows"][0]["dataset"].as_str(), Some("Lorenz96"));
+        // Host context for both sides rides at the top level.
+        assert_eq!(v["base_host_cores"].as_u64(), Some(8));
+        assert_eq!(v["new_host_cores"].as_u64(), Some(8));
         std::fs::remove_file(&a).ok();
         std::fs::remove_file(&b).ok();
     }
@@ -695,7 +715,7 @@ mod tests {
             oo["raw_over_budget"].as_f64().unwrap() >= 10.0,
             "raw series must dwarf the RSS budget: {oo}"
         );
-        let cells = load_bench(path).unwrap();
+        let (cells, _) = load_bench(path).unwrap();
         assert!(cells.keys().any(|(m, _, _)| m == "CausalFormer-oocore"));
     }
 

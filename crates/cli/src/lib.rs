@@ -23,10 +23,12 @@
 
 pub mod analyze;
 pub mod bench_diff;
+pub mod monitor;
 pub mod report;
 
 pub use analyze::{run_analyze, AnalyzeArgs};
 pub use bench_diff::{run_bench_diff, BenchDiffArgs};
+pub use monitor::{run_monitor, MonitorArgs};
 pub use report::{run_report, ReportArgs};
 
 use causalformer::{
@@ -72,6 +74,7 @@ usage:
                         [--dtype D] [--max-windows N] [--read-ahead N]
                         [--dot FILE] [--save FILE] [--metrics-out FILE.jsonl]
                         [--trace-out FILE.json] [--diag-out FILE.cfdiag]
+                        [--heartbeat-out FILE.jsonl]
                         [--checkpoint-dir DIR] [--checkpoint-every N]
                         [--resume] [--log-level LEVEL] [--quiet]
   causalformer generate --dataset NAME [--length L] [--seed S]
@@ -82,8 +85,10 @@ usage:
                         [--diag FILE.cfdiag]
   causalformer analyze  (--trace FILE.json | --compare BASE.json SCALED.json)
                         [--top N] [--threads-base N] [--threads-scaled N]
-                        [--max-serial-fraction S] [--json]
+                        [--max-serial-fraction S] [--flamegraph FILE.folded]
+                        [--json]
   causalformer bench-diff BASELINE.json NEW.json [--threshold R] [--json]
+  causalformer monitor  HEARTBEAT.jsonl [--once] [--interval MS]
 
 discover options:
   --store DIR          read the series from a chunked cf-store directory
@@ -118,6 +123,16 @@ discover options:
                        mask sparsity/entropy, causal-score trajectories,
                        grad norms, relevance quantiles); the artifact is
                        bitwise identical at any --threads value
+  --heartbeat-out FILE write live runtime telemetry as line-atomic JSONL:
+                       a background sampler (CF_HEARTBEAT_MS, default 250)
+                       records RSS, pool and scheduler counters, per-unit
+                       progress/ETA, and stall flags — tail it live with
+                       `causalformer monitor FILE`; the sampler never
+                       touches the training path, so discovery stays
+                       bitwise identical with or without it
+                       (CF_WATCHDOG=warn:SECS | fatal:SECS arms a stall
+                       watchdog that dumps open spans — and under fatal
+                       exits nonzero — when no worker makes progress)
   --checkpoint-dir DIR write crash-safe training checkpoints into DIR
   --checkpoint-every N checkpoint every N epochs (default 1)
   --resume             continue from the newest checkpoint in DIR; the
@@ -163,6 +178,10 @@ analyze options:
                        with --compare: exit 1 when the Amdahl serial
                        fraction exceeds S (skipped, with a note, when a
                        trace ran oversubscribed)
+  --flamegraph FILE    with --trace: also write collapsed stacks
+                       (`frame;frame value` lines, integer µs self-time) —
+                       feed to any flamegraph renderer, or inline via
+                       `report --trace` (panel-flame)
   --json               machine-readable JSON instead of tables
 
 bench-diff options:
@@ -170,7 +189,15 @@ bench-diff options:
   threads); exits 1 when any cell's new/base wall-time ratio exceeds
   the threshold
   --threshold R   regression threshold ratio (default 1.10)
-  --json          machine-readable JSON instead of the markdown table";
+  --json          machine-readable JSON instead of the markdown table
+
+monitor options:
+  tails a heartbeat JSONL written by discover/bench --heartbeat-out and
+  redraws a terminal view: RSS sparkline, pool hit rate, per-thread busy
+  fractions, per-unit progress bars with ETA, and a stall banner; exits
+  when the producer writes its run_end record
+  --once          render the current state once and exit (no tailing)
+  --interval MS   redraw period in follow mode (default 500)";
 
 /// Parsed `discover` arguments.
 #[derive(Debug, Clone)]
@@ -205,6 +232,8 @@ pub struct DiscoverArgs {
     pub trace_out: Option<String>,
     /// Model-diagnostics (cfdiag JSONL) output path.
     pub diag_out: Option<String>,
+    /// Heartbeat JSONL output path (live runtime telemetry).
+    pub heartbeat_out: Option<String>,
     /// Training-checkpoint directory (enables crash-safe training).
     pub checkpoint_dir: Option<String>,
     /// Epochs between checkpoints (requires `checkpoint_dir`).
@@ -252,6 +281,8 @@ pub enum Command {
     Analyze(AnalyzeArgs),
     /// `bench-diff` subcommand.
     BenchDiff(BenchDiffArgs),
+    /// `monitor` subcommand.
+    Monitor(MonitorArgs),
     /// `--help`.
     Help,
 }
@@ -283,6 +314,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 metrics_out: None,
                 trace_out: None,
                 diag_out: None,
+                heartbeat_out: None,
                 checkpoint_dir: None,
                 checkpoint_every: None,
                 resume: false,
@@ -340,6 +372,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--metrics-out" => a.metrics_out = Some(value.clone()),
                     "--trace-out" => a.trace_out = Some(value.clone()),
                     "--diag-out" => a.diag_out = Some(value.clone()),
+                    "--heartbeat-out" => a.heartbeat_out = Some(value.clone()),
                     "--checkpoint-dir" => a.checkpoint_dir = Some(value.clone()),
                     "--checkpoint-every" => {
                         let n: usize = parse_num(flag, value)?;
@@ -495,6 +528,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--max-serial-fraction" => {
                         a.max_serial_fraction = Some(parse_num(flag, value)?)
                     }
+                    "--flamegraph" => a.flamegraph = Some(value.clone()),
                     other => return Err(CliError::Usage(format!("unknown flag {other}"))),
                 }
                 i += 2;
@@ -539,6 +573,46 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             a.baseline = baseline.clone();
             a.new = new.clone();
             Ok(Command::BenchDiff(a))
+        }
+        "monitor" => {
+            let mut a = MonitorArgs::default();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                if flag == "--once" {
+                    a.once = true;
+                    i += 1;
+                    continue;
+                }
+                if flag == "--interval" {
+                    let value = rest
+                        .get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--interval requires a value".into()))?;
+                    let ms: u64 = parse_num(flag, value)?;
+                    if ms == 0 {
+                        return Err(CliError::Usage("--interval must be at least 1".into()));
+                    }
+                    a.interval_ms = ms;
+                    i += 2;
+                    continue;
+                }
+                if flag.starts_with("--") {
+                    return Err(CliError::Usage(format!("unknown flag {flag}")));
+                }
+                if !a.path.is_empty() {
+                    return Err(CliError::Usage(
+                        "monitor takes exactly one HEARTBEAT.jsonl file".into(),
+                    ));
+                }
+                a.path = rest[i].clone();
+                i += 1;
+            }
+            if a.path.is_empty() {
+                return Err(CliError::Usage(
+                    "monitor requires a HEARTBEAT.jsonl file".into(),
+                ));
+            }
+            Ok(Command::Monitor(a))
         }
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -616,7 +690,11 @@ fn setup_observability(a: &DiscoverArgs) -> Result<bool, CliError> {
 /// estimates (`p50_secs`/`p95_secs`/`p99_secs`), and a `span_hist`
 /// summary event records the raw fixed-bucket duration histograms
 /// (schema `log2us-v1`, see `cf_obs::hist`).
-pub const METRICS_SCHEMA_VERSION: &str = "2.1";
+///
+/// 2.2 (additive): the same version also stamps the `--heartbeat-out`
+/// stream (`meta` / `heartbeat` / `progress` / `run_end` events, see
+/// DESIGN.md §5.7); the `--metrics-out` stream is unchanged.
+pub const METRICS_SCHEMA_VERSION: &str = "2.2";
 
 /// Executes `discover`, returning the human-readable report that `main`
 /// prints.
@@ -629,6 +707,22 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
         cf_obs::trace::reset();
         cf_obs::trace::set_enabled(true);
     }
+    // Live telemetry: the sampler thread runs whenever a heartbeat file is
+    // requested, and also (file-less) when CF_WATCHDOG arms the stall
+    // watchdog. It only ever *reads* runtime state, so the discovery
+    // result is bitwise identical with or without it.
+    let heartbeat = if a.heartbeat_out.is_some() || std::env::var_os("CF_WATCHDOG").is_some() {
+        cf_tensor::pool::install_obs_sampler();
+        cf_obs::heartbeat::reset_progress();
+        let cfg = cf_obs::heartbeat::Config::from_env(METRICS_SCHEMA_VERSION);
+        let path = a.heartbeat_out.as_ref().map(std::path::Path::new);
+        Some(
+            cf_obs::heartbeat::start(path, cfg)
+                .map_err(|e| CliError::Run(format!("starting heartbeat: {e}")))?,
+        )
+    } else {
+        None
+    };
     if let Some(path) = &a.diag_out {
         diag::install_file(std::path::Path::new(path))
             .map_err(|e| CliError::Run(format!("opening {path}: {e}")))?;
@@ -802,6 +896,14 @@ pub fn run_discover(a: &DiscoverArgs) -> Result<String, CliError> {
         cf_obs::export::write_chrome_trace(std::path::Path::new(path))
             .map_err(|e| CliError::Run(format!("writing {path}: {e}")))?;
         out.push_str(&format!("trace written to {path}\n"));
+    }
+    if let Some(hb) = heartbeat {
+        // Takes one final sample and writes the run_end record so a
+        // tailing `monitor` knows the run completed.
+        hb.stop();
+        if let Some(path) = &a.heartbeat_out {
+            out.push_str(&format!("heartbeat written to {path}\n"));
+        }
     }
     Ok(out)
 }
@@ -1098,6 +1200,7 @@ mod tests {
             metrics_out: Some(metrics_path.to_string_lossy().into_owned()),
             trace_out: None,
             diag_out: None,
+            heartbeat_out: None,
             checkpoint_dir: None,
             checkpoint_every: None,
             resume: false,
@@ -1237,6 +1340,7 @@ mod tests {
             metrics_out: None,
             trace_out: None,
             diag_out: None,
+            heartbeat_out: None,
             checkpoint_dir: None,
             checkpoint_every: None,
             resume: false,
@@ -1328,6 +1432,7 @@ mod tests {
             metrics_out: None,
             trace_out: None,
             diag_out: None,
+            heartbeat_out: None,
             checkpoint_dir: None,
             checkpoint_every: None,
             resume: false,
@@ -1371,6 +1476,7 @@ mod tests {
             metrics_out: None,
             trace_out: None,
             diag_out: None,
+            heartbeat_out: None,
             checkpoint_dir: Some(ckpt_dir.to_string_lossy().into_owned()),
             checkpoint_every: None,
             resume: false,

@@ -11,10 +11,10 @@
 //!
 //! Every panel keeps a stable element id (`panel-training-loss`,
 //! `panel-causal-evolution`, `panel-thread-utilization`, `panel-pool`,
-//! `panel-top-self-time`, `panel-percentiles`, `panel-scaling`,
-//! `panel-scheduler`) so smoke tests can assert presence; a panel whose
-//! input is missing or empty renders an explanatory note instead of a
-//! chart.
+//! `panel-top-self-time`, `panel-flame`, `panel-percentiles`,
+//! `panel-scaling`, `panel-scheduler`) so smoke tests can assert
+//! presence; a panel whose input is missing or empty renders an
+//! explanatory note instead of a chart.
 //!
 //! Trace analysis (self-time aggregation, scaling attribution) is
 //! delegated to [`cf_obs::analyze`]; this module only renders.
@@ -27,9 +27,11 @@
 use crate::analyze::load_chrome_trace;
 use crate::CliError;
 use cf_obs::analyze::{
-    aggregate, busy_us, scaling_attribution, Span as TraceSpan, Thread as TraceThread, Trace,
+    aggregate, busy_us, collapse_stacks, scaling_attribution, Span as TraceSpan,
+    Thread as TraceThread, Trace,
 };
 use serde_json::Value;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Parsed `report` arguments.
@@ -758,6 +760,113 @@ fn self_time_table(trace: &Trace) -> String {
     out
 }
 
+/// Maximum stack depth the flame panel draws; deeper frames are folded
+/// into their parent's self time visually (tooltips still carry the
+/// full path down to this depth).
+const MAX_FLAME_DEPTH: usize = 12;
+
+/// Inline-SVG icicle flamegraph (roots on top, callees below) built
+/// from the trace's collapsed stacks. The same fold feeds
+/// `analyze --flamegraph`, so the panel and the exported `.folded`
+/// file always agree.
+fn flame_panel(trace: &Trace) -> String {
+    if let Some(diag) = trace.empty_diagnostic() {
+        return note(&diag);
+    }
+
+    // Reassemble the folded paths into a tree; sibling order is the
+    // lexical frame order BTreeMap gives, so renders are deterministic.
+    #[derive(Default)]
+    struct Node {
+        self_us: f64,
+        total_us: f64,
+        children: BTreeMap<String, Node>,
+    }
+    let mut root = Node::default();
+    for fs in collapse_stacks(trace) {
+        let mut cur = &mut root;
+        for frame in &fs.frames {
+            cur = cur.children.entry(frame.clone()).or_default();
+        }
+        cur.self_us += fs.self_us;
+    }
+    fn fill_totals(n: &mut Node) -> f64 {
+        n.total_us = n.self_us + n.children.values_mut().map(fill_totals).sum::<f64>();
+        n.total_us
+    }
+    fn depth_of(n: &Node) -> usize {
+        1 + n.children.values().map(depth_of).max().unwrap_or(0)
+    }
+    let grand_total = fill_totals(&mut root);
+    if grand_total <= 0.0 {
+        return note("no spans to fold (run discover with --trace-out)");
+    }
+    let depth = (depth_of(&root) - 1).min(MAX_FLAME_DEPTH);
+
+    let (w, row_h, gap) = (660.0, 18.0, 2.0);
+    let h = depth as f64 * (row_h + gap);
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg viewBox="0 0 {w} {h:.0}" role="img" aria-label="flamegraph (icicle)">"#
+    );
+    // Recursive layout: each node gets a width share of its parent's
+    // span, children packed left-to-right; sub-half-pixel rects are
+    // skipped (their time is still inside the parent's rect).
+    fn draw(
+        svg: &mut String,
+        node: &Node,
+        path: &str,
+        x: f64,
+        width: f64,
+        level: usize,
+        grand_total: f64,
+    ) {
+        if level >= MAX_FLAME_DEPTH {
+            return;
+        }
+        let mut cx = x;
+        for (name, child) in &node.children {
+            let cw = width * child.total_us / node.total_us.max(1e-9);
+            if cw >= 0.5 {
+                let y = level as f64 * 20.0;
+                // Lighter half of the ramp only, so the dark in-rect
+                // labels stay readable at every depth.
+                let color = RAMP[level.min(5)];
+                let full = if path.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{path};{name}")
+                };
+                let _ = write!(
+                    svg,
+                    r#"<rect x="{cx:.2}" y="{y:.1}" width="{:.2}" height="18" rx="1" fill="{color}"><title>{}: {} ({:.1}% of run)</title></rect>"#,
+                    cw - 1.0,
+                    esc(&full),
+                    fmt_dur(child.total_us),
+                    100.0 * child.total_us / grand_total
+                );
+                // Label inside the rect when it fits (~7px per character).
+                let label: String = name.chars().take((cw / 7.0) as usize).collect();
+                if label.len() >= 3 {
+                    let _ = write!(
+                        svg,
+                        r#"<text x="{:.1}" y="{:.1}" class="flame-label">{}</text>"#,
+                        cx + 4.0,
+                        y + 13.0,
+                        esc(&label)
+                    );
+                }
+                draw(svg, child, &full, cx, cw, level + 1, grand_total);
+            }
+            cx += cw;
+        }
+    }
+    draw(&mut svg, &root, "", 0.0, w, 0, grand_total);
+    svg.push_str("</svg>");
+    svg
+}
+
 /// Scaling-attribution table for a trace pair: spans ranked by wall
 /// time lost versus perfect scaling.
 fn scaling_panel(base: &Trace, scaled: &Trace) -> String {
@@ -971,6 +1080,14 @@ fn render_html(
     }
     html.push_str("</section>");
 
+    // Panel 5b: flamegraph (trace).
+    html.push_str(r#"<section id="panel-flame"><h2>Flamegraph</h2><p class="caption">Icicle layout (roots on top, callees below); rect width is total wall time on that call path. The same collapsed stacks are exported by <code>analyze --flamegraph</code>.</p>"#);
+    match trace {
+        Some(t) => html.push_str(&flame_panel(t)),
+        None => html.push_str(&note("no trace file (run discover with --trace-out)")),
+    }
+    html.push_str("</section>");
+
     // Panel 6: scaling attribution (trace pair).
     html.push_str(r#"<section id="panel-scaling"><h2>Scaling attribution</h2>"#);
     match (trace, compare) {
@@ -1135,6 +1252,7 @@ svg { display: block; width: 100%; height: auto; }
   font-family: inherit;
   font-variant-numeric: tabular-nums;
 }
+.flame-label { fill: #17314f; font-size: 11px; font-family: inherit; pointer-events: none; }
 table { border-collapse: collapse; width: 100%; font-size: 12.5px; }
 th, td { text-align: left; padding: 4px 10px 4px 0; border-bottom: 1px solid var(--grid-line); }
 th { color: var(--text-muted); font-weight: 500; }
@@ -1203,6 +1321,7 @@ mod tests {
             "panel-thread-utilization",
             "panel-pool",
             "panel-top-self-time",
+            "panel-flame",
             "panel-scaling",
             "panel-percentiles",
             "panel-scheduler",
@@ -1258,6 +1377,73 @@ mod tests {
     fn self_time_table_degrades_on_empty_trace() {
         let out = self_time_table(&Trace::default());
         assert!(out.contains("no events"), "{out}");
+    }
+
+    #[test]
+    fn flame_panel_folds_nested_spans_into_an_icicle() {
+        // main: discover[0,100ms] > train[5,80ms]; a second thread with
+        // one short job. Widths scale with total time per path.
+        let trace = Trace {
+            threads: vec![
+                TraceThread {
+                    tid: 1,
+                    name: "main".into(),
+                    spans: vec![
+                        TraceSpan {
+                            name: "discover".into(),
+                            ts_us: 0.0,
+                            dur_us: 100_000.0,
+                        },
+                        TraceSpan {
+                            name: "train".into(),
+                            ts_us: 5_000.0,
+                            dur_us: 75_000.0,
+                        },
+                    ],
+                },
+                TraceThread {
+                    tid: 2,
+                    name: "cf-par-0".into(),
+                    spans: vec![TraceSpan {
+                        name: "par.job".into(),
+                        ts_us: 6_000.0,
+                        dur_us: 18_000.0,
+                    }],
+                },
+            ],
+            ..Trace::default()
+        };
+        let svg = flame_panel(&trace);
+        // Root row: one rect per thread; nesting carries the full path
+        // in the tooltip.
+        assert!(svg.contains("<title>main: 100.0 ms"), "{svg}");
+        assert!(svg.contains("<title>main;discover: 100.0 ms"), "{svg}");
+        assert!(svg.contains("<title>main;discover;train: 75.0 ms"), "{svg}");
+        assert!(svg.contains("<title>cf-par-0;par.job: 18.0 ms"), "{svg}");
+        // Empty trace degrades to a note, not a blank panel.
+        assert!(flame_panel(&Trace::default()).contains("no events"));
+    }
+
+    #[test]
+    fn accepts_newer_minor_versions_within_the_supported_major() {
+        // Minor bumps are additive by contract: a 2.9 file (unknown
+        // minor, known major) must parse, not be refused. Pinned so
+        // future schema bumps stay additive within major 2.
+        let dir = std::env::temp_dir();
+        let path = dir.join("cf_report_minor_schema.jsonl");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"event\":\"meta\",\"schema_version\":\"2.9\"}\n",
+                "{\"event\":\"epoch\",\"epoch\":1,\"train_loss\":0.5,\"val_loss\":0.6,",
+                "\"some_future_field\":42}\n"
+            ),
+        )
+        .unwrap();
+        let m = load_metrics(path.to_str().unwrap()).unwrap();
+        assert_eq!(m.schema_version, "2.9");
+        assert_eq!(m.epochs.len(), 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

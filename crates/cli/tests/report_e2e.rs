@@ -56,6 +56,7 @@ fn discover_artifacts_render_into_report() {
         metrics_out: None,
         trace_out: Some(trace_1t.to_string_lossy().into_owned()),
         diag_out: None,
+        heartbeat_out: None,
         checkpoint_dir: None,
         checkpoint_every: None,
         resume: false,
@@ -80,6 +81,7 @@ fn discover_artifacts_render_into_report() {
         metrics_out: Some(metrics.to_string_lossy().into_owned()),
         trace_out: Some(trace.to_string_lossy().into_owned()),
         diag_out: Some(diag.to_string_lossy().into_owned()),
+        heartbeat_out: None,
         checkpoint_dir: None,
         checkpoint_every: None,
         resume: false,

@@ -267,6 +267,10 @@ pub fn aggregate_scores<E: Scalar>(
     let mut total = CausalScores::zeros(mcfg.n_series, mcfg.window);
     let k = cfg.sample_windows.min(windows.len());
     let step = windows.len() as f64 / k as f64;
+    // Open the heartbeat unit at 0/k from serial code so a repeated
+    // detection pass in the same process restarts its bar instead of
+    // accumulating past `total`.
+    cf_obs::heartbeat::progress("detect.window", 0, k as u64);
     // Each sampled window is an independent, rng-free scoring pass — the
     // coarse grain the scheduler wants. Fan the windows out as tasks
     // (each one's per-target passes are themselves stealable subtasks),
@@ -274,7 +278,11 @@ pub fn aggregate_scores<E: Scalar>(
     // the old serial loop performed, so the sum stays bitwise identical.
     let per_window: Vec<CausalScores> = cf_par::par_map(k, |s| {
         let idx = (s as f64 * step) as usize;
-        window_scores(model, store, &windows[idx.min(windows.len() - 1)], cfg.mode)
+        let scores = window_scores(model, store, &windows[idx.min(windows.len() - 1)], cfg.mode);
+        // Parallel progress: each completed window ticks the heartbeat
+        // unit. Tick order varies with stealing; the scores don't.
+        cf_obs::heartbeat::progress_inc("detect.window", k as u64);
+        scores
     });
     let used = per_window.len();
     for ws in &per_window {

@@ -387,6 +387,19 @@ fn fit_inner<E: Scalar, Q: TrainRng<E>>(
     while epoch < train_config.max_epochs {
         let _epoch_span = cf_obs::span::enter("epoch");
         let _epoch_trace = cf_obs::trace::span("epoch");
+        // Fault point: the run wedges here without crashing (models a
+        // deadlocked worker). The epoch span above stays open, so the
+        // watchdog's thread dump names where the hang sits; only
+        // CF_WATCHDOG=fatal ends the process.
+        if cf_faults::fire(cf_faults::FaultSite::Hang, (epoch + 1) as u64) {
+            cf_obs::warn!(
+                "injected hang at epoch {}: spinning until killed",
+                epoch + 1
+            );
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
         let epoch_start = std::time::Instant::now();
         // Per-epoch gradient-group diagnostics; dropped (not emitted) if
         // this epoch rolls back, so retries leave no trace in the artifact.
@@ -633,6 +646,14 @@ fn fit_inner<E: Scalar, Q: TrainRng<E>>(
             continue; // re-run the same epoch
         }
         retries = 0;
+        // Live progress for the heartbeat sampler: done/total only —
+        // the ETA (the only wall-clock-derived field) is computed on
+        // the sampler thread, keeping this path bitwise invariant.
+        cf_obs::heartbeat::progress(
+            "train.epoch",
+            (epoch + 1) as u64,
+            train_config.max_epochs as u64,
+        );
 
         if let Some(cfg) = ckpt {
             let done = (epoch + 1) as u64;

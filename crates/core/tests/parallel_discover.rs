@@ -91,3 +91,61 @@ fn discover_is_bitwise_identical_across_thread_counts() {
         );
     }
 }
+
+/// The live heartbeat sampler must be a pure observer: running the same
+/// seeded pipeline with the sampler streaming to a file produces bitwise
+/// identical output to running without it, at every thread count. Progress
+/// events carry no timestamps and ETA is computed only on the sampler
+/// thread, so nothing time-dependent can leak into the training path.
+#[test]
+fn heartbeat_sampler_does_not_perturb_discovery() {
+    let _guard = pool_lock();
+    cf_par::set_threads(1);
+    let reference = run_pipeline();
+    let path = std::env::temp_dir().join(format!("cf_hb_invariance_{}.jsonl", std::process::id()));
+    for threads in [1, 2, 4] {
+        cf_par::set_threads(threads);
+        cf_obs::heartbeat::reset_progress();
+        // Fast period so even this short pipeline gets sampled.
+        let cfg = cf_obs::heartbeat::Config {
+            period: std::time::Duration::from_millis(10),
+            ..cf_obs::heartbeat::Config::from_env("test")
+        };
+        let hb = cf_obs::heartbeat::start(Some(&path), cfg).expect("heartbeat start");
+        let run = run_pipeline();
+        hb.stop();
+        assert_eq!(
+            run.train_losses, reference.train_losses,
+            "heartbeat perturbed train losses at {threads} threads"
+        );
+        assert_eq!(
+            run.grad_norms, reference.grad_norms,
+            "heartbeat perturbed grad norms at {threads} threads"
+        );
+        assert_eq!(
+            run.graph, reference.graph,
+            "heartbeat perturbed the graph at {threads} threads"
+        );
+        assert_eq!(
+            run.attn, reference.attn,
+            "heartbeat perturbed attn scores at {threads} threads"
+        );
+        // The stream itself must be well-formed: a meta header, at least
+        // one progress event from the trainer, and a clean run_end.
+        let text = std::fs::read_to_string(&path).expect("heartbeat file");
+        let first = text.lines().next().expect("non-empty heartbeat stream");
+        assert!(first.contains("\"event\":\"meta\""), "bad header: {first}");
+        assert!(
+            text.contains("\"unit\":\"train.epoch\""),
+            "no trainer progress events at {threads} threads"
+        );
+        assert!(
+            text.lines()
+                .last()
+                .unwrap()
+                .contains("\"event\":\"run_end\""),
+            "stream not closed at {threads} threads"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}

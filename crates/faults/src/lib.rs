@@ -15,6 +15,7 @@
 //! CF_FAULT=nan:step17              # gradient of step 17 becomes NaN
 //! CF_FAULT=kill:epoch2             # simulated kill after epoch 2
 //! CF_FAULT=torn:put4               # 4th storage write lands truncated
+//! CF_FAULT=hang:epoch1             # trainer wedges at epoch 1 (watchdog drill)
 //! CF_FAULT=nan:step5:sticky        # fires on *every* retry of step 5
 //! CF_FAULT=io_fail:epoch1,nan:step9   # comma-separates multiple plans
 //! ```
@@ -49,6 +50,11 @@ pub enum FaultSite {
     /// catch the damage. Indexed by the storage backend's put sequence
     /// number.
     Torn,
+    /// The run wedges: the trainer stops making progress at an epoch
+    /// boundary without crashing (models a deadlocked worker or a stuck
+    /// I/O syscall). Exists so the heartbeat stall watchdog is testable
+    /// end-to-end — only `CF_WATCHDOG=fatal` ends a hung run.
+    Hang,
 }
 
 impl FaultSite {
@@ -58,6 +64,7 @@ impl FaultSite {
             "nan" => Some(FaultSite::Nan),
             "kill" => Some(FaultSite::Kill),
             "torn" => Some(FaultSite::Torn),
+            "hang" => Some(FaultSite::Hang),
             _ => None,
         }
     }
@@ -69,6 +76,7 @@ impl FaultSite {
             FaultSite::Nan => "nan",
             FaultSite::Kill => "kill",
             FaultSite::Torn => "torn",
+            FaultSite::Hang => "hang",
         }
     }
 }
@@ -98,10 +106,9 @@ fn lock() -> std::sync::MutexGuard<'static, Vec<Plan>> {
 /// Parses one `site:label` spec, e.g. `nan:step17` or `io_fail:epoch3:sticky`.
 fn parse_spec(spec: &str) -> Result<(FaultSite, u64, bool), String> {
     let mut parts = spec.split(':');
-    let site = parts
-        .next()
-        .and_then(FaultSite::parse)
-        .ok_or_else(|| format!("unknown fault site in {spec:?} (io_fail, nan, kill, torn)"))?;
+    let site = parts.next().and_then(FaultSite::parse).ok_or_else(|| {
+        format!("unknown fault site in {spec:?} (io_fail, nan, kill, torn, hang)")
+    })?;
     let label = parts
         .next()
         .ok_or_else(|| format!("fault spec {spec:?} missing an index (e.g. nan:step17)"))?;
@@ -253,6 +260,10 @@ mod tests {
 
         assert!(install_spec("torn:put2").is_ok());
         assert!(fire(FaultSite::Torn, 2));
+        clear();
+
+        assert!(install_spec("hang:epoch1").is_ok());
+        assert!(fire(FaultSite::Hang, 1));
         clear();
 
         for bad in [

@@ -245,6 +245,66 @@ pub fn aggregate(trace: &Trace) -> Vec<NameStat> {
     out
 }
 
+/// One collapsed call stack: the thread name plus the span path
+/// (outermost first) and the self time accumulated at exactly that
+/// path, in µs. This is the unit of the folded flamegraph format.
+#[derive(Debug, Clone)]
+pub struct FoldedStack {
+    /// `frames[0]` is the thread name; the rest are span names from
+    /// outermost to innermost.
+    pub frames: Vec<String>,
+    /// Self time at this exact stack (children excluded), µs.
+    pub self_us: f64,
+}
+
+/// Collapses a trace into per-stack self times — the math behind
+/// `analyze --flamegraph` and the report's icicle panel. Nesting is
+/// reconstructed with the same start-time/longest-first order as
+/// [`aggregate`], so a span's self time lands on the full path that
+/// was open while it ran. Output is sorted lexically by path, which
+/// makes the folded file deterministic and diffable.
+pub fn collapse_stacks(trace: &Trace) -> Vec<FoldedStack> {
+    use std::collections::BTreeMap;
+    let mut by_path: BTreeMap<Vec<String>, f64> = BTreeMap::new();
+    for t in &trace.threads {
+        // Stack of (end_us, child_us, dur_us) mirroring aggregate();
+        // `path` holds the thread name plus the open span names so a
+        // pop knows the full stack its self time belongs to.
+        let mut stack: Vec<(f64, f64, f64)> = Vec::new();
+        let mut path: Vec<String> = vec![t.name.clone()];
+        for s in nesting_order(&t.spans) {
+            while let Some(&(end, child_us, dur_us)) = stack.last() {
+                if end <= s.ts_us {
+                    stack.pop();
+                    let self_us = (dur_us - child_us).max(0.0);
+                    if self_us > 0.0 {
+                        *by_path.entry(path.clone()).or_insert(0.0) += self_us;
+                    }
+                    path.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(top) = stack.last_mut() {
+                top.1 += s.dur_us;
+            }
+            stack.push((s.end_us(), 0.0, s.dur_us));
+            path.push(s.name.clone());
+        }
+        while let Some((_, child_us, dur_us)) = stack.pop() {
+            let self_us = (dur_us - child_us).max(0.0);
+            if self_us > 0.0 {
+                *by_path.entry(path.clone()).or_insert(0.0) += self_us;
+            }
+            path.pop();
+        }
+    }
+    by_path
+        .into_iter()
+        .map(|(frames, self_us)| FoldedStack { frames, self_us })
+        .collect()
+}
+
 /// Merged-interval busy time of a span set: nested and overlapping
 /// spans are counted once.
 pub fn busy_us(spans: &[Span]) -> f64 {
@@ -609,6 +669,39 @@ mod tests {
         assert_eq!(agg[0].name, "b");
         assert_eq!(agg[1].name, "a");
         assert_eq!(agg[2].name, "outer");
+    }
+
+    #[test]
+    fn t_collapse_stacks_folds_self_time_per_path() {
+        // Same fixture as the aggregate test: self times must land on
+        // the full stack path, not just the leaf name.
+        let trace = one_thread(vec![
+            span("outer", 0.0, 100.0),
+            span("a", 10.0, 20.0),
+            span("b", 40.0, 50.0),
+            span("a", 50.0, 10.0),
+        ]);
+        let folded = collapse_stacks(&trace);
+        let get = |frames: &[&str]| {
+            folded
+                .iter()
+                .find(|f| f.frames == frames.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+                .unwrap_or_else(|| panic!("missing stack {frames:?} in {folded:?}"))
+        };
+        assert!((get(&["main", "outer"]).self_us - 30.0).abs() < 1e-9);
+        assert!((get(&["main", "outer", "a"]).self_us - 20.0).abs() < 1e-9);
+        assert!((get(&["main", "outer", "b"]).self_us - 40.0).abs() < 1e-9);
+        assert!((get(&["main", "outer", "b", "a"]).self_us - 10.0).abs() < 1e-9);
+        assert_eq!(folded.len(), 4, "no stray paths: {folded:?}");
+        // Lexical path order makes the folded output deterministic.
+        let paths: Vec<Vec<String>> = folded.iter().map(|f| f.frames.clone()).collect();
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted);
+        // Folded totals must reconcile with the flat aggregation.
+        let folded_total: f64 = folded.iter().map(|f| f.self_us).sum();
+        let agg_total: f64 = aggregate(&trace).iter().map(|s| s.self_us).sum();
+        assert!((folded_total - agg_total).abs() < 1e-9);
     }
 
     #[test]

@@ -74,6 +74,51 @@ pub fn write_chrome_trace(path: &std::path::Path) -> std::io::Result<()> {
     std::fs::write(path, chrome_trace_json(&threads))
 }
 
+/// Renders a trace in the collapsed-stacks ("folded") flamegraph
+/// format: one `thread;span;span value` line per distinct stack, where
+/// the value is the integer self time in µs. The output loads directly
+/// into `flamegraph.pl`, inferno, or speedscope. Lines come out in
+/// lexical path order (deterministic); frames are sanitised so the
+/// format's two delimiters — `;` between frames, the final space
+/// before the value — can't be forged by a span name.
+pub fn folded_stacks(trace: &crate::analyze::Trace) -> String {
+    let mut out = String::new();
+    for fs in crate::analyze::collapse_stacks(trace) {
+        let value = fs.self_us.round() as u64;
+        if value == 0 {
+            // Sub-microsecond stacks round to zero weight; flamegraph
+            // tools drop them anyway.
+            continue;
+        }
+        let mut first = true;
+        for frame in &fs.frames {
+            if !first {
+                out.push(';');
+            }
+            first = false;
+            for c in frame.chars() {
+                out.push(match c {
+                    ';' => ':',
+                    ' ' => '_',
+                    c => c,
+                });
+            }
+        }
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the collapsed-stacks rendering of `trace` to `path`.
+pub fn write_folded_stacks(
+    path: &std::path::Path,
+    trace: &crate::analyze::Trace,
+) -> std::io::Result<()> {
+    std::fs::write(path, folded_stacks(trace))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +171,76 @@ mod tests {
         assert!(json.contains(r#""args":{"value":17}"#));
         assert!(json.contains(r#""displayTimeUnit":"ms""#));
         assert!(json.contains(r#""traceEpochUnix":"#));
+    }
+
+    #[test]
+    fn t_folded_stacks_format_and_sanitisation() {
+        let trace = crate::analyze::Trace {
+            threads: vec![crate::analyze::Thread {
+                tid: 1,
+                name: "main".into(),
+                spans: vec![
+                    crate::analyze::Span {
+                        name: "outer".into(),
+                        ts_us: 0.0,
+                        dur_us: 100.0,
+                    },
+                    crate::analyze::Span {
+                        name: "cell;a b".into(),
+                        ts_us: 10.0,
+                        dur_us: 40.0,
+                    },
+                ],
+            }],
+            ..crate::analyze::Trace::default()
+        };
+        let folded = folded_stacks(&trace);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec!["main;outer 60", "main;outer;cell:a_b 40"],
+            "folded output: {folded:?}"
+        );
+        // Every line parses as <stack> <integer>: the format contract.
+        for line in lines {
+            let (stack, value) = line.rsplit_once(' ').expect("space before value");
+            assert!(!stack.is_empty());
+            value.parse::<u64>().expect("integer value");
+        }
+    }
+
+    /// Satellite: the drop path end-to-end. A tiny ring forces
+    /// `trace.dropped > 0`; export must still produce valid Chrome
+    /// JSON that reports the drop count instead of silently skewing.
+    #[test]
+    fn t_overflowing_ring_still_exports_valid_chrome_json() {
+        use crate::trace;
+        let _guard = crate::test_lock().lock().unwrap_or_else(|e| e.into_inner());
+        trace::reset();
+        trace::set_capacity(4);
+        trace::set_enabled(true);
+        trace::register_thread("t_export_drop");
+        for i in 0..32 {
+            let _g = trace::span_dyn(format!("flood.{i}"));
+        }
+        trace::set_enabled(false);
+        assert!(trace::dropped() > 0, "tiny ring must have dropped events");
+        let dropped = trace::dropped();
+
+        let threads = trace::drain();
+        let json = chrome_trace_json(&threads);
+        let parsed: serde_json::Value =
+            serde_json::from_str(&json).expect("chrome JSON stays valid under drops");
+        assert_eq!(parsed["droppedEvents"].as_u64(), Some(dropped));
+        let events = parsed["traceEvents"].as_array().unwrap();
+        // 4 surviving spans + the thread_name metadata record.
+        assert_eq!(events.len(), 5, "ring capacity bounds exported events");
+        assert!(
+            json.contains("flood.31"),
+            "newest events survive, oldest are the ones dropped"
+        );
+
+        trace::set_capacity(trace::DEFAULT_CAPACITY);
+        trace::reset();
     }
 }

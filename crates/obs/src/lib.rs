@@ -23,6 +23,7 @@
 
 pub mod analyze;
 pub mod export;
+pub mod heartbeat;
 pub mod hist;
 pub mod json;
 pub mod log;
@@ -35,43 +36,77 @@ pub mod trace;
 use std::sync::OnceLock;
 use std::time::Instant;
 
-struct Clock {
-    /// Wall-clock seconds since the Unix epoch at the moment `anchor`
+/// The process-wide wall-clock anchor: one `SystemTime` sample paired
+/// with the `Instant` taken at the same moment. Every timestamp the
+/// crate emits — metrics-event `ts` fields, the trace epoch, heartbeat
+/// sample times — derives from this single pair, so the subsystems can
+/// never disagree about when "now" is and timelines cannot step
+/// backward when NTP adjusts the system clock mid-run.
+pub struct Anchor {
+    /// Wall-clock seconds since the Unix epoch at the moment `origin`
     /// was captured. Sampled exactly once per process.
-    unix_at_anchor: f64,
-    anchor: Instant,
+    unix_at_origin: f64,
+    origin: Instant,
 }
 
-fn clock() -> &'static Clock {
-    static CLOCK: OnceLock<Clock> = OnceLock::new();
-    CLOCK.get_or_init(|| Clock {
-        unix_at_anchor: std::time::SystemTime::now()
+impl Anchor {
+    /// Seconds since the Unix epoch, as f64 (for event timestamps).
+    /// Monotone: the one wall-clock sample plus an `Instant` offset.
+    pub fn unix_time(&self) -> f64 {
+        self.unix_at_origin + self.origin.elapsed().as_secs_f64()
+    }
+
+    /// Nanoseconds elapsed since the anchor origin (monotone,
+    /// `Instant`-based). This is the timebase for [`trace`] events.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Wall-clock seconds since the Unix epoch at the anchor origin —
+    /// the one place wall time enters trace output, as the epoch
+    /// anchor only.
+    pub fn unix_at_origin(&self) -> f64 {
+        self.unix_at_origin
+    }
+}
+
+/// The shared anchor. First call samples the wall clock; every
+/// subsystem (metrics sinks, trace export, heartbeat) must go through
+/// this accessor rather than re-deriving its own epoch.
+pub fn anchor() -> &'static Anchor {
+    static ANCHOR: OnceLock<Anchor> = OnceLock::new();
+    ANCHOR.get_or_init(|| Anchor {
+        unix_at_origin: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs_f64())
             .unwrap_or(0.0),
-        anchor: Instant::now(),
+        origin: Instant::now(),
     })
 }
 
 /// Seconds since the Unix epoch, as f64 (for event timestamps).
-///
-/// Monotone by construction: the wall clock is sampled once (the trace
-/// epoch anchor) and every later call is that anchor plus an
-/// [`Instant`]-measured offset, so timestamps cannot step backward when
-/// NTP adjusts the system clock mid-run.
+/// Shorthand for [`anchor()`]`.unix_time()`.
 pub fn unix_time() -> f64 {
-    let c = clock();
-    c.unix_at_anchor + c.anchor.elapsed().as_secs_f64()
+    anchor().unix_time()
 }
 
-/// Nanoseconds elapsed since the process clock anchor (monotone,
-/// `Instant`-based). This is the timebase for [`trace`] events.
+/// Nanoseconds elapsed since the process clock anchor. Shorthand for
+/// [`anchor()`]`.elapsed_ns()`.
 pub fn anchor_ns() -> u64 {
-    clock().anchor.elapsed().as_nanos() as u64
+    anchor().elapsed_ns()
 }
 
-/// Wall-clock seconds since the Unix epoch at the clock anchor — the
-/// one place wall time enters trace output, as the epoch anchor only.
+/// Wall-clock seconds since the Unix epoch at the clock anchor.
+/// Shorthand for [`anchor()`]`.unix_at_origin()`.
 pub fn anchor_unix_time() -> f64 {
-    clock().unix_at_anchor
+    anchor().unix_at_origin()
+}
+
+/// Serialises tests that flip process-global observability state
+/// (trace enable/open-tracking, the heartbeat sink) so they can't
+/// race each other under the parallel test runner.
+#[cfg(test)]
+pub(crate) fn test_lock() -> &'static std::sync::Mutex<()> {
+    static LOCK: OnceLock<std::sync::Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| std::sync::Mutex::new(()))
 }

@@ -21,6 +21,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 pub const DEFAULT_CAPACITY: usize = 16_384;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static OPEN_TRACKING: AtomicBool = AtomicBool::new(false);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
 static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
@@ -77,6 +78,10 @@ struct ThreadBuf {
     tid: u64,
     name: Mutex<String>,
     ring: Mutex<Ring>,
+    /// Currently-open span names, innermost last. Maintained only while
+    /// [`open_tracking`] is on; read by the heartbeat watchdog to
+    /// produce a lightweight thread dump of a stalled process.
+    open: Mutex<Vec<Name>>,
 }
 
 struct Ring {
@@ -118,6 +123,7 @@ thread_local! {
             ring: Mutex::new(Ring {
                 events: std::collections::VecDeque::new(),
             }),
+            open: Mutex::new(Vec::new()),
         });
         registry()
             .lock()
@@ -137,6 +143,60 @@ pub fn set_enabled(on: bool) {
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns open-span tracking on or off. Independent of the recorder:
+/// the heartbeat watchdog enables this alone so it can dump each
+/// thread's current span stack without paying for ring recording.
+pub fn set_open_tracking(on: bool) {
+    OPEN_TRACKING.store(on, Ordering::Relaxed);
+}
+
+/// Whether open-span tracking is currently on.
+#[inline]
+pub fn open_tracking() -> bool {
+    OPEN_TRACKING.load(Ordering::Relaxed)
+}
+
+/// One thread's currently-open span stack (innermost last), as sampled
+/// by [`open_spans`]. Empty stacks are omitted from the dump.
+pub struct OpenSpans {
+    /// Stable per-process thread id (1-based registration order).
+    pub tid: u64,
+    /// Timeline name (thread name or [`register_thread`] override).
+    pub thread: String,
+    /// Open span names, outermost first.
+    pub spans: Vec<String>,
+}
+
+/// Samples every thread's currently-open span stack — a lightweight
+/// "thread dump" for the stall watchdog. Only meaningful while
+/// [`set_open_tracking`] is on; threads with no open spans are skipped.
+pub fn open_spans() -> Vec<OpenSpans> {
+    let reg = registry().lock().expect("trace registry poisoned");
+    let mut out: Vec<OpenSpans> = reg
+        .iter()
+        .filter_map(|buf| {
+            let spans: Vec<String> = buf
+                .open
+                .lock()
+                .expect("trace open stack poisoned")
+                .iter()
+                .map(|n| n.as_str().to_string())
+                .collect();
+            if spans.is_empty() {
+                None
+            } else {
+                Some(OpenSpans {
+                    tid: buf.tid,
+                    thread: buf.name.lock().expect("trace thread name poisoned").clone(),
+                    spans,
+                })
+            }
+        })
+        .collect();
+    out.sort_by_key(|t| t.tid);
+    out
 }
 
 /// Sets the per-thread ring capacity (events). Applies to subsequent
@@ -169,20 +229,45 @@ fn record(ev: Event) {
 pub struct SpanGuard {
     name: Option<Name>,
     start_ns: u64,
+    /// Record a `Complete` event at drop (recorder was enabled when
+    /// the span opened).
+    record: bool,
+    /// This guard pushed onto the open-span stack and must pop it.
+    pushed: bool,
 }
 
 impl SpanGuard {
     fn new(name: Name) -> Self {
+        let record = enabled();
+        let pushed = open_tracking();
+        if pushed {
+            LOCAL.with(|buf| {
+                buf.open
+                    .lock()
+                    .expect("trace open stack poisoned")
+                    .push(name.clone());
+            });
+        }
         Self {
             name: Some(name),
             start_ns: crate::anchor_ns(),
+            record,
+            pushed,
         }
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if self.pushed {
+            LOCAL.with(|buf| {
+                buf.open.lock().expect("trace open stack poisoned").pop();
+            });
+        }
         if let Some(name) = self.name.take() {
+            if !self.record {
+                return;
+            }
             // Start and end on the same anchor timebase, so a span
             // always covers every event recorded inside it.
             let end_ns = crate::anchor_ns();
@@ -199,10 +284,10 @@ impl Drop for SpanGuard {
 
 /// Opens a span on the calling thread's timeline; the span closes when
 /// the returned guard drops. Returns `None` (recording nothing) when
-/// tracing is disabled.
+/// both the recorder and open-span tracking are off.
 #[inline]
 pub fn span(name: &'static str) -> Option<SpanGuard> {
-    if !enabled() {
+    if !enabled() && !open_tracking() {
         return None;
     }
     Some(SpanGuard::new(Name::Static(name)))
@@ -211,7 +296,7 @@ pub fn span(name: &'static str) -> Option<SpanGuard> {
 /// Like [`span`] but with a dynamically built name (bench cells etc.).
 #[inline]
 pub fn span_dyn(name: String) -> Option<SpanGuard> {
-    if !enabled() {
+    if !enabled() && !open_tracking() {
         return None;
     }
     Some(SpanGuard::new(Name::Owned(name)))
@@ -293,6 +378,7 @@ mod tests {
     /// test function so enabling/disabling can't race between tests.
     #[test]
     fn t_trace_recorder_end_to_end() {
+        let _guard = crate::test_lock().lock().unwrap_or_else(|e| e.into_inner());
         // Disabled: nothing is recorded, nothing is dropped.
         reset();
         set_enabled(false);
@@ -356,13 +442,16 @@ mod tests {
         set_capacity(8);
         let before = dropped();
         assert_eq!(before, 0);
+        // The trace.dropped *metric* is cumulative across the process
+        // (other tests overflow rings too), so assert its delta.
+        let metric_before = crate::metrics::counter("trace.dropped").get();
         for _ in 0..20 {
             instant("t_trace.flood");
         }
         instant("t_trace.newest");
         assert_eq!(dropped(), 13, "20 + 1 pushes into capacity 8");
         assert_eq!(
-            crate::metrics::counter("trace.dropped").get(),
+            crate::metrics::counter("trace.dropped").get() - metric_before,
             13,
             "trace.dropped metric mirrors the drop count"
         );
@@ -375,7 +464,43 @@ mod tests {
             "newest event survives an overflowing ring"
         );
 
+        // Open-span tracking works with the recorder OFF: the guard
+        // pushes/pops the per-thread stack without recording events.
         set_capacity(DEFAULT_CAPACITY);
+        set_enabled(false);
+        set_open_tracking(true);
+        {
+            let _outer = span("t_trace.open_outer");
+            let _inner = span_dyn("t_trace.open_inner".to_string());
+            let dump = open_spans();
+            let mine = dump
+                .iter()
+                .find(|t| t.thread == "t_trace_main")
+                .expect("open stack visible for this thread");
+            assert_eq!(
+                mine.spans,
+                vec![
+                    "t_trace.open_outer".to_string(),
+                    "t_trace.open_inner".to_string()
+                ],
+                "open stack lists outermost first"
+            );
+        }
+        assert!(
+            !open_spans().iter().any(|t| t.thread == "t_trace_main"),
+            "guards pop the open stack on drop"
+        );
+        let tracked_events: usize = drain().iter().map(|t| t.events.len()).sum();
+        assert_eq!(
+            tracked_events, 0,
+            "open tracking alone must not record ring events"
+        );
+        set_open_tracking(false);
+        assert!(
+            span("t_trace.fully_off").is_none(),
+            "no guard when recorder and open tracking are both off"
+        );
+
         set_enabled(false);
         reset();
     }

@@ -94,6 +94,12 @@
 //! spawned task), and `par.steal` (wrapping execution of a stolen task),
 //! so `analyze --compare` can attribute residual serial fraction to
 //! scheduling rather than kernels.
+//!
+//! Every chunk/task completion additionally bumps the executing
+//! thread's `cf_obs::heartbeat` progress epoch and busy-time slot —
+//! the live signal the stall watchdog and the `monitor` per-thread
+//! busy view are built on. A run whose epoch stops advancing for the
+//! watchdog window is flagged stalled.
 
 use std::any::Any;
 use std::cell::Cell;
@@ -172,8 +178,13 @@ impl ForJob {
                     }
                 }
             }
-            self.busy_ns
-                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let chunk_ns = started.elapsed().as_nanos() as u64;
+            self.busy_ns.fetch_add(chunk_ns, Ordering::Relaxed);
+            // Heartbeat accounting: the chunk ran on *this* thread, so
+            // its busy time and the stall-watchdog progress epoch are
+            // attributed here, not to the publisher.
+            cf_obs::heartbeat::add_busy_ns(chunk_ns);
+            cf_obs::heartbeat::bump_progress();
             if self.done.fetch_add(1, Ordering::SeqCst) + 1 == self.total {
                 shared.signal();
             }
@@ -348,12 +359,15 @@ impl Shared {
             Task::For(job) => job.work(self),
             Task::Once(OnceTask { f, scope }) => {
                 let _task_span = cf_obs::trace::span("par.task");
+                let started = Instant::now();
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
                     let mut slot = scope.panic.lock().expect("cf-par scope panic poisoned");
                     if slot.is_none() {
                         *slot = Some(payload);
                     }
                 }
+                cf_obs::heartbeat::add_busy_ns(started.elapsed().as_nanos() as u64);
+                cf_obs::heartbeat::bump_progress();
                 if scope.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
                     self.signal();
                 }
@@ -483,9 +497,15 @@ impl Pool {
             let m = metrics();
             m.jobs_inline.add(1);
             m.tasks.add(chunks as u64);
+            // Inline chunks still count as scheduler progress — a
+            // 1-thread run must not read as stalled — but busy time is
+            // attributed once per job to keep this path lean.
+            let started = Instant::now();
             for i in 0..chunks {
                 f(i);
+                cf_obs::heartbeat::bump_progress();
             }
+            cf_obs::heartbeat::add_busy_ns(started.elapsed().as_nanos() as u64);
             return;
         }
 
@@ -883,6 +903,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn dispatch_bumps_heartbeat_progress_epochs() {
+        let _g = pool_lock();
+        // Both dispatch paths must advance the watchdog's progress
+        // epoch: inline (1 thread) and the work-stealing path.
+        for threads in [1, 4] {
+            set_threads(threads);
+            let before = cf_obs::heartbeat::progress_epoch();
+            par_for(64, 4, |_range| {});
+            let after = cf_obs::heartbeat::progress_epoch();
+            assert!(
+                after > before,
+                "no progress epoch advance at {threads} threads"
+            );
+        }
+        // Scope tasks count too.
+        let before = cf_obs::heartbeat::progress_epoch();
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {});
+            }
+        });
+        assert!(cf_obs::heartbeat::progress_epoch() > before);
     }
 
     #[test]

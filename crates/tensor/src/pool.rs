@@ -436,6 +436,19 @@ pub fn publish_obs() {
     cf_obs::trace::counter("mem.pool.bytes_outstanding", s.bytes_outstanding as f64);
 }
 
+/// Registers [`publish_obs`] as a heartbeat sampler hook, so every
+/// heartbeat carries fresh `mem.pool.*` values. cf-obs sits below this
+/// crate in the workspace graph and cannot call the pool itself; the
+/// CLI (or any embedding binary) calls this once at startup. Safe to
+/// call repeatedly — only the first call registers.
+pub fn install_obs_sampler() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        cf_obs::heartbeat::add_sampler_hook(Box::new(publish_obs));
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

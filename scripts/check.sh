@@ -65,7 +65,15 @@ cargo run -q -p cf-cli --bin causalformer -- \
   --window 8 --epochs 3 --seed 1 --quiet --threads 2 \
   --metrics-out "$smoke_dir/metrics.jsonl" \
   --trace-out "$smoke_dir/trace.json" \
-  --diag-out "$smoke_dir/diag.cfdiag"
+  --diag-out "$smoke_dir/diag.cfdiag" \
+  --heartbeat-out "$smoke_dir/hb.jsonl"
+# The heartbeat stream must open with its meta header, close with
+# run_end, and render through the monitor in one-shot mode.
+head -1 "$smoke_dir/hb.jsonl" | grep -q '"event":"meta"'
+tail -1 "$smoke_dir/hb.jsonl" | grep -q '"event":"run_end"'
+cargo run -q -p cf-cli --bin causalformer -- \
+  monitor "$smoke_dir/hb.jsonl" --once > "$smoke_dir/monitor.txt"
+grep -q "run ended cleanly" "$smoke_dir/monitor.txt"
 # Single-precision leg: the same discover end-to-end at --dtype f32 must
 # run clean and emit a metrics stream.
 cargo run -q -p cf-cli --bin causalformer -- \
@@ -81,8 +89,8 @@ cargo run -q -p cf-cli --bin causalformer -- \
 test -s "$smoke_dir/report.html"
 for panel in panel-training-loss panel-causal-evolution \
              panel-thread-utilization panel-pool \
-             panel-top-self-time panel-scaling panel-percentiles \
-             panel-scheduler; do
+             panel-top-self-time panel-flame panel-scaling \
+             panel-percentiles panel-scheduler; do
   grep -q "id=\"$panel\"" "$smoke_dir/report.html" \
     || { echo "missing $panel in report.html"; exit 1; }
 done
@@ -94,8 +102,10 @@ grep -q '"record":"detect"' "$smoke_dir/diag.cfdiag"
 # baseline as identical to itself (exit 0).
 echo "== causalformer analyze + bench-diff smoke"
 cargo run -q -p cf-cli --bin causalformer -- \
-  analyze --trace "$smoke_dir/trace.json" > "$smoke_dir/analyze.md"
+  analyze --trace "$smoke_dir/trace.json" \
+  --flamegraph "$smoke_dir/stacks.folded" > "$smoke_dir/analyze.md"
 grep -q "top self-time spans" "$smoke_dir/analyze.md"
+grep -q ";" "$smoke_dir/stacks.folded"
 cargo run -q -p cf-cli --bin causalformer -- \
   analyze --compare "$smoke_dir/trace-1t.json" "$smoke_dir/trace.json" \
   > "$smoke_dir/analyze-compare.md"
